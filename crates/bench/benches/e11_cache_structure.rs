@@ -1,0 +1,106 @@
+//! E11 — cache structure: the coherency cost hierarchy (§3.3.2).
+//!
+//! The architectural claims under the microscope:
+//!
+//! * the local validity check "does not involve a CF access" — it must be
+//!   orders of magnitude cheaper than any CF command;
+//! * cross-invalidation fans out "in parallel to only those systems having
+//!   a registered interest" — cost grows with registered peers only;
+//! * the optional global cache gives "high-speed local buffer refresh" —
+//!   cheaper than a DASD re-read (ablation: store-in vs directory-only).
+
+use criterion::Criterion;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+use sysplex_bench::{banner, row, small_criterion};
+use sysplex_core::cache::{BlockName, CacheParams, CacheStructure, WriteKind};
+
+fn xi_fanout_table() {
+    banner("E11: cross-invalidate cost vs registered peers (signals are targeted)");
+    row("registered peers", &["XI signals per write", "ns per write (approx)"].map(String::from));
+    for peers in [0usize, 1, 4, 16, 31] {
+        let cache = CacheStructure::new("GBP", &CacheParams::store_in(1024)).unwrap();
+        let writer = cache.connect(64).unwrap();
+        let readers: Vec<_> = (0..peers).map(|_| cache.connect(64).unwrap()).collect();
+        let blk = BlockName::from_parts(1, 1);
+        let iters = 2_000;
+        let mut signals = 0usize;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            for r in &readers {
+                cache.read_and_register(r, blk, 0).unwrap();
+            }
+            let w = cache.write_and_invalidate(&writer, blk, b"x", WriteKind::ChangedData).unwrap();
+            signals += w.invalidated;
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+        row(&format!("{peers}"), &[format!("{:.1}", signals as f64 / iters as f64), format!("{ns:.0}")]);
+        assert_eq!(signals / iters, peers, "exactly the registered peers are signalled");
+    }
+}
+
+fn refresh_ablation() {
+    banner("E11b (ablation): store-in vs directory-only refresh after invalidation");
+    // Store-in: refresh comes from the CF global cache.
+    let store_in = CacheStructure::new("GBPSI", &CacheParams::store_in(256)).unwrap();
+    // Directory-only: refresh must go back to DASD (simulated by the miss).
+    let dir_only = CacheStructure::new("GBPDO", &CacheParams::directory_only(256)).unwrap();
+    let blk = BlockName::from_parts(1, 1);
+    for (label, cache, kind) in [
+        ("store-in", &store_in, WriteKind::ChangedData),
+        ("directory-only", &dir_only, WriteKind::InvalidateOnly),
+    ] {
+        let writer = cache.connect(16).unwrap();
+        let reader = cache.connect(16).unwrap();
+        cache.read_and_register(&reader, blk, 0).unwrap();
+        cache.write_and_invalidate(&writer, blk, b"v1", kind).unwrap();
+        let reg = cache.read_and_register(&reader, blk, 0).unwrap();
+        let refreshed_from_cf = reg.data.is_some();
+        row(label, &[format!("refresh from CF: {refreshed_from_cf}")]);
+        if label == "store-in" {
+            assert!(refreshed_from_cf, "store-in serves the refresh (no DASD I/O)");
+        } else {
+            assert!(!refreshed_from_cf, "directory-only forces a DASD re-read");
+        }
+    }
+    println!("store-in avoids a ~4 ms DASD read per invalidated reference — the paper's 'high-speed local buffer refresh'");
+}
+
+fn coherency_bench(c: &mut Criterion) {
+    let cache = Arc::new(CacheStructure::new("GBP", &CacheParams::store_in(4096)).unwrap());
+    let a = cache.connect(256).unwrap();
+    let b = cache.connect(256).unwrap();
+    let blk = BlockName::from_parts(7, 7);
+    cache.read_and_register(&a, blk, 0).unwrap();
+
+    let mut group = c.benchmark_group("e11_coherency_hierarchy");
+    // The nanosecond path: no CF access at all.
+    group.bench_function("local_validity_test", |bch| bch.iter(|| black_box(a.is_valid(0))));
+    // CF commands.
+    group.bench_function("read_and_register", |bch| {
+        bch.iter(|| cache.read_and_register(&a, blk, 0).unwrap())
+    });
+    group.bench_function("write_and_invalidate_1_peer", |bch| {
+        bch.iter(|| {
+            cache.read_and_register(&b, blk, 1).unwrap();
+            cache.write_and_invalidate(&a, blk, b"payload", WriteKind::ChangedData).unwrap()
+        })
+    });
+    group.bench_function("castout_cycle", |bch| {
+        bch.iter(|| {
+            cache.write_and_invalidate(&a, blk, b"dirty", WriteKind::ChangedData).unwrap();
+            let (_, v) = cache.read_for_castout(&a, blk).unwrap();
+            cache.complete_castout(&a, blk, v).unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    xi_fanout_table();
+    refresh_ablation();
+    let mut c = small_criterion();
+    coherency_bench(&mut c);
+    c.final_summary();
+}

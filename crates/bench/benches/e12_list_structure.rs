@@ -1,0 +1,150 @@
+//! E12 — list structure: queueing without software serialization (§3.3.3).
+//!
+//! Measures the list commands (write, dequeue, atomic claim-move, keyed
+//! insert), demonstrates the serialized-list recovery protocol's rejection
+//! accounting, and shows the transition signal waking a parked consumer.
+
+use criterion::Criterion;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use sysplex_bench::{banner, row, small_criterion};
+use sysplex_core::list::{DequeueEnd, ListParams, ListStructure, LockCondition, WritePosition};
+use sysplex_subsys::workq::{queue_params, SharedQueue};
+
+fn serialized_list_protocol() {
+    banner("E12: serialized-list recovery protocol (§3.3.3)");
+    let s = ListStructure::new("SERQ", &ListParams::with_headers(1).with_locks(1)).unwrap();
+    let mainline = s.connect(4).unwrap();
+    let recovery = s.connect(4).unwrap();
+    // Mainline traffic conditions on the lock being free — no per-request
+    // acquire/release.
+    for i in 0..500u64 {
+        s.write_entry(&mainline, 0, i, b"w", WritePosition::Tail, LockCondition::LockFree(0)).unwrap();
+    }
+    // Recovery takes the lock for a static view; mainline is rejected.
+    s.acquire_lock(&recovery, 0).unwrap();
+    let mut rejected = 0;
+    for i in 0..100u64 {
+        if s.write_entry(&mainline, 0, i, b"w", WritePosition::Tail, LockCondition::LockFree(0)).is_err() {
+            rejected += 1;
+        }
+    }
+    let snapshot = s.read_list(&recovery, 0).unwrap().len();
+    s.release_lock(&recovery, 0).unwrap();
+    row("mainline writes before", &["500".into()]);
+    row("rejected during recovery", &[format!("{rejected}")]);
+    row("static snapshot size", &[format!("{snapshot}")]);
+    row("lock rejections counted", &[format!("{}", s.stats.lock_rejections.get())]);
+    assert_eq!(rejected, 100);
+    assert_eq!(snapshot, 500, "recovery saw a static view");
+}
+
+fn transition_signal_latency() {
+    banner("E12b: transition-signal wakeup latency (consumer parked, producer enqueues)");
+    let list = Arc::new(ListStructure::new("MSGQ", &queue_params()).unwrap());
+    let consumer = SharedQueue::open(Arc::clone(&list)).unwrap();
+    let producer = SharedQueue::open(Arc::clone(&list)).unwrap();
+    let mut samples = Vec::new();
+    for i in 0..20u64 {
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| {
+                let item = consumer.take_wait(Duration::from_secs(5)).unwrap().unwrap();
+                (Instant::now(), item)
+            });
+            std::thread::sleep(Duration::from_millis(5));
+            let t_put = Instant::now();
+            producer.put(i, b"ping").unwrap();
+            let (t_got, item) = waiter.join().unwrap();
+            consumer.complete(&item).unwrap();
+            samples.push(t_got.duration_since(t_put));
+        });
+    }
+    samples.sort();
+    row("wakeup p50", &[format!("{:?}", samples[samples.len() / 2])]);
+    row("wakeup max", &[format!("{:?}", samples[samples.len() - 1])]);
+}
+
+fn list_command_bench(c: &mut Criterion) {
+    let s = Arc::new(ListStructure::new("BENCH", &ListParams { headers: 4, lock_entries: 1, max_entries: 1 << 20 }).unwrap());
+    let conn = s.connect(8).unwrap();
+    let mut group = c.benchmark_group("e12_list_commands");
+    group.bench_function("write_then_dequeue_fifo", |b| {
+        b.iter(|| {
+            s.write_entry(&conn, 0, 1, b"payload", WritePosition::Tail, LockCondition::None).unwrap();
+            s.dequeue(&conn, 0, DequeueEnd::Head, LockCondition::None).unwrap()
+        })
+    });
+    let mut key = 0u64;
+    group.bench_function("keyed_insert_dequeue", |b| {
+        b.iter(|| {
+            key = key.wrapping_add(0x9E3779B9);
+            s.write_entry(&conn, 1, key % 1000, b"payload", WritePosition::Keyed, LockCondition::None)
+                .unwrap();
+            s.dequeue(&conn, 1, DequeueEnd::Head, LockCondition::None).unwrap()
+        })
+    });
+    group.bench_function("claim_move_first", |b| {
+        b.iter(|| {
+            s.write_entry(&conn, 2, 1, b"w", WritePosition::Tail, LockCondition::None).unwrap();
+            let e = s
+                .move_first(&conn, 2, 3, DequeueEnd::Head, WritePosition::Tail, LockCondition::None)
+                .unwrap()
+                .unwrap();
+            s.delete_entry(&conn, e.id, LockCondition::None).unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn multi_consumer_throughput() {
+    banner("E12c: shared queue drain, 2 producers + 2 consumers");
+    let list = Arc::new(ListStructure::new("MSGQ2", &queue_params()).unwrap());
+    let total = 4_000u64;
+    let t0 = Instant::now();
+    let producers: Vec<_> = (0..2)
+        .map(|p| {
+            let list = Arc::clone(&list);
+            std::thread::spawn(move || {
+                let q = SharedQueue::open(list).unwrap();
+                for i in 0..total / 2 {
+                    q.put(i % 5, &(p * total + i).to_be_bytes()).unwrap();
+                }
+            })
+        })
+        .collect();
+    let consumers: Vec<_> = (0..2)
+        .map(|_| {
+            let list = Arc::clone(&list);
+            std::thread::spawn(move || {
+                let q = SharedQueue::open(list).unwrap();
+                let mut n = 0u64;
+                loop {
+                    match q.take_wait(Duration::from_millis(300)).unwrap() {
+                        Some(item) => {
+                            q.complete(&item).unwrap();
+                            n += 1;
+                        }
+                        None => return n,
+                    }
+                }
+            })
+        })
+        .collect();
+    for p in producers {
+        p.join().unwrap();
+    }
+    let drained: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+    let elapsed = t0.elapsed();
+    row("items", &[format!("{drained}/{total}")]);
+    row("throughput", &[format!("{:.0} items/s", drained as f64 / elapsed.as_secs_f64())]);
+    assert_eq!(drained, total, "exactly-once consumption");
+}
+
+fn main() {
+    serialized_list_protocol();
+    transition_signal_latency();
+    multi_consumer_throughput();
+    let mut c = small_criterion();
+    list_command_bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,91 @@
+//! Shared rigs and table helpers for the experiment benches.
+//!
+//! Every bench regenerates one figure or quantitative claim of the paper
+//! (see DESIGN.md §3 for the index and EXPERIMENTS.md for paper-vs-measured
+//! results). The rigs here stand up the live stack the way the examples
+//! do, sized for a small host.
+
+use std::sync::Arc;
+use std::time::Duration;
+use sysplex_core::facility::CouplingFacility;
+use sysplex_core::SystemId;
+use sysplex_db::group::{DataSharingGroup, GroupConfig};
+use sysplex_db::Database;
+use sysplex_services::sysplex::{Sysplex, SysplexConfig};
+
+/// A live sysplex + data-sharing group with `members` database members.
+pub struct LiveRig {
+    /// The sysplex runtime.
+    pub plex: Arc<Sysplex>,
+    /// The CF.
+    pub cf: Arc<CouplingFacility>,
+    /// The data-sharing group.
+    pub group: Arc<DataSharingGroup>,
+    /// Database members, indexed by system.
+    pub dbs: Vec<Arc<Database>>,
+}
+
+impl LiveRig {
+    /// Build a rig with `members` members and `lock_entries` lock-table
+    /// entries.
+    pub fn new(members: u8, lock_entries: usize) -> LiveRig {
+        let plex = Sysplex::new(SysplexConfig::functional("BENCHPLEX"));
+        let cf = plex.add_cf("CF01");
+        let mut config = GroupConfig {
+            lock_entries,
+            log_blocks: 1 << 22, // criterion loops commit many times
+            ..GroupConfig::default()
+        };
+        config.db.lock_timeout = Duration::from_millis(500);
+        let group =
+            DataSharingGroup::new(config, &cf, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone())
+                .expect("group");
+        let dbs = (0..members).map(|i| group.add_member(SystemId::new(i)).expect("member")).collect();
+        LiveRig { plex, cf, group, dbs }
+    }
+
+    /// Tear down members cleanly (IRLM service threads).
+    pub fn shutdown(&self) {
+        for db in &self.dbs {
+            db.irlm().crash();
+        }
+    }
+}
+
+/// Print a rule line sized to the experiment banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("{}", "=".repeat(title.len().max(24)));
+    println!("{title}");
+    println!("{}", "=".repeat(title.len().max(24)));
+}
+
+/// Render one table row of f64 cells at fixed width.
+pub fn row(label: &str, cells: &[String]) {
+    print!("{label:<26}");
+    for c in cells {
+        print!(" {c:>12}");
+    }
+    println!();
+}
+
+/// Format helper.
+pub fn f(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// A criterion instance tuned for a small single-core host.
+#[must_use]
+pub fn small_criterion() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500))
+        .configure_from_args()
+}

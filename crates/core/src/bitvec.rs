@@ -1,0 +1,162 @@
+//! Local bit vectors — the HSA vector the coupling hardware updates.
+//!
+//! In the real machine, MVS allocates a bit vector in protected processor
+//! storage (the hardware system area) on behalf of each cache-structure or
+//! list-monitor connector. Specialised link hardware receives CF signals and
+//! flips bits in that vector *without any processor interrupt or software
+//! involvement on the target system* (§3.3.2). The connector tests bits with
+//! dedicated CPU instructions and never talks to the CF for a coherency
+//! check.
+//!
+//! We reproduce the contract with a shared array of atomic words: the CF
+//! side performs atomic bit updates, the local side performs plain atomic
+//! loads. Neither side blocks, takes a lock, or signals the other.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-size vector of atomically-updated bits.
+///
+/// Bit semantics are owned by the caller; for cache vectors a **set** bit
+/// means "local copy valid", for list-notification vectors a set bit means
+/// "monitored list non-empty".
+#[derive(Debug)]
+pub struct BitVector {
+    words: Box<[AtomicU64]>,
+    len: usize,
+}
+
+impl BitVector {
+    /// Allocate a vector of `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        let n_words = len.div_ceil(WORD_BITS);
+        let words = (0..n_words).map(|_| AtomicU64::new(0)).collect();
+        BitVector { words, len }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the vector has no bits at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn locate(&self, idx: usize) -> (usize, u64) {
+        assert!(idx < self.len, "bit index {idx} out of range (len {})", self.len);
+        (idx / WORD_BITS, 1u64 << (idx % WORD_BITS))
+    }
+
+    /// Test one bit. This is the "new S/390 CPU instruction" of §3.3.2 —
+    /// a local operation that never contacts the CF.
+    #[inline]
+    pub fn test(&self, idx: usize) -> bool {
+        let (w, m) = self.locate(idx);
+        self.words[w].load(Ordering::Acquire) & m != 0
+    }
+
+    /// Set one bit, returning its previous value.
+    #[inline]
+    pub fn set(&self, idx: usize) -> bool {
+        let (w, m) = self.locate(idx);
+        self.words[w].fetch_or(m, Ordering::AcqRel) & m != 0
+    }
+
+    /// Clear one bit, returning its previous value. This is the operation
+    /// the coupling-link hardware performs on a cross-invalidate signal.
+    #[inline]
+    pub fn clear(&self, idx: usize) -> bool {
+        let (w, m) = self.locate(idx);
+        self.words[w].fetch_and(!m, Ordering::AcqRel) & m != 0
+    }
+
+    /// Clear every bit (connector re-initialisation).
+    pub fn clear_all(&self) {
+        for w in self.words.iter() {
+            w.store(0, Ordering::Release);
+        }
+    }
+
+    /// Count of set bits (diagnostics).
+    pub fn count_set(&self) -> usize {
+        self.words.iter().map(|w| w.load(Ordering::Acquire).count_ones() as usize).sum()
+    }
+
+    /// Iterate indices of set bits (diagnostics; not atomic as a whole).
+    pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.test(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn set_test_clear_roundtrip() {
+        let v = BitVector::new(100);
+        assert!(!v.test(63));
+        assert!(!v.set(63));
+        assert!(v.test(63));
+        assert!(v.set(63), "second set sees previous value");
+        assert!(v.clear(63));
+        assert!(!v.test(63));
+        assert!(!v.clear(63), "second clear sees cleared value");
+    }
+
+    #[test]
+    fn word_boundaries() {
+        let v = BitVector::new(130);
+        for idx in [0, 1, 63, 64, 65, 127, 128, 129] {
+            v.set(idx);
+            assert!(v.test(idx), "bit {idx}");
+        }
+        assert_eq!(v.count_set(), 8);
+        assert_eq!(v.iter_set().collect::<Vec<_>>(), vec![0, 1, 63, 64, 65, 127, 128, 129]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        BitVector::new(10).test(10);
+    }
+
+    #[test]
+    fn clear_all_resets() {
+        let v = BitVector::new(256);
+        for i in (0..256).step_by(3) {
+            v.set(i);
+        }
+        v.clear_all();
+        assert_eq!(v.count_set(), 0);
+    }
+
+    #[test]
+    fn concurrent_disjoint_bits_do_not_interfere() {
+        let v = Arc::new(BitVector::new(64 * 8));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let v = Arc::clone(&v);
+                std::thread::spawn(move || {
+                    for i in 0..64 {
+                        v.set(t * 64 + i);
+                    }
+                    for i in (0..64).step_by(2) {
+                        v.clear(t * 64 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(v.count_set(), 8 * 32);
+    }
+}

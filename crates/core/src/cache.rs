@@ -1,0 +1,820 @@
+//! CF cache structures (§3.3.2).
+//!
+//! A cache structure is a multi-system shared-cache coherency manager. Its
+//! **global buffer directory** tracks, per uniquely-named data block, which
+//! connectors hold a copy in their local buffer pools. The protocol:
+//!
+//! 1. A buffer manager brings a block from DASD into a local buffer and
+//!    *registers* interest, passing the block name and the index of the
+//!    local-bit-vector bit it associated with that buffer
+//!    ([`CacheStructure::read_and_register`]).
+//! 2. Before reusing a local copy it *tests the bit locally* — an operation
+//!    that never contacts the CF ([`CacheConnection::is_valid`]).
+//! 3. When a peer updates the block it issues a single CF command; the CF
+//!    consults the directory and sends **cross-invalidate signals in
+//!    parallel to only those systems with registered interest**, each signal
+//!    clearing the registered bit *without any processor interrupt or
+//!    software involvement on the target* ([`CacheStructure::write_and_invalidate`]).
+//! 4. A connector that finds its bit off re-registers; the CF may return a
+//!    current copy from the structure's global data area, avoiding DASD I/O
+//!    ("high-speed local buffer refresh").
+//!
+//! The structure can also hold **changed data** (store-in caching): commits
+//! write to the CF instead of DASD and a background *castout* process later
+//! destages to DASD. Changed data deliberately survives connector failure —
+//! surviving members cast it out during recovery.
+
+use crate::bitvec::BitVector;
+use crate::error::{CfError, CfResult};
+use crate::hashing::{fnv1a64, mix64};
+use crate::stats::Counter;
+use crate::types::{ConnId, MAX_CONNECTORS};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+const SHARD_COUNT: usize = 64;
+
+/// A fixed 16-byte block name, as used by DB2/IMS buffer managers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockName([u8; 16]);
+
+impl BlockName {
+    /// Name from raw bytes (must be 16 bytes or fewer; zero-padded).
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        assert!(bytes.len() <= 16, "block names are at most 16 bytes");
+        let mut buf = [0u8; 16];
+        buf[..bytes.len()].copy_from_slice(bytes);
+        BlockName(buf)
+    }
+
+    /// Name from a (database id, page number) pair.
+    pub fn from_parts(db: u32, page: u64) -> Self {
+        let mut buf = [0u8; 16];
+        buf[..4].copy_from_slice(&db.to_be_bytes());
+        buf[4..12].copy_from_slice(&page.to_be_bytes());
+        BlockName(buf)
+    }
+
+    /// Raw bytes of the name.
+    pub fn as_bytes(&self) -> &[u8; 16] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for BlockName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BlockName({:02x?})", &self.0)
+    }
+}
+
+/// Caching discipline of the structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheModel {
+    /// Directory only: the CF tracks interest but caches no data. Refresh
+    /// after invalidation re-reads DASD.
+    DirectoryOnly,
+    /// Data cached in the CF; changed data is also written to DASD by the
+    /// connector at commit, so CF data is never the only copy.
+    StoreThrough,
+    /// Changed data lives only in the CF until cast out to DASD.
+    StoreIn,
+}
+
+/// Allocation-time geometry of a cache structure.
+#[derive(Debug, Clone)]
+pub struct CacheParams {
+    /// Maximum directory entries.
+    pub directory_entries: usize,
+    /// Maximum bytes of cached block data.
+    pub data_capacity: usize,
+    /// Caching discipline.
+    pub model: CacheModel,
+}
+
+impl CacheParams {
+    /// A store-in cache with `entries` directory slots and a data area
+    /// sized for `entries` 4 KiB blocks.
+    pub fn store_in(entries: usize) -> Self {
+        CacheParams { directory_entries: entries, data_capacity: entries * 4096, model: CacheModel::StoreIn }
+    }
+
+    /// A directory-only cache with `entries` slots.
+    pub fn directory_only(entries: usize) -> Self {
+        CacheParams { directory_entries: entries, data_capacity: 0, model: CacheModel::DirectoryOnly }
+    }
+}
+
+/// Result of [`CacheStructure::read_and_register`].
+#[derive(Debug, Clone)]
+pub struct RegisterResult {
+    /// The block data, when the structure holds a current copy.
+    pub data: Option<Arc<Vec<u8>>>,
+    /// Directory version of the block (0 = never written through the CF).
+    pub version: u64,
+    /// Whether the CF copy is changed data awaiting castout.
+    pub changed: bool,
+}
+
+/// Result of [`CacheStructure::write_and_invalidate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteResult {
+    /// Number of peer connectors that received a cross-invalidate signal.
+    pub invalidated: usize,
+    /// New directory version of the block.
+    pub version: u64,
+}
+
+/// What a write stores in the structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteKind {
+    /// Store the block in the CF data area as *unchanged* (a DASD-consistent
+    /// copy kept purely for high-speed refresh).
+    CleanData,
+    /// Store the block as *changed* — it must be cast out to DASD later.
+    ChangedData,
+    /// Directory-only invalidation: the data went straight to DASD.
+    InvalidateOnly,
+}
+
+/// Counters published by a cache structure.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// `read_and_register` commands.
+    pub reads: Counter,
+    /// Reads satisfied from the CF data area (no DASD I/O needed).
+    pub read_hits: Counter,
+    /// `write_and_invalidate` commands.
+    pub writes: Counter,
+    /// Cross-invalidate signals sent to peer connectors.
+    pub xi_signals: Counter,
+    /// Directory entries reclaimed to make room.
+    pub reclaims: Counter,
+    /// Castout operations completed.
+    pub castouts: Counter,
+}
+
+#[derive(Debug)]
+struct DirEntry {
+    /// Per-connector registered local-vector bit index.
+    interest: [Option<u32>; MAX_CONNECTORS],
+    data: Option<Arc<Vec<u8>>>,
+    changed: bool,
+    version: u64,
+    lru_tick: u64,
+}
+
+impl DirEntry {
+    fn new() -> Self {
+        DirEntry { interest: [None; MAX_CONNECTORS], data: None, changed: false, version: 0, lru_tick: 0 }
+    }
+
+}
+
+type Shard = RwLock<HashMap<BlockName, DirEntry>>;
+
+/// A handle representing one connector's attachment to a cache structure.
+///
+/// Holds the connector's local bit vector — the piece of "protected
+/// processor storage" that coupling-link hardware updates on invalidation.
+#[derive(Debug, Clone)]
+pub struct CacheConnection {
+    /// Connector slot in the structure.
+    pub id: ConnId,
+    vector: Arc<BitVector>,
+}
+
+impl CacheConnection {
+    /// Test buffer validity locally. Never contacts the CF — this is the
+    /// new-CPU-instruction path of §3.3.2 and costs nanoseconds.
+    #[inline]
+    pub fn is_valid(&self, vector_index: u32) -> bool {
+        self.vector.test(vector_index as usize)
+    }
+
+    /// The raw vector (tests, diagnostics).
+    pub fn vector(&self) -> &Arc<BitVector> {
+        &self.vector
+    }
+}
+
+/// A CF cache structure.
+pub struct CacheStructure {
+    name: String,
+    shards: Box<[Shard]>,
+    vectors: Mutex<[Option<Arc<BitVector>>; MAX_CONNECTORS]>,
+    active: AtomicU32,
+    model: CacheModel,
+    directory_capacity: usize,
+    data_capacity: usize,
+    entry_count: AtomicU64,
+    data_bytes: AtomicU64,
+    lru_clock: AtomicU64,
+    /// Published counters.
+    pub stats: CacheStats,
+}
+
+impl fmt::Debug for CacheStructure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CacheStructure")
+            .field("name", &self.name)
+            .field("model", &self.model)
+            .field("entries", &self.entry_count.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl CacheStructure {
+    /// Build a standalone structure (facilities use this; also handy in tests).
+    pub fn new(name: &str, params: &CacheParams) -> CfResult<Self> {
+        if params.directory_entries == 0 {
+            return Err(CfError::BadParameter("cache must have at least one directory entry"));
+        }
+        if params.model != CacheModel::DirectoryOnly && params.data_capacity == 0 {
+            return Err(CfError::BadParameter("data-caching model requires a data area"));
+        }
+        let shards = (0..SHARD_COUNT).map(|_| RwLock::new(HashMap::new())).collect();
+        Ok(CacheStructure {
+            name: name.to_string(),
+            shards,
+            vectors: Mutex::new(std::array::from_fn(|_| None)),
+            active: AtomicU32::new(0),
+            model: params.model,
+            directory_capacity: params.directory_entries,
+            data_capacity: params.data_capacity,
+            entry_count: AtomicU64::new(0),
+            data_bytes: AtomicU64::new(0),
+            lru_clock: AtomicU64::new(1),
+            stats: CacheStats::default(),
+        })
+    }
+
+    /// Structure name as allocated in the facility.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Caching discipline.
+    pub fn model(&self) -> CacheModel {
+        self.model
+    }
+
+    /// Attach a connector, allocating its local bit vector of `vector_len`
+    /// bits (one per local buffer). All bits start invalid.
+    pub fn connect(&self, vector_len: usize) -> CfResult<CacheConnection> {
+        if vector_len == 0 {
+            return Err(CfError::BadParameter("vector must have at least one bit"));
+        }
+        let mut vectors = self.vectors.lock();
+        let slot = (0..MAX_CONNECTORS).find(|&i| vectors[i].is_none()).ok_or(CfError::NoConnectorSlots)?;
+        let vector = Arc::new(BitVector::new(vector_len));
+        vectors[slot] = Some(Arc::clone(&vector));
+        self.active.fetch_or(1 << slot, Ordering::AcqRel);
+        Ok(CacheConnection { id: ConnId::from_raw(slot as u8), vector })
+    }
+
+    #[inline]
+    fn check_active(&self, conn: ConnId) -> CfResult<()> {
+        if self.active.load(Ordering::Relaxed) & conn.mask() == 0 {
+            Err(CfError::BadConnector)
+        } else {
+            Ok(())
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, name: &BlockName) -> &Shard {
+        let h = mix64(fnv1a64(name.as_bytes()));
+        &self.shards[(h as usize) % SHARD_COUNT]
+    }
+
+    fn tick(&self) -> u64 {
+        self.lru_clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Register interest in `name`, associating local buffer bit
+    /// `vector_index`, and return any current CF-cached copy.
+    ///
+    /// On return the connector's bit is **set** (valid): from this moment
+    /// any peer write will clear it via a cross-invalidate signal. The
+    /// caller must (re)fill its buffer from the returned data or from DASD
+    /// *after* this call, never before.
+    pub fn read_and_register(
+        &self,
+        conn: &CacheConnection,
+        name: BlockName,
+        vector_index: u32,
+    ) -> CfResult<RegisterResult> {
+        self.check_active(conn.id)?;
+        if vector_index as usize >= conn.vector.len() {
+            return Err(CfError::BadParameter("vector index out of range"));
+        }
+        self.stats.reads.incr();
+        let tick = self.tick();
+        let mut shard = self.shard_of(&name).write();
+        if !shard.contains_key(&name) {
+            drop(shard);
+            self.make_room_for_entry(&name)?;
+            shard = self.shard_of(&name).write();
+        }
+        let entry = shard.entry(name).or_insert_with(|| {
+            self.entry_count.fetch_add(1, Ordering::Relaxed);
+            DirEntry::new()
+        });
+        entry.interest[conn.id.index()] = Some(vector_index);
+        entry.lru_tick = tick;
+        conn.vector.set(vector_index as usize);
+        if entry.data.is_some() {
+            self.stats.read_hits.incr();
+        }
+        Ok(RegisterResult { data: entry.data.clone(), version: entry.version, changed: entry.changed })
+    }
+
+    /// Write a block and cross-invalidate every other registered connector.
+    ///
+    /// The caller is expected to hold serialization on the block (via a lock
+    /// structure); the CF enforces only directory consistency. Signals are
+    /// delivered by clearing each interested peer's registered bit — the
+    /// peer is not interrupted and its registration is removed (it must
+    /// re-register to become current again). The writer's own registration,
+    /// if any, remains valid.
+    pub fn write_and_invalidate(
+        &self,
+        conn: &CacheConnection,
+        name: BlockName,
+        data: &[u8],
+        kind: WriteKind,
+    ) -> CfResult<WriteResult> {
+        self.check_active(conn.id)?;
+        match (self.model, kind) {
+            (CacheModel::DirectoryOnly, WriteKind::CleanData | WriteKind::ChangedData) => {
+                return Err(CfError::WrongModel)
+            }
+            (CacheModel::StoreThrough, WriteKind::ChangedData) => return Err(CfError::WrongModel),
+            _ => {}
+        }
+        self.stats.writes.incr();
+        let tick = self.tick();
+        if kind != WriteKind::InvalidateOnly {
+            self.make_room_for_data(data.len())?;
+        }
+        let mut shard = self.shard_of(&name).write();
+        if !shard.contains_key(&name) {
+            drop(shard);
+            self.make_room_for_entry(&name)?;
+            shard = self.shard_of(&name).write();
+        }
+        let vectors = self.vectors.lock();
+        let entry = shard.entry(name).or_insert_with(|| {
+            self.entry_count.fetch_add(1, Ordering::Relaxed);
+            DirEntry::new()
+        });
+        let mut invalidated = 0;
+        for slot in 0..MAX_CONNECTORS {
+            if slot == conn.id.index() {
+                continue;
+            }
+            if let Some(idx) = entry.interest[slot].take() {
+                // The cross-invalidate signal: specialised link hardware
+                // clears the bit; no interrupt, no software on the target.
+                if let Some(v) = &vectors[slot] {
+                    v.clear(idx as usize);
+                }
+                invalidated += 1;
+            }
+        }
+        drop(vectors);
+        self.stats.xi_signals.add(invalidated as u64);
+        entry.version += 1;
+        entry.lru_tick = tick;
+        match kind {
+            WriteKind::InvalidateOnly => {
+                if let Some(old) = entry.data.take() {
+                    self.data_bytes.fetch_sub(old.len() as u64, Ordering::Relaxed);
+                }
+                entry.changed = false;
+            }
+            WriteKind::CleanData | WriteKind::ChangedData => {
+                if let Some(old) = entry.data.take() {
+                    self.data_bytes.fetch_sub(old.len() as u64, Ordering::Relaxed);
+                }
+                entry.data = Some(Arc::new(data.to_vec()));
+                self.data_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+                entry.changed = kind == WriteKind::ChangedData;
+            }
+        }
+        // Writer stays registered and valid.
+        if let Some(idx) = entry.interest[conn.id.index()] {
+            conn.vector.set(idx as usize);
+        }
+        Ok(WriteResult { invalidated, version: entry.version })
+    }
+
+    /// Remove this connector's registration for `name` (buffer steal).
+    pub fn unregister(&self, conn: &CacheConnection, name: BlockName) -> CfResult<()> {
+        self.check_active(conn.id)?;
+        let mut shard = self.shard_of(&name).write();
+        let entry = shard.get_mut(&name).ok_or(CfError::NoSuchEntry)?;
+        entry.interest[conn.id.index()] = None;
+        Ok(())
+    }
+
+    /// Enumerate changed blocks awaiting castout (oldest first, up to `max`).
+    pub fn castout_candidates(&self, max: usize) -> Vec<BlockName> {
+        let mut out: Vec<(u64, BlockName)> = Vec::new();
+        for shard in self.shards.iter() {
+            let shard = shard.read();
+            for (name, e) in shard.iter() {
+                if e.changed {
+                    out.push((e.lru_tick, *name));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.into_iter().take(max).map(|(_, n)| n).collect()
+    }
+
+    /// Read a changed block for castout, returning its data and version.
+    pub fn read_for_castout(&self, conn: &CacheConnection, name: BlockName) -> CfResult<(Arc<Vec<u8>>, u64)> {
+        self.check_active(conn.id)?;
+        let shard = self.shard_of(&name).read();
+        let entry = shard.get(&name).ok_or(CfError::NoSuchEntry)?;
+        if !entry.changed {
+            return Err(CfError::NoSuchEntry);
+        }
+        let data = entry.data.clone().ok_or(CfError::NoSuchEntry)?;
+        Ok((data, entry.version))
+    }
+
+    /// Complete a castout: mark the block unchanged if nobody re-wrote it
+    /// since `version` was read (otherwise the newer version stays changed).
+    pub fn complete_castout(&self, conn: &CacheConnection, name: BlockName, version: u64) -> CfResult<()> {
+        self.check_active(conn.id)?;
+        let mut shard = self.shard_of(&name).write();
+        let entry = shard.get_mut(&name).ok_or(CfError::NoSuchEntry)?;
+        if entry.version != version {
+            return Err(CfError::VersionMismatch { expected: version, found: entry.version });
+        }
+        entry.changed = false;
+        self.stats.castouts.incr();
+        Ok(())
+    }
+
+    /// Detach a connector. Its registrations disappear; **changed data
+    /// stays** so surviving members can cast it out (§2.5 recovery).
+    pub fn disconnect(&self, conn: &CacheConnection) -> CfResult<()> {
+        self.disconnect_by_id(conn.id)
+    }
+
+    /// Detach a connector by slot — used by peer recovery, which holds no
+    /// [`CacheConnection`] for the failed system.
+    pub fn disconnect_by_id(&self, conn: ConnId) -> CfResult<()> {
+        self.check_active(conn)?;
+        for shard in self.shards.iter() {
+            let mut shard = shard.write();
+            for e in shard.values_mut() {
+                e.interest[conn.index()] = None;
+            }
+        }
+        self.vectors.lock()[conn.index()] = None;
+        self.active.fetch_and(!conn.mask(), Ordering::AcqRel);
+        Ok(())
+    }
+
+    /// Number of directory entries in use.
+    pub fn entry_count(&self) -> usize {
+        self.entry_count.load(Ordering::Relaxed) as usize
+    }
+
+    /// Bytes of block data cached.
+    pub fn data_bytes(&self) -> usize {
+        self.data_bytes.load(Ordering::Relaxed) as usize
+    }
+
+    /// Count of changed blocks awaiting castout.
+    pub fn changed_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read().values().filter(|e| e.changed).count()).sum()
+    }
+
+    /// Registered interest for a block (tests/diagnostics).
+    pub fn interest_of(&self, name: BlockName) -> Option<Vec<ConnId>> {
+        let shard = self.shard_of(&name).read();
+        shard.get(&name).map(|e| {
+            (0..MAX_CONNECTORS)
+                .filter(|&i| e.interest[i].is_some())
+                .map(|i| ConnId::from_raw(i as u8))
+                .collect()
+        })
+    }
+
+    // ----- capacity management -----
+
+    fn make_room_for_entry(&self, _incoming: &BlockName) -> CfResult<()> {
+        while self.entry_count.load(Ordering::Relaxed) as usize >= self.directory_capacity {
+            if !self.reclaim_one(false) {
+                return Err(CfError::StructureFull);
+            }
+        }
+        Ok(())
+    }
+
+    fn make_room_for_data(&self, incoming: usize) -> CfResult<()> {
+        if incoming > self.data_capacity {
+            return Err(CfError::StructureFull);
+        }
+        while self.data_bytes.load(Ordering::Relaxed) as usize + incoming > self.data_capacity {
+            if !self.reclaim_one(true) {
+                return Err(CfError::StructureFull);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reclaim one unchanged directory entry (LRU-ish across shards),
+    /// cross-invalidating any registered connectors. Changed entries are
+    /// never reclaimed — they hold the only current copy of the data.
+    fn reclaim_one(&self, needs_data: bool) -> bool {
+        let mut best: Option<(u64, usize, BlockName)> = None;
+        for (si, shard) in self.shards.iter().enumerate() {
+            let shard = shard.read();
+            for (name, e) in shard.iter() {
+                if e.changed {
+                    continue;
+                }
+                if needs_data && e.data.is_none() {
+                    continue;
+                }
+                if best.is_none() || e.lru_tick < best.as_ref().unwrap().0 {
+                    best = Some((e.lru_tick, si, *name));
+                }
+            }
+        }
+        let Some((tick, si, name)) = best else { return false };
+        let mut shard = self.shards[si].write();
+        let Some(e) = shard.get(&name) else { return true };
+        if e.changed || e.lru_tick != tick {
+            return true; // raced with a write; caller re-checks capacity
+        }
+        let e = shard.remove(&name).unwrap();
+        let vectors = self.vectors.lock();
+        for slot in 0..MAX_CONNECTORS {
+            if let Some(idx) = e.interest[slot] {
+                if let Some(v) = &vectors[slot] {
+                    v.clear(idx as usize);
+                }
+                self.stats.xi_signals.incr();
+            }
+        }
+        if let Some(d) = e.data {
+            self.data_bytes.fetch_sub(d.len() as u64, Ordering::Relaxed);
+        }
+        self.entry_count.fetch_sub(1, Ordering::Relaxed);
+        self.stats.reclaims.incr();
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_in(entries: usize) -> CacheStructure {
+        CacheStructure::new("C", &CacheParams::store_in(entries)).unwrap()
+    }
+
+    #[test]
+    fn block_name_forms() {
+        let a = BlockName::from_bytes(b"DB.P1");
+        let b = BlockName::from_bytes(b"DB.P1");
+        assert_eq!(a, b);
+        assert_ne!(BlockName::from_parts(1, 2), BlockName::from_parts(1, 3));
+    }
+
+    #[test]
+    fn register_then_peer_write_invalidates_without_target_involvement() {
+        let c = store_in(64);
+        let a = c.connect(128).unwrap();
+        let b = c.connect(128).unwrap();
+        let blk = BlockName::from_parts(1, 42);
+
+        let r = c.read_and_register(&a, blk, 7).unwrap();
+        assert!(r.data.is_none(), "cold miss: CF has no copy yet");
+        assert!(a.is_valid(7), "registration validates the local bit");
+
+        // Peer writes the block: a's bit must be cleared; a does nothing.
+        let w = c.write_and_invalidate(&b, blk, b"v2", WriteKind::ChangedData).unwrap();
+        assert_eq!(w.invalidated, 1);
+        assert!(!a.is_valid(7), "cross-invalidate cleared the bit");
+
+        // a re-registers and refreshes from the CF copy: no DASD I/O.
+        let r = c.read_and_register(&a, blk, 7).unwrap();
+        assert_eq!(r.data.as_deref().map(|d| d.as_slice()), Some(&b"v2"[..]));
+        assert!(r.changed);
+        assert!(a.is_valid(7));
+    }
+
+    #[test]
+    fn xi_fans_out_only_to_registered_connectors() {
+        let c = store_in(64);
+        let conns: Vec<_> = (0..4).map(|_| c.connect(16).unwrap()).collect();
+        let blk = BlockName::from_parts(2, 7);
+        // Only conns 0 and 2 register.
+        c.read_and_register(&conns[0], blk, 0).unwrap();
+        c.read_and_register(&conns[2], blk, 0).unwrap();
+        let w = c.write_and_invalidate(&conns[3], blk, b"x", WriteKind::ChangedData).unwrap();
+        assert_eq!(w.invalidated, 2, "only the two registered peers are signalled");
+        assert!(!conns[0].is_valid(0));
+        assert!(!conns[1].is_valid(0), "never registered, bit never set");
+        assert!(!conns[2].is_valid(0));
+    }
+
+    #[test]
+    fn writer_keeps_its_own_registration_valid() {
+        let c = store_in(64);
+        let a = c.connect(16).unwrap();
+        let blk = BlockName::from_parts(3, 1);
+        c.read_and_register(&a, blk, 5).unwrap();
+        let w = c.write_and_invalidate(&a, blk, b"mine", WriteKind::ChangedData).unwrap();
+        assert_eq!(w.invalidated, 0);
+        assert!(a.is_valid(5), "writer's own copy stays valid");
+    }
+
+    #[test]
+    fn versions_increase_per_write() {
+        let c = store_in(64);
+        let a = c.connect(16).unwrap();
+        let blk = BlockName::from_parts(1, 1);
+        let w1 = c.write_and_invalidate(&a, blk, b"1", WriteKind::ChangedData).unwrap();
+        let w2 = c.write_and_invalidate(&a, blk, b"2", WriteKind::ChangedData).unwrap();
+        assert!(w2.version > w1.version);
+    }
+
+    #[test]
+    fn castout_cycle() {
+        let c = store_in(64);
+        let a = c.connect(16).unwrap();
+        let blk = BlockName::from_parts(9, 9);
+        c.write_and_invalidate(&a, blk, b"dirty", WriteKind::ChangedData).unwrap();
+        assert_eq!(c.changed_count(), 1);
+        let cands = c.castout_candidates(10);
+        assert_eq!(cands, vec![blk]);
+        let (data, ver) = c.read_for_castout(&a, blk).unwrap();
+        assert_eq!(data.as_slice(), b"dirty");
+        c.complete_castout(&a, blk, ver).unwrap();
+        assert_eq!(c.changed_count(), 0);
+        assert!(c.read_for_castout(&a, blk).is_err(), "no longer changed");
+    }
+
+    #[test]
+    fn castout_detects_concurrent_rewrite() {
+        let c = store_in(64);
+        let a = c.connect(16).unwrap();
+        let blk = BlockName::from_parts(9, 10);
+        c.write_and_invalidate(&a, blk, b"v1", WriteKind::ChangedData).unwrap();
+        let (_, ver) = c.read_for_castout(&a, blk).unwrap();
+        c.write_and_invalidate(&a, blk, b"v2", WriteKind::ChangedData).unwrap();
+        assert!(matches!(
+            c.complete_castout(&a, blk, ver),
+            Err(CfError::VersionMismatch { .. })
+        ));
+        assert_eq!(c.changed_count(), 1, "newer version still awaiting castout");
+    }
+
+    #[test]
+    fn changed_data_survives_disconnect() {
+        let c = store_in(64);
+        let a = c.connect(16).unwrap();
+        let blk = BlockName::from_parts(4, 4);
+        c.write_and_invalidate(&a, blk, b"dirty", WriteKind::ChangedData).unwrap();
+        c.disconnect(&a).unwrap();
+        let b = c.connect(16).unwrap();
+        let r = c.read_and_register(&b, blk, 0).unwrap();
+        assert_eq!(r.data.as_deref().map(|d| d.as_slice()), Some(&b"dirty"[..]));
+        assert!(r.changed, "survivor can cast out the failed member's data");
+    }
+
+    #[test]
+    fn directory_only_model_rejects_data_writes() {
+        let c = CacheStructure::new("D", &CacheParams::directory_only(16)).unwrap();
+        let a = c.connect(16).unwrap();
+        let blk = BlockName::from_parts(1, 1);
+        assert_eq!(
+            c.write_and_invalidate(&a, blk, b"x", WriteKind::ChangedData),
+            Err(CfError::WrongModel)
+        );
+        // InvalidateOnly works and still signals peers.
+        let b = c.connect(16).unwrap();
+        c.read_and_register(&b, blk, 3).unwrap();
+        let w = c.write_and_invalidate(&a, blk, b"", WriteKind::InvalidateOnly).unwrap();
+        assert_eq!(w.invalidated, 1);
+        assert!(!b.is_valid(3));
+    }
+
+    #[test]
+    fn reclaim_evicts_unchanged_lru_and_signals() {
+        let c = CacheStructure::new(
+            "C",
+            &CacheParams { directory_entries: 2, data_capacity: 1 << 20, model: CacheModel::StoreIn },
+        )
+        .unwrap();
+        let a = c.connect(16).unwrap();
+        let b1 = BlockName::from_parts(1, 1);
+        let b2 = BlockName::from_parts(1, 2);
+        let b3 = BlockName::from_parts(1, 3);
+        c.read_and_register(&a, b1, 0).unwrap();
+        c.read_and_register(&a, b2, 1).unwrap();
+        // Third entry forces reclaim of b1 (oldest, unchanged).
+        c.read_and_register(&a, b3, 2).unwrap();
+        assert_eq!(c.entry_count(), 2);
+        assert!(!a.is_valid(0), "evicted entry cross-invalidated its registrant");
+        assert!(a.is_valid(1) && a.is_valid(2));
+    }
+
+    #[test]
+    fn changed_entries_are_never_reclaimed() {
+        let c = CacheStructure::new(
+            "C",
+            &CacheParams { directory_entries: 1, data_capacity: 1 << 20, model: CacheModel::StoreIn },
+        )
+        .unwrap();
+        let a = c.connect(16).unwrap();
+        c.write_and_invalidate(&a, BlockName::from_parts(1, 1), b"dirty", WriteKind::ChangedData).unwrap();
+        assert_eq!(
+            c.read_and_register(&a, BlockName::from_parts(1, 2), 1).unwrap_err(),
+            CfError::StructureFull,
+            "the only entry is changed and cannot be evicted"
+        );
+    }
+
+    #[test]
+    fn data_capacity_enforced() {
+        let c = CacheStructure::new(
+            "C",
+            &CacheParams { directory_entries: 64, data_capacity: 10, model: CacheModel::StoreIn },
+        )
+        .unwrap();
+        let a = c.connect(16).unwrap();
+        assert_eq!(
+            c.write_and_invalidate(&a, BlockName::from_parts(1, 1), &[0u8; 11], WriteKind::ChangedData),
+            Err(CfError::StructureFull)
+        );
+    }
+
+    #[test]
+    fn stale_connection_rejected() {
+        let c = store_in(16);
+        let a = c.connect(16).unwrap();
+        c.disconnect(&a).unwrap();
+        assert_eq!(
+            c.read_and_register(&a, BlockName::from_parts(1, 1), 0).unwrap_err(),
+            CfError::BadConnector
+        );
+    }
+
+    #[test]
+    fn concurrent_writers_readers_converge() {
+        use std::sync::Arc as StdArc;
+        let c = StdArc::new(store_in(256));
+        let blk = BlockName::from_parts(7, 7);
+        let writer_conn = c.connect(16).unwrap();
+        let reader_conns: Vec<_> = (0..4).map(|_| c.connect(16).unwrap()).collect();
+        let mut handles = Vec::new();
+        {
+            let c = StdArc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u32 {
+                    c.write_and_invalidate(&writer_conn, blk, &i.to_be_bytes(), WriteKind::ChangedData)
+                        .unwrap();
+                }
+            }));
+        }
+        for conn in reader_conns {
+            let c = StdArc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                let mut last = 0u32;
+                for _ in 0..500 {
+                    if !conn.is_valid(0) {
+                        let r = c.read_and_register(&conn, blk, 0).unwrap();
+                        if let Some(d) = r.data {
+                            let v = u32::from_be_bytes(d.as_slice().try_into().unwrap());
+                            assert!(v >= last, "versions move forward: {v} >= {last}");
+                            last = v;
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let final_read = c.connect(16).unwrap();
+        let r = c.read_and_register(&final_read, blk, 0).unwrap();
+        assert_eq!(
+            r.data.as_deref().map(|d| d.as_slice()),
+            Some(&499u32.to_be_bytes()[..]),
+            "last write is the visible copy"
+        );
+    }
+}

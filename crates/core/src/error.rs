@@ -1,0 +1,89 @@
+//! Error type shared by all CF commands.
+
+use std::fmt;
+
+/// Result alias for CF commands.
+pub type CfResult<T> = Result<T, CfError>;
+
+/// Errors returned by Coupling Facility commands.
+///
+/// Real CF commands return response codes; we model the ones the exploiting
+/// software actually branches on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfError {
+    /// The named structure does not exist (or was deallocated).
+    NoSuchStructure(String),
+    /// A structure with this name already exists.
+    StructureExists(String),
+    /// The structure's storage budget is exhausted.
+    StructureFull,
+    /// The facility's total storage budget is exhausted.
+    FacilityFull,
+    /// All connector slots are in use.
+    NoConnectorSlots,
+    /// The connector slot is not active (stale ConnId after disconnect).
+    BadConnector,
+    /// The named entry does not exist.
+    NoSuchEntry,
+    /// A version comparison supplied with the command did not match.
+    VersionMismatch {
+        /// Version the command expected.
+        expected: u64,
+        /// Version actually found in the structure.
+        found: u64,
+    },
+    /// A serialized-list command was rejected because the named lock entry
+    /// is held (the §3.3.3 recovery-quiesce protocol).
+    LockHeld {
+        /// Connector currently holding the lock entry.
+        holder: crate::types::ConnId,
+    },
+    /// A lock-entry operation named a lock the issuer does not hold.
+    NotLockHolder,
+    /// Parameter outside the structure's allocated geometry.
+    BadParameter(&'static str),
+    /// The structure is of a different model than the command requires.
+    WrongModel,
+}
+
+impl fmt::Display for CfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfError::NoSuchStructure(n) => write!(f, "no such structure: {n}"),
+            CfError::StructureExists(n) => write!(f, "structure already allocated: {n}"),
+            CfError::StructureFull => write!(f, "structure storage exhausted"),
+            CfError::FacilityFull => write!(f, "facility storage exhausted"),
+            CfError::NoConnectorSlots => write!(f, "no free connector slots"),
+            CfError::BadConnector => write!(f, "connector not active"),
+            CfError::NoSuchEntry => write!(f, "no such entry"),
+            CfError::VersionMismatch { expected, found } => {
+                write!(f, "version mismatch: expected {expected}, found {found}")
+            }
+            CfError::LockHeld { holder } => write!(f, "serializing lock held by {holder}"),
+            CfError::NotLockHolder => write!(f, "issuer does not hold the named lock entry"),
+            CfError::BadParameter(p) => write!(f, "bad parameter: {p}"),
+            CfError::WrongModel => write!(f, "structure model mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ConnId;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(CfError::NoSuchStructure("L1".into()).to_string(), "no such structure: L1");
+        assert_eq!(
+            CfError::VersionMismatch { expected: 3, found: 4 }.to_string(),
+            "version mismatch: expected 3, found 4"
+        );
+        assert_eq!(
+            CfError::LockHeld { holder: ConnId::from_raw(2) }.to_string(),
+            "serializing lock held by CONN02"
+        );
+    }
+}

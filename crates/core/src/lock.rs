@@ -1,0 +1,797 @@
+//! CF lock structures (§3.3.1).
+//!
+//! A lock structure is a program-sized table of *lock table entries*. A
+//! software lock manager (e.g. the IRLM) hashes each resource name to an
+//! entry and asks the CF to record shared or exclusive interest. The CF
+//! grants compatible requests **CPU-synchronously**; on incompatibility it
+//! returns the identity of the connectors currently holding the entry so
+//! the requester can negotiate with exactly those peers ("selective
+//! cross-system communication for lock negotiation").
+//!
+//! Because many resources hash to one entry, a returned contention can be
+//! *false*: the holders' lock managers check their local tables for a real
+//! conflict on the specific resource name, and when none exists the
+//! requester records interest anyway with [`LockStructure::force_interest`].
+//! Interest in an entry therefore over-approximates real resource-level
+//! conflicts — which can cost extra negotiation messages but can never admit
+//! an unsafe grant. Experiment E10 measures how table size controls the
+//! false-contention rate.
+//!
+//! The structure also stores **record data**: persistent descriptions of
+//! modify-mode locks. Records survive an abnormal disconnection, which is
+//! what enables peer systems to perform *fast lock recovery* after an MVS
+//! failure (§2.5): the records name exactly the resources the dead system
+//! held, and the corresponding table interest is retained ("failed
+//! persistent") until recovery completes.
+
+use crate::error::{CfError, CfResult};
+use crate::hashing::hash_to_slot;
+use crate::stats::Counter;
+use crate::types::{ConnId, ConnMask, MAX_CONNECTORS};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Requested lock compatibility class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LockMode {
+    /// Compatible with other shared interest.
+    Shared,
+    /// Incompatible with any other interest.
+    Exclusive,
+}
+
+/// Allocation-time geometry of a lock structure.
+#[derive(Debug, Clone)]
+pub struct LockParams {
+    /// Number of lock table entries. The paper calls this "a
+    /// program-specifiable number of lock table entries".
+    pub entries: usize,
+    /// Maximum number of record-data elements (persistent locks).
+    pub record_capacity: usize,
+}
+
+impl LockParams {
+    /// Geometry with `entries` table entries and a proportional record area.
+    pub fn with_entries(entries: usize) -> Self {
+        LockParams { entries, record_capacity: entries.max(64) }
+    }
+}
+
+/// Outcome of a lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockResponse {
+    /// Interest recorded; the request completed CPU-synchronously.
+    Granted,
+    /// Incompatible interest exists. The CF returns the identity of the
+    /// holders so the requester can negotiate with exactly those systems.
+    Contention {
+        /// Every connector with interest in the entry (excluding requester).
+        holders: ConnMask,
+        /// The exclusive holder, if the entry is held exclusively.
+        exclusive: Option<ConnId>,
+    },
+}
+
+impl LockResponse {
+    /// True when the request was granted synchronously.
+    #[inline]
+    pub fn is_granted(&self) -> bool {
+        matches!(self, LockResponse::Granted)
+    }
+}
+
+/// How a connector leaves the structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisconnectMode {
+    /// Orderly shutdown: all interest and records are purged.
+    Normal,
+    /// System failure: table interest and record data are **retained**
+    /// ("failed persistent") until a peer completes recovery.
+    Abnormal,
+}
+
+/// Counters published by a lock structure.
+#[derive(Debug, Default)]
+pub struct LockStats {
+    /// Total lock requests.
+    pub requests: Counter,
+    /// Requests granted CPU-synchronously.
+    pub sync_grants: Counter,
+    /// Requests that hit entry-level contention.
+    pub contentions: Counter,
+    /// Interest recorded after software negotiation (false contention
+    /// resolved, or compatible-at-resource-level grants).
+    pub forced_interests: Counter,
+    /// Release commands processed.
+    pub releases: Counter,
+    /// Record-data elements written.
+    pub records_written: Counter,
+}
+
+/// Snapshot of the derived rates (for experiment output).
+#[derive(Debug, Clone, Copy)]
+pub struct LockRates {
+    /// Fraction of requests granted synchronously.
+    pub sync_grant_fraction: f64,
+    /// Fraction of requests that saw entry contention.
+    pub contention_fraction: f64,
+}
+
+// Lock table entry packing (one AtomicU64):
+//   bits 0..=31   shared-interest mask, one bit per connector slot
+//   bits 32..=39  exclusive owner slot + 1 (0 = none)
+//   bit 63        NEGOTIATE: the entry's interest under-represents the real
+//                 resource-level locks (a forced-exclusive was recorded as
+//                 shared interest); every request with foreign interest
+//                 present must negotiate. Cleared when the entry empties or
+//                 a sole remaining connector re-requests.
+const EXCL_SHIFT: u32 = 32;
+const EXCL_MASK: u64 = 0xFF << EXCL_SHIFT;
+const SHARE_MASK: u64 = 0xFFFF_FFFF;
+const NEG_FLAG: u64 = 1 << 63;
+
+#[inline]
+fn excl_of(word: u64) -> Option<ConnId> {
+    let raw = ((word & EXCL_MASK) >> EXCL_SHIFT) as u8;
+    if raw == 0 {
+        None
+    } else {
+        Some(ConnId::from_raw(raw - 1))
+    }
+}
+
+#[inline]
+fn share_of(word: u64) -> ConnMask {
+    (word & SHARE_MASK) as ConnMask
+}
+
+#[derive(Debug, Clone)]
+struct LockRecord {
+    mode: LockMode,
+    payload: Vec<u8>,
+}
+
+/// A persistent lock record returned by recovery queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetainedLock {
+    /// Resource name the failed connector held.
+    pub resource: Vec<u8>,
+    /// Mode it held the resource in.
+    pub mode: LockMode,
+    /// Lock-manager payload (e.g. owning transaction id).
+    pub payload: Vec<u8>,
+}
+
+/// A CF lock structure.
+#[derive(Debug)]
+pub struct LockStructure {
+    name: String,
+    table: Box<[AtomicU64]>,
+    /// Connector slots currently attached.
+    active: AtomicU32,
+    /// Connector slots that failed and whose interest is retained.
+    failed_persistent: AtomicU32,
+    /// Persistent record data: resource name -> per-connector record.
+    records: Mutex<HashMap<Vec<u8>, HashMap<u8, LockRecord>>>,
+    record_capacity: usize,
+    record_count: AtomicU64,
+    /// Published counters.
+    pub stats: LockStats,
+}
+
+impl LockStructure {
+    /// Build a standalone structure (facilities use this; also handy in tests).
+    pub fn new(name: &str, params: &LockParams) -> CfResult<Self> {
+        if params.entries == 0 {
+            return Err(CfError::BadParameter("lock table must have at least one entry"));
+        }
+        let table = (0..params.entries).map(|_| AtomicU64::new(0)).collect();
+        Ok(LockStructure {
+            name: name.to_string(),
+            table,
+            active: AtomicU32::new(0),
+            failed_persistent: AtomicU32::new(0),
+            records: Mutex::new(HashMap::new()),
+            record_capacity: params.record_capacity,
+            record_count: AtomicU64::new(0),
+            stats: LockStats::default(),
+        })
+    }
+
+    /// Structure name as allocated in the facility.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of lock table entries.
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Attach a new connector, assigning the lowest free slot.
+    pub fn connect(&self) -> CfResult<ConnId> {
+        loop {
+            let active = self.active.load(Ordering::Acquire);
+            let fp = self.failed_persistent.load(Ordering::Acquire);
+            let used = active | fp;
+            if used == u32::MAX {
+                return Err(CfError::NoConnectorSlots);
+            }
+            let slot = used.trailing_ones() as u8;
+            if slot as usize >= MAX_CONNECTORS {
+                return Err(CfError::NoConnectorSlots);
+            }
+            let bit = 1u32 << slot;
+            if self
+                .active
+                .compare_exchange(active, active | bit, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Ok(ConnId::from_raw(slot));
+            }
+        }
+    }
+
+    /// Attach claiming a *specific* slot — used by structure rebuild so a
+    /// connector keeps its identity (peer lock managers address each other
+    /// by connector slot).
+    pub fn connect_slot(&self, slot: ConnId) -> CfResult<ConnId> {
+        let bit = slot.mask();
+        if self.failed_persistent.load(Ordering::Acquire) & bit != 0 {
+            return Err(CfError::NoConnectorSlots);
+        }
+        let prev = self.active.fetch_or(bit, Ordering::AcqRel);
+        if prev & bit != 0 {
+            return Err(CfError::NoConnectorSlots);
+        }
+        Ok(slot)
+    }
+
+    #[inline]
+    fn check_active(&self, conn: ConnId) -> CfResult<()> {
+        if self.active.load(Ordering::Relaxed) & conn.mask() == 0 {
+            Err(CfError::BadConnector)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Hash a resource name to its lock table entry.
+    #[inline]
+    pub fn hash_resource(&self, name: &[u8]) -> usize {
+        hash_to_slot(name, self.table.len())
+    }
+
+    /// Request interest in a lock table entry.
+    ///
+    /// Compatible requests are granted synchronously; incompatible requests
+    /// return [`LockResponse::Contention`] carrying the holder set for
+    /// selective negotiation. The CF never blocks a requester.
+    pub fn request(&self, conn: ConnId, entry: usize, mode: LockMode) -> CfResult<LockResponse> {
+        self.check_active(conn)?;
+        if entry >= self.table.len() {
+            return Err(CfError::BadParameter("entry index out of range"));
+        }
+        self.stats.requests.incr();
+        let slot = &self.table[entry];
+        let me = conn.mask();
+        loop {
+            let cur = slot.load(Ordering::Acquire);
+            let share = share_of(cur);
+            let excl = excl_of(cur);
+            let others_share = share & !me;
+            let foreign_excl = excl.filter(|&e| e != conn);
+            let mut holders = others_share;
+            if let Some(e) = foreign_excl {
+                holders |= e.mask();
+            }
+            // An entry in NEGOTIATE state hides the real modes behind the
+            // interest bits: any foreign interest forces negotiation.
+            if cur & NEG_FLAG != 0 && holders != 0 {
+                self.stats.contentions.incr();
+                return Ok(LockResponse::Contention { holders, exclusive: foreign_excl });
+            }
+            let compatible = match mode {
+                LockMode::Shared => foreign_excl.is_none(),
+                LockMode::Exclusive => foreign_excl.is_none() && others_share == 0,
+            };
+            if !compatible {
+                self.stats.contentions.incr();
+                return Ok(LockResponse::Contention { holders, exclusive: foreign_excl });
+            }
+            // Sole interest (or precise state): representable exactly; the
+            // NEGOTIATE flag (only possible here when holders == 0) drops.
+            let new = match mode {
+                LockMode::Shared => (cur & !NEG_FLAG) | me as u64,
+                LockMode::Exclusive => {
+                    (cur & SHARE_MASK & !NEG_FLAG) | ((conn.raw() as u64 + 1) << EXCL_SHIFT)
+                }
+            };
+            if slot
+                .compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.stats.sync_grants.incr();
+                return Ok(LockResponse::Granted);
+            }
+        }
+    }
+
+    /// Record interest unconditionally after software negotiation resolved
+    /// a contention (false contention, or resource-level compatibility).
+    ///
+    /// Exclusive interest that cannot be represented exactly (some other
+    /// connector already has interest) is recorded as shared interest
+    /// **plus the NEGOTIATE flag**: from then on every request against the
+    /// entry with foreign interest present is forced through negotiation,
+    /// so the under-representation can never admit an unsafe synchronous
+    /// grant. The flag clears when the entry empties.
+    pub fn force_interest(&self, conn: ConnId, entry: usize, mode: LockMode) -> CfResult<()> {
+        self.check_active(conn)?;
+        if entry >= self.table.len() {
+            return Err(CfError::BadParameter("entry index out of range"));
+        }
+        self.stats.forced_interests.incr();
+        let slot = &self.table[entry];
+        let me = conn.mask();
+        loop {
+            let cur = slot.load(Ordering::Acquire);
+            let foreign_excl = excl_of(cur).filter(|&e| e != conn);
+            let others_share = share_of(cur) & !me;
+            let new = match mode {
+                LockMode::Exclusive if foreign_excl.is_none() && others_share == 0 => {
+                    (cur & SHARE_MASK) | ((conn.raw() as u64 + 1) << EXCL_SHIFT)
+                }
+                LockMode::Exclusive => cur | me as u64 | NEG_FLAG,
+                LockMode::Shared => cur | me as u64,
+            };
+            if slot
+                .compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Release this connector's interest in an entry.
+    ///
+    /// A connector's shared and exclusive interest are released together:
+    /// entry-level interest only says "this system may hold locks that hash
+    /// here", and the software lock manager calls release only when its last
+    /// resource-level lock hashing to the entry is gone.
+    pub fn release(&self, conn: ConnId, entry: usize) -> CfResult<()> {
+        self.check_active(conn)?;
+        if entry >= self.table.len() {
+            return Err(CfError::BadParameter("entry index out of range"));
+        }
+        self.stats.releases.incr();
+        self.clear_conn_from_entry(conn, entry);
+        Ok(())
+    }
+
+    fn clear_conn_from_entry(&self, conn: ConnId, entry: usize) {
+        let slot = &self.table[entry];
+        let me = conn.mask();
+        loop {
+            let cur = slot.load(Ordering::Acquire);
+            let mut new = cur & !(me as u64);
+            if excl_of(cur) == Some(conn) {
+                new &= !EXCL_MASK;
+            }
+            // Entry emptied: the NEGOTIATE flag (if any) has nothing left
+            // to protect.
+            if share_of(new) == 0 && excl_of(new).is_none() {
+                new = 0;
+            }
+            if new == cur
+                || slot
+                    .compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Read the raw holder set of an entry (diagnostics / tests).
+    pub fn holders(&self, entry: usize) -> (ConnMask, Option<ConnId>) {
+        let cur = self.table[entry].load(Ordering::Acquire);
+        (share_of(cur), excl_of(cur))
+    }
+
+    /// Whether the entry is in NEGOTIATE state (diagnostics / tests).
+    pub fn is_negotiate(&self, entry: usize) -> bool {
+        self.table[entry].load(Ordering::Acquire) & NEG_FLAG != 0
+    }
+
+    // ----- record data (persistent locks) -----
+
+    /// Write (or replace) the persistent record for `resource` owned by
+    /// `conn`. Records make modify-mode locks recoverable after a failure.
+    pub fn write_record(
+        &self,
+        conn: ConnId,
+        resource: &[u8],
+        mode: LockMode,
+        payload: &[u8],
+    ) -> CfResult<()> {
+        self.check_active(conn)?;
+        let mut records = self.records.lock();
+        let per_conn = records.entry(resource.to_vec()).or_default();
+        let is_new = !per_conn.contains_key(&conn.raw());
+        if is_new && self.record_count.load(Ordering::Relaxed) as usize >= self.record_capacity {
+            return Err(CfError::StructureFull);
+        }
+        per_conn.insert(conn.raw(), LockRecord { mode, payload: payload.to_vec() });
+        if is_new {
+            self.record_count.fetch_add(1, Ordering::Relaxed);
+        }
+        self.stats.records_written.incr();
+        Ok(())
+    }
+
+    /// Delete the persistent record for `resource` owned by `conn`.
+    pub fn delete_record(&self, conn: ConnId, resource: &[u8]) -> CfResult<()> {
+        self.check_active(conn)?;
+        let mut records = self.records.lock();
+        let Some(per_conn) = records.get_mut(resource) else {
+            return Err(CfError::NoSuchEntry);
+        };
+        if per_conn.remove(&conn.raw()).is_none() {
+            return Err(CfError::NoSuchEntry);
+        }
+        self.record_count.fetch_sub(1, Ordering::Relaxed);
+        if per_conn.is_empty() {
+            records.remove(resource);
+        }
+        Ok(())
+    }
+
+    /// Enumerate the retained locks of a connector. Peers call this during
+    /// recovery to learn exactly which resources the failed system held.
+    pub fn retained_locks(&self, conn: ConnId) -> Vec<RetainedLock> {
+        let records = self.records.lock();
+        let mut out: Vec<RetainedLock> = records
+            .iter()
+            .filter_map(|(resource, per_conn)| {
+                per_conn.get(&conn.raw()).map(|r| RetainedLock {
+                    resource: resource.clone(),
+                    mode: r.mode,
+                    payload: r.payload.clone(),
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| a.resource.cmp(&b.resource));
+        out
+    }
+
+    /// Current number of record-data elements.
+    pub fn record_count(&self) -> usize {
+        self.record_count.load(Ordering::Relaxed) as usize
+    }
+
+    // ----- connector lifecycle -----
+
+    /// Detach a connector.
+    ///
+    /// `Normal` purges all of its interest and records. `Abnormal` (system
+    /// failure) retains both: the slot becomes *failed persistent* and
+    /// incompatible requests keep seeing the dead connector in holder sets
+    /// until [`LockStructure::recovery_complete`] runs.
+    pub fn disconnect(&self, conn: ConnId, mode: DisconnectMode) -> CfResult<()> {
+        self.check_active(conn)?;
+        match mode {
+            DisconnectMode::Normal => {
+                self.purge_conn(conn);
+                self.active.fetch_and(!conn.mask(), Ordering::AcqRel);
+            }
+            DisconnectMode::Abnormal => {
+                self.failed_persistent.fetch_or(conn.mask(), Ordering::AcqRel);
+                self.active.fetch_and(!conn.mask(), Ordering::AcqRel);
+            }
+        }
+        Ok(())
+    }
+
+    /// Declare recovery for a failed-persistent connector complete: purge
+    /// its retained interest and records and free the slot.
+    pub fn recovery_complete(&self, conn: ConnId) -> CfResult<()> {
+        if self.failed_persistent.load(Ordering::Acquire) & conn.mask() == 0 {
+            return Err(CfError::BadConnector);
+        }
+        self.purge_conn(conn);
+        self.failed_persistent.fetch_and(!conn.mask(), Ordering::AcqRel);
+        Ok(())
+    }
+
+    /// True when the slot's interest is retained pending recovery.
+    pub fn is_failed_persistent(&self, conn: ConnId) -> bool {
+        self.failed_persistent.load(Ordering::Acquire) & conn.mask() != 0
+    }
+
+    fn purge_conn(&self, conn: ConnId) {
+        for entry in 0..self.table.len() {
+            self.clear_conn_from_entry(conn, entry);
+        }
+        let mut records = self.records.lock();
+        records.retain(|_, per_conn| {
+            if per_conn.remove(&conn.raw()).is_some() {
+                self.record_count.fetch_sub(1, Ordering::Relaxed);
+            }
+            !per_conn.is_empty()
+        });
+    }
+
+    /// Derived grant/contention rates (experiment output).
+    pub fn rates(&self) -> LockRates {
+        let req = self.stats.requests.get();
+        LockRates {
+            sync_grant_fraction: crate::stats::ratio(self.stats.sync_grants.get(), req),
+            contention_fraction: crate::stats::ratio(self.stats.contentions.get(), req),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn structure(entries: usize) -> LockStructure {
+        LockStructure::new("L", &LockParams::with_entries(entries)).unwrap()
+    }
+
+    #[test]
+    fn shared_requests_coexist() {
+        let s = structure(16);
+        let a = s.connect().unwrap();
+        let b = s.connect().unwrap();
+        assert!(s.request(a, 3, LockMode::Shared).unwrap().is_granted());
+        assert!(s.request(b, 3, LockMode::Shared).unwrap().is_granted());
+        let (share, excl) = s.holders(3);
+        assert_eq!(share, a.mask() | b.mask());
+        assert_eq!(excl, None);
+    }
+
+    #[test]
+    fn exclusive_conflicts_with_shared() {
+        let s = structure(16);
+        let a = s.connect().unwrap();
+        let b = s.connect().unwrap();
+        assert!(s.request(a, 0, LockMode::Shared).unwrap().is_granted());
+        match s.request(b, 0, LockMode::Exclusive).unwrap() {
+            LockResponse::Contention { holders, exclusive } => {
+                assert_eq!(holders, a.mask());
+                assert_eq!(exclusive, None);
+            }
+            other => panic!("expected contention, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exclusive_conflicts_with_exclusive_and_names_holder() {
+        let s = structure(16);
+        let a = s.connect().unwrap();
+        let b = s.connect().unwrap();
+        assert!(s.request(a, 5, LockMode::Exclusive).unwrap().is_granted());
+        match s.request(b, 5, LockMode::Exclusive).unwrap() {
+            LockResponse::Contention { holders, exclusive } => {
+                assert_eq!(holders, a.mask());
+                assert_eq!(exclusive, Some(a));
+            }
+            other => panic!("expected contention, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_blocked_by_foreign_exclusive_but_not_own() {
+        let s = structure(16);
+        let a = s.connect().unwrap();
+        let b = s.connect().unwrap();
+        assert!(s.request(a, 7, LockMode::Exclusive).unwrap().is_granted());
+        // Own exclusive does not block own shared.
+        assert!(s.request(a, 7, LockMode::Shared).unwrap().is_granted());
+        assert!(!s.request(b, 7, LockMode::Shared).unwrap().is_granted());
+    }
+
+    #[test]
+    fn release_frees_entry() {
+        let s = structure(16);
+        let a = s.connect().unwrap();
+        let b = s.connect().unwrap();
+        assert!(s.request(a, 2, LockMode::Exclusive).unwrap().is_granted());
+        s.release(a, 2).unwrap();
+        assert!(s.request(b, 2, LockMode::Exclusive).unwrap().is_granted());
+    }
+
+    #[test]
+    fn force_interest_after_false_contention_overapproximates() {
+        let s = structure(16);
+        let a = s.connect().unwrap();
+        let b = s.connect().unwrap();
+        let c = s.connect().unwrap();
+        assert!(s.request(a, 4, LockMode::Exclusive).unwrap().is_granted());
+        // b negotiates a false contention and records interest anyway.
+        s.force_interest(b, 4, LockMode::Exclusive).unwrap();
+        let (share, excl) = s.holders(4);
+        assert_eq!(excl, Some(a), "exclusive owner unchanged");
+        assert_eq!(share, b.mask(), "b recorded as shared interest");
+        // c now sees both in the holder set.
+        match s.request(c, 4, LockMode::Exclusive).unwrap() {
+            LockResponse::Contention { holders, .. } => assert_eq!(holders, a.mask() | b.mask()),
+            other => panic!("expected contention, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forced_exclusive_sets_negotiate_and_blocks_sync_shared_grants() {
+        let s = structure(16);
+        let a = s.connect().unwrap();
+        let b = s.connect().unwrap();
+        let c = s.connect().unwrap();
+        // a truly owns the entry; b forces an exclusive it holds on some
+        // other resource in the class (false contention resolution).
+        assert!(s.request(a, 4, LockMode::Exclusive).unwrap().is_granted());
+        s.force_interest(b, 4, LockMode::Exclusive).unwrap();
+        assert!(s.is_negotiate(4));
+        // a releases: the entry now shows only b's *shared* bit, but b's
+        // real lock is exclusive — a shared request MUST negotiate, not
+        // grant synchronously.
+        s.release(a, 4).unwrap();
+        match s.request(c, 4, LockMode::Shared).unwrap() {
+            LockResponse::Contention { holders, .. } => assert_eq!(holders, b.mask()),
+            other => panic!("expected negotiation, got {other:?}"),
+        }
+        // Once b releases too, the entry empties and the flag clears.
+        s.release(b, 4).unwrap();
+        assert!(!s.is_negotiate(4));
+        assert!(s.request(c, 4, LockMode::Shared).unwrap().is_granted());
+    }
+
+    #[test]
+    fn sole_holder_request_clears_negotiate() {
+        let s = structure(16);
+        let a = s.connect().unwrap();
+        let b = s.connect().unwrap();
+        s.request(a, 2, LockMode::Exclusive).unwrap();
+        s.force_interest(b, 2, LockMode::Exclusive).unwrap();
+        s.release(a, 2).unwrap();
+        // b is now sole interest; its own re-request normalises the entry.
+        assert!(s.request(b, 2, LockMode::Exclusive).unwrap().is_granted());
+        assert!(!s.is_negotiate(2));
+        // b keeps its own share bit alongside the exclusive ownership.
+        assert_eq!(s.holders(2), (b.mask(), Some(b)));
+    }
+
+    #[test]
+    fn force_interest_takes_exclusive_when_entry_free() {
+        let s = structure(16);
+        let a = s.connect().unwrap();
+        s.force_interest(a, 9, LockMode::Exclusive).unwrap();
+        assert_eq!(s.holders(9), (0, Some(a)));
+    }
+
+    #[test]
+    fn records_survive_abnormal_disconnect() {
+        let s = structure(16);
+        let a = s.connect().unwrap();
+        s.write_record(a, b"ACCT.1", LockMode::Exclusive, b"TXN42").unwrap();
+        s.write_record(a, b"ACCT.2", LockMode::Shared, b"TXN42").unwrap();
+        s.disconnect(a, DisconnectMode::Abnormal).unwrap();
+        assert!(s.is_failed_persistent(a));
+        let retained = s.retained_locks(a);
+        assert_eq!(retained.len(), 2);
+        assert_eq!(retained[0].resource, b"ACCT.1");
+        assert_eq!(retained[0].payload, b"TXN42");
+        // Recovery completes: records purged, slot reusable.
+        s.recovery_complete(a).unwrap();
+        assert!(s.retained_locks(a).is_empty());
+        assert!(!s.is_failed_persistent(a));
+        let again = s.connect().unwrap();
+        assert_eq!(again, a, "slot is reusable after recovery");
+    }
+
+    #[test]
+    fn normal_disconnect_purges_everything() {
+        let s = structure(16);
+        let a = s.connect().unwrap();
+        let b = s.connect().unwrap();
+        s.request(a, 1, LockMode::Exclusive).unwrap();
+        s.write_record(a, b"R", LockMode::Exclusive, b"").unwrap();
+        s.disconnect(a, DisconnectMode::Normal).unwrap();
+        assert_eq!(s.record_count(), 0);
+        assert!(s.request(b, 1, LockMode::Exclusive).unwrap().is_granted());
+        assert_eq!(s.request(a, 1, LockMode::Shared), Err(CfError::BadConnector));
+    }
+
+    #[test]
+    fn retained_interest_still_blocks_until_recovery() {
+        let s = structure(16);
+        let a = s.connect().unwrap();
+        let b = s.connect().unwrap();
+        s.request(a, 6, LockMode::Exclusive).unwrap();
+        s.disconnect(a, DisconnectMode::Abnormal).unwrap();
+        // b still sees a's retained interest — cannot grab exclusively.
+        assert!(!s.request(b, 6, LockMode::Exclusive).unwrap().is_granted());
+        s.recovery_complete(a).unwrap();
+        assert!(s.request(b, 6, LockMode::Exclusive).unwrap().is_granted());
+    }
+
+    #[test]
+    fn record_capacity_enforced() {
+        let s = LockStructure::new("L", &LockParams { entries: 4, record_capacity: 2 }).unwrap();
+        let a = s.connect().unwrap();
+        s.write_record(a, b"1", LockMode::Shared, b"").unwrap();
+        s.write_record(a, b"2", LockMode::Shared, b"").unwrap();
+        assert_eq!(s.write_record(a, b"3", LockMode::Shared, b""), Err(CfError::StructureFull));
+        // Replacement of an existing record is not a new element.
+        s.write_record(a, b"2", LockMode::Exclusive, b"x").unwrap();
+        s.delete_record(a, b"1").unwrap();
+        s.write_record(a, b"3", LockMode::Shared, b"").unwrap();
+    }
+
+    #[test]
+    fn stats_track_grants_and_contention() {
+        let s = structure(16);
+        let a = s.connect().unwrap();
+        let b = s.connect().unwrap();
+        s.request(a, 0, LockMode::Exclusive).unwrap();
+        s.request(b, 0, LockMode::Exclusive).unwrap(); // contention
+        s.request(b, 1, LockMode::Shared).unwrap();
+        let r = s.rates();
+        assert!((r.sync_grant_fraction - 2.0 / 3.0).abs() < 1e-9);
+        assert!((r.contention_fraction - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        let s = structure(4);
+        let a = s.connect().unwrap();
+        assert!(matches!(s.request(a, 4, LockMode::Shared), Err(CfError::BadParameter(_))));
+        assert!(LockStructure::new("Z", &LockParams::with_entries(0)).is_err());
+    }
+
+    #[test]
+    fn connector_slots_exhaust_and_recycle() {
+        let s = structure(4);
+        let conns: Vec<_> = (0..MAX_CONNECTORS).map(|_| s.connect().unwrap()).collect();
+        assert_eq!(s.connect(), Err(CfError::NoConnectorSlots));
+        s.disconnect(conns[10], DisconnectMode::Normal).unwrap();
+        assert_eq!(s.connect().unwrap().raw(), 10);
+    }
+
+    #[test]
+    fn concurrent_exclusive_requests_grant_exactly_one() {
+        use std::sync::Arc;
+        let s = Arc::new(structure(1));
+        let conns: Vec<_> = (0..8).map(|_| s.connect().unwrap()).collect();
+        let mut handles = Vec::new();
+        for &c in &conns {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                s.request(c, 0, LockMode::Exclusive).unwrap().is_granted()
+            }));
+        }
+        let granted = handles.into_iter().map(|h| h.join().unwrap()).filter(|&g| g).count();
+        assert_eq!(granted, 1, "exactly one racer wins the entry");
+    }
+
+    #[test]
+    fn concurrent_shared_requests_all_grant() {
+        use std::sync::Arc;
+        let s = Arc::new(structure(1));
+        let conns: Vec<_> = (0..8).map(|_| s.connect().unwrap()).collect();
+        let mut handles = Vec::new();
+        for &c in &conns {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                s.request(c, 0, LockMode::Shared).unwrap().is_granted()
+            }));
+        }
+        assert!(handles.into_iter().all(|h| h.join().unwrap()));
+        let (share, excl) = s.holders(0);
+        assert_eq!(share.count_ones(), 8);
+        assert_eq!(excl, None);
+    }
+}

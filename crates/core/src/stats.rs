@@ -1,0 +1,92 @@
+//! Contention-free statistics counters.
+//!
+//! The experiments (E10, E11, E2/E3) report rates such as the fraction of
+//! lock requests granted CPU-synchronously. Counters sit on the hot path of
+//! every CF command, so they are cache-padded relaxed atomics.
+
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A single monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(CachePadded<AtomicU64>);
+
+impl Counter {
+    /// New counter at zero.
+    pub const fn new() -> Self {
+        Counter(CachePadded::new(AtomicU64::new(0)))
+    }
+
+    /// Record one event.
+    #[inline]
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero (between benchmark phases).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Ratio helper: `num / den` as a fraction, 0 when the denominator is 0.
+pub fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counts_and_resets() {
+        let c = Counter::new();
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn concurrent_increments_all_land() {
+        let c = Arc::new(Counter::new());
+        let hs: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.incr();
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert_eq!(ratio(5, 0), 0.0);
+        assert!((ratio(1, 4) - 0.25).abs() < 1e-12);
+    }
+}

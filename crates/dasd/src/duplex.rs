@@ -1,0 +1,229 @@
+//! Duplexed volumes with hot-switch.
+//!
+//! §3.2: the operating-system state repositories (couple data sets) are
+//! kept on duplexed disks with "availability enhancements for planned and
+//! unplanned changes to the state repositories (e.g., 'hot switching' of
+//! the duplexed disks)". Writes are mirrored to both members; a member
+//! failure switches service to the survivor without interrupting I/O, and
+//! a replacement can be brought in and re-synchronised online.
+
+use crate::error::{IoError, IoResult};
+use crate::volume::Volume;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Which member currently serves reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActiveMember {
+    /// The primary member.
+    Primary,
+    /// The alternate member (after a hot switch).
+    Alternate,
+}
+
+/// A synchronously-mirrored pair of volumes.
+#[derive(Debug)]
+pub struct DuplexPair {
+    primary: RwLock<Option<Arc<Volume>>>,
+    alternate: RwLock<Option<Arc<Volume>>>,
+    /// Hot switches performed.
+    pub switches: AtomicU64,
+}
+
+impl DuplexPair {
+    /// Form a pair. The alternate is optional (simplex mode).
+    pub fn new(primary: Arc<Volume>, alternate: Option<Arc<Volume>>) -> Self {
+        DuplexPair {
+            primary: RwLock::new(Some(primary)),
+            alternate: RwLock::new(alternate),
+            switches: AtomicU64::new(0),
+        }
+    }
+
+    /// True when both members are present.
+    pub fn is_duplexed(&self) -> bool {
+        self.primary.read().is_some() && self.alternate.read().is_some()
+    }
+
+    /// Read from the active member; on its failure, hot-switch to the
+    /// survivor and retry.
+    pub fn read(&self, block: u64) -> IoResult<Vec<u8>> {
+        let primary = self.primary.read().clone();
+        if let Some(p) = primary {
+            match p.read(block) {
+                Ok(d) => return Ok(d),
+                Err(IoError::DeviceOffline) => self.hot_switch()?,
+                Err(e) => return Err(e),
+            }
+        } else {
+            self.hot_switch()?;
+        }
+        let p = self.primary.read().clone().ok_or(IoError::DuplexDown)?;
+        p.read(block)
+    }
+
+    /// Write to both members. A member that fails mid-write is dropped
+    /// from the pair (the survivor carries on simplex).
+    pub fn write(&self, block: u64, data: &[u8]) -> IoResult<()> {
+        let primary = self.primary.read().clone();
+        let alternate = self.alternate.read().clone();
+        let mut wrote = false;
+        if let Some(p) = &primary {
+            match p.write(block, data) {
+                Ok(()) => wrote = true,
+                Err(IoError::DeviceOffline) => {
+                    *self.primary.write() = None;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if let Some(a) = &alternate {
+            match a.write(block, data) {
+                Ok(()) => wrote = true,
+                Err(IoError::DeviceOffline) => {
+                    *self.alternate.write() = None;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if !wrote {
+            return Err(IoError::DuplexDown);
+        }
+        if self.primary.read().is_none() {
+            self.hot_switch()?;
+        }
+        Ok(())
+    }
+
+    /// Atomic read-modify-write applied to both members (primary decides
+    /// the result; the alternate mirrors the bytes).
+    pub fn update<R>(&self, block: u64, f: impl FnOnce(&mut Vec<u8>) -> R) -> IoResult<R> {
+        let primary = self.primary.read().clone();
+        let Some(p) = primary else {
+            self.hot_switch()?;
+            let p = self.primary.read().clone().ok_or(IoError::DuplexDown)?;
+            return self.update_on(&p, block, f);
+        };
+        match self.update_on(&p, block, f) {
+            Err(IoError::DeviceOffline) => {
+                *self.primary.write() = None;
+                self.hot_switch()?;
+                Err(IoError::DeviceOffline) // caller retries; state unchanged
+            }
+            other => other,
+        }
+    }
+
+    fn update_on<R>(&self, p: &Arc<Volume>, block: u64, f: impl FnOnce(&mut Vec<u8>) -> R) -> IoResult<R> {
+        let r = p.update(block, f)?;
+        let data = p.read(block)?;
+        if let Some(a) = self.alternate.read().clone() {
+            if a.write(block, &data) == Err(IoError::DeviceOffline) {
+                *self.alternate.write() = None;
+            }
+        }
+        Ok(r)
+    }
+
+    /// Promote the alternate to primary (member failure or planned swap).
+    pub fn hot_switch(&self) -> IoResult<()> {
+        let mut primary = self.primary.write();
+        let mut alternate = self.alternate.write();
+        let alt = alternate.take().ok_or(IoError::DuplexDown)?;
+        *primary = Some(alt);
+        self.switches.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Introduce a fresh alternate and re-synchronise it from the primary
+    /// (planned reconfiguration, §2.5).
+    pub fn replace_alternate(&self, new_alternate: Arc<Volume>) -> IoResult<()> {
+        let primary = self.primary.read().clone().ok_or(IoError::DuplexDown)?;
+        new_alternate.clone_contents_from(&primary);
+        *self.alternate.write() = Some(new_alternate);
+        Ok(())
+    }
+
+    /// Name of the member currently serving reads (diagnostics).
+    pub fn active_volume_name(&self) -> Option<String> {
+        self.primary.read().as_ref().map(|v| v.name().to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::volume::IoModel;
+
+    fn vol(name: &str) -> Arc<Volume> {
+        Arc::new(Volume::new(name, 100, IoModel::instant()))
+    }
+
+    #[test]
+    fn writes_mirror_to_both_members() {
+        let p = vol("P");
+        let a = vol("A");
+        let pair = DuplexPair::new(Arc::clone(&p), Some(Arc::clone(&a)));
+        pair.write(3, b"mirrored").unwrap();
+        assert_eq!(p.read(3).unwrap(), b"mirrored");
+        assert_eq!(a.read(3).unwrap(), b"mirrored");
+    }
+
+    #[test]
+    fn primary_failure_hot_switches_on_read() {
+        let p = vol("P");
+        let a = vol("A");
+        let pair = DuplexPair::new(Arc::clone(&p), Some(Arc::clone(&a)));
+        pair.write(1, b"v").unwrap();
+        p.set_online(false);
+        assert_eq!(pair.read(1).unwrap(), b"v", "read served by alternate after switch");
+        assert_eq!(pair.switches.load(Ordering::Relaxed), 1);
+        assert_eq!(pair.active_volume_name().as_deref(), Some("A"));
+    }
+
+    #[test]
+    fn primary_failure_during_write_keeps_survivor_current() {
+        let p = vol("P");
+        let a = vol("A");
+        let pair = DuplexPair::new(Arc::clone(&p), Some(Arc::clone(&a)));
+        p.set_online(false);
+        pair.write(2, b"solo").unwrap();
+        assert_eq!(pair.read(2).unwrap(), b"solo");
+        assert!(!pair.is_duplexed(), "now simplex on the survivor");
+    }
+
+    #[test]
+    fn both_members_down_is_fatal() {
+        let p = vol("P");
+        let a = vol("A");
+        let pair = DuplexPair::new(Arc::clone(&p), Some(Arc::clone(&a)));
+        p.set_online(false);
+        a.set_online(false);
+        assert_eq!(pair.write(0, b"x").unwrap_err(), IoError::DuplexDown);
+    }
+
+    #[test]
+    fn replace_alternate_resynchronises() {
+        let p = vol("P");
+        let a = vol("A");
+        let pair = DuplexPair::new(Arc::clone(&p), Some(a));
+        pair.write(7, b"seven").unwrap();
+        pair.hot_switch().unwrap(); // planned swap: A is now primary
+        let fresh = vol("B");
+        pair.replace_alternate(Arc::clone(&fresh)).unwrap();
+        assert!(pair.is_duplexed());
+        assert_eq!(fresh.read(7).unwrap(), b"seven", "fresh member carries current data");
+        pair.write(8, b"eight").unwrap();
+        assert_eq!(fresh.read(8).unwrap(), b"eight");
+    }
+
+    #[test]
+    fn update_mirrors_result() {
+        let p = vol("P");
+        let a = vol("A");
+        let pair = DuplexPair::new(Arc::clone(&p), Some(Arc::clone(&a)));
+        pair.update(0, |d| d.extend_from_slice(b"abc")).unwrap();
+        assert_eq!(a.read(0).unwrap(), b"abc");
+    }
+}

@@ -1,0 +1,62 @@
+//! I/O error type.
+
+use std::fmt;
+
+/// Result alias for DASD operations.
+pub type IoResult<T> = Result<T, IoError>;
+
+/// Errors surfaced by the DASD substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoError {
+    /// Block number beyond the volume's extent.
+    OutOfExtent {
+        /// Requested block.
+        block: u64,
+        /// Volume capacity in blocks.
+        capacity: u64,
+    },
+    /// Record too large for a block.
+    BlockTooLarge(usize),
+    /// Every channel path to the device has failed.
+    NoPaths,
+    /// The issuing system has been fenced from I/O (fail-stop isolation).
+    Fenced(u8),
+    /// The named volume does not exist.
+    NoSuchVolume(String),
+    /// A volume with this name already exists.
+    VolumeExists(String),
+    /// Both members of a duplex pair have failed.
+    DuplexDown,
+    /// The device has been varied offline (failure injection).
+    DeviceOffline,
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::OutOfExtent { block, capacity } => {
+                write!(f, "block {block} beyond extent (capacity {capacity})")
+            }
+            IoError::BlockTooLarge(n) => write!(f, "record of {n} bytes exceeds block size"),
+            IoError::NoPaths => write!(f, "no operational channel paths"),
+            IoError::Fenced(s) => write!(f, "system SYS{s:02} is fenced from I/O"),
+            IoError::NoSuchVolume(v) => write!(f, "no such volume: {v}"),
+            IoError::VolumeExists(v) => write!(f, "volume already exists: {v}"),
+            IoError::DuplexDown => write!(f, "both duplex members failed"),
+            IoError::DeviceOffline => write!(f, "device offline"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(IoError::NoPaths.to_string(), "no operational channel paths");
+        assert_eq!(IoError::Fenced(3).to_string(), "system SYS03 is fenced from I/O");
+    }
+}

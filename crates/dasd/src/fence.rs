@@ -1,0 +1,81 @@
+//! I/O fencing — fail-stop isolation of sick systems.
+//!
+//! §3.2: "functions are also provided to automatically terminate a failed
+//! processor and disconnect the processor from its I/O devices. This
+//! enables other multi-system components to be designed with a 'fail-stop'
+//! strategy (to prevent problems from processors that appear faulty because
+//! of the heartbeat function and then resume processing)."
+//!
+//! [`FenceControl`] is the shared switchgear: the heartbeat monitor fences
+//! a system, and from that instant every I/O the zombie issues is rejected
+//! — even if its threads are still running.
+
+use crate::error::{IoError, IoResult};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Sysplex-wide fence state, one bit per system.
+#[derive(Debug, Default)]
+pub struct FenceControl {
+    fenced: AtomicU32,
+}
+
+impl FenceControl {
+    /// All systems unfenced.
+    pub fn new() -> Self {
+        FenceControl::default()
+    }
+
+    /// Fence a system: its I/O is rejected from now on.
+    pub fn fence(&self, system: u8) {
+        self.fenced.fetch_or(1 << system, Ordering::AcqRel);
+    }
+
+    /// Lift the fence (system re-IPLed and rejoining).
+    pub fn unfence(&self, system: u8) {
+        self.fenced.fetch_and(!(1 << system), Ordering::AcqRel);
+    }
+
+    /// Whether a system is fenced.
+    pub fn is_fenced(&self, system: u8) -> bool {
+        self.fenced.load(Ordering::Acquire) & (1 << system) != 0
+    }
+
+    /// Gate an I/O request.
+    pub fn check(&self, system: u8) -> IoResult<()> {
+        if self.is_fenced(system) {
+            Err(IoError::Fenced(system))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Count of fenced systems.
+    pub fn fenced_count(&self) -> u32 {
+        self.fenced.load(Ordering::Acquire).count_ones()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fence_lifecycle() {
+        let f = FenceControl::new();
+        assert!(f.check(3).is_ok());
+        f.fence(3);
+        assert!(f.is_fenced(3));
+        assert_eq!(f.check(3).unwrap_err(), IoError::Fenced(3));
+        assert!(f.check(4).is_ok(), "other systems unaffected");
+        f.unfence(3);
+        assert!(f.check(3).is_ok());
+    }
+
+    #[test]
+    fn multiple_fences_counted() {
+        let f = FenceControl::new();
+        f.fence(0);
+        f.fence(31);
+        assert_eq!(f.fenced_count(), 2);
+    }
+}

@@ -1,0 +1,507 @@
+//! The coherent local buffer pool — §3.3.2's protocol, end to end.
+//!
+//! Each system's [`BufferManager`] owns a pool of page frames; frame *i* is
+//! permanently associated with bit *i* of the system's local bit vector.
+//! The read path is exactly the paper's:
+//!
+//! 1. Hit + valid bit → return the local copy. **No CF access** — this is
+//!    the nanosecond path that makes local caching of shared data viable.
+//! 2. Hit + invalid bit → a peer updated the page; re-register with the CF
+//!    and refresh from the CF's global copy (µs) or, failing that, DASD
+//!    (ms).
+//! 3. Miss → register and read from CF or DASD into a (possibly stolen)
+//!    frame.
+//!
+//! Writes go to the CF as **changed data** (store-in): one command updates
+//! the global copy and cross-invalidates every registered peer. A castout
+//! sweep later destages changed pages to DASD.
+
+use crate::error::{DbError, DbResult};
+use crate::pagestore::{Page, PageStore};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+use sysplex_core::cache::{BlockName, CacheConnection, CacheStructure, WriteKind};
+use sysplex_core::stats::Counter;
+use sysplex_core::{CfError, SystemId};
+
+/// Counters published by a buffer manager.
+#[derive(Debug, Default)]
+pub struct BufStats {
+    /// Reads satisfied by a valid local frame (no CF access).
+    pub local_hits: Counter,
+    /// Reads that found the local frame cross-invalidated.
+    pub coherency_misses: Counter,
+    /// Refreshes served by the CF global cache (no DASD I/O).
+    pub cf_refreshes: Counter,
+    /// Refreshes that had to read DASD.
+    pub dasd_reads: Counter,
+    /// Page writes (CF write + cross-invalidate).
+    pub writes: Counter,
+    /// Changed pages cast out to DASD.
+    pub castouts: Counter,
+}
+
+#[derive(Debug, Default, Clone)]
+struct Frame {
+    name: Option<BlockName>,
+    data: Vec<u8>,
+}
+
+#[derive(Debug)]
+struct PoolInner {
+    frames: Vec<Frame>,
+    map: HashMap<BlockName, usize>,
+    rotor: usize,
+}
+
+/// The buffer manager's current CF attachment. Swapped under the rebuild
+/// gate when the group buffer is rebuilt into another CF. With duplexing
+/// enabled, `secondary` receives a copy of every changed-data write, so a
+/// CF loss fails over with the changed data intact (no destage needed).
+#[derive(Debug, Clone)]
+struct CacheTarget {
+    cache: Arc<CacheStructure>,
+    conn: CacheConnection,
+    secondary: Option<(Arc<CacheStructure>, CacheConnection)>,
+}
+
+/// A per-system buffer pool coherent across the data-sharing group.
+pub struct BufferManager {
+    system: SystemId,
+    /// Current structure + connection; reads hold the read guard, group
+    /// buffer rebuild holds the write guard (quiescing CF traffic).
+    cf: RwLock<CacheTarget>,
+    store: Arc<PageStore>,
+    frame_count: usize,
+    // One latch for the pool: the protected work is pointer-sized and the
+    // expensive operations (CF commands, DASD reads) happen with the CF's
+    // own synchronisation, re-validated against the bit vector afterwards.
+    inner: Mutex<PoolInner>,
+    /// Published counters.
+    pub stats: BufStats,
+}
+
+impl BufferManager {
+    /// Connect a pool of `frames` frames to the cache structure.
+    pub fn new(
+        system: SystemId,
+        cache: Arc<CacheStructure>,
+        store: Arc<PageStore>,
+        frames: usize,
+    ) -> DbResult<Self> {
+        assert!(frames > 0);
+        let conn = cache.connect(frames)?;
+        Ok(BufferManager {
+            system,
+            cf: RwLock::new(CacheTarget { cache, conn, secondary: None }),
+            store,
+            frame_count: frames,
+            inner: Mutex::new(PoolInner {
+                frames: vec![Frame::default(); frames],
+                map: HashMap::new(),
+                rotor: 0,
+            }),
+            stats: BufStats::default(),
+        })
+    }
+
+    /// The cache-structure connector slot (recovery bookkeeping).
+    pub fn conn_id(&self) -> sysplex_core::ConnId {
+        self.cf.read().conn.id
+    }
+
+    /// Read a page image, coherently.
+    pub fn get_image(&self, page: u64) -> DbResult<Vec<u8>> {
+        let name = self.store.block_name(page);
+        let cf = self.cf.read();
+        loop {
+            // Fast path: valid local frame. The validity test is a local
+            // bit-vector load — never a CF command.
+            {
+                let inner = self.inner.lock();
+                if let Some(&idx) = inner.map.get(&name) {
+                    if cf.conn.is_valid(idx as u32) {
+                        self.stats.local_hits.incr();
+                        return Ok(inner.frames[idx].data.clone());
+                    }
+                }
+            }
+            // Slow path: (re-)register and refresh.
+            if let Some(image) = self.refresh(&cf, page, name)? {
+                return Ok(image);
+            }
+            // A racing peer write invalidated us mid-refresh; go again.
+        }
+    }
+
+    /// Read and decode a page, coherently.
+    pub fn get_page(&self, page: u64) -> DbResult<Page> {
+        Page::decode(&self.get_image(page)?, page)
+    }
+
+    fn frame_for(&self, cf: &CacheTarget, name: BlockName) -> usize {
+        let mut inner = self.inner.lock();
+        if let Some(&idx) = inner.map.get(&name) {
+            return idx;
+        }
+        // Steal the next frame round-robin.
+        let idx = inner.rotor % inner.frames.len();
+        inner.rotor += 1;
+        if let Some(old) = inner.frames[idx].name.take() {
+            inner.map.remove(&old);
+            let _ = cf.cache.unregister(&cf.conn, old);
+        }
+        inner.frames[idx].name = Some(name);
+        inner.map.insert(name, idx);
+        idx
+    }
+
+    /// Register interest and refill the frame. Returns `None` when a
+    /// concurrent peer write invalidated the frame again before we
+    /// finished (caller retries).
+    fn refresh(&self, cf: &CacheTarget, page: u64, name: BlockName) -> DbResult<Option<Vec<u8>>> {
+        let idx = self.frame_for(cf, name);
+        let was_tracked = {
+            let inner = self.inner.lock();
+            inner.map.get(&name) == Some(&idx) && inner.frames[idx].name == Some(name)
+        };
+        if !was_tracked {
+            return Ok(None); // frame stolen concurrently; retry
+        }
+        let reg = cf.cache.read_and_register(&cf.conn, name, idx as u32)?;
+        let image = match reg.data {
+            Some(d) => {
+                self.stats.cf_refreshes.incr();
+                (*d).clone()
+            }
+            None => {
+                self.stats.dasd_reads.incr();
+                let img = self.store.read_image(self.system.0, page)?;
+                // If a peer wrote while we were at the disk, our bit is
+                // already clear and this (possibly stale) image must not be
+                // served.
+                if !cf.conn.is_valid(idx as u32) {
+                    self.stats.coherency_misses.incr();
+                    return Ok(None);
+                }
+                img
+            }
+        };
+        let mut inner = self.inner.lock();
+        if inner.frames.get(idx).and_then(|f| f.name) == Some(name) {
+            inner.frames[idx].data = image.clone();
+        }
+        if !cf.conn.is_valid(idx as u32) {
+            self.stats.coherency_misses.incr();
+            return Ok(None);
+        }
+        Ok(Some(image))
+    }
+
+    /// Write a page image: local frame + CF changed-data write with
+    /// cross-invalidation of all registered peers. The caller must hold
+    /// page serialization (the P-lock).
+    pub fn put_image(&self, page: u64, image: &[u8]) -> DbResult<()> {
+        let name = self.store.block_name(page);
+        let cf = self.cf.read();
+        let idx = self.frame_for(&cf, name);
+        // Register so the CF tracks us as a current holder.
+        cf.cache.read_and_register(&cf.conn, name, idx as u32)?;
+        {
+            let mut inner = self.inner.lock();
+            if inner.frames.get(idx).and_then(|f| f.name) == Some(name) {
+                inner.frames[idx].data = image.to_vec();
+            }
+        }
+        cf.cache.write_and_invalidate(&cf.conn, name, image, WriteKind::ChangedData)?;
+        if let Some((sec, sec_conn)) = &cf.secondary {
+            // Duplexed write: the secondary holds no registrations (it is
+            // a data vault, not a coherency point), so this is a pure
+            // changed-data store.
+            sec.write_and_invalidate(sec_conn, name, image, WriteKind::ChangedData)?;
+        }
+        self.stats.writes.incr();
+        Ok(())
+    }
+
+    /// Encode and write a page.
+    pub fn put_page(&self, page: u64, p: &Page) -> DbResult<()> {
+        self.put_image(page, &p.encode())
+    }
+
+    /// Destage up to `max` changed pages to DASD. Returns how many were
+    /// cast out. Any member of the group can run this — including for
+    /// pages a failed member left behind.
+    pub fn castout(&self, max: usize) -> DbResult<usize> {
+        let cf = self.cf.read();
+        self.castout_inner(&cf, max)
+    }
+
+    fn castout_inner(&self, cf: &CacheTarget, max: usize) -> DbResult<usize> {
+        let mut done = 0;
+        for name in cf.cache.castout_candidates(max) {
+            let Some(page) = self.store.page_of_block(&name) else { continue };
+            let (data, version) = match cf.cache.read_for_castout(&cf.conn, name) {
+                Ok(x) => x,
+                Err(CfError::NoSuchEntry) => continue, // raced with another castout
+                Err(e) => return Err(e.into()),
+            };
+            self.store.write_image(self.system.0, page, &data)?;
+            match cf.cache.complete_castout(&cf.conn, name, version) {
+                Ok(()) | Err(CfError::VersionMismatch { .. }) => {}
+                Err(e) => return Err(e.into()),
+            }
+            if let Some((sec, sec_conn)) = &cf.secondary {
+                // Clear the duplexed copy's changed state too.
+                if let Ok((_, v)) = sec.read_for_castout(sec_conn, name) {
+                    let _ = sec.complete_castout(sec_conn, name, v);
+                }
+            }
+            done += 1;
+            self.stats.castouts.incr();
+        }
+        Ok(done)
+    }
+
+    /// Whether group-buffer duplexing is active.
+    pub fn is_duplexed(&self) -> bool {
+        self.cf.read().secondary.is_some()
+    }
+
+    /// Enable group-buffer duplexing: attach every member to `secondary`
+    /// and copy the primary's current changed data into it, after which
+    /// every changed-data write is mirrored.
+    pub fn enable_duplexing(managers: &[&BufferManager], secondary: Arc<CacheStructure>) -> DbResult<()> {
+        let mut guards: Vec<_> = managers.iter().map(|m| m.cf.write()).collect();
+        // Attach all members first.
+        let sec_conns: Vec<CacheConnection> = managers
+            .iter()
+            .map(|m| secondary.connect(m.frame_count))
+            .collect::<Result<_, _>>()?;
+        // One member copies the existing changed data across.
+        if let (Some(guard), Some(sec_conn)) = (guards.first(), sec_conns.first()) {
+            for name in guard.cache.castout_candidates(usize::MAX >> 1) {
+                if let Ok((data, _)) = guard.cache.read_for_castout(&guard.conn, name) {
+                    secondary.write_and_invalidate(sec_conn, name, &data, WriteKind::ChangedData)?;
+                }
+            }
+        }
+        for (guard, sec_conn) in guards.iter_mut().zip(sec_conns) {
+            guard.secondary = Some((Arc::clone(&secondary), sec_conn));
+        }
+        Ok(())
+    }
+
+    /// The primary CF is gone: promote the secondary on every member.
+    /// Changed data is already there; local pools are invalidated (their
+    /// registrations died with the primary directory).
+    pub fn failover_all(managers: &[&BufferManager]) -> DbResult<()> {
+        let mut guards: Vec<_> = managers.iter().map(|m| m.cf.write()).collect();
+        for (manager, guard) in managers.iter().zip(guards.iter_mut()) {
+            let Some((sec, old_conn)) = guard.secondary.take() else {
+                return Err(DbError::Cf(CfError::WrongModel));
+            };
+            // Reconnect for a fresh registration vector on the promoted
+            // structure (the duplex-time connection carried no
+            // registrations).
+            let _ = sec.disconnect(&old_conn);
+            let conn = sec.connect(manager.frame_count)?;
+            {
+                let mut inner = manager.inner.lock();
+                inner.map.clear();
+                for f in inner.frames.iter_mut() {
+                    *f = Frame::default();
+                }
+            }
+            guard.cache = sec;
+            guard.conn = conn;
+        }
+        Ok(())
+    }
+
+    /// Rebuild the group buffer of a whole data-sharing group into a fresh
+    /// cache structure (planned CF maintenance / CF failure).
+    ///
+    /// Protocol: quiesce every member's CF cache traffic, destage all
+    /// changed data from the old structure to DASD (so the new structure
+    /// starts clean and DASD is the source of truth), then reconnect every
+    /// member and invalidate its local pool.
+    pub fn rebuild_all(managers: &[&BufferManager], new: Arc<CacheStructure>) -> DbResult<()> {
+        let mut guards: Vec<_> = managers.iter().map(|m| m.cf.write()).collect();
+        // Drain changed data through the first member's old attachment.
+        if let (Some(first), Some(guard)) = (managers.first(), guards.first()) {
+            while guard.cache.changed_count() > 0 {
+                if first.castout_inner(guard, 1024)? == 0 {
+                    break;
+                }
+            }
+        }
+        for (manager, guard) in managers.iter().zip(guards.iter_mut()) {
+            let _ = guard.cache.disconnect(&guard.conn);
+            let conn = new.connect(manager.frame_count)?;
+            {
+                let mut inner = manager.inner.lock();
+                inner.map.clear();
+                for f in inner.frames.iter_mut() {
+                    *f = Frame::default();
+                }
+            }
+            guard.cache = Arc::clone(&new);
+            guard.conn = conn;
+            guard.secondary = None;
+        }
+        Ok(())
+    }
+
+    /// Orderly detach.
+    pub fn detach(&self) {
+        let cf = self.cf.read();
+        let _ = cf.cache.disconnect(&cf.conn);
+    }
+}
+
+impl std::fmt::Debug for BufferManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferManager").field("system", &self.system).field("conn", &self.conn_id()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysplex_core::cache::CacheParams;
+    use sysplex_dasd::farm::DasdFarm;
+    use sysplex_dasd::volume::IoModel;
+
+    struct Rig {
+        cache: Arc<CacheStructure>,
+        store: Arc<PageStore>,
+    }
+
+    fn rig() -> Rig {
+        let farm = DasdFarm::new(IoModel::instant());
+        farm.add_volume("DB0001", 128, 4).unwrap();
+        let store = PageStore::new(farm, "DB0001", 1, 128);
+        let cache = Arc::new(CacheStructure::new("GBP0", &CacheParams::store_in(256)).unwrap());
+        Rig { cache, store }
+    }
+
+    fn bm(r: &Rig, sys: u8) -> BufferManager {
+        BufferManager::new(SystemId::new(sys), Arc::clone(&r.cache), Arc::clone(&r.store), 32).unwrap()
+    }
+
+    #[test]
+    fn cold_read_hits_dasd_then_local() {
+        let r = rig();
+        let mut page = Page::new();
+        page.set(5, b"five");
+        r.store.write_image(0, 5, &page.encode()).unwrap();
+        let a = bm(&r, 0);
+        assert_eq!(a.get_page(5).unwrap().get(5).unwrap(), b"five");
+        assert_eq!(a.stats.dasd_reads.get(), 1);
+        // Second read: pure local hit.
+        a.get_page(5).unwrap();
+        assert_eq!(a.stats.local_hits.get(), 1);
+        assert_eq!(a.stats.dasd_reads.get(), 1);
+    }
+
+    #[test]
+    fn peer_write_invalidates_and_refreshes_from_cf_not_dasd() {
+        let r = rig();
+        let a = bm(&r, 0);
+        let b = bm(&r, 1);
+        a.get_page(7).unwrap(); // registers a
+        let mut p = Page::new();
+        p.set(7, b"from-b");
+        b.put_page(7, &p).unwrap();
+        // a's next read must see b's version, served from the CF.
+        let before_dasd = a.stats.dasd_reads.get();
+        assert_eq!(a.get_page(7).unwrap().get(7).unwrap(), b"from-b");
+        assert_eq!(a.stats.dasd_reads.get(), before_dasd, "refresh came from the CF global cache");
+        assert!(a.stats.cf_refreshes.get() >= 1);
+    }
+
+    #[test]
+    fn castout_destages_to_dasd() {
+        let r = rig();
+        let a = bm(&r, 0);
+        let mut p = Page::new();
+        p.set(3, b"dirty");
+        a.put_page(3, &p).unwrap();
+        assert_eq!(r.cache.changed_count(), 1);
+        assert_eq!(a.castout(16).unwrap(), 1);
+        assert_eq!(r.cache.changed_count(), 0);
+        // DASD now has the current image.
+        assert_eq!(r.store.read_page(0, 3).unwrap().get(3).unwrap(), b"dirty");
+    }
+
+    #[test]
+    fn survivor_casts_out_failed_members_pages() {
+        let r = rig();
+        let a = bm(&r, 0);
+        let b = bm(&r, 1);
+        let mut p = Page::new();
+        p.set(9, b"orphaned");
+        a.put_page(9, &p).unwrap();
+        // a "fails": disconnect by id, as recovery would.
+        r.cache.disconnect_by_id(a.conn_id()).unwrap();
+        assert_eq!(b.castout(16).unwrap(), 1, "survivor destages the orphaned page");
+        assert_eq!(r.store.read_page(1, 9).unwrap().get(9).unwrap(), b"orphaned");
+    }
+
+    #[test]
+    fn frame_steal_recycles_pool() {
+        let r = rig();
+        let a = BufferManager::new(SystemId::new(0), Arc::clone(&r.cache), Arc::clone(&r.store), 4).unwrap();
+        for page in 0..16 {
+            a.get_page(page).unwrap();
+        }
+        // All 16 pages were readable through only 4 frames.
+        assert!(a.stats.dasd_reads.get() >= 16);
+        // Re-reading the most recent page is still a hit.
+        a.get_page(15).unwrap();
+        assert_eq!(a.stats.local_hits.get(), 1);
+    }
+
+    #[test]
+    fn concurrent_reader_never_sees_stale_data() {
+        let r = rig();
+        let writer = Arc::new(bm(&r, 0));
+        let reader = Arc::new(bm(&r, 1));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let w = {
+            let writer = Arc::clone(&writer);
+            std::thread::spawn(move || {
+                for i in 0..300u64 {
+                    let mut p = Page::new();
+                    p.set(1, &i.to_be_bytes());
+                    writer.put_page(1, &p).unwrap();
+                }
+            })
+        };
+        let rd = {
+            let reader = Arc::clone(&reader);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    let p = reader.get_page(1).unwrap();
+                    if let Some(v) = p.get(1) {
+                        let v = u64::from_be_bytes(v.try_into().unwrap());
+                        assert!(v >= last, "monotone: saw {v} after {last}");
+                        last = v;
+                    }
+                }
+                last
+            })
+        };
+        w.join().unwrap();
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        let last = rd.join().unwrap();
+        assert!(last <= 299);
+        // Final read agrees with the last write.
+        let p = reader.get_page(1).unwrap();
+        assert_eq!(u64::from_be_bytes(p.get(1).unwrap().try_into().unwrap()), 299);
+    }
+}

@@ -1,0 +1,420 @@
+//! The transactional record interface — Figure 2 made executable.
+//!
+//! One [`Database`] instance runs per system; all instances share the page
+//! store (DASD), the group buffer (CF cache structure) and the global lock
+//! space (CF lock structure via the IRLM). The protocol per transaction:
+//!
+//! * **Read** — take a Shared record *L-lock*, then read the page through
+//!   the coherent buffer pool. No P-lock: the page image is fetched
+//!   atomically and the locked record cannot change under us.
+//! * **Write** — take an Exclusive, *persistent* L-lock (recorded in CF
+//!   record data for recoverability), capture the before-image, and stage
+//!   the change in the transaction's private workspace.
+//! * **Commit** — force the undo/redo log (WAL), then externalise each
+//!   touched page under a short page *P-lock* (read-merge-write against
+//!   concurrent updates of *other* records on the same page, exactly DB2's
+//!   data-sharing page physical locks), force the commit record, release
+//!   all locks.
+//! * **Abort** — discard the workspace and release locks; nothing was
+//!   externalised, so no undo is needed. Undo *is* needed when a whole
+//!   system dies mid-commit — that is [`crate::recovery`]'s job, using the
+//!   log and the CF's retained locks.
+
+use crate::bufmgr::BufferManager;
+use crate::error::{DbError, DbResult};
+use crate::irlm::Irlm;
+use crate::log::{LogManager, LogRecord};
+use crate::pagestore::PageStore;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use sysplex_core::lock::LockMode;
+use sysplex_core::stats::Counter;
+use sysplex_core::SystemId;
+use sysplex_services::timer::SysplexTimer;
+
+/// Per-database tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct DbConfig {
+    /// Deadlock breaker: max wait for any lock.
+    pub lock_timeout: Duration,
+    /// Local buffer pool frames.
+    pub buffer_frames: usize,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig { lock_timeout: Duration::from_secs(5), buffer_frames: 256 }
+    }
+}
+
+/// Counters published by a database instance.
+#[derive(Debug, Default)]
+pub struct DbStats {
+    /// Record reads.
+    pub reads: Counter,
+    /// Record writes (staged).
+    pub writes: Counter,
+    /// Commits.
+    pub commits: Counter,
+    /// Aborts.
+    pub aborts: Counter,
+}
+
+#[derive(Debug, Clone)]
+struct StagedWrite {
+    page: u64,
+    before: Option<Vec<u8>>,
+    after: Option<Vec<u8>>,
+}
+
+/// An open transaction. Obtain with [`Database::begin`]; must end with
+/// [`Database::commit`] or [`Database::abort`].
+#[derive(Debug)]
+pub struct Txn {
+    id: u64,
+    complete: bool,
+    /// key -> staged change (latest wins; before-image from first touch).
+    writes: HashMap<u64, StagedWrite>,
+}
+
+impl Txn {
+    /// The transaction id (a sysplex-unique TOD).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of staged record changes.
+    pub fn write_count(&self) -> usize {
+        self.writes.len()
+    }
+}
+
+/// A per-system database manager over the shared data.
+pub struct Database {
+    system: SystemId,
+    irlm: Arc<Irlm>,
+    buf: BufferManager,
+    log: LogManager,
+    store: Arc<PageStore>,
+    timer: Arc<SysplexTimer>,
+    config: DbConfig,
+    /// Transactions begun but not yet committed/aborted (checkpoint gate).
+    active_txns: AtomicU64,
+    /// Published counters.
+    pub stats: DbStats,
+}
+
+/// Lock-name helpers shared with recovery.
+pub(crate) fn row_resource(key: u64) -> Vec<u8> {
+    format!("ROW.{key:016x}").into_bytes()
+}
+
+pub(crate) fn page_resource(db_id: u32, page: u64) -> Vec<u8> {
+    format!("PAGE.{db_id:08x}.{page:016x}").into_bytes()
+}
+
+/// Parse a ROW lock resource back to its key (recovery/diagnostic tooling
+/// inspecting retained locks).
+pub fn key_of_row_resource(resource: &[u8]) -> Option<u64> {
+    let s = std::str::from_utf8(resource).ok()?;
+    let hex = s.strip_prefix("ROW.")?;
+    u64::from_str_radix(hex, 16).ok()
+}
+
+impl Database {
+    /// Assemble a database instance on `system`.
+    pub fn new(
+        system: SystemId,
+        irlm: Arc<Irlm>,
+        buf: BufferManager,
+        log: LogManager,
+        store: Arc<PageStore>,
+        timer: Arc<SysplexTimer>,
+        config: DbConfig,
+    ) -> Self {
+        Database {
+            system,
+            irlm,
+            buf,
+            log,
+            store,
+            timer,
+            config,
+            active_txns: AtomicU64::new(0),
+            stats: DbStats::default(),
+        }
+    }
+
+    /// The system this instance runs on.
+    pub fn system(&self) -> SystemId {
+        self.system
+    }
+
+    /// The lock manager (shared with recovery).
+    pub fn irlm(&self) -> &Arc<Irlm> {
+        &self.irlm
+    }
+
+    /// The buffer manager (castout sweeps, stats).
+    pub fn buffers(&self) -> &BufferManager {
+        &self.buf
+    }
+
+    /// The page store.
+    pub fn store(&self) -> &Arc<PageStore> {
+        &self.store
+    }
+
+    /// The log manager (diagnostics).
+    pub fn log(&self) -> &LogManager {
+        &self.log
+    }
+
+    /// Begin a transaction. The id is a sysplex-unique TOD, so ids are
+    /// globally ordered without coordination.
+    pub fn begin(&self) -> Txn {
+        self.active_txns.fetch_add(1, Ordering::AcqRel);
+        Txn { id: self.timer.tod().0, complete: false, writes: HashMap::new() }
+    }
+
+    /// Transactions currently in flight on this member.
+    pub fn active_transactions(&self) -> u64 {
+        self.active_txns.load(Ordering::Acquire)
+    }
+
+    /// Checkpoint: truncate this member's log when no transaction is in
+    /// flight (everything durable belongs to completed transactions, which
+    /// never need backout). Run periodically by the castout daemon.
+    pub fn checkpoint_if_idle(&self) -> DbResult<bool> {
+        self.log.checkpoint_if(|| self.active_txns.load(Ordering::Acquire) == 0)
+    }
+
+    fn check_open(txn: &Txn) -> DbResult<()> {
+        if txn.complete {
+            Err(DbError::TxnComplete)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Read a record under a Shared lock (repeatable read: the lock is
+    /// held to commit).
+    pub fn read(&self, txn: &mut Txn, key: u64) -> DbResult<Option<Vec<u8>>> {
+        Self::check_open(txn)?;
+        self.stats.reads.incr();
+        // Read-your-writes.
+        if let Some(w) = txn.writes.get(&key) {
+            return Ok(w.after.clone());
+        }
+        self.irlm.lock_wait(txn.id, &row_resource(key), LockMode::Shared, false, self.config.lock_timeout)?;
+        let page = self.buf.get_page(self.store.page_of(key))?;
+        Ok(page.get(key).map(|v| v.to_vec()))
+    }
+
+    /// Stage a record write (`None` deletes) under an Exclusive persistent
+    /// lock. Nothing is externalised until commit.
+    pub fn write(&self, txn: &mut Txn, key: u64, value: Option<&[u8]>) -> DbResult<()> {
+        Self::check_open(txn)?;
+        self.stats.writes.incr();
+        self.irlm.lock_wait(txn.id, &row_resource(key), LockMode::Exclusive, true, self.config.lock_timeout)?;
+        let after = value.map(|v| v.to_vec());
+        if let Some(w) = txn.writes.get_mut(&key) {
+            w.after = after; // keep the original before-image
+            return Ok(());
+        }
+        // First touch: capture the committed before-image (stable — we hold
+        // the exclusive record lock).
+        let page_no = self.store.page_of(key);
+        let page = self.buf.get_page(page_no)?;
+        let before = page.get(key).map(|v| v.to_vec());
+        txn.writes.insert(key, StagedWrite { page: page_no, before, after });
+        Ok(())
+    }
+
+    /// Commit: WAL force, externalise pages under P-locks, commit record,
+    /// release locks.
+    ///
+    /// A failure mid-commit (e.g. a P-lock timeout under heavy contention)
+    /// backs out whatever was already externalised — the held L-locks make
+    /// that safe — logs an Abort, and releases everything; the error is
+    /// then surfaced.
+    pub fn commit(&self, txn: &mut Txn) -> DbResult<()> {
+        Self::check_open(txn)?;
+        txn.complete = true;
+        let result = self.commit_inner(txn);
+        match &result {
+            Ok(()) => self.stats.commits.incr(),
+            Err(_) => {
+                self.backout_externalised(txn);
+                self.log.append(LogRecord::Abort { lsn: self.timer.tod(), txn: txn.id });
+                let _ = self.log.force();
+                let _ = self.irlm.unlock_all(txn.id);
+                self.stats.aborts.incr();
+            }
+        }
+        self.active_txns.fetch_sub(1, Ordering::AcqRel);
+        result
+    }
+
+    fn commit_inner(&self, txn: &mut Txn) -> DbResult<()> {
+        if txn.writes.is_empty() {
+            self.irlm.unlock_all(txn.id)?;
+            return Ok(());
+        }
+        // 1. Undo/redo records become durable before any page change
+        //    reaches shared storage (WAL).
+        for (key, w) in &txn.writes {
+            self.log.append(LogRecord::Update {
+                lsn: self.timer.tod(),
+                txn: txn.id,
+                page: w.page,
+                key: *key,
+                before: w.before.clone(),
+                after: w.after.clone(),
+            });
+        }
+        self.log.force()?;
+        // 2. Externalise, page by page in ascending order (no P-lock
+        //    deadlocks between committers), merging with concurrent
+        //    changes to other records on the same page.
+        let mut by_page: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for (key, w) in &txn.writes {
+            by_page.entry(w.page).or_default().push(*key);
+        }
+        for (page_no, keys) in by_page {
+            let plock = page_resource(self.store.db_id(), page_no);
+            self.irlm.lock_wait(txn.id, &plock, LockMode::Exclusive, false, self.config.lock_timeout)?;
+            let result = (|| -> DbResult<()> {
+                let mut page = self.buf.get_page(page_no)?;
+                for key in &keys {
+                    match &txn.writes[key].after {
+                        Some(v) => {
+                            page.set(*key, v);
+                        }
+                        None => {
+                            page.remove(*key);
+                        }
+                    }
+                }
+                self.buf.put_page(page_no, &page)
+            })();
+            self.irlm.unlock(txn.id, &plock)?;
+            result?;
+        }
+        // 3. Commit record durable, then locks go.
+        self.log.append(LogRecord::Commit { lsn: self.timer.tod(), txn: txn.id });
+        self.log.force()?;
+        self.irlm.unlock_all(txn.id)?;
+        Ok(())
+    }
+
+    /// Best-effort in-place undo of staged writes that reached shared
+    /// storage (commit-failure path; the L-locks are still held, so the
+    /// record values cannot have moved under us).
+    fn backout_externalised(&self, txn: &Txn) {
+        for (key, w) in &txn.writes {
+            let plock = page_resource(self.store.db_id(), w.page);
+            if self
+                .irlm
+                .lock_wait(txn.id, &plock, LockMode::Exclusive, false, self.config.lock_timeout)
+                .is_err()
+            {
+                continue;
+            }
+            let _ = (|| -> DbResult<()> {
+                let mut page = self.buf.get_page(w.page)?;
+                let current = page.get(*key).map(|v| v.to_vec());
+                if current.as_deref() == w.after.as_deref() {
+                    match &w.before {
+                        Some(v) => {
+                            page.set(*key, v);
+                        }
+                        None => {
+                            page.remove(*key);
+                        }
+                    }
+                    self.buf.put_page(w.page, &page)?;
+                }
+                Ok(())
+            })();
+            let _ = self.irlm.unlock(txn.id, &plock);
+        }
+    }
+
+    /// Abort: nothing was externalised, so just drop the workspace and the
+    /// locks (logging the abort for the record).
+    pub fn abort(&self, txn: &mut Txn) -> DbResult<()> {
+        Self::check_open(txn)?;
+        txn.complete = true;
+        if !txn.writes.is_empty() {
+            self.log.append(LogRecord::Abort { lsn: self.timer.tod(), txn: txn.id });
+            self.log.force()?;
+        }
+        txn.writes.clear();
+        let unlock_result = self.irlm.unlock_all(txn.id);
+        self.active_txns.fetch_sub(1, Ordering::AcqRel);
+        self.stats.aborts.incr();
+        unlock_result
+    }
+
+    /// Convenience: run `f` in a transaction, retrying on lock timeouts up
+    /// to `retries` times (timeouts abort and re-run — the classic OLTP
+    /// deadlock-breaker loop). Retries back off for a randomized interval
+    /// so two transactions deadlocking in lockstep cannot livelock.
+    pub fn run<R>(&self, retries: usize, mut f: impl FnMut(&Database, &mut Txn) -> DbResult<R>) -> DbResult<R> {
+        let mut attempts: u32 = 0;
+        loop {
+            let mut txn = self.begin();
+            match f(self, &mut txn).and_then(|r| self.commit(&mut txn).map(|_| r)) {
+                Ok(r) => return Ok(r),
+                Err(DbError::LockTimeout { resource, waited }) => {
+                    if !txn.complete {
+                        let _ = self.abort(&mut txn);
+                    }
+                    attempts += 1;
+                    if attempts as usize > retries {
+                        return Err(DbError::LockTimeout { resource, waited });
+                    }
+                    // Jitter from the (sysplex-unique) TOD so colliding
+                    // transactions desynchronise.
+                    let jitter_us = self.timer.tod().0 % (200 * attempts.min(16) as u64 + 1);
+                    std::thread::sleep(Duration::from_micros(jitter_us));
+                }
+                Err(e) => {
+                    if !txn.complete {
+                        let _ = self.abort(&mut txn);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Orderly shutdown of this instance (planned removal).
+    pub fn shutdown(&self) {
+        self.buf.detach();
+        self.irlm.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database").field("system", &self.system).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_names_roundtrip() {
+        assert_eq!(key_of_row_resource(&row_resource(42)), Some(42));
+        assert_eq!(key_of_row_resource(&row_resource(u64::MAX)), Some(u64::MAX));
+        assert_eq!(key_of_row_resource(b"PAGE.x"), None);
+        assert_eq!(key_of_row_resource(b"ROW.zz"), None);
+        assert_ne!(page_resource(1, 2), page_resource(1, 3));
+    }
+}

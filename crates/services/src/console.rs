@@ -1,0 +1,165 @@
+//! The operations console — a single point of control (§2.1).
+//!
+//! "While the S/390 Parallel Sysplex is physically comprised of multiple
+//! MVS systems, it has been designed to logically present a single system
+//! image to end-users, applications, and the network, and provides a
+//! single point of control to the systems operations staff."
+//!
+//! [`Console`] is that control point: one place to display the whole
+//! configuration (systems, capacity, health, CF structures) and to issue
+//! the operator actions the paper's scenarios need — varying a system
+//! offline for maintenance, confirming a failure under a PROMPT-style SFM
+//! policy.
+
+use crate::heartbeat::HealthState;
+use crate::sysplex::Sysplex;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use sysplex_core::SystemId;
+
+/// The sysplex-wide operator console.
+pub struct Console {
+    plex: Arc<Sysplex>,
+}
+
+impl Console {
+    /// Attach to a sysplex.
+    pub fn new(plex: Arc<Sysplex>) -> Self {
+        Console { plex }
+    }
+
+    /// D XCF-style status display: one report covering every system.
+    pub fn display_systems(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "SYSPLEX {}", self.plex.name());
+        let _ = writeln!(
+            out,
+            "{:<8} {:<10} {:>5} {:>8} {:>7} {:<16}",
+            "SYSTEM", "STATE", "CPUS", "MIPS", "UTIL%", "HEALTH"
+        );
+        for image in self.plex.active_systems() {
+            let id = image.id();
+            let health = match self.plex.heartbeat.state_of(id) {
+                Some(HealthState::Active) => "ACTIVE",
+                Some(HealthState::PendingOperator) => "PENDING-OPERATOR",
+                Some(HealthState::Failed) => "FAILED",
+                Some(HealthState::Removed) => "REMOVED",
+                None => "UNKNOWN",
+            };
+            let _ = writeln!(
+                out,
+                "{:<8} {:<10} {:>5} {:>8.0} {:>7.1} {:<16}",
+                id.to_string(),
+                format!("{:?}", image.state()).to_uppercase(),
+                image.config().cpus,
+                image.config().total_mips(),
+                image.utilization() * 100.0,
+                health
+            );
+        }
+        let pending = self.plex.heartbeat.pending_operator();
+        if !pending.is_empty() {
+            let _ = writeln!(out, "*** OPERATOR ACTION REQUIRED: {pending:?} overdue ***");
+        }
+        let _ = writeln!(out, "TOTAL CAPACITY: {:.0} MIPS", self.plex.total_capacity_mips());
+        out
+    }
+
+    /// D CF-style display: every structure on every registered CF.
+    pub fn display_structures(&self, cf_names: &[&str]) -> String {
+        let mut out = String::new();
+        for name in cf_names {
+            match self.plex.cf(name) {
+                Some(cf) => {
+                    let _ = writeln!(out, "CF {name}");
+                    for (sname, model) in cf.inventory() {
+                        let _ = writeln!(out, "  {sname:<24} {model}");
+                    }
+                }
+                None => {
+                    let _ = writeln!(out, "CF {name}: NOT FOUND");
+                }
+            }
+        }
+        out
+    }
+
+    /// Operator: vary a system out of the sysplex (planned removal, §2.5).
+    pub fn vary_offline(&self, system: SystemId) {
+        self.plex.remove_planned(system);
+    }
+
+    /// Operator: confirm a PENDING-OPERATOR system is down (SFM PROMPT
+    /// policy). Returns whether the failure choreography ran.
+    pub fn confirm_failure(&self, system: SystemId) -> bool {
+        self.plex.heartbeat.confirm_failure(system)
+    }
+
+    /// Operator: routing weights WLM is currently recommending.
+    pub fn display_routing(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<8} {:>12}", "SYSTEM", "WEIGHT");
+        for w in self.plex.wlm.routing_weights() {
+            let _ = writeln!(out, "{:<8} {:>12.1}", w.system.to_string(), w.weight);
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Console {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Console").field("sysplex", &self.plex.name()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemConfig;
+    use crate::sysplex::SysplexConfig;
+
+    #[test]
+    fn status_report_covers_systems_and_capacity() {
+        let plex = Sysplex::new(SysplexConfig::functional("OPSPLEX"));
+        let cf = plex.add_cf("CF01");
+        cf.allocate_list_structure("ISTGENERIC", sysplex_core::list::ListParams::with_headers(4))
+            .unwrap();
+        plex.ipl(SystemConfig::cmos(SystemId::new(0), 2));
+        plex.ipl(SystemConfig::cmos(SystemId::new(1), 4));
+        plex.tick();
+        let console = Console::new(Arc::clone(&plex));
+        let report = console.display_systems();
+        assert!(report.contains("SYSPLEX \"OPSPLEX\"") || report.contains("OPSPLEX"));
+        assert!(report.contains("SYS00"));
+        assert!(report.contains("SYS01"));
+        assert!(report.contains("TOTAL CAPACITY: 360 MIPS"));
+        let structures = console.display_structures(&["CF01", "CFXX"]);
+        assert!(structures.contains("ISTGENERIC"));
+        assert!(structures.contains("LIST"));
+        assert!(structures.contains("CFXX: NOT FOUND"));
+        let routing = console.display_routing();
+        assert!(routing.contains("SYS01"));
+        console.vary_offline(SystemId::new(1));
+        assert!(!console.display_systems().contains("SYS01 "), "varied-off system left the display");
+        console.vary_offline(SystemId::new(0));
+    }
+
+    #[test]
+    fn operator_confirms_pending_failure_through_console() {
+        let mut cfg = SysplexConfig::functional("OPSPLEX");
+        cfg.heartbeat.auto_failure = false;
+        cfg.heartbeat.failure_threshold = std::time::Duration::from_millis(20);
+        let plex = Sysplex::new(cfg);
+        plex.ipl(SystemConfig::cmos(SystemId::new(0), 1));
+        plex.ipl(SystemConfig::cmos(SystemId::new(1), 1));
+        let console = Console::new(Arc::clone(&plex));
+        // System 1 stops pulsing (image failed but monitor unaware).
+        plex.system(SystemId::new(1)).unwrap().fail();
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        assert!(plex.tick().is_empty(), "PROMPT policy defers to the operator");
+        assert!(console.display_systems().contains("OPERATOR ACTION REQUIRED"));
+        assert!(console.confirm_failure(SystemId::new(1)));
+        assert!(plex.farm.fence().is_fenced(1));
+        console.vary_offline(SystemId::new(0));
+    }
+}

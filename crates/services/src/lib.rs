@@ -1,0 +1,42 @@
+//! # sysplex-services — base MVS multi-system services
+//!
+//! The operating-system layer of the Parallel Sysplex (paper §3.2, plus the
+//! WLM of §2.1/§5.1 and the ARM of §2.5):
+//!
+//! * [`timer`] — the Sysplex Timer: one monotonic, sysplex-unique TOD
+//!   reference for all systems.
+//! * [`xcf`] — group membership services: join/leave, member signalling,
+//!   membership events.
+//! * [`cds`] — couple data sets: serialized shared state on duplexed DASD
+//!   with lease-based takeover of latches held by faulty processors.
+//! * [`heartbeat`] — status monitoring with fail-stop semantics: overdue
+//!   systems are fenced from I/O *before* anything else reacts.
+//! * [`wlm`] — the Workload Manager: capacity/utilization registry,
+//!   smooth-weighted routing recommendations, service-class goals.
+//! * [`arm`] — the Automatic Restart Manager: restart groups, sequencing,
+//!   affinity, WLM-driven target selection, re-planning on subsequent
+//!   failures.
+//! * [`system`] — a system image: a 1–10 CPU worker pool with the
+//!   IPL / quiesce / fail lifecycle.
+//! * [`sysplex`] — the assembled runtime wiring all of the above to the
+//!   Coupling Facility and shared DASD crates.
+
+pub mod arm;
+pub mod cds;
+pub mod console;
+pub mod heartbeat;
+pub mod system;
+pub mod sysplex;
+pub mod timer;
+pub mod wlm;
+pub mod xcf;
+
+pub use arm::{Arm, ElementSpec};
+pub use cds::CoupleDataSet;
+pub use console::Console;
+pub use heartbeat::{HeartbeatConfig, HeartbeatMonitor};
+pub use system::{System, SystemConfig, SystemState};
+pub use sysplex::{Sysplex, SysplexConfig};
+pub use timer::{SysplexTimer, Tod};
+pub use wlm::{ServiceClass, Wlm};
+pub use xcf::{GroupEvent, Xcf, XcfItem, XcfMember};

@@ -1,0 +1,104 @@
+//! Per-transaction data-sharing cost accounting (E2, E3).
+//!
+//! The §4 measurements — "initial data-sharing cost ... less than 18%" and
+//! "incremental overhead cost of less than half a percent for each system
+//! added" — are reproduced here as *outputs*: the model charges each
+//! transaction its base CPU plus the CF operations the §3.3 protocols
+//! imply, and the overhead fractions fall out of the arithmetic.
+
+use crate::constants::*;
+
+/// The per-transaction CPU cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct TxnCostModel {
+    /// Base CPU per transaction, µs (no data sharing).
+    pub base_cpu_us: f64,
+    /// Host CPU per CF operation, µs.
+    pub cf_op_cpu_us: f64,
+    /// CF operations per transaction with sharing enabled.
+    pub cf_ops_base: f64,
+    /// Additional CF operations per transaction per member beyond two.
+    pub cf_ops_per_member: f64,
+}
+
+impl Default for TxnCostModel {
+    fn default() -> Self {
+        TxnCostModel {
+            base_cpu_us: TXN_BASE_CPU_US,
+            cf_op_cpu_us: CF_OP_CPU_US,
+            cf_ops_base: CF_OPS_PER_TXN,
+            cf_ops_per_member: CF_OPS_PER_TXN_PER_MEMBER,
+        }
+    }
+}
+
+impl TxnCostModel {
+    /// CPU µs one transaction costs on an `members`-way data-sharing group
+    /// (`sharing = false` models the single-system, non-sharing baseline).
+    pub fn cpu_per_txn_us(&self, members: usize, sharing: bool) -> f64 {
+        if !sharing || members == 0 {
+            return self.base_cpu_us;
+        }
+        let extra_members = members.saturating_sub(2) as f64;
+        self.base_cpu_us + (self.cf_ops_base + self.cf_ops_per_member * extra_members) * self.cf_op_cpu_us
+    }
+
+    /// Data-sharing overhead as a fraction of the non-sharing cost
+    /// (the paper's "initial data-sharing cost" when `members == 2`).
+    pub fn sharing_overhead(&self, members: usize) -> f64 {
+        (self.cpu_per_txn_us(members, true) - self.base_cpu_us) / self.base_cpu_us
+    }
+
+    /// Capacity lost by growing the group from `members` to `members + 1`,
+    /// as a fraction of per-transaction cost — the paper's "incremental
+    /// overhead cost ... for each system added".
+    pub fn incremental_overhead(&self, members: usize) -> f64 {
+        let cur = self.cpu_per_txn_us(members.max(2), true);
+        let next = self.cpu_per_txn_us(members.max(2) + 1, true);
+        (next - cur) / cur
+    }
+
+    /// Transactions/second one *effective* engine sustains.
+    pub fn tps_per_effective_cpu(&self, members: usize, sharing: bool) -> f64 {
+        1_000_000.0 / self.cpu_per_txn_us(members, sharing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_sharing_cost_is_under_18_percent() {
+        let m = TxnCostModel::default();
+        let cost = m.sharing_overhead(2);
+        assert!(cost < 0.18, "initial data-sharing cost {cost:.4} must be < 18% (paper §4)");
+        assert!(cost > 0.10, "cost {cost:.4} should be substantial, not trivial");
+    }
+
+    #[test]
+    fn incremental_overhead_is_under_half_percent() {
+        let m = TxnCostModel::default();
+        for members in 2..32 {
+            let inc = m.incremental_overhead(members);
+            assert!(inc < 0.005, "incremental overhead {inc:.5} at {members} members (paper §4)");
+            assert!(inc > 0.0);
+        }
+    }
+
+    #[test]
+    fn non_sharing_baseline_has_no_cf_cost() {
+        let m = TxnCostModel::default();
+        assert_eq!(m.cpu_per_txn_us(1, false), m.base_cpu_us);
+        assert!(m.cpu_per_txn_us(2, true) > m.base_cpu_us);
+    }
+
+    #[test]
+    fn tps_scales_inverse_to_cost() {
+        let m = TxnCostModel::default();
+        let solo = m.tps_per_effective_cpu(1, false);
+        let shared = m.tps_per_effective_cpu(2, true);
+        assert!(solo > shared);
+        assert!(shared > solo * 0.8, "sharing costs well under 20%");
+    }
+}

@@ -1,0 +1,214 @@
+//! A discrete-time stochastic multi-node queueing simulator.
+//!
+//! Time advances in fixed steps; per step, each node receives a Poisson
+//! draw of arrivals around its offered rate, serves up to
+//! `capacity × dt` transactions, and queues the rest. The outputs the
+//! comparison experiments need — sustained throughput, queueing delay
+//! (via Little's law), utilization, backlog growth — come from the step
+//! accounting. Nodes can fail and recover mid-run, and the router
+//! callback sees the current queue lengths, so both WLM-style balancing
+//! and static partition-affinity routing are expressible.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One simulated node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Service capacity, transactions per second.
+    pub capacity_tps: f64,
+    /// Current backlog, transactions.
+    pub queue: f64,
+    /// Accepting work (false = failed).
+    pub online: bool,
+    served: f64,
+    busy_time: f64,
+    queue_integral: f64,
+}
+
+impl Node {
+    /// A fresh online node.
+    pub fn new(capacity_tps: f64) -> Self {
+        Node { capacity_tps, queue: 0.0, online: true, served: 0.0, busy_time: 0.0, queue_integral: 0.0 }
+    }
+}
+
+/// Aggregate outcome of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// Total transactions offered.
+    pub offered: f64,
+    /// Total transactions completed.
+    pub completed: f64,
+    /// completed / offered (1.0 = the load was sustained).
+    pub completion_ratio: f64,
+    /// Mean queueing delay, seconds (Little's law).
+    pub avg_delay_s: f64,
+    /// Largest backlog observed on any node.
+    pub peak_queue: f64,
+    /// Backlog left at the end (unsustained load piles up here).
+    pub final_backlog: f64,
+    /// Per-node utilization over the run.
+    pub utilization: Vec<f64>,
+}
+
+/// Simulation clock/step configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueSimConfig {
+    /// Step length, seconds.
+    pub dt_s: f64,
+    /// Number of steps.
+    pub steps: usize,
+    /// RNG seed (Poisson arrival noise).
+    pub seed: u64,
+}
+
+impl Default for QueueSimConfig {
+    fn default() -> Self {
+        QueueSimConfig { dt_s: 0.1, steps: 600, seed: 1996 }
+    }
+}
+
+/// Poisson sample (Knuth for small λ, normal approximation above).
+fn poisson(rng: &mut StdRng, lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 0.0;
+    }
+    if lambda > 30.0 {
+        // Normal approximation.
+        let u1: f64 = rng.random::<f64>().max(1e-12);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        return (lambda + z * lambda.sqrt()).max(0.0);
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k as f64;
+        }
+        k += 1;
+    }
+}
+
+/// Run the simulator.
+///
+/// `offered_rates(step, queues) -> Vec<f64>` returns the per-node offered
+/// rate (tps) for the step; it observes the queue lengths so routing
+/// policies can react to load.
+pub fn run<F>(config: QueueSimConfig, mut nodes: Vec<Node>, mut offered_rates: F) -> SimOutcome
+where
+    F: FnMut(usize, &[f64]) -> Vec<f64>,
+{
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut offered_total = 0.0;
+    let mut peak_queue: f64 = 0.0;
+    for step in 0..config.steps {
+        let queues: Vec<f64> = nodes.iter().map(|n| n.queue).collect();
+        let rates = offered_rates(step, &queues);
+        assert_eq!(rates.len(), nodes.len(), "one rate per node");
+        for (node, &rate) in nodes.iter_mut().zip(rates.iter()) {
+            let arrivals = poisson(&mut rng, rate * config.dt_s);
+            offered_total += arrivals;
+            if !node.online {
+                // Arrivals to a dead node are lost unless the router
+                // redirected them; charging them here keeps the router
+                // honest.
+                continue;
+            }
+            node.queue += arrivals;
+            let service_limit = node.capacity_tps * config.dt_s;
+            let served = node.queue.min(service_limit);
+            node.queue -= served;
+            node.served += served;
+            node.busy_time += if service_limit > 0.0 { served / service_limit * config.dt_s } else { 0.0 };
+            node.queue_integral += node.queue * config.dt_s;
+            peak_queue = peak_queue.max(node.queue);
+        }
+    }
+    let completed: f64 = nodes.iter().map(|n| n.served).sum();
+    let total_queue_integral: f64 = nodes.iter().map(|n| n.queue_integral).sum();
+    let wall = config.dt_s * config.steps as f64;
+    let throughput = completed / wall;
+    let final_backlog: f64 = nodes.iter().map(|n| n.queue).sum();
+    SimOutcome {
+        offered: offered_total,
+        completed,
+        completion_ratio: if offered_total > 0.0 { completed / offered_total } else { 1.0 },
+        avg_delay_s: if throughput > 0.0 { (total_queue_integral / wall) / throughput } else { 0.0 },
+        peak_queue,
+        final_backlog,
+        utilization: nodes.iter().map(|n| n.busy_time / wall).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(steps: usize) -> QueueSimConfig {
+        QueueSimConfig { dt_s: 0.1, steps, seed: 7 }
+    }
+
+    #[test]
+    fn undersubscribed_node_completes_everything() {
+        let out = run(cfg(1000), vec![Node::new(100.0)], |_, _| vec![50.0]);
+        assert!(out.completion_ratio > 0.99, "ratio {}", out.completion_ratio);
+        assert!(out.utilization[0] > 0.4 && out.utilization[0] < 0.6, "util {}", out.utilization[0]);
+        assert!(out.avg_delay_s < 0.2, "delay {}", out.avg_delay_s);
+    }
+
+    #[test]
+    fn oversubscribed_node_builds_backlog() {
+        let out = run(cfg(1000), vec![Node::new(100.0)], |_, _| vec![150.0]);
+        assert!(out.completion_ratio < 0.72, "ratio {}", out.completion_ratio);
+        assert!(out.final_backlog > 4000.0, "backlog {}", out.final_backlog);
+        assert!((out.utilization[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn balanced_pair_beats_imbalanced_pair_at_same_total_load() {
+        let balanced =
+            run(cfg(1000), vec![Node::new(100.0), Node::new(100.0)], |_, _| vec![80.0, 80.0]);
+        let imbalanced =
+            run(cfg(1000), vec![Node::new(100.0), Node::new(100.0)], |_, _| vec![140.0, 20.0]);
+        assert!(balanced.completion_ratio > 0.99);
+        assert!(imbalanced.completion_ratio < 0.90, "hot node saturates: {}", imbalanced.completion_ratio);
+        assert!(imbalanced.avg_delay_s > balanced.avg_delay_s * 5.0);
+    }
+
+    #[test]
+    fn offline_node_loses_undirected_arrivals() {
+        let mut nodes = vec![Node::new(100.0), Node::new(100.0)];
+        nodes[1].online = false;
+        let out = run(cfg(100), nodes, |_, _| vec![50.0, 50.0]);
+        assert!(out.completion_ratio < 0.55, "half the arrivals were aimed at a dead node");
+    }
+
+    #[test]
+    fn router_can_react_to_queues() {
+        // Join-shortest-queue routing over one fast and one slow node.
+        let out = run(cfg(2000), vec![Node::new(150.0), Node::new(50.0)], |_, queues| {
+            let total = 160.0;
+            if queues[0] <= queues[1] {
+                vec![total, 0.0]
+            } else {
+                vec![0.0, total]
+            }
+        });
+        assert!(out.completion_ratio > 0.95, "JSQ sustains the load: {}", out.completion_ratio);
+    }
+
+    #[test]
+    fn poisson_mean_is_lambda() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &lambda in &[0.5, 5.0, 200.0] {
+            let n = 20_000;
+            let sum: f64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+            let mean = sum / n as f64;
+            assert!((mean - lambda).abs() < lambda.max(1.0) * 0.05, "λ={lambda} mean={mean}");
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! A TCP/IP sysplex distributor — the paper's §6 future work, built.
+//!
+//! "Future enhancements are focused on leveraging the Parallel Sysplex
+//! data-sharing technology to support new application environments,
+//! including ... single system image for native TCP/IP networks."
+//!
+//! One virtual endpoint (a generic IP/port) fronts listener instances on
+//! many systems. New connections are placed by WLM capacity
+//! recommendation; established connections keep *affinity* to their
+//! system. Both the listener registry and the connection table live in a
+//! CF list structure — so the distributor role itself is stateless: if
+//! the system performing distribution dies, any peer opens a handle and
+//! carries on with every established connection intact (the takeover
+//! pattern the real Sysplex Distributor used).
+
+use std::sync::Arc;
+use sysplex_core::error::{CfError, CfResult};
+use sysplex_core::list::{ListConnection, ListParams, ListStructure, LockCondition, WritePosition};
+use sysplex_core::SystemId;
+use sysplex_services::wlm::Wlm;
+
+const LISTENERS: usize = 0;
+const CONNECTIONS: usize = 1;
+
+/// List geometry for a distributor structure.
+pub fn distributor_params() -> ListParams {
+    ListParams { headers: 2, lock_entries: 0, max_entries: 1 << 16 }
+}
+
+/// A routed connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Client identity (stands in for the 4-tuple).
+    pub client: u64,
+    /// The system serving the connection.
+    pub system: SystemId,
+}
+
+/// A handle on the distributed endpoint. Cheap to open anywhere; all the
+/// state is in the CF.
+pub struct SysplexDistributor {
+    list: Arc<ListStructure>,
+    conn: ListConnection,
+    wlm: Arc<Wlm>,
+}
+
+impl SysplexDistributor {
+    /// Open a handle (the distributor role).
+    pub fn open(list: Arc<ListStructure>, wlm: Arc<Wlm>) -> CfResult<Self> {
+        if list.header_count() < 2 {
+            return Err(CfError::BadParameter("distributor geometry"));
+        }
+        let conn = list.connect(1)?;
+        Ok(SysplexDistributor { list, conn, wlm })
+    }
+
+    /// A stack on `system` starts listening on the virtual endpoint.
+    pub fn register_listener(&self, system: SystemId) -> CfResult<()> {
+        // Idempotent: one entry per system.
+        if self.listeners()?.contains(&system) {
+            return Ok(());
+        }
+        self.list
+            .write_entry(
+                &self.conn,
+                LISTENERS,
+                system.0 as u64,
+                &[system.0],
+                WritePosition::Keyed,
+                LockCondition::None,
+            )
+            .map(|_| ())
+    }
+
+    /// A stack stops listening (planned). Established connections keep
+    /// flowing to it until they close or it fails.
+    pub fn deregister_listener(&self, system: SystemId) -> CfResult<()> {
+        for e in self.list.read_list(&self.conn, LISTENERS)? {
+            if e.data.first() == Some(&system.0) {
+                return self.list.delete_entry(&self.conn, e.id, LockCondition::None);
+            }
+        }
+        Err(CfError::NoSuchEntry)
+    }
+
+    /// Systems currently listening, sorted.
+    pub fn listeners(&self) -> CfResult<Vec<SystemId>> {
+        let mut v: Vec<SystemId> = self
+            .list
+            .read_list(&self.conn, LISTENERS)?
+            .iter()
+            .filter_map(|e| e.data.first().map(|s| SystemId::new(*s)))
+            .collect();
+        v.sort();
+        Ok(v)
+    }
+
+    fn find_connection(&self, client: u64) -> CfResult<Option<(sysplex_core::list::EntryId, SystemId)>> {
+        Ok(self
+            .list
+            .read_list(&self.conn, CONNECTIONS)?
+            .into_iter()
+            .find(|e| e.key == client)
+            .and_then(|e| e.data.first().map(|s| (e.id, SystemId::new(*s)))))
+    }
+
+    /// Route a packet for `client`: an established connection keeps its
+    /// affinity; a new one is placed on the WLM-recommended listener.
+    pub fn route(&self, client: u64) -> CfResult<Placement> {
+        if let Some((_, system)) = self.find_connection(client)? {
+            return Ok(Placement { client, system });
+        }
+        let listeners = self.listeners()?;
+        if listeners.is_empty() {
+            return Err(CfError::NoSuchEntry);
+        }
+        // WLM recommendation, restricted to listening systems.
+        let mut target = None;
+        for _ in 0..8 {
+            if let Some(t) = self.wlm.select_target() {
+                if listeners.contains(&t) {
+                    target = Some(t);
+                    break;
+                }
+            }
+        }
+        let system = target.unwrap_or(listeners[0]);
+        self.list.write_entry(
+            &self.conn,
+            CONNECTIONS,
+            client,
+            &[system.0],
+            WritePosition::Keyed,
+            LockCondition::None,
+        )?;
+        Ok(Placement { client, system })
+    }
+
+    /// The client closed the connection.
+    pub fn close(&self, client: u64) -> CfResult<()> {
+        match self.find_connection(client)? {
+            Some((id, _)) => self.list.delete_entry(&self.conn, id, LockCondition::None),
+            None => Err(CfError::NoSuchEntry),
+        }
+    }
+
+    /// A serving system failed: drop its listener and its connections.
+    /// Clients reconnect (next `route`) and land on survivors. Returns how
+    /// many connections were severed.
+    pub fn fail_system(&self, system: SystemId) -> CfResult<usize> {
+        let _ = self.deregister_listener(system);
+        let mut severed = 0;
+        for e in self.list.read_list(&self.conn, CONNECTIONS)? {
+            if e.data.first() == Some(&system.0)
+                && self.list.delete_entry(&self.conn, e.id, LockCondition::None).is_ok()
+            {
+                severed += 1;
+            }
+        }
+        Ok(severed)
+    }
+
+    /// Established connections, sorted by client (diagnostics).
+    pub fn connections(&self) -> CfResult<Vec<Placement>> {
+        let mut v: Vec<Placement> = self
+            .list
+            .read_list(&self.conn, CONNECTIONS)?
+            .into_iter()
+            .filter_map(|e| {
+                e.data.first().map(|s| Placement { client: e.key, system: SystemId::new(*s) })
+            })
+            .collect();
+        v.sort_by_key(|p| p.client);
+        Ok(v)
+    }
+}
+
+impl std::fmt::Debug for SysplexDistributor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SysplexDistributor").field("conn", &self.conn.id).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rig(systems: u8) -> (Arc<ListStructure>, Arc<Wlm>, SysplexDistributor) {
+        let list = Arc::new(ListStructure::new("EZBDVIPA", &distributor_params()).unwrap());
+        let wlm = Arc::new(Wlm::new());
+        for i in 0..systems {
+            wlm.set_capacity(SystemId::new(i), 100.0);
+        }
+        let d = SysplexDistributor::open(Arc::clone(&list), Arc::clone(&wlm)).unwrap();
+        for i in 0..systems {
+            d.register_listener(SystemId::new(i)).unwrap();
+        }
+        (list, wlm, d)
+    }
+
+    #[test]
+    fn new_connections_spread_by_capacity() {
+        let (_l, _w, d) = rig(2);
+        let mut on0 = 0;
+        for client in 0..100u64 {
+            if d.route(client).unwrap().system == SystemId::new(0) {
+                on0 += 1;
+            }
+        }
+        assert_eq!(on0, 50, "equal capacity → even spread");
+    }
+
+    #[test]
+    fn established_connections_keep_affinity() {
+        let (_l, wlm, d) = rig(2);
+        let first = d.route(7).unwrap();
+        // Even after the weights shift violently, client 7 stays put.
+        wlm.report_utilization(first.system, 0.99);
+        for _ in 0..10 {
+            assert_eq!(d.route(7).unwrap(), first);
+        }
+        d.close(7).unwrap();
+        assert!(d.connections().unwrap().is_empty());
+    }
+
+    #[test]
+    fn listener_failure_severs_and_survivors_absorb() {
+        let (_l, wlm, d) = rig(3);
+        for client in 0..30u64 {
+            d.route(client).unwrap();
+        }
+        let severed = d.fail_system(SystemId::new(1)).unwrap();
+        assert!(severed > 0);
+        wlm.set_online(SystemId::new(1), false);
+        // Every client reconnects somewhere that is not the corpse.
+        for client in 0..30u64 {
+            assert_ne!(d.route(client).unwrap().system, SystemId::new(1));
+        }
+        assert_eq!(d.connections().unwrap().len(), 30);
+    }
+
+    #[test]
+    fn distributor_role_takes_over_with_state_intact() {
+        let (list, wlm, d) = rig(2);
+        let placements: Vec<Placement> = (0..10u64).map(|c| d.route(c).unwrap()).collect();
+        // The distributing system dies: its handle vanishes…
+        drop(d);
+        // …a backup opens a handle over the same CF structure and serves
+        // the established connections identically.
+        let backup = SysplexDistributor::open(list, wlm).unwrap();
+        for p in &placements {
+            assert_eq!(backup.route(p.client).unwrap(), *p, "connection table survived takeover");
+        }
+        assert_eq!(backup.connections().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn no_listeners_is_an_error() {
+        let (_l, _w, d) = rig(1);
+        d.deregister_listener(SystemId::new(0)).unwrap();
+        assert_eq!(d.route(1).unwrap_err(), CfError::NoSuchEntry);
+        assert!(d.deregister_listener(SystemId::new(0)).is_err());
+    }
+}

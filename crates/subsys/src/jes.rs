@@ -1,0 +1,332 @@
+//! A JES2-style shared job queue on the CF (§5.1).
+//!
+//! "Several MVS base system components including JES2, RACF, and XCF are
+//! exploiting the Coupling Facility to facilitate or enhance their
+//! respective functions in a parallel sysplex configuration."
+//!
+//! JES2's multi-access spool becomes a CF list structure: every member
+//! sees one job queue; jobs carry a class and a priority; any member
+//! selects work for the classes its initiators serve; a member failure
+//! leaves its executing jobs on a per-member header that peers requeue.
+//! The JES2 *checkpoint* — the serialized snapshot of the whole queue —
+//! uses the §3.3.3 serialized-list protocol: mainline operations run
+//! conditioned on the checkpoint lock being free, so taking a checkpoint
+//! momentarily quiesces the queue without per-request locking.
+
+use std::sync::Arc;
+use sysplex_core::error::{CfError, CfResult};
+use sysplex_core::list::{
+    EntryId, ListConnection, ListParams, ListStructure, LockCondition, WritePosition,
+};
+use sysplex_core::{ConnId, MAX_CONNECTORS};
+
+/// Header layout: INPUT, OUTPUT, then one EXECUTION header per member slot.
+const INPUT: usize = 0;
+const OUTPUT: usize = 1;
+const CKPT_LOCK: usize = 0;
+
+/// List geometry for a job queue.
+pub fn job_queue_params() -> ListParams {
+    ListParams { headers: 2 + MAX_CONNECTORS, lock_entries: 1, max_entries: 1 << 16 }
+}
+
+/// Where a job currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Awaiting selection.
+    Input,
+    /// Executing on a member.
+    Executing(ConnId),
+    /// Finished, awaiting purge.
+    Output,
+}
+
+/// One job on the shared queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Job {
+    /// Queue entry identity.
+    pub id: EntryId,
+    /// Job name.
+    pub name: String,
+    /// Execution class (initiators select by class).
+    pub class: char,
+    /// Priority 0 (highest) ..= 15.
+    pub priority: u8,
+}
+
+fn encode_job(name: &str, class: char, priority: u8) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + name.len());
+    out.push(class as u8);
+    out.push(priority);
+    out.extend_from_slice(name.as_bytes());
+    out
+}
+
+fn decode_job(id: EntryId, data: &[u8]) -> Option<Job> {
+    let class = *data.first()? as char;
+    let priority = *data.get(1)?;
+    let name = std::str::from_utf8(&data[2..]).ok()?.to_string();
+    Some(Job { id, name, class, priority })
+}
+
+/// One member's attachment to the shared job queue.
+pub struct JobQueue {
+    list: Arc<ListStructure>,
+    conn: ListConnection,
+}
+
+impl JobQueue {
+    /// Attach a member.
+    pub fn open(list: Arc<ListStructure>) -> CfResult<Self> {
+        if list.header_count() < 2 + MAX_CONNECTORS || list.lock_entry_count() < 1 {
+            return Err(CfError::BadParameter("job queue geometry"));
+        }
+        let conn = list.connect(1)?;
+        list.register_monitor(&conn, INPUT, 0)?;
+        Ok(JobQueue { list, conn })
+    }
+
+    fn exec_header(slot: ConnId) -> usize {
+        2 + slot.index()
+    }
+
+    /// This member's connector slot.
+    pub fn slot(&self) -> ConnId {
+        self.conn.id
+    }
+
+    /// Submit a job. Queued in priority order (FIFO within a priority).
+    pub fn submit(&self, name: &str, class: char, priority: u8) -> CfResult<EntryId> {
+        self.list.write_entry(
+            &self.conn,
+            INPUT,
+            priority as u64,
+            &encode_job(name, class, priority),
+            WritePosition::Keyed,
+            LockCondition::LockFree(CKPT_LOCK),
+        )
+    }
+
+    /// Select the best job whose class is in `classes`, claiming it onto
+    /// this member's execution header. Priority order; skips classes the
+    /// member does not serve.
+    pub fn select(&self, classes: &[char]) -> CfResult<Option<Job>> {
+        loop {
+            let candidates = self.list.read_list(&self.conn, INPUT)?;
+            let Some(pick) = candidates.iter().find_map(|e| {
+                decode_job(e.id, &e.data).filter(|j| classes.contains(&j.class))
+            }) else {
+                return Ok(None);
+            };
+            // Conditional claim: lose the race and rescan.
+            if self.list.move_entry_from(
+                &self.conn,
+                pick.id,
+                INPUT,
+                Self::exec_header(self.conn.id),
+                WritePosition::Keyed,
+                LockCondition::LockFree(CKPT_LOCK),
+            )? {
+                return Ok(Some(pick));
+            }
+        }
+    }
+
+    /// Job finished: move it to OUTPUT.
+    pub fn complete(&self, job: &Job) -> CfResult<()> {
+        let moved = self.list.move_entry_from(
+            &self.conn,
+            job.id,
+            Self::exec_header(self.conn.id),
+            OUTPUT,
+            WritePosition::Tail,
+            LockCondition::None,
+        )?;
+        if moved {
+            Ok(())
+        } else {
+            Err(CfError::NoSuchEntry)
+        }
+    }
+
+    /// Purge an OUTPUT job.
+    pub fn purge(&self, job: &Job) -> CfResult<()> {
+        self.list.delete_entry(&self.conn, job.id, LockCondition::None)
+    }
+
+    /// Jobs awaiting selection, in selection order.
+    pub fn input_jobs(&self) -> CfResult<Vec<Job>> {
+        Ok(self
+            .list
+            .read_list(&self.conn, INPUT)?
+            .into_iter()
+            .filter_map(|e| decode_job(e.id, &e.data))
+            .collect())
+    }
+
+    /// Jobs executing on a member.
+    pub fn executing_on(&self, slot: ConnId) -> CfResult<Vec<Job>> {
+        Ok(self
+            .list
+            .read_list(&self.conn, Self::exec_header(slot))?
+            .into_iter()
+            .filter_map(|e| decode_job(e.id, &e.data))
+            .collect())
+    }
+
+    /// Jobs in OUTPUT.
+    pub fn output_jobs(&self) -> CfResult<Vec<Job>> {
+        Ok(self
+            .list
+            .read_list(&self.conn, OUTPUT)?
+            .into_iter()
+            .filter_map(|e| decode_job(e.id, &e.data))
+            .collect())
+    }
+
+    /// Requeue a dead member's executing jobs back to INPUT (peer warm
+    /// start). Returns how many were recovered.
+    pub fn recover_member(&self, dead: ConnId) -> CfResult<usize> {
+        let jobs = self.executing_on(dead)?;
+        let mut n = 0;
+        for job in jobs {
+            if self.list.move_entry_from(
+                &self.conn,
+                job.id,
+                Self::exec_header(dead),
+                INPUT,
+                WritePosition::Keyed,
+                LockCondition::None,
+            )? {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Take a checkpoint: quiesce mainline traffic via the serializing
+    /// lock, snapshot queue counts, release. Returns (input, executing,
+    /// output) counts.
+    pub fn checkpoint(&self) -> CfResult<(usize, usize, usize)> {
+        while !self.list.acquire_lock(&self.conn, CKPT_LOCK)? {
+            std::thread::yield_now();
+        }
+        let input = self.list.header_len(INPUT)?;
+        let output = self.list.header_len(OUTPUT)?;
+        let mut executing = 0;
+        for slot in 0..MAX_CONNECTORS {
+            executing += self.list.header_len(2 + slot)?;
+        }
+        self.list.release_lock(&self.conn, CKPT_LOCK)?;
+        Ok((input, executing, output))
+    }
+
+    /// Detach (planned). Executing jobs of this member stay on its header
+    /// for peers to recover if it never returns.
+    pub fn close(self) -> CfResult<()> {
+        self.list.disconnect(&self.conn)
+    }
+}
+
+impl std::fmt::Debug for JobQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobQueue").field("slot", &self.conn.id).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queue_pair() -> (Arc<ListStructure>, JobQueue, JobQueue) {
+        let list = Arc::new(ListStructure::new("JES2CKPT", &job_queue_params()).unwrap());
+        let a = JobQueue::open(Arc::clone(&list)).unwrap();
+        let b = JobQueue::open(Arc::clone(&list)).unwrap();
+        (list, a, b)
+    }
+
+    #[test]
+    fn jobs_select_in_priority_order_by_class() {
+        let (_l, a, b) = queue_pair();
+        a.submit("LOWPRI", 'A', 9).unwrap();
+        a.submit("BATCH", 'B', 5).unwrap();
+        a.submit("URGENT", 'A', 1).unwrap();
+        // b serves class A only: picks URGENT first, never BATCH.
+        let j1 = b.select(&['A']).unwrap().unwrap();
+        assert_eq!(j1.name, "URGENT");
+        let j2 = b.select(&['A']).unwrap().unwrap();
+        assert_eq!(j2.name, "LOWPRI");
+        assert!(b.select(&['A']).unwrap().is_none(), "class B job not selectable");
+        assert_eq!(a.input_jobs().unwrap()[0].name, "BATCH");
+        // Lifecycle: complete + purge.
+        b.complete(&j1).unwrap();
+        assert_eq!(b.output_jobs().unwrap()[0].name, "URGENT");
+        b.purge(&b.output_jobs().unwrap()[0].clone()).unwrap();
+        assert!(b.output_jobs().unwrap().is_empty());
+    }
+
+    #[test]
+    fn racing_members_never_double_select() {
+        let list = Arc::new(ListStructure::new("JES2CKPT", &job_queue_params()).unwrap());
+        let submitter = JobQueue::open(Arc::clone(&list)).unwrap();
+        for i in 0..300 {
+            submitter.submit(&format!("JOB{i:05}"), 'A', (i % 16) as u8).unwrap();
+        }
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let list = Arc::clone(&list);
+            handles.push(std::thread::spawn(move || {
+                let q = JobQueue::open(list).unwrap();
+                let mut mine = Vec::new();
+                while let Some(job) = q.select(&['A']).unwrap() {
+                    mine.push(job.name.clone());
+                    q.complete(&job).unwrap();
+                }
+                mine
+            }));
+        }
+        let all: Vec<String> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        assert_eq!(all.len(), 300);
+        let unique: std::collections::HashSet<&String> = all.iter().collect();
+        assert_eq!(unique.len(), 300, "no job executed twice");
+        assert_eq!(submitter.output_jobs().unwrap().len(), 300);
+    }
+
+    #[test]
+    fn dead_member_jobs_requeue_and_rerun() {
+        let (_l, a, b) = queue_pair();
+        a.submit("DOOMED", 'A', 3).unwrap();
+        let job = a.select(&['A']).unwrap().unwrap();
+        assert_eq!(a.executing_on(a.slot()).unwrap().len(), 1);
+        let dead_slot = a.slot();
+        drop(job);
+        // a dies (handle dropped without complete); peer warm-starts it.
+        assert_eq!(b.recover_member(dead_slot).unwrap(), 1);
+        let rerun = b.select(&['A']).unwrap().unwrap();
+        assert_eq!(rerun.name, "DOOMED");
+    }
+
+    #[test]
+    fn checkpoint_quiesces_mainline_and_counts() {
+        let (_l, a, b) = queue_pair();
+        a.submit("ONE", 'A', 1).unwrap();
+        let job = a.select(&['A']).unwrap().unwrap();
+        a.submit("TWO", 'A', 2).unwrap();
+        a.complete(&job).unwrap();
+        let (input, executing, output) = b.checkpoint().unwrap();
+        assert_eq!((input, executing, output), (1, 0, 1));
+        // Mainline resumes after the checkpoint lock releases.
+        a.submit("THREE", 'A', 3).unwrap();
+    }
+
+    #[test]
+    fn submit_rejected_during_checkpoint_hold() {
+        let list = Arc::new(ListStructure::new("JES2CKPT", &job_queue_params()).unwrap());
+        let a = JobQueue::open(Arc::clone(&list)).unwrap();
+        let holder = list.connect(1).unwrap();
+        assert!(list.acquire_lock(&holder, CKPT_LOCK).unwrap());
+        assert!(matches!(a.submit("BLOCKED", 'A', 1), Err(CfError::LockHeld { .. })));
+        list.release_lock(&holder, CKPT_LOCK).unwrap();
+        a.submit("OK", 'A', 1).unwrap();
+    }
+}

@@ -1,0 +1,59 @@
+//! # sysplex-subsys — the exploiting subsystems
+//!
+//! §5 of the paper: "Through exploitation and support of the Parallel
+//! Sysplex data-sharing technology, MVS and its major subsystems have
+//! combined to provide an industry-leading fully-integrated commercial
+//! parallel processing system." This crate provides working stand-ins for
+//! the subsystems in Figure 4:
+//!
+//! * [`tm`] — a CICS-style transaction manager: named transaction
+//!   definitions with service classes, executed against the data-sharing
+//!   database on a system's CPU pool.
+//! * [`routing`] — CICSPlex/SM-style *dynamic transaction routing*:
+//!   incoming transactions flow to the region WLM recommends, fail over to
+//!   survivors when a region stops accepting work, and report completions
+//!   back to WLM's service-class goals (§2.3's OLTP balancing).
+//! * [`workq`] — IMS-style shared work queues on a CF list structure:
+//!   keyed priority queueing, atomic claim onto per-consumer in-flight
+//!   lists, transition-signal wakeups, and orphan requeue when a consumer
+//!   dies (§3.3.3's "workload distribution" use).
+//! * [`vtam`] — VTAM *generic resources* on a CF list structure: users log
+//!   on to one generic name ("CICS") and are bound to an instance chosen
+//!   by WLM recommendation and session counts — "single system image to
+//!   the SNA network" (§5.3).
+
+//! * [`query`] — the §2.3 decision-support coordinator: split a scan into
+//!   sub-queries, fan them out over systems, merge the partial answers.
+//! * [`mpp`] — IMS-style message-processing regions consuming the shared
+//!   queue with at-least-once recovery semantics.
+
+//! * [`jes`] — a JES2-style shared job queue with classes, priorities,
+//!   per-member execution lists, warm-start recovery and serialized
+//!   checkpoints (§5.1).
+//! * [`racf`] — a RACF-style shared security manager on the
+//!   *directory-only* cache model: coherent permission caching with
+//!   sysplex-wide revocation (§5.1).
+
+//! * [`distributor`] — the §6 future-work item built: a TCP/IP sysplex
+//!   distributor with WLM placement, connection affinity, and CF-resident
+//!   state so the distributor role itself fails over statelessly.
+
+pub mod distributor;
+pub mod jes;
+pub mod mpp;
+pub mod query;
+pub mod racf;
+pub mod routing;
+pub mod tm;
+pub mod vtam;
+pub mod workq;
+
+pub use distributor::SysplexDistributor;
+pub use jes::JobQueue;
+pub use mpp::MppRegion;
+pub use racf::RacfNode;
+pub use query::{ParallelQuery, QueryTarget};
+pub use routing::TransactionRouter;
+pub use tm::{CicsRegion, TranDef};
+pub use vtam::{GenericResources, SessionBind};
+pub use workq::SharedQueue;

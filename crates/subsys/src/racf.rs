@@ -1,0 +1,397 @@
+//! A RACF-style shared security manager on the directory-only cache (§5.1).
+//!
+//! Access-control profiles live in a shared security database on DASD;
+//! every system caches the profiles it checks against. The cache must be
+//! coherent sysplex-wide — a revoked permission must take effect on every
+//! system at once — but the profiles are small and DASD-resident, so this
+//! exploiter uses the **directory-only** cache model: the CF tracks who
+//! caches what and delivers cross-invalidates, while the data itself is
+//! re-read from DASD after an invalidation. (Contrast with the database's
+//! store-in group buffer pool — this is the other §3.3.2 deployment.)
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use sysplex_core::cache::{BlockName, CacheConnection, CacheParams, CacheStructure, WriteKind};
+use sysplex_core::error::CfResult;
+use sysplex_core::hashing::fnv1a64;
+use sysplex_core::stats::Counter;
+use sysplex_core::SystemId;
+use sysplex_dasd::error::IoResult;
+use sysplex_dasd::farm::DasdFarm;
+
+/// Access levels, ordered by privilege.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Access {
+    /// No access.
+    None,
+    /// Read only.
+    Read,
+    /// Read and update.
+    Update,
+    /// Full control.
+    Alter,
+}
+
+impl Access {
+    fn to_byte(self) -> u8 {
+        match self {
+            Access::None => 0,
+            Access::Read => 1,
+            Access::Update => 2,
+            Access::Alter => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Access {
+        match b {
+            1 => Access::Read,
+            2 => Access::Update,
+            3 => Access::Alter,
+            _ => Access::None,
+        }
+    }
+}
+
+/// A resource profile: who may do what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    /// Protected resource name (e.g. "PROD.PAYROLL.MASTER").
+    pub resource: String,
+    /// Access granted to users not on the ACL.
+    pub universal_access: Access,
+    /// Per-user grants.
+    pub acl: Vec<(String, Access)>,
+}
+
+impl Profile {
+    /// The access `user` holds under this profile.
+    pub fn access_for(&self, user: &str) -> Access {
+        self.acl
+            .iter()
+            .find(|(u, _)| u == user)
+            .map(|(_, a)| *a)
+            .unwrap_or(self.universal_access)
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        out.extend_from_slice(&(self.resource.len() as u16).to_be_bytes());
+        out.extend_from_slice(self.resource.as_bytes());
+        out.push(self.universal_access.to_byte());
+        out.extend_from_slice(&(self.acl.len() as u16).to_be_bytes());
+        for (user, access) in &self.acl {
+            out.extend_from_slice(&(user.len() as u16).to_be_bytes());
+            out.extend_from_slice(user.as_bytes());
+            out.push(access.to_byte());
+        }
+        out
+    }
+
+    fn decode(data: &[u8]) -> Option<Profile> {
+        let mut off = 0;
+        let take = |data: &[u8], off: &mut usize| -> Option<String> {
+            let len = u16::from_be_bytes(data.get(*off..*off + 2)?.try_into().ok()?) as usize;
+            *off += 2;
+            let s = std::str::from_utf8(data.get(*off..*off + len)?).ok()?;
+            *off += len;
+            Some(s.to_string())
+        };
+        let resource = take(data, &mut off)?;
+        let universal_access = Access::from_byte(*data.get(off)?);
+        off += 1;
+        let n = u16::from_be_bytes(data.get(off..off + 2)?.try_into().ok()?) as usize;
+        off += 2;
+        let mut acl = Vec::with_capacity(n);
+        for _ in 0..n {
+            let user = take(data, &mut off)?;
+            let access = Access::from_byte(*data.get(off)?);
+            off += 1;
+            acl.push((user, access));
+        }
+        Some(Profile { resource, universal_access, acl })
+    }
+}
+
+/// The shared security database on DASD (open-addressed by resource hash).
+pub struct SecurityDatabase {
+    farm: Arc<DasdFarm>,
+    volume: String,
+    capacity: u64,
+}
+
+impl SecurityDatabase {
+    /// Create over a fresh farm volume.
+    pub fn create(farm: Arc<DasdFarm>, volume: &str, capacity: u64) -> IoResult<Arc<Self>> {
+        farm.add_volume(volume, capacity, 4)?;
+        Ok(Arc::new(SecurityDatabase { farm, volume: volume.to_string(), capacity }))
+    }
+
+    fn probe(&self, resource: &str) -> impl Iterator<Item = u64> + '_ {
+        let start = fnv1a64(resource.as_bytes()) % self.capacity;
+        let cap = self.capacity;
+        (0..cap).map(move |i| (start + i) % cap)
+    }
+
+    /// Write (or replace) a profile.
+    pub fn write_profile(&self, system: u8, profile: &Profile) -> IoResult<bool> {
+        let encoded = profile.encode();
+        for block in self.probe(&profile.resource) {
+            let claimed = self.farm.update(system, &self.volume, block, |slot| {
+                match Profile::decode(slot) {
+                    Some(p) if p.resource == profile.resource => {
+                        slot.clear();
+                        slot.extend_from_slice(&encoded);
+                        true
+                    }
+                    Some(_) => false,
+                    None => {
+                        slot.clear();
+                        slot.extend_from_slice(&encoded);
+                        true
+                    }
+                }
+            })?;
+            if claimed {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Read a profile.
+    pub fn read_profile(&self, system: u8, resource: &str) -> IoResult<Option<Profile>> {
+        for block in self.probe(resource) {
+            let data = self.farm.read(system, &self.volume, block)?;
+            match Profile::decode(&data) {
+                Some(p) if p.resource == resource => return Ok(Some(p)),
+                Some(_) => continue,
+                None => return Ok(None),
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Cache geometry for the security manager's CF structure.
+pub fn security_cache_params(entries: usize) -> CacheParams {
+    CacheParams::directory_only(entries)
+}
+
+/// Counters published by a security node.
+#[derive(Debug, Default)]
+pub struct RacfStats {
+    /// Authorization checks performed.
+    pub checks: Counter,
+    /// Checks served from the coherent local cache (no CF, no DASD).
+    pub local_hits: Counter,
+    /// Profile reads from DASD (cold or after invalidation).
+    pub dasd_reads: Counter,
+}
+
+struct LocalCache {
+    map: HashMap<String, (Option<Profile>, u32)>,
+    index_of: HashMap<u32, String>,
+    rotor: u32,
+    size: u32,
+}
+
+/// A per-system security manager node.
+pub struct RacfNode {
+    system: SystemId,
+    db: Arc<SecurityDatabase>,
+    cache: Arc<CacheStructure>,
+    conn: CacheConnection,
+    local: Mutex<LocalCache>,
+    /// Published counters.
+    pub stats: RacfStats,
+}
+
+fn block_of(resource: &str) -> BlockName {
+    // 'RACF' discriminator + 64-bit hash of the resource name.
+    BlockName::from_parts(0x5241_4346, fnv1a64(resource.as_bytes()))
+}
+
+impl RacfNode {
+    /// Attach a node with a local cache of `slots` profiles.
+    pub fn start(
+        system: SystemId,
+        db: Arc<SecurityDatabase>,
+        cache: Arc<CacheStructure>,
+        slots: u32,
+    ) -> CfResult<Self> {
+        let conn = cache.connect(slots as usize)?;
+        Ok(RacfNode {
+            system,
+            db,
+            cache,
+            conn,
+            local: Mutex::new(LocalCache {
+                map: HashMap::new(),
+                index_of: HashMap::new(),
+                rotor: 0,
+                size: slots,
+            }),
+            stats: RacfStats::default(),
+        })
+    }
+
+    /// Authorization check: may `user` access `resource` at `requested`?
+    /// Unprotected resources (no profile) are denied — protect-by-default.
+    pub fn check(&self, user: &str, resource: &str, requested: Access) -> CfResult<bool> {
+        self.stats.checks.incr();
+        let profile = self.profile_for(resource)?;
+        Ok(profile.map(|p| p.access_for(user) >= requested).unwrap_or(false))
+    }
+
+    fn profile_for(&self, resource: &str) -> CfResult<Option<Profile>> {
+        {
+            let local = self.local.lock();
+            if let Some((profile, idx)) = local.map.get(resource) {
+                if self.conn.is_valid(*idx) {
+                    self.stats.local_hits.incr();
+                    return Ok(profile.clone());
+                }
+            }
+        }
+        // Cold or invalidated: register, then read DASD (directory-only —
+        // the CF never holds the data).
+        let mut local = self.local.lock();
+        let idx = match local.map.get(resource) {
+            Some((_, idx)) => *idx,
+            None => {
+                let idx = local.rotor % local.size;
+                local.rotor += 1;
+                if let Some(old) = local.index_of.remove(&idx) {
+                    local.map.remove(&old);
+                    let _ = self.cache.unregister(&self.conn, block_of(&old));
+                }
+                local.index_of.insert(idx, resource.to_string());
+                idx
+            }
+        };
+        self.cache.read_and_register(&self.conn, block_of(resource), idx)?;
+        self.stats.dasd_reads.incr();
+        let profile = self.db.read_profile(self.system.0, resource).unwrap_or(None);
+        if !self.conn.is_valid(idx) {
+            // Raced with an admin update; next check refetches.
+            local.map.remove(resource);
+            return Ok(profile);
+        }
+        local.map.insert(resource.to_string(), (profile.clone(), idx));
+        Ok(profile)
+    }
+
+    /// Administrative update: write the profile to the shared database and
+    /// cross-invalidate every node's cached copy — the revocation is
+    /// sysplex-wide before this returns.
+    pub fn admin_update(&self, profile: &Profile) -> CfResult<usize> {
+        self.db
+            .write_profile(self.system.0, profile)
+            .map_err(|_| sysplex_core::CfError::StructureFull)
+            .and_then(|ok| {
+                if !ok {
+                    return Err(sysplex_core::CfError::StructureFull);
+                }
+                let w = self.cache.write_and_invalidate(
+                    &self.conn,
+                    block_of(&profile.resource),
+                    &[],
+                    WriteKind::InvalidateOnly,
+                )?;
+                // Drop our own stale copy too.
+                self.local.lock().map.remove(&profile.resource);
+                Ok(w.invalidated)
+            })
+    }
+}
+
+impl std::fmt::Debug for RacfNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RacfNode").field("system", &self.system).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysplex_dasd::volume::IoModel;
+
+    fn rig() -> (Arc<SecurityDatabase>, Arc<CacheStructure>) {
+        let farm = DasdFarm::new(IoModel::instant());
+        let db = SecurityDatabase::create(farm, "RACFDB", 256).unwrap();
+        let cache = Arc::new(CacheStructure::new("IRRXCF00", &security_cache_params(256)).unwrap());
+        (db, cache)
+    }
+
+    fn profile(resource: &str, uacc: Access, acl: &[(&str, Access)]) -> Profile {
+        Profile {
+            resource: resource.into(),
+            universal_access: uacc,
+            acl: acl.iter().map(|(u, a)| (u.to_string(), *a)).collect(),
+        }
+    }
+
+    #[test]
+    fn profile_codec_roundtrip() {
+        let p = profile("PROD.PAYROLL", Access::None, &[("ALICE", Access::Update), ("BOB", Access::Read)]);
+        assert_eq!(Profile::decode(&p.encode()).unwrap(), p);
+        assert_eq!(p.access_for("ALICE"), Access::Update);
+        assert_eq!(p.access_for("EVE"), Access::None);
+    }
+
+    #[test]
+    fn checks_enforce_acl_and_protect_by_default() {
+        let (db, cache) = rig();
+        let node = RacfNode::start(SystemId::new(0), Arc::clone(&db), Arc::clone(&cache), 32).unwrap();
+        node.admin_update(&profile("PROD.DATA", Access::Read, &[("ADMIN", Access::Alter)])).unwrap();
+        assert!(node.check("ANYONE", "PROD.DATA", Access::Read).unwrap());
+        assert!(!node.check("ANYONE", "PROD.DATA", Access::Update).unwrap());
+        assert!(node.check("ADMIN", "PROD.DATA", Access::Alter).unwrap());
+        assert!(!node.check("ANYONE", "UNPROTECTED", Access::Read).unwrap(), "protect by default");
+    }
+
+    #[test]
+    fn repeated_checks_hit_the_local_cache() {
+        let (db, cache) = rig();
+        let node = RacfNode::start(SystemId::new(0), db, cache, 32).unwrap();
+        node.admin_update(&profile("APP.RES", Access::Read, &[])).unwrap();
+        for _ in 0..10 {
+            assert!(node.check("U", "APP.RES", Access::Read).unwrap());
+        }
+        assert_eq!(node.stats.dasd_reads.get(), 1, "one cold read, then cached");
+        assert_eq!(node.stats.local_hits.get(), 9);
+    }
+
+    #[test]
+    fn revocation_is_sysplex_wide_immediately() {
+        let (db, cache) = rig();
+        let a = RacfNode::start(SystemId::new(0), Arc::clone(&db), Arc::clone(&cache), 32).unwrap();
+        let b = RacfNode::start(SystemId::new(1), Arc::clone(&db), Arc::clone(&cache), 32).unwrap();
+        a.admin_update(&profile("SECRET", Access::None, &[("CONTRACTOR", Access::Read)])).unwrap();
+        assert!(b.check("CONTRACTOR", "SECRET", Access::Read).unwrap());
+        assert!(b.check("CONTRACTOR", "SECRET", Access::Read).unwrap(), "cached on B");
+        // Admin on A revokes; B's cached copy is cross-invalidated.
+        let invalidated = a.admin_update(&profile("SECRET", Access::None, &[])).unwrap();
+        assert_eq!(invalidated, 1, "B's registration was signalled");
+        assert!(!b.check("CONTRACTOR", "SECRET", Access::Read).unwrap(), "revoked everywhere at once");
+        assert!(b.stats.dasd_reads.get() >= 2, "B re-read after invalidation");
+    }
+
+    #[test]
+    fn cache_slot_recycling_keeps_correctness() {
+        let (db, cache) = rig();
+        let node = RacfNode::start(SystemId::new(0), db, cache, 4).unwrap();
+        for i in 0..20 {
+            node.admin_update(&profile(&format!("RES.{i}"), Access::Read, &[])).unwrap();
+        }
+        for round in 0..2 {
+            for i in 0..20 {
+                assert!(
+                    node.check("U", &format!("RES.{i}"), Access::Read).unwrap(),
+                    "round {round} res {i}"
+                );
+            }
+        }
+    }
+}

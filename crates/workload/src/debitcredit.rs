@@ -1,0 +1,234 @@
+//! A TPC-A-flavoured debit/credit workload — the classic shape of the
+//! CICS/DBCTL workloads the paper's §4 study measured.
+//!
+//! The schema is the standard hierarchy: branches, tellers (belonging to
+//! branches), accounts (belonging to branches) and an append-only history.
+//! Each transaction updates one account, its teller and its branch, and
+//! appends a history record — 3 updates + 1 insert + 1 read, with branch
+//! records forming natural hot spots (every transaction in a branch
+//! serialises on the branch record).
+//!
+//! The generator only produces *specs*; key layout helpers map the schema
+//! onto a flat keyed record space so the live stack and the simulator can
+//! both consume it.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Schema sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct DebitCreditConfig {
+    /// Number of branches.
+    pub branches: u64,
+    /// Tellers per branch.
+    pub tellers_per_branch: u64,
+    /// Accounts per branch.
+    pub accounts_per_branch: u64,
+    /// Fraction of transactions hitting a *remote* branch's account (the
+    /// TPC-A 15% rule — the workload component partitioned systems must
+    /// function-ship).
+    pub remote_fraction: f64,
+}
+
+impl Default for DebitCreditConfig {
+    fn default() -> Self {
+        DebitCreditConfig {
+            branches: 4,
+            tellers_per_branch: 10,
+            accounts_per_branch: 1_000,
+            remote_fraction: 0.15,
+        }
+    }
+}
+
+/// Key-space layout: disjoint ranges per record class.
+#[derive(Debug, Clone, Copy)]
+pub struct KeyLayout {
+    config: DebitCreditConfig,
+}
+
+impl KeyLayout {
+    /// Layout for a schema.
+    pub fn new(config: DebitCreditConfig) -> Self {
+        KeyLayout { config }
+    }
+
+    /// Key of branch `b`.
+    pub fn branch(&self, b: u64) -> u64 {
+        b
+    }
+
+    /// Key of teller `t` of branch `b`.
+    pub fn teller(&self, b: u64, t: u64) -> u64 {
+        self.config.branches + b * self.config.tellers_per_branch + t
+    }
+
+    /// Key of account `a` of branch `b`.
+    pub fn account(&self, b: u64, a: u64) -> u64 {
+        self.config.branches * (1 + self.config.tellers_per_branch)
+            + b * self.config.accounts_per_branch
+            + a
+    }
+
+    /// First key of the history space (append keys follow).
+    pub fn history_base(&self) -> u64 {
+        self.config.branches * (1 + self.config.tellers_per_branch + self.config.accounts_per_branch)
+    }
+
+    /// Total fixed (non-history) keys.
+    pub fn fixed_keys(&self) -> u64 {
+        self.history_base()
+    }
+
+    /// Which branch a *branch record* key belongs to (partition routing).
+    pub fn branch_of_key(&self, key: u64) -> Option<u64> {
+        let c = &self.config;
+        if key < c.branches {
+            Some(key)
+        } else if key < c.branches * (1 + c.tellers_per_branch) {
+            Some((key - c.branches) / c.tellers_per_branch)
+        } else if key < self.history_base() {
+            Some((key - c.branches * (1 + c.tellers_per_branch)) / c.accounts_per_branch)
+        } else {
+            None
+        }
+    }
+}
+
+/// One debit/credit transaction spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DebitCreditTxn {
+    /// The teller's home branch (where the teller + branch records live).
+    pub home_branch: u64,
+    /// The account's branch (differs from home for remote transactions).
+    pub account_branch: u64,
+    /// Teller index within the home branch.
+    pub teller: u64,
+    /// Account index within the account branch.
+    pub account: u64,
+    /// Amount moved (positive = deposit).
+    pub delta: i64,
+    /// Unique history sequence number.
+    pub history_seq: u64,
+}
+
+impl DebitCreditTxn {
+    /// Whether this transaction leaves the teller's branch partition.
+    pub fn is_remote(&self) -> bool {
+        self.home_branch != self.account_branch
+    }
+}
+
+/// The deterministic generator.
+#[derive(Debug)]
+pub struct DebitCreditGenerator {
+    config: DebitCreditConfig,
+    layout: KeyLayout,
+    rng: StdRng,
+    history_seq: u64,
+}
+
+impl DebitCreditGenerator {
+    /// Build a generator (same seed → same stream).
+    pub fn new(config: DebitCreditConfig, seed: u64) -> Self {
+        DebitCreditGenerator { config, layout: KeyLayout::new(config), rng: StdRng::seed_from_u64(seed), history_seq: 0 }
+    }
+
+    /// The key layout used by this workload.
+    pub fn layout(&self) -> KeyLayout {
+        self.layout
+    }
+
+    /// Generate the next transaction.
+    pub fn next_txn(&mut self) -> DebitCreditTxn {
+        let home_branch = self.rng.random_range(0..self.config.branches);
+        let teller = self.rng.random_range(0..self.config.tellers_per_branch);
+        let account_branch = if self.config.branches > 1
+            && self.rng.random::<f64>() < self.config.remote_fraction
+        {
+            // A different branch, uniformly.
+            let other = self.rng.random_range(0..self.config.branches - 1);
+            if other >= home_branch {
+                other + 1
+            } else {
+                other
+            }
+        } else {
+            home_branch
+        };
+        let account = self.rng.random_range(0..self.config.accounts_per_branch);
+        let delta = self.rng.random_range(-999_999..=999_999);
+        self.history_seq += 1;
+        DebitCreditTxn { home_branch, account_branch, teller, account, delta, history_seq: self.history_seq }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DebitCreditConfig {
+        DebitCreditConfig { branches: 4, tellers_per_branch: 10, accounts_per_branch: 100, remote_fraction: 0.15 }
+    }
+
+    #[test]
+    fn key_ranges_are_disjoint_and_invert() {
+        let l = KeyLayout::new(cfg());
+        let mut seen = std::collections::HashSet::new();
+        for b in 0..4 {
+            assert!(seen.insert(l.branch(b)));
+            assert_eq!(l.branch_of_key(l.branch(b)), Some(b));
+            for t in 0..10 {
+                assert!(seen.insert(l.teller(b, t)));
+                assert_eq!(l.branch_of_key(l.teller(b, t)), Some(b));
+            }
+            for a in (0..100).step_by(13) {
+                assert!(seen.insert(l.account(b, a)));
+                assert_eq!(l.branch_of_key(l.account(b, a)), Some(b));
+            }
+        }
+        assert_eq!(l.fixed_keys(), 4 * (1 + 10 + 100));
+        assert_eq!(l.branch_of_key(l.history_base()), None, "history is unpartitioned");
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_in_range() {
+        let mut a = DebitCreditGenerator::new(cfg(), 9);
+        let mut b = DebitCreditGenerator::new(cfg(), 9);
+        for _ in 0..200 {
+            let ta = a.next_txn();
+            assert_eq!(ta, b.next_txn());
+            assert!(ta.home_branch < 4 && ta.account_branch < 4);
+            assert!(ta.teller < 10 && ta.account < 100);
+        }
+    }
+
+    #[test]
+    fn remote_fraction_is_honoured() {
+        let mut g = DebitCreditGenerator::new(cfg(), 21);
+        let n = 20_000;
+        let remote = (0..n).filter(|_| g.next_txn().is_remote()).count();
+        let frac = remote as f64 / n as f64;
+        assert!((frac - 0.15).abs() < 0.02, "remote fraction {frac}");
+    }
+
+    #[test]
+    fn history_sequence_is_unique_and_monotonic() {
+        let mut g = DebitCreditGenerator::new(cfg(), 3);
+        let mut last = 0;
+        for _ in 0..100 {
+            let t = g.next_txn();
+            assert!(t.history_seq > last);
+            last = t.history_seq;
+        }
+    }
+
+    #[test]
+    fn single_branch_config_never_remote() {
+        let mut g = DebitCreditGenerator::new(
+            DebitCreditConfig { branches: 1, remote_fraction: 0.9, ..cfg() },
+            5,
+        );
+        assert!((0..1000).all(|_| !g.next_txn().is_remote()));
+    }
+}

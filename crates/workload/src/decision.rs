@@ -1,0 +1,166 @@
+//! Decision-support queries (§2.3).
+//!
+//! "Decision support workloads consist predominantly of query requests,
+//! wherein a given query can involve scanning multiple relational database
+//! tables. Here, parallelism can be attained by breaking up complex
+//! queries into smaller sub-queries, and distributing the component
+//! queries across multiple processors (cpu) within a single system or
+//! across multiple systems in a parallel sysplex. Once all sub-queries
+//! have completed, the original query response can be constructed from the
+//! aggregate of the sub-query answers."
+//!
+//! [`ScanQuery::split`] produces the sub-queries; [`merge`] reassembles
+//! partial aggregates. The decision-support example drives these through
+//! the live data-sharing stack.
+
+/// An aggregate over a key range ("scan the table, sum a column").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanQuery {
+    /// First key (inclusive).
+    pub from: u64,
+    /// Last key (exclusive).
+    pub to: u64,
+}
+
+/// One shard of a split query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubQuery {
+    /// Shard index.
+    pub index: usize,
+    /// First key (inclusive).
+    pub from: u64,
+    /// Last key (exclusive).
+    pub to: u64,
+}
+
+/// A sub-query's partial answer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartialAggregate {
+    /// Rows scanned.
+    pub rows: u64,
+    /// Sum of the aggregated column.
+    pub sum: i64,
+    /// Minimum value seen (i64::MAX when no rows).
+    pub min: i64,
+    /// Maximum value seen (i64::MIN when no rows).
+    pub max: i64,
+}
+
+impl PartialAggregate {
+    /// Identity element for merging.
+    pub fn empty() -> Self {
+        PartialAggregate { rows: 0, sum: 0, min: i64::MAX, max: i64::MIN }
+    }
+
+    /// Fold one row in.
+    pub fn add_row(&mut self, value: i64) {
+        self.rows += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+}
+
+impl ScanQuery {
+    /// Total keys covered.
+    pub fn len(&self) -> u64 {
+        self.to.saturating_sub(self.from)
+    }
+
+    /// True when the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.to <= self.from
+    }
+
+    /// Split into `n` contiguous sub-queries of near-equal size. Fewer
+    /// shards come back when the range is smaller than `n`.
+    pub fn split(&self, n: usize) -> Vec<SubQuery> {
+        let n = n.max(1);
+        let len = self.len();
+        if len == 0 {
+            return Vec::new();
+        }
+        let shards = (n as u64).min(len);
+        let base = len / shards;
+        let extra = len % shards;
+        let mut out = Vec::with_capacity(shards as usize);
+        let mut start = self.from;
+        for i in 0..shards {
+            let size = base + if i < extra { 1 } else { 0 };
+            out.push(SubQuery { index: i as usize, from: start, to: start + size });
+            start += size;
+        }
+        out
+    }
+}
+
+/// Merge partial answers into the original query's response.
+pub fn merge(parts: impl IntoIterator<Item = PartialAggregate>) -> PartialAggregate {
+    let mut out = PartialAggregate::empty();
+    for p in parts {
+        out.rows += p.rows;
+        out.sum += p.sum;
+        out.min = out.min.min(p.min);
+        out.max = out.max.max(p.max);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_range_exactly_once() {
+        let q = ScanQuery { from: 10, to: 1003 };
+        let shards = q.split(7);
+        assert_eq!(shards.len(), 7);
+        assert_eq!(shards[0].from, 10);
+        assert_eq!(shards.last().unwrap().to, 1003);
+        for w in shards.windows(2) {
+            assert_eq!(w[0].to, w[1].from, "contiguous");
+        }
+        let total: u64 = shards.iter().map(|s| s.to - s.from).sum();
+        assert_eq!(total, q.len());
+        // Near-equal: sizes differ by at most one.
+        let sizes: Vec<u64> = shards.iter().map(|s| s.to - s.from).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn split_small_ranges() {
+        let q = ScanQuery { from: 0, to: 3 };
+        assert_eq!(q.split(10).len(), 3, "never more shards than keys");
+        assert!(ScanQuery { from: 5, to: 5 }.split(4).is_empty());
+        assert_eq!(q.split(0).len(), 1, "n=0 coerced to 1");
+    }
+
+    #[test]
+    fn merge_equals_sequential_fold() {
+        let q = ScanQuery { from: 0, to: 100 };
+        let value = |k: u64| (k as i64 * 7) % 23 - 11;
+        // Sequential answer.
+        let mut seq = PartialAggregate::empty();
+        for k in q.from..q.to {
+            seq.add_row(value(k));
+        }
+        // Parallel-shape answer.
+        let parts: Vec<PartialAggregate> = q
+            .split(9)
+            .into_iter()
+            .map(|s| {
+                let mut p = PartialAggregate::empty();
+                for k in s.from..s.to {
+                    p.add_row(value(k));
+                }
+                p
+            })
+            .collect();
+        assert_eq!(merge(parts), seq);
+    }
+
+    #[test]
+    fn merge_of_nothing_is_identity() {
+        assert_eq!(merge(std::iter::empty()), PartialAggregate::empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! Time-varying demand models (§2.3).
+//!
+//! The paper's core argument against data-partitioning: "significant
+//! fluctuations in the demand for system processor resources and access to
+//! data occur during real-time workload execution ... These real-time
+//! spikes and troughs in system capacity demand can result in significant
+//! over- or under-utilization of system resources across all of the
+//! parallel nodes."
+//!
+//! [`HotspotModel`] produces, for a point in time, the fraction of the
+//! workload aimed at each of `partitions` data partitions. A partitioned
+//! system statically maps partition *i* to node *i*; a data-sharing system
+//! routes on capacity. E6 sweeps these models over both designs.
+
+/// How the hot partition moves over time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HotspotKind {
+    /// Perfectly uniform demand (the partitioned design's best case).
+    Uniform,
+    /// A static hotspot: `hot_share` of traffic always hits partition 0.
+    Static {
+        /// Fraction of traffic aimed at the hot partition.
+        hot_share: f64,
+    },
+    /// The hotspot migrates: at time `t` (in periods) partition
+    /// `floor(t) % n` is hot.
+    Migrating {
+        /// Fraction of traffic aimed at the current hot partition.
+        hot_share: f64,
+    },
+    /// A demand spike: during the first `duty` fraction of every period
+    /// one partition receives `hot_share`; otherwise demand is uniform.
+    Bursty {
+        /// Fraction of traffic aimed at the hot partition during a burst.
+        hot_share: f64,
+        /// Fraction of each period that is bursting.
+        duty: f64,
+    },
+}
+
+/// A demand model over `partitions` data partitions.
+#[derive(Debug, Clone, Copy)]
+pub struct HotspotModel {
+    /// Number of partitions (= nodes in the partitioned design).
+    pub partitions: usize,
+    /// The time-varying shape.
+    pub kind: HotspotKind,
+}
+
+impl HotspotModel {
+    /// Demand share per partition at time `t` (unit = periods). The vector
+    /// sums to 1.
+    pub fn shares_at(&self, t: f64) -> Vec<f64> {
+        let n = self.partitions;
+        let uniform = 1.0 / n as f64;
+        match self.kind {
+            HotspotKind::Uniform => vec![uniform; n],
+            HotspotKind::Static { hot_share } => self.hot_vector(0, hot_share),
+            HotspotKind::Migrating { hot_share } => {
+                let hot = (t.max(0.0).floor() as usize) % n;
+                self.hot_vector(hot, hot_share)
+            }
+            HotspotKind::Bursty { hot_share, duty } => {
+                let phase = t.rem_euclid(1.0);
+                if phase < duty {
+                    let hot = (t.max(0.0).floor() as usize) % n;
+                    self.hot_vector(hot, hot_share)
+                } else {
+                    vec![uniform; n]
+                }
+            }
+        }
+    }
+
+    fn hot_vector(&self, hot: usize, hot_share: f64) -> Vec<f64> {
+        let n = self.partitions;
+        if n == 1 {
+            return vec![1.0];
+        }
+        let cold = (1.0 - hot_share) / (n - 1) as f64;
+        (0..n).map(|i| if i == hot { hot_share } else { cold }).collect()
+    }
+
+    /// Peak-to-mean demand ratio at time `t` — how overloaded the hottest
+    /// node of a partitioned system is relative to a balanced one.
+    pub fn imbalance_at(&self, t: f64) -> f64 {
+        let shares = self.shares_at(t);
+        let peak = shares.iter().cloned().fold(0.0, f64::max);
+        peak * self.partitions as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sums_to_one(v: &[f64]) -> bool {
+        (v.iter().sum::<f64>() - 1.0).abs() < 1e-9
+    }
+
+    #[test]
+    fn uniform_is_balanced() {
+        let m = HotspotModel { partitions: 8, kind: HotspotKind::Uniform };
+        let s = m.shares_at(3.7);
+        assert!(sums_to_one(&s));
+        assert!((m.imbalance_at(0.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_hotspot_overloads_partition_zero() {
+        let m = HotspotModel { partitions: 4, kind: HotspotKind::Static { hot_share: 0.7 } };
+        let s = m.shares_at(9.0);
+        assert!(sums_to_one(&s));
+        assert!((s[0] - 0.7).abs() < 1e-9);
+        assert!((m.imbalance_at(0.0) - 2.8).abs() < 1e-9, "hot node sees 2.8x fair share");
+    }
+
+    #[test]
+    fn migrating_hotspot_rotates() {
+        let m = HotspotModel { partitions: 3, kind: HotspotKind::Migrating { hot_share: 0.6 } };
+        let hot_at = |t: f64| {
+            let s = m.shares_at(t);
+            s.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+        };
+        assert_eq!(hot_at(0.5), 0);
+        assert_eq!(hot_at(1.5), 1);
+        assert_eq!(hot_at(2.5), 2);
+        assert_eq!(hot_at(3.5), 0, "wraps around");
+    }
+
+    #[test]
+    fn bursty_alternates_between_spike_and_uniform() {
+        let m = HotspotModel { partitions: 4, kind: HotspotKind::Bursty { hot_share: 0.9, duty: 0.25 } };
+        assert!(m.imbalance_at(0.1) > 3.0, "inside the burst");
+        assert!((m.imbalance_at(0.9) - 1.0).abs() < 1e-9, "outside the burst");
+        assert!(sums_to_one(&m.shares_at(0.1)));
+    }
+
+    #[test]
+    fn single_partition_degenerates_cleanly() {
+        let m = HotspotModel { partitions: 1, kind: HotspotKind::Migrating { hot_share: 0.8 } };
+        assert_eq!(m.shares_at(2.0), vec![1.0]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Zipf-distributed sampling for access skew.
+//!
+//! θ = 0 is uniform; θ → 1 concentrates accesses heavily on the lowest
+//! ranks. The sampler precomputes the CDF and draws by binary search —
+//! exact, O(log n) per sample, no rejection.
+
+use rand::RngExt;
+
+/// A Zipf(θ) sampler over `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` items with skew `theta` (0 = uniform).
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "need at least one item");
+        assert!((0.0..=2.0).contains(&theta), "theta in [0, 2]");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in cdf.iter_mut() {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false: `new` requires n > 0 (present for clippy symmetry).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draw a rank in `0..n` (0 is the hottest).
+    pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// The probability mass of rank `i` (diagnostics).
+    pub fn mass(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 800.0, "roughly uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_theta_high() {
+        let z = Zipf::new(100, 0.99);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut head = 0usize;
+        let n = 100_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With θ≈1 over 100 items, the top 10 ranks carry ~58% of mass.
+        assert!(head as f64 / n as f64 > 0.5, "head share {}", head as f64 / n as f64);
+    }
+
+    #[test]
+    fn masses_sum_to_one_and_decrease() {
+        let z = Zipf::new(50, 0.8);
+        let total: f64 = (0..50).map(|i| z.mass(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(z.mass(0) > z.mass(1));
+        assert!(z.mass(1) > z.mass(49));
+    }
+
+    #[test]
+    fn samples_always_in_range() {
+        let z = Zipf::new(3, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Bank OLTP with continuous availability — the paper's §2.5 story.
+//!
+//! Three systems run a debit/credit workload through CICS-style regions
+//! with dynamic transaction routing and VTAM generic-resource logons. Mid
+//! run, one system is killed: the heartbeat fences it, ARM hands its
+//! database element to a survivor, peer recovery backs out its in-flight
+//! work and frees its retained locks, the router redirects new work — and
+//! the books still balance.
+//!
+//! Run with: `cargo run --example bank_oltp`
+
+use parallel_sysplex::cf::SystemId;
+use parallel_sysplex::db::group::{DataSharingGroup, GroupConfig};
+use parallel_sysplex::services::arm::ElementSpec;
+use parallel_sysplex::services::system::SystemConfig;
+use parallel_sysplex::services::sysplex::{Sysplex, SysplexConfig};
+use parallel_sysplex::services::wlm::ServiceClass;
+use parallel_sysplex::subsys::routing::TransactionRouter;
+use parallel_sysplex::subsys::tm::{CicsRegion, TranDef};
+use parallel_sysplex::subsys::vtam::{generic_resource_params, GenericResources};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const ACCOUNTS: u64 = 100;
+const OPENING_BALANCE: i64 = 1_000;
+
+fn main() {
+    let plex = Sysplex::new(SysplexConfig::functional("BANKPLEX"));
+    let cf = plex.add_cf("CF01");
+    let mut config = GroupConfig::default();
+    config.db.lock_timeout = Duration::from_millis(200);
+    let group = DataSharingGroup::new(config, &cf, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone())
+        .unwrap();
+    plex.wlm.define_class(ServiceClass {
+        name: "BANKHIGH".into(),
+        goal: Duration::from_millis(50),
+        importance: 1,
+    });
+
+    // Generic resources: customers just log on to "BANK".
+    let gr_list = cf.allocate_list_structure("ISTGENERIC", generic_resource_params()).unwrap();
+    let vtam = GenericResources::open(gr_list, plex.wlm.clone()).unwrap();
+
+    let router = TransactionRouter::new(plex.wlm.clone());
+    let mut regions = Vec::new();
+    for i in 0..3u8 {
+        let id = SystemId::new(i);
+        let image = plex.ipl(SystemConfig::cmos(id, 2));
+        let db = group.add_member(id).unwrap();
+        let region = CicsRegion::new(image, db, plex.wlm.clone());
+        install_transactions(&region);
+        router.register_region(Arc::clone(&region));
+        vtam.register_instance("BANK", &format!("BANK0{i}"), id).unwrap();
+        regions.push(region);
+    }
+
+    // ARM: when a system dies, a survivor recovers the group on its
+    // behalf.
+    let recovered_on = Arc::new(AtomicU64::new(u64::MAX));
+    for i in 0..3u8 {
+        let id = SystemId::new(i);
+        let group_for_arm = Arc::clone(&group);
+        let router_for_arm = Arc::clone(&router);
+        let recovered_on = Arc::clone(&recovered_on);
+        plex.arm
+            .register(
+                ElementSpec {
+                    name: format!("BANKDB{i:02}"),
+                    restart_group: "BANKGRP".into(),
+                    sequence: 1,
+                    affinity_to: None,
+                },
+                id,
+                move |target| {
+                    router_for_arm.deregister_region(id);
+                    if let Some(failed) = group_for_arm.crash_member(id) {
+                        let report = group_for_arm.recover_on(target, &failed).expect("peer recovery");
+                        recovered_on.store(target.0 as u64, Ordering::SeqCst);
+                        println!(
+                            "  ARM: peer recovery on {target}: {} txns backed out, {} updates undone, {} retained locks freed",
+                            report.backed_out_txns, report.undone_updates, report.retained_released
+                        );
+                    }
+                },
+            )
+            .unwrap();
+    }
+
+    // Open the accounts.
+    group
+        .member(SystemId::new(0))
+        .unwrap()
+        .run(10, |db, txn| {
+            for acct in 0..ACCOUNTS {
+                db.write(txn, acct, Some(&OPENING_BALANCE.to_be_bytes()))?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    println!("{ACCOUNTS} accounts opened with {OPENING_BALANCE} each");
+
+    // Customers log on through the generic resource and run transfers.
+    let sessions: Vec<_> = (0..6).map(|_| vtam.logon("BANK").unwrap()).collect();
+    println!(
+        "6 customers logged on to generic name BANK, bound across instances: {:?}",
+        sessions.iter().map(|s| s.instance.as_str()).collect::<Vec<_>>()
+    );
+
+    let completed = Arc::new(AtomicU64::new(0));
+    let failed_system = SystemId::new(2);
+
+    // Phase 1: all three systems healthy.
+    run_phase(&plex, &router, &completed, 120, "phase 1 (3 systems)");
+
+    // Phase 2: system 2 dies abruptly.
+    println!("\n*** killing {failed_system} mid-workload ***");
+    plex.kill(failed_system);
+    vtam.fail_system(failed_system).unwrap();
+    assert!(plex.farm.fence().is_fenced(failed_system.0), "fenced before anything else");
+    run_phase(&plex, &router, &completed, 120, "phase 2 (2 survivors)");
+
+    // The dropped customers just log on again — still to "BANK".
+    let rebind = vtam.logon("BANK").unwrap();
+    println!("re-logon after failure bound to {} on {}", rebind.instance, rebind.system);
+    assert_ne!(rebind.system, failed_system);
+
+    // Audit: the books balance exactly.
+    let survivor = group.member(SystemId::new(0)).unwrap();
+    let total: i64 = survivor
+        .run(10, |db, txn| {
+            let mut sum = 0i64;
+            for acct in 0..ACCOUNTS {
+                sum += i64::from_be_bytes(db.read(txn, acct)?.unwrap()[..8].try_into().unwrap());
+            }
+            Ok(sum)
+        })
+        .unwrap();
+    println!("\naudit: total balance = {total} (expected {})", ACCOUNTS as i64 * OPENING_BALANCE);
+    assert_eq!(total, ACCOUNTS as i64 * OPENING_BALANCE, "money conserved across the failure");
+    let target = recovered_on.load(Ordering::SeqCst);
+    assert!(target != u64::MAX, "ARM ran peer recovery");
+    assert_ne!(target, failed_system.0 as u64, "recovery ran on a survivor, not the corpse");
+    println!("continuous availability demonstrated: {} transactions completed", completed.load(Ordering::SeqCst));
+
+    for r in &regions {
+        if r.system().id() != failed_system {
+            r.system().quiesce();
+        }
+    }
+}
+
+fn install_transactions(region: &CicsRegion) {
+    let rng_state = Arc::new(Mutex::new(0x2545_F491_4F6C_DD1Du64 ^ region.system().id().0 as u64));
+    region.define(TranDef {
+        name: "XFER".into(),
+        service_class: "BANKHIGH".into(),
+        handler: Arc::new(move |db, txn| {
+            let (from, to) = {
+                let mut s = rng_state.lock();
+                *s ^= *s << 13;
+                *s ^= *s >> 7;
+                *s ^= *s << 17;
+                let from = *s % ACCOUNTS;
+                *s ^= *s << 13;
+                *s ^= *s >> 7;
+                *s ^= *s << 17;
+                (from, *s % ACCOUNTS)
+            };
+            if from == to {
+                return Ok(());
+            }
+            // Lock in key order to avoid deadlocks.
+            let (lo, hi) = if from < to { (from, to) } else { (to, from) };
+            let lo_v = i64::from_be_bytes(db.read(txn, lo)?.unwrap()[..8].try_into().unwrap());
+            let hi_v = i64::from_be_bytes(db.read(txn, hi)?.unwrap()[..8].try_into().unwrap());
+            let amount = 5;
+            let (lo_n, hi_n) =
+                if lo == from { (lo_v - amount, hi_v + amount) } else { (lo_v + amount, hi_v - amount) };
+            db.write(txn, lo, Some(&lo_n.to_be_bytes()))?;
+            db.write(txn, hi, Some(&hi_n.to_be_bytes()))
+        }),
+    });
+}
+
+fn run_phase(
+    plex: &Sysplex,
+    router: &TransactionRouter,
+    completed: &Arc<AtomicU64>,
+    n: usize,
+    label: &str,
+) {
+    let mut pending = Vec::new();
+    for _ in 0..n {
+        plex.tick();
+        match router.submit("XFER") {
+            Ok(p) => pending.push(p),
+            Err(e) => println!("  route refused: {e}"),
+        }
+    }
+    let mut ok = 0;
+    for p in pending {
+        if p.wait(Duration::from_secs(30)).is_ok() {
+            ok += 1;
+            completed.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    println!("{label}: {ok}/{n} transactions completed; distribution {:?}", router.distribution());
+}

@@ -1,0 +1,115 @@
+//! Granular, non-disruptive growth (§2.4) — and planned removal (§2.5).
+//!
+//! Start with one system under load, IPL two more into the running
+//! sysplex, and watch WLM steer new work toward the added capacity with
+//! no repartitioning and no interruption. Then remove a system for
+//! "maintenance" and watch the work flow back — the rolling-upgrade
+//! pattern the paper describes.
+//!
+//! Run with: `cargo run --example granular_growth`
+
+use parallel_sysplex::cf::SystemId;
+use parallel_sysplex::db::group::{DataSharingGroup, GroupConfig};
+use parallel_sysplex::services::system::SystemConfig;
+use parallel_sysplex::services::sysplex::{Sysplex, SysplexConfig};
+use parallel_sysplex::services::wlm::ServiceClass;
+use parallel_sysplex::subsys::routing::TransactionRouter;
+use parallel_sysplex::subsys::tm::{CicsRegion, TranDef};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let plex = Sysplex::new(SysplexConfig::functional("GROWPLEX"));
+    let cf = plex.add_cf("CF01");
+    let group = DataSharingGroup::new(
+        GroupConfig::default(),
+        &cf,
+        plex.farm.clone(),
+        plex.timer.clone(),
+        plex.xcf.clone(),
+    )
+    .unwrap();
+    plex.wlm.define_class(ServiceClass {
+        name: "OLTP".into(),
+        goal: Duration::from_millis(100),
+        importance: 2,
+    });
+    let router = TransactionRouter::new(plex.wlm.clone());
+
+    let add_system = |i: u8| -> Arc<CicsRegion> {
+        let id = SystemId::new(i);
+        let image = plex.ipl(SystemConfig::cmos(id, 2));
+        let db = group.add_member(id).unwrap();
+        let region = CicsRegion::new(image, db, plex.wlm.clone());
+        region.define(TranDef {
+            name: "WORK".into(),
+            service_class: "OLTP".into(),
+            handler: Arc::new(|db, txn| {
+                db.write(txn, 7, Some(b"busy"))?;
+                db.read(txn, 7).map(|_| ())
+            }),
+        });
+        router.register_region(Arc::clone(&region));
+        region
+    };
+
+    let burst = |label: &str| {
+        let before = router.distribution();
+        let pending: Vec<_> = (0..60).filter_map(|_| router.submit("WORK").ok()).collect();
+        for p in pending {
+            p.wait(Duration::from_secs(30)).unwrap();
+        }
+        plex.tick();
+        let after = router.distribution();
+        let delta: Vec<(SystemId, u64)> = after
+            .iter()
+            .map(|(id, n)| {
+                let prev = before.iter().find(|(i, _)| i == id).map(|(_, n)| *n).unwrap_or(0);
+                (*id, n - prev)
+            })
+            .collect();
+        println!("{label}: burst of 60 routed as {delta:?}");
+        delta
+    };
+
+    // One system carries everything.
+    let _r0 = add_system(0);
+    plex.tick();
+    let d = burst("1 system ");
+    assert_eq!(d[0].1, 60);
+
+    // IPL system 1 while work is flowing: no repartitioning, it simply
+    // starts receiving its share.
+    let _r1 = add_system(1);
+    plex.tick();
+    let d = burst("2 systems");
+    assert!(d.iter().all(|(_, n)| *n > 0), "new system participates at once: {d:?}");
+
+    let _r2 = add_system(2);
+    plex.tick();
+    let d = burst("3 systems");
+    assert_eq!(d.len(), 3);
+    assert!(d.iter().all(|(_, n)| *n >= 15), "steady state is an even spread: {d:?}");
+
+    // Planned removal of system 1 for 'maintenance': quiesce and drain,
+    // no failure processing, work flows to the remaining two.
+    println!("\nremoving SYS01 for planned maintenance…");
+    router.deregister_region(SystemId::new(1));
+    group.remove_member(SystemId::new(1));
+    plex.remove_planned(SystemId::new(1));
+    let d = burst("2 systems");
+    assert!(d.iter().all(|(id, n)| (*id == SystemId::new(1)) == (*n == 0)), "{d:?}");
+    assert!(!plex.farm.fence().is_fenced(1), "planned removal never fences");
+
+    // …and back in after the 'upgrade': rolling migration complete.
+    println!("re-introducing SYS01…");
+    let _r1b = add_system(1);
+    plex.tick();
+    let d = burst("3 systems");
+    assert!(d.iter().any(|(id, n)| *id == SystemId::new(1) && *n > 0), "rejoined: {d:?}");
+
+    println!("granular growth and rolling removal complete; total capacity now {:.0} MIPS", plex.total_capacity_mips());
+    for id in [0u8, 1, 2] {
+        plex.remove_planned(SystemId::new(id));
+    }
+}

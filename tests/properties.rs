@@ -1,0 +1,427 @@
+//! Property-based tests over the core data structures and invariants.
+
+use parallel_sysplex::cf::bitvec::BitVector;
+use parallel_sysplex::cf::hashing::hash_to_slot;
+use parallel_sysplex::cf::list::{DequeueEnd, ListParams, ListStructure, LockCondition, WritePosition};
+use parallel_sysplex::cf::lock::{LockMode, LockParams, LockResponse, LockStructure};
+use parallel_sysplex::cf::types::conns_in_mask;
+use parallel_sysplex::db::log::LogRecord;
+use parallel_sysplex::db::pagestore::Page;
+use parallel_sysplex::services::timer::Tod;
+use parallel_sysplex::workload::decision::ScanQuery;
+use parallel_sysplex::workload::Zipf;
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ----- page codec -----
+
+    #[test]
+    fn page_codec_roundtrips(records in proptest::collection::btree_map(any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64), 0..40)) {
+        let mut page = Page::new();
+        for (k, v) in &records {
+            page.set(*k, v);
+        }
+        let decoded = Page::decode(&page.encode(), 0).unwrap();
+        prop_assert_eq!(decoded.len(), records.len());
+        for (k, v) in &records {
+            prop_assert_eq!(decoded.get(*k).unwrap(), v.as_slice());
+        }
+        // Key order is canonical.
+        let keys: Vec<u64> = decoded.iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn page_mutations_match_btreemap_model(ops in proptest::collection::vec((any::<u64>(), proptest::option::of(proptest::collection::vec(any::<u8>(), 0..16))), 0..60)) {
+        let mut page = Page::new();
+        let mut model: std::collections::BTreeMap<u64, Vec<u8>> = Default::default();
+        for (k, v) in ops {
+            match v {
+                Some(v) => {
+                    prop_assert_eq!(page.set(k, &v), model.insert(k, v));
+                }
+                None => {
+                    prop_assert_eq!(page.remove(k), model.remove(&k));
+                }
+            }
+        }
+        prop_assert_eq!(page.len(), model.len());
+        for (k, v) in &model {
+            prop_assert_eq!(page.get(*k).unwrap(), v.as_slice());
+        }
+    }
+
+    // ----- log codec -----
+
+    #[test]
+    fn log_codec_roundtrips(
+        lsn in any::<u64>(),
+        txn in any::<u64>(),
+        page in any::<u64>(),
+        key in any::<u64>(),
+        before in proptest::option::of(proptest::collection::vec(any::<u8>(), 0..32)),
+        after in proptest::option::of(proptest::collection::vec(any::<u8>(), 0..32)),
+        kind in 0u8..3,
+    ) {
+        let rec = match kind {
+            0 => LogRecord::Update { lsn: Tod(lsn), txn, page, key, before, after },
+            1 => LogRecord::Commit { lsn: Tod(lsn), txn },
+            _ => LogRecord::Abort { lsn: Tod(lsn), txn },
+        };
+        // Encode via the private encoder by writing through a LogManager is
+        // heavyweight; the enum derives PartialEq so a roundtrip through
+        // DASD in log.rs unit tests covers bytes. Here: semantic accessors.
+        prop_assert_eq!(rec.lsn(), Tod(lsn));
+        prop_assert_eq!(rec.txn(), txn);
+    }
+
+    // ----- hashing -----
+
+    #[test]
+    fn hash_to_slot_in_range(name in proptest::collection::vec(any::<u8>(), 0..64), len in 1usize..1_000_000) {
+        prop_assert!(hash_to_slot(&name, len) < len);
+    }
+
+    // ----- bit vector vs model -----
+
+    #[test]
+    fn bitvector_matches_model(len in 1usize..300, ops in proptest::collection::vec((any::<bool>(), any::<u16>()), 0..200)) {
+        let v = BitVector::new(len);
+        let mut model = vec![false; len];
+        for (set, idx) in ops {
+            let idx = idx as usize % len;
+            if set {
+                prop_assert_eq!(v.set(idx), model[idx]);
+                model[idx] = true;
+            } else {
+                prop_assert_eq!(v.clear(idx), model[idx]);
+                model[idx] = false;
+            }
+        }
+        for (i, &m) in model.iter().enumerate() {
+            prop_assert_eq!(v.test(i), m);
+        }
+        prop_assert_eq!(v.count_set(), model.iter().filter(|&&b| b).count());
+    }
+
+    // ----- zipf -----
+
+    #[test]
+    fn zipf_masses_are_a_distribution(n in 1usize..200, theta in 0.0f64..1.5) {
+        let z = Zipf::new(n, theta);
+        let total: f64 = (0..n).map(|i| z.mass(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        for i in 1..n {
+            prop_assert!(z.mass(i - 1) >= z.mass(i) - 1e-12, "mass decreasing at {}", i);
+        }
+    }
+
+    // ----- decision split -----
+
+    #[test]
+    fn scan_split_partitions_exactly(from in 0u64..10_000, len in 0u64..10_000, n in 0usize..40) {
+        let q = ScanQuery { from, to: from + len };
+        let shards = q.split(n);
+        let covered: u64 = shards.iter().map(|s| s.to - s.from).sum();
+        prop_assert_eq!(covered, q.len());
+        for w in shards.windows(2) {
+            prop_assert_eq!(w[0].to, w[1].from);
+        }
+        if let (Some(first), Some(last)) = (shards.first(), shards.last()) {
+            prop_assert_eq!(first.from, q.from);
+            prop_assert_eq!(last.to, q.to);
+        }
+        if !shards.is_empty() {
+            let sizes: Vec<u64> = shards.iter().map(|s| s.to - s.from).collect();
+            prop_assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        }
+    }
+}
+
+// ----- VSAM KSDS vs a BTreeMap model -----
+
+#[derive(Debug, Clone)]
+enum KsdsOp {
+    Put(u16, Vec<u8>),
+    Erase(u16),
+    Get(u16),
+    Browse(u16, u8),
+}
+
+fn ksds_op_strategy() -> impl Strategy<Value = KsdsOp> {
+    prop_oneof![
+        3 => (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..12)).prop_map(|(k, v)| KsdsOp::Put(k % 200, v)),
+        1 => any::<u16>().prop_map(|k| KsdsOp::Erase(k % 200)),
+        2 => any::<u16>().prop_map(|k| KsdsOp::Get(k % 200)),
+        1 => (any::<u16>(), any::<u8>()).prop_map(|(k, n)| KsdsOp::Browse(k % 200, n % 20)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The KSDS (string keys, CI splits, ordered browse) behaves exactly
+    /// like a sorted map under arbitrary operation sequences.
+    #[test]
+    fn vsam_ksds_matches_btreemap_model(ops in proptest::collection::vec(ksds_op_strategy(), 0..80)) {
+        use parallel_sysplex::cf::facility::{CfConfig, CouplingFacility};
+        use parallel_sysplex::dasd::farm::DasdFarm;
+        use parallel_sysplex::dasd::volume::IoModel;
+        use parallel_sysplex::db::group::{DataSharingGroup, GroupConfig};
+        use parallel_sysplex::db::vsam::Ksds;
+        use parallel_sysplex::services::timer::SysplexTimer;
+        use parallel_sysplex::services::xcf::Xcf;
+
+        let cf = CouplingFacility::new(CfConfig::named("CF01"));
+        let farm = DasdFarm::new(IoModel::instant());
+        let timer = SysplexTimer::new();
+        let xcf = Xcf::new(std::sync::Arc::clone(&timer));
+        let group = DataSharingGroup::new(GroupConfig::default(), &cf, farm, timer, xcf).unwrap();
+        let db = group.add_member(parallel_sysplex::cf::SystemId::new(0)).unwrap();
+        let file = Ksds::define(db, 1 << 20, 4).unwrap();
+        let mut model: std::collections::BTreeMap<String, Vec<u8>> = Default::default();
+        let key_of = |k: u16| format!("K{k:05}");
+        for op in ops {
+            match op {
+                KsdsOp::Put(k, v) => {
+                    file.put(&key_of(k), &v).unwrap();
+                    model.insert(key_of(k), v);
+                }
+                KsdsOp::Erase(k) => {
+                    let existed = file.erase(&key_of(k)).unwrap();
+                    prop_assert_eq!(existed, model.remove(&key_of(k)).is_some());
+                }
+                KsdsOp::Get(k) => {
+                    prop_assert_eq!(file.get(&key_of(k)).unwrap(), model.get(&key_of(k)).cloned());
+                }
+                KsdsOp::Browse(k, n) => {
+                    let got = file.browse(&key_of(k), n as usize).unwrap();
+                    let want: Vec<(String, Vec<u8>)> = model
+                        .range(key_of(k)..)
+                        .take(n as usize)
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        prop_assert_eq!(file.record_count().unwrap(), model.len());
+        group.remove_member(parallel_sysplex::cf::SystemId::new(0));
+    }
+}
+
+// ----- cache structure: the coherency invariant -----
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    /// Connector registers + refills its copy of a block.
+    Register { conn: u8, block: u8 },
+    /// Connector writes a block (holding serialization, by construction).
+    Write { conn: u8, block: u8, value: u8 },
+}
+
+fn cache_op_strategy() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        (0u8..3, 0u8..4).prop_map(|(conn, block)| CacheOp::Register { conn, block }),
+        (0u8..3, 0u8..4, any::<u8>()).prop_map(|(conn, block, value)| CacheOp::Write { conn, block, value }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The §3.3.2 safety property: a connector whose validity bit is set
+    /// holds the latest committed copy — across any interleaving of
+    /// registrations and writes.
+    #[test]
+    fn cache_structure_valid_bit_implies_current_copy(ops in proptest::collection::vec(cache_op_strategy(), 0..150)) {
+        use parallel_sysplex::cf::cache::{BlockName, CacheParams, CacheStructure, WriteKind};
+        let cache = CacheStructure::new("P", &CacheParams::store_in(64)).unwrap();
+        let conns: Vec<_> = (0..3).map(|_| cache.connect(4).unwrap()).collect();
+        // Model: latest committed value per block; each connector's local
+        // copy of each block (what it last refilled).
+        let mut latest: HashMap<u8, u8> = HashMap::new();
+        let mut local: HashMap<(u8, u8), u8> = HashMap::new();
+        let blk = |b: u8| BlockName::from_parts(1, b as u64);
+        for op in ops {
+            match op {
+                CacheOp::Register { conn, block } => {
+                    let r = cache.read_and_register(&conns[conn as usize], blk(block), block as u32).unwrap();
+                    // Refill from the CF copy or "DASD" (the model's latest).
+                    let refill = r
+                        .data
+                        .map(|d| d[0])
+                        .or_else(|| latest.get(&block).copied());
+                    if let Some(v) = refill {
+                        local.insert((conn, block), v);
+                    }
+                }
+                CacheOp::Write { conn, block, value } => {
+                    cache
+                        .write_and_invalidate(&conns[conn as usize], blk(block), &[value], WriteKind::ChangedData)
+                        .unwrap();
+                    latest.insert(block, value);
+                    local.insert((conn, block), value);
+                }
+            }
+            // Invariant sweep: any set bit must imply a current copy.
+            for (c, conn) in conns.iter().enumerate() {
+                for b in 0u8..4 {
+                    if conn.is_valid(b as u32) {
+                        if let Some(expected) = latest.get(&b) {
+                            let have = local.get(&(c as u8, b));
+                            prop_assert_eq!(
+                                have,
+                                Some(expected),
+                                "conn {} block {} valid bit with stale copy",
+                                c,
+                                b
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ----- lock structure vs a reference model -----
+
+#[derive(Debug, Clone)]
+enum LockOp {
+    Request { conn: u8, entry: u8, exclusive: bool },
+    Release { conn: u8, entry: u8 },
+}
+
+fn lock_op_strategy(conns: u8, entries: u8) -> impl Strategy<Value = LockOp> {
+    prop_oneof![
+        (0..conns, 0..entries, any::<bool>())
+            .prop_map(|(conn, entry, exclusive)| LockOp::Request { conn, entry, exclusive }),
+        (0..conns, 0..entries).prop_map(|(conn, entry)| LockOp::Release { conn, entry }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lock_structure_matches_reference_model(ops in proptest::collection::vec(lock_op_strategy(4, 4), 0..120)) {
+        let s = LockStructure::new("P", &LockParams::with_entries(4)).unwrap();
+        let conns: Vec<_> = (0..4).map(|_| s.connect().unwrap()).collect();
+        // Model: per entry, set of sharers + optional exclusive owner.
+        #[derive(Default, Clone)]
+        struct Entry {
+            sharers: HashSet<u8>,
+            excl: Option<u8>,
+        }
+        let mut model: HashMap<u8, Entry> = HashMap::new();
+        for op in ops {
+            match op {
+                LockOp::Request { conn, entry, exclusive } => {
+                    let m = model.entry(entry).or_default();
+                    let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                    let resp = s.request(conns[conn as usize], entry as usize, mode).unwrap();
+                    let foreign_excl = m.excl.filter(|&e| e != conn);
+                    let foreign_share: HashSet<u8> = m.sharers.iter().copied().filter(|&c| c != conn).collect();
+                    let compatible = if exclusive {
+                        foreign_excl.is_none() && foreign_share.is_empty()
+                    } else {
+                        foreign_excl.is_none()
+                    };
+                    match resp {
+                        LockResponse::Granted => {
+                            prop_assert!(compatible, "granted but model says conflict");
+                            if exclusive {
+                                m.excl = Some(conn);
+                            } else {
+                                m.sharers.insert(conn);
+                            }
+                        }
+                        LockResponse::Contention { holders, exclusive: excl_holder } => {
+                            prop_assert!(!compatible, "contention but model says compatible");
+                            // Holder set must include every conflicting peer.
+                            let holder_set: HashSet<u8> = conns_in_mask(holders).map(|c| c.raw()).collect();
+                            for c in &foreign_share {
+                                prop_assert!(holder_set.contains(c));
+                            }
+                            if let Some(e) = foreign_excl {
+                                prop_assert!(holder_set.contains(&e));
+                                prop_assert_eq!(excl_holder.map(|c| c.raw()), Some(e));
+                            }
+                        }
+                    }
+                }
+                LockOp::Release { conn, entry } => {
+                    s.release(conns[conn as usize], entry as usize).unwrap();
+                    let m = model.entry(entry).or_default();
+                    m.sharers.remove(&conn);
+                    if m.excl == Some(conn) {
+                        m.excl = None;
+                    }
+                }
+            }
+        }
+        // Final state agrees.
+        for (entry, m) in &model {
+            let (share, excl) = s.holders(*entry as usize);
+            let share_set: HashSet<u8> = conns_in_mask(share).map(|c| c.raw()).collect();
+            prop_assert_eq!(&share_set, &m.sharers, "entry {} sharers", entry);
+            prop_assert_eq!(excl.map(|c| c.raw()), m.excl, "entry {} excl", entry);
+        }
+    }
+
+    // ----- list structure conservation -----
+
+    #[test]
+    fn list_operations_conserve_entries(ops in proptest::collection::vec((0u8..4, 0u8..3, any::<u64>()), 0..100)) {
+        let s = ListStructure::new("P", &ListParams::with_headers(3)).unwrap();
+        let conn = s.connect(4).unwrap();
+        let mut live: Vec<parallel_sysplex::cf::list::EntryId> = Vec::new();
+        let mut expected = 0usize;
+        for (op, header, key) in ops {
+            let header = header as usize;
+            match op {
+                0 => {
+                    let id = s
+                        .write_entry(&conn, header, key, b"x", WritePosition::Keyed, LockCondition::None)
+                        .unwrap();
+                    live.push(id);
+                    expected += 1;
+                }
+                1 => {
+                    if s.dequeue(&conn, header, DequeueEnd::Head, LockCondition::None).unwrap().is_some() {
+                        expected -= 1;
+                    }
+                }
+                2 => {
+                    if let Some(&id) = live.get(key as usize % live.len().max(1)) {
+                        // Move may fail if the entry was dequeued already.
+                        let _ = s.move_entry(&conn, id, header, WritePosition::Tail, LockCondition::None);
+                    }
+                }
+                _ => {
+                    let other = (header + 1) % 3;
+                    if s.move_first(&conn, header, other, DequeueEnd::Head, WritePosition::Keyed, LockCondition::None)
+                        .unwrap()
+                        .is_some()
+                    {
+                        // moved, not consumed
+                    }
+                }
+            }
+            let total: usize = (0..3).map(|h| s.header_len(h).unwrap()).sum();
+            prop_assert_eq!(total, expected, "entries conserved");
+            prop_assert_eq!(s.entry_count(), expected);
+        }
+        // Keyed headers remain key-sorted.
+        for h in 0..3 {
+            let keys: Vec<u64> = s.read_list(&conn, h).unwrap().iter().map(|e| e.key).collect();
+            let _ = keys; // ordering within mixed Tail/Keyed inserts is not globally sorted
+        }
+    }
+}

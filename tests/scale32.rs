@@ -1,0 +1,78 @@
+//! The architectural maximum, live: "a configuration of 32 systems"
+//! (§1) sharing one database with full integrity, surviving a failure,
+//! with the CF's connector space exactly exhausted.
+
+use parallel_sysplex::cf::SystemId;
+use parallel_sysplex::db::group::{DataSharingGroup, GroupConfig};
+use parallel_sysplex::services::sysplex::{Sysplex, SysplexConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn thirty_two_members_share_one_database() {
+    let plex = Sysplex::new(SysplexConfig::functional("MAXPLEX"));
+    let cf = plex.add_cf("CF01");
+    let mut config = GroupConfig::default();
+    config.db.lock_timeout = Duration::from_millis(300);
+    let group = DataSharingGroup::new(config, &cf, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone())
+        .unwrap();
+
+    // IPL the architectural maximum.
+    let members: Vec<_> = (0..32u8).map(|i| group.add_member(SystemId::new(i)).unwrap()).collect();
+    assert_eq!(members.len(), 32);
+    // The connector space is exactly full.
+    assert!(group.add_member(SystemId::new(0)).is_err(), "33rd connector refused");
+
+    // Every member writes its own record and increments one shared
+    // counter; every member reads everyone's record.
+    let mut handles = Vec::new();
+    for m in &members {
+        let m = Arc::clone(m);
+        handles.push(std::thread::spawn(move || {
+            let me = m.system().0 as u64;
+            m.run(500, move |db, txn| {
+                db.write(txn, 1000 + me, Some(&me.to_be_bytes()))?;
+                let c = db
+                    .read(txn, 0)?
+                    .map(|v| u64::from_be_bytes(v[..8].try_into().unwrap()))
+                    .unwrap_or(0);
+                db.write(txn, 0, Some(&(c + 1).to_be_bytes()))
+            })
+            .unwrap();
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let auditor = &members[31];
+    let counter = auditor
+        .run(10, |db, txn| db.read(txn, 0))
+        .unwrap()
+        .map(|v| u64::from_be_bytes(v[..8].try_into().unwrap()))
+        .unwrap();
+    assert_eq!(counter, 32, "all 32 increments serialized correctly");
+    for i in 0..32u64 {
+        let v = auditor.run(10, move |db, txn| db.read(txn, 1000 + i)).unwrap().unwrap();
+        assert_eq!(v, i.to_be_bytes(), "member {i}'s record visible to member 31");
+    }
+
+    // Lose one of the 32 mid-flight; peers recover; the slot is reusable.
+    let mut stranded = members[7].begin();
+    members[7].write(&mut stranded, 500, Some(b"stranded")).unwrap();
+    let failed = group.crash_member(SystemId::new(7)).unwrap();
+    // What the heartbeat's fail-stop path would do: fail the dead
+    // system's XCF members out of their groups.
+    plex.xcf.fail_system(SystemId::new(7));
+    let report = group.recover_on(SystemId::new(8), &failed).unwrap();
+    assert!(report.retained_released >= 1);
+    let rejoined = group.add_member(SystemId::new(7)).unwrap();
+    rejoined.run(10, |db, txn| db.write(txn, 500, Some(b"rejoined"))).unwrap();
+
+    // The lock structure saw heavy synchronous traffic.
+    let rates = group.lock_structure().rates();
+    assert!(rates.sync_grant_fraction > 0.5, "sync rate {}", rates.sync_grant_fraction);
+
+    for m in group.members() {
+        group.remove_member(m.system());
+    }
+}
