@@ -9,9 +9,9 @@
 //! times the raw lock commands.
 
 use criterion::Criterion;
-use std::sync::Arc;
-use sysplex_bench::{banner, row, small_criterion};
-use sysplex_core::lock::{LockMode, LockParams, LockStructure};
+use sysplex_bench::{banner, command_path_report, row, small_criterion};
+use sysplex_core::facility::{CfConfig, CouplingFacility};
+use sysplex_core::lock::{LockMode, LockParams};
 use sysplex_core::SystemId;
 use sysplex_db::irlm::Irlm;
 use sysplex_services::timer::SysplexTimer;
@@ -22,9 +22,10 @@ fn false_contention_sweep() {
     row("table entries", &["requests", "contention %", "false %", "sync grant %"].map(String::from));
     for entries in [64usize, 256, 1024, 4096, 16384] {
         let xcf = Xcf::new(SysplexTimer::new());
-        let structure = Arc::new(LockStructure::new("SWEEP", &LockParams::with_entries(entries)).unwrap());
-        let a = Irlm::start(SystemId::new(0), Arc::clone(&structure), &xcf).unwrap();
-        let b = Irlm::start(SystemId::new(1), Arc::clone(&structure), &xcf).unwrap();
+        let cf = CouplingFacility::new(CfConfig::named("CF01"));
+        let structure = cf.allocate_lock_structure("SWEEP", LockParams::with_entries(entries)).unwrap();
+        let a = Irlm::start(SystemId::new(0), cf.connect_lock("SWEEP").unwrap(), &xcf).unwrap();
+        let b = Irlm::start(SystemId::new(1), cf.connect_lock("SWEEP").unwrap(), &xcf).unwrap();
         // Interleave: a locks evens, b locks odds — all cross-system
         // contention is false (different resources, shared hash classes).
         let resources = 600u64;
@@ -49,13 +50,13 @@ fn false_contention_sweep() {
             ],
         );
         if entries >= 4096 {
-            assert!(
-                (cont as f64 / req as f64) < 0.25,
-                "production-size tables keep contention low"
-            );
+            assert!((cont as f64 / req as f64) < 0.25, "production-size tables keep contention low");
         }
         a.shutdown();
         b.shutdown();
+        if entries == 16384 {
+            command_path_report(&cf);
+        }
     }
     println!("\npaper §3.3.1: hashing keeps false contention to a minimum — rate falls with table size");
 }
@@ -64,9 +65,10 @@ fn real_vs_false_classification() {
     banner("E10b: real conflicts are still always detected");
     let xcf = Xcf::new(SysplexTimer::new());
     // One entry: everything collides at the CF level.
-    let structure = Arc::new(LockStructure::new("TINY", &LockParams::with_entries(1)).unwrap());
-    let a = Irlm::start(SystemId::new(0), Arc::clone(&structure), &xcf).unwrap();
-    let b = Irlm::start(SystemId::new(1), Arc::clone(&structure), &xcf).unwrap();
+    let cf = CouplingFacility::new(CfConfig::named("CF01"));
+    cf.allocate_lock_structure("TINY", LockParams::with_entries(1)).unwrap();
+    let a = Irlm::start(SystemId::new(0), cf.connect_lock("TINY").unwrap(), &xcf).unwrap();
+    let b = Irlm::start(SystemId::new(1), cf.connect_lock("TINY").unwrap(), &xcf).unwrap();
     a.lock(1, b"ROW.A", LockMode::Exclusive, false).unwrap();
     // False: different resource.
     assert!(matches!(
@@ -86,27 +88,29 @@ fn real_vs_false_classification() {
 }
 
 fn lock_command_bench(c: &mut Criterion) {
-    let structure = Arc::new(LockStructure::new("BENCH", &LockParams::with_entries(65536)).unwrap());
-    let conn = structure.connect().unwrap();
+    let cf = CouplingFacility::new(CfConfig::named("CF01"));
+    cf.allocate_lock_structure("BENCH", LockParams::with_entries(65536)).unwrap();
+    let conn = cf.connect_lock("BENCH").unwrap();
     let mut group = c.benchmark_group("e10_lock_commands");
     let mut i = 0usize;
     group.bench_function("request_release_exclusive", |b| {
         b.iter(|| {
             i = (i + 1) % 65536;
-            structure.request(conn, i, LockMode::Exclusive).unwrap();
-            structure.release(conn, i).unwrap();
+            conn.request_lock(i, LockMode::Exclusive).unwrap();
+            conn.release_lock(i).unwrap();
         })
     });
     group.bench_function("hash_resource", |b| {
-        b.iter(|| std::hint::black_box(structure.hash_resource(b"DB2.TS000123.ROW00456789")))
+        b.iter(|| std::hint::black_box(conn.hash_resource(b"DB2.TS000123.ROW00456789")))
     });
     group.bench_function("write_delete_record", |b| {
         b.iter(|| {
-            structure.write_record(conn, b"ROW.X", LockMode::Exclusive, b"TXN").unwrap();
-            structure.delete_record(conn, b"ROW.X").unwrap();
+            conn.write_lock_record(b"ROW.X", LockMode::Exclusive, b"TXN").unwrap();
+            conn.delete_lock_record(b"ROW.X").unwrap();
         })
     });
     group.finish();
+    command_path_report(&cf);
 }
 
 fn main() {

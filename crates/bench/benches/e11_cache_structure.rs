@@ -11,10 +11,10 @@
 
 use criterion::Criterion;
 use std::hint::black_box;
-use std::sync::Arc;
 use std::time::Instant;
-use sysplex_bench::{banner, row, small_criterion};
+use sysplex_bench::{banner, command_path_report, row, small_criterion};
 use sysplex_core::cache::{BlockName, CacheParams, CacheStructure, WriteKind};
+use sysplex_core::facility::{CfConfig, CouplingFacility};
 
 fn xi_fanout_table() {
     banner("E11: cross-invalidate cost vs registered peers (signals are targeted)");
@@ -68,33 +68,35 @@ fn refresh_ablation() {
 }
 
 fn coherency_bench(c: &mut Criterion) {
-    let cache = Arc::new(CacheStructure::new("GBP", &CacheParams::store_in(4096)).unwrap());
-    let a = cache.connect(256).unwrap();
-    let b = cache.connect(256).unwrap();
+    // All commands flow through cache connections on a shared facility, so
+    // the command-path accounting below covers every operation benched here.
+    let cf = CouplingFacility::new(CfConfig::named("CF01"));
+    cf.allocate_cache_structure("GBP", CacheParams::store_in(4096)).unwrap();
+    let a = cf.connect_cache("GBP", 256).unwrap();
+    let b = cf.connect_cache("GBP", 256).unwrap();
     let blk = BlockName::from_parts(7, 7);
-    cache.read_and_register(&a, blk, 0).unwrap();
+    a.register_read(blk, 0).unwrap();
 
     let mut group = c.benchmark_group("e11_coherency_hierarchy");
     // The nanosecond path: no CF access at all.
     group.bench_function("local_validity_test", |bch| bch.iter(|| black_box(a.is_valid(0))));
     // CF commands.
-    group.bench_function("read_and_register", |bch| {
-        bch.iter(|| cache.read_and_register(&a, blk, 0).unwrap())
-    });
+    group.bench_function("read_and_register", |bch| bch.iter(|| a.register_read(blk, 0).unwrap()));
     group.bench_function("write_and_invalidate_1_peer", |bch| {
         bch.iter(|| {
-            cache.read_and_register(&b, blk, 1).unwrap();
-            cache.write_and_invalidate(&a, blk, b"payload", WriteKind::ChangedData).unwrap()
+            b.register_read(blk, 1).unwrap();
+            a.write_invalidate(blk, b"payload", WriteKind::ChangedData).unwrap()
         })
     });
     group.bench_function("castout_cycle", |bch| {
         bch.iter(|| {
-            cache.write_and_invalidate(&a, blk, b"dirty", WriteKind::ChangedData).unwrap();
-            let (_, v) = cache.read_for_castout(&a, blk).unwrap();
-            cache.complete_castout(&a, blk, v).unwrap();
+            a.write_invalidate(blk, b"dirty", WriteKind::ChangedData).unwrap();
+            let (_, v) = a.castout_read(blk).unwrap();
+            a.castout_complete(blk, v).unwrap();
         })
     });
     group.finish();
+    command_path_report(&cf);
 }
 
 fn main() {

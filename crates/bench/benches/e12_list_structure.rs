@@ -7,7 +7,8 @@
 use criterion::Criterion;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use sysplex_bench::{banner, row, small_criterion};
+use sysplex_bench::{banner, command_path_report, row, small_criterion};
+use sysplex_core::facility::{CfConfig, CouplingFacility};
 use sysplex_core::list::{DequeueEnd, ListParams, ListStructure, LockCondition, WritePosition};
 use sysplex_subsys::workq::{queue_params, SharedQueue};
 
@@ -41,9 +42,10 @@ fn serialized_list_protocol() {
 
 fn transition_signal_latency() {
     banner("E12b: transition-signal wakeup latency (consumer parked, producer enqueues)");
-    let list = Arc::new(ListStructure::new("MSGQ", &queue_params()).unwrap());
-    let consumer = SharedQueue::open(Arc::clone(&list)).unwrap();
-    let producer = SharedQueue::open(Arc::clone(&list)).unwrap();
+    let cf = CouplingFacility::new(CfConfig::named("CF01"));
+    let list = cf.allocate_list_structure("MSGQ", queue_params()).unwrap();
+    let consumer = SharedQueue::open(&list, cf.subchannel()).unwrap();
+    let producer = SharedQueue::open(&list, cf.subchannel()).unwrap();
     let mut samples = Vec::new();
     for i in 0..20u64 {
         std::thread::scope(|scope| {
@@ -65,7 +67,10 @@ fn transition_signal_latency() {
 }
 
 fn list_command_bench(c: &mut Criterion) {
-    let s = Arc::new(ListStructure::new("BENCH", &ListParams { headers: 4, lock_entries: 1, max_entries: 1 << 20 }).unwrap());
+    let s = Arc::new(
+        ListStructure::new("BENCH", &ListParams { headers: 4, lock_entries: 1, max_entries: 1 << 20 })
+            .unwrap(),
+    );
     let conn = s.connect(8).unwrap();
     let mut group = c.benchmark_group("e12_list_commands");
     group.bench_function("write_then_dequeue_fifo", |b| {
@@ -98,14 +103,15 @@ fn list_command_bench(c: &mut Criterion) {
 
 fn multi_consumer_throughput() {
     banner("E12c: shared queue drain, 2 producers + 2 consumers");
-    let list = Arc::new(ListStructure::new("MSGQ2", &queue_params()).unwrap());
+    let cf = CouplingFacility::new(CfConfig::named("CF01"));
+    cf.allocate_list_structure("MSGQ2", queue_params()).unwrap();
     let total = 4_000u64;
     let t0 = Instant::now();
     let producers: Vec<_> = (0..2)
         .map(|p| {
-            let list = Arc::clone(&list);
+            let cf = Arc::clone(&cf);
             std::thread::spawn(move || {
-                let q = SharedQueue::open(list).unwrap();
+                let q = SharedQueue::open(&cf.list_structure("MSGQ2").unwrap(), cf.subchannel()).unwrap();
                 for i in 0..total / 2 {
                     q.put(i % 5, &(p * total + i).to_be_bytes()).unwrap();
                 }
@@ -114,9 +120,9 @@ fn multi_consumer_throughput() {
         .collect();
     let consumers: Vec<_> = (0..2)
         .map(|_| {
-            let list = Arc::clone(&list);
+            let cf = Arc::clone(&cf);
             std::thread::spawn(move || {
-                let q = SharedQueue::open(list).unwrap();
+                let q = SharedQueue::open(&cf.list_structure("MSGQ2").unwrap(), cf.subchannel()).unwrap();
                 let mut n = 0u64;
                 loop {
                     match q.take_wait(Duration::from_millis(300)).unwrap() {
@@ -138,6 +144,9 @@ fn multi_consumer_throughput() {
     row("items", &[format!("{drained}/{total}")]);
     row("throughput", &[format!("{:.0} items/s", drained as f64 / elapsed.as_secs_f64())]);
     assert_eq!(drained, total, "exactly-once consumption");
+    // The unified command path saw every queue operation; bulk list scans
+    // convert to async, everything else stays CPU-synchronous.
+    command_path_report(&cf);
 }
 
 fn main() {

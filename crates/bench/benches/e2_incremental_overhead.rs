@@ -40,8 +40,7 @@ fn live_cf_ops_per_txn(members: u8) -> f64 {
     let lock_ops = lock_structure.stats.requests.get()
         + lock_structure.stats.releases.get()
         + lock_structure.stats.records_written.get();
-    let cache_ops =
-        cache_structure.stats.reads.get() + cache_structure.stats.writes.get();
+    let cache_ops = cache_structure.stats.reads.get() + cache_structure.stats.writes.get();
     let xcf_msgs = rig.plex.xcf.signals_sent.load(std::sync::atomic::Ordering::Relaxed);
     rig.shutdown();
     (lock_ops + cache_ops + xcf_msgs) as f64 / txns as f64

@@ -55,14 +55,19 @@ fn main() {
     let lock = &lock_structure.stats;
     let cache_structure = rig.group.cache_structure();
     let cache = &cache_structure.stats;
-    let cf_ops = lock.requests.get() + lock.releases.get() + lock.records_written.get()
+    let cf_ops = lock.requests.get()
+        + lock.releases.get()
+        + lock.records_written.get()
         + cache.reads.get()
         + cache.writes.get();
     let ops_per_txn = cf_ops as f64 / txns as f64;
     let live_cost = ops_per_txn * CF_OP_CPU_US / TXN_BASE_CPU_US;
     row("cf ops/txn", &[f(ops_per_txn)]);
     row("implied sharing cost", &[format!("{:.1}%", live_cost * 100.0)]);
-    row("lock sync-grant rate", &[format!("{:.1}%", rig.group.lock_structure().rates().sync_grant_fraction * 100.0)]);
+    row(
+        "lock sync-grant rate",
+        &[format!("{:.1}%", rig.group.lock_structure().rates().sync_grant_fraction * 100.0)],
+    );
     rig.shutdown();
     assert!(live_cost < 0.30, "live implied cost in the same regime as the paper: {live_cost:.3}");
 
@@ -90,10 +95,7 @@ fn debit_credit_measurement() {
                 layout.teller(t.home_branch, t.teller),
                 layout.branch(t.home_branch),
             ] {
-                let v = db
-                    .read(txn, k)?
-                    .map(|v| i64::from_be_bytes(v[..8].try_into().unwrap()))
-                    .unwrap_or(0);
+                let v = db.read(txn, k)?.map(|v| i64::from_be_bytes(v[..8].try_into().unwrap())).unwrap_or(0);
                 db.write(txn, k, Some(&(v + t.delta).to_be_bytes()))?;
             }
             db.write(txn, layout.history_base() + t.history_seq, Some(&t.delta.to_be_bytes()))

@@ -31,10 +31,7 @@ fn report(label: &str, cfg: &CompareConfig) -> (f64, f64) {
 
 fn main() {
     banner("E6: data-sharing vs data-partitioning (4 nodes x 10 cpus, 70% load)");
-    row(
-        "scenario",
-        &["offered tps", "DS compl", "DS delay ms", "DP compl", "DP delay ms"].map(String::from),
-    );
+    row("scenario", &["offered tps", "DS compl", "DS delay ms", "DP compl", "DP delay ms"].map(String::from));
 
     let nodes = 4;
     let scenarios: Vec<(String, HotspotKind)> = vec![

@@ -12,8 +12,8 @@ use std::time::{Duration, Instant};
 use sysplex_bench::{banner, f, row};
 use sysplex_core::SystemId;
 use sysplex_db::group::{DataSharingGroup, GroupConfig};
-use sysplex_services::system::SystemConfig;
 use sysplex_services::sysplex::{Sysplex, SysplexConfig};
+use sysplex_services::system::SystemConfig;
 use sysplex_services::wlm::ServiceClass;
 use sysplex_sim::capacity::sysplex_effective;
 use sysplex_sim::datasharing::TxnCostModel;
@@ -26,8 +26,8 @@ fn main() {
     let cf = plex.add_cf("CF01");
     let mut config = GroupConfig::default();
     config.db.lock_timeout = Duration::from_millis(300);
-    let group = DataSharingGroup::new(config, &cf, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone())
-        .unwrap();
+    let group =
+        DataSharingGroup::new(config, &cf, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone()).unwrap();
     plex.wlm.define_class(ServiceClass {
         name: "OLTP".into(),
         goal: Duration::from_millis(100),
@@ -70,11 +70,7 @@ fn main() {
             .iter()
             .map(|(s, n)| n - before.iter().find(|(bs, _)| bs == s).map(|(_, bn)| *bn).unwrap_or(0))
             .collect();
-        let newcomer = after
-            .iter()
-            .find(|(s, _)| *s == id)
-            .map(|(_, n)| *n)
-            .unwrap_or(0)
+        let newcomer = after.iter().find(|(s, _)| *s == id).map(|(_, n)| *n).unwrap_or(0)
             - before.iter().find(|(s, _)| *s == id).map(|(_, n)| *n).unwrap_or(0);
         row(
             &format!("{}", i + 1),

@@ -8,15 +8,15 @@
 use criterion::Criterion;
 use std::hint::black_box;
 use std::sync::Arc;
-use sysplex_bench::{banner, row, small_criterion};
+use sysplex_bench::{banner, command_path_report, row, small_criterion};
 use sysplex_core::facility::{CfConfig, CouplingFacility};
 use sysplex_core::link::LinkConfig;
 use sysplex_core::lock::{LockMode, LockParams};
 use sysplex_core::SystemId;
 use sysplex_dasd::farm::DasdFarm;
 use sysplex_dasd::volume::IoModel;
-use sysplex_services::system::SystemConfig;
 use sysplex_services::sysplex::{Sysplex, SysplexConfig};
+use sysplex_services::system::SystemConfig;
 
 fn topology_checks() {
     banner("Figure 1: system model bring-up (32 systems, CF, timer, shared DASD)");
@@ -58,24 +58,24 @@ fn link_benches(c: &mut Criterion) {
     let timer = sysplex_services::timer::SysplexTimer::new();
     group.bench_function("sysplex_timer_tod", |b| b.iter(|| black_box(timer.tod())));
 
-    // CF sync command over each link class: microseconds.
+    // CF sync command over each link class: microseconds. Commands go
+    // through the unified subchannel layer like every exploiter's do.
+    let mut facilities = Vec::new();
     for (name, link_cfg) in
         [("instant", LinkConfig::instant()), ("mb50", LinkConfig::mb50()), ("mb100", LinkConfig::mb100())]
     {
         let cf = CouplingFacility::new(CfConfig::named("CF01").with_link(link_cfg));
-        let lock = cf.allocate_lock_structure("L", LockParams::with_entries(1024)).unwrap();
-        let conn = lock.connect().unwrap();
-        let link = cf.link();
+        cf.allocate_lock_structure("L", LockParams::with_entries(1024)).unwrap();
+        let conn = cf.connect_lock("L").unwrap();
         let mut entry = 0usize;
         group.bench_function(format!("cf_sync_lock_cmd_{name}"), |b| {
             b.iter(|| {
                 entry = (entry + 1) % 1024;
-                link.execute_sync(64, || {
-                    lock.request(conn, entry, LockMode::Shared).unwrap();
-                    lock.release(conn, entry).unwrap();
-                })
+                conn.request_lock(entry, LockMode::Shared).unwrap();
+                conn.release_lock(entry).unwrap();
             })
         });
+        facilities.push((name, cf));
     }
 
     // Async command on a 100 MB/s link pays task-switch overhead.
@@ -99,10 +99,15 @@ fn link_benches(c: &mut Criterion) {
 
     // DASD I/O: milliseconds (1996 service time).
     group.sample_size(10);
-    group.bench_function("dasd_read_1996", |b| {
-        b.iter(|| black_box(farm.read(0, "VOL1", 3).unwrap()))
-    });
+    group.bench_function("dasd_read_1996", |b| b.iter(|| black_box(farm.read(0, "VOL1", 3).unwrap())));
     group.finish();
+    // Per-class accounting for the mb100 facility: lock commands stay
+    // CPU-synchronous on the unified command path.
+    for (name, cf) in &facilities {
+        if *name == "mb100" {
+            command_path_report(cf);
+        }
+    }
 }
 
 fn transfer_table() {

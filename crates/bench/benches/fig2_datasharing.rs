@@ -142,7 +142,9 @@ fn workload_counters() {
     }
     assert!(rates.sync_grant_fraction > 0.9, "majority of lock requests granted synchronously");
     rig.shutdown();
-    println!("\npaper §3.3.1: 'the majority of requests for locks ... granted cpu-synchronously' — reproduced");
+    println!(
+        "\npaper §3.3.1: 'the majority of requests for locks ... granted cpu-synchronously' — reproduced"
+    );
 }
 
 fn main() {

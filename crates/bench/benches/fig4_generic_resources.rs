@@ -8,21 +8,22 @@
 use criterion::Criterion;
 use std::sync::Arc;
 use sysplex_bench::{banner, row, small_criterion};
-use sysplex_core::list::ListStructure;
+use sysplex_core::facility::{CfConfig, CouplingFacility};
 use sysplex_core::SystemId;
 use sysplex_services::wlm::Wlm;
 use sysplex_subsys::vtam::{generic_resource_params, GenericResources};
 
 fn distribution_experiment() {
     banner("Fig 4 / E9: generic-resource logon distribution (6000 logons)");
-    let list = Arc::new(ListStructure::new("ISTGENERIC", &generic_resource_params()).unwrap());
+    let cf = CouplingFacility::new(CfConfig::named("CF01"));
+    let list = cf.allocate_list_structure("ISTGENERIC", generic_resource_params()).unwrap();
     let wlm = Arc::new(Wlm::new());
     // Heterogeneous configuration: the paper allows mixed CMOS/bipolar.
     let capacities = [600.0, 300.0, 100.0];
     for (i, c) in capacities.iter().enumerate() {
         wlm.set_capacity(SystemId::new(i as u8), *c);
     }
-    let gr = GenericResources::open(Arc::clone(&list), Arc::clone(&wlm)).unwrap();
+    let gr = GenericResources::open(&list, cf.subchannel(), Arc::clone(&wlm)).unwrap();
     for i in 0..3u8 {
         gr.register_instance("CICS", &format!("CICS0{i}"), SystemId::new(i)).unwrap();
     }
@@ -65,12 +66,13 @@ fn distribution_experiment() {
 }
 
 fn logon_bench(c: &mut Criterion) {
-    let list = Arc::new(ListStructure::new("ISTGENERIC", &generic_resource_params()).unwrap());
+    let cf = CouplingFacility::new(CfConfig::named("CF01"));
+    let list = cf.allocate_list_structure("ISTGENERIC", generic_resource_params()).unwrap();
     let wlm = Arc::new(Wlm::new());
     for i in 0..4u8 {
         wlm.set_capacity(SystemId::new(i), 100.0);
     }
-    let gr = GenericResources::open(list, wlm).unwrap();
+    let gr = GenericResources::open(&list, cf.subchannel(), wlm).unwrap();
     for i in 0..4u8 {
         gr.register_instance("TSO", &format!("TSO0{i}"), SystemId::new(i)).unwrap();
     }

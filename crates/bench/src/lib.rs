@@ -80,6 +80,34 @@ pub fn f(v: f64) -> String {
     }
 }
 
+/// Print the unified command path's per-class accounting (§3.3's sync and
+/// asynchronous execution modes) for one facility and assert that every
+/// class reconciles `issued == sync + async_converted`.
+pub fn command_path_report(cf: &CouplingFacility) {
+    let stats = cf.command_stats();
+    banner("CF command path (all subchannels of this facility)");
+    row("class", &["issued", "sync", "async-converted", "sync %", "mean µs"].map(String::from));
+    for (class, issued, sync, async_converted, mean_ns) in stats.report() {
+        assert_eq!(issued, sync + async_converted, "{class}: issued == sync + async");
+        row(
+            class,
+            &[
+                format!("{issued}"),
+                format!("{sync}"),
+                format!("{async_converted}"),
+                format!("{:.1}%", sysplex_core::stats::ratio(sync, issued) * 100.0),
+                format!("{:.1}", mean_ns / 1000.0),
+            ],
+        );
+    }
+    println!(
+        "  overall sync-grant ratio {:.1}% ({} async-converted of {} commands)",
+        sysplex_core::stats::ratio(stats.sync(), stats.issued()) * 100.0,
+        stats.async_converted(),
+        stats.issued()
+    );
+}
+
 /// A criterion instance tuned for a small single-core host.
 #[must_use]
 pub fn small_criterion() -> criterion::Criterion {

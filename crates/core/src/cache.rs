@@ -170,7 +170,6 @@ impl DirEntry {
     fn new() -> Self {
         DirEntry { interest: [None; MAX_CONNECTORS], data: None, changed: false, version: 0, lru_tick: 0 }
     }
-
 }
 
 type Shard = RwLock<HashMap<BlockName, DirEntry>>;
@@ -675,10 +674,7 @@ mod tests {
         c.write_and_invalidate(&a, blk, b"v1", WriteKind::ChangedData).unwrap();
         let (_, ver) = c.read_for_castout(&a, blk).unwrap();
         c.write_and_invalidate(&a, blk, b"v2", WriteKind::ChangedData).unwrap();
-        assert!(matches!(
-            c.complete_castout(&a, blk, ver),
-            Err(CfError::VersionMismatch { .. })
-        ));
+        assert!(matches!(c.complete_castout(&a, blk, ver), Err(CfError::VersionMismatch { .. })));
         assert_eq!(c.changed_count(), 1, "newer version still awaiting castout");
     }
 
@@ -700,10 +696,7 @@ mod tests {
         let c = CacheStructure::new("D", &CacheParams::directory_only(16)).unwrap();
         let a = c.connect(16).unwrap();
         let blk = BlockName::from_parts(1, 1);
-        assert_eq!(
-            c.write_and_invalidate(&a, blk, b"x", WriteKind::ChangedData),
-            Err(CfError::WrongModel)
-        );
+        assert_eq!(c.write_and_invalidate(&a, blk, b"x", WriteKind::ChangedData), Err(CfError::WrongModel));
         // InvalidateOnly works and still signals peers.
         let b = c.connect(16).unwrap();
         c.read_and_register(&b, blk, 3).unwrap();

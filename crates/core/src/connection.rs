@@ -1,0 +1,1103 @@
+//! The unified CF command/subchannel layer.
+//!
+//! Every lock, cache, and list operation an exploiter issues travels
+//! through a per-system, per-structure **connection** ([`LockConnection`],
+//! [`CacheConnection`], [`ListConnection`]) as a typed [`CfCommand`]. The
+//! connection's [`CfSubchannel`] decides the execution mode the way §3.3
+//! describes: "Commands to the CF can be executed synchronously or
+//! asynchronously, with cpu-synchronous command completion times measured
+//! in micro-seconds" — small directory and lock commands spin the issuing
+//! CPU on the link, while bulk transfers (castout reads, list scans,
+//! oversized data writes) are converted to asynchronous execution on the
+//! facility's processor pool and pay the task-switch overhead.
+//!
+//! Centralising the command path buys three things the raw structure API
+//! cannot give:
+//!
+//! * **One conversion heuristic** ([`ConversionPolicy`]) instead of each
+//!   exploiter hand-picking `execute_sync`/`execute_async`.
+//! * **Per-command-class accounting** ([`ConnectionStats`]): issued, ran
+//!   synchronous, converted to asynchronous, faulted, plus a latency
+//!   histogram per class — the numbers the experiments report.
+//! * **A fault-injection point** ([`FaultInjector`]): link delays, lost
+//!   commands (timeout) and interface control checks surface as typed
+//!   [`CfError`]s to the exploiter, never as panics, without touching
+//!   structure internals.
+//!
+//! Host-local operations stay off the subchannel by design: testing a
+//! local bit vector ([`CacheConnection::is_valid`]) or hashing a resource
+//! name costs nanoseconds on the issuing CPU and never was a CF command.
+
+use crate::cache::{
+    BlockName, CacheConnection as CacheToken, CacheStructure, RegisterResult, WriteKind, WriteResult,
+};
+use crate::error::{CfError, CfResult};
+use crate::link::{spin_for, CfLink};
+use crate::list::{
+    ConnEvent, DequeueEnd, EntryId, EntryView, ListConnection as ListToken, ListStructure, LockCondition,
+    WritePosition,
+};
+use crate::lock::{DisconnectMode, LockMode, LockRates, LockResponse, LockStructure, RetainedLock};
+use crate::stats::{ratio, Counter, LatencyHistogram};
+use crate::types::{ConnId, ConnMask};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Nominal wire size of a lock-table command (request, release, interest).
+const LOCK_CMD_BYTES: usize = 64;
+/// Nominal wire size of a directory-only command (register, unregister,
+/// monitor, disconnect).
+const DIR_CMD_BYTES: usize = 256;
+/// Nominal wire size of a data-carrying read response (one block/page).
+const PAGE_BYTES: usize = 4096;
+
+/// Command classes the subchannel accounts for.
+///
+/// One class per architectural command family, not per Rust method: the
+/// experiments care about "how many lock requests ran synchronously", not
+/// about which helper issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommandClass {
+    /// Obtain or force interest in a lock-table entry.
+    LockRequest,
+    /// Release interest in a lock-table entry.
+    LockRelease,
+    /// Write or delete persistent lock record data.
+    LockRecord,
+    /// Lock administrative traffic: recovery queries, disconnects.
+    LockAdmin,
+    /// Read-and-register against the cache directory.
+    CacheRead,
+    /// Write-and-invalidate (data or directory-only).
+    CacheWrite,
+    /// Castout traffic: candidate scans, castout reads, completions.
+    CacheCastout,
+    /// Cache administrative traffic: unregister, disconnect.
+    CacheAdmin,
+    /// List entry creation, update, deletion.
+    ListWrite,
+    /// List entry and whole-list reads.
+    ListRead,
+    /// Atomic entry movement and dequeues.
+    ListMove,
+    /// List administrative traffic: lock entries, monitors, disconnect.
+    ListAdmin,
+}
+
+impl CommandClass {
+    /// Number of classes (array dimension for the stats block).
+    pub const COUNT: usize = 12;
+
+    /// All classes, in stable report order.
+    pub const ALL: [CommandClass; CommandClass::COUNT] = [
+        CommandClass::LockRequest,
+        CommandClass::LockRelease,
+        CommandClass::LockRecord,
+        CommandClass::LockAdmin,
+        CommandClass::CacheRead,
+        CommandClass::CacheWrite,
+        CommandClass::CacheCastout,
+        CommandClass::CacheAdmin,
+        CommandClass::ListWrite,
+        CommandClass::ListRead,
+        CommandClass::ListMove,
+        CommandClass::ListAdmin,
+    ];
+
+    /// Stable report name (also used in typed link errors).
+    pub const fn name(self) -> &'static str {
+        match self {
+            CommandClass::LockRequest => "lock-request",
+            CommandClass::LockRelease => "lock-release",
+            CommandClass::LockRecord => "lock-record",
+            CommandClass::LockAdmin => "lock-admin",
+            CommandClass::CacheRead => "cache-read",
+            CommandClass::CacheWrite => "cache-write",
+            CommandClass::CacheCastout => "cache-castout",
+            CommandClass::CacheAdmin => "cache-admin",
+            CommandClass::ListWrite => "list-write",
+            CommandClass::ListRead => "list-read",
+            CommandClass::ListMove => "list-move",
+            CommandClass::ListAdmin => "list-admin",
+        }
+    }
+
+    const fn index(self) -> usize {
+        match self {
+            CommandClass::LockRequest => 0,
+            CommandClass::LockRelease => 1,
+            CommandClass::LockRecord => 2,
+            CommandClass::LockAdmin => 3,
+            CommandClass::CacheRead => 4,
+            CommandClass::CacheWrite => 5,
+            CommandClass::CacheCastout => 6,
+            CommandClass::CacheAdmin => 7,
+            CommandClass::ListWrite => 8,
+            CommandClass::ListRead => 9,
+            CommandClass::ListMove => 10,
+            CommandClass::ListAdmin => 11,
+        }
+    }
+}
+
+/// A typed CF command descriptor: what travels down the subchannel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CfCommand {
+    /// Accounting class.
+    pub class: CommandClass,
+    /// Bytes moved over the link (drives the transfer-time model).
+    pub payload_bytes: usize,
+    /// Marked bulk at the call site (castout, scans, rebuild copies):
+    /// always converted to asynchronous execution regardless of size.
+    pub bulk: bool,
+}
+
+impl CfCommand {
+    /// A regular command of `class` moving `payload_bytes`.
+    pub const fn new(class: CommandClass, payload_bytes: usize) -> Self {
+        CfCommand { class, payload_bytes, bulk: false }
+    }
+
+    /// Mark the command as bulk (unconditional async conversion).
+    pub const fn bulk(mut self) -> Self {
+        self.bulk = true;
+        self
+    }
+}
+
+/// The sync-vs-async conversion heuristic.
+///
+/// §3.3: synchronous execution avoids "the asynchronous execution
+/// overheads associated with task switching and processor cache
+/// disruptions" — but only pays off while the CPU spin is shorter than a
+/// task switch. Small commands therefore run CPU-synchronously; commands
+/// marked bulk or moving more than `async_threshold_bytes` are converted
+/// to asynchronous execution on the CF processor pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConversionPolicy {
+    /// Payload size above which a command is converted to async.
+    pub async_threshold_bytes: usize,
+}
+
+impl Default for ConversionPolicy {
+    fn default() -> Self {
+        // One 4 KiB page spins for ~40-80 µs of transfer on a 50-100 MB/s
+        // link — about the cost of the task switch it would avoid. Anything
+        // larger is better off asynchronous.
+        ConversionPolicy { async_threshold_bytes: PAGE_BYTES }
+    }
+}
+
+impl ConversionPolicy {
+    /// Whether `cmd` should be converted to asynchronous execution.
+    pub fn converts(&self, cmd: &CfCommand) -> bool {
+        cmd.bulk || cmd.payload_bytes > self.async_threshold_bytes
+    }
+}
+
+/// Per-class command counters plus a latency histogram.
+#[derive(Debug, Default)]
+pub struct ClassStats {
+    /// Commands issued (every command counts exactly once).
+    pub issued: Counter,
+    /// Commands executed CPU-synchronously.
+    pub sync: Counter,
+    /// Commands converted to asynchronous execution.
+    pub async_converted: Counter,
+    /// Commands that surfaced a link fault (subset of the above two).
+    pub faulted: Counter,
+    /// End-to-end command latency as observed by the issuer.
+    pub latency: LatencyHistogram,
+}
+
+/// Subchannel-wide command accounting, indexed by [`CommandClass`].
+///
+/// Shared by every connection attached through the same facility, so a
+/// bench or experiment reads one block for the whole command stream.
+#[derive(Debug, Default)]
+pub struct ConnectionStats {
+    classes: [ClassStats; CommandClass::COUNT],
+}
+
+impl ConnectionStats {
+    /// New, zeroed stats block.
+    pub fn new() -> Self {
+        ConnectionStats::default()
+    }
+
+    /// Counters for one command class.
+    pub fn class(&self, class: CommandClass) -> &ClassStats {
+        &self.classes[class.index()]
+    }
+
+    /// Total commands issued across all classes.
+    pub fn issued(&self) -> u64 {
+        self.classes.iter().map(|c| c.issued.get()).sum()
+    }
+
+    /// Total commands executed CPU-synchronously.
+    pub fn sync(&self) -> u64 {
+        self.classes.iter().map(|c| c.sync.get()).sum()
+    }
+
+    /// Total commands converted to asynchronous execution.
+    pub fn async_converted(&self) -> u64 {
+        self.classes.iter().map(|c| c.async_converted.get()).sum()
+    }
+
+    /// Total commands that surfaced a link fault.
+    pub fn faulted(&self) -> u64 {
+        self.classes.iter().map(|c| c.faulted.get()).sum()
+    }
+
+    /// Fraction of all commands that ran CPU-synchronously.
+    pub fn sync_fraction(&self) -> f64 {
+        ratio(self.sync(), self.issued())
+    }
+
+    /// Reset every class (between benchmark phases).
+    pub fn reset(&self) {
+        for c in &self.classes {
+            c.issued.reset();
+            c.sync.reset();
+            c.async_converted.reset();
+            c.faulted.reset();
+            c.latency.reset();
+        }
+    }
+
+    /// `(class name, issued, sync, async, mean latency ns)` rows for every
+    /// class that saw traffic, in stable order.
+    pub fn report(&self) -> Vec<(&'static str, u64, u64, u64, f64)> {
+        CommandClass::ALL
+            .iter()
+            .map(|&cl| {
+                let c = self.class(cl);
+                (cl.name(), c.issued.get(), c.sync.get(), c.async_converted.get(), c.latency.mean_ns())
+            })
+            .filter(|(_, issued, ..)| *issued > 0)
+            .collect()
+    }
+}
+
+/// A link malfunction to inject into the command path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFault {
+    /// The command completes but the link stalls for the extra duration
+    /// first (degraded fiber, busy CF processor).
+    Delay(Duration),
+    /// The command (or its response) is lost; the issuer times out and
+    /// receives [`CfError::LinkTimeout`].
+    Timeout,
+    /// The channel subsystem detects a malfunction mid-command; the issuer
+    /// receives [`CfError::InterfaceControlCheck`].
+    InterfaceControlCheck,
+}
+
+/// Injects faults into a subchannel's command stream.
+///
+/// Faults are queued and consumed one per command in FIFO order, so a test
+/// can script an exact failure sequence without races: arm, issue, observe
+/// the typed error.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    queue: Mutex<VecDeque<LinkFault>>,
+}
+
+impl FaultInjector {
+    /// New injector with no faults armed.
+    pub fn new() -> Self {
+        FaultInjector::default()
+    }
+
+    /// Arm one fault; the next command through the subchannel consumes it.
+    pub fn arm(&self, fault: LinkFault) {
+        self.queue.lock().push_back(fault);
+    }
+
+    /// Number of faults still armed.
+    pub fn pending(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Discard all armed faults.
+    pub fn clear(&self) {
+        self.queue.lock().clear();
+    }
+
+    fn take(&self) -> Option<LinkFault> {
+        self.queue.lock().pop_front()
+    }
+}
+
+/// One system's command subchannel to a facility: the link plus the shared
+/// accounting, conversion policy and fault hook. Cheap to clone; clones
+/// share stats and injector (facility-wide accounting).
+#[derive(Debug, Clone)]
+pub struct CfSubchannel {
+    link: CfLink,
+    stats: Arc<ConnectionStats>,
+    injector: Arc<FaultInjector>,
+    policy: ConversionPolicy,
+}
+
+impl CfSubchannel {
+    /// Wrap a link with fresh accounting and the default policy.
+    pub fn new(link: CfLink) -> Self {
+        CfSubchannel {
+            link,
+            stats: Arc::new(ConnectionStats::new()),
+            injector: Arc::new(FaultInjector::new()),
+            policy: ConversionPolicy::default(),
+        }
+    }
+
+    /// Wrap a link sharing an existing stats block and injector (how the
+    /// facility gives every attached system one accounting domain).
+    pub fn with_shared(link: CfLink, stats: Arc<ConnectionStats>, injector: Arc<FaultInjector>) -> Self {
+        CfSubchannel { link, stats, injector, policy: ConversionPolicy::default() }
+    }
+
+    /// Replace the conversion policy.
+    pub fn with_policy(mut self, policy: ConversionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The underlying coupling link.
+    pub fn link(&self) -> &CfLink {
+        &self.link
+    }
+
+    /// Shared command accounting.
+    pub fn stats(&self) -> &Arc<ConnectionStats> {
+        &self.stats
+    }
+
+    /// Shared fault hook.
+    pub fn injector(&self) -> &Arc<FaultInjector> {
+        &self.injector
+    }
+
+    /// The active conversion policy.
+    pub fn policy(&self) -> ConversionPolicy {
+        self.policy
+    }
+
+    /// Whether `cmd` will be converted to asynchronous execution.
+    pub fn wants_async(&self, cmd: &CfCommand) -> bool {
+        self.policy.converts(cmd)
+    }
+
+    /// Consume one armed fault, if any. `Ok(Some(d))` asks the caller to
+    /// stall `d` before proceeding; errors abort the command.
+    fn check_fault(&self, cmd: &CfCommand) -> CfResult<Option<Duration>> {
+        match self.injector.take() {
+            None => Ok(None),
+            Some(LinkFault::Delay(d)) => Ok(Some(d)),
+            Some(LinkFault::Timeout) => {
+                // The command went out and nothing came back: charge the
+                // round trip the issuer waited before giving up.
+                spin_for(self.link.config().service_time(cmd.payload_bytes));
+                self.stats.class(cmd.class).faulted.incr();
+                Err(CfError::LinkTimeout(cmd.class.name()))
+            }
+            Some(LinkFault::InterfaceControlCheck) => {
+                self.stats.class(cmd.class).faulted.incr();
+                Err(CfError::InterfaceControlCheck(cmd.class.name()))
+            }
+        }
+    }
+
+    /// Issue `cmd` CPU-synchronously: the issuing processor spins for the
+    /// simulated round trip and observes the result with no task switch.
+    pub fn issue_sync<R>(&self, cmd: CfCommand, op: impl FnOnce() -> CfResult<R>) -> CfResult<R> {
+        let t0 = Instant::now();
+        let cs = self.stats.class(cmd.class);
+        cs.issued.incr();
+        cs.sync.incr();
+        let r = match self.check_fault(&cmd) {
+            Ok(delay) => {
+                if let Some(d) = delay {
+                    spin_for(d);
+                }
+                self.link.execute_sync(cmd.payload_bytes, op)
+            }
+            Err(e) => Err(e),
+        };
+        cs.latency.record(t0.elapsed());
+        r
+    }
+
+    /// Issue `cmd` asynchronously-converted: ship the operation to the CF
+    /// processor pool, block for the completion, and pay the task-switch
+    /// overhead. A dropped command (executor shut down mid-flight)
+    /// surfaces as [`CfError::LinkTimeout`], never a panic.
+    pub fn issue_async<R: Send + 'static>(
+        &self,
+        cmd: CfCommand,
+        op: impl FnOnce() -> CfResult<R> + Send + 'static,
+    ) -> CfResult<R> {
+        let t0 = Instant::now();
+        let cs = self.stats.class(cmd.class);
+        cs.issued.incr();
+        cs.async_converted.incr();
+        let r = match self.check_fault(&cmd) {
+            Ok(delay) => {
+                if let Some(d) = delay {
+                    spin_for(d);
+                }
+                match self.link.execute_async(cmd.payload_bytes, op).checked_wait() {
+                    Some(r) => r,
+                    None => {
+                        cs.faulted.incr();
+                        Err(CfError::LinkTimeout(cmd.class.name()))
+                    }
+                }
+            }
+            Err(e) => Err(e),
+        };
+        cs.latency.record(t0.elapsed());
+        r
+    }
+}
+
+/// A system's connection to a lock-model structure (§3.3.1). Every lock
+/// command flows through the subchannel; lock-table traffic is small and
+/// uncontended in the common case, so it always runs CPU-synchronously.
+#[derive(Debug, Clone)]
+pub struct LockConnection {
+    structure: Arc<LockStructure>,
+    id: ConnId,
+    sub: CfSubchannel,
+}
+
+impl LockConnection {
+    /// Connect to `structure` through `sub`, taking any free slot.
+    pub fn attach(structure: &Arc<LockStructure>, sub: CfSubchannel) -> CfResult<Self> {
+        let id =
+            sub.issue_sync(CfCommand::new(CommandClass::LockAdmin, DIR_CMD_BYTES), || structure.connect())?;
+        Ok(LockConnection { structure: Arc::clone(structure), id, sub })
+    }
+
+    /// Connect to `structure` claiming a specific slot (recovery rejoin,
+    /// rebuild into a new structure with identities preserved).
+    pub fn attach_slot(structure: &Arc<LockStructure>, sub: CfSubchannel, slot: ConnId) -> CfResult<Self> {
+        let id = sub.issue_sync(CfCommand::new(CommandClass::LockAdmin, DIR_CMD_BYTES), || {
+            structure.connect_slot(slot)
+        })?;
+        Ok(LockConnection { structure: Arc::clone(structure), id, sub })
+    }
+
+    /// Connect to a replacement structure keeping this connection's slot
+    /// and subchannel (structure rebuild / duplex secondary).
+    pub fn reattach(&self, structure: &Arc<LockStructure>) -> CfResult<Self> {
+        LockConnection::attach_slot(structure, self.sub.clone(), self.id)
+    }
+
+    /// This connection's slot in the structure.
+    pub fn conn_id(&self) -> ConnId {
+        self.id
+    }
+
+    /// The attached structure (inventory/observability; commands must go
+    /// through the connection).
+    pub fn structure(&self) -> &Arc<LockStructure> {
+        &self.structure
+    }
+
+    /// The subchannel this connection issues through.
+    pub fn subchannel(&self) -> &CfSubchannel {
+        &self.sub
+    }
+
+    /// Command accounting shared with every connection on this subchannel.
+    pub fn stats(&self) -> &Arc<ConnectionStats> {
+        self.sub.stats()
+    }
+
+    /// Hash a resource name to its lock-table entry. Host-side compute,
+    /// not a CF command.
+    pub fn hash_resource(&self, resource: &[u8]) -> usize {
+        self.structure.hash_resource(resource)
+    }
+
+    /// Request `mode` interest in lock-table entry `entry`.
+    pub fn request_lock(&self, entry: usize, mode: LockMode) -> CfResult<LockResponse> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::LockRequest, LOCK_CMD_BYTES), || {
+            self.structure.request(self.id, entry, mode)
+        })
+    }
+
+    /// Record `mode` interest unconditionally (post-negotiation).
+    pub fn force_interest(&self, entry: usize, mode: LockMode) -> CfResult<()> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::LockRequest, LOCK_CMD_BYTES), || {
+            self.structure.force_interest(self.id, entry, mode)
+        })
+    }
+
+    /// Release this connection's interest in entry `entry`.
+    pub fn release_lock(&self, entry: usize) -> CfResult<()> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::LockRelease, LOCK_CMD_BYTES), || {
+            self.structure.release(self.id, entry)
+        })
+    }
+
+    /// Holders of entry `entry`: `(all interested, exclusive holder)`.
+    pub fn holders(&self, entry: usize) -> CfResult<(ConnMask, Option<ConnId>)> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::LockAdmin, LOCK_CMD_BYTES), || {
+            Ok(self.structure.holders(entry))
+        })
+    }
+
+    /// Whether entry `entry` is in negotiation.
+    pub fn is_negotiate(&self, entry: usize) -> CfResult<bool> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::LockAdmin, LOCK_CMD_BYTES), || {
+            Ok(self.structure.is_negotiate(entry))
+        })
+    }
+
+    /// Write persistent record data for `resource` held in `mode`.
+    pub fn write_lock_record(&self, resource: &[u8], mode: LockMode, payload: &[u8]) -> CfResult<()> {
+        let cmd = CfCommand::new(CommandClass::LockRecord, LOCK_CMD_BYTES + resource.len() + payload.len());
+        self.sub.issue_sync(cmd, || self.structure.write_record(self.id, resource, mode, payload))
+    }
+
+    /// Delete the persistent record for `resource`.
+    pub fn delete_lock_record(&self, resource: &[u8]) -> CfResult<()> {
+        let cmd = CfCommand::new(CommandClass::LockRecord, LOCK_CMD_BYTES + resource.len());
+        self.sub.issue_sync(cmd, || self.structure.delete_record(self.id, resource))
+    }
+
+    /// Retained (failed-persistent) locks of connector `peer` — the
+    /// recovery read a surviving system issues on a dead peer's behalf.
+    pub fn retained_locks_of(&self, peer: ConnId) -> CfResult<Vec<RetainedLock>> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::LockAdmin, DIR_CMD_BYTES).bulk(), || {
+            Ok(self.structure.retained_locks(peer))
+        })
+    }
+
+    /// Whether connector `peer` is failed-persistent awaiting recovery.
+    pub fn is_failed_persistent(&self, peer: ConnId) -> CfResult<bool> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::LockAdmin, LOCK_CMD_BYTES), || {
+            Ok(self.structure.is_failed_persistent(peer))
+        })
+    }
+
+    /// Declare peer recovery complete: purges `peer`'s retained state.
+    pub fn recovery_complete_for(&self, peer: ConnId) -> CfResult<()> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::LockAdmin, LOCK_CMD_BYTES), || {
+            self.structure.recovery_complete(peer)
+        })
+    }
+
+    /// Disconnect this connection.
+    pub fn detach(&self, mode: DisconnectMode) -> CfResult<()> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::LockAdmin, DIR_CMD_BYTES), || {
+            self.structure.disconnect(self.id, mode)
+        })
+    }
+
+    /// Disconnect a peer's slot (surviving system marking a dead peer
+    /// failed-persistent).
+    pub fn detach_peer(&self, peer: ConnId, mode: DisconnectMode) -> CfResult<()> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::LockAdmin, DIR_CMD_BYTES), || {
+            self.structure.disconnect(peer, mode)
+        })
+    }
+
+    /// Structure-derived rates (observability).
+    pub fn rates(&self) -> LockRates {
+        self.structure.rates()
+    }
+}
+
+/// A system's connection to a cache-model structure (§3.3.2). Reads and
+/// small writes run CPU-synchronously; castout traffic and oversized data
+/// writes convert to asynchronous execution.
+#[derive(Debug, Clone)]
+pub struct CacheConnection {
+    structure: Arc<CacheStructure>,
+    token: CacheToken,
+    sub: CfSubchannel,
+}
+
+impl CacheConnection {
+    /// Connect to `structure` through `sub` with a local bit vector of
+    /// `vector_len` entries.
+    pub fn attach(structure: &Arc<CacheStructure>, sub: CfSubchannel, vector_len: usize) -> CfResult<Self> {
+        let token = sub.issue_sync(CfCommand::new(CommandClass::CacheAdmin, DIR_CMD_BYTES), || {
+            structure.connect(vector_len)
+        })?;
+        Ok(CacheConnection { structure: Arc::clone(structure), token, sub })
+    }
+
+    /// Connect to a replacement structure keeping this connection's
+    /// subchannel (structure rebuild / duplex secondary).
+    pub fn reattach(&self, structure: &Arc<CacheStructure>, vector_len: usize) -> CfResult<Self> {
+        CacheConnection::attach(structure, self.sub.clone(), vector_len)
+    }
+
+    /// This connection's slot in the structure.
+    pub fn conn_id(&self) -> ConnId {
+        self.token.id
+    }
+
+    /// The structure-level connection token (local bit vector holder).
+    pub fn token(&self) -> &CacheToken {
+        &self.token
+    }
+
+    /// The attached structure (observability; commands go through the
+    /// connection).
+    pub fn structure(&self) -> &Arc<CacheStructure> {
+        &self.structure
+    }
+
+    /// The subchannel this connection issues through.
+    pub fn subchannel(&self) -> &CfSubchannel {
+        &self.sub
+    }
+
+    /// Command accounting shared with every connection on this subchannel.
+    pub fn stats(&self) -> &Arc<ConnectionStats> {
+        self.sub.stats()
+    }
+
+    /// Test buffer validity in the local bit vector. The §3.3.2
+    /// new-CPU-instruction path: nanoseconds, never a CF command, and
+    /// deliberately outside the subchannel accounting.
+    #[inline]
+    pub fn is_valid(&self, vector_index: u32) -> bool {
+        self.token.is_valid(vector_index)
+    }
+
+    /// Read block `name` and register interest at `vector_index`.
+    pub fn register_read(&self, name: BlockName, vector_index: u32) -> CfResult<RegisterResult> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::CacheRead, PAGE_BYTES), || {
+            self.structure.read_and_register(&self.token, name, vector_index)
+        })
+    }
+
+    /// Write block `name` and cross-invalidate every other registered
+    /// connector. Oversized payloads are converted to async execution.
+    pub fn write_invalidate(&self, name: BlockName, data: &[u8], kind: WriteKind) -> CfResult<WriteResult> {
+        let cmd = CfCommand::new(CommandClass::CacheWrite, data.len().max(DIR_CMD_BYTES));
+        if self.sub.wants_async(&cmd) {
+            let structure = Arc::clone(&self.structure);
+            let token = self.token.clone();
+            let data = data.to_vec();
+            self.sub.issue_async(cmd, move || structure.write_and_invalidate(&token, name, &data, kind))
+        } else {
+            self.sub.issue_sync(cmd, || self.structure.write_and_invalidate(&self.token, name, data, kind))
+        }
+    }
+
+    /// Drop this connection's registered interest in block `name`.
+    pub fn unregister(&self, name: BlockName) -> CfResult<()> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::CacheAdmin, DIR_CMD_BYTES), || {
+            self.structure.unregister(&self.token, name)
+        })
+    }
+
+    /// Changed blocks eligible for castout, oldest first. Directory scan:
+    /// bulk, asynchronous.
+    pub fn castout_candidates(&self, max: usize) -> CfResult<Vec<BlockName>> {
+        let structure = Arc::clone(&self.structure);
+        self.sub.issue_async(CfCommand::new(CommandClass::CacheCastout, DIR_CMD_BYTES).bulk(), move || {
+            Ok(structure.castout_candidates(max))
+        })
+    }
+
+    /// Read a changed block for castout to DASD. Bulk data transfer:
+    /// asynchronous.
+    pub fn castout_read(&self, name: BlockName) -> CfResult<(Arc<Vec<u8>>, u64)> {
+        let structure = Arc::clone(&self.structure);
+        let token = self.token.clone();
+        self.sub.issue_async(CfCommand::new(CommandClass::CacheCastout, PAGE_BYTES).bulk(), move || {
+            structure.read_for_castout(&token, name)
+        })
+    }
+
+    /// Mark a castout complete (block hardened to DASD at `version`).
+    pub fn castout_complete(&self, name: BlockName, version: u64) -> CfResult<()> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::CacheCastout, LOCK_CMD_BYTES), || {
+            self.structure.complete_castout(&self.token, name, version)
+        })
+    }
+
+    /// Disconnect this connection.
+    pub fn detach(&self) -> CfResult<()> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::CacheAdmin, DIR_CMD_BYTES), || {
+            let _ = self.structure.disconnect(&self.token);
+            Ok(())
+        })
+    }
+}
+
+/// A system's connection to a list-model structure (§3.3.3). Queue
+/// operations run CPU-synchronously; whole-list scans convert to
+/// asynchronous execution.
+#[derive(Debug, Clone)]
+pub struct ListConnection {
+    structure: Arc<ListStructure>,
+    token: ListToken,
+    sub: CfSubchannel,
+}
+
+impl ListConnection {
+    /// Connect to `structure` through `sub` with a list-notification
+    /// vector of `vector_len` entries.
+    pub fn attach(structure: &Arc<ListStructure>, sub: CfSubchannel, vector_len: usize) -> CfResult<Self> {
+        let token = sub.issue_sync(CfCommand::new(CommandClass::ListAdmin, DIR_CMD_BYTES), || {
+            structure.connect(vector_len)
+        })?;
+        Ok(ListConnection { structure: Arc::clone(structure), token, sub })
+    }
+
+    /// Connect to a replacement structure keeping this connection's
+    /// subchannel (structure rebuild).
+    pub fn reattach(&self, structure: &Arc<ListStructure>, vector_len: usize) -> CfResult<Self> {
+        ListConnection::attach(structure, self.sub.clone(), vector_len)
+    }
+
+    /// This connection's slot in the structure.
+    pub fn conn_id(&self) -> ConnId {
+        self.token.id
+    }
+
+    /// The structure-level connection token (notification vector holder).
+    pub fn token(&self) -> &ListToken {
+        &self.token
+    }
+
+    /// The attached structure (observability; commands go through the
+    /// connection).
+    pub fn structure(&self) -> &Arc<ListStructure> {
+        &self.structure
+    }
+
+    /// The subchannel this connection issues through.
+    pub fn subchannel(&self) -> &CfSubchannel {
+        &self.sub
+    }
+
+    /// Command accounting shared with every connection on this subchannel.
+    pub fn stats(&self) -> &Arc<ConnectionStats> {
+        self.sub.stats()
+    }
+
+    /// Wakeup event pulsed on empty→non-empty transitions of monitored
+    /// headers. Local wait primitive, not a CF command.
+    pub fn event(&self) -> &Arc<ConnEvent> {
+        &self.token.event
+    }
+
+    /// Test the list-notification vector locally (nanosecond path, outside
+    /// the subchannel accounting).
+    #[inline]
+    pub fn is_signaled(&self, vector_index: u32) -> bool {
+        self.token.vector.test(vector_index as usize)
+    }
+
+    /// Write a new entry to `header`. Oversized payloads convert to async.
+    pub fn enqueue(
+        &self,
+        header: usize,
+        key: u64,
+        data: &[u8],
+        position: WritePosition,
+        cond: LockCondition,
+    ) -> CfResult<EntryId> {
+        let cmd = CfCommand::new(CommandClass::ListWrite, data.len().max(LOCK_CMD_BYTES));
+        if self.sub.wants_async(&cmd) {
+            let structure = Arc::clone(&self.structure);
+            let token = self.token.clone();
+            let data = data.to_vec();
+            self.sub
+                .issue_async(cmd, move || structure.write_entry(&token, header, key, &data, position, cond))
+        } else {
+            self.sub.issue_sync(cmd, || {
+                self.structure.write_entry(&self.token, header, key, data, position, cond)
+            })
+        }
+    }
+
+    /// Update entry `id` in place, optionally version-conditional.
+    pub fn update(
+        &self,
+        id: EntryId,
+        key: u64,
+        data: &[u8],
+        expected_version: Option<u64>,
+        cond: LockCondition,
+    ) -> CfResult<u64> {
+        let cmd = CfCommand::new(CommandClass::ListWrite, data.len().max(LOCK_CMD_BYTES));
+        self.sub.issue_sync(cmd, || {
+            self.structure.update_entry(&self.token, id, key, data, expected_version, cond)
+        })
+    }
+
+    /// Read entry `id`.
+    pub fn read_entry(&self, id: EntryId) -> CfResult<EntryView> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::ListRead, DIR_CMD_BYTES), || {
+            self.structure.read_entry(&self.token, id)
+        })
+    }
+
+    /// Delete entry `id`.
+    pub fn delete(&self, id: EntryId, cond: LockCondition) -> CfResult<()> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::ListWrite, LOCK_CMD_BYTES), || {
+            self.structure.delete_entry(&self.token, id, cond)
+        })
+    }
+
+    /// Atomically move entry `id` to `to_header`.
+    pub fn move_to(
+        &self,
+        id: EntryId,
+        to_header: usize,
+        position: WritePosition,
+        cond: LockCondition,
+    ) -> CfResult<()> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::ListMove, LOCK_CMD_BYTES), || {
+            self.structure.move_entry(&self.token, id, to_header, position, cond)
+        })
+    }
+
+    /// Conditionally move entry `id` from `from_header` to `to_header`;
+    /// `Ok(false)` means the entry was no longer on `from_header` (a
+    /// claim race was lost) and nothing moved.
+    pub fn transfer(
+        &self,
+        id: EntryId,
+        from_header: usize,
+        to_header: usize,
+        position: WritePosition,
+        cond: LockCondition,
+    ) -> CfResult<bool> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::ListMove, LOCK_CMD_BYTES), || {
+            self.structure.move_entry_from(&self.token, id, from_header, to_header, position, cond)
+        })
+    }
+
+    /// Atomically take the first entry of `from` and move it to `to`
+    /// (work claiming without a dispatcher lock).
+    pub fn claim_first(
+        &self,
+        from: usize,
+        to: usize,
+        end: DequeueEnd,
+        position: WritePosition,
+        cond: LockCondition,
+    ) -> CfResult<Option<EntryView>> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::ListMove, DIR_CMD_BYTES), || {
+            self.structure.move_first(&self.token, from, to, end, position, cond)
+        })
+    }
+
+    /// Dequeue one entry from `header`.
+    pub fn take(&self, header: usize, end: DequeueEnd, cond: LockCondition) -> CfResult<Option<EntryView>> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::ListMove, DIR_CMD_BYTES), || {
+            self.structure.dequeue(&self.token, header, end, cond)
+        })
+    }
+
+    /// Read every entry of `header`, in order. Whole-list transfer: bulk,
+    /// asynchronous.
+    pub fn scan(&self, header: usize) -> CfResult<Vec<EntryView>> {
+        let structure = Arc::clone(&self.structure);
+        let token = self.token.clone();
+        self.sub.issue_async(CfCommand::new(CommandClass::ListRead, PAGE_BYTES).bulk(), move || {
+            structure.read_list(&token, header)
+        })
+    }
+
+    /// Number of entries currently on `header`.
+    pub fn header_len(&self, header: usize) -> CfResult<usize> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::ListRead, LOCK_CMD_BYTES), || {
+            self.structure.header_len(header)
+        })
+    }
+
+    /// Try to acquire serializing lock entry `entry` (§3.3.3 recovery
+    /// protocol).
+    pub fn acquire_list_lock(&self, entry: usize) -> CfResult<bool> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::ListAdmin, LOCK_CMD_BYTES), || {
+            self.structure.acquire_lock(&self.token, entry)
+        })
+    }
+
+    /// Release serializing lock entry `entry`.
+    pub fn release_list_lock(&self, entry: usize) -> CfResult<()> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::ListAdmin, LOCK_CMD_BYTES), || {
+            self.structure.release_lock(&self.token, entry)
+        })
+    }
+
+    /// Current holder of serializing lock entry `entry`.
+    pub fn list_lock_holder(&self, entry: usize) -> CfResult<Option<ConnId>> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::ListAdmin, LOCK_CMD_BYTES), || {
+            self.structure.lock_holder(entry)
+        })
+    }
+
+    /// Monitor `header` for empty→non-empty transitions at `vector_index`.
+    pub fn register_monitor(&self, header: usize, vector_index: u32) -> CfResult<()> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::ListAdmin, DIR_CMD_BYTES), || {
+            let _ = self.structure.register_monitor(&self.token, header, vector_index);
+            Ok(())
+        })
+    }
+
+    /// Stop monitoring `header`.
+    pub fn deregister_monitor(&self, header: usize) -> CfResult<()> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::ListAdmin, DIR_CMD_BYTES), || {
+            let _ = self.structure.deregister_monitor(&self.token, header);
+            Ok(())
+        })
+    }
+
+    /// Disconnect this connection.
+    pub fn detach(&self) -> CfResult<()> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::ListAdmin, DIR_CMD_BYTES), || {
+            let _ = self.structure.disconnect(&self.token);
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheParams;
+    use crate::facility::{CfConfig, CouplingFacility};
+    use crate::list::ListParams;
+    use crate::lock::LockParams;
+
+    fn cf() -> Arc<CouplingFacility> {
+        CouplingFacility::new(CfConfig::named("CF01"))
+    }
+
+    #[test]
+    fn lock_commands_flow_and_account() {
+        let cf = cf();
+        cf.allocate_lock_structure("L", LockParams::with_entries(64)).unwrap();
+        let conn = cf.connect_lock("L").unwrap();
+        let entry = conn.hash_resource(b"ACCT.1");
+        assert!(conn.request_lock(entry, LockMode::Exclusive).unwrap().is_granted());
+        conn.release_lock(entry).unwrap();
+        let s = conn.stats();
+        let req = s.class(CommandClass::LockRequest);
+        assert_eq!(req.issued.get(), 1);
+        assert_eq!(req.sync.get(), 1);
+        assert_eq!(s.class(CommandClass::LockRelease).issued.get(), 1);
+        assert!(req.latency.samples() >= 1);
+        assert_eq!(s.issued(), s.sync() + s.async_converted());
+    }
+
+    #[test]
+    fn cache_bulk_commands_convert_to_async() {
+        let cf = cf();
+        cf.allocate_cache_structure("GBP", CacheParams::store_in(64)).unwrap();
+        let a = cf.connect_cache("GBP", 16).unwrap();
+        let b = cf.connect_cache("GBP", 16).unwrap();
+        let name = BlockName::from_bytes(b"PAGE1");
+        a.register_read(name, 0).unwrap();
+        b.register_read(name, 0).unwrap();
+        // Small write: synchronous. Page-sized x-invalidation still counts.
+        let w = a.write_invalidate(name, &[1; 128], WriteKind::ChangedData).unwrap();
+        assert_eq!(w.invalidated, 1);
+        assert!(!b.is_valid(0));
+        // Oversized write: converted to async by the payload heuristic.
+        a.write_invalidate(name, &vec![2; 64 * 1024], WriteKind::ChangedData).unwrap();
+        let s = a.stats();
+        let writes = s.class(CommandClass::CacheWrite);
+        assert_eq!(writes.issued.get(), 2);
+        assert_eq!(writes.sync.get(), 1);
+        assert_eq!(writes.async_converted.get(), 1);
+        // Castout traffic is always asynchronous.
+        let candidates = a.castout_candidates(8).unwrap();
+        assert_eq!(candidates, vec![name]);
+        let (_data, version) = a.castout_read(name).unwrap();
+        a.castout_complete(name, version).unwrap();
+        let castout = s.class(CommandClass::CacheCastout);
+        assert_eq!(castout.async_converted.get(), 2);
+        assert_eq!(castout.sync.get(), 1);
+        assert_eq!(s.issued(), s.sync() + s.async_converted());
+    }
+
+    #[test]
+    fn list_commands_flow_and_scan_is_bulk() {
+        let cf = cf();
+        cf.allocate_list_structure("WQ", ListParams::with_headers(4)).unwrap();
+        let conn = cf.connect_list("WQ", 8).unwrap();
+        for i in 0..3 {
+            conn.enqueue(0, i, b"job", WritePosition::Tail, LockCondition::None).unwrap();
+        }
+        assert_eq!(conn.header_len(0).unwrap(), 3);
+        assert_eq!(conn.scan(0).unwrap().len(), 3);
+        let first = conn.take(0, DequeueEnd::Head, LockCondition::None).unwrap().unwrap();
+        assert_eq!(first.key, 0);
+        let s = conn.stats();
+        assert_eq!(s.class(CommandClass::ListWrite).issued.get(), 3);
+        assert_eq!(s.class(CommandClass::ListRead).async_converted.get(), 1);
+        assert_eq!(s.class(CommandClass::ListMove).issued.get(), 1);
+        assert_eq!(s.issued(), s.sync() + s.async_converted());
+    }
+
+    #[test]
+    fn injected_faults_surface_as_typed_errors() {
+        let cf = cf();
+        cf.allocate_lock_structure("L", LockParams::with_entries(16)).unwrap();
+        let conn = cf.connect_lock("L").unwrap();
+        cf.inject_fault(LinkFault::Timeout);
+        cf.inject_fault(LinkFault::InterfaceControlCheck);
+        assert_eq!(conn.request_lock(1, LockMode::Shared).unwrap_err(), CfError::LinkTimeout("lock-request"));
+        assert_eq!(
+            conn.request_lock(1, LockMode::Shared).unwrap_err(),
+            CfError::InterfaceControlCheck("lock-request")
+        );
+        // Faults consumed; the path is healthy again and stats reconcile.
+        assert!(conn.request_lock(1, LockMode::Shared).unwrap().is_granted());
+        let s = conn.stats();
+        assert_eq!(s.faulted(), 2);
+        assert_eq!(s.issued(), s.sync() + s.async_converted());
+    }
+
+    #[test]
+    fn delay_fault_completes_after_stall() {
+        let cf = cf();
+        cf.allocate_lock_structure("L", LockParams::with_entries(16)).unwrap();
+        let conn = cf.connect_lock("L").unwrap();
+        cf.inject_fault(LinkFault::Delay(Duration::from_millis(5)));
+        let t0 = Instant::now();
+        assert!(conn.request_lock(2, LockMode::Exclusive).unwrap().is_granted());
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+        assert_eq!(conn.stats().faulted(), 0);
+    }
+
+    #[test]
+    fn reattach_preserves_slot_for_rebuild() {
+        let cf = cf();
+        let old = cf.allocate_lock_structure("L", LockParams::with_entries(16)).unwrap();
+        let conn = cf.connect_lock("L").unwrap();
+        let new = cf.allocate_lock_structure("L_G2", LockParams::with_entries(16)).unwrap();
+        let rebuilt = conn.reattach(&new).unwrap();
+        assert_eq!(rebuilt.conn_id(), conn.conn_id());
+        assert!(Arc::ptr_eq(rebuilt.structure(), &new));
+        assert!(!Arc::ptr_eq(rebuilt.structure(), &old));
+        // Both connections share one accounting domain.
+        assert!(Arc::ptr_eq(conn.stats(), rebuilt.stats()));
+    }
+
+    #[test]
+    fn policy_threshold_drives_conversion() {
+        let policy = ConversionPolicy { async_threshold_bytes: 1024 };
+        assert!(!policy.converts(&CfCommand::new(CommandClass::CacheWrite, 512)));
+        assert!(policy.converts(&CfCommand::new(CommandClass::CacheWrite, 2048)));
+        assert!(policy.converts(&CfCommand::new(CommandClass::ListRead, 64).bulk()));
+    }
+}

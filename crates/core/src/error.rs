@@ -44,6 +44,12 @@ pub enum CfError {
     BadParameter(&'static str),
     /// The structure is of a different model than the command requires.
     WrongModel,
+    /// The command timed out on the coupling link (lost command/response,
+    /// or the facility-side processors are gone). Named by command class.
+    LinkTimeout(&'static str),
+    /// The channel subsystem detected a malfunction on the coupling link
+    /// while the command was in flight (interface control check).
+    InterfaceControlCheck(&'static str),
 }
 
 impl fmt::Display for CfError {
@@ -63,6 +69,12 @@ impl fmt::Display for CfError {
             CfError::NotLockHolder => write!(f, "issuer does not hold the named lock entry"),
             CfError::BadParameter(p) => write!(f, "bad parameter: {p}"),
             CfError::WrongModel => write!(f, "structure model mismatch"),
+            CfError::LinkTimeout(class) => {
+                write!(f, "coupling link timeout during {class} command")
+            }
+            CfError::InterfaceControlCheck(class) => {
+                write!(f, "interface control check during {class} command")
+            }
         }
     }
 }
@@ -84,6 +96,14 @@ mod tests {
         assert_eq!(
             CfError::LockHeld { holder: ConnId::from_raw(2) }.to_string(),
             "serializing lock held by CONN02"
+        );
+        assert_eq!(
+            CfError::LinkTimeout("lock-request").to_string(),
+            "coupling link timeout during lock-request command"
+        );
+        assert_eq!(
+            CfError::InterfaceControlCheck("cache-write").to_string(),
+            "interface control check during cache-write command"
         );
     }
 }

@@ -12,6 +12,9 @@
 //! for availability and capacity, exactly as the paper allows.
 
 use crate::cache::{CacheParams, CacheStructure};
+use crate::connection::{
+    CacheConnection, CfSubchannel, ConnectionStats, FaultInjector, LinkFault, ListConnection, LockConnection,
+};
 use crate::error::{CfError, CfResult};
 use crate::link::{CfExecutor, CfLink, LinkConfig};
 use crate::list::{ListParams, ListStructure};
@@ -74,13 +77,21 @@ pub struct CouplingFacility {
     config: CfConfig,
     structures: Mutex<HashMap<String, StructureHandle>>,
     executor: Arc<CfExecutor>,
+    command_stats: Arc<ConnectionStats>,
+    injector: Arc<FaultInjector>,
 }
 
 impl CouplingFacility {
     /// Power on a facility.
     pub fn new(config: CfConfig) -> Arc<Self> {
         let executor = Arc::new(CfExecutor::new(config.async_workers));
-        Arc::new(CouplingFacility { config, structures: Mutex::new(HashMap::new()), executor })
+        Arc::new(CouplingFacility {
+            config,
+            structures: Mutex::new(HashMap::new()),
+            executor,
+            command_stats: Arc::new(ConnectionStats::new()),
+            injector: Arc::new(FaultInjector::new()),
+        })
     }
 
     /// Facility name.
@@ -92,6 +103,42 @@ impl CouplingFacility {
     /// practice; links are cheap clones).
     pub fn link(&self) -> CfLink {
         CfLink::new(self.config.link, Arc::clone(&self.executor))
+    }
+
+    /// A command subchannel over a fresh link, sharing the facility-wide
+    /// command accounting and fault hook. Every connection attached
+    /// through this facility issues through one of these.
+    pub fn subchannel(&self) -> CfSubchannel {
+        CfSubchannel::with_shared(self.link(), Arc::clone(&self.command_stats), Arc::clone(&self.injector))
+    }
+
+    /// Facility-wide per-command-class accounting (all subchannels).
+    pub fn command_stats(&self) -> &Arc<ConnectionStats> {
+        &self.command_stats
+    }
+
+    /// Arm one link fault; the next command through any of this
+    /// facility's subchannels consumes it.
+    pub fn inject_fault(&self, fault: LinkFault) {
+        self.injector.arm(fault);
+    }
+
+    /// Connect to the named lock structure through a new subchannel.
+    pub fn connect_lock(&self, name: &str) -> CfResult<LockConnection> {
+        let s = self.lock_structure(name)?;
+        LockConnection::attach(&s, self.subchannel())
+    }
+
+    /// Connect to the named cache structure through a new subchannel.
+    pub fn connect_cache(&self, name: &str, vector_len: usize) -> CfResult<CacheConnection> {
+        let s = self.cache_structure(name)?;
+        CacheConnection::attach(&s, self.subchannel(), vector_len)
+    }
+
+    /// Connect to the named list structure through a new subchannel.
+    pub fn connect_list(&self, name: &str, vector_len: usize) -> CfResult<ListConnection> {
+        let s = self.list_structure(name)?;
+        ListConnection::attach(&s, self.subchannel(), vector_len)
     }
 
     fn insert(&self, name: &str, handle: StructureHandle) -> CfResult<()> {
@@ -159,13 +206,16 @@ impl CouplingFacility {
     /// Deallocate a structure. Existing `Arc` holders keep a functioning
     /// object (connectors drain naturally); the name becomes reusable.
     pub fn deallocate(&self, name: &str) -> CfResult<()> {
-        self.structures.lock().remove(name).map(|_| ()).ok_or_else(|| CfError::NoSuchStructure(name.to_string()))
+        self.structures
+            .lock()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| CfError::NoSuchStructure(name.to_string()))
     }
 
     /// Names and models of allocated structures, sorted by name.
     pub fn inventory(&self) -> Vec<(String, &'static str)> {
-        let mut v: Vec<_> =
-            self.structures.lock().iter().map(|(n, h)| (n.clone(), h.model())).collect();
+        let mut v: Vec<_> = self.structures.lock().iter().map(|(n, h)| (n.clone(), h.model())).collect();
         v.sort();
         v
     }
@@ -183,11 +233,7 @@ mod tests {
         cf.allocate_list_structure("ISTGR", ListParams::with_headers(4)).unwrap();
         assert_eq!(
             cf.inventory(),
-            vec![
-                ("GBP0".to_string(), "CACHE"),
-                ("IRLM1".to_string(), "LOCK"),
-                ("ISTGR".to_string(), "LIST"),
-            ]
+            vec![("GBP0".to_string(), "CACHE"), ("IRLM1".to_string(), "LOCK"), ("ISTGR".to_string(), "LIST"),]
         );
         assert!(cf.lock_structure("IRLM1").is_ok());
         assert!(cf.cache_structure("GBP0").is_ok());

@@ -51,6 +51,7 @@
 
 pub mod bitvec;
 pub mod cache;
+pub mod connection;
 pub mod error;
 pub mod facility;
 pub mod hashing;
@@ -60,6 +61,10 @@ pub mod lock;
 pub mod stats;
 pub mod types;
 
+pub use connection::{
+    CacheConnection, CfCommand, CfSubchannel, CommandClass, ConnectionStats, ConversionPolicy, FaultInjector,
+    LinkFault, ListConnection, LockConnection,
+};
 pub use error::{CfError, CfResult};
 pub use facility::{CfConfig, CouplingFacility};
 pub use types::{ConnId, ConnMask, SystemId, MAX_CONNECTORS, MAX_SYSTEMS};

@@ -38,12 +38,22 @@ pub struct LinkConfig {
 impl LinkConfig {
     /// A 50 MB/s first-generation coupling link with ~15 µs command latency.
     pub fn mb50() -> Self {
-        LinkConfig { transfer_mb_per_s: 50, base_latency_ns: 15_000, async_overhead_ns: 40_000, simulate: true }
+        LinkConfig {
+            transfer_mb_per_s: 50,
+            base_latency_ns: 15_000,
+            async_overhead_ns: 40_000,
+            simulate: true,
+        }
     }
 
     /// A 100 MB/s coupling link with ~10 µs command latency.
     pub fn mb100() -> Self {
-        LinkConfig { transfer_mb_per_s: 100, base_latency_ns: 10_000, async_overhead_ns: 40_000, simulate: true }
+        LinkConfig {
+            transfer_mb_per_s: 100,
+            base_latency_ns: 10_000,
+            async_overhead_ns: 40_000,
+            simulate: true,
+        }
     }
 
     /// No simulated latency: commands cost only their real compute time.
@@ -64,7 +74,7 @@ impl LinkConfig {
 /// Spin-wait with microsecond precision. `thread::sleep` has scheduler
 /// granularity far coarser than a CF command; the paper's synchronous
 /// commands *spin the CPU*, which is exactly what we reproduce.
-fn spin_for(d: Duration) {
+pub(crate) fn spin_for(d: Duration) {
     if d.is_zero() {
         return;
     }
@@ -75,7 +85,7 @@ fn spin_for(d: Duration) {
 }
 
 /// A coupling link from one system to one facility.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct CfLink {
     config: LinkConfig,
     executor: Arc<CfExecutor>,
@@ -120,6 +130,8 @@ impl CfLink {
             Duration::ZERO
         };
         let (tx, rx) = bounded(1);
+        // If the executor is already shut down the job is dropped and `tx`
+        // with it, so the Completion reports the loss instead of hanging.
         self.executor.submit(Box::new(move || {
             spin_for(d);
             let r = op();
@@ -139,9 +151,16 @@ impl<R> Completion<R> {
     /// Block until the CF completes the command. Charges the simulated
     /// redispatch overhead on top of the command service time.
     pub fn wait(self) -> R {
-        let r = self.rx.recv().expect("CF executor dropped while command pending");
+        self.checked_wait().expect("CF executor dropped while command pending")
+    }
+
+    /// Like [`Completion::wait`], but reports a dropped command (executor
+    /// shut down mid-flight) as `None` instead of panicking. The command
+    /// layer turns this into a typed link error.
+    pub fn checked_wait(self) -> Option<R> {
+        let r = self.rx.recv().ok()?;
         spin_for(self.overhead);
-        r
+        Some(r)
     }
 
     /// Poll for completion without blocking.
@@ -154,7 +173,7 @@ type Job = Box<dyn FnOnce() + Send>;
 
 /// The facility-side processor pool serving asynchronous commands.
 pub struct CfExecutor {
-    tx: Sender<Job>,
+    tx: parking_lot::Mutex<Option<Sender<Job>>>,
     workers: parking_lot::Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -175,23 +194,39 @@ impl CfExecutor {
                     .expect("spawn CF processor")
             })
             .collect();
-        CfExecutor { tx, workers: parking_lot::Mutex::new(handles) }
+        CfExecutor { tx: parking_lot::Mutex::new(Some(tx)), workers: parking_lot::Mutex::new(handles) }
     }
 
+    /// Queue a job; after shutdown the job is dropped, which closes any
+    /// completion channel it owned and lets waiters observe the loss.
     fn submit(&self, job: Job) {
-        self.tx.send(job).expect("CF executor shut down");
+        if let Some(tx) = self.tx.lock().as_ref() {
+            let _ = tx.send(job);
+        }
     }
 
-    /// Stop the processors (used on facility deallocation; idempotent).
+    /// Whether [`CfExecutor::shutdown`] has run.
+    pub fn is_shut_down(&self) -> bool {
+        self.tx.lock().is_none()
+    }
+
+    /// Stop the processors: close the job channel, let the workers drain
+    /// what is already queued, and join them. Idempotent; used on facility
+    /// deallocation.
     pub fn shutdown(&self) {
-        // Dropping all senders ends the loop; we only have the one.
-        // Replace it with a closed channel by taking the workers out.
-        let mut workers = self.workers.lock();
-        for h in workers.drain(..) {
-            // Workers exit when the sender side is fully dropped; since the
-            // executor is still alive we detach instead of joining here.
-            drop(h);
+        // Dropping the only sender disconnects the channel; each worker's
+        // recv() then fails once the queue is drained and the thread exits.
+        drop(self.tx.lock().take());
+        let handles: Vec<_> = self.workers.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
         }
+    }
+}
+
+impl Drop for CfExecutor {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -260,6 +295,24 @@ mod tests {
         let pending: Vec<_> = (0..16).map(|i| l.execute_async(0, move || i * 2)).collect();
         let sum: i32 = pending.into_iter().map(|c| c.wait()).sum();
         assert_eq!(sum, (0..16).map(|i| i * 2).sum());
+    }
+
+    #[test]
+    fn shutdown_drains_queue_and_terminates_pool() {
+        let exec = Arc::new(CfExecutor::new(3));
+        let l = CfLink::new(LinkConfig::instant(), Arc::clone(&exec));
+        // Work queued before shutdown still completes (drain semantics).
+        let pending: Vec<_> = (0..8).map(|i| l.execute_async(0, move || i)).collect();
+        exec.shutdown();
+        assert!(exec.is_shut_down());
+        assert_eq!(exec.workers.lock().len(), 0, "all worker threads joined");
+        let sum: i32 = pending.into_iter().filter_map(|c| c.checked_wait()).sum();
+        assert_eq!(sum, (0..8).sum::<i32>());
+        // Commands issued after shutdown are dropped, not hung: the
+        // completion reports the loss instead of blocking forever.
+        assert_eq!(l.execute_async(0, || 1).checked_wait(), None);
+        // Idempotent.
+        exec.shutdown();
     }
 
     #[test]

@@ -362,7 +362,10 @@ impl ListStructure {
         if was_empty {
             self.signal_transition(&h);
         }
-        drop(h);
+        // Publish the location while the header is still locked: a consumer
+        // woken by the transition signal may claim (move) this entry the
+        // instant the lock drops, and its index update must not be
+        // overwritten by ours.
         self.index.lock().insert(id, header);
         Ok(id)
     }
@@ -431,8 +434,8 @@ impl ListStructure {
             if h.entries.is_empty() {
                 self.signal_empty(&h);
             }
-            drop(h);
             self.index.lock().remove(&id);
+            drop(h);
             self.entry_count.fetch_sub(1, Ordering::Relaxed);
             self.stats.deletes.incr();
             return Ok(());
@@ -458,7 +461,8 @@ impl ListStructure {
             if from_header == to_header {
                 return Ok(());
             }
-            let (lo, hi) = if from_header < to_header { (from_header, to_header) } else { (to_header, from_header) };
+            let (lo, hi) =
+                if from_header < to_header { (from_header, to_header) } else { (to_header, from_header) };
             let mut h_lo = self.headers[lo].lock();
             let mut h_hi = self.headers[hi].lock();
             let (src, dst) =
@@ -483,10 +487,9 @@ impl ListStructure {
             if was_empty {
                 self.signal_transition(dst);
             }
-            drop(h_lo);
-            // h_hi dropped at end of scope
-            drop(h_hi);
             self.index.lock().insert(id, to_header);
+            drop(h_lo);
+            drop(h_hi);
             self.stats.moves.incr();
             return Ok(());
         }
@@ -539,9 +542,9 @@ impl ListStructure {
         if was_empty {
             self.signal_transition(dst);
         }
+        self.index.lock().insert(id, to_header);
         drop(h_lo);
         drop(h_hi);
-        self.index.lock().insert(id, to_header);
         self.stats.moves.incr();
         Ok(true)
     }
@@ -599,9 +602,9 @@ impl ListStructure {
         if was_empty {
             self.signal_transition(dst);
         }
+        self.index.lock().insert(view.id, to);
         drop(h_lo);
         drop(h_hi);
-        self.index.lock().insert(view.id, to);
         self.stats.moves.incr();
         Ok(Some(view))
     }
@@ -627,8 +630,8 @@ impl ListStructure {
         if h.entries.is_empty() {
             self.signal_empty(&h);
         }
-        drop(h);
         self.index.lock().remove(&e.id);
+        drop(h);
         self.entry_count.fetch_sub(1, Ordering::Relaxed);
         self.stats.dequeues.incr();
         self.stats.deletes.incr();
@@ -640,8 +643,7 @@ impl ListStructure {
         self.check_active(conn.id)?;
         self.check_header(header)?;
         let h = self.headers[header].lock();
-        Ok(h
-            .entries
+        Ok(h.entries
             .iter()
             .map(|e| EntryView { id: e.id, key: e.key, data: e.data.clone(), header, version: e.version })
             .collect())
@@ -664,7 +666,8 @@ impl ListStructure {
     /// another connector. Re-acquisition by the holder is idempotent.
     pub fn acquire_lock(&self, conn: &ListConnection, lock_index: usize) -> CfResult<bool> {
         self.check_active(conn.id)?;
-        let slot = self.locks.get(lock_index).ok_or(CfError::BadParameter("lock entry index out of range"))?;
+        let slot =
+            self.locks.get(lock_index).ok_or(CfError::BadParameter("lock entry index out of range"))?;
         let me = conn.id.raw() as u32 + 1;
         match slot.compare_exchange(0, me, Ordering::AcqRel, Ordering::Acquire) {
             Ok(_) => Ok(true),
@@ -675,7 +678,8 @@ impl ListStructure {
     /// Release a serializing lock entry held by this connector.
     pub fn release_lock(&self, conn: &ListConnection, lock_index: usize) -> CfResult<()> {
         self.check_active(conn.id)?;
-        let slot = self.locks.get(lock_index).ok_or(CfError::BadParameter("lock entry index out of range"))?;
+        let slot =
+            self.locks.get(lock_index).ok_or(CfError::BadParameter("lock entry index out of range"))?;
         let me = conn.id.raw() as u32 + 1;
         slot.compare_exchange(me, 0, Ordering::AcqRel, Ordering::Acquire)
             .map(|_| ())
@@ -684,7 +688,8 @@ impl ListStructure {
 
     /// Current holder of a lock entry.
     pub fn lock_holder(&self, lock_index: usize) -> CfResult<Option<ConnId>> {
-        let slot = self.locks.get(lock_index).ok_or(CfError::BadParameter("lock entry index out of range"))?;
+        let slot =
+            self.locks.get(lock_index).ok_or(CfError::BadParameter("lock entry index out of range"))?;
         let raw = slot.load(Ordering::Acquire);
         Ok(if raw == 0 { None } else { Some(ConnId::from_raw((raw - 1) as u8)) })
     }
@@ -974,9 +979,8 @@ mod tests {
         s.write_entry(&mainline, 0, 1, b"", WritePosition::Tail, LockCondition::LockFree(0)).unwrap();
         // Recovery takes the lock for a static view.
         assert!(s.acquire_lock(&recovery, 0).unwrap());
-        let err = s
-            .write_entry(&mainline, 0, 2, b"", WritePosition::Tail, LockCondition::LockFree(0))
-            .unwrap_err();
+        let err =
+            s.write_entry(&mainline, 0, 2, b"", WritePosition::Tail, LockCondition::LockFree(0)).unwrap_err();
         assert_eq!(err, CfError::LockHeld { holder: recovery.id });
         // Recovery-side ops require holding the lock.
         s.dequeue(&recovery, 0, DequeueEnd::Head, LockCondition::HeldBySelf(0)).unwrap();

@@ -223,10 +223,7 @@ impl LockStructure {
                 return Err(CfError::NoConnectorSlots);
             }
             let bit = 1u32 << slot;
-            if self
-                .active
-                .compare_exchange(active, active | bit, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
+            if self.active.compare_exchange(active, active | bit, Ordering::AcqRel, Ordering::Acquire).is_ok()
             {
                 return Ok(ConnId::from_raw(slot));
             }
@@ -308,10 +305,7 @@ impl LockStructure {
                     (cur & SHARE_MASK & !NEG_FLAG) | ((conn.raw() as u64 + 1) << EXCL_SHIFT)
                 }
             };
-            if slot
-                .compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
-            {
+            if slot.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire).is_ok() {
                 self.stats.sync_grants.incr();
                 return Ok(LockResponse::Granted);
             }
@@ -346,10 +340,7 @@ impl LockStructure {
                 LockMode::Exclusive => cur | me as u64 | NEG_FLAG,
                 LockMode::Shared => cur | me as u64,
             };
-            if slot
-                .compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
-            {
+            if slot.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire).is_ok() {
                 return Ok(());
             }
         }
@@ -385,10 +376,7 @@ impl LockStructure {
             if share_of(new) == 0 && excl_of(new).is_none() {
                 new = 0;
             }
-            if new == cur
-                || slot
-                    .compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire)
-                    .is_ok()
+            if new == cur || slot.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire).is_ok()
             {
                 return;
             }
@@ -769,9 +757,8 @@ mod tests {
         let mut handles = Vec::new();
         for &c in &conns {
             let s = Arc::clone(&s);
-            handles.push(std::thread::spawn(move || {
-                s.request(c, 0, LockMode::Exclusive).unwrap().is_granted()
-            }));
+            handles
+                .push(std::thread::spawn(move || s.request(c, 0, LockMode::Exclusive).unwrap().is_granted()));
         }
         let granted = handles.into_iter().map(|h| h.join().unwrap()).filter(|&g| g).count();
         assert_eq!(granted, 1, "exactly one racer wins the entry");
@@ -785,9 +772,7 @@ mod tests {
         let mut handles = Vec::new();
         for &c in &conns {
             let s = Arc::clone(&s);
-            handles.push(std::thread::spawn(move || {
-                s.request(c, 0, LockMode::Shared).unwrap().is_granted()
-            }));
+            handles.push(std::thread::spawn(move || s.request(c, 0, LockMode::Shared).unwrap().is_granted()));
         }
         assert!(handles.into_iter().all(|h| h.join().unwrap()));
         let (share, excl) = s.holders(0);

@@ -50,6 +50,106 @@ pub fn ratio(num: u64, den: u64) -> f64 {
     }
 }
 
+/// Number of power-of-two latency buckets: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` nanoseconds, bucket 0 additionally absorbs 0–1 ns and
+/// the last bucket absorbs everything slower (~69 s and up).
+pub const LATENCY_BUCKETS: usize = 36;
+
+/// A lock-free power-of-two latency histogram.
+///
+/// Same contention profile as [`Counter`]: relaxed cache-padded atomics,
+/// safe to hammer from every system's CF command path. Resolution is one
+/// binary order of magnitude, which is plenty to separate the paper's
+/// cost tiers (ns local bit tests, µs sync CF commands, tens of µs async
+/// completions, ms DASD I/O).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [Counter; LATENCY_BUCKETS],
+    total_ns: Counter,
+    samples: Counter,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// New, empty histogram.
+    pub const fn new() -> Self {
+        // `[Counter::new(); N]` needs Copy; build the array explicitly.
+        // The const is a deliberate repeat-initializer, not a shared item.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: Counter = Counter::new();
+        LatencyHistogram {
+            buckets: [ZERO; LATENCY_BUCKETS],
+            total_ns: Counter::new(),
+            samples: Counter::new(),
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        (63 - ns.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Record one observed latency.
+    #[inline]
+    pub fn record(&self, elapsed: std::time::Duration) {
+        let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        self.buckets[Self::bucket_of(ns)].incr();
+        self.total_ns.add(ns);
+        self.samples.incr();
+    }
+
+    /// Number of recorded samples.
+    pub fn samples(&self) -> u64 {
+        self.samples.get()
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        ratio(self.total_ns.get(), self.samples.get())
+    }
+
+    /// Upper bound (ns) of the bucket containing the `p`-quantile,
+    /// `0.0 < p <= 1.0`. Returns 0 when empty.
+    pub fn quantile_ns(&self, p: f64) -> u64 {
+        let total = self.samples.get();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64 * p).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.get();
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        1u64 << LATENCY_BUCKETS.min(63)
+    }
+
+    /// `(bucket_upper_ns, count)` for every non-empty bucket.
+    pub fn snapshot(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.get() > 0)
+            .map(|(i, b)| (1u64 << (i + 1).min(63), b.get()))
+            .collect()
+    }
+
+    /// Reset all buckets (between benchmark phases).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.reset();
+        }
+        self.total_ns.reset();
+        self.samples.reset();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -66,7 +66,13 @@ impl DasdFarm {
     }
 
     /// Atomic read-modify-write as `system` (fence-checked).
-    pub fn update<R>(&self, system: u8, volume: &str, block: u64, f: impl FnOnce(&mut Vec<u8>) -> R) -> IoResult<R> {
+    pub fn update<R>(
+        &self,
+        system: u8,
+        volume: &str,
+        block: u64,
+        f: impl FnOnce(&mut Vec<u8>) -> R,
+    ) -> IoResult<R> {
         self.fence.check(system)?;
         self.volume(volume)?.update(block, f)
     }

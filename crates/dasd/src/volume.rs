@@ -191,7 +191,10 @@ mod tests {
     fn block_size_enforced() {
         let v = Volume::new("VOL001", 10, IoModel::instant());
         assert!(v.write(0, &vec![0u8; BLOCK_SIZE]).is_ok());
-        assert_eq!(v.write(0, &vec![0u8; BLOCK_SIZE + 1]).unwrap_err(), IoError::BlockTooLarge(BLOCK_SIZE + 1));
+        assert_eq!(
+            v.write(0, &vec![0u8; BLOCK_SIZE + 1]).unwrap_err(),
+            IoError::BlockTooLarge(BLOCK_SIZE + 1)
+        );
     }
 
     #[test]

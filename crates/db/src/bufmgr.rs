@@ -21,7 +21,8 @@ use crate::pagestore::{Page, PageStore};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
-use sysplex_core::cache::{BlockName, CacheConnection, CacheStructure, WriteKind};
+use sysplex_core::cache::{BlockName, CacheStructure, WriteKind};
+use sysplex_core::connection::{CacheConnection, CfSubchannel};
 use sysplex_core::stats::Counter;
 use sysplex_core::{CfError, SystemId};
 
@@ -61,9 +62,8 @@ struct PoolInner {
 /// CF loss fails over with the changed data intact (no destage needed).
 #[derive(Debug, Clone)]
 struct CacheTarget {
-    cache: Arc<CacheStructure>,
     conn: CacheConnection,
-    secondary: Option<(Arc<CacheStructure>, CacheConnection)>,
+    secondary: Option<CacheConnection>,
 }
 
 /// A per-system buffer pool coherent across the data-sharing group.
@@ -83,18 +83,20 @@ pub struct BufferManager {
 }
 
 impl BufferManager {
-    /// Connect a pool of `frames` frames to the cache structure.
+    /// Connect a pool of `frames` frames to the cache structure through
+    /// `sub` (the unified CF command path).
     pub fn new(
         system: SystemId,
-        cache: Arc<CacheStructure>,
+        cache: &Arc<CacheStructure>,
+        sub: CfSubchannel,
         store: Arc<PageStore>,
         frames: usize,
     ) -> DbResult<Self> {
         assert!(frames > 0);
-        let conn = cache.connect(frames)?;
+        let conn = CacheConnection::attach(cache, sub, frames)?;
         Ok(BufferManager {
             system,
-            cf: RwLock::new(CacheTarget { cache, conn, secondary: None }),
+            cf: RwLock::new(CacheTarget { conn, secondary: None }),
             store,
             frame_count: frames,
             inner: Mutex::new(PoolInner {
@@ -108,7 +110,7 @@ impl BufferManager {
 
     /// The cache-structure connector slot (recovery bookkeeping).
     pub fn conn_id(&self) -> sysplex_core::ConnId {
-        self.cf.read().conn.id
+        self.cf.read().conn.conn_id()
     }
 
     /// Read a page image, coherently.
@@ -150,7 +152,7 @@ impl BufferManager {
         inner.rotor += 1;
         if let Some(old) = inner.frames[idx].name.take() {
             inner.map.remove(&old);
-            let _ = cf.cache.unregister(&cf.conn, old);
+            let _ = cf.conn.unregister(old);
         }
         inner.frames[idx].name = Some(name);
         inner.map.insert(name, idx);
@@ -169,7 +171,7 @@ impl BufferManager {
         if !was_tracked {
             return Ok(None); // frame stolen concurrently; retry
         }
-        let reg = cf.cache.read_and_register(&cf.conn, name, idx as u32)?;
+        let reg = cf.conn.register_read(name, idx as u32)?;
         let image = match reg.data {
             Some(d) => {
                 self.stats.cf_refreshes.incr();
@@ -207,19 +209,19 @@ impl BufferManager {
         let cf = self.cf.read();
         let idx = self.frame_for(&cf, name);
         // Register so the CF tracks us as a current holder.
-        cf.cache.read_and_register(&cf.conn, name, idx as u32)?;
+        cf.conn.register_read(name, idx as u32)?;
         {
             let mut inner = self.inner.lock();
             if inner.frames.get(idx).and_then(|f| f.name) == Some(name) {
                 inner.frames[idx].data = image.to_vec();
             }
         }
-        cf.cache.write_and_invalidate(&cf.conn, name, image, WriteKind::ChangedData)?;
-        if let Some((sec, sec_conn)) = &cf.secondary {
+        cf.conn.write_invalidate(name, image, WriteKind::ChangedData)?;
+        if let Some(sec) = &cf.secondary {
             // Duplexed write: the secondary holds no registrations (it is
             // a data vault, not a coherency point), so this is a pure
             // changed-data store.
-            sec.write_and_invalidate(sec_conn, name, image, WriteKind::ChangedData)?;
+            sec.write_invalidate(name, image, WriteKind::ChangedData)?;
         }
         self.stats.writes.incr();
         Ok(())
@@ -240,22 +242,22 @@ impl BufferManager {
 
     fn castout_inner(&self, cf: &CacheTarget, max: usize) -> DbResult<usize> {
         let mut done = 0;
-        for name in cf.cache.castout_candidates(max) {
+        for name in cf.conn.castout_candidates(max)? {
             let Some(page) = self.store.page_of_block(&name) else { continue };
-            let (data, version) = match cf.cache.read_for_castout(&cf.conn, name) {
+            let (data, version) = match cf.conn.castout_read(name) {
                 Ok(x) => x,
                 Err(CfError::NoSuchEntry) => continue, // raced with another castout
                 Err(e) => return Err(e.into()),
             };
             self.store.write_image(self.system.0, page, &data)?;
-            match cf.cache.complete_castout(&cf.conn, name, version) {
+            match cf.conn.castout_complete(name, version) {
                 Ok(()) | Err(CfError::VersionMismatch { .. }) => {}
                 Err(e) => return Err(e.into()),
             }
-            if let Some((sec, sec_conn)) = &cf.secondary {
+            if let Some(sec) = &cf.secondary {
                 // Clear the duplexed copy's changed state too.
-                if let Ok((_, v)) = sec.read_for_castout(sec_conn, name) {
-                    let _ = sec.complete_castout(sec_conn, name, v);
+                if let Ok((_, v)) = sec.castout_read(name) {
+                    let _ = sec.castout_complete(name, v);
                 }
             }
             done += 1;
@@ -272,23 +274,28 @@ impl BufferManager {
     /// Enable group-buffer duplexing: attach every member to `secondary`
     /// and copy the primary's current changed data into it, after which
     /// every changed-data write is mirrored.
-    pub fn enable_duplexing(managers: &[&BufferManager], secondary: Arc<CacheStructure>) -> DbResult<()> {
+    pub fn enable_duplexing(
+        managers: &[&BufferManager],
+        secondary: Arc<CacheStructure>,
+        sub: &CfSubchannel,
+    ) -> DbResult<()> {
         let mut guards: Vec<_> = managers.iter().map(|m| m.cf.write()).collect();
         // Attach all members first.
         let sec_conns: Vec<CacheConnection> = managers
             .iter()
-            .map(|m| secondary.connect(m.frame_count))
+            .map(|m| CacheConnection::attach(&secondary, sub.clone(), m.frame_count))
             .collect::<Result<_, _>>()?;
-        // One member copies the existing changed data across.
+        // One member copies the existing changed data across (a bulk
+        // rebuild copy: asynchronous on both subchannels).
         if let (Some(guard), Some(sec_conn)) = (guards.first(), sec_conns.first()) {
-            for name in guard.cache.castout_candidates(usize::MAX >> 1) {
-                if let Ok((data, _)) = guard.cache.read_for_castout(&guard.conn, name) {
-                    secondary.write_and_invalidate(sec_conn, name, &data, WriteKind::ChangedData)?;
+            for name in guard.conn.castout_candidates(usize::MAX >> 1)? {
+                if let Ok((data, _)) = guard.conn.castout_read(name) {
+                    sec_conn.write_invalidate(name, &data, WriteKind::ChangedData)?;
                 }
             }
         }
         for (guard, sec_conn) in guards.iter_mut().zip(sec_conns) {
-            guard.secondary = Some((Arc::clone(&secondary), sec_conn));
+            guard.secondary = Some(sec_conn);
         }
         Ok(())
     }
@@ -299,14 +306,15 @@ impl BufferManager {
     pub fn failover_all(managers: &[&BufferManager]) -> DbResult<()> {
         let mut guards: Vec<_> = managers.iter().map(|m| m.cf.write()).collect();
         for (manager, guard) in managers.iter().zip(guards.iter_mut()) {
-            let Some((sec, old_conn)) = guard.secondary.take() else {
+            let Some(old_sec) = guard.secondary.take() else {
                 return Err(DbError::Cf(CfError::WrongModel));
             };
             // Reconnect for a fresh registration vector on the promoted
             // structure (the duplex-time connection carried no
             // registrations).
-            let _ = sec.disconnect(&old_conn);
-            let conn = sec.connect(manager.frame_count)?;
+            let promoted = Arc::clone(old_sec.structure());
+            let _ = old_sec.detach();
+            let conn = old_sec.reattach(&promoted, manager.frame_count)?;
             {
                 let mut inner = manager.inner.lock();
                 inner.map.clear();
@@ -314,7 +322,6 @@ impl BufferManager {
                     *f = Frame::default();
                 }
             }
-            guard.cache = sec;
             guard.conn = conn;
         }
         Ok(())
@@ -327,19 +334,23 @@ impl BufferManager {
     /// changed data from the old structure to DASD (so the new structure
     /// starts clean and DASD is the source of truth), then reconnect every
     /// member and invalidate its local pool.
-    pub fn rebuild_all(managers: &[&BufferManager], new: Arc<CacheStructure>) -> DbResult<()> {
+    pub fn rebuild_all(
+        managers: &[&BufferManager],
+        new: Arc<CacheStructure>,
+        sub: &CfSubchannel,
+    ) -> DbResult<()> {
         let mut guards: Vec<_> = managers.iter().map(|m| m.cf.write()).collect();
         // Drain changed data through the first member's old attachment.
         if let (Some(first), Some(guard)) = (managers.first(), guards.first()) {
-            while guard.cache.changed_count() > 0 {
+            while guard.conn.structure().changed_count() > 0 {
                 if first.castout_inner(guard, 1024)? == 0 {
                     break;
                 }
             }
         }
         for (manager, guard) in managers.iter().zip(guards.iter_mut()) {
-            let _ = guard.cache.disconnect(&guard.conn);
-            let conn = new.connect(manager.frame_count)?;
+            let _ = guard.conn.detach();
+            let conn = CacheConnection::attach(&new, sub.clone(), manager.frame_count)?;
             {
                 let mut inner = manager.inner.lock();
                 inner.map.clear();
@@ -347,7 +358,6 @@ impl BufferManager {
                     *f = Frame::default();
                 }
             }
-            guard.cache = Arc::clone(&new);
             guard.conn = conn;
             guard.secondary = None;
         }
@@ -357,7 +367,7 @@ impl BufferManager {
     /// Orderly detach.
     pub fn detach(&self) {
         let cf = self.cf.read();
-        let _ = cf.cache.disconnect(&cf.conn);
+        let _ = cf.conn.detach();
     }
 }
 
@@ -371,10 +381,12 @@ impl std::fmt::Debug for BufferManager {
 mod tests {
     use super::*;
     use sysplex_core::cache::CacheParams;
+    use sysplex_core::facility::{CfConfig, CouplingFacility};
     use sysplex_dasd::farm::DasdFarm;
     use sysplex_dasd::volume::IoModel;
 
     struct Rig {
+        cf: Arc<CouplingFacility>,
         cache: Arc<CacheStructure>,
         store: Arc<PageStore>,
     }
@@ -383,12 +395,13 @@ mod tests {
         let farm = DasdFarm::new(IoModel::instant());
         farm.add_volume("DB0001", 128, 4).unwrap();
         let store = PageStore::new(farm, "DB0001", 1, 128);
-        let cache = Arc::new(CacheStructure::new("GBP0", &CacheParams::store_in(256)).unwrap());
-        Rig { cache, store }
+        let cf = CouplingFacility::new(CfConfig::named("CF01"));
+        let cache = cf.allocate_cache_structure("GBP0", CacheParams::store_in(256)).unwrap();
+        Rig { cf, cache, store }
     }
 
     fn bm(r: &Rig, sys: u8) -> BufferManager {
-        BufferManager::new(SystemId::new(sys), Arc::clone(&r.cache), Arc::clone(&r.store), 32).unwrap()
+        BufferManager::new(SystemId::new(sys), &r.cache, r.cf.subchannel(), Arc::clone(&r.store), 32).unwrap()
     }
 
     #[test]
@@ -453,7 +466,8 @@ mod tests {
     #[test]
     fn frame_steal_recycles_pool() {
         let r = rig();
-        let a = BufferManager::new(SystemId::new(0), Arc::clone(&r.cache), Arc::clone(&r.store), 4).unwrap();
+        let a = BufferManager::new(SystemId::new(0), &r.cache, r.cf.subchannel(), Arc::clone(&r.store), 4)
+            .unwrap();
         for page in 0..16 {
             a.get_page(page).unwrap();
         }

@@ -218,7 +218,13 @@ impl Database {
     pub fn write(&self, txn: &mut Txn, key: u64, value: Option<&[u8]>) -> DbResult<()> {
         Self::check_open(txn)?;
         self.stats.writes.incr();
-        self.irlm.lock_wait(txn.id, &row_resource(key), LockMode::Exclusive, true, self.config.lock_timeout)?;
+        self.irlm.lock_wait(
+            txn.id,
+            &row_resource(key),
+            LockMode::Exclusive,
+            true,
+            self.config.lock_timeout,
+        )?;
         let after = value.map(|v| v.to_vec());
         if let Some(w) = txn.writes.get_mut(&key) {
             w.after = after; // keep the original before-image
@@ -363,7 +369,11 @@ impl Database {
     /// to `retries` times (timeouts abort and re-run — the classic OLTP
     /// deadlock-breaker loop). Retries back off for a randomized interval
     /// so two transactions deadlocking in lockstep cannot livelock.
-    pub fn run<R>(&self, retries: usize, mut f: impl FnMut(&Database, &mut Txn) -> DbResult<R>) -> DbResult<R> {
+    pub fn run<R>(
+        &self,
+        retries: usize,
+        mut f: impl FnMut(&Database, &mut Txn) -> DbResult<R>,
+    ) -> DbResult<R> {
         let mut attempts: u32 = 0;
         loop {
             let mut txn = self.begin();
@@ -377,9 +387,13 @@ impl Database {
                     if attempts as usize > retries {
                         return Err(DbError::LockTimeout { resource, waited });
                     }
-                    // Jitter from the (sysplex-unique) TOD so colliding
-                    // transactions desynchronise.
-                    let jitter_us = self.timer.tod().0 % (200 * attempts.min(16) as u64 + 1);
+                    // Exponential randomized backoff, seeded from the
+                    // (sysplex-unique) TOD: colliding transactions must
+                    // desynchronise faster than they re-collide, or a
+                    // wide group livelocks on a hot record with every
+                    // member retrying in phase.
+                    let ceil_us = 100u64 << attempts.min(8);
+                    let jitter_us = self.timer.tod().0 % ceil_us;
                     std::thread::sleep(Duration::from_micros(jitter_us));
                 }
                 Err(e) => {

@@ -16,8 +16,9 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use sysplex_core::cache::{CacheParams, CacheStructure};
-use sysplex_core::lock::{LockParams, LockStructure};
+use sysplex_core::connection::{CfSubchannel, LockConnection};
 use sysplex_core::facility::CouplingFacility;
+use sysplex_core::lock::{LockParams, LockStructure};
 use sysplex_core::SystemId;
 use sysplex_dasd::farm::DasdFarm;
 use sysplex_services::timer::SysplexTimer;
@@ -84,6 +85,11 @@ pub struct DataSharingGroup {
     lock_structure: parking_lot::RwLock<Arc<LockStructure>>,
     /// Current CF cache structure (group buffer pool).
     cache_structure: parking_lot::RwLock<Arc<CacheStructure>>,
+    /// Command subchannel template for the CF currently hosting the
+    /// structures; every member connection issues through a clone of it.
+    subchannel: parking_lot::RwLock<CfSubchannel>,
+    /// Subchannel for the duplexed secondary CF, promoted on failover.
+    secondary_sub: Mutex<Option<CfSubchannel>>,
     /// The shared page store.
     pub store: Arc<PageStore>,
     /// Rebuild generation counter (names the replacement structures).
@@ -118,6 +124,8 @@ impl DataSharingGroup {
             xcf,
             lock_structure: parking_lot::RwLock::new(lock_structure),
             cache_structure: parking_lot::RwLock::new(cache_structure),
+            subchannel: parking_lot::RwLock::new(cf.subchannel()),
+            secondary_sub: Mutex::new(None),
             store,
             generation: std::sync::atomic::AtomicU32::new(0),
             secondary_lock: Mutex::new(None),
@@ -137,16 +145,25 @@ impl DataSharingGroup {
         Arc::clone(&self.cache_structure.read())
     }
 
+    /// A fresh command subchannel to the CF currently hosting the group's
+    /// structures.
+    pub fn subchannel(&self) -> CfSubchannel {
+        self.subchannel.read().clone()
+    }
+
     fn log_volume(system: SystemId) -> String {
         format!("DSGLOG{:02}", system.0)
     }
 
     /// Join `system` to the group: IRLM + buffer pool + log + database.
     pub fn add_member(&self, system: SystemId) -> DbResult<Arc<Database>> {
-        let irlm = Irlm::start(system, self.lock_structure(), &self.xcf)?;
+        let lock_conn = LockConnection::attach(&self.lock_structure(), self.subchannel())
+            .map_err(crate::error::DbError::Cf)?;
+        let irlm = Irlm::start(system, lock_conn, &self.xcf)?;
         let buf = BufferManager::new(
             system,
-            self.cache_structure(),
+            &self.cache_structure(),
+            self.subchannel(),
             Arc::clone(&self.store),
             self.config.db.buffer_frames,
         )?;
@@ -231,12 +248,14 @@ impl DataSharingGroup {
             &format!("DSG_GBP0_DX{generation}"),
             CacheParams::store_in(self.config.cache_entries),
         )?;
+        let sec_sub = cf.subchannel();
         let irlms: Vec<_> = members.iter().map(|d| Arc::clone(d.irlm())).collect();
-        Irlm::enable_duplexing(&irlms, Arc::clone(&sec_lock))?;
+        Irlm::enable_duplexing(&irlms, Arc::clone(&sec_lock), &sec_sub)?;
         let bufs: Vec<&crate::bufmgr::BufferManager> = members.iter().map(|d| d.buffers()).collect();
-        crate::bufmgr::BufferManager::enable_duplexing(&bufs, Arc::clone(&sec_cache))?;
+        crate::bufmgr::BufferManager::enable_duplexing(&bufs, Arc::clone(&sec_cache), &sec_sub)?;
         *self.secondary_lock.lock() = Some(sec_lock);
         *self.secondary_cache.lock() = Some(sec_cache);
+        *self.secondary_sub.lock() = Some(sec_sub);
         Ok(())
     }
 
@@ -254,6 +273,9 @@ impl DataSharingGroup {
         }
         if let Some(c) = self.secondary_cache.lock().take() {
             *self.cache_structure.write() = c;
+        }
+        if let Some(sub) = self.secondary_sub.lock().take() {
+            *self.subchannel.write() = sub;
         }
         let mut conns = self.conns.lock();
         for d in &members {
@@ -281,12 +303,14 @@ impl DataSharingGroup {
             &format!("DSG_GBP0_G{generation}"),
             CacheParams::store_in(self.config.cache_entries),
         )?;
+        let new_sub = cf.subchannel();
         let irlms: Vec<_> = members.iter().map(|d| Arc::clone(d.irlm())).collect();
-        Irlm::rebuild_all(&irlms, Arc::clone(&new_lock))?;
+        Irlm::rebuild_all(&irlms, Arc::clone(&new_lock), &new_sub)?;
         let bufs: Vec<&crate::bufmgr::BufferManager> = members.iter().map(|d| d.buffers()).collect();
-        crate::bufmgr::BufferManager::rebuild_all(&bufs, Arc::clone(&new_cache))?;
+        crate::bufmgr::BufferManager::rebuild_all(&bufs, Arc::clone(&new_cache), &new_sub)?;
         *self.lock_structure.write() = new_lock;
         *self.cache_structure.write() = new_cache;
+        *self.subchannel.write() = new_sub;
         let mut conns = self.conns.lock();
         for d in &members {
             if let Some(fm) = conns.get_mut(&d.system()) {
@@ -334,9 +358,7 @@ mod tests {
             db.write(txn, 200, Some(b"balance=700"))
         })
         .unwrap();
-        let v = b
-            .run(0, |db, txn| db.read(txn, 100))
-            .unwrap();
+        let v = b.run(0, |db, txn| db.read(txn, 100)).unwrap();
         assert_eq!(v.unwrap(), b"balance=500");
 
         // b updates the same record; a sees the new value (coherency).
@@ -386,15 +408,14 @@ mod tests {
         let mut ta = a.begin();
         a.write(&mut ta, 10, Some(b"uncommitted")).unwrap();
         // Force the WAL and externalise the page like commit would…
-        a.log()
-            .append(crate::log::LogRecord::Update {
-                lsn: g.timer.tod(),
-                txn: ta.id(),
-                page: g.store.page_of(10),
-                key: 10,
-                before: Some(b"committed".to_vec()),
-                after: Some(b"uncommitted".to_vec()),
-            });
+        a.log().append(crate::log::LogRecord::Update {
+            lsn: g.timer.tod(),
+            txn: ta.id(),
+            page: g.store.page_of(10),
+            key: 10,
+            before: Some(b"committed".to_vec()),
+            after: Some(b"uncommitted".to_vec()),
+        });
         a.log().force().unwrap();
         let page_no = g.store.page_of(10);
         let mut page = a.buffers().get_page(page_no).unwrap();
@@ -433,8 +454,7 @@ mod tests {
         let mut config = GroupConfig::default();
         config.db.lock_timeout = std::time::Duration::from_millis(100);
         let g = DataSharingGroup::new(config, &cf, farm, timer, xcf).unwrap();
-        let members: Vec<Arc<Database>> =
-            (0..3).map(|i| g.add_member(SystemId::new(i)).unwrap()).collect();
+        let members: Vec<Arc<Database>> = (0..3).map(|i| g.add_member(SystemId::new(i)).unwrap()).collect();
         // 10 accounts with 100 units each.
         members[0]
             .run(0, |db, txn| {

@@ -35,6 +35,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use sysplex_core::connection::{CfSubchannel, LockConnection};
 use sysplex_core::lock::{DisconnectMode, LockMode, LockResponse, LockStructure, RetainedLock};
 use sysplex_core::stats::Counter;
 use sysplex_core::types::{conns_in_mask, ConnId};
@@ -85,9 +86,9 @@ struct ResourceHolders {
 impl ResourceHolders {
     /// Can `txn` acquire `mode` alongside the current local holders?
     fn compatible_for(&self, txn: u64, mode: LockMode) -> bool {
-        self.holders.iter().all(|(&t, h)| {
-            t == txn || matches!((h.mode, mode), (LockMode::Shared, LockMode::Shared))
-        })
+        self.holders
+            .iter()
+            .all(|(&t, h)| t == txn || matches!((h.mode, mode), (LockMode::Shared, LockMode::Shared)))
     }
 
     /// Would a *foreign-system* request of `mode` conflict with any holder?
@@ -154,9 +155,8 @@ fn encode_reply(req_id: u64, conflict: bool) -> Vec<u8> {
 /// record so a CF loss fails over with no recovery at all.
 #[derive(Debug, Clone)]
 struct CfTarget {
-    structure: Arc<LockStructure>,
-    conn: ConnId,
-    secondary: Option<(Arc<LockStructure>, ConnId)>,
+    conn: LockConnection,
+    secondary: Option<LockConnection>,
 }
 
 impl CfTarget {
@@ -168,24 +168,24 @@ impl CfTarget {
     /// over-approximates (safe: at worst extra negotiation after a
     /// failover, never a missed conflict).
     fn mirror_grant(&self, entry: usize, mode: LockMode) {
-        if let Some((s, c)) = &self.secondary {
-            let _ = s.force_interest(*c, entry, mode);
+        if let Some(sec) = &self.secondary {
+            let _ = sec.force_interest(entry, mode);
         }
     }
 
     fn mirror_record(&self, resource: &[u8], mode: LockMode, txn: u64) {
-        if let Some((s, c)) = &self.secondary {
-            let _ = s.write_record(*c, resource, mode, &txn.to_be_bytes());
+        if let Some(sec) = &self.secondary {
+            let _ = sec.write_lock_record(resource, mode, &txn.to_be_bytes());
         }
     }
 
     fn mirror_unlock(&self, resource: &[u8], entry: usize, release_entry: bool, had_record: bool) {
-        if let Some((s, c)) = &self.secondary {
+        if let Some(sec) = &self.secondary {
             if had_record {
-                let _ = s.delete_record(*c, resource);
+                let _ = sec.delete_lock_record(resource);
             }
             if release_entry {
-                let _ = s.release(*c, entry);
+                let _ = sec.release_lock(entry);
             }
         }
     }
@@ -221,17 +221,17 @@ impl Irlm {
         format!("IRLM{:02}", conn.raw())
     }
 
-    /// Start an IRLM on `system`: connect to the lock structure, join the
-    /// negotiation group, spawn the service thread answering peer queries.
-    pub fn start(system: SystemId, structure: Arc<LockStructure>, xcf: &Arc<Xcf>) -> DbResult<Arc<Self>> {
-        let conn = structure.connect()?;
+    /// Start an IRLM on `system`: the caller supplies a [`LockConnection`]
+    /// (the unified CF command path); the IRLM joins the negotiation group
+    /// and spawns the service thread answering peer queries.
+    pub fn start(system: SystemId, conn: LockConnection, xcf: &Arc<Xcf>) -> DbResult<Arc<Self>> {
         let member = Arc::new(
-            xcf.join(&Self::group_name(&structure), &Self::member_name(conn), system)
+            xcf.join(&Self::group_name(conn.structure()), &Self::member_name(conn.conn_id()), system)
                 .map_err(|_| DbError::NegotiationFailed)?,
         );
         let irlm = Arc::new(Irlm {
             system,
-            cf: RwLock::new(CfTarget { structure, conn, secondary: None }),
+            cf: RwLock::new(CfTarget { conn, secondary: None }),
             member,
             local: Mutex::new(LocalState::default()),
             pending: Arc::new(Mutex::new(HashMap::new())),
@@ -259,12 +259,12 @@ impl Irlm {
 
     /// This IRLM's lock-structure connector.
     pub fn conn(&self) -> ConnId {
-        self.cf.read().conn
+        self.cf.read().conn.conn_id()
     }
 
     /// The lock structure currently attached.
     pub fn structure(&self) -> Arc<LockStructure> {
-        Arc::clone(&self.cf.read().structure)
+        Arc::clone(self.cf.read().conn.structure())
     }
 
     fn service_loop(&self) {
@@ -318,11 +318,11 @@ impl Irlm {
         mode: LockMode,
         ignore: Option<ConnId>,
     ) -> DbResult<bool> {
-        for holder in conns_in_mask(holders & !cf.conn.mask()) {
+        for holder in conns_in_mask(holders & !cf.conn.conn_id().mask()) {
             if Some(holder) == ignore {
                 continue;
             }
-            if cf.structure.is_failed_persistent(holder) {
+            if cf.conn.is_failed_persistent(holder)? {
                 // Retained interest of a dead system conflicts until peer
                 // recovery completes.
                 return Ok(false);
@@ -389,7 +389,7 @@ impl Irlm {
         // Hold the rebuild gate across the whole request: entry indexes
         // are only meaningful against one structure generation.
         let cf = self.cf.read();
-        let entry = cf.structure.hash_resource(resource);
+        let entry = cf.conn.hash_resource(resource);
 
         // Phase 1: local table under the latch. A grant is local (no CF
         // command) only when this system *already holds the same resource*
@@ -412,7 +412,7 @@ impl Irlm {
                     self.stats.grants_local.incr();
                     if persistent {
                         drop(local);
-                        cf.structure.write_record(cf.conn, resource, mode, &txn.to_be_bytes())?;
+                        cf.conn.write_lock_record(resource, mode, &txn.to_be_bytes())?;
                         cf.mirror_record(resource, mode, txn);
                     }
                     return Ok(LockOutcome::Granted);
@@ -422,7 +422,7 @@ impl Irlm {
 
         // Phase 2: CF command (local latch released — the service thread
         // must be able to answer our peers' queries while we negotiate).
-        match cf.structure.request(cf.conn, entry, mode)? {
+        match cf.conn.request_lock(entry, mode)? {
             LockResponse::Granted => {
                 self.stats.grants_cf_sync.incr();
                 cf.mirror_grant(entry, mode);
@@ -431,7 +431,7 @@ impl Irlm {
                 self.stats.contentions.incr();
                 if self.negotiate(&cf, holders, resource, mode, ignore)? {
                     self.stats.false_contentions.incr();
-                    cf.structure.force_interest(cf.conn, entry, mode)?;
+                    cf.conn.force_interest(entry, mode)?;
                     cf.mirror_grant(entry, mode);
                 } else {
                     self.stats.real_conflicts.incr();
@@ -453,7 +453,7 @@ impl Irlm {
             self.record_grant(&mut local, txn, resource, entry, mode, persistent);
         }
         if persistent {
-            cf.structure.write_record(cf.conn, resource, mode, &txn.to_be_bytes())?;
+            cf.conn.write_lock_record(resource, mode, &txn.to_be_bytes())?;
             cf.mirror_record(resource, mode, txn);
         }
         Ok(LockOutcome::Granted)
@@ -512,7 +512,7 @@ impl Irlm {
     /// Release `txn`'s hold on `resource`.
     pub fn unlock(&self, txn: u64, resource: &[u8]) -> DbResult<()> {
         let cf = self.cf.read();
-        let entry = cf.structure.hash_resource(resource);
+        let entry = cf.conn.hash_resource(resource);
         let (release_cf, had_record) = {
             let mut local = self.local.lock();
             let Some(rh) = local.resources.get_mut(resource) else { return Ok(()) };
@@ -535,10 +535,10 @@ impl Irlm {
             // Another transaction (even on another system) may have its own
             // record for the resource; delete only ours — records are keyed
             // per connector, so this removes exactly this system's record.
-            let _ = cf.structure.delete_record(cf.conn, resource);
+            let _ = cf.conn.delete_lock_record(resource);
         }
         if release_cf {
-            cf.structure.release(cf.conn, entry)?;
+            cf.conn.release_lock(entry)?;
         }
         cf.mirror_unlock(resource, entry, release_cf, had_record);
         Ok(())
@@ -584,24 +584,24 @@ impl Irlm {
     /// coordinator when the heartbeat declares that system dead).
     pub fn mark_peer_failed(&self, peer: ConnId) -> DbResult<()> {
         let cf = self.cf.read();
-        cf.structure.disconnect(peer, DisconnectMode::Abnormal)?;
-        if let Some((s, _)) = &cf.secondary {
-            let _ = s.disconnect(peer, DisconnectMode::Abnormal);
+        cf.conn.detach_peer(peer, DisconnectMode::Abnormal)?;
+        if let Some(sec) = &cf.secondary {
+            let _ = sec.detach_peer(peer, DisconnectMode::Abnormal);
         }
         Ok(())
     }
 
     /// The retained (persistent) locks of a failed connector.
-    pub fn retained_locks_of(&self, peer: ConnId) -> Vec<RetainedLock> {
-        self.cf.read().structure.retained_locks(peer)
+    pub fn retained_locks_of(&self, peer: ConnId) -> DbResult<Vec<RetainedLock>> {
+        Ok(self.cf.read().conn.retained_locks_of(peer)?)
     }
 
     /// Peer recovery finished: free the dead connector's interest/records.
     pub fn complete_peer_recovery(&self, peer: ConnId) -> DbResult<()> {
         let cf = self.cf.read();
-        cf.structure.recovery_complete(peer)?;
-        if let Some((s, _)) = &cf.secondary {
-            let _ = s.recovery_complete(peer);
+        cf.conn.recovery_complete_for(peer)?;
+        if let Some(sec) = &cf.secondary {
+            let _ = sec.recovery_complete_for(peer);
         }
         Ok(())
     }
@@ -615,30 +615,34 @@ impl Irlm {
     /// every member to `secondary` (same connector slots; identical
     /// geometry required), replay current interest and records, and mirror
     /// everything from then on.
-    pub fn enable_duplexing(members: &[Arc<Irlm>], secondary: Arc<LockStructure>) -> DbResult<()> {
+    pub fn enable_duplexing(
+        members: &[Arc<Irlm>],
+        secondary: Arc<LockStructure>,
+        sub: &CfSubchannel,
+    ) -> DbResult<()> {
         let mut guards: Vec<_> = members.iter().map(|m| m.cf.write()).collect();
         if let Some(g) = guards.first() {
-            if g.structure.entries() != secondary.entries() {
+            if g.conn.structure().entries() != secondary.entries() {
                 return Err(DbError::Cf(sysplex_core::CfError::BadParameter(
                     "duplexing requires identical lock-table geometry",
                 )));
             }
         }
         for (member, guard) in members.iter().zip(guards.iter_mut()) {
-            let sec_conn = secondary.connect_slot(guard.conn)?;
+            let sec = LockConnection::attach_slot(&secondary, sub.clone(), guard.conn.conn_id())?;
             let local = member.local.lock();
             for (resource, rh) in &local.resources {
                 let Some(mode) = rh.strongest() else { continue };
-                let entry = secondary.hash_resource(resource);
-                secondary.force_interest(sec_conn, entry, mode)?;
+                let entry = sec.hash_resource(resource);
+                sec.force_interest(entry, mode)?;
                 for (txn, h) in &rh.holders {
                     if h.persistent {
-                        secondary.write_record(sec_conn, resource, h.mode, &txn.to_be_bytes())?;
+                        sec.write_lock_record(resource, h.mode, &txn.to_be_bytes())?;
                     }
                 }
             }
             drop(local);
-            guard.secondary = Some((Arc::clone(&secondary), sec_conn));
+            guard.secondary = Some(sec);
         }
         Ok(())
     }
@@ -649,11 +653,10 @@ impl Irlm {
     pub fn failover_all(members: &[Arc<Irlm>]) -> DbResult<()> {
         let mut guards: Vec<_> = members.iter().map(|m| m.cf.write()).collect();
         for guard in guards.iter_mut() {
-            let Some((s, c)) = guard.secondary.take() else {
+            let Some(sec) = guard.secondary.take() else {
                 return Err(DbError::Cf(sysplex_core::CfError::WrongModel));
             };
-            guard.structure = s;
-            guard.conn = c;
+            guard.conn = sec;
         }
         Ok(())
     }
@@ -668,22 +671,22 @@ impl Irlm {
     /// — the same in-storage-rebuild the real XES performs — keeping its
     /// connector slot so peer addressing is unchanged. Members with
     /// failed-persistent state must be recovered before rebuilding.
-    pub fn rebuild_all(members: &[Arc<Irlm>], new: Arc<LockStructure>) -> DbResult<()> {
+    pub fn rebuild_all(members: &[Arc<Irlm>], new: Arc<LockStructure>, sub: &CfSubchannel) -> DbResult<()> {
         // Quiesce the whole group before any member swaps: lock spaces of
         // different generations must never coexist.
         let mut guards: Vec<_> = members.iter().map(|m| m.cf.write()).collect();
         for (member, guard) in members.iter().zip(guards.iter_mut()) {
-            let new_conn = new.connect_slot(guard.conn)?;
+            let new_conn = LockConnection::attach_slot(&new, sub.clone(), guard.conn.conn_id())?;
             let mut local = member.local.lock();
             let mut new_entries: HashMap<usize, EntryInterest> = HashMap::new();
             for (resource, rh) in &local.resources {
                 let Some(mode) = rh.strongest() else { continue };
-                let entry = new.hash_resource(resource);
-                new.force_interest(new_conn, entry, mode)?;
+                let entry = new_conn.hash_resource(resource);
+                new_conn.force_interest(entry, mode)?;
                 new_entries.entry(entry).or_insert(EntryInterest { count: 0 }).count += 1;
                 for (txn, h) in &rh.holders {
                     if h.persistent {
-                        new.write_record(new_conn, resource, h.mode, &txn.to_be_bytes())?;
+                        new_conn.write_lock_record(resource, h.mode, &txn.to_be_bytes())?;
                     }
                 }
             }
@@ -691,8 +694,7 @@ impl Irlm {
             drop(local);
             // The old structure (or its CF) may already be gone. A rebuild
             // re-simplexes: re-enable duplexing afterwards if desired.
-            let _ = guard.structure.disconnect(guard.conn, DisconnectMode::Normal);
-            guard.structure = Arc::clone(&new);
+            let _ = guard.conn.detach(DisconnectMode::Normal);
             guard.conn = new_conn;
             guard.secondary = None;
         }
@@ -708,7 +710,7 @@ impl Irlm {
         }
         let _ = self.member.leave();
         let cf = self.cf.read();
-        let _ = cf.structure.disconnect(cf.conn, DisconnectMode::Normal);
+        let _ = cf.conn.detach(DisconnectMode::Normal);
     }
 
     /// Abandon the instance as a failed system would: stop the service
@@ -732,13 +734,14 @@ impl std::fmt::Debug for Irlm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sysplex_core::facility::{CfConfig, CouplingFacility};
     use sysplex_core::lock::LockParams;
     use sysplex_services::timer::SysplexTimer;
 
     struct Rig {
         irlms: Vec<Arc<Irlm>>,
         #[allow(dead_code)]
-        structure: Arc<LockStructure>,
+        cf: Arc<CouplingFacility>,
         #[allow(dead_code)]
         xcf: Arc<Xcf>,
     }
@@ -753,11 +756,15 @@ mod tests {
 
     fn rig(n: usize, entries: usize) -> Rig {
         let xcf = Xcf::new(SysplexTimer::new());
-        let structure = Arc::new(LockStructure::new("IRLMLOCK1", &LockParams::with_entries(entries)).unwrap());
+        let cf = CouplingFacility::new(CfConfig::named("CF01"));
+        cf.allocate_lock_structure("IRLMLOCK1", LockParams::with_entries(entries)).unwrap();
         let irlms = (0..n)
-            .map(|i| Irlm::start(SystemId::new(i as u8), Arc::clone(&structure), &xcf).unwrap())
+            .map(|i| {
+                let conn = cf.connect_lock("IRLMLOCK1").unwrap();
+                Irlm::start(SystemId::new(i as u8), conn, &xcf).unwrap()
+            })
             .collect();
-        Rig { irlms, structure, xcf }
+        Rig { irlms, cf, xcf }
     }
 
     #[test]
@@ -850,9 +857,8 @@ mod tests {
         let r = rig(2, 1024);
         let (a, b) = (&r.irlms[0], &r.irlms[1]);
         a.lock(1, b"ROW.1", LockMode::Exclusive, false).unwrap();
-        let err = b
-            .lock_wait(2, b"ROW.1", LockMode::Exclusive, false, Duration::from_millis(30))
-            .unwrap_err();
+        let err =
+            b.lock_wait(2, b"ROW.1", LockMode::Exclusive, false, Duration::from_millis(30)).unwrap_err();
         assert!(matches!(err, DbError::LockTimeout { .. }));
     }
 
@@ -882,7 +888,7 @@ mod tests {
         a.crash();
         b.mark_peer_failed(a.conn()).unwrap();
         // Survivor sees the retained lock and who held it.
-        let retained = b.retained_locks_of(a.conn());
+        let retained = b.retained_locks_of(a.conn()).unwrap();
         assert_eq!(retained.len(), 1);
         assert_eq!(retained[0].resource, b"ROW.PAY");
         assert_eq!(retained[0].payload, 77u64.to_be_bytes());

@@ -53,14 +53,18 @@ impl LogRecord {
     /// The record's timestamp.
     pub fn lsn(&self) -> Tod {
         match self {
-            LogRecord::Update { lsn, .. } | LogRecord::Commit { lsn, .. } | LogRecord::Abort { lsn, .. } => *lsn,
+            LogRecord::Update { lsn, .. } | LogRecord::Commit { lsn, .. } | LogRecord::Abort { lsn, .. } => {
+                *lsn
+            }
         }
     }
 
     /// The record's transaction.
     pub fn txn(&self) -> u64 {
         match self {
-            LogRecord::Update { txn, .. } | LogRecord::Commit { txn, .. } | LogRecord::Abort { txn, .. } => *txn,
+            LogRecord::Update { txn, .. } | LogRecord::Commit { txn, .. } | LogRecord::Abort { txn, .. } => {
+                *txn
+            }
         }
     }
 
@@ -181,10 +185,7 @@ fn decode_header(data: &[u8]) -> (u64, u64) {
     if data.len() < 16 {
         return (FIRST_RECORD_BLOCK, FIRST_RECORD_BLOCK);
     }
-    (
-        u64::from_be_bytes(data[0..8].try_into().unwrap()),
-        u64::from_be_bytes(data[8..16].try_into().unwrap()),
-    )
+    (u64::from_be_bytes(data[0..8].try_into().unwrap()), u64::from_be_bytes(data[8..16].try_into().unwrap()))
 }
 
 impl LogManager {

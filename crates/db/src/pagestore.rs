@@ -69,10 +69,7 @@ impl Page {
 
     /// Read a record.
     pub fn get(&self, key: u64) -> Option<&[u8]> {
-        self.records
-            .binary_search_by_key(&key, |(k, _)| *k)
-            .ok()
-            .map(|i| self.records[i].1.as_slice())
+        self.records.binary_search_by_key(&key, |(k, _)| *k).ok().map(|i| self.records[i].1.as_slice())
     }
 
     /// Insert or replace a record, returning the previous value.

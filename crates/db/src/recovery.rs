@@ -120,7 +120,7 @@ pub fn recover_peer(
     irlm.unlock_all(rtxn)?;
 
     // 4. Release the retained locks and drain orphaned changed pages.
-    let retained = irlm.retained_locks_of(failed.lock_conn).len();
+    let retained = irlm.retained_locks_of(failed.lock_conn)?.len();
     irlm.complete_peer_recovery(failed.lock_conn)?;
     let pages_cast_out = survivor.buffers().castout(usize::MAX >> 1)?;
 
@@ -145,7 +145,10 @@ fn lock_recover_wait(
             LockOutcome::Granted => return Ok(()),
             LockOutcome::Busy => {
                 if start.elapsed() >= timeout {
-                    return Err(DbError::LockTimeout { resource: resource.to_vec(), waited: start.elapsed() });
+                    return Err(DbError::LockTimeout {
+                        resource: resource.to_vec(),
+                        waited: start.elapsed(),
+                    });
                 }
                 std::thread::yield_now();
             }

@@ -193,10 +193,7 @@ impl Ksds {
             let (index, _) = self.load_index(db, txn)?;
             let entry = Self::ci_for(&index, &key);
             let records = self.load_ci(db, txn, entry.ci)?;
-            Ok(records
-                .binary_search_by(|(k, _)| k.as_str().cmp(&key))
-                .ok()
-                .map(|i| records[i].1.clone()))
+            Ok(records.binary_search_by(|(k, _)| k.as_str().cmp(&key)).ok().map(|i| records[i].1.clone()))
         })
     }
 
@@ -290,10 +287,8 @@ mod tests {
 
     #[test]
     fn codec_roundtrips() {
-        let idx = vec![
-            IndexEntry { high_key: Some("M".into()), ci: 3 },
-            IndexEntry { high_key: None, ci: 0 },
-        ];
+        let idx =
+            vec![IndexEntry { high_key: Some("M".into()), ci: 3 }, IndexEntry { high_key: None, ci: 0 }];
         assert_eq!(decode_index(&encode_index(&idx, 7)).unwrap(), (idx, 7));
         let ci = vec![("A".to_string(), b"1".to_vec()), ("B".to_string(), vec![])];
         assert_eq!(decode_ci(&encode_ci(&ci)).unwrap(), ci);

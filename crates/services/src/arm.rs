@@ -149,11 +149,7 @@ impl Arm {
 
     /// Orderly deregistration (element shut down on purpose).
     pub fn deregister(&self, name: &str) -> Result<(), ArmError> {
-        self.elements
-            .lock()
-            .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| ArmError::NoSuchElement(name.to_string()))
+        self.elements.lock().remove(name).map(|_| ()).ok_or_else(|| ArmError::NoSuchElement(name.to_string()))
     }
 
     /// The element's restart completed on `target`; it is Running again.
@@ -177,11 +173,8 @@ impl Arm {
     /// follow their anchor's target; orders are sorted by (group, sequence).
     pub fn plan_restarts(&self, failed: SystemId) -> Vec<RestartOrder> {
         let mut els = self.elements.lock();
-        let stranded: Vec<String> = els
-            .iter()
-            .filter(|(_, e)| e.system == failed)
-            .map(|(n, _)| n.clone())
-            .collect();
+        let stranded: Vec<String> =
+            els.iter().filter(|(_, e)| e.system == failed).map(|(n, _)| n.clone()).collect();
         if stranded.is_empty() {
             return Vec::new();
         }
@@ -261,8 +254,7 @@ impl Arm {
     /// Snapshot of every element's spec and current system, sorted by name.
     pub fn export_state(&self) -> Vec<(ElementSpec, SystemId)> {
         let els = self.elements.lock();
-        let mut v: Vec<(ElementSpec, SystemId)> =
-            els.values().map(|e| (e.spec.clone(), e.system)).collect();
+        let mut v: Vec<(ElementSpec, SystemId)> = els.values().map(|e| (e.spec.clone(), e.system)).collect();
         v.sort_by(|a, b| a.0.name.cmp(&b.0.name));
         v
     }
@@ -272,7 +264,11 @@ impl Arm {
     /// Handlers are code, not state — after a sysplex re-IPL the restart
     /// policy is [`Arm::load_from_cds`]-ed and subsystems re-attach their
     /// handlers as they come up.
-    pub fn save_to_cds(&self, cds: &crate::cds::CoupleDataSet, as_system: u8) -> Result<(), crate::cds::CdsError> {
+    pub fn save_to_cds(
+        &self,
+        cds: &crate::cds::CoupleDataSet,
+        as_system: u8,
+    ) -> Result<(), crate::cds::CdsError> {
         let state = self.export_state();
         let mut out = Vec::with_capacity(64);
         out.extend_from_slice(&(state.len() as u16).to_be_bytes());
@@ -409,7 +405,12 @@ mod tests {
         let arm = Arm::new(Arc::clone(&w));
         arm.register(spec("ANCHOR", "G", 1), sys(0), |_| {}).unwrap();
         arm.register(
-            ElementSpec { name: "FOLLOWER".into(), restart_group: "G".into(), sequence: 2, affinity_to: Some("ANCHOR".into()) },
+            ElementSpec {
+                name: "FOLLOWER".into(),
+                restart_group: "G".into(),
+                sequence: 2,
+                affinity_to: Some("ANCHOR".into()),
+            },
             sys(0),
             |_| {},
         )
@@ -426,7 +427,12 @@ mod tests {
         let arm = Arm::new(Arc::clone(&w));
         arm.register(spec("ANCHOR", "G", 1), sys(2), |_| {}).unwrap();
         arm.register(
-            ElementSpec { name: "FOLLOWER".into(), restart_group: "G".into(), sequence: 2, affinity_to: Some("ANCHOR".into()) },
+            ElementSpec {
+                name: "FOLLOWER".into(),
+                restart_group: "G".into(),
+                sequence: 2,
+                affinity_to: Some("ANCHOR".into()),
+            },
             sys(0),
             |_| {},
         )
@@ -434,7 +440,10 @@ mod tests {
         // Only the follower's system fails; anchor stays on sys 2.
         w.set_online(sys(0), false);
         let plan = arm.plan_restarts(sys(0));
-        assert_eq!(plan, vec![RestartOrder { element: "FOLLOWER".into(), target: sys(2), group: "G".into(), sequence: 2 }]);
+        assert_eq!(
+            plan,
+            vec![RestartOrder { element: "FOLLOWER".into(), target: sys(2), group: "G".into(), sequence: 2 }]
+        );
     }
 
     #[test]
@@ -459,10 +468,18 @@ mod tests {
     fn registration_errors() {
         let arm = Arm::new(wlm_three());
         arm.register(spec("A", "G", 1), sys(0), |_| {}).unwrap();
-        assert_eq!(arm.register(spec("A", "G", 1), sys(0), |_| {}).unwrap_err(), ArmError::DuplicateElement("A".into()));
+        assert_eq!(
+            arm.register(spec("A", "G", 1), sys(0), |_| {}).unwrap_err(),
+            ArmError::DuplicateElement("A".into())
+        );
         assert_eq!(
             arm.register(
-                ElementSpec { name: "B".into(), restart_group: "G".into(), sequence: 1, affinity_to: Some("ZZ".into()) },
+                ElementSpec {
+                    name: "B".into(),
+                    restart_group: "G".into(),
+                    sequence: 1,
+                    affinity_to: Some("ZZ".into())
+                },
                 sys(0),
                 |_| {}
             )

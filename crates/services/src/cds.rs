@@ -110,7 +110,7 @@ impl CoupleDataSet {
         self.check_fence(system)?;
         let now = self.timer.tod();
         let expiry = now.0 + lease.as_micros() as u64;
-        
+
         self.pair.update(LATCH_BLOCK, |data| {
             if data.len() < 16 {
                 data.resize(16, 0);
@@ -130,7 +130,7 @@ impl CoupleDataSet {
     /// Release the latch (no-op error if this system does not hold it).
     pub fn release_serialization(&self, system: u8) -> Result<(), CdsError> {
         self.check_fence(system)?;
-        
+
         self.pair.update(LATCH_BLOCK, |data| {
             if data.len() < 16 {
                 data.resize(16, 0);
@@ -197,8 +197,7 @@ impl CoupleDataSet {
             return None;
         }
         let name = std::str::from_utf8(&block[2..2 + name_len]).ok()?;
-        let data_len =
-            u32::from_be_bytes(block[2 + name_len..2 + name_len + 4].try_into().unwrap()) as usize;
+        let data_len = u32::from_be_bytes(block[2 + name_len..2 + name_len + 4].try_into().unwrap()) as usize;
         let data = &block[2 + name_len + 4..2 + name_len + 4 + data_len];
         Some((name, data))
     }
@@ -234,19 +233,17 @@ impl CoupleDataSet {
                 None => {
                     // Empty slot: claim atomically so two writers of new
                     // records never collide on the same block.
-                    let claimed = self.pair.update(block, |slot| {
-                        match Self::decode(slot) {
-                            Some((n, _)) if n == name => {
-                                slot.clear();
-                                slot.extend_from_slice(&encoded);
-                                true
-                            }
-                            Some(_) => false,
-                            None => {
-                                slot.clear();
-                                slot.extend_from_slice(&encoded);
-                                true
-                            }
+                    let claimed = self.pair.update(block, |slot| match Self::decode(slot) {
+                        Some((n, _)) if n == name => {
+                            slot.clear();
+                            slot.extend_from_slice(&encoded);
+                            true
+                        }
+                        Some(_) => false,
+                        None => {
+                            slot.clear();
+                            slot.extend_from_slice(&encoded);
+                            true
                         }
                     })?;
                     if claimed {

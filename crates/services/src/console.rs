@@ -115,15 +115,14 @@ impl std::fmt::Debug for Console {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::system::SystemConfig;
     use crate::sysplex::SysplexConfig;
+    use crate::system::SystemConfig;
 
     #[test]
     fn status_report_covers_systems_and_capacity() {
         let plex = Sysplex::new(SysplexConfig::functional("OPSPLEX"));
         let cf = plex.add_cf("CF01");
-        cf.allocate_list_structure("ISTGENERIC", sysplex_core::list::ListParams::with_headers(4))
-            .unwrap();
+        cf.allocate_list_structure("ISTGENERIC", sysplex_core::list::ListParams::with_headers(4)).unwrap();
         plex.ipl(SystemConfig::cmos(SystemId::new(0), 2));
         plex.ipl(SystemConfig::cmos(SystemId::new(1), 4));
         plex.tick();

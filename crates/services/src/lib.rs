@@ -25,8 +25,8 @@ pub mod arm;
 pub mod cds;
 pub mod console;
 pub mod heartbeat;
-pub mod system;
 pub mod sysplex;
+pub mod system;
 pub mod timer;
 pub mod wlm;
 pub mod xcf;
@@ -35,8 +35,8 @@ pub use arm::{Arm, ElementSpec};
 pub use cds::CoupleDataSet;
 pub use console::Console;
 pub use heartbeat::{HeartbeatConfig, HeartbeatMonitor};
-pub use system::{System, SystemConfig, SystemState};
 pub use sysplex::{Sysplex, SysplexConfig};
+pub use system::{System, SystemConfig, SystemState};
 pub use timer::{SysplexTimer, Tod};
 pub use wlm::{ServiceClass, Wlm};
 pub use xcf::{GroupEvent, Xcf, XcfItem, XcfMember};

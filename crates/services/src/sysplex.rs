@@ -147,7 +147,18 @@ impl Sysplex {
             });
         }
 
-        Arc::new(Sysplex { config, timer, farm, xcf, cds, heartbeat, wlm, arm, cfs: Mutex::new(HashMap::new()), systems })
+        Arc::new(Sysplex {
+            config,
+            timer,
+            farm,
+            xcf,
+            cds,
+            heartbeat,
+            wlm,
+            arm,
+            cfs: Mutex::new(HashMap::new()),
+            systems,
+        })
     }
 
     /// Sysplex name.
@@ -193,13 +204,8 @@ impl Sysplex {
 
     /// Systems currently Active, sorted by id.
     pub fn active_systems(&self) -> Vec<Arc<System>> {
-        let mut v: Vec<Arc<System>> = self
-            .systems
-            .lock()
-            .values()
-            .filter(|s| s.state() == SystemState::Active)
-            .cloned()
-            .collect();
+        let mut v: Vec<Arc<System>> =
+            self.systems.lock().values().filter(|s| s.state() == SystemState::Active).cloned().collect();
         v.sort_by_key(|s| s.id());
         v
     }

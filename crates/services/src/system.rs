@@ -174,7 +174,10 @@ impl System {
     }
 
     /// Dispatch and wait for the result (convenience for tests/examples).
-    pub fn execute<R: Send + 'static>(&self, job: impl FnOnce() -> R + Send + 'static) -> Result<R, SystemError> {
+    pub fn execute<R: Send + 'static>(
+        &self,
+        job: impl FnOnce() -> R + Send + 'static,
+    ) -> Result<R, SystemError> {
         let (tx, rx) = crossbeam::channel::bounded(1);
         self.submit(move || {
             let _ = tx.send(job());
@@ -319,7 +322,7 @@ mod tests {
         }
         s.fail();
         gate.store(1, Ordering::Release); // release the in-flight job
-        // Give workers a moment to drain/discard.
+                                          // Give workers a moment to drain/discard.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while s.discarded() < 10 && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));

@@ -85,7 +85,8 @@ impl Wlm {
     /// the system (back) online in the routing pool.
     pub fn set_capacity(&self, system: SystemId, mips: f64) {
         let mut s = self.systems.lock();
-        let e = s.entry(system).or_insert(SystemCapacity { mips, utilization: 0.0, online: true, credit: 0.0 });
+        let e =
+            s.entry(system).or_insert(SystemCapacity { mips, utilization: 0.0, online: true, credit: 0.0 });
         e.mips = mips;
         e.online = true;
         e.utilization = 0.0;

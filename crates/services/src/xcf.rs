@@ -125,7 +125,12 @@ impl Xcf {
     }
 
     /// Join `group` as `member` running on `system`.
-    pub fn join(self: &Arc<Self>, group: &str, member: &str, system: SystemId) -> Result<XcfMember, XcfError> {
+    pub fn join(
+        self: &Arc<Self>,
+        group: &str,
+        member: &str,
+        system: SystemId,
+    ) -> Result<XcfMember, XcfError> {
         let (tx, rx) = unbounded();
         let token = self.next_token.fetch_add(1, Ordering::Relaxed);
         {
@@ -141,13 +146,7 @@ impl Xcf {
             }
             g.members.insert(member.to_string(), MemberSlot { token, system, tx });
         }
-        Ok(XcfMember {
-            xcf: Arc::clone(self),
-            group: group.to_string(),
-            name: member.to_string(),
-            token,
-            rx,
-        })
+        Ok(XcfMember { xcf: Arc::clone(self), group: group.to_string(), name: member.to_string(), token, rx })
     }
 
     /// Current members of a group, sorted by name.
@@ -156,10 +155,7 @@ impl Xcf {
         let mut v: Vec<MemberInfo> = groups
             .get(group)
             .map(|g| {
-                g.members
-                    .iter()
-                    .map(|(n, s)| MemberInfo { name: n.clone(), system: s.system })
-                    .collect()
+                g.members.iter().map(|(n, s)| MemberInfo { name: n.clone(), system: s.system }).collect()
             })
             .unwrap_or_default();
         v.sort_by(|a, b| a.name.cmp(&b.name));
@@ -181,8 +177,7 @@ impl Xcf {
         let mut n = 0;
         for (name, slot) in g.members.iter() {
             if name != from {
-                let _ =
-                    slot.tx.send(XcfItem::Message { from: from.to_string(), payload: payload.to_vec() });
+                let _ = slot.tx.send(XcfItem::Message { from: from.to_string(), payload: payload.to_vec() });
                 n += 1;
             }
         }
@@ -213,12 +208,8 @@ impl Xcf {
         let mut groups = self.groups.lock();
         let mut failed = 0;
         for g in groups.values_mut() {
-            let dead: Vec<String> = g
-                .members
-                .iter()
-                .filter(|(_, s)| s.system == system)
-                .map(|(n, _)| n.clone())
-                .collect();
+            let dead: Vec<String> =
+                g.members.iter().filter(|(_, s)| s.system == system).map(|(n, _)| n.clone()).collect();
             for name in dead {
                 g.members.remove(&name);
                 failed += 1;
@@ -327,10 +318,7 @@ mod tests {
     fn duplicate_member_rejected() {
         let x = xcf();
         let _a = x.join("G", "A", SystemId::new(0)).unwrap();
-        assert_eq!(
-            x.join("G", "A", SystemId::new(1)).unwrap_err(),
-            XcfError::DuplicateMember("A".into())
-        );
+        assert_eq!(x.join("G", "A", SystemId::new(1)).unwrap_err(), XcfError::DuplicateMember("A".into()));
     }
 
     #[test]

@@ -54,8 +54,7 @@ pub fn figure3_series(max_cpus: usize, cpus_per_system: usize, model: &TxnCostMo
             let sysplex = if members <= 1 {
                 sysplex_effective(1, n.min(cpus_per_system), model)
             } else {
-                let sharing_cost =
-                    model.base_cpu_us / model.cpu_per_txn_us(members, true);
+                let sharing_cost = model.base_cpu_us / model.cpu_per_txn_us(members, true);
                 let engines = full as f64 * tcmp_effective_cpus(cpus_per_system)
                     + if rem > 0 { tcmp_effective_cpus(rem) } else { 0.0 };
                 engines * sharing_cost

@@ -168,9 +168,7 @@ mod tests {
         assert!(partitioned.completion_ratio > 0.98, "{partitioned:?}");
         // ...and the well-tuned partitioned system has the raw-capacity
         // edge (no data-sharing overhead): §2.3's concession.
-        assert!(
-            cfg.node_capacity_tps(Design::DataPartitioning) > cfg.node_capacity_tps(Design::DataSharing)
-        );
+        assert!(cfg.node_capacity_tps(Design::DataPartitioning) > cfg.node_capacity_tps(Design::DataSharing));
     }
 
     #[test]
@@ -179,10 +177,7 @@ mod tests {
         let sharing = run_comparison(&cfg, Design::DataSharing);
         let partitioned = run_comparison(&cfg, Design::DataPartitioning);
         assert!(sharing.completion_ratio > 0.98, "sysplex unaffected by skew: {sharing:?}");
-        assert!(
-            partitioned.completion_ratio < 0.85,
-            "hot partition over capacity: {partitioned:?}"
-        );
+        assert!(partitioned.completion_ratio < 0.85, "hot partition over capacity: {partitioned:?}");
         assert!(partitioned.avg_delay_ms > sharing.avg_delay_ms * 10.0);
     }
 

@@ -170,10 +170,8 @@ mod tests {
 
     #[test]
     fn balanced_pair_beats_imbalanced_pair_at_same_total_load() {
-        let balanced =
-            run(cfg(1000), vec![Node::new(100.0), Node::new(100.0)], |_, _| vec![80.0, 80.0]);
-        let imbalanced =
-            run(cfg(1000), vec![Node::new(100.0), Node::new(100.0)], |_, _| vec![140.0, 20.0]);
+        let balanced = run(cfg(1000), vec![Node::new(100.0), Node::new(100.0)], |_, _| vec![80.0, 80.0]);
+        let imbalanced = run(cfg(1000), vec![Node::new(100.0), Node::new(100.0)], |_, _| vec![140.0, 20.0]);
         assert!(balanced.completion_ratio > 0.99);
         assert!(imbalanced.completion_ratio < 0.90, "hot node saturates: {}", imbalanced.completion_ratio);
         assert!(imbalanced.avg_delay_s > balanced.avg_delay_s * 5.0);

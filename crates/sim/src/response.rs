@@ -69,11 +69,7 @@ mod tests {
     #[test]
     fn skew_moves_the_partitioned_knee_left() {
         let loads = [0.5, 0.6, 0.7];
-        let uniform = response_curve(
-            4,
-            HotspotModel { partitions: 4, kind: HotspotKind::Uniform },
-            &loads,
-        );
+        let uniform = response_curve(4, HotspotModel { partitions: 4, kind: HotspotKind::Uniform }, &loads);
         let skewed = response_curve(
             4,
             HotspotModel { partitions: 4, kind: HotspotKind::Static { hot_share: 0.55 } },

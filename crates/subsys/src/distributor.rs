@@ -14,8 +14,9 @@
 //! pattern the real Sysplex Distributor used).
 
 use std::sync::Arc;
+use sysplex_core::connection::{CfSubchannel, ListConnection};
 use sysplex_core::error::{CfError, CfResult};
-use sysplex_core::list::{ListConnection, ListParams, ListStructure, LockCondition, WritePosition};
+use sysplex_core::list::{ListParams, ListStructure, LockCondition, WritePosition};
 use sysplex_core::SystemId;
 use sysplex_services::wlm::Wlm;
 
@@ -39,19 +40,18 @@ pub struct Placement {
 /// A handle on the distributed endpoint. Cheap to open anywhere; all the
 /// state is in the CF.
 pub struct SysplexDistributor {
-    list: Arc<ListStructure>,
     conn: ListConnection,
     wlm: Arc<Wlm>,
 }
 
 impl SysplexDistributor {
-    /// Open a handle (the distributor role).
-    pub fn open(list: Arc<ListStructure>, wlm: Arc<Wlm>) -> CfResult<Self> {
+    /// Open a handle (the distributor role) through a command subchannel.
+    pub fn open(list: &Arc<ListStructure>, sub: CfSubchannel, wlm: Arc<Wlm>) -> CfResult<Self> {
         if list.header_count() < 2 {
             return Err(CfError::BadParameter("distributor geometry"));
         }
-        let conn = list.connect(1)?;
-        Ok(SysplexDistributor { list, conn, wlm })
+        let conn = ListConnection::attach(list, sub, 1)?;
+        Ok(SysplexDistributor { conn, wlm })
     }
 
     /// A stack on `system` starts listening on the virtual endpoint.
@@ -60,24 +60,17 @@ impl SysplexDistributor {
         if self.listeners()?.contains(&system) {
             return Ok(());
         }
-        self.list
-            .write_entry(
-                &self.conn,
-                LISTENERS,
-                system.0 as u64,
-                &[system.0],
-                WritePosition::Keyed,
-                LockCondition::None,
-            )
+        self.conn
+            .enqueue(LISTENERS, system.0 as u64, &[system.0], WritePosition::Keyed, LockCondition::None)
             .map(|_| ())
     }
 
     /// A stack stops listening (planned). Established connections keep
     /// flowing to it until they close or it fails.
     pub fn deregister_listener(&self, system: SystemId) -> CfResult<()> {
-        for e in self.list.read_list(&self.conn, LISTENERS)? {
+        for e in self.conn.scan(LISTENERS)? {
             if e.data.first() == Some(&system.0) {
-                return self.list.delete_entry(&self.conn, e.id, LockCondition::None);
+                return self.conn.delete(e.id, LockCondition::None);
             }
         }
         Err(CfError::NoSuchEntry)
@@ -86,8 +79,8 @@ impl SysplexDistributor {
     /// Systems currently listening, sorted.
     pub fn listeners(&self) -> CfResult<Vec<SystemId>> {
         let mut v: Vec<SystemId> = self
-            .list
-            .read_list(&self.conn, LISTENERS)?
+            .conn
+            .scan(LISTENERS)?
             .iter()
             .filter_map(|e| e.data.first().map(|s| SystemId::new(*s)))
             .collect();
@@ -97,8 +90,8 @@ impl SysplexDistributor {
 
     fn find_connection(&self, client: u64) -> CfResult<Option<(sysplex_core::list::EntryId, SystemId)>> {
         Ok(self
-            .list
-            .read_list(&self.conn, CONNECTIONS)?
+            .conn
+            .scan(CONNECTIONS)?
             .into_iter()
             .find(|e| e.key == client)
             .and_then(|e| e.data.first().map(|s| (e.id, SystemId::new(*s)))))
@@ -125,21 +118,14 @@ impl SysplexDistributor {
             }
         }
         let system = target.unwrap_or(listeners[0]);
-        self.list.write_entry(
-            &self.conn,
-            CONNECTIONS,
-            client,
-            &[system.0],
-            WritePosition::Keyed,
-            LockCondition::None,
-        )?;
+        self.conn.enqueue(CONNECTIONS, client, &[system.0], WritePosition::Keyed, LockCondition::None)?;
         Ok(Placement { client, system })
     }
 
     /// The client closed the connection.
     pub fn close(&self, client: u64) -> CfResult<()> {
         match self.find_connection(client)? {
-            Some((id, _)) => self.list.delete_entry(&self.conn, id, LockCondition::None),
+            Some((id, _)) => self.conn.delete(id, LockCondition::None),
             None => Err(CfError::NoSuchEntry),
         }
     }
@@ -150,10 +136,8 @@ impl SysplexDistributor {
     pub fn fail_system(&self, system: SystemId) -> CfResult<usize> {
         let _ = self.deregister_listener(system);
         let mut severed = 0;
-        for e in self.list.read_list(&self.conn, CONNECTIONS)? {
-            if e.data.first() == Some(&system.0)
-                && self.list.delete_entry(&self.conn, e.id, LockCondition::None).is_ok()
-            {
+        for e in self.conn.scan(CONNECTIONS)? {
+            if e.data.first() == Some(&system.0) && self.conn.delete(e.id, LockCondition::None).is_ok() {
                 severed += 1;
             }
         }
@@ -163,12 +147,10 @@ impl SysplexDistributor {
     /// Established connections, sorted by client (diagnostics).
     pub fn connections(&self) -> CfResult<Vec<Placement>> {
         let mut v: Vec<Placement> = self
-            .list
-            .read_list(&self.conn, CONNECTIONS)?
+            .conn
+            .scan(CONNECTIONS)?
             .into_iter()
-            .filter_map(|e| {
-                e.data.first().map(|s| Placement { client: e.key, system: SystemId::new(*s) })
-            })
+            .filter_map(|e| e.data.first().map(|s| Placement { client: e.key, system: SystemId::new(*s) }))
             .collect();
         v.sort_by_key(|p| p.client);
         Ok(v)
@@ -177,25 +159,27 @@ impl SysplexDistributor {
 
 impl std::fmt::Debug for SysplexDistributor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SysplexDistributor").field("conn", &self.conn.id).finish()
+        f.debug_struct("SysplexDistributor").field("conn", &self.conn.conn_id()).finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sysplex_core::facility::{CfConfig, CouplingFacility};
 
-    fn rig(systems: u8) -> (Arc<ListStructure>, Arc<Wlm>, SysplexDistributor) {
-        let list = Arc::new(ListStructure::new("EZBDVIPA", &distributor_params()).unwrap());
+    fn rig(systems: u8) -> (Arc<CouplingFacility>, Arc<Wlm>, SysplexDistributor) {
+        let cf = CouplingFacility::new(CfConfig::named("CF01"));
+        let list = cf.allocate_list_structure("EZBDVIPA", distributor_params()).unwrap();
         let wlm = Arc::new(Wlm::new());
         for i in 0..systems {
             wlm.set_capacity(SystemId::new(i), 100.0);
         }
-        let d = SysplexDistributor::open(Arc::clone(&list), Arc::clone(&wlm)).unwrap();
+        let d = SysplexDistributor::open(&list, cf.subchannel(), Arc::clone(&wlm)).unwrap();
         for i in 0..systems {
             d.register_listener(SystemId::new(i)).unwrap();
         }
-        (list, wlm, d)
+        (cf, wlm, d)
     }
 
     #[test]
@@ -241,13 +225,14 @@ mod tests {
 
     #[test]
     fn distributor_role_takes_over_with_state_intact() {
-        let (list, wlm, d) = rig(2);
+        let (cf, wlm, d) = rig(2);
         let placements: Vec<Placement> = (0..10u64).map(|c| d.route(c).unwrap()).collect();
         // The distributing system dies: its handle vanishes…
         drop(d);
         // …a backup opens a handle over the same CF structure and serves
         // the established connections identically.
-        let backup = SysplexDistributor::open(list, wlm).unwrap();
+        let backup =
+            SysplexDistributor::open(&cf.list_structure("EZBDVIPA").unwrap(), cf.subchannel(), wlm).unwrap();
         for p in &placements {
             assert_eq!(backup.route(p.client).unwrap(), *p, "connection table survived takeover");
         }

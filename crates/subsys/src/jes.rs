@@ -14,10 +14,9 @@
 //! momentarily quiesces the queue without per-request locking.
 
 use std::sync::Arc;
+use sysplex_core::connection::{CfSubchannel, ListConnection};
 use sysplex_core::error::{CfError, CfResult};
-use sysplex_core::list::{
-    EntryId, ListConnection, ListParams, ListStructure, LockCondition, WritePosition,
-};
+use sysplex_core::list::{EntryId, ListParams, ListStructure, LockCondition, WritePosition};
 use sysplex_core::{ConnId, MAX_CONNECTORS};
 
 /// Header layout: INPUT, OUTPUT, then one EXECUTION header per member slot.
@@ -71,19 +70,18 @@ fn decode_job(id: EntryId, data: &[u8]) -> Option<Job> {
 
 /// One member's attachment to the shared job queue.
 pub struct JobQueue {
-    list: Arc<ListStructure>,
     conn: ListConnection,
 }
 
 impl JobQueue {
-    /// Attach a member.
-    pub fn open(list: Arc<ListStructure>) -> CfResult<Self> {
+    /// Attach a member through a command subchannel.
+    pub fn open(list: &Arc<ListStructure>, sub: CfSubchannel) -> CfResult<Self> {
         if list.header_count() < 2 + MAX_CONNECTORS || list.lock_entry_count() < 1 {
             return Err(CfError::BadParameter("job queue geometry"));
         }
-        let conn = list.connect(1)?;
-        list.register_monitor(&conn, INPUT, 0)?;
-        Ok(JobQueue { list, conn })
+        let conn = ListConnection::attach(list, sub, 1)?;
+        conn.register_monitor(INPUT, 0)?;
+        Ok(JobQueue { conn })
     }
 
     fn exec_header(slot: ConnId) -> usize {
@@ -92,13 +90,12 @@ impl JobQueue {
 
     /// This member's connector slot.
     pub fn slot(&self) -> ConnId {
-        self.conn.id
+        self.conn.conn_id()
     }
 
     /// Submit a job. Queued in priority order (FIFO within a priority).
     pub fn submit(&self, name: &str, class: char, priority: u8) -> CfResult<EntryId> {
-        self.list.write_entry(
-            &self.conn,
+        self.conn.enqueue(
             INPUT,
             priority as u64,
             &encode_job(name, class, priority),
@@ -112,18 +109,18 @@ impl JobQueue {
     /// member does not serve.
     pub fn select(&self, classes: &[char]) -> CfResult<Option<Job>> {
         loop {
-            let candidates = self.list.read_list(&self.conn, INPUT)?;
-            let Some(pick) = candidates.iter().find_map(|e| {
-                decode_job(e.id, &e.data).filter(|j| classes.contains(&j.class))
-            }) else {
+            let candidates = self.conn.scan(INPUT)?;
+            let Some(pick) = candidates
+                .iter()
+                .find_map(|e| decode_job(e.id, &e.data).filter(|j| classes.contains(&j.class)))
+            else {
                 return Ok(None);
             };
             // Conditional claim: lose the race and rescan.
-            if self.list.move_entry_from(
-                &self.conn,
+            if self.conn.transfer(
                 pick.id,
                 INPUT,
-                Self::exec_header(self.conn.id),
+                Self::exec_header(self.conn.conn_id()),
                 WritePosition::Keyed,
                 LockCondition::LockFree(CKPT_LOCK),
             )? {
@@ -134,10 +131,9 @@ impl JobQueue {
 
     /// Job finished: move it to OUTPUT.
     pub fn complete(&self, job: &Job) -> CfResult<()> {
-        let moved = self.list.move_entry_from(
-            &self.conn,
+        let moved = self.conn.transfer(
             job.id,
-            Self::exec_header(self.conn.id),
+            Self::exec_header(self.conn.conn_id()),
             OUTPUT,
             WritePosition::Tail,
             LockCondition::None,
@@ -151,24 +147,19 @@ impl JobQueue {
 
     /// Purge an OUTPUT job.
     pub fn purge(&self, job: &Job) -> CfResult<()> {
-        self.list.delete_entry(&self.conn, job.id, LockCondition::None)
+        self.conn.delete(job.id, LockCondition::None)
     }
 
     /// Jobs awaiting selection, in selection order.
     pub fn input_jobs(&self) -> CfResult<Vec<Job>> {
-        Ok(self
-            .list
-            .read_list(&self.conn, INPUT)?
-            .into_iter()
-            .filter_map(|e| decode_job(e.id, &e.data))
-            .collect())
+        Ok(self.conn.scan(INPUT)?.into_iter().filter_map(|e| decode_job(e.id, &e.data)).collect())
     }
 
     /// Jobs executing on a member.
     pub fn executing_on(&self, slot: ConnId) -> CfResult<Vec<Job>> {
         Ok(self
-            .list
-            .read_list(&self.conn, Self::exec_header(slot))?
+            .conn
+            .scan(Self::exec_header(slot))?
             .into_iter()
             .filter_map(|e| decode_job(e.id, &e.data))
             .collect())
@@ -176,12 +167,7 @@ impl JobQueue {
 
     /// Jobs in OUTPUT.
     pub fn output_jobs(&self) -> CfResult<Vec<Job>> {
-        Ok(self
-            .list
-            .read_list(&self.conn, OUTPUT)?
-            .into_iter()
-            .filter_map(|e| decode_job(e.id, &e.data))
-            .collect())
+        Ok(self.conn.scan(OUTPUT)?.into_iter().filter_map(|e| decode_job(e.id, &e.data)).collect())
     }
 
     /// Requeue a dead member's executing jobs back to INPUT (peer warm
@@ -190,8 +176,7 @@ impl JobQueue {
         let jobs = self.executing_on(dead)?;
         let mut n = 0;
         for job in jobs {
-            if self.list.move_entry_from(
-                &self.conn,
+            if self.conn.transfer(
                 job.id,
                 Self::exec_header(dead),
                 INPUT,
@@ -208,46 +193,57 @@ impl JobQueue {
     /// lock, snapshot queue counts, release. Returns (input, executing,
     /// output) counts.
     pub fn checkpoint(&self) -> CfResult<(usize, usize, usize)> {
-        while !self.list.acquire_lock(&self.conn, CKPT_LOCK)? {
+        while !self.conn.acquire_list_lock(CKPT_LOCK)? {
             std::thread::yield_now();
         }
-        let input = self.list.header_len(INPUT)?;
-        let output = self.list.header_len(OUTPUT)?;
+        let input = self.conn.header_len(INPUT)?;
+        let output = self.conn.header_len(OUTPUT)?;
         let mut executing = 0;
         for slot in 0..MAX_CONNECTORS {
-            executing += self.list.header_len(2 + slot)?;
+            executing += self.conn.header_len(2 + slot)?;
         }
-        self.list.release_lock(&self.conn, CKPT_LOCK)?;
+        self.conn.release_list_lock(CKPT_LOCK)?;
         Ok((input, executing, output))
     }
 
     /// Detach (planned). Executing jobs of this member stay on its header
     /// for peers to recover if it never returns.
     pub fn close(self) -> CfResult<()> {
-        self.list.disconnect(&self.conn)
+        self.conn.detach()
     }
 }
 
 impl std::fmt::Debug for JobQueue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("JobQueue").field("slot", &self.conn.id).finish()
+        f.debug_struct("JobQueue").field("slot", &self.conn.conn_id()).finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sysplex_core::facility::{CfConfig, CouplingFacility};
 
-    fn queue_pair() -> (Arc<ListStructure>, JobQueue, JobQueue) {
-        let list = Arc::new(ListStructure::new("JES2CKPT", &job_queue_params()).unwrap());
-        let a = JobQueue::open(Arc::clone(&list)).unwrap();
-        let b = JobQueue::open(Arc::clone(&list)).unwrap();
-        (list, a, b)
+    fn facility() -> Arc<CouplingFacility> {
+        let cf = CouplingFacility::new(CfConfig::named("CF01"));
+        cf.allocate_list_structure("JES2CKPT", job_queue_params()).unwrap();
+        cf
+    }
+
+    fn open(cf: &Arc<CouplingFacility>) -> JobQueue {
+        JobQueue::open(&cf.list_structure("JES2CKPT").unwrap(), cf.subchannel()).unwrap()
+    }
+
+    fn queue_pair() -> (Arc<CouplingFacility>, JobQueue, JobQueue) {
+        let cf = facility();
+        let a = open(&cf);
+        let b = open(&cf);
+        (cf, a, b)
     }
 
     #[test]
     fn jobs_select_in_priority_order_by_class() {
-        let (_l, a, b) = queue_pair();
+        let (_cf, a, b) = queue_pair();
         a.submit("LOWPRI", 'A', 9).unwrap();
         a.submit("BATCH", 'B', 5).unwrap();
         a.submit("URGENT", 'A', 1).unwrap();
@@ -267,16 +263,16 @@ mod tests {
 
     #[test]
     fn racing_members_never_double_select() {
-        let list = Arc::new(ListStructure::new("JES2CKPT", &job_queue_params()).unwrap());
-        let submitter = JobQueue::open(Arc::clone(&list)).unwrap();
+        let cf = facility();
+        let submitter = open(&cf);
         for i in 0..300 {
             submitter.submit(&format!("JOB{i:05}"), 'A', (i % 16) as u8).unwrap();
         }
         let mut handles = Vec::new();
         for _ in 0..2 {
-            let list = Arc::clone(&list);
+            let cf = Arc::clone(&cf);
             handles.push(std::thread::spawn(move || {
-                let q = JobQueue::open(list).unwrap();
+                let q = open(&cf);
                 let mut mine = Vec::new();
                 while let Some(job) = q.select(&['A']).unwrap() {
                     mine.push(job.name.clone());
@@ -294,7 +290,7 @@ mod tests {
 
     #[test]
     fn dead_member_jobs_requeue_and_rerun() {
-        let (_l, a, b) = queue_pair();
+        let (_cf, a, b) = queue_pair();
         a.submit("DOOMED", 'A', 3).unwrap();
         let job = a.select(&['A']).unwrap().unwrap();
         assert_eq!(a.executing_on(a.slot()).unwrap().len(), 1);
@@ -308,7 +304,7 @@ mod tests {
 
     #[test]
     fn checkpoint_quiesces_mainline_and_counts() {
-        let (_l, a, b) = queue_pair();
+        let (_cf, a, b) = queue_pair();
         a.submit("ONE", 'A', 1).unwrap();
         let job = a.select(&['A']).unwrap().unwrap();
         a.submit("TWO", 'A', 2).unwrap();
@@ -321,12 +317,12 @@ mod tests {
 
     #[test]
     fn submit_rejected_during_checkpoint_hold() {
-        let list = Arc::new(ListStructure::new("JES2CKPT", &job_queue_params()).unwrap());
-        let a = JobQueue::open(Arc::clone(&list)).unwrap();
-        let holder = list.connect(1).unwrap();
-        assert!(list.acquire_lock(&holder, CKPT_LOCK).unwrap());
+        let cf = facility();
+        let a = open(&cf);
+        let holder = cf.connect_list("JES2CKPT", 1).unwrap();
+        assert!(holder.acquire_list_lock(CKPT_LOCK).unwrap());
         assert!(matches!(a.submit("BLOCKED", 'A', 1), Err(CfError::LockHeld { .. })));
-        list.release_lock(&holder, CKPT_LOCK).unwrap();
+        holder.release_list_lock(CKPT_LOCK).unwrap();
         a.submit("OK", 'A', 1).unwrap();
     }
 }

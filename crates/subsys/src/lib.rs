@@ -51,8 +51,8 @@ pub mod workq;
 pub use distributor::SysplexDistributor;
 pub use jes::JobQueue;
 pub use mpp::MppRegion;
-pub use racf::RacfNode;
 pub use query::{ParallelQuery, QueryTarget};
+pub use racf::RacfNode;
 pub use routing::TransactionRouter;
 pub use tm::{CicsRegion, TranDef};
 pub use vtam::{GenericResources, SessionBind};

@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+use sysplex_core::connection::CfSubchannel;
 use sysplex_core::error::CfResult;
 use sysplex_core::list::ListStructure;
 
@@ -50,8 +51,12 @@ impl MppRegion {
     /// message at a time, executes it on the region's system, and
     /// completes it only after execution — a crash in between leaves the
     /// message on the in-flight list for peers to recover.
-    pub fn start(list: Arc<ListStructure>, region: Arc<CicsRegion>) -> CfResult<MppRegion> {
-        let queue = SharedQueue::open(list)?;
+    pub fn start(
+        list: &Arc<ListStructure>,
+        sub: CfSubchannel,
+        region: Arc<CicsRegion>,
+    ) -> CfResult<MppRegion> {
+        let queue = SharedQueue::open(list, sub)?;
         let slot = queue.slot();
         let stop = Arc::new(AtomicBool::new(false));
         let processed = Arc::new(AtomicU64::new(0));
@@ -157,10 +162,8 @@ mod tests {
             name: "TALLY".into(),
             service_class: "OLTP".into(),
             handler: Arc::new(|db, txn| {
-                let cur = db
-                    .read(txn, 0)?
-                    .map(|v| u64::from_be_bytes(v[..8].try_into().unwrap()))
-                    .unwrap_or(0);
+                let cur =
+                    db.read(txn, 0)?.map(|v| u64::from_be_bytes(v[..8].try_into().unwrap())).unwrap_or(0);
                 db.write(txn, 0, Some(&(cur + 1).to_be_bytes()))
             }),
         });
@@ -189,12 +192,13 @@ mod tests {
     #[test]
     fn messages_processed_exactly_once_across_regions() {
         let g = group();
-        let list = Arc::new(ListStructure::new("IMSMSGQ", &queue_params()).unwrap());
+        let cf = CouplingFacility::new(CfConfig::named("CFQ"));
+        let list = cf.allocate_list_structure("IMSMSGQ", queue_params()).unwrap();
         let r0 = region(&g, 0);
         let r1 = region(&g, 1);
-        let producer = SharedQueue::open(Arc::clone(&list)).unwrap();
-        let mpp0 = MppRegion::start(Arc::clone(&list), Arc::clone(&r0)).unwrap();
-        let mpp1 = MppRegion::start(Arc::clone(&list), Arc::clone(&r1)).unwrap();
+        let producer = SharedQueue::open(&list, cf.subchannel()).unwrap();
+        let mpp0 = MppRegion::start(&list, cf.subchannel(), Arc::clone(&r0)).unwrap();
+        let mpp1 = MppRegion::start(&list, cf.subchannel(), Arc::clone(&r1)).unwrap();
         let total = 40u64;
         for i in 0..total {
             producer.put(i % 4, &encode_message("TALLY", &i.to_be_bytes())).unwrap();
@@ -218,10 +222,11 @@ mod tests {
     #[test]
     fn unknown_transactions_are_poison_but_do_not_wedge() {
         let g = group();
-        let list = Arc::new(ListStructure::new("IMSMSGQ", &queue_params()).unwrap());
+        let cf = CouplingFacility::new(CfConfig::named("CFQ"));
+        let list = cf.allocate_list_structure("IMSMSGQ", queue_params()).unwrap();
         let r0 = region(&g, 0);
-        let producer = SharedQueue::open(Arc::clone(&list)).unwrap();
-        let mpp = MppRegion::start(Arc::clone(&list), Arc::clone(&r0)).unwrap();
+        let producer = SharedQueue::open(&list, cf.subchannel()).unwrap();
+        let mpp = MppRegion::start(&list, cf.subchannel(), Arc::clone(&r0)).unwrap();
         producer.put(0, &encode_message("NOPE", b"")).unwrap();
         producer.put(1, &encode_message("TALLY", b"")).unwrap();
         let deadline = std::time::Instant::now() + Duration::from_secs(10);

@@ -76,9 +76,8 @@ impl ParallelQuery {
         drop(tx);
         let mut parts = Vec::with_capacity(dispatched);
         for _ in 0..dispatched {
-            let part = rx
-                .recv_timeout(Duration::from_secs(300))
-                .map_err(|_| DbError::NegotiationFailed)??;
+            let part =
+                rx.recv_timeout(Duration::from_secs(300)).map_err(|_| DbError::NegotiationFailed)??;
             parts.push(part);
         }
         Ok(merge(parts))

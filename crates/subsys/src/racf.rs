@@ -12,7 +12,8 @@
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
-use sysplex_core::cache::{BlockName, CacheConnection, CacheParams, CacheStructure, WriteKind};
+use sysplex_core::cache::{BlockName, CacheParams, CacheStructure, WriteKind};
+use sysplex_core::connection::{CacheConnection, CfSubchannel};
 use sysplex_core::error::CfResult;
 use sysplex_core::hashing::fnv1a64;
 use sysplex_core::stats::Counter;
@@ -67,11 +68,7 @@ pub struct Profile {
 impl Profile {
     /// The access `user` holds under this profile.
     pub fn access_for(&self, user: &str) -> Access {
-        self.acl
-            .iter()
-            .find(|(u, _)| u == user)
-            .map(|(_, a)| *a)
-            .unwrap_or(self.universal_access)
+        self.acl.iter().find(|(u, _)| u == user).map(|(_, a)| *a).unwrap_or(self.universal_access)
     }
 
     fn encode(&self) -> Vec<u8> {
@@ -137,8 +134,8 @@ impl SecurityDatabase {
     pub fn write_profile(&self, system: u8, profile: &Profile) -> IoResult<bool> {
         let encoded = profile.encode();
         for block in self.probe(&profile.resource) {
-            let claimed = self.farm.update(system, &self.volume, block, |slot| {
-                match Profile::decode(slot) {
+            let claimed =
+                self.farm.update(system, &self.volume, block, |slot| match Profile::decode(slot) {
                     Some(p) if p.resource == profile.resource => {
                         slot.clear();
                         slot.extend_from_slice(&encoded);
@@ -150,8 +147,7 @@ impl SecurityDatabase {
                         slot.extend_from_slice(&encoded);
                         true
                     }
-                }
-            })?;
+                })?;
             if claimed {
                 return Ok(true);
             }
@@ -200,7 +196,6 @@ struct LocalCache {
 pub struct RacfNode {
     system: SystemId,
     db: Arc<SecurityDatabase>,
-    cache: Arc<CacheStructure>,
     conn: CacheConnection,
     local: Mutex<LocalCache>,
     /// Published counters.
@@ -213,18 +208,19 @@ fn block_of(resource: &str) -> BlockName {
 }
 
 impl RacfNode {
-    /// Attach a node with a local cache of `slots` profiles.
+    /// Attach a node with a local cache of `slots` profiles, issuing CF
+    /// commands through `sub`.
     pub fn start(
         system: SystemId,
         db: Arc<SecurityDatabase>,
-        cache: Arc<CacheStructure>,
+        cache: &Arc<CacheStructure>,
+        sub: CfSubchannel,
         slots: u32,
     ) -> CfResult<Self> {
-        let conn = cache.connect(slots as usize)?;
+        let conn = CacheConnection::attach(cache, sub, slots as usize)?;
         Ok(RacfNode {
             system,
             db,
-            cache,
             conn,
             local: Mutex::new(LocalCache {
                 map: HashMap::new(),
@@ -264,13 +260,13 @@ impl RacfNode {
                 local.rotor += 1;
                 if let Some(old) = local.index_of.remove(&idx) {
                     local.map.remove(&old);
-                    let _ = self.cache.unregister(&self.conn, block_of(&old));
+                    let _ = self.conn.unregister(block_of(&old));
                 }
                 local.index_of.insert(idx, resource.to_string());
                 idx
             }
         };
-        self.cache.read_and_register(&self.conn, block_of(resource), idx)?;
+        self.conn.register_read(block_of(resource), idx)?;
         self.stats.dasd_reads.incr();
         let profile = self.db.read_profile(self.system.0, resource).unwrap_or(None);
         if !self.conn.is_valid(idx) {
@@ -293,8 +289,7 @@ impl RacfNode {
                 if !ok {
                     return Err(sysplex_core::CfError::StructureFull);
                 }
-                let w = self.cache.write_and_invalidate(
-                    &self.conn,
+                let w = self.conn.write_invalidate(
                     block_of(&profile.resource),
                     &[],
                     WriteKind::InvalidateOnly,
@@ -315,13 +310,20 @@ impl std::fmt::Debug for RacfNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sysplex_core::facility::{CfConfig, CouplingFacility};
     use sysplex_dasd::volume::IoModel;
 
-    fn rig() -> (Arc<SecurityDatabase>, Arc<CacheStructure>) {
+    fn rig() -> (Arc<SecurityDatabase>, Arc<CouplingFacility>) {
         let farm = DasdFarm::new(IoModel::instant());
         let db = SecurityDatabase::create(farm, "RACFDB", 256).unwrap();
-        let cache = Arc::new(CacheStructure::new("IRRXCF00", &security_cache_params(256)).unwrap());
-        (db, cache)
+        let cf = CouplingFacility::new(CfConfig::named("CF01"));
+        cf.allocate_cache_structure("IRRXCF00", security_cache_params(256)).unwrap();
+        (db, cf)
+    }
+
+    fn node(db: &Arc<SecurityDatabase>, cf: &Arc<CouplingFacility>, sys: u8, slots: u32) -> RacfNode {
+        let cache = cf.cache_structure("IRRXCF00").unwrap();
+        RacfNode::start(SystemId::new(sys), Arc::clone(db), &cache, cf.subchannel(), slots).unwrap()
     }
 
     fn profile(resource: &str, uacc: Access, acl: &[(&str, Access)]) -> Profile {
@@ -342,8 +344,8 @@ mod tests {
 
     #[test]
     fn checks_enforce_acl_and_protect_by_default() {
-        let (db, cache) = rig();
-        let node = RacfNode::start(SystemId::new(0), Arc::clone(&db), Arc::clone(&cache), 32).unwrap();
+        let (db, cf) = rig();
+        let node = node(&db, &cf, 0, 32);
         node.admin_update(&profile("PROD.DATA", Access::Read, &[("ADMIN", Access::Alter)])).unwrap();
         assert!(node.check("ANYONE", "PROD.DATA", Access::Read).unwrap());
         assert!(!node.check("ANYONE", "PROD.DATA", Access::Update).unwrap());
@@ -353,8 +355,8 @@ mod tests {
 
     #[test]
     fn repeated_checks_hit_the_local_cache() {
-        let (db, cache) = rig();
-        let node = RacfNode::start(SystemId::new(0), db, cache, 32).unwrap();
+        let (db, cf) = rig();
+        let node = node(&db, &cf, 0, 32);
         node.admin_update(&profile("APP.RES", Access::Read, &[])).unwrap();
         for _ in 0..10 {
             assert!(node.check("U", "APP.RES", Access::Read).unwrap());
@@ -365,9 +367,9 @@ mod tests {
 
     #[test]
     fn revocation_is_sysplex_wide_immediately() {
-        let (db, cache) = rig();
-        let a = RacfNode::start(SystemId::new(0), Arc::clone(&db), Arc::clone(&cache), 32).unwrap();
-        let b = RacfNode::start(SystemId::new(1), Arc::clone(&db), Arc::clone(&cache), 32).unwrap();
+        let (db, cf) = rig();
+        let a = node(&db, &cf, 0, 32);
+        let b = node(&db, &cf, 1, 32);
         a.admin_update(&profile("SECRET", Access::None, &[("CONTRACTOR", Access::Read)])).unwrap();
         assert!(b.check("CONTRACTOR", "SECRET", Access::Read).unwrap());
         assert!(b.check("CONTRACTOR", "SECRET", Access::Read).unwrap(), "cached on B");
@@ -380,17 +382,14 @@ mod tests {
 
     #[test]
     fn cache_slot_recycling_keeps_correctness() {
-        let (db, cache) = rig();
-        let node = RacfNode::start(SystemId::new(0), db, cache, 4).unwrap();
+        let (db, cf) = rig();
+        let node = node(&db, &cf, 0, 4);
         for i in 0..20 {
             node.admin_update(&profile(&format!("RES.{i}"), Access::Read, &[])).unwrap();
         }
         for round in 0..2 {
             for i in 0..20 {
-                assert!(
-                    node.check("U", &format!("RES.{i}"), Access::Read).unwrap(),
-                    "round {round} res {i}"
-                );
+                assert!(node.check("U", &format!("RES.{i}"), Access::Read).unwrap(), "round {round} res {i}");
             }
         }
     }

@@ -19,9 +19,10 @@
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use sysplex_core::connection::{CfSubchannel, ListConnection};
 use sysplex_core::error::{CfError, CfResult};
-use sysplex_core::list::{EntryId, ListConnection, ListParams, ListStructure, LockCondition, WritePosition};
 use sysplex_core::hashing::{fnv1a64, mix64};
+use sysplex_core::list::{EntryId, ListParams, ListStructure, LockCondition, WritePosition};
 use sysplex_core::SystemId;
 use sysplex_services::wlm::Wlm;
 
@@ -78,7 +79,6 @@ fn decode(data: &[u8]) -> Option<(String, InstanceInfo)> {
 /// The generic-resource service (one handle per VTAM node; all handles
 /// share the list structure).
 pub struct GenericResources {
-    list: Arc<ListStructure>,
     conn: ListConnection,
     wlm: Arc<Wlm>,
     /// instance -> entry id cache (correctness does not depend on it).
@@ -86,21 +86,21 @@ pub struct GenericResources {
 }
 
 impl GenericResources {
-    /// Attach to the generic-resource structure.
-    pub fn open(list: Arc<ListStructure>, wlm: Arc<Wlm>) -> CfResult<Self> {
-        let conn = list.connect(1)?;
-        Ok(GenericResources { list, conn, wlm, ids: Mutex::new(HashMap::new()) })
+    /// Attach to the generic-resource structure through a command
+    /// subchannel.
+    pub fn open(list: &Arc<ListStructure>, sub: CfSubchannel, wlm: Arc<Wlm>) -> CfResult<Self> {
+        let conn = ListConnection::attach(list, sub, 1)?;
+        Ok(GenericResources { conn, wlm, ids: Mutex::new(HashMap::new()) })
     }
 
     fn header_of(&self, generic: &str) -> usize {
-        (mix64(fnv1a64(generic.as_bytes())) % self.list.header_count() as u64) as usize
+        (mix64(fnv1a64(generic.as_bytes())) % self.conn.structure().header_count() as u64) as usize
     }
 
     /// Register an application instance under a generic name.
     pub fn register_instance(&self, generic: &str, instance: &str, system: SystemId) -> CfResult<()> {
         let info = InstanceInfo { instance: instance.to_string(), system, sessions: 0 };
-        let id = self.list.write_entry(
-            &self.conn,
+        let id = self.conn.enqueue(
             self.header_of(generic),
             system.0 as u64,
             &encode(generic, &info),
@@ -116,7 +116,7 @@ impl GenericResources {
         let entries = self.entries_of(generic)?;
         for (id, _, info) in entries {
             if info.instance == instance {
-                self.list.delete_entry(&self.conn, id, LockCondition::None)?;
+                self.conn.delete(id, LockCondition::None)?;
                 self.ids.lock().remove(&(generic.to_string(), instance.to_string()));
                 return Ok(());
             }
@@ -128,13 +128,12 @@ impl GenericResources {
     /// implicitly gone and users re-logon to surviving instances.
     pub fn fail_system(&self, system: SystemId) -> CfResult<usize> {
         let mut removed = 0;
-        for header in 0..self.list.header_count() {
-            for e in self.list.read_list(&self.conn, header)? {
+        for header in 0..self.conn.structure().header_count() {
+            for e in self.conn.scan(header)? {
                 if let Some((_, info)) = decode(&e.data) {
-                    if info.system == system
-                        && self.list.delete_entry(&self.conn, e.id, LockCondition::None).is_ok() {
-                            removed += 1;
-                        }
+                    if info.system == system && self.conn.delete(e.id, LockCondition::None).is_ok() {
+                        removed += 1;
+                    }
                 }
             }
         }
@@ -143,8 +142,8 @@ impl GenericResources {
 
     fn entries_of(&self, generic: &str) -> CfResult<Vec<(EntryId, u64, InstanceInfo)>> {
         Ok(self
-            .list
-            .read_list(&self.conn, self.header_of(generic))?
+            .conn
+            .scan(self.header_of(generic))?
             .into_iter()
             .filter_map(|e| {
                 decode(&e.data).and_then(|(g, info)| (g == generic).then_some((e.id, e.version, info)))
@@ -178,8 +177,7 @@ impl GenericResources {
             let (id, version, info) = pick;
             let mut updated = info.clone();
             updated.sessions += 1;
-            match self.list.update_entry(
-                &self.conn,
+            match self.conn.update(
                 *id,
                 info.system.0 as u64,
                 &encode(generic, &updated),
@@ -209,8 +207,7 @@ impl GenericResources {
             };
             let mut updated = info.clone();
             updated.sessions = updated.sessions.saturating_sub(1);
-            match self.list.update_entry(
-                &self.conn,
+            match self.conn.update(
                 id,
                 info.system.0 as u64,
                 &encode(&bind.generic, &updated),
@@ -227,7 +224,7 @@ impl GenericResources {
 
 impl std::fmt::Debug for GenericResources {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("GenericResources").field("conn", &self.conn.id).finish()
+        f.debug_struct("GenericResources").field("conn", &self.conn.conn_id()).finish()
     }
 }
 
@@ -235,20 +232,23 @@ impl std::fmt::Debug for GenericResources {
 mod tests {
     use super::*;
 
+    use sysplex_core::facility::{CfConfig, CouplingFacility};
+
     struct Rig {
         gr: GenericResources,
         wlm: Arc<Wlm>,
-        list: Arc<ListStructure>,
+        cf: Arc<CouplingFacility>,
     }
 
     fn rig(systems: u8) -> Rig {
-        let list = Arc::new(ListStructure::new("ISTGR", &generic_resource_params()).unwrap());
+        let cf = CouplingFacility::new(CfConfig::named("CF01"));
+        let list = cf.allocate_list_structure("ISTGR", generic_resource_params()).unwrap();
         let wlm = Arc::new(Wlm::new());
         for i in 0..systems {
             wlm.set_capacity(SystemId::new(i), 100.0);
         }
-        let gr = GenericResources::open(Arc::clone(&list), Arc::clone(&wlm)).unwrap();
-        Rig { gr, wlm, list }
+        let gr = GenericResources::open(&list, cf.subchannel(), Arc::clone(&wlm)).unwrap();
+        Rig { gr, wlm, cf }
     }
 
     #[test]
@@ -324,7 +324,7 @@ mod tests {
         assert_eq!(r.gr.logon("CICS").unwrap().instance, "CICS01");
         assert_eq!(r.gr.logon("IMS").unwrap().instance, "IMS01");
         assert!(r.gr.logon("DB2").is_err(), "unregistered generic");
-        let _ = r.list;
+        let _ = r.cf;
     }
 
     #[test]
@@ -332,14 +332,15 @@ mod tests {
         let r = rig(2);
         r.gr.register_instance("CICS", "CICS01", SystemId::new(0)).unwrap();
         r.gr.register_instance("CICS", "CICS02", SystemId::new(1)).unwrap();
-        let list = Arc::clone(&r.list);
+        let cf = Arc::clone(&r.cf);
         let wlm = Arc::clone(&r.wlm);
         let handles: Vec<_> = (0..4)
             .map(|_| {
-                let list = Arc::clone(&list);
+                let cf = Arc::clone(&cf);
                 let wlm = Arc::clone(&wlm);
                 std::thread::spawn(move || {
-                    let gr = GenericResources::open(list, wlm).unwrap();
+                    let list = cf.list_structure("ISTGR").unwrap();
+                    let gr = GenericResources::open(&list, cf.subchannel(), wlm).unwrap();
                     for _ in 0..50 {
                         gr.logon("CICS").unwrap();
                     }

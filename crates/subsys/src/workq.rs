@@ -2,18 +2,21 @@
 //!
 //! An IMS-style shared message queue: producers on any system enqueue work
 //! items in priority (key) order; consumers on any system claim items.
-//! The claim is [`sysplex_core::list::ListStructure::move_first`] — an
-//! atomic move from the READY header onto the consumer's private in-flight
-//! header, so a consumer crash never loses an item: peers
+//! The claim is [`sysplex_core::connection::ListConnection::claim_first`]
+//! — an atomic move from the READY header onto the consumer's private
+//! in-flight header, so a consumer crash never loses an item: peers
 //! [`SharedQueue::requeue_orphans`] from the dead consumer's in-flight
 //! list. Consumers park on the list-transition wakeup instead of polling
-//! an empty queue.
+//! an empty queue. All CF commands issue through the connection's
+//! subchannel, so queue traffic shows up in the facility's per-class
+//! accounting.
 
 use std::sync::Arc;
 use std::time::Duration;
+use sysplex_core::connection::{CfSubchannel, ListConnection};
 use sysplex_core::error::CfResult;
 use sysplex_core::list::{
-    DequeueEnd, EntryId, EntryView, ListConnection, ListParams, ListStructure, LockCondition, WritePosition,
+    DequeueEnd, EntryId, EntryView, ListParams, ListStructure, LockCondition, WritePosition,
 };
 
 /// Header 0 holds ready work; header 1+slot holds connector `slot`'s
@@ -44,40 +47,38 @@ impl From<EntryView> for WorkItem {
 
 /// One system's handle on a shared work queue.
 pub struct SharedQueue {
-    list: Arc<ListStructure>,
     conn: ListConnection,
 }
 
 impl SharedQueue {
-    /// Attach to the queue's list structure.
-    pub fn open(list: Arc<ListStructure>) -> CfResult<Self> {
-        let conn = list.connect(1)?;
+    /// Attach to the queue's list structure through a command subchannel.
+    pub fn open(list: &Arc<ListStructure>, sub: CfSubchannel) -> CfResult<Self> {
+        let conn = ListConnection::attach(list, sub, 1)?;
         // Monitor the READY header with vector bit 0.
-        list.register_monitor(&conn, READY, 0)?;
-        Ok(SharedQueue { list, conn })
+        conn.register_monitor(READY, 0)?;
+        Ok(SharedQueue { conn })
     }
 
     fn inflight_header(&self) -> usize {
-        1 + self.conn.id.index()
+        1 + self.conn.conn_id().index()
     }
 
     /// This handle's connector slot (peers need it for orphan recovery).
     pub fn slot(&self) -> sysplex_core::ConnId {
-        self.conn.id
+        self.conn.conn_id()
     }
 
     /// Enqueue a work item at `priority` (lower runs first; FIFO within a
     /// priority).
     pub fn put(&self, priority: u64, payload: &[u8]) -> CfResult<EntryId> {
-        self.list.write_entry(&self.conn, READY, priority, payload, WritePosition::Keyed, LockCondition::None)
+        self.conn.enqueue(READY, priority, payload, WritePosition::Keyed, LockCondition::None)
     }
 
     /// Claim the highest-priority ready item onto our in-flight list.
     pub fn take(&self) -> CfResult<Option<WorkItem>> {
         Ok(self
-            .list
-            .move_first(
-                &self.conn,
+            .conn
+            .claim_first(
                 READY,
                 self.inflight_header(),
                 DequeueEnd::Head,
@@ -101,32 +102,27 @@ impl SharedQueue {
             // Park until the READY list signals empty→non-empty (or time
             // runs out); the vector bit is the paper's polling indication,
             // the event its blocking companion.
-            let seen = self.conn.event.generation();
-            if self.conn.vector.test(0) {
+            let seen = self.conn.event().generation();
+            if self.conn.is_signaled(0) {
                 continue; // non-empty already; race with another consumer
             }
-            self.conn.event.wait_newer(seen, deadline - now);
+            self.conn.event().wait_newer(seen, deadline - now);
         }
     }
 
     /// Work item finished: remove it from our in-flight list.
     pub fn complete(&self, item: &WorkItem) -> CfResult<()> {
-        self.list.delete_entry(&self.conn, item.id, LockCondition::None)
+        self.conn.delete(item.id, LockCondition::None)
     }
 
     /// Items this handle has claimed but not completed.
     pub fn inflight(&self) -> CfResult<Vec<WorkItem>> {
-        Ok(self
-            .list
-            .read_list(&self.conn, self.inflight_header())?
-            .into_iter()
-            .map(WorkItem::from)
-            .collect())
+        Ok(self.conn.scan(self.inflight_header())?.into_iter().map(WorkItem::from).collect())
     }
 
     /// Ready items (diagnostics).
     pub fn ready_len(&self) -> CfResult<usize> {
-        self.list.header_len(READY)
+        self.conn.header_len(READY)
     }
 
     /// Requeue a dead consumer's in-flight items back to READY, in
@@ -135,15 +131,8 @@ impl SharedQueue {
         let dead_header = 1 + dead.index();
         let mut n = 0;
         while self
-            .list
-            .move_first(
-                &self.conn,
-                dead_header,
-                READY,
-                DequeueEnd::Head,
-                WritePosition::Keyed,
-                LockCondition::None,
-            )?
+            .conn
+            .claim_first(dead_header, READY, DequeueEnd::Head, WritePosition::Keyed, LockCondition::None)?
             .is_some()
         {
             n += 1;
@@ -154,13 +143,13 @@ impl SharedQueue {
     /// Detach (planned). In-flight items of this handle remain for peers
     /// to recover.
     pub fn close(self) -> CfResult<()> {
-        self.list.disconnect(&self.conn)
+        self.conn.detach()
     }
 }
 
 impl std::fmt::Debug for SharedQueue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SharedQueue").field("slot", &self.conn.id).finish()
+        f.debug_struct("SharedQueue").field("slot", &self.conn.conn_id()).finish()
     }
 }
 
@@ -168,28 +157,35 @@ impl std::fmt::Debug for SharedQueue {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use sysplex_core::facility::{CfConfig, CouplingFacility};
 
-    fn list() -> Arc<ListStructure> {
-        Arc::new(ListStructure::new("MSGQ", &queue_params()).unwrap())
+    fn facility() -> Arc<CouplingFacility> {
+        let cf = CouplingFacility::new(CfConfig::named("CF01"));
+        cf.allocate_list_structure("MSGQ", queue_params()).unwrap();
+        cf
+    }
+
+    fn open(cf: &Arc<CouplingFacility>) -> SharedQueue {
+        SharedQueue::open(&cf.list_structure("MSGQ").unwrap(), cf.subchannel()).unwrap()
     }
 
     #[test]
     fn priority_ordering_across_producers() {
-        let l = list();
-        let p1 = SharedQueue::open(Arc::clone(&l)).unwrap();
-        let p2 = SharedQueue::open(Arc::clone(&l)).unwrap();
+        let cf = facility();
+        let p1 = open(&cf);
+        let p2 = open(&cf);
         p1.put(5, b"medium").unwrap();
         p2.put(1, b"urgent").unwrap();
         p1.put(9, b"low").unwrap();
-        let c = SharedQueue::open(Arc::clone(&l)).unwrap();
+        let c = open(&cf);
         let order: Vec<Vec<u8>> = (0..3).map(|_| c.take().unwrap().unwrap().payload).collect();
         assert_eq!(order, vec![b"urgent".to_vec(), b"medium".to_vec(), b"low".to_vec()]);
     }
 
     #[test]
     fn claimed_items_move_to_inflight_until_completed() {
-        let l = list();
-        let q = SharedQueue::open(Arc::clone(&l)).unwrap();
+        let cf = facility();
+        let q = open(&cf);
         q.put(1, b"job").unwrap();
         let item = q.take().unwrap().unwrap();
         assert_eq!(q.ready_len().unwrap(), 0);
@@ -200,15 +196,15 @@ mod tests {
 
     #[test]
     fn dead_consumer_work_is_requeued_by_peer() {
-        let l = list();
-        let producer = SharedQueue::open(Arc::clone(&l)).unwrap();
-        let victim = SharedQueue::open(Arc::clone(&l)).unwrap();
+        let cf = facility();
+        let producer = open(&cf);
+        let victim = open(&cf);
         producer.put(1, b"poison").unwrap();
         producer.put(2, b"fine").unwrap();
         let _claimed = victim.take().unwrap().unwrap();
         let victim_slot = victim.slot();
         drop(victim); // crashes without completing
-        let survivor = SharedQueue::open(Arc::clone(&l)).unwrap();
+        let survivor = open(&cf);
         assert_eq!(survivor.requeue_orphans(victim_slot).unwrap(), 1);
         // The orphan is back at the head (priority 1).
         let item = survivor.take().unwrap().unwrap();
@@ -217,9 +213,9 @@ mod tests {
 
     #[test]
     fn take_wait_parks_and_wakes_on_put() {
-        let l = list();
-        let consumer = SharedQueue::open(Arc::clone(&l)).unwrap();
-        let producer = SharedQueue::open(Arc::clone(&l)).unwrap();
+        let cf = facility();
+        let consumer = open(&cf);
+        let producer = open(&cf);
         let h = std::thread::spawn(move || consumer.take_wait(Duration::from_secs(5)).unwrap());
         std::thread::sleep(Duration::from_millis(30));
         producer.put(1, b"wake-up").unwrap();
@@ -229,8 +225,8 @@ mod tests {
 
     #[test]
     fn take_wait_times_out_on_empty_queue() {
-        let l = list();
-        let c = SharedQueue::open(Arc::clone(&l)).unwrap();
+        let cf = facility();
+        let c = open(&cf);
         let t0 = std::time::Instant::now();
         assert_eq!(c.take_wait(Duration::from_millis(50)).unwrap(), None);
         assert!(t0.elapsed() >= Duration::from_millis(45));
@@ -238,8 +234,8 @@ mod tests {
 
     #[test]
     fn multi_consumer_drain_is_exactly_once() {
-        let l = list();
-        let producer = SharedQueue::open(Arc::clone(&l)).unwrap();
+        let cf = facility();
+        let producer = open(&cf);
         let total = 600u64;
         for i in 0..total {
             producer.put(i % 7, &i.to_be_bytes()).unwrap();
@@ -247,10 +243,10 @@ mod tests {
         let processed = Arc::new(AtomicU64::new(0));
         let handles: Vec<_> = (0..3)
             .map(|_| {
-                let l = Arc::clone(&l);
+                let cf = Arc::clone(&cf);
                 let processed = Arc::clone(&processed);
                 std::thread::spawn(move || {
-                    let q = SharedQueue::open(l).unwrap();
+                    let q = open(&cf);
                     while let Some(item) = q.take().unwrap() {
                         processed.fetch_add(1, Ordering::Relaxed);
                         q.complete(&item).unwrap();
@@ -262,6 +258,6 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(processed.load(Ordering::Relaxed), total);
-        assert_eq!(l.entry_count(), 0);
+        assert_eq!(cf.list_structure("MSGQ").unwrap().entry_count(), 0);
     }
 }

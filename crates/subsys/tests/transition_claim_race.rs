@@ -1,0 +1,25 @@
+//! Regression: a consumer woken by the empty->non-empty transition signal
+//! claims the entry the instant the producer drops the header lock. The
+//! entry index must be published under that lock, or the producer's stale
+//! index insert lands after the claim and a later delete spins forever.
+
+use std::time::Duration;
+use sysplex_core::facility::{CfConfig, CouplingFacility};
+use sysplex_subsys::workq::{queue_params, SharedQueue};
+
+#[test]
+fn woken_consumer_claim_does_not_corrupt_entry_index() {
+    let cf = CouplingFacility::new(CfConfig::named("CF01"));
+    let list = cf.allocate_list_structure("MSGQ", queue_params()).unwrap();
+    let consumer = SharedQueue::open(&list, cf.subchannel()).unwrap();
+    let producer = SharedQueue::open(&list, cf.subchannel()).unwrap();
+    for i in 0..50u64 {
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| consumer.take_wait(Duration::from_secs(5)).unwrap().unwrap());
+            std::thread::sleep(Duration::from_millis(5));
+            producer.put(i, b"ping").unwrap();
+            let item = waiter.join().unwrap();
+            consumer.complete(&item).unwrap();
+        });
+    }
+}

@@ -65,9 +65,7 @@ impl KeyLayout {
 
     /// Key of account `a` of branch `b`.
     pub fn account(&self, b: u64, a: u64) -> u64 {
-        self.config.branches * (1 + self.config.tellers_per_branch)
-            + b * self.config.accounts_per_branch
-            + a
+        self.config.branches * (1 + self.config.tellers_per_branch) + b * self.config.accounts_per_branch + a
     }
 
     /// First key of the history space (append keys follow).
@@ -131,7 +129,12 @@ pub struct DebitCreditGenerator {
 impl DebitCreditGenerator {
     /// Build a generator (same seed → same stream).
     pub fn new(config: DebitCreditConfig, seed: u64) -> Self {
-        DebitCreditGenerator { config, layout: KeyLayout::new(config), rng: StdRng::seed_from_u64(seed), history_seq: 0 }
+        DebitCreditGenerator {
+            config,
+            layout: KeyLayout::new(config),
+            rng: StdRng::seed_from_u64(seed),
+            history_seq: 0,
+        }
     }
 
     /// The key layout used by this workload.
@@ -143,19 +146,18 @@ impl DebitCreditGenerator {
     pub fn next_txn(&mut self) -> DebitCreditTxn {
         let home_branch = self.rng.random_range(0..self.config.branches);
         let teller = self.rng.random_range(0..self.config.tellers_per_branch);
-        let account_branch = if self.config.branches > 1
-            && self.rng.random::<f64>() < self.config.remote_fraction
-        {
-            // A different branch, uniformly.
-            let other = self.rng.random_range(0..self.config.branches - 1);
-            if other >= home_branch {
-                other + 1
+        let account_branch =
+            if self.config.branches > 1 && self.rng.random::<f64>() < self.config.remote_fraction {
+                // A different branch, uniformly.
+                let other = self.rng.random_range(0..self.config.branches - 1);
+                if other >= home_branch {
+                    other + 1
+                } else {
+                    other
+                }
             } else {
-                other
-            }
-        } else {
-            home_branch
-        };
+                home_branch
+            };
         let account = self.rng.random_range(0..self.config.accounts_per_branch);
         let delta = self.rng.random_range(-999_999..=999_999);
         self.history_seq += 1;
@@ -168,7 +170,12 @@ mod tests {
     use super::*;
 
     fn cfg() -> DebitCreditConfig {
-        DebitCreditConfig { branches: 4, tellers_per_branch: 10, accounts_per_branch: 100, remote_fraction: 0.15 }
+        DebitCreditConfig {
+            branches: 4,
+            tellers_per_branch: 10,
+            accounts_per_branch: 100,
+            remote_fraction: 0.15,
+        }
     }
 
     #[test]
@@ -225,10 +232,8 @@ mod tests {
 
     #[test]
     fn single_branch_config_never_remote() {
-        let mut g = DebitCreditGenerator::new(
-            DebitCreditConfig { branches: 1, remote_fraction: 0.9, ..cfg() },
-            5,
-        );
+        let mut g =
+            DebitCreditGenerator::new(DebitCreditConfig { branches: 1, remote_fraction: 0.9, ..cfg() }, 5);
         assert!((0..1000).all(|_| !g.next_txn().is_remote()));
     }
 }

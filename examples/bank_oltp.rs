@@ -12,8 +12,8 @@
 use parallel_sysplex::cf::SystemId;
 use parallel_sysplex::db::group::{DataSharingGroup, GroupConfig};
 use parallel_sysplex::services::arm::ElementSpec;
-use parallel_sysplex::services::system::SystemConfig;
 use parallel_sysplex::services::sysplex::{Sysplex, SysplexConfig};
+use parallel_sysplex::services::system::SystemConfig;
 use parallel_sysplex::services::wlm::ServiceClass;
 use parallel_sysplex::subsys::routing::TransactionRouter;
 use parallel_sysplex::subsys::tm::{CicsRegion, TranDef};
@@ -31,8 +31,8 @@ fn main() {
     let cf = plex.add_cf("CF01");
     let mut config = GroupConfig::default();
     config.db.lock_timeout = Duration::from_millis(200);
-    let group = DataSharingGroup::new(config, &cf, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone())
-        .unwrap();
+    let group =
+        DataSharingGroup::new(config, &cf, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone()).unwrap();
     plex.wlm.define_class(ServiceClass {
         name: "BANKHIGH".into(),
         goal: Duration::from_millis(50),
@@ -41,7 +41,7 @@ fn main() {
 
     // Generic resources: customers just log on to "BANK".
     let gr_list = cf.allocate_list_structure("ISTGENERIC", generic_resource_params()).unwrap();
-    let vtam = GenericResources::open(gr_list, plex.wlm.clone()).unwrap();
+    let vtam = GenericResources::open(&gr_list, cf.subchannel(), plex.wlm.clone()).unwrap();
 
     let router = TransactionRouter::new(plex.wlm.clone());
     let mut regions = Vec::new();
@@ -142,7 +142,10 @@ fn main() {
     let target = recovered_on.load(Ordering::SeqCst);
     assert!(target != u64::MAX, "ARM ran peer recovery");
     assert_ne!(target, failed_system.0 as u64, "recovery ran on a survivor, not the corpse");
-    println!("continuous availability demonstrated: {} transactions completed", completed.load(Ordering::SeqCst));
+    println!(
+        "continuous availability demonstrated: {} transactions completed",
+        completed.load(Ordering::SeqCst)
+    );
 
     for r in &regions {
         if r.system().id() != failed_system {
@@ -184,13 +187,7 @@ fn install_transactions(region: &CicsRegion) {
     });
 }
 
-fn run_phase(
-    plex: &Sysplex,
-    router: &TransactionRouter,
-    completed: &Arc<AtomicU64>,
-    n: usize,
-    label: &str,
-) {
+fn run_phase(plex: &Sysplex, router: &TransactionRouter, completed: &Arc<AtomicU64>, n: usize, label: &str) {
     let mut pending = Vec::new();
     for _ in 0..n {
         plex.tick();

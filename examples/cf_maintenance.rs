@@ -11,8 +11,8 @@
 
 use parallel_sysplex::cf::SystemId;
 use parallel_sysplex::db::group::{DataSharingGroup, GroupConfig};
-use parallel_sysplex::services::system::SystemConfig;
 use parallel_sysplex::services::sysplex::{Sysplex, SysplexConfig};
+use parallel_sysplex::services::system::SystemConfig;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -22,8 +22,8 @@ fn main() {
     let cf1 = plex.add_cf("CF01");
     let mut config = GroupConfig::default();
     config.db.lock_timeout = Duration::from_millis(300);
-    let group = DataSharingGroup::new(config, &cf1, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone())
-        .unwrap();
+    let group =
+        DataSharingGroup::new(config, &cf1, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone()).unwrap();
     for i in 0..2u8 {
         plex.ipl(SystemConfig::cmos(SystemId::new(i), 2));
         group.add_member(SystemId::new(i)).unwrap();

@@ -17,8 +17,8 @@ fn main() {
     let cf1 = plex.add_cf("CF01");
     let mut config = GroupConfig::default();
     config.db.lock_timeout = Duration::from_millis(200);
-    let group = DataSharingGroup::new(config, &cf1, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone())
-        .unwrap();
+    let group =
+        DataSharingGroup::new(config, &cf1, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone()).unwrap();
     let db0 = group.add_member(SystemId::new(0)).unwrap();
     let db1 = group.add_member(SystemId::new(1)).unwrap();
 
@@ -28,9 +28,7 @@ fn main() {
 
     // Load from system 0 (enough to force several CI splits).
     for i in 0..40u32 {
-        master0
-            .put(&format!("CUST{i:05}"), format!("name=Customer {i};tier={}", i % 3).as_bytes())
-            .unwrap();
+        master0.put(&format!("CUST{i:05}"), format!("name=Customer {i};tier={}", i % 3).as_bytes()).unwrap();
     }
     println!("loaded {} customers (with CI splits along the way)", master0.record_count().unwrap());
 
@@ -43,10 +41,7 @@ fn main() {
 
     // Ordered browse across split CIs — the KSDS sequential access.
     let page = master1.browse("CUST00010", 5).unwrap();
-    println!(
-        "browse from CUST00010: {:?}",
-        page.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>()
-    );
+    println!("browse from CUST00010: {:?}", page.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>());
     assert_eq!(page[0].0, "CUST00010");
 
     // Duplex the structures and lose CF01 mid-day: the file stays open,

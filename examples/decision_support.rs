@@ -10,8 +10,8 @@
 
 use parallel_sysplex::cf::SystemId;
 use parallel_sysplex::db::group::{DataSharingGroup, GroupConfig};
-use parallel_sysplex::services::system::SystemConfig;
 use parallel_sysplex::services::sysplex::{Sysplex, SysplexConfig};
+use parallel_sysplex::services::system::SystemConfig;
 use parallel_sysplex::subsys::query::{scan_aggregate, ParallelQuery, QueryTarget};
 use parallel_sysplex::workload::decision::ScanQuery;
 use std::time::Instant;
@@ -22,8 +22,8 @@ fn main() {
     let plex = Sysplex::new(SysplexConfig::functional("DSSPLEX"));
     let cf = plex.add_cf("CF01");
     let config = GroupConfig { pages: 512, ..GroupConfig::default() };
-    let group = DataSharingGroup::new(config, &cf, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone())
-        .unwrap();
+    let group =
+        DataSharingGroup::new(config, &cf, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone()).unwrap();
 
     // Three systems; each hosts a database member and two CPUs.
     let mut targets = Vec::new();

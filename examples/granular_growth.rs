@@ -10,8 +10,8 @@
 
 use parallel_sysplex::cf::SystemId;
 use parallel_sysplex::db::group::{DataSharingGroup, GroupConfig};
-use parallel_sysplex::services::system::SystemConfig;
 use parallel_sysplex::services::sysplex::{Sysplex, SysplexConfig};
+use parallel_sysplex::services::system::SystemConfig;
 use parallel_sysplex::services::wlm::ServiceClass;
 use parallel_sysplex::subsys::routing::TransactionRouter;
 use parallel_sysplex::subsys::tm::{CicsRegion, TranDef};
@@ -108,7 +108,10 @@ fn main() {
     let d = burst("3 systems");
     assert!(d.iter().any(|(id, n)| *id == SystemId::new(1) && *n > 0), "rejoined: {d:?}");
 
-    println!("granular growth and rolling removal complete; total capacity now {:.0} MIPS", plex.total_capacity_mips());
+    println!(
+        "granular growth and rolling removal complete; total capacity now {:.0} MIPS",
+        plex.total_capacity_mips()
+    );
     for id in [0u8, 1, 2] {
         plex.remove_planned(SystemId::new(id));
     }

@@ -10,8 +10,8 @@
 
 use parallel_sysplex::cf::SystemId;
 use parallel_sysplex::services::console::Console;
-use parallel_sysplex::services::system::SystemConfig;
 use parallel_sysplex::services::sysplex::{Sysplex, SysplexConfig};
+use parallel_sysplex::services::system::SystemConfig;
 use parallel_sysplex::subsys::jes::{job_queue_params, JobQueue};
 use parallel_sysplex::subsys::racf::{security_cache_params, Access, Profile, RacfNode, SecurityDatabase};
 use std::sync::Arc;
@@ -31,12 +31,15 @@ fn main() {
 
     // --- JES2-style shared job queue -------------------------------------
     let jes_list = cf.allocate_list_structure("JES2CKPT", job_queue_params()).unwrap();
-    let jes0 = JobQueue::open(Arc::clone(&jes_list)).unwrap();
-    let jes1 = JobQueue::open(Arc::clone(&jes_list)).unwrap();
+    let jes0 = JobQueue::open(&jes_list, cf.subchannel()).unwrap();
+    let jes1 = JobQueue::open(&jes_list, cf.subchannel()).unwrap();
     jes0.submit("PAYROLL", 'A', 1).unwrap();
     jes0.submit("REPORTS", 'B', 5).unwrap();
     jes0.submit("CLEANUP", 'A', 9).unwrap();
-    println!("submitted 3 jobs; input queue: {:?}", jes0.input_jobs().unwrap().iter().map(|j| j.name.as_str()).collect::<Vec<_>>());
+    println!(
+        "submitted 3 jobs; input queue: {:?}",
+        jes0.input_jobs().unwrap().iter().map(|j| j.name.as_str()).collect::<Vec<_>>()
+    );
 
     // Member 1 serves class A: selects PAYROLL (priority 1) first.
     let job = jes1.select(&['A']).unwrap().unwrap();
@@ -56,8 +59,10 @@ fn main() {
     // --- RACF-style coherent security ------------------------------------
     let secdb = SecurityDatabase::create(plex.farm.clone(), "RACFDB", 512).unwrap();
     let seccache = cf.allocate_cache_structure("IRRXCF00", security_cache_params(512)).unwrap();
-    let racf0 = RacfNode::start(SystemId::new(0), Arc::clone(&secdb), Arc::clone(&seccache), 64).unwrap();
-    let racf2 = RacfNode::start(SystemId::new(2), Arc::clone(&secdb), Arc::clone(&seccache), 64).unwrap();
+    let racf0 =
+        RacfNode::start(SystemId::new(0), Arc::clone(&secdb), &seccache, cf.subchannel(), 64).unwrap();
+    let racf2 =
+        RacfNode::start(SystemId::new(2), Arc::clone(&secdb), &seccache, cf.subchannel(), 64).unwrap();
     racf0
         .admin_update(&Profile {
             resource: "PROD.PAYROLL.MASTER".into(),

@@ -10,8 +10,8 @@ use parallel_sysplex::cf::list::{DequeueEnd, LockCondition, WritePosition};
 use parallel_sysplex::cf::lock::LockMode;
 use parallel_sysplex::cf::SystemId;
 use parallel_sysplex::db::group::{DataSharingGroup, GroupConfig};
-use parallel_sysplex::services::system::SystemConfig;
 use parallel_sysplex::services::sysplex::{Sysplex, SysplexConfig};
+use parallel_sysplex::services::system::SystemConfig;
 
 fn main() {
     // 1. Bring up the sysplex infrastructure: timer, shared DASD, XCF,

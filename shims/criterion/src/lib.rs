@@ -1,0 +1,259 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmarking harness with criterion's API shape
+//! (`Criterion::default().sample_size(..)`, `benchmark_group`,
+//! `bench_function`, `Bencher::iter`). It calibrates an iteration count
+//! per sample, runs the requested number of samples, and prints
+//! `name  time: [min mean max]` lines. No statistics engine, plots, or
+//! saved baselines — the experiment benches print their own tables and
+//! only need stable relative numbers.
+
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, builder-style like upstream.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Samples collected per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent warming up before measuring.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target time spent measuring each benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Upstream parses CLI filters/baselines here; cargo passes
+    /// `--bench` to harness-less bench binaries. This shim accepts and
+    /// ignores all arguments.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+
+    /// Run one benchmark outside any group.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        f: F,
+    ) -> &mut Self {
+        run_bench(
+            &name.into(),
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Upstream prints the aggregate summary; the per-bench lines have
+    /// already been printed, so this is a no-op.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and (optionally
+/// overridden) sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override samples per benchmark for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Override measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Override warm-up time for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Measure one benchmark in this group.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        run_bench(&full, self.sample_size, self.warm_up_time, self.measurement_time, f);
+        self
+    }
+
+    /// Close the group (upstream emits summary output here).
+    pub fn finish(self) {}
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `routine`; the harness divides by the
+    /// iteration count afterwards.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    // Calibration pass: one iteration, which also serves as warm-up
+    // start.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    let warm_start = Instant::now();
+    f(&mut b);
+    let mut per_iter = b.elapsed.max(Duration::from_nanos(1));
+
+    // Warm up for the remaining budget.
+    while warm_start.elapsed() < warm_up_time {
+        let mut w = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut w);
+        per_iter = (per_iter + w.elapsed.max(Duration::from_nanos(1))) / 2;
+    }
+
+    // Pick iterations per sample so all samples together roughly fill
+    // the measurement budget; slow benchmarks degrade to fewer samples
+    // of one iteration each rather than overshooting wildly.
+    let budget_per_sample = measurement_time.as_nanos() / sample_size.max(1) as u128;
+    let iters = (budget_per_sample / per_iter.as_nanos().max(1)).clamp(1, u64::MAX as u128) as u64;
+    let samples = if iters == 1 {
+        let fit = (measurement_time.as_nanos() / per_iter.as_nanos().max(1)).max(1) as usize;
+        sample_size.min(fit.max(1))
+    } else {
+        sample_size
+    };
+
+    let mut means: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut s = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut s);
+        means.push(s.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let min = means.first().copied().unwrap_or(0.0);
+    let max = means.last().copied().unwrap_or(0.0);
+    let mean = means.iter().sum::<f64>() / means.len().max(1) as f64;
+    println!(
+        "{name:<40} time:   [{} {} {}]  ({} samples x {} iters)",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max),
+        samples,
+        iters
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(25))
+            .configure_from_args();
+        let mut group = c.benchmark_group("shim");
+        let mut count = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                count = count.wrapping_add(1);
+                black_box(count)
+            })
+        });
+        group.finish();
+        c.final_summary();
+        assert!(count > 0, "routine actually ran");
+    }
+
+    #[test]
+    fn slow_benchmarks_do_not_overshoot_budget() {
+        let mut c = Criterion::default()
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(40));
+        let start = Instant::now();
+        c.bench_function("slow", |b| {
+            b.iter(|| std::thread::sleep(Duration::from_millis(10)))
+        });
+        assert!(start.elapsed() < Duration::from_secs(2));
+    }
+}

@@ -1,0 +1,183 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements exactly the subset the workspace uses: a seedable
+//! deterministic [`rngs::StdRng`] (SplitMix64 — statistically fine for
+//! workload generation and queueing simulation, not cryptographic), the
+//! [`RngExt`] extension trait with `random::<T>()` and
+//! `random_range(range)`, and [`SeedableRng::seed_from_u64`].
+
+/// A source of random `u64`s plus the convenience methods the workspace
+/// calls. Blanket-implemented helpers mirror the upstream `Rng` surface.
+pub trait RngExt {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly random value of `T` (see [`Random`] for the types).
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// A uniform value in `range` (half-open or inclusive integer
+    /// ranges). Panics on an empty range, as upstream does.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Types [`RngExt::random`] can produce.
+pub trait Random {
+    /// Draw one uniformly random value from `rng`.
+    fn random<R: RngExt + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for u64 {
+    fn random<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    fn random<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Random for bool {
+    fn random<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` using the top 53 bits.
+    fn random<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    /// Uniform in `[0, 1)` using the top 24 bits.
+    fn random<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges [`RngExt::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one uniform value from the range.
+    fn sample<R: RngExt + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample<R: RngExt + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % width;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample<R: RngExt + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let width = (hi as i128 - lo as i128) as u128 + 1;
+                // width can be 2^64 at most for 64-bit types; modulo in
+                // u128 keeps that case exact.
+                let v = (rng.next_u64() as u128) % width;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Construction from a seed, mirroring upstream's trait of the same name.
+pub trait SeedableRng: Sized {
+    /// Build a deterministic generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngExt, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_float_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: f64 = rng.random();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let v = rng.random_range(0..10u64);
+            assert!(v < 10);
+            let d = rng.random_range(-999_999..=999_999i64);
+            assert!((-999_999..=999_999).contains(&d));
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buckets = [0u32; 10];
+        for _ in 0..100_000 {
+            buckets[rng.random_range(0..10usize)] += 1;
+        }
+        for b in buckets {
+            assert!((8_000..12_000).contains(&b), "bucket {b} out of tolerance");
+        }
+    }
+}

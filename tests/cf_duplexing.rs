@@ -20,8 +20,8 @@ fn rig() -> (Arc<Sysplex>, Arc<DataSharingGroup>) {
     let cf1 = plex.add_cf("CF01");
     let mut config = GroupConfig::default();
     config.db.lock_timeout = Duration::from_millis(150);
-    let group = DataSharingGroup::new(config, &cf1, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone())
-        .unwrap();
+    let group =
+        DataSharingGroup::new(config, &cf1, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone()).unwrap();
     group.add_member(SystemId::new(0)).unwrap();
     group.add_member(SystemId::new(1)).unwrap();
     (plex, group)
@@ -80,11 +80,7 @@ fn failover_preserves_held_locks_and_changed_data_without_dasd() {
     // Changed data served from the promoted group buffer — DASD never had
     // it.
     let page3 = group.store.page_of(3);
-    assert_eq!(
-        group.store.read_page(1, page3).unwrap().get(3),
-        None,
-        "DASD is stale by construction"
-    );
+    assert_eq!(group.store.read_page(1, page3).unwrap().get(3), None, "DASD is stale by construction");
     let v = b.run(10, |db, txn| db.read(txn, 3)).unwrap().unwrap();
     assert_eq!(v, b"only-in-cf", "served from the duplexed changed data");
     let v = b.run(10, |db, txn| db.read(txn, 1)).unwrap().unwrap();
@@ -152,7 +148,7 @@ fn duplexing_requires_matching_geometry() {
         .unwrap();
     let members = group.members();
     let irlms: Vec<_> = members.iter().map(|d| Arc::clone(d.irlm())).collect();
-    let err = parallel_sysplex::db::Irlm::enable_duplexing(&irlms, wrong).unwrap_err();
+    let err = parallel_sysplex::db::Irlm::enable_duplexing(&irlms, wrong, &cf2.subchannel()).unwrap_err();
     assert!(matches!(err, DbError::Cf(parallel_sysplex::cf::CfError::BadParameter(_))));
     group.remove_member(SystemId::new(0));
     group.remove_member(SystemId::new(1));

@@ -18,8 +18,8 @@ fn rig() -> (Arc<Sysplex>, Arc<DataSharingGroup>) {
     let cf1 = plex.add_cf("CF01");
     let mut config = GroupConfig::default();
     config.db.lock_timeout = Duration::from_millis(150);
-    let group = DataSharingGroup::new(config, &cf1, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone())
-        .unwrap();
+    let group =
+        DataSharingGroup::new(config, &cf1, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone()).unwrap();
     group.add_member(SystemId::new(0)).unwrap();
     group.add_member(SystemId::new(1)).unwrap();
     (plex, group)
@@ -101,7 +101,7 @@ fn rebuild_migrates_persistent_records_for_recovery() {
     plex.kill(SystemId::new(0));
     let failed = group.crash_member(SystemId::new(0)).unwrap();
     let retained = b.irlm().retained_locks_of(failed.lock_conn);
-    assert!(!retained.is_empty(), "persistent records migrated with the rebuild");
+    assert!(!retained.unwrap().is_empty(), "persistent records migrated with the rebuild");
     let report = group.recover_on(SystemId::new(1), &failed).unwrap();
     assert!(report.retained_released >= 1);
     b.run(10, |db, txn| db.write(txn, 7, Some(b"recovered"))).unwrap();

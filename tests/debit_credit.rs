@@ -22,8 +22,8 @@ fn stack(members: u8) -> (Arc<Sysplex>, Arc<DataSharingGroup>) {
     let cf = plex.add_cf("CF01");
     let mut config = GroupConfig { pages: 512, ..GroupConfig::default() };
     config.db.lock_timeout = Duration::from_millis(150);
-    let group = DataSharingGroup::new(config, &cf, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone())
-        .unwrap();
+    let group =
+        DataSharingGroup::new(config, &cf, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone()).unwrap();
     for i in 0..members {
         group.add_member(SystemId::new(i)).unwrap();
     }
@@ -31,10 +31,7 @@ fn stack(members: u8) -> (Arc<Sysplex>, Arc<DataSharingGroup>) {
 }
 
 fn read_i64(db: &Database, txn: &mut parallel_sysplex::db::Txn, key: u64) -> DbResult<i64> {
-    Ok(db
-        .read(txn, key)?
-        .map(|v| i64::from_be_bytes(v[..8].try_into().unwrap()))
-        .unwrap_or(0))
+    Ok(db.read(txn, key)?.map(|v| i64::from_be_bytes(v[..8].try_into().unwrap())).unwrap_or(0))
 }
 
 fn apply(db: &Database, layout: &KeyLayout, t: &DebitCreditTxn) -> DbResult<()> {

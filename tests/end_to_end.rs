@@ -4,8 +4,8 @@
 
 use parallel_sysplex::cf::SystemId;
 use parallel_sysplex::db::group::{DataSharingGroup, GroupConfig};
-use parallel_sysplex::services::system::SystemConfig;
 use parallel_sysplex::services::sysplex::{Sysplex, SysplexConfig};
+use parallel_sysplex::services::system::SystemConfig;
 use parallel_sysplex::services::wlm::ServiceClass;
 use parallel_sysplex::subsys::routing::TransactionRouter;
 use parallel_sysplex::subsys::tm::{CicsRegion, TranDef};
@@ -28,15 +28,15 @@ fn stack(systems: u8) -> Stack {
     let cf = plex.add_cf("CF01");
     let mut config = GroupConfig::default();
     config.db.lock_timeout = Duration::from_millis(200);
-    let group = DataSharingGroup::new(config, &cf, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone())
-        .unwrap();
+    let group =
+        DataSharingGroup::new(config, &cf, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone()).unwrap();
     plex.wlm.define_class(ServiceClass {
         name: "OLTP".into(),
         goal: Duration::from_millis(100),
         importance: 1,
     });
     let gr_list = cf.allocate_list_structure("ISTGENERIC", generic_resource_params()).unwrap();
-    let vtam = GenericResources::open(gr_list, plex.wlm.clone()).unwrap();
+    let vtam = GenericResources::open(&gr_list, cf.subchannel(), plex.wlm.clone()).unwrap();
     let router = TransactionRouter::new(plex.wlm.clone());
     let mut regions = Vec::new();
     for i in 0..systems {
@@ -48,10 +48,8 @@ fn stack(systems: u8) -> Stack {
             name: "BUMP".into(),
             service_class: "OLTP".into(),
             handler: Arc::new(|db, txn| {
-                let cur = db
-                    .read(txn, 0)?
-                    .map(|v| u64::from_be_bytes(v[..8].try_into().unwrap()))
-                    .unwrap_or(0);
+                let cur =
+                    db.read(txn, 0)?.map(|v| u64::from_be_bytes(v[..8].try_into().unwrap())).unwrap_or(0);
                 db.write(txn, 0, Some(&(cur + 1).to_be_bytes()))
             }),
         });
@@ -80,13 +78,7 @@ fn routed_counter_increments_serialize_across_systems() {
     }
     // Every increment landed exactly once, across three systems writing
     // the same record through the CF protocols.
-    let v = s
-        .group
-        .member(SystemId::new(0))
-        .unwrap()
-        .run(10, |db, txn| db.read(txn, 0))
-        .unwrap()
-        .unwrap();
+    let v = s.group.member(SystemId::new(0)).unwrap().run(10, |db, txn| db.read(txn, 0)).unwrap().unwrap();
     assert_eq!(u64::from_be_bytes(v[..8].try_into().unwrap()), total as u64);
     // And work actually spread.
     let dist = s.router.distribution();
@@ -106,8 +98,8 @@ fn single_image_logon_and_queue_flow() {
     // Shared work queue between the systems.
     let cf = s.plex.cf("CF01").unwrap();
     let q_list = cf.allocate_list_structure("IMSMSGQ", queue_params()).unwrap();
-    let producer = SharedQueue::open(Arc::clone(&q_list)).unwrap();
-    let consumer = SharedQueue::open(Arc::clone(&q_list)).unwrap();
+    let producer = SharedQueue::open(&q_list, cf.subchannel()).unwrap();
+    let consumer = SharedQueue::open(&q_list, cf.subchannel()).unwrap();
     for i in 0..20u64 {
         producer.put(i % 3, &i.to_be_bytes()).unwrap();
     }
@@ -177,8 +169,10 @@ fn heartbeats_and_utilization_flow_through_tick() {
         let gate = Arc::clone(&gate);
         s.regions[0]
             .system()
-            .submit(move || while gate.load(Ordering::Acquire) == 0 {
-                std::thread::yield_now();
+            .submit(move || {
+                while gate.load(Ordering::Acquire) == 0 {
+                    std::thread::yield_now();
+                }
             })
             .unwrap();
     }

@@ -7,8 +7,8 @@ use parallel_sysplex::db::error::DbError;
 use parallel_sysplex::db::group::{DataSharingGroup, GroupConfig};
 use parallel_sysplex::db::log::LogRecord;
 use parallel_sysplex::services::arm::ElementSpec;
-use parallel_sysplex::services::system::SystemConfig;
 use parallel_sysplex::services::sysplex::{Sysplex, SysplexConfig};
+use parallel_sysplex::services::system::SystemConfig;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -18,8 +18,8 @@ fn plex_and_group(systems: u8) -> (Arc<Sysplex>, Arc<DataSharingGroup>) {
     let cf = plex.add_cf("CF01");
     let mut config = GroupConfig::default();
     config.db.lock_timeout = Duration::from_millis(150);
-    let group = DataSharingGroup::new(config, &cf, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone())
-        .unwrap();
+    let group =
+        DataSharingGroup::new(config, &cf, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone()).unwrap();
     for i in 0..systems {
         plex.ipl(SystemConfig::cmos(SystemId::new(i), 1));
         group.add_member(SystemId::new(i)).unwrap();

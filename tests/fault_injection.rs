@@ -13,8 +13,8 @@ use std::time::Duration;
 fn plex_group(systems: u8, config: GroupConfig) -> (Arc<Sysplex>, Arc<DataSharingGroup>) {
     let plex = Sysplex::new(SysplexConfig::functional("FIPLEX"));
     let cf = plex.add_cf("CF01");
-    let group = DataSharingGroup::new(config, &cf, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone())
-        .unwrap();
+    let group =
+        DataSharingGroup::new(config, &cf, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone()).unwrap();
     for i in 0..systems {
         group.add_member(SystemId::new(i)).unwrap();
     }

@@ -300,8 +300,11 @@ enum LockOp {
 
 fn lock_op_strategy(conns: u8, entries: u8) -> impl Strategy<Value = LockOp> {
     prop_oneof![
-        (0..conns, 0..entries, any::<bool>())
-            .prop_map(|(conn, entry, exclusive)| LockOp::Request { conn, entry, exclusive }),
+        (0..conns, 0..entries, any::<bool>()).prop_map(|(conn, entry, exclusive)| LockOp::Request {
+            conn,
+            entry,
+            exclusive
+        }),
         (0..conns, 0..entries).prop_map(|(conn, entry)| LockOp::Release { conn, entry }),
     ]
 }

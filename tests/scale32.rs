@@ -14,8 +14,8 @@ fn thirty_two_members_share_one_database() {
     let cf = plex.add_cf("CF01");
     let mut config = GroupConfig::default();
     config.db.lock_timeout = Duration::from_millis(300);
-    let group = DataSharingGroup::new(config, &cf, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone())
-        .unwrap();
+    let group =
+        DataSharingGroup::new(config, &cf, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone()).unwrap();
 
     // IPL the architectural maximum.
     let members: Vec<_> = (0..32u8).map(|i| group.add_member(SystemId::new(i)).unwrap()).collect();
@@ -32,10 +32,7 @@ fn thirty_two_members_share_one_database() {
             let me = m.system().0 as u64;
             m.run(500, move |db, txn| {
                 db.write(txn, 1000 + me, Some(&me.to_be_bytes()))?;
-                let c = db
-                    .read(txn, 0)?
-                    .map(|v| u64::from_be_bytes(v[..8].try_into().unwrap()))
-                    .unwrap_or(0);
+                let c = db.read(txn, 0)?.map(|v| u64::from_be_bytes(v[..8].try_into().unwrap())).unwrap_or(0);
                 db.write(txn, 0, Some(&(c + 1).to_be_bytes()))
             })
             .unwrap();

@@ -41,10 +41,7 @@ fn merged_logs_respect_cross_system_causality() {
     for i in 0..chain_len {
         let db = &members[(i % 2) as usize];
         db.run(10, move |db, txn| {
-            let cur = db
-                .read(txn, 0)?
-                .map(|v| u64::from_be_bytes(v[..8].try_into().unwrap()))
-                .unwrap_or(0);
+            let cur = db.read(txn, 0)?.map(|v| u64::from_be_bytes(v[..8].try_into().unwrap())).unwrap_or(0);
             assert_eq!(cur, i, "causal chain intact");
             db.write(txn, 0, Some(&(i + 1).to_be_bytes()))
         })
