@@ -9,7 +9,7 @@
 //! times the raw lock commands.
 
 use criterion::Criterion;
-use sysplex_bench::{banner, command_path_report, row, small_criterion};
+use sysplex_bench::{banner, command_path_report, report_activity, row, small_criterion, watch};
 use sysplex_core::facility::{CfConfig, CouplingFacility};
 use sysplex_core::lock::{LockMode, LockParams};
 use sysplex_core::SystemId;
@@ -89,6 +89,7 @@ fn real_vs_false_classification() {
 
 fn lock_command_bench(c: &mut Criterion) {
     let cf = CouplingFacility::new(CfConfig::named("CF01"));
+    let monitor = watch("E10 lock commands", std::slice::from_ref(&cf));
     cf.allocate_lock_structure("BENCH", LockParams::with_entries(65536)).unwrap();
     let conn = cf.connect_lock("BENCH").unwrap();
     let mut group = c.benchmark_group("e10_lock_commands");
@@ -111,6 +112,7 @@ fn lock_command_bench(c: &mut Criterion) {
     });
     group.finish();
     command_path_report(&cf);
+    report_activity(&monitor, std::slice::from_ref(&cf));
 }
 
 fn main() {

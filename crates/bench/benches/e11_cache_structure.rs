@@ -12,7 +12,7 @@
 use criterion::Criterion;
 use std::hint::black_box;
 use std::time::Instant;
-use sysplex_bench::{banner, command_path_report, row, small_criterion};
+use sysplex_bench::{banner, command_path_report, report_activity, row, small_criterion, watch};
 use sysplex_core::cache::{BlockName, CacheParams, CacheStructure, WriteKind};
 use sysplex_core::facility::{CfConfig, CouplingFacility};
 
@@ -71,6 +71,7 @@ fn coherency_bench(c: &mut Criterion) {
     // All commands flow through cache connections on a shared facility, so
     // the command-path accounting below covers every operation benched here.
     let cf = CouplingFacility::new(CfConfig::named("CF01"));
+    let monitor = watch("E11 coherency hierarchy", std::slice::from_ref(&cf));
     cf.allocate_cache_structure("GBP", CacheParams::store_in(4096)).unwrap();
     let a = cf.connect_cache("GBP", 256).unwrap();
     let b = cf.connect_cache("GBP", 256).unwrap();
@@ -97,6 +98,7 @@ fn coherency_bench(c: &mut Criterion) {
     });
     group.finish();
     command_path_report(&cf);
+    report_activity(&monitor, std::slice::from_ref(&cf));
 }
 
 fn main() {

@@ -7,7 +7,7 @@
 use criterion::Criterion;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use sysplex_bench::{banner, command_path_report, row, small_criterion};
+use sysplex_bench::{banner, command_path_report, report_activity, row, small_criterion, watch};
 use sysplex_core::facility::{CfConfig, CouplingFacility};
 use sysplex_core::list::{DequeueEnd, ListParams, ListStructure, LockCondition, WritePosition};
 use sysplex_subsys::workq::{queue_params, SharedQueue};
@@ -104,6 +104,7 @@ fn list_command_bench(c: &mut Criterion) {
 fn multi_consumer_throughput() {
     banner("E12c: shared queue drain, 2 producers + 2 consumers");
     let cf = CouplingFacility::new(CfConfig::named("CF01"));
+    let monitor = watch("E12 shared queue drain", std::slice::from_ref(&cf));
     cf.allocate_list_structure("MSGQ2", queue_params()).unwrap();
     let total = 4_000u64;
     let t0 = Instant::now();
@@ -147,6 +148,7 @@ fn multi_consumer_throughput() {
     // The unified command path saw every queue operation; bulk list scans
     // convert to async, everything else stays CPU-synchronous.
     command_path_report(&cf);
+    report_activity(&monitor, std::slice::from_ref(&cf));
 }
 
 fn main() {

@@ -8,10 +8,13 @@
 use std::sync::Arc;
 use std::time::Duration;
 use sysplex_core::facility::CouplingFacility;
+use sysplex_core::trace::TraceKind;
 use sysplex_core::SystemId;
 use sysplex_db::group::{DataSharingGroup, GroupConfig};
 use sysplex_db::Database;
+use sysplex_services::monitor::{ActivityReport, Monitor};
 use sysplex_services::sysplex::{Sysplex, SysplexConfig};
+use sysplex_services::timer::SysplexTimer;
 
 /// A live sysplex + data-sharing group with `members` database members.
 pub struct LiveRig {
@@ -23,6 +26,8 @@ pub struct LiveRig {
     pub group: Arc<DataSharingGroup>,
     /// Database members, indexed by system.
     pub dbs: Vec<Arc<Database>>,
+    /// RMF-style monitor, measuring since rig construction.
+    pub monitor: Arc<Monitor>,
 }
 
 impl LiveRig {
@@ -30,6 +35,9 @@ impl LiveRig {
     /// entries.
     pub fn new(members: u8, lock_entries: usize) -> LiveRig {
         let plex = Sysplex::new(SysplexConfig::functional("BENCHPLEX"));
+        // Component trace on from the first command, so end-of-run activity
+        // reports can reconcile traced completions against the accounting.
+        plex.tracer.enable();
         let cf = plex.add_cf("CF01");
         let mut config = GroupConfig {
             lock_entries,
@@ -41,7 +49,8 @@ impl LiveRig {
             DataSharingGroup::new(config, &cf, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone())
                 .expect("group");
         let dbs = (0..members).map(|i| group.add_member(SystemId::new(i)).expect("member")).collect();
-        LiveRig { plex, cf, group, dbs }
+        let monitor = Monitor::for_sysplex(&plex);
+        LiveRig { plex, cf, group, dbs, monitor }
     }
 
     /// Tear down members cleanly (IRLM service threads).
@@ -49,6 +58,12 @@ impl LiveRig {
         for db in &self.dbs {
             db.irlm().crash();
         }
+    }
+
+    /// Print the end-of-run CF activity report for this rig's sysplex and
+    /// assert it reconciles (see [`report_activity`]).
+    pub fn activity_report(&self) -> ActivityReport {
+        print_reconciled(self.monitor.report(), &self.plex.cfs())
     }
 }
 
@@ -106,6 +121,43 @@ pub fn command_path_report(cf: &CouplingFacility) {
         stats.async_converted(),
         stats.issued()
     );
+}
+
+/// Start watching `cfs` for an end-of-run activity report: enables their
+/// component trace and opens a measurement interval. Call before driving
+/// the workload so traced completions cover every issued command, then
+/// finish with [`report_activity`].
+pub fn watch(title: &str, cfs: &[Arc<CouplingFacility>]) -> Arc<Monitor> {
+    for cf in cfs {
+        cf.tracer().enable();
+    }
+    Monitor::new(title, SysplexTimer::new(), cfs.to_vec())
+}
+
+/// Print the RMF-style CF activity report for the interval opened by
+/// [`watch`] and assert the observability invariants: per-class and total
+/// `issued == sync + async_converted`, trace `retained == emitted − dropped`,
+/// and — when tracing was on from the first command — a CMD-COMPL record for
+/// every issued command.
+pub fn report_activity(monitor: &Monitor, cfs: &[Arc<CouplingFacility>]) -> ActivityReport {
+    print_reconciled(monitor.report(), cfs)
+}
+
+fn print_reconciled(report: ActivityReport, cfs: &[Arc<CouplingFacility>]) -> ActivityReport {
+    println!("{report}");
+    assert!(report.reconciles(), "activity report reconciles");
+    for cf in cfs {
+        let tracer = cf.tracer();
+        if tracer.is_enabled() {
+            assert_eq!(
+                tracer.kind_count(TraceKind::CmdCompleted),
+                cf.command_stats().issued(),
+                "{}: every issued command left a CMD-COMPL trace record",
+                cf.name()
+            );
+        }
+    }
+    report
 }
 
 /// A criterion instance tuned for a small single-core host.

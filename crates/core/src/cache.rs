@@ -193,6 +193,14 @@ impl CacheConnection {
         self.vector.test(vector_index as usize)
     }
 
+    /// Scrub the local validity bit for `vector_index`. Host-side, not a
+    /// CF command: a buffer manager does this when it reassigns a frame so
+    /// the new tenant can never inherit the old tenant's validity.
+    #[inline]
+    pub fn invalidate_local(&self, vector_index: u32) {
+        self.vector.clear(vector_index as usize);
+    }
+
     /// The raw vector (tests, diagnostics).
     pub fn vector(&self) -> &Arc<BitVector> {
         &self.vector

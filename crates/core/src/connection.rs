@@ -39,7 +39,8 @@ use crate::list::{
 };
 use crate::lock::{DisconnectMode, LockMode, LockRates, LockResponse, LockStructure, RetainedLock};
 use crate::stats::{ratio, Counter, LatencyHistogram};
-use crate::types::{ConnId, ConnMask};
+use crate::trace::{TraceEvent, Tracer, TRACE_SYSTEM_CF};
+use crate::types::{ConnId, ConnMask, SystemId};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -341,29 +342,64 @@ pub struct CfSubchannel {
     stats: Arc<ConnectionStats>,
     injector: Arc<FaultInjector>,
     policy: ConversionPolicy,
+    tracer: Arc<Tracer>,
+    system: u8,
+    structure: u32,
 }
 
 impl CfSubchannel {
     /// Wrap a link with fresh accounting and the default policy.
     pub fn new(link: CfLink) -> Self {
-        CfSubchannel {
+        CfSubchannel::with_shared(
             link,
-            stats: Arc::new(ConnectionStats::new()),
-            injector: Arc::new(FaultInjector::new()),
-            policy: ConversionPolicy::default(),
-        }
+            Arc::new(ConnectionStats::new()),
+            Arc::new(FaultInjector::new()),
+            Arc::new(Tracer::new()),
+        )
     }
 
-    /// Wrap a link sharing an existing stats block and injector (how the
-    /// facility gives every attached system one accounting domain).
-    pub fn with_shared(link: CfLink, stats: Arc<ConnectionStats>, injector: Arc<FaultInjector>) -> Self {
-        CfSubchannel { link, stats, injector, policy: ConversionPolicy::default() }
+    /// Wrap a link sharing an existing stats block, injector and tracer
+    /// (how the facility gives every attached system one accounting and
+    /// trace domain).
+    pub fn with_shared(
+        link: CfLink,
+        stats: Arc<ConnectionStats>,
+        injector: Arc<FaultInjector>,
+        tracer: Arc<Tracer>,
+    ) -> Self {
+        CfSubchannel {
+            link,
+            stats,
+            injector,
+            policy: ConversionPolicy::default(),
+            tracer,
+            system: TRACE_SYSTEM_CF,
+            structure: 0,
+        }
     }
 
     /// Replace the conversion policy.
     pub fn with_policy(mut self, policy: ConversionPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Attribute subsequent traced events to `system` (clones inherit it).
+    pub fn with_system(mut self, system: SystemId) -> Self {
+        self.system = system.0;
+        self
+    }
+
+    /// Scope subsequent traced events to an interned structure id.
+    pub fn for_structure(mut self, structure: u32) -> Self {
+        self.structure = structure;
+        self
+    }
+
+    /// Scope traced events to `name`, interning it in the tracer.
+    pub fn for_structure_named(self, name: &str) -> Self {
+        let id = self.tracer.register_structure(name);
+        self.for_structure(id)
     }
 
     /// The underlying coupling link.
@@ -384,6 +420,23 @@ impl CfSubchannel {
     /// The active conversion policy.
     pub fn policy(&self) -> ConversionPolicy {
         self.policy
+    }
+
+    /// The shared component tracer.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// Raw system id traced events are attributed to.
+    pub fn system(&self) -> u8 {
+        self.system
+    }
+
+    /// Record `event` against this subchannel's system and structure.
+    /// Costs one relaxed load when tracing is disabled.
+    #[inline]
+    pub fn emit(&self, event: TraceEvent) {
+        self.tracer.emit(self.system, self.structure, event);
     }
 
     /// Whether `cmd` will be converted to asynchronous execution.
@@ -418,6 +471,12 @@ impl CfSubchannel {
         let cs = self.stats.class(cmd.class);
         cs.issued.incr();
         cs.sync.incr();
+        // One relaxed load decides tracing for the whole command: the
+        // disabled hot path pays nothing else.
+        let traced = self.tracer.is_enabled();
+        if traced {
+            self.emit(TraceEvent::CmdIssued { class: cmd.class, converted_async: false });
+        }
         let r = match self.check_fault(&cmd) {
             Ok(delay) => {
                 if let Some(d) = delay {
@@ -427,7 +486,15 @@ impl CfSubchannel {
             }
             Err(e) => Err(e),
         };
-        cs.latency.record(t0.elapsed());
+        let elapsed = t0.elapsed();
+        cs.latency.record(elapsed);
+        if traced {
+            self.emit(TraceEvent::CmdCompleted {
+                class: cmd.class,
+                converted_async: false,
+                latency_ns: elapsed.as_nanos().min(u64::MAX as u128) as u64,
+            });
+        }
         r
     }
 
@@ -444,6 +511,10 @@ impl CfSubchannel {
         let cs = self.stats.class(cmd.class);
         cs.issued.incr();
         cs.async_converted.incr();
+        let traced = self.tracer.is_enabled();
+        if traced {
+            self.emit(TraceEvent::CmdIssued { class: cmd.class, converted_async: true });
+        }
         let r = match self.check_fault(&cmd) {
             Ok(delay) => {
                 if let Some(d) = delay {
@@ -459,7 +530,15 @@ impl CfSubchannel {
             }
             Err(e) => Err(e),
         };
-        cs.latency.record(t0.elapsed());
+        let elapsed = t0.elapsed();
+        cs.latency.record(elapsed);
+        if traced {
+            self.emit(TraceEvent::CmdCompleted {
+                class: cmd.class,
+                converted_async: true,
+                latency_ns: elapsed.as_nanos().min(u64::MAX as u128) as u64,
+            });
+        }
         r
     }
 }
@@ -477,6 +556,7 @@ pub struct LockConnection {
 impl LockConnection {
     /// Connect to `structure` through `sub`, taking any free slot.
     pub fn attach(structure: &Arc<LockStructure>, sub: CfSubchannel) -> CfResult<Self> {
+        let sub = sub.for_structure_named(structure.name());
         let id =
             sub.issue_sync(CfCommand::new(CommandClass::LockAdmin, DIR_CMD_BYTES), || structure.connect())?;
         Ok(LockConnection { structure: Arc::clone(structure), id, sub })
@@ -485,6 +565,7 @@ impl LockConnection {
     /// Connect to `structure` claiming a specific slot (recovery rejoin,
     /// rebuild into a new structure with identities preserved).
     pub fn attach_slot(structure: &Arc<LockStructure>, sub: CfSubchannel, slot: ConnId) -> CfResult<Self> {
+        let sub = sub.for_structure_named(structure.name());
         let id = sub.issue_sync(CfCommand::new(CommandClass::LockAdmin, DIR_CMD_BYTES), || {
             structure.connect_slot(slot)
         })?;
@@ -526,9 +607,21 @@ impl LockConnection {
 
     /// Request `mode` interest in lock-table entry `entry`.
     pub fn request_lock(&self, entry: usize, mode: LockMode) -> CfResult<LockResponse> {
-        self.sub.issue_sync(CfCommand::new(CommandClass::LockRequest, LOCK_CMD_BYTES), || {
+        let r = self.sub.issue_sync(CfCommand::new(CommandClass::LockRequest, LOCK_CMD_BYTES), || {
             self.structure.request(self.id, entry, mode)
-        })
+        });
+        match &r {
+            Ok(LockResponse::Granted) => self.sub.emit(TraceEvent::LockGrant { entry: entry as u64 }),
+            Ok(LockResponse::Contention { holders, exclusive }) => {
+                self.sub.emit(TraceEvent::LockContend {
+                    entry: entry as u64,
+                    holders: *holders as u64,
+                    exclusive: exclusive.map_or(0xFF, ConnId::raw),
+                });
+            }
+            Err(_) => {}
+        }
+        r
     }
 
     /// Record `mode` interest unconditionally (post-negotiation).
@@ -628,6 +721,7 @@ impl CacheConnection {
     /// Connect to `structure` through `sub` with a local bit vector of
     /// `vector_len` entries.
     pub fn attach(structure: &Arc<CacheStructure>, sub: CfSubchannel, vector_len: usize) -> CfResult<Self> {
+        let sub = sub.for_structure_named(structure.name());
         let token = sub.issue_sync(CfCommand::new(CommandClass::CacheAdmin, DIR_CMD_BYTES), || {
             structure.connect(vector_len)
         })?;
@@ -671,28 +765,45 @@ impl CacheConnection {
     /// deliberately outside the subchannel accounting.
     #[inline]
     pub fn is_valid(&self, vector_index: u32) -> bool {
-        self.token.is_valid(vector_index)
+        let valid = self.token.is_valid(vector_index);
+        self.sub.emit(TraceEvent::LocalVectorCheck { valid });
+        valid
+    }
+
+    /// Scrub the local validity bit for `vector_index` (frame
+    /// reassignment). Host-side, never a CF command.
+    #[inline]
+    pub fn invalidate_local(&self, vector_index: u32) {
+        self.token.invalidate_local(vector_index);
     }
 
     /// Read block `name` and register interest at `vector_index`.
     pub fn register_read(&self, name: BlockName, vector_index: u32) -> CfResult<RegisterResult> {
-        self.sub.issue_sync(CfCommand::new(CommandClass::CacheRead, PAGE_BYTES), || {
+        let r = self.sub.issue_sync(CfCommand::new(CommandClass::CacheRead, PAGE_BYTES), || {
             self.structure.read_and_register(&self.token, name, vector_index)
-        })
+        });
+        if let Ok(reg) = &r {
+            self.sub.emit(TraceEvent::CacheRegister { hit: reg.data.is_some() });
+        }
+        r
     }
 
     /// Write block `name` and cross-invalidate every other registered
     /// connector. Oversized payloads are converted to async execution.
     pub fn write_invalidate(&self, name: BlockName, data: &[u8], kind: WriteKind) -> CfResult<WriteResult> {
         let cmd = CfCommand::new(CommandClass::CacheWrite, data.len().max(DIR_CMD_BYTES));
-        if self.sub.wants_async(&cmd) {
+        let r = if self.sub.wants_async(&cmd) {
             let structure = Arc::clone(&self.structure);
             let token = self.token.clone();
             let data = data.to_vec();
             self.sub.issue_async(cmd, move || structure.write_and_invalidate(&token, name, &data, kind))
         } else {
             self.sub.issue_sync(cmd, || self.structure.write_and_invalidate(&self.token, name, data, kind))
+        };
+        if let Ok(w) = &r {
+            self.sub.emit(TraceEvent::CrossInvalidate { invalidated: w.invalidated as u64 });
         }
+        r
     }
 
     /// Drop this connection's registered interest in block `name`.
@@ -751,6 +862,7 @@ impl ListConnection {
     /// Connect to `structure` through `sub` with a list-notification
     /// vector of `vector_len` entries.
     pub fn attach(structure: &Arc<ListStructure>, sub: CfSubchannel, vector_len: usize) -> CfResult<Self> {
+        let sub = sub.for_structure_named(structure.name());
         let token = sub.issue_sync(CfCommand::new(CommandClass::ListAdmin, DIR_CMD_BYTES), || {
             structure.connect(vector_len)
         })?;
@@ -812,7 +924,7 @@ impl ListConnection {
         cond: LockCondition,
     ) -> CfResult<EntryId> {
         let cmd = CfCommand::new(CommandClass::ListWrite, data.len().max(LOCK_CMD_BYTES));
-        if self.sub.wants_async(&cmd) {
+        let r = if self.sub.wants_async(&cmd) {
             let structure = Arc::clone(&self.structure);
             let token = self.token.clone();
             let data = data.to_vec();
@@ -822,7 +934,11 @@ impl ListConnection {
             self.sub.issue_sync(cmd, || {
                 self.structure.write_entry(&self.token, header, key, data, position, cond)
             })
+        };
+        if r.is_ok() {
+            self.sub.emit(TraceEvent::ListEnqueue { header: header as u64 });
         }
+        r
     }
 
     /// Update entry `id` in place, optionally version-conditional.
@@ -893,16 +1009,24 @@ impl ListConnection {
         position: WritePosition,
         cond: LockCondition,
     ) -> CfResult<Option<EntryView>> {
-        self.sub.issue_sync(CfCommand::new(CommandClass::ListMove, DIR_CMD_BYTES), || {
+        let r = self.sub.issue_sync(CfCommand::new(CommandClass::ListMove, DIR_CMD_BYTES), || {
             self.structure.move_first(&self.token, from, to, end, position, cond)
-        })
+        });
+        if let Ok(v) = &r {
+            self.sub.emit(TraceEvent::ListClaim { header: from as u64, found: v.is_some() });
+        }
+        r
     }
 
     /// Dequeue one entry from `header`.
     pub fn take(&self, header: usize, end: DequeueEnd, cond: LockCondition) -> CfResult<Option<EntryView>> {
-        self.sub.issue_sync(CfCommand::new(CommandClass::ListMove, DIR_CMD_BYTES), || {
+        let r = self.sub.issue_sync(CfCommand::new(CommandClass::ListMove, DIR_CMD_BYTES), || {
             self.structure.dequeue(&self.token, header, end, cond)
-        })
+        });
+        if let Ok(v) = &r {
+            self.sub.emit(TraceEvent::ListClaim { header: header as u64, found: v.is_some() });
+        }
+        r
     }
 
     /// Read every entry of `header`, in order. Whole-list transfer: bulk,
@@ -1091,6 +1215,55 @@ mod tests {
         assert!(!Arc::ptr_eq(rebuilt.structure(), &old));
         // Both connections share one accounting domain.
         assert!(Arc::ptr_eq(conn.stats(), rebuilt.stats()));
+    }
+
+    /// Satellite: with tracing on, every subchannel command leaves a
+    /// CMD-ISSUE/CMD-COMPL pair that reconciles exactly with the command
+    /// accounting — per class, and split sync vs async-converted.
+    #[test]
+    fn traced_commands_pair_issued_with_completed() {
+        use crate::trace::{TraceEvent, TraceKind, TRACE_SYSTEM_CF};
+        let cf = cf();
+        cf.tracer().enable();
+        cf.allocate_cache_structure("GBP", CacheParams::store_in(64)).unwrap();
+        let a = cf.connect_cache("GBP", 16).unwrap();
+        let name = BlockName::from_bytes(b"PAGE1");
+        a.register_read(name, 0).unwrap(); // sync read
+        a.write_invalidate(name, &[1; 128], WriteKind::ChangedData).unwrap(); // sync write
+        a.write_invalidate(name, &vec![2; 64 * 1024], WriteKind::ChangedData).unwrap(); // async
+        a.unregister(name).unwrap(); // sync admin
+        let tracer = cf.tracer();
+        let s = a.stats();
+        assert_eq!(tracer.kind_count(TraceKind::CmdIssued), s.issued());
+        assert_eq!(tracer.kind_count(TraceKind::CmdCompleted), s.issued(), "every issue completed");
+        let mut issued = [0u64; CommandClass::COUNT];
+        let mut completed = [0u64; CommandClass::COUNT];
+        let mut async_issued = 0u64;
+        for rec in tracer.snapshot_all() {
+            match rec.event {
+                TraceEvent::CmdIssued { class, converted_async } => {
+                    issued[class.index()] += 1;
+                    async_issued += u64::from(converted_async);
+                }
+                TraceEvent::CmdCompleted { class, converted_async, latency_ns } => {
+                    completed[class.index()] += 1;
+                    assert!(latency_ns > 0, "completion carries its service time");
+                    let _ = converted_async;
+                }
+                _ => {}
+            }
+        }
+        for class in CommandClass::ALL {
+            let cs = s.class(class);
+            assert_eq!(issued[class.index()], completed[class.index()], "{} pairs", class.name());
+            assert_eq!(issued[class.index()], cs.issued.get(), "{} accounting", class.name());
+            assert_eq!(cs.issued.get(), cs.sync.get() + cs.async_converted.get());
+        }
+        assert_eq!(async_issued, s.async_converted());
+        assert_eq!(
+            tracer.retained(TRACE_SYSTEM_CF),
+            tracer.emitted(TRACE_SYSTEM_CF) - tracer.dropped(TRACE_SYSTEM_CF)
+        );
     }
 
     #[test]

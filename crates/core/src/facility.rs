@@ -19,6 +19,7 @@ use crate::error::{CfError, CfResult};
 use crate::link::{CfExecutor, CfLink, LinkConfig};
 use crate::list::{ListParams, ListStructure};
 use crate::lock::{LockParams, LockStructure};
+use crate::trace::Tracer;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -79,11 +80,17 @@ pub struct CouplingFacility {
     executor: Arc<CfExecutor>,
     command_stats: Arc<ConnectionStats>,
     injector: Arc<FaultInjector>,
+    tracer: Arc<Tracer>,
 }
 
 impl CouplingFacility {
-    /// Power on a facility.
+    /// Power on a facility with its own (disabled) component tracer.
     pub fn new(config: CfConfig) -> Arc<Self> {
+        CouplingFacility::with_tracer(config, Arc::new(Tracer::new()))
+    }
+
+    /// Power on a facility sharing a sysplex-wide component tracer.
+    pub fn with_tracer(config: CfConfig, tracer: Arc<Tracer>) -> Arc<Self> {
         let executor = Arc::new(CfExecutor::new(config.async_workers));
         Arc::new(CouplingFacility {
             config,
@@ -91,7 +98,14 @@ impl CouplingFacility {
             executor,
             command_stats: Arc::new(ConnectionStats::new()),
             injector: Arc::new(FaultInjector::new()),
+            tracer,
         })
+    }
+
+    /// The component tracer events from this facility's subchannels and
+    /// structures land in.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// Facility name.
@@ -109,7 +123,12 @@ impl CouplingFacility {
     /// command accounting and fault hook. Every connection attached
     /// through this facility issues through one of these.
     pub fn subchannel(&self) -> CfSubchannel {
-        CfSubchannel::with_shared(self.link(), Arc::clone(&self.command_stats), Arc::clone(&self.injector))
+        CfSubchannel::with_shared(
+            self.link(),
+            Arc::clone(&self.command_stats),
+            Arc::clone(&self.injector),
+            Arc::clone(&self.tracer),
+        )
     }
 
     /// Facility-wide per-command-class accounting (all subchannels).
@@ -167,9 +186,11 @@ impl CouplingFacility {
         Ok(s)
     }
 
-    /// Allocate a list-model structure.
+    /// Allocate a list-model structure. Transition signals it delivers
+    /// are traced against this facility's tracer.
     pub fn allocate_list_structure(&self, name: &str, params: ListParams) -> CfResult<Arc<ListStructure>> {
         let s = Arc::new(ListStructure::new(name, &params)?);
+        s.set_tracer(Arc::clone(&self.tracer), self.tracer.register_structure(name));
         self.insert(name, StructureHandle::List(Arc::clone(&s)))?;
         Ok(s)
     }

@@ -59,6 +59,7 @@ pub mod link;
 pub mod list;
 pub mod lock;
 pub mod stats;
+pub mod trace;
 pub mod types;
 
 pub use connection::{
@@ -67,4 +68,5 @@ pub use connection::{
 };
 pub use error::{CfError, CfResult};
 pub use facility::{CfConfig, CouplingFacility};
+pub use trace::{TraceClock, TraceEvent, TraceKind, TraceRecord, Tracer};
 pub use types::{ConnId, ConnMask, SystemId, MAX_CONNECTORS, MAX_SYSTEMS};

@@ -26,7 +26,7 @@ use crate::bitvec::BitVector;
 use crate::error::{CfError, CfResult};
 use crate::stats::Counter;
 use crate::types::{ConnId, MAX_CONNECTORS};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -207,6 +207,9 @@ pub struct ListStructure {
     next_entry_id: AtomicU64,
     entry_count: AtomicU64,
     max_entries: usize,
+    /// Component tracer plus this structure's interned id, wired by the
+    /// owning facility so transition signals show up in the trace.
+    trace: RwLock<Option<(Arc<crate::trace::Tracer>, u32)>>,
     /// Published counters.
     pub stats: ListStats,
 }
@@ -229,8 +232,15 @@ impl ListStructure {
             next_entry_id: AtomicU64::new(1),
             entry_count: AtomicU64::new(0),
             max_entries: params.max_entries,
+            trace: RwLock::new(None),
             stats: ListStats::default(),
         })
+    }
+
+    /// Route transition-signal trace events to `tracer` under structure
+    /// id `sid` (called by the allocating facility).
+    pub fn set_tracer(&self, tracer: Arc<crate::trace::Tracer>, sid: u32) {
+        *self.trace.write() = Some((tracer, sid));
     }
 
     /// Structure name as allocated in the facility.
@@ -314,11 +324,20 @@ impl ListStructure {
 
     /// Signal monitors after an empty→non-empty transition (header mutex
     /// must be held by the caller).
-    fn signal_transition(&self, header: &Header) {
+    fn signal_transition(&self, header_idx: usize, header: &Header) {
         for m in &header.monitors {
             m.vector.set(m.vector_index as usize);
             m.event.pulse();
             self.stats.transitions.incr();
+        }
+        if !header.monitors.is_empty() {
+            if let Some((tracer, sid)) = self.trace.read().as_ref() {
+                tracer.emit(
+                    crate::trace::TRACE_SYSTEM_CF,
+                    *sid,
+                    crate::trace::TraceEvent::ListTransition { header: header_idx as u64 },
+                );
+            }
         }
     }
 
@@ -360,7 +379,7 @@ impl ListStructure {
         self.entry_count.fetch_add(1, Ordering::Relaxed);
         self.stats.writes.incr();
         if was_empty {
-            self.signal_transition(&h);
+            self.signal_transition(header, &h);
         }
         // Publish the location while the header is still locked: a consumer
         // woken by the transition signal may claim (move) this entry the
@@ -485,7 +504,7 @@ impl ListStructure {
                 }
             }
             if was_empty {
-                self.signal_transition(dst);
+                self.signal_transition(to_header, dst);
             }
             self.index.lock().insert(id, to_header);
             drop(h_lo);
@@ -540,7 +559,7 @@ impl ListStructure {
             }
         }
         if was_empty {
-            self.signal_transition(dst);
+            self.signal_transition(to_header, dst);
         }
         self.index.lock().insert(id, to_header);
         drop(h_lo);
@@ -600,7 +619,7 @@ impl ListStructure {
             }
         }
         if was_empty {
-            self.signal_transition(dst);
+            self.signal_transition(to, dst);
         }
         self.index.lock().insert(view.id, to);
         drop(h_lo);

@@ -1,0 +1,834 @@
+//! Sysplex component trace: lock-free per-system bounded trace rings.
+//!
+//! MVS keeps a system trace table of fixed-size entries that wraps when
+//! full; RMF and IPCS read it after the fact to reconstruct *what happened
+//! in what order*. This module is that facility for the reproduction: every
+//! interesting event — CF command issued/completed, lock grant/contention,
+//! cross-invalidate, list transition, buffer-manager steal, XCF signal,
+//! heartbeat miss — is packed into a fixed five-word entry and pushed into
+//! a per-system ring buffer.
+//!
+//! Hot-path discipline matches `stats.rs`: when tracing is disabled the
+//! only cost is **one relaxed atomic load** ([`Tracer::is_enabled`]).
+//! When enabled, a push is a `fetch_add` to reserve a slot plus five
+//! relaxed stores guarded by a per-slot sequence stamp (a seqlock), so
+//! concurrent writers never block and readers never observe a torn entry.
+//! Wrapping over an unread entry is counted, never silently absorbed:
+//! `retained == emitted - dropped` holds exactly, which is what lets the
+//! CF Activity Report reconcile traced completions against the subchannel
+//! `issued` counters.
+
+use crate::connection::CommandClass;
+use crate::stats::Counter;
+use crate::types::MAX_SYSTEMS;
+use crossbeam::utils::CachePadded;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Default per-system ring capacity (entries), rounded up to a power of two.
+pub const TRACE_RING_DEFAULT: usize = 2048;
+
+/// Ring index used for events not attributable to a member system
+/// (facility-side work, unattached subchannels). One past the last system.
+pub const TRACE_SYSTEM_CF: u8 = MAX_SYSTEMS as u8;
+
+const RINGS: usize = MAX_SYSTEMS + 1;
+const WORDS: usize = 5;
+
+/// Discriminant of a packed trace entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TraceKind {
+    /// CF command accepted onto a subchannel.
+    CmdIssued = 0,
+    /// CF command finished (sync return or async completion observed).
+    CmdCompleted = 1,
+    /// Lock request granted CPU-synchronously.
+    LockGrant = 2,
+    /// Lock request hit incompatible interest; holders identified.
+    LockContend = 3,
+    /// Contention resolved as false (hash collision) by XCF negotiation.
+    LockFalseContend = 4,
+    /// `read_and_register` against a cache structure.
+    CacheRegister = 5,
+    /// Cross-invalidate signals fanned out by a write.
+    CrossInvalidate = 6,
+    /// Local-vector validity test (never touches the CF).
+    LocalVectorCheck = 7,
+    /// List entry written.
+    ListEnqueue = 8,
+    /// Empty-to-non-empty transition signal delivered to a monitor.
+    ListTransition = 9,
+    /// Claim/dequeue attempt at a list header.
+    ListClaim = 10,
+    /// Buffer-manager page read served (local hit or miss).
+    BufRead = 11,
+    /// Buffer-manager frame refresh (from CF data area or DASD).
+    BufRefresh = 12,
+    /// Buffer-manager frame stolen for a new page.
+    BufSteal = 13,
+    /// Changed page cast out of the CF to DASD.
+    BufCastout = 14,
+    /// XCF signal sent.
+    XcfSend = 15,
+    /// XCF signal delivered to the target member.
+    XcfDeliver = 16,
+    /// Heartbeat overdue at the monitor.
+    HeartbeatMiss = 17,
+    /// System fenced after missed heartbeats.
+    Fence = 18,
+    /// Work element placed on a shared subsystem queue.
+    WorkEnqueue = 19,
+    /// Work element dispatched from a shared subsystem queue.
+    WorkDispatch = 20,
+    /// VTAM generic-resource session placed on a member.
+    SessionPlace = 21,
+}
+
+impl TraceKind {
+    /// Number of kinds (for per-kind counters).
+    pub const COUNT: usize = 22;
+
+    /// All kinds, indexable by discriminant.
+    pub const ALL: [TraceKind; TraceKind::COUNT] = [
+        TraceKind::CmdIssued,
+        TraceKind::CmdCompleted,
+        TraceKind::LockGrant,
+        TraceKind::LockContend,
+        TraceKind::LockFalseContend,
+        TraceKind::CacheRegister,
+        TraceKind::CrossInvalidate,
+        TraceKind::LocalVectorCheck,
+        TraceKind::ListEnqueue,
+        TraceKind::ListTransition,
+        TraceKind::ListClaim,
+        TraceKind::BufRead,
+        TraceKind::BufRefresh,
+        TraceKind::BufSteal,
+        TraceKind::BufCastout,
+        TraceKind::XcfSend,
+        TraceKind::XcfDeliver,
+        TraceKind::HeartbeatMiss,
+        TraceKind::Fence,
+        TraceKind::WorkEnqueue,
+        TraceKind::WorkDispatch,
+        TraceKind::SessionPlace,
+    ];
+
+    /// Short mnemonic, IPCS-style.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::CmdIssued => "CMD-ISSUE",
+            TraceKind::CmdCompleted => "CMD-COMPL",
+            TraceKind::LockGrant => "LCK-GRANT",
+            TraceKind::LockContend => "LCK-CONT",
+            TraceKind::LockFalseContend => "LCK-FALSE",
+            TraceKind::CacheRegister => "CCH-REG",
+            TraceKind::CrossInvalidate => "CCH-XI",
+            TraceKind::LocalVectorCheck => "CCH-LVEC",
+            TraceKind::ListEnqueue => "LST-ENQ",
+            TraceKind::ListTransition => "LST-TRAN",
+            TraceKind::ListClaim => "LST-CLAIM",
+            TraceKind::BufRead => "BUF-READ",
+            TraceKind::BufRefresh => "BUF-REFR",
+            TraceKind::BufSteal => "BUF-STEAL",
+            TraceKind::BufCastout => "BUF-CAST",
+            TraceKind::XcfSend => "XCF-SEND",
+            TraceKind::XcfDeliver => "XCF-DELIV",
+            TraceKind::HeartbeatMiss => "HBT-MISS",
+            TraceKind::Fence => "SYS-FENCE",
+            TraceKind::WorkEnqueue => "WRK-ENQ",
+            TraceKind::WorkDispatch => "WRK-DISP",
+            TraceKind::SessionPlace => "VTM-PLACE",
+        }
+    }
+}
+
+/// A typed trace event. Encodes to `(kind, a, b)` — two payload words —
+/// so every entry fits the fixed slot layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// CF command accepted onto a subchannel.
+    CmdIssued {
+        /// Command class.
+        class: CommandClass,
+        /// Heuristically converted to asynchronous execution.
+        converted_async: bool,
+    },
+    /// CF command finished; `latency_ns` covers issue to completion.
+    CmdCompleted {
+        /// Command class.
+        class: CommandClass,
+        /// Whether the command ran asynchronously.
+        converted_async: bool,
+        /// Observed service time in nanoseconds.
+        latency_ns: u64,
+    },
+    /// Lock granted CPU-synchronously.
+    LockGrant {
+        /// Lock-table entry index.
+        entry: u64,
+    },
+    /// Lock request contended; the CF names the holders (paper §3.3.1).
+    LockContend {
+        /// Lock-table entry index.
+        entry: u64,
+        /// Bitmask of holding connectors.
+        holders: u64,
+        /// Raw id of the exclusive holder, `0xFF` when none.
+        exclusive: u8,
+    },
+    /// Contention resolved as false (different resources, same hash class).
+    LockFalseContend {
+        /// Lock-table entry index.
+        entry: u64,
+        /// Bitmask of holding connectors at negotiation time.
+        holders: u64,
+    },
+    /// `read_and_register` round trip.
+    CacheRegister {
+        /// Whether the CF data area held a current copy.
+        hit: bool,
+    },
+    /// Write fanned out cross-invalidate signals.
+    CrossInvalidate {
+        /// Number of peer connectors invalidated.
+        invalidated: u64,
+    },
+    /// Local bit-vector test (the ns-scale check that avoids the CF).
+    LocalVectorCheck {
+        /// Whether the local copy was still valid.
+        valid: bool,
+    },
+    /// List entry written.
+    ListEnqueue {
+        /// Header index.
+        header: u64,
+    },
+    /// Empty-to-non-empty transition signal delivered.
+    ListTransition {
+        /// Header index.
+        header: u64,
+    },
+    /// Claim/dequeue attempt.
+    ListClaim {
+        /// Header index.
+        header: u64,
+        /// Whether an entry was claimed.
+        found: bool,
+    },
+    /// Buffer-manager read.
+    BufRead {
+        /// Page number.
+        page: u64,
+        /// Served from a valid local frame without any CF command.
+        local_hit: bool,
+    },
+    /// Buffer-manager refresh of an invalid or missing frame.
+    BufRefresh {
+        /// Page number.
+        page: u64,
+        /// Data came from the CF data area (vs DASD).
+        from_cf: bool,
+    },
+    /// Frame stolen: old tenant evicted, local vector bit scrubbed.
+    BufSteal {
+        /// Frame index.
+        frame: u64,
+        /// New owning page number.
+        page: u64,
+    },
+    /// Changed page cast out to DASD.
+    BufCastout {
+        /// Page number.
+        page: u64,
+    },
+    /// XCF signal sent.
+    XcfSend {
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// XCF signal delivered.
+    XcfDeliver {
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// Heartbeat overdue.
+    HeartbeatMiss {
+        /// Raw system id of the silent member.
+        system: u8,
+    },
+    /// System fenced.
+    Fence {
+        /// Raw system id of the fenced member.
+        system: u8,
+    },
+    /// Work element enqueued on a shared queue.
+    WorkEnqueue {
+        /// Queue (list header) index.
+        queue: u64,
+    },
+    /// Work element dispatched from a shared queue.
+    WorkDispatch {
+        /// Queue (list header) index.
+        queue: u64,
+    },
+    /// VTAM generic-resource session placed.
+    SessionPlace {
+        /// Raw system id of the chosen member.
+        target: u8,
+    },
+}
+
+impl TraceEvent {
+    /// Kind discriminant for this event.
+    pub fn kind(&self) -> TraceKind {
+        match self {
+            TraceEvent::CmdIssued { .. } => TraceKind::CmdIssued,
+            TraceEvent::CmdCompleted { .. } => TraceKind::CmdCompleted,
+            TraceEvent::LockGrant { .. } => TraceKind::LockGrant,
+            TraceEvent::LockContend { .. } => TraceKind::LockContend,
+            TraceEvent::LockFalseContend { .. } => TraceKind::LockFalseContend,
+            TraceEvent::CacheRegister { .. } => TraceKind::CacheRegister,
+            TraceEvent::CrossInvalidate { .. } => TraceKind::CrossInvalidate,
+            TraceEvent::LocalVectorCheck { .. } => TraceKind::LocalVectorCheck,
+            TraceEvent::ListEnqueue { .. } => TraceKind::ListEnqueue,
+            TraceEvent::ListTransition { .. } => TraceKind::ListTransition,
+            TraceEvent::ListClaim { .. } => TraceKind::ListClaim,
+            TraceEvent::BufRead { .. } => TraceKind::BufRead,
+            TraceEvent::BufRefresh { .. } => TraceKind::BufRefresh,
+            TraceEvent::BufSteal { .. } => TraceKind::BufSteal,
+            TraceEvent::BufCastout { .. } => TraceKind::BufCastout,
+            TraceEvent::XcfSend { .. } => TraceKind::XcfSend,
+            TraceEvent::XcfDeliver { .. } => TraceKind::XcfDeliver,
+            TraceEvent::HeartbeatMiss { .. } => TraceKind::HeartbeatMiss,
+            TraceEvent::Fence { .. } => TraceKind::Fence,
+            TraceEvent::WorkEnqueue { .. } => TraceKind::WorkEnqueue,
+            TraceEvent::WorkDispatch { .. } => TraceKind::WorkDispatch,
+            TraceEvent::SessionPlace { .. } => TraceKind::SessionPlace,
+        }
+    }
+
+    fn encode(&self) -> (TraceKind, u64, u64) {
+        match *self {
+            TraceEvent::CmdIssued { class, converted_async } => {
+                (TraceKind::CmdIssued, class as u64 | (converted_async as u64) << 8, 0)
+            }
+            TraceEvent::CmdCompleted { class, converted_async, latency_ns } => {
+                (TraceKind::CmdCompleted, class as u64 | (converted_async as u64) << 8, latency_ns)
+            }
+            TraceEvent::LockGrant { entry } => (TraceKind::LockGrant, entry, 0),
+            TraceEvent::LockContend { entry, holders, exclusive } => {
+                (TraceKind::LockContend, entry, holders | (exclusive as u64) << 32)
+            }
+            TraceEvent::LockFalseContend { entry, holders } => (TraceKind::LockFalseContend, entry, holders),
+            TraceEvent::CacheRegister { hit } => (TraceKind::CacheRegister, hit as u64, 0),
+            TraceEvent::CrossInvalidate { invalidated } => (TraceKind::CrossInvalidate, invalidated, 0),
+            TraceEvent::LocalVectorCheck { valid } => (TraceKind::LocalVectorCheck, valid as u64, 0),
+            TraceEvent::ListEnqueue { header } => (TraceKind::ListEnqueue, header, 0),
+            TraceEvent::ListTransition { header } => (TraceKind::ListTransition, header, 0),
+            TraceEvent::ListClaim { header, found } => (TraceKind::ListClaim, header, found as u64),
+            TraceEvent::BufRead { page, local_hit } => (TraceKind::BufRead, page, local_hit as u64),
+            TraceEvent::BufRefresh { page, from_cf } => (TraceKind::BufRefresh, page, from_cf as u64),
+            TraceEvent::BufSteal { frame, page } => (TraceKind::BufSteal, frame, page),
+            TraceEvent::BufCastout { page } => (TraceKind::BufCastout, page, 0),
+            TraceEvent::XcfSend { bytes } => (TraceKind::XcfSend, bytes, 0),
+            TraceEvent::XcfDeliver { bytes } => (TraceKind::XcfDeliver, bytes, 0),
+            TraceEvent::HeartbeatMiss { system } => (TraceKind::HeartbeatMiss, system as u64, 0),
+            TraceEvent::Fence { system } => (TraceKind::Fence, system as u64, 0),
+            TraceEvent::WorkEnqueue { queue } => (TraceKind::WorkEnqueue, queue, 0),
+            TraceEvent::WorkDispatch { queue } => (TraceKind::WorkDispatch, queue, 0),
+            TraceEvent::SessionPlace { target } => (TraceKind::SessionPlace, target as u64, 0),
+        }
+    }
+
+    fn decode(kind: u8, a: u64, b: u64) -> Option<TraceEvent> {
+        let class_of = |w: u64| CommandClass::ALL.get((w & 0xFF) as usize).copied();
+        Some(match kind {
+            0 => TraceEvent::CmdIssued { class: class_of(a)?, converted_async: a >> 8 & 1 == 1 },
+            1 => TraceEvent::CmdCompleted {
+                class: class_of(a)?,
+                converted_async: a >> 8 & 1 == 1,
+                latency_ns: b,
+            },
+            2 => TraceEvent::LockGrant { entry: a },
+            3 => TraceEvent::LockContend {
+                entry: a,
+                holders: b & 0xFFFF_FFFF,
+                exclusive: (b >> 32 & 0xFF) as u8,
+            },
+            4 => TraceEvent::LockFalseContend { entry: a, holders: b },
+            5 => TraceEvent::CacheRegister { hit: a == 1 },
+            6 => TraceEvent::CrossInvalidate { invalidated: a },
+            7 => TraceEvent::LocalVectorCheck { valid: a == 1 },
+            8 => TraceEvent::ListEnqueue { header: a },
+            9 => TraceEvent::ListTransition { header: a },
+            10 => TraceEvent::ListClaim { header: a, found: b == 1 },
+            11 => TraceEvent::BufRead { page: a, local_hit: b == 1 },
+            12 => TraceEvent::BufRefresh { page: a, from_cf: b == 1 },
+            13 => TraceEvent::BufSteal { frame: a, page: b },
+            14 => TraceEvent::BufCastout { page: a },
+            15 => TraceEvent::XcfSend { bytes: a },
+            16 => TraceEvent::XcfDeliver { bytes: a },
+            17 => TraceEvent::HeartbeatMiss { system: a as u8 },
+            18 => TraceEvent::Fence { system: a as u8 },
+            19 => TraceEvent::WorkEnqueue { queue: a },
+            20 => TraceEvent::WorkDispatch { queue: a },
+            21 => TraceEvent::SessionPlace { target: a as u8 },
+            _ => return None,
+        })
+    }
+}
+
+/// Source of the time-of-day word stamped into each entry.
+///
+/// `sysplex-services` wires the Sysplex Timer here so entries across all
+/// systems share one strictly monotonic sequence (paper §2.3); standalone
+/// core users get a process-local monotonic clock.
+pub trait TraceClock: Send + Sync {
+    /// Current sysplex time in microseconds.
+    fn now_us(&self) -> u64;
+}
+
+#[derive(Debug)]
+struct HostClock {
+    epoch: Instant,
+}
+
+impl TraceClock for HostClock {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+/// One decoded trace entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Tracer-wide monotonic sequence number (1-based).
+    pub seq: u64,
+    /// Time-of-day stamp from the wired [`TraceClock`], microseconds.
+    pub tod_us: u64,
+    /// Raw system id, [`TRACE_SYSTEM_CF`] for facility-side events.
+    pub system: u8,
+    /// Interned structure id (0 = not structure-scoped).
+    pub structure: u32,
+    /// The decoded event.
+    pub event: TraceEvent,
+}
+
+/// One fixed-size trace slot: a seqlock stamp plus five payload words
+/// (meta, seq, tod, a, b).
+#[derive(Debug)]
+struct Slot {
+    stamp: AtomicU64,
+    words: [AtomicU64; WORDS],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const W: AtomicU64 = AtomicU64::new(0);
+        Slot { stamp: AtomicU64::new(0), words: [W; WORDS] }
+    }
+}
+
+/// A bounded, wrapping, multi-writer trace ring for one system.
+#[derive(Debug)]
+pub struct TraceRing {
+    slots: Box<[Slot]>,
+    mask: u64,
+    head: CachePadded<AtomicU64>,
+    dropped: Counter,
+}
+
+impl TraceRing {
+    /// New ring with capacity rounded up to a power of two (min 8).
+    pub fn new(capacity: usize) -> TraceRing {
+        let cap = capacity.max(8).next_power_of_two();
+        TraceRing {
+            slots: (0..cap).map(|_| Slot::new()).collect(),
+            mask: cap as u64 - 1,
+            head: CachePadded::new(AtomicU64::new(0)),
+            dropped: Counter::new(),
+        }
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Entries ever pushed.
+    pub fn emitted(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Entries overwritten by wrap-around before they could be read.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// Entries still resident: exactly `emitted() - dropped()`.
+    pub fn retained(&self) -> u64 {
+        self.emitted() - self.dropped()
+    }
+
+    fn push(&self, words: [u64; WORDS]) {
+        let pos = self.head.fetch_add(1, Ordering::Relaxed);
+        if pos >= self.slots.len() as u64 {
+            // We are overwriting the entry `capacity` positions back.
+            self.dropped.incr();
+        }
+        let slot = &self.slots[(pos & self.mask) as usize];
+        // Seqlock write: odd stamp while the payload is in flux, then the
+        // even stamp unique to this position. A reader that races either
+        // sees the odd stamp or a stamp for a different position and skips.
+        slot.stamp.store(pos * 2 + 1, Ordering::Release);
+        for (w, v) in slot.words.iter().zip(words) {
+            w.store(v, Ordering::Relaxed);
+        }
+        slot.stamp.store(pos * 2 + 2, Ordering::Release);
+    }
+
+    fn read(&self, pos: u64) -> Option<[u64; WORDS]> {
+        let slot = &self.slots[(pos & self.mask) as usize];
+        let expect = pos * 2 + 2;
+        if slot.stamp.load(Ordering::Acquire) != expect {
+            return None;
+        }
+        let mut words = [0u64; WORDS];
+        for (v, w) in words.iter_mut().zip(slot.words.iter()) {
+            *v = w.load(Ordering::Relaxed);
+        }
+        std::sync::atomic::fence(Ordering::Acquire);
+        if slot.stamp.load(Ordering::Relaxed) != expect {
+            return None; // overwritten mid-read
+        }
+        Some(words)
+    }
+
+    /// Decode every resident, untorn entry, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        let head = self.emitted();
+        let lo = head.saturating_sub(self.slots.len() as u64);
+        (lo..head)
+            .filter_map(|pos| {
+                let [meta, seq, tod_us, a, b] = self.read(pos)?;
+                let event = TraceEvent::decode((meta & 0xFF) as u8, a, b)?;
+                Some(TraceRecord {
+                    seq,
+                    tod_us,
+                    system: (meta >> 8 & 0xFF) as u8,
+                    structure: (meta >> 32) as u32,
+                    event,
+                })
+            })
+            .collect()
+    }
+}
+
+/// The sysplex-wide component tracer: one ring per system plus one for
+/// facility-side events, per-kind emit counters, and an interning table
+/// for structure names.
+///
+/// Created disabled; ring memory is only allocated on first
+/// [`enable`](Self::enable).
+pub struct Tracer {
+    enabled: AtomicBool,
+    rings: OnceLock<Vec<TraceRing>>,
+    seq: CachePadded<AtomicU64>,
+    clock: RwLock<Arc<dyn TraceClock>>,
+    kind_counts: [Counter; TraceKind::COUNT],
+    busy_ns: [Counter; RINGS],
+    names: Mutex<Vec<String>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .field("emitted", &self.total_emitted())
+            .field("dropped", &self.total_dropped())
+            .finish()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// New tracer, disabled, with the process-local host clock.
+    pub fn new() -> Tracer {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: Counter = Counter::new();
+        Tracer {
+            enabled: AtomicBool::new(false),
+            rings: OnceLock::new(),
+            seq: CachePadded::new(AtomicU64::new(0)),
+            clock: RwLock::new(Arc::new(HostClock { epoch: Instant::now() })),
+            kind_counts: [ZERO; TraceKind::COUNT],
+            busy_ns: [ZERO; RINGS],
+            names: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether tracing is on. This is the *entire* disabled-path cost:
+    /// a single relaxed load.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn tracing on with the default ring capacity.
+    pub fn enable(&self) {
+        self.enable_with_capacity(TRACE_RING_DEFAULT);
+    }
+
+    /// Turn tracing on; rings are allocated on the first enable (the
+    /// capacity of an already-allocated tracer cannot change).
+    pub fn enable_with_capacity(&self, capacity: usize) {
+        self.rings.get_or_init(|| (0..RINGS).map(|_| TraceRing::new(capacity)).collect());
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Turn tracing off. Rings keep their contents for post-mortem reads.
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Replace the time-of-day source (the sysplex wires its Timer here).
+    pub fn set_clock(&self, clock: Arc<dyn TraceClock>) {
+        *self.clock.write() = clock;
+    }
+
+    /// Intern a structure name, returning its stable non-zero id.
+    pub fn register_structure(&self, name: &str) -> u32 {
+        let mut names = self.names.lock();
+        if let Some(i) = names.iter().position(|n| n == name) {
+            return i as u32 + 1;
+        }
+        names.push(name.to_string());
+        names.len() as u32
+    }
+
+    /// Name for an interned structure id.
+    pub fn structure_name(&self, id: u32) -> Option<String> {
+        if id == 0 {
+            return None;
+        }
+        self.names.lock().get(id as usize - 1).cloned()
+    }
+
+    /// Record one event against `system`'s ring (use [`TRACE_SYSTEM_CF`]
+    /// for unattributed events). No-op unless enabled.
+    #[inline]
+    pub fn emit(&self, system: u8, structure: u32, event: TraceEvent) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.emit_enabled(system, structure, event);
+    }
+
+    fn emit_enabled(&self, system: u8, structure: u32, event: TraceEvent) {
+        let Some(rings) = self.rings.get() else { return };
+        let idx = (system as usize).min(MAX_SYSTEMS);
+        let (kind, a, b) = event.encode();
+        self.kind_counts[kind as usize].incr();
+        if let TraceEvent::CmdCompleted { latency_ns, .. } = event {
+            self.busy_ns[idx].add(latency_ns);
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let tod_us = self.clock.read().now_us();
+        let meta = kind as u64 | (idx as u64) << 8 | (structure as u64) << 32;
+        rings[idx].push([meta, seq, tod_us, a, b]);
+    }
+
+    fn ring(&self, system: u8) -> Option<&TraceRing> {
+        self.rings.get().map(|r| &r[(system as usize).min(MAX_SYSTEMS)])
+    }
+
+    /// Entries pushed to `system`'s ring since enable.
+    pub fn emitted(&self, system: u8) -> u64 {
+        self.ring(system).map_or(0, TraceRing::emitted)
+    }
+
+    /// Entries lost to wrap-around on `system`'s ring.
+    pub fn dropped(&self, system: u8) -> u64 {
+        self.ring(system).map_or(0, TraceRing::dropped)
+    }
+
+    /// Entries still resident on `system`'s ring.
+    pub fn retained(&self, system: u8) -> u64 {
+        self.ring(system).map_or(0, TraceRing::retained)
+    }
+
+    /// Sum of traced command service time charged to `system`, ns.
+    pub fn busy_ns(&self, system: u8) -> u64 {
+        self.busy_ns[(system as usize).min(MAX_SYSTEMS)].get()
+    }
+
+    /// Total entries pushed across all rings.
+    pub fn total_emitted(&self) -> u64 {
+        (0..RINGS).map(|s| self.emitted(s as u8)).sum()
+    }
+
+    /// Total entries lost across all rings.
+    pub fn total_dropped(&self) -> u64 {
+        (0..RINGS).map(|s| self.dropped(s as u8)).sum()
+    }
+
+    /// Times an event of `kind` was emitted (counted even when the entry
+    /// is later overwritten by wrap-around).
+    pub fn kind_count(&self, kind: TraceKind) -> u64 {
+        self.kind_counts[kind as usize].get()
+    }
+
+    /// Decode one system's resident entries, oldest first.
+    pub fn snapshot(&self, system: u8) -> Vec<TraceRecord> {
+        self.ring(system).map_or_else(Vec::new, TraceRing::snapshot)
+    }
+
+    /// Decode every ring, interleaved in tracer sequence order.
+    pub fn snapshot_all(&self) -> Vec<TraceRecord> {
+        let mut all: Vec<TraceRecord> = (0..RINGS).flat_map(|s| self.snapshot(s as u8)).collect();
+        all.sort_by_key(|r| r.seq);
+        all
+    }
+
+    /// Systems ids (ring indices) that have emitted at least one entry.
+    pub fn active_systems(&self) -> Vec<u8> {
+        (0..RINGS as u8).filter(|&s| self.emitted(s) > 0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn disabled_tracer_emits_nothing() {
+        let t = Tracer::new();
+        t.emit(0, 0, TraceEvent::LockGrant { entry: 7 });
+        assert_eq!(t.total_emitted(), 0);
+        assert_eq!(t.kind_count(TraceKind::LockGrant), 0);
+    }
+
+    #[test]
+    fn events_round_trip_through_the_ring() {
+        let t = Tracer::new();
+        t.enable_with_capacity(64);
+        let sid = t.register_structure("DSG_LOCK1");
+        let events = [
+            TraceEvent::CmdIssued { class: CommandClass::LockRequest, converted_async: false },
+            TraceEvent::CmdCompleted {
+                class: CommandClass::CacheWrite,
+                converted_async: true,
+                latency_ns: 12_345,
+            },
+            TraceEvent::LockContend { entry: 42, holders: 0b1010, exclusive: 1 },
+            TraceEvent::LockFalseContend { entry: 42, holders: 0b1000 },
+            TraceEvent::CacheRegister { hit: true },
+            TraceEvent::CrossInvalidate { invalidated: 3 },
+            TraceEvent::LocalVectorCheck { valid: false },
+            TraceEvent::ListEnqueue { header: 5 },
+            TraceEvent::ListTransition { header: 5 },
+            TraceEvent::ListClaim { header: 5, found: true },
+            TraceEvent::BufRead { page: 99, local_hit: true },
+            TraceEvent::BufRefresh { page: 99, from_cf: false },
+            TraceEvent::BufSteal { frame: 3, page: 99 },
+            TraceEvent::BufCastout { page: 99 },
+            TraceEvent::XcfSend { bytes: 128 },
+            TraceEvent::XcfDeliver { bytes: 128 },
+            TraceEvent::HeartbeatMiss { system: 2 },
+            TraceEvent::Fence { system: 2 },
+            TraceEvent::WorkEnqueue { queue: 1 },
+            TraceEvent::WorkDispatch { queue: 1 },
+            TraceEvent::SessionPlace { target: 4 },
+        ];
+        for e in events {
+            t.emit(3, sid, e);
+        }
+        let snap = t.snapshot(3);
+        assert_eq!(snap.len(), events.len());
+        for (rec, e) in snap.iter().zip(events) {
+            assert_eq!(rec.event, e);
+            assert_eq!(rec.system, 3);
+            assert_eq!(rec.structure, sid);
+        }
+        // Sequence numbers are strictly increasing.
+        for w in snap.windows(2) {
+            assert!(w[1].seq > w[0].seq);
+            assert!(w[1].tod_us >= w[0].tod_us);
+        }
+        assert_eq!(t.structure_name(sid).as_deref(), Some("DSG_LOCK1"));
+        assert_eq!(t.busy_ns(3), 12_345);
+    }
+
+    #[test]
+    fn wraparound_counts_drops_exactly() {
+        let ring = TraceRing::new(64);
+        assert_eq!(ring.capacity(), 64);
+        let extra = 37u64;
+        for i in 0..64 + extra {
+            ring.push([0, i, 0, 0, 0]);
+        }
+        assert_eq!(ring.emitted(), 64 + extra);
+        assert_eq!(ring.dropped(), extra);
+        assert_eq!(ring.retained(), 64);
+        assert_eq!(ring.snapshot().len(), 64);
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear_entries() {
+        // Each writer stamps entries whose two payload words must agree
+        // (b == a * 3 + thread tag in both). A torn entry mixing two
+        // writers' stores would break the invariant.
+        let t = std::sync::Arc::new(Tracer::new());
+        t.enable_with_capacity(256);
+        const WRITERS: u64 = 8;
+        const PER: u64 = 5_000;
+        let hs: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let t = std::sync::Arc::clone(&t);
+                thread::spawn(move || {
+                    for i in 0..PER {
+                        let a = w << 32 | i;
+                        t.emit(0, 0, TraceEvent::BufSteal { frame: a, page: a * 3 + w });
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert_eq!(t.emitted(0), WRITERS * PER);
+        assert_eq!(t.dropped(0), WRITERS * PER - 256);
+        let snap = t.snapshot(0);
+        assert!(!snap.is_empty());
+        for rec in snap {
+            let TraceEvent::BufSteal { frame, page } = rec.event else {
+                panic!("unexpected event {rec:?}");
+            };
+            let w = frame >> 32;
+            assert_eq!(page, frame * 3 + w, "torn entry: frame={frame:#x} page={page:#x}");
+        }
+        assert_eq!(t.kind_count(TraceKind::BufSteal), WRITERS * PER);
+    }
+
+    #[test]
+    fn structure_ids_are_stable() {
+        let t = Tracer::new();
+        let a = t.register_structure("A");
+        let b = t.register_structure("B");
+        assert_ne!(a, b);
+        assert_eq!(t.register_structure("A"), a);
+        assert_eq!(t.structure_name(b).as_deref(), Some("B"));
+        assert_eq!(t.structure_name(0), None);
+    }
+}

@@ -24,6 +24,7 @@ use std::sync::Arc;
 use sysplex_core::cache::{BlockName, CacheStructure, WriteKind};
 use sysplex_core::connection::{CacheConnection, CfSubchannel};
 use sysplex_core::stats::Counter;
+use sysplex_core::trace::TraceEvent;
 use sysplex_core::{CfError, SystemId};
 
 /// Counters published by a buffer manager.
@@ -47,6 +48,28 @@ pub struct BufStats {
 struct Frame {
     name: Option<BlockName>,
     data: Vec<u8>,
+    /// Bumped on every steal. A refresh that began against an earlier
+    /// tenant must not install its bytes into the new tenant's frame.
+    generation: u64,
+    /// CF directory version the current bytes correspond to (monotone
+    /// guard against an older refresh overwriting a newer fill).
+    version: u64,
+    /// The bytes match `name`. False from steal until a fill completes, so
+    /// the fast path can never serve a prior tenant's bytes: the local
+    /// validity bit alone cannot distinguish "bit set for this page" from
+    /// "bit left over / re-set while the frame still holds old data".
+    ready: bool,
+}
+
+impl Frame {
+    /// Evict the tenant but keep the generation counter moving forward.
+    fn reset(&mut self) {
+        self.name = None;
+        self.data.clear();
+        self.generation += 1;
+        self.version = 0;
+        self.ready = false;
+    }
 }
 
 #[derive(Debug)]
@@ -119,12 +142,15 @@ impl BufferManager {
         let cf = self.cf.read();
         loop {
             // Fast path: valid local frame. The validity test is a local
-            // bit-vector load — never a CF command.
+            // bit-vector load — never a CF command. `ready` guards the
+            // steal window: a set bit over a frame whose fill has not
+            // completed must not serve the prior tenant's bytes.
             {
                 let inner = self.inner.lock();
                 if let Some(&idx) = inner.map.get(&name) {
-                    if cf.conn.is_valid(idx as u32) {
+                    if inner.frames[idx].ready && cf.conn.is_valid(idx as u32) {
                         self.stats.local_hits.incr();
+                        cf.conn.subchannel().emit(TraceEvent::BufRead { page, local_hit: true });
                         return Ok(inner.frames[idx].data.clone());
                     }
                 }
@@ -142,44 +168,54 @@ impl BufferManager {
         Page::decode(&self.get_image(page)?, page)
     }
 
-    fn frame_for(&self, cf: &CacheTarget, name: BlockName) -> usize {
+    fn frame_for(&self, cf: &CacheTarget, name: BlockName) -> (usize, u64) {
         let mut inner = self.inner.lock();
         if let Some(&idx) = inner.map.get(&name) {
-            return idx;
+            return (idx, inner.frames[idx].generation);
         }
         // Steal the next frame round-robin.
         let idx = inner.rotor % inner.frames.len();
         inner.rotor += 1;
-        if let Some(old) = inner.frames[idx].name.take() {
+        let (old, generation) = {
+            let f = &mut inner.frames[idx];
+            let old = f.name.take();
+            f.reset();
+            f.name = Some(name);
+            (old, f.generation)
+        };
+        if let Some(old) = old {
             inner.map.remove(&old);
+            // Scrub the frame's validity bit BEFORE the new tenant
+            // registers: the bit may still be set for the old tenant, and a
+            // set bit over not-yet-filled bytes is exactly the read-skew
+            // window (a reader would serve the old tenant's bytes as the
+            // new page).
+            cf.conn.invalidate_local(idx as u32);
             let _ = cf.conn.unregister(old);
+            if let Some(page) = self.store.page_of_block(&old) {
+                cf.conn.subchannel().emit(TraceEvent::BufSteal { frame: idx as u64, page });
+            }
         }
-        inner.frames[idx].name = Some(name);
         inner.map.insert(name, idx);
-        idx
+        (idx, generation)
     }
 
     /// Register interest and refill the frame. Returns `None` when a
     /// concurrent peer write invalidated the frame again before we
     /// finished (caller retries).
     fn refresh(&self, cf: &CacheTarget, page: u64, name: BlockName) -> DbResult<Option<Vec<u8>>> {
-        let idx = self.frame_for(cf, name);
-        let was_tracked = {
-            let inner = self.inner.lock();
-            inner.map.get(&name) == Some(&idx) && inner.frames[idx].name == Some(name)
-        };
-        if !was_tracked {
-            return Ok(None); // frame stolen concurrently; retry
-        }
+        let (idx, generation) = self.frame_for(cf, name);
         let reg = cf.conn.register_read(name, idx as u32)?;
         let image = match reg.data {
             Some(d) => {
                 self.stats.cf_refreshes.incr();
+                cf.conn.subchannel().emit(TraceEvent::BufRefresh { page, from_cf: true });
                 (*d).clone()
             }
             None => {
                 self.stats.dasd_reads.incr();
                 let img = self.store.read_image(self.system.0, page)?;
+                cf.conn.subchannel().emit(TraceEvent::BufRefresh { page, from_cf: false });
                 // If a peer wrote while we were at the disk, our bit is
                 // already clear and this (possibly stale) image must not be
                 // served.
@@ -190,9 +226,34 @@ impl BufferManager {
                 img
             }
         };
-        let mut inner = self.inner.lock();
-        if inner.frames.get(idx).and_then(|f| f.name) == Some(name) {
-            inner.frames[idx].data = image.clone();
+        {
+            let mut inner = self.inner.lock();
+            match inner.frames.get_mut(idx) {
+                // Install only into the same tenancy this refresh began
+                // against, and never over a newer version: a slower refresh
+                // must not roll the frame back below what a concurrent
+                // (re-)fill already installed.
+                Some(f) if f.generation == generation && f.name == Some(name) && reg.version >= f.version => {
+                    f.data = image.clone();
+                    f.version = reg.version;
+                    f.ready = true;
+                }
+                // Same tenant but a newer fill won: serve the newer bytes.
+                Some(f) if f.generation == generation && f.name == Some(name) && f.ready => {
+                    let newer = f.data.clone();
+                    drop(inner);
+                    if !cf.conn.is_valid(idx as u32) {
+                        self.stats.coherency_misses.incr();
+                        return Ok(None);
+                    }
+                    return Ok(Some(newer));
+                }
+                // Frame re-stolen mid-refresh: retry from the top.
+                _ => {
+                    self.stats.coherency_misses.incr();
+                    return Ok(None);
+                }
+            }
         }
         if !cf.conn.is_valid(idx as u32) {
             self.stats.coherency_misses.incr();
@@ -207,16 +268,22 @@ impl BufferManager {
     pub fn put_image(&self, page: u64, image: &[u8]) -> DbResult<()> {
         let name = self.store.block_name(page);
         let cf = self.cf.read();
-        let idx = self.frame_for(&cf, name);
+        let (idx, generation) = self.frame_for(&cf, name);
         // Register so the CF tracks us as a current holder.
         cf.conn.register_read(name, idx as u32)?;
+        // CF write first: the returned directory version orders this image
+        // against concurrent refreshes of the same frame.
+        let w = cf.conn.write_invalidate(name, image, WriteKind::ChangedData)?;
         {
             let mut inner = self.inner.lock();
-            if inner.frames.get(idx).and_then(|f| f.name) == Some(name) {
-                inner.frames[idx].data = image.to_vec();
+            if let Some(f) = inner.frames.get_mut(idx) {
+                if f.generation == generation && f.name == Some(name) && w.version >= f.version {
+                    f.data = image.to_vec();
+                    f.version = w.version;
+                    f.ready = true;
+                }
             }
         }
-        cf.conn.write_invalidate(name, image, WriteKind::ChangedData)?;
         if let Some(sec) = &cf.secondary {
             // Duplexed write: the secondary holds no registrations (it is
             // a data vault, not a coherency point), so this is a pure
@@ -262,6 +329,7 @@ impl BufferManager {
             }
             done += 1;
             self.stats.castouts.incr();
+            cf.conn.subchannel().emit(TraceEvent::BufCastout { page });
         }
         Ok(done)
     }
@@ -319,7 +387,7 @@ impl BufferManager {
                 let mut inner = manager.inner.lock();
                 inner.map.clear();
                 for f in inner.frames.iter_mut() {
-                    *f = Frame::default();
+                    f.reset();
                 }
             }
             guard.conn = conn;
@@ -355,7 +423,7 @@ impl BufferManager {
                 let mut inner = manager.inner.lock();
                 inner.map.clear();
                 for f in inner.frames.iter_mut() {
-                    *f = Frame::default();
+                    f.reset();
                 }
             }
             guard.conn = conn;
@@ -380,7 +448,9 @@ impl std::fmt::Debug for BufferManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
     use sysplex_core::cache::CacheParams;
+    use sysplex_core::connection::LinkFault;
     use sysplex_core::facility::{CfConfig, CouplingFacility};
     use sysplex_dasd::farm::DasdFarm;
     use sysplex_dasd::volume::IoModel;
@@ -476,6 +546,44 @@ mod tests {
         // Re-reading the most recent page is still a hit.
         a.get_page(15).unwrap();
         assert_eq!(a.stats.local_hits.get(), 1);
+    }
+
+    /// Deterministic reproduction of the decision_support read skew: with a
+    /// 1-frame pool, a steal reassigns the frame to page 2 while the fill is
+    /// stalled on the coupling link. A concurrent reader of page 2 must not
+    /// be served page 1's bytes out of the half-reassigned frame (the old
+    /// code's fast path trusted the stale local validity bit; the frame's
+    /// `ready` flag plus the steal-time `invalidate_local` close the window).
+    #[test]
+    fn stolen_frame_never_serves_prior_tenants_bytes() {
+        let r = rig();
+        let mut p1 = Page::new();
+        p1.set(1, b"one");
+        r.store.write_image(0, 1, &p1.encode()).unwrap();
+        let mut p2 = Page::new();
+        p2.set(2, b"two");
+        r.store.write_image(0, 2, &p2.encode()).unwrap();
+        let a = Arc::new(
+            BufferManager::new(SystemId::new(0), &r.cache, r.cf.subchannel(), Arc::clone(&r.store), 1)
+                .unwrap(),
+        );
+        // Fill the single frame with page 1 (sets its validity bit).
+        assert_eq!(a.get_page(1).unwrap().get(1).unwrap(), b"one");
+        // Stall the stealing reader's two commands: the old tenant's
+        // unregister briefly, then its register of page 2 for long enough
+        // that the main thread reads mid-fill.
+        r.cf.inject_fault(LinkFault::Delay(Duration::from_millis(1)));
+        r.cf.inject_fault(LinkFault::Delay(Duration::from_millis(150)));
+        let t = {
+            let a = Arc::clone(&a);
+            std::thread::spawn(move || a.get_page(2).unwrap())
+        };
+        // Land inside the register delay: the map already says page 2 →
+        // frame 0, but the frame still holds page 1's bytes.
+        std::thread::sleep(Duration::from_millis(40));
+        let main_read = a.get_page(2).unwrap();
+        assert_eq!(main_read.get(2).unwrap(), b"two", "read-skew: served prior tenant's bytes");
+        assert_eq!(t.join().unwrap().get(2).unwrap(), b"two");
     }
 
     #[test]

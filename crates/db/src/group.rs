@@ -157,13 +157,15 @@ impl DataSharingGroup {
 
     /// Join `system` to the group: IRLM + buffer pool + log + database.
     pub fn add_member(&self, system: SystemId) -> DbResult<Arc<Database>> {
-        let lock_conn = LockConnection::attach(&self.lock_structure(), self.subchannel())
+        // Tag the member's subchannels so traced events carry the issuing
+        // system's identity (the trace ring they land in).
+        let lock_conn = LockConnection::attach(&self.lock_structure(), self.subchannel().with_system(system))
             .map_err(crate::error::DbError::Cf)?;
         let irlm = Irlm::start(system, lock_conn, &self.xcf)?;
         let buf = BufferManager::new(
             system,
             &self.cache_structure(),
-            self.subchannel(),
+            self.subchannel().with_system(system),
             Arc::clone(&self.store),
             self.config.db.buffer_frames,
         )?;

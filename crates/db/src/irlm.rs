@@ -431,6 +431,10 @@ impl Irlm {
                 self.stats.contentions.incr();
                 if self.negotiate(&cf, holders, resource, mode, ignore)? {
                     self.stats.false_contentions.incr();
+                    cf.conn.subchannel().emit(sysplex_core::trace::TraceEvent::LockFalseContend {
+                        entry: entry as u64,
+                        holders: holders as u64,
+                    });
                     cf.conn.force_interest(entry, mode)?;
                     cf.mirror_grant(entry, mode);
                 } else {

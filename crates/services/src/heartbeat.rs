@@ -19,10 +19,11 @@ use crate::cds::{CdsError, CoupleDataSet};
 use crate::timer::SysplexTimer;
 use crate::timer::Tod;
 use crate::xcf::Xcf;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
+use sysplex_core::trace::{TraceEvent, Tracer, TRACE_SYSTEM_CF};
 use sysplex_core::SystemId;
 use sysplex_dasd::fence::FenceControl;
 
@@ -75,6 +76,7 @@ pub struct HeartbeatMonitor {
     xcf: Arc<Xcf>,
     tracked: Mutex<HashMap<SystemId, HealthState>>,
     callbacks: Mutex<Vec<FailureCallback>>,
+    tracer: RwLock<Arc<Tracer>>,
 }
 
 impl HeartbeatMonitor {
@@ -94,7 +96,13 @@ impl HeartbeatMonitor {
             xcf,
             tracked: Mutex::new(HashMap::new()),
             callbacks: Mutex::new(Vec::new()),
+            tracer: RwLock::new(Arc::new(Tracer::new())),
         })
+    }
+
+    /// Route miss/fence trace events to the sysplex-wide component tracer.
+    pub fn set_tracer(&self, tracer: Arc<Tracer>) {
+        *self.tracer.write() = tracer;
     }
 
     /// The monitoring policy.
@@ -176,6 +184,11 @@ impl HeartbeatMonitor {
                 Ok(None) => true,
                 Err(_) => false, // CDS trouble is not a system failure
             };
+            if overdue {
+                // The miss is observed by the (distributed) monitor, not
+                // by the silent system itself.
+                self.tracer.read().emit(TRACE_SYSTEM_CF, 0, TraceEvent::HeartbeatMiss { system: sys.0 });
+            }
             match (overdue, state) {
                 (true, _) if self.config.auto_failure => {
                     self.fail(sys);
@@ -235,6 +248,7 @@ impl HeartbeatMonitor {
         // Order matters: fence FIRST (fail-stop), then fail XCF members,
         // then let subscribers (ARM) plan restarts.
         self.fence.fence(system.0);
+        self.tracer.read().emit(TRACE_SYSTEM_CF, 0, TraceEvent::Fence { system: system.0 });
         self.tracked.lock().insert(system, HealthState::Failed);
         self.xcf.fail_system(system);
         for cb in self.callbacks.lock().iter() {

@@ -13,6 +13,8 @@
 //!   systems are fenced from I/O *before* anything else reacts.
 //! * [`wlm`] — the Workload Manager: capacity/utilization registry,
 //!   smooth-weighted routing recommendations, service-class goals.
+//! * [`monitor`] — RMF-style interval reporting: the CF Activity Report
+//!   over the component tracer and command-path accounting.
 //! * [`arm`] — the Automatic Restart Manager: restart groups, sequencing,
 //!   affinity, WLM-driven target selection, re-planning on subsequent
 //!   failures.
@@ -25,6 +27,7 @@ pub mod arm;
 pub mod cds;
 pub mod console;
 pub mod heartbeat;
+pub mod monitor;
 pub mod sysplex;
 pub mod system;
 pub mod timer;
@@ -35,6 +38,7 @@ pub use arm::{Arm, ElementSpec};
 pub use cds::CoupleDataSet;
 pub use console::Console;
 pub use heartbeat::{HeartbeatConfig, HeartbeatMonitor};
+pub use monitor::{ActivityReport, Monitor};
 pub use sysplex::{Sysplex, SysplexConfig};
 pub use system::{System, SystemConfig, SystemState};
 pub use timer::{SysplexTimer, Tod};

@@ -1,0 +1,813 @@
+//! RMF-style CF activity reporting (Tier 2 of the observability layer).
+//!
+//! The paper's installations watched the sysplex through RMF: interval
+//! reports of CF structure activity, per-class command rates and service
+//! times, subchannel busy, and WLM goal attainment (§2.1, §5.1). The
+//! [`Monitor`] here plays that role for the reproduction: it snapshots the
+//! unified command-path accounting and structure counters of every
+//! registered [`CouplingFacility`] on demand (or on an interval thread) and
+//! renders a **CF Activity Report** — as text for the console and as
+//! hand-rolled JSON for the `BENCH_*.json` pipeline (no serde in the
+//! dependency tree, so the writer is explicit).
+//!
+//! Interval semantics come from [`HistogramSnapshot`] deltas: each report
+//! covers exactly the window since the previous report, so per-interval
+//! percentiles and maxima are not polluted by history — the property RMF
+//! interval reports have and cumulative counters do not.
+
+use crate::timer::SysplexTimer;
+use crate::wlm::{ClassReport, Wlm};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use sysplex_core::connection::{CommandClass, ConnectionStats};
+use sysplex_core::facility::{CouplingFacility, StructureHandle};
+use sysplex_core::stats::{ratio, HistogramSnapshot};
+use sysplex_core::trace::{Tracer, TRACE_SYSTEM_CF};
+
+/// Per-command-class interval baseline.
+#[derive(Debug, Clone)]
+struct ClassBase {
+    issued: u64,
+    sync: u64,
+    async_converted: u64,
+    faulted: u64,
+    latency: HistogramSnapshot,
+}
+
+impl ClassBase {
+    fn zero() -> ClassBase {
+        ClassBase { issued: 0, sync: 0, async_converted: 0, faulted: 0, latency: HistogramSnapshot::empty() }
+    }
+
+    fn capture(stats: &ConnectionStats, class: CommandClass) -> ClassBase {
+        let c = stats.class(class);
+        ClassBase {
+            issued: c.issued.get(),
+            sync: c.sync.get(),
+            async_converted: c.async_converted.get(),
+            faulted: c.faulted.get(),
+            latency: c.latency.snapshot(),
+        }
+    }
+}
+
+/// Interval baseline: everything the previous report already accounted for.
+#[derive(Debug)]
+struct Baseline {
+    /// `timer.elapsed()` when this baseline was taken.
+    at: Duration,
+    /// Per facility (report order), per command class.
+    classes: Vec<Vec<ClassBase>>,
+    /// Per `(facility index, structure name)`: raw counter values in the
+    /// stable order [`structure_counters`] yields.
+    structures: HashMap<(usize, String), Vec<u64>>,
+    /// Per system id: `(emitted, dropped, busy_ns)`.
+    systems: HashMap<u8, (u64, u64, u64)>,
+}
+
+/// One structure's activity over the interval.
+#[derive(Debug, Clone)]
+pub struct StructureActivity {
+    /// Owning facility name.
+    pub facility: String,
+    /// Structure name.
+    pub name: String,
+    /// "LOCK" | "CACHE" | "LIST".
+    pub model: &'static str,
+    /// Mainline requests per second over the interval (lock requests,
+    /// cache reads+writes, list writes+moves+dequeues).
+    pub rate_per_s: f64,
+    /// Interval deltas of the structure's counters, stable order per model.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+impl StructureActivity {
+    /// Look up one interval counter by name.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| *n == name).map_or(0, |(_, v)| *v)
+    }
+}
+
+/// One command class's activity over the interval (all facilities merged).
+#[derive(Debug, Clone)]
+pub struct ClassActivity {
+    /// Stable class name.
+    pub name: &'static str,
+    /// Commands issued in the interval.
+    pub issued: u64,
+    /// Ran CPU-synchronously.
+    pub sync: u64,
+    /// Converted to asynchronous execution.
+    pub async_converted: u64,
+    /// Surfaced a link fault.
+    pub faulted: u64,
+    /// Requests per second over the interval.
+    pub rate_per_s: f64,
+    /// Interval service-time distribution.
+    pub service: HistogramSnapshot,
+}
+
+/// One system's trace/subchannel row.
+#[derive(Debug, Clone)]
+pub struct SystemActivity {
+    /// Raw system id ([`TRACE_SYSTEM_CF`] = facility-side events).
+    pub system: u8,
+    /// Trace entries emitted (cumulative).
+    pub emitted: u64,
+    /// Entries dropped by ring wrap (cumulative).
+    pub dropped: u64,
+    /// Entries currently retained in the ring.
+    pub retained: u64,
+    /// Fraction of the interval the system's subchannels spent waiting on
+    /// CF commands (from traced completion latencies; 0 with tracing off).
+    pub busy_pct: f64,
+}
+
+impl SystemActivity {
+    /// Report label: "SYS03", or "CF" for facility-side events.
+    pub fn label(&self) -> String {
+        if self.system == TRACE_SYSTEM_CF {
+            "CF".to_string()
+        } else {
+            format!("SYS{:02}", self.system)
+        }
+    }
+}
+
+/// Report-wide totals and their reconciliation inputs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Totals {
+    /// Commands issued in the interval (all classes, all facilities).
+    pub issued: u64,
+    /// Ran CPU-synchronously.
+    pub sync: u64,
+    /// Converted to asynchronous execution.
+    pub async_converted: u64,
+    /// Surfaced a link fault.
+    pub faulted: u64,
+    /// Trace entries emitted since enable (cumulative, all systems).
+    pub trace_emitted: u64,
+    /// Trace entries lost to ring wrap (cumulative).
+    pub trace_dropped: u64,
+    /// Trace entries currently retained.
+    pub trace_retained: u64,
+}
+
+/// One interval's CF Activity Report.
+#[derive(Debug, Clone)]
+pub struct ActivityReport {
+    /// Sysplex or rig name printed in the banner.
+    pub title: String,
+    /// Interval this report covers.
+    pub interval: Duration,
+    /// Per-structure activity, facility then structure order.
+    pub structures: Vec<StructureActivity>,
+    /// Per-command-class activity (classes with interval traffic).
+    pub classes: Vec<ClassActivity>,
+    /// Per-system trace/subchannel rows (systems with trace activity).
+    pub systems: Vec<SystemActivity>,
+    /// WLM service-class rows (empty without a WLM).
+    pub wlm: Vec<ClassReport>,
+    /// Report-wide totals.
+    pub totals: Totals,
+}
+
+impl ActivityReport {
+    /// Whether the report's own numbers reconcile: every class (and the
+    /// totals) satisfies `issued == sync + async_converted`, and the trace
+    /// rings satisfy `retained == emitted − dropped`.
+    pub fn reconciles(&self) -> bool {
+        let classes_ok = self
+            .classes
+            .iter()
+            .all(|c| c.issued == c.sync + c.async_converted && c.service.samples == c.issued);
+        let totals_ok = self.totals.issued == self.totals.sync + self.totals.async_converted;
+        let trace_ok =
+            self.totals.trace_retained == self.totals.trace_emitted.saturating_sub(self.totals.trace_dropped);
+        classes_ok && totals_ok && trace_ok
+    }
+
+    /// Serialize as a `BENCH_*.json`-style document (hand-rolled; the
+    /// workspace carries no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str("  \"report\": \"cf_activity\",\n");
+        out.push_str(&format!("  \"title\": {},\n", json_str(&self.title)));
+        out.push_str(&format!("  \"interval_ms\": {},\n", self.interval.as_millis()));
+
+        out.push_str("  \"structures\": [");
+        for (i, s) in self.structures.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"facility\": {}, \"name\": {}, \"model\": {}, \"rate_per_s\": {}, \"counters\": {{",
+                json_str(&s.facility),
+                json_str(&s.name),
+                json_str(s.model),
+                json_f64(s.rate_per_s)
+            ));
+            for (j, (n, v)) in s.counters.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{}: {v}", json_str(n)));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n  ],\n");
+
+        out.push_str("  \"command_classes\": [");
+        for (i, c) in self.classes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"name\": {}, \"issued\": {}, \"sync\": {}, \"async_converted\": {}, \
+                 \"faulted\": {}, \"rate_per_s\": {}, \"sync_pct\": {}, \"mean_us\": {}, \
+                 \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+                json_str(c.name),
+                c.issued,
+                c.sync,
+                c.async_converted,
+                c.faulted,
+                json_f64(c.rate_per_s),
+                json_f64(ratio(c.sync, c.issued) * 100.0),
+                json_f64(c.service.mean_ns() / 1000.0),
+                c.service.quantile_ns(0.50) / 1000,
+                c.service.quantile_ns(0.95) / 1000,
+                c.service.quantile_ns(0.99) / 1000,
+                c.service.max_ns / 1000
+            ));
+        }
+        out.push_str("\n  ],\n");
+
+        out.push_str("  \"systems\": [");
+        for (i, s) in self.systems.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"system\": {}, \"emitted\": {}, \"dropped\": {}, \"retained\": {}, \
+                 \"busy_pct\": {}}}",
+                json_str(&s.label()),
+                s.emitted,
+                s.dropped,
+                s.retained,
+                json_f64(s.busy_pct * 100.0)
+            ));
+        }
+        out.push_str("\n  ],\n");
+
+        out.push_str("  \"wlm\": [");
+        for (i, c) in self.wlm.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"class\": {}, \"importance\": {}, \"goal_ms\": {}, \"completions\": {}, \
+                 \"mean_response_ms\": {}, \"performance_index\": {}}}",
+                json_str(&c.name),
+                c.importance,
+                json_f64(c.goal.as_secs_f64() * 1000.0),
+                c.completions,
+                json_f64(c.mean_response.as_secs_f64() * 1000.0),
+                c.performance_index.map_or("null".to_string(), json_f64)
+            ));
+        }
+        out.push_str("\n  ],\n");
+
+        let t = &self.totals;
+        out.push_str(&format!(
+            "  \"totals\": {{\"issued\": {}, \"sync\": {}, \"async_converted\": {}, \"faulted\": {}, \
+             \"trace_emitted\": {}, \"trace_dropped\": {}, \"trace_retained\": {}}},\n",
+            t.issued,
+            t.sync,
+            t.async_converted,
+            t.faulted,
+            t.trace_emitted,
+            t.trace_dropped,
+            t.trace_retained
+        ));
+        out.push_str(&format!("  \"reconciled\": {}\n", self.reconciles()));
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl fmt::Display for ActivityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "C F   A C T I V I T Y   R E P O R T    {}", self.title)?;
+        writeln!(f, "  interval {:.3}s", self.interval.as_secs_f64())?;
+        writeln!(f, "{}", "-".repeat(78))?;
+
+        writeln!(f, "STRUCTURE ACTIVITY")?;
+        writeln!(f, "  {:<10} {:<12} {:<6} {:>9}  detail", "facility", "structure", "model", "req/s")?;
+        for s in &self.structures {
+            let detail = match s.model {
+                "LOCK" => format!(
+                    "contention {:.1}%  false-contention-resolved {}  releases {}",
+                    ratio(s.counter("contentions"), s.counter("requests")) * 100.0,
+                    s.counter("false_contention_resolved"),
+                    s.counter("releases")
+                ),
+                "CACHE" => format!(
+                    "dir-hit {:.1}%  XI {}  reclaims {}  castouts {}",
+                    ratio(s.counter("read_hits"), s.counter("reads")) * 100.0,
+                    s.counter("xi_signals"),
+                    s.counter("reclaims"),
+                    s.counter("castouts")
+                ),
+                _ => format!(
+                    "transitions {}  dequeues {}  lock-rejections {}",
+                    s.counter("transitions"),
+                    s.counter("dequeues"),
+                    s.counter("lock_rejections")
+                ),
+            };
+            writeln!(
+                f,
+                "  {:<10} {:<12} {:<6} {:>9.1}  {}",
+                s.facility, s.name, s.model, s.rate_per_s, detail
+            )?;
+        }
+
+        writeln!(f, "COMMAND CLASSES (unified subchannel path)")?;
+        writeln!(
+            f,
+            "  {:<14} {:>9} {:>8} {:>7} {:>7} {:>8} {:>8} {:>8} {:>8}",
+            "class", "req/s", "issued", "sync%", "async%", "p50 µs", "p95 µs", "p99 µs", "max µs"
+        )?;
+        for c in &self.classes {
+            writeln!(
+                f,
+                "  {:<14} {:>9.1} {:>8} {:>6.1}% {:>6.1}% {:>8} {:>8} {:>8} {:>8}",
+                c.name,
+                c.rate_per_s,
+                c.issued,
+                ratio(c.sync, c.issued) * 100.0,
+                ratio(c.async_converted, c.issued) * 100.0,
+                c.service.quantile_ns(0.50) / 1000,
+                c.service.quantile_ns(0.95) / 1000,
+                c.service.quantile_ns(0.99) / 1000,
+                c.service.max_ns / 1000
+            )?;
+        }
+
+        if !self.systems.is_empty() {
+            writeln!(f, "SYSTEM TRACE / SUBCHANNEL")?;
+            writeln!(
+                f,
+                "  {:<7} {:>9} {:>9} {:>9} {:>7}",
+                "system", "emitted", "dropped", "retained", "busy%"
+            )?;
+            for s in &self.systems {
+                writeln!(
+                    f,
+                    "  {:<7} {:>9} {:>9} {:>9} {:>6.1}%",
+                    s.label(),
+                    s.emitted,
+                    s.dropped,
+                    s.retained,
+                    s.busy_pct * 100.0
+                )?;
+            }
+        }
+
+        if !self.wlm.is_empty() {
+            writeln!(f, "WLM SERVICE CLASSES")?;
+            writeln!(
+                f,
+                "  {:<10} {:>3} {:>9} {:>12} {:>10} {:>6}",
+                "class", "imp", "goal ms", "completions", "resp ms", "PI"
+            )?;
+            for c in &self.wlm {
+                let pi = c.performance_index.map_or("  n/a".to_string(), |pi| format!("{pi:>6.2}"));
+                writeln!(
+                    f,
+                    "  {:<10} {:>3} {:>9.1} {:>12} {:>10.2} {}",
+                    c.name,
+                    c.importance,
+                    c.goal.as_secs_f64() * 1000.0,
+                    c.completions,
+                    c.mean_response.as_secs_f64() * 1000.0,
+                    pi
+                )?;
+            }
+        }
+
+        let t = &self.totals;
+        writeln!(
+            f,
+            "TOTALS issued={} sync={} async-converted={} faulted={} \
+             trace-emitted={} trace-dropped={} trace-retained={} reconciled={}",
+            t.issued,
+            t.sync,
+            t.async_converted,
+            t.faulted,
+            t.trace_emitted,
+            t.trace_dropped,
+            t.trace_retained,
+            if self.reconciles() { "yes" } else { "NO" }
+        )
+    }
+}
+
+/// The RMF-style interval monitor.
+pub struct Monitor {
+    title: String,
+    timer: Arc<SysplexTimer>,
+    cfs: Vec<Arc<CouplingFacility>>,
+    tracers: Vec<Arc<Tracer>>,
+    wlm: Option<Arc<Wlm>>,
+    baseline: Mutex<Baseline>,
+    stop: Arc<AtomicBool>,
+    ticker: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Monitor")
+            .field("title", &self.title)
+            .field("facilities", &self.cfs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Monitor {
+    /// A monitor over `cfs` (report order preserved), clocked by `timer`.
+    pub fn new(title: &str, timer: Arc<SysplexTimer>, cfs: Vec<Arc<CouplingFacility>>) -> Arc<Monitor> {
+        // Facilities may share one sysplex-wide tracer; dedupe so systems
+        // are not double-counted.
+        let mut tracers: Vec<Arc<Tracer>> = Vec::new();
+        for cf in &cfs {
+            if !tracers.iter().any(|t| Arc::ptr_eq(t, cf.tracer())) {
+                tracers.push(Arc::clone(cf.tracer()));
+            }
+        }
+        let baseline = Baseline {
+            at: timer.elapsed(),
+            classes: cfs
+                .iter()
+                .map(|_| CommandClass::ALL.iter().map(|_| ClassBase::zero()).collect())
+                .collect(),
+            structures: HashMap::new(),
+            systems: HashMap::new(),
+        };
+        Arc::new(Monitor {
+            title: title.to_string(),
+            timer,
+            cfs,
+            tracers,
+            wlm: None,
+            baseline: Mutex::new(baseline),
+            stop: Arc::new(AtomicBool::new(false)),
+            ticker: Mutex::new(None),
+        })
+    }
+
+    /// A monitor over everything a [`crate::sysplex::Sysplex`] registered,
+    /// including its WLM.
+    pub fn for_sysplex(plex: &crate::sysplex::Sysplex) -> Arc<Monitor> {
+        let mut m = Monitor::new(plex.name(), Arc::clone(&plex.timer), plex.cfs());
+        Arc::get_mut(&mut m).expect("fresh monitor is unshared").wlm = Some(Arc::clone(&plex.wlm));
+        m
+    }
+
+    /// Attach a WLM so reports carry the service-class section.
+    pub fn with_wlm(mut self: Arc<Self>, wlm: Arc<Wlm>) -> Arc<Self> {
+        Arc::get_mut(&mut self).expect("monitor must be unshared to reconfigure").wlm = Some(wlm);
+        self
+    }
+
+    /// Produce the report for the interval since the previous call (or
+    /// since monitor creation) and advance the baseline.
+    pub fn report(&self) -> ActivityReport {
+        let mut base = self.baseline.lock();
+        let now = self.timer.elapsed();
+        let interval = now.saturating_sub(base.at).max(Duration::from_micros(1));
+        let secs = interval.as_secs_f64();
+
+        // Command classes: merge interval deltas across facilities.
+        let mut classes = Vec::new();
+        let mut totals = Totals::default();
+        for (ci, class) in CommandClass::ALL.iter().enumerate() {
+            let mut merged = ClassActivity {
+                name: class.name(),
+                issued: 0,
+                sync: 0,
+                async_converted: 0,
+                faulted: 0,
+                rate_per_s: 0.0,
+                service: HistogramSnapshot::empty(),
+            };
+            for (fi, cf) in self.cfs.iter().enumerate() {
+                let cur = ClassBase::capture(cf.command_stats(), *class);
+                let prev = &base.classes[fi][ci];
+                merged.issued += cur.issued - prev.issued;
+                merged.sync += cur.sync - prev.sync;
+                merged.async_converted += cur.async_converted - prev.async_converted;
+                merged.faulted += cur.faulted - prev.faulted;
+                merged.service.merge(&cur.latency.delta(&prev.latency));
+                base.classes[fi][ci] = cur;
+            }
+            merged.rate_per_s = merged.issued as f64 / secs;
+            totals.issued += merged.issued;
+            totals.sync += merged.sync;
+            totals.async_converted += merged.async_converted;
+            totals.faulted += merged.faulted;
+            if merged.issued > 0 {
+                classes.push(merged);
+            }
+        }
+
+        // Structures: interval deltas of the raw counters.
+        let mut structures = Vec::new();
+        for (fi, cf) in self.cfs.iter().enumerate() {
+            for (name, _) in cf.inventory() {
+                let Ok(handle) = cf.structure(&name) else { continue };
+                let (model, counters) = structure_counters(&handle);
+                let values: Vec<u64> = counters.iter().map(|(_, v)| *v).collect();
+                let key = (fi, name.clone());
+                let prev = base.structures.get(&key).cloned().unwrap_or_else(|| vec![0; values.len()]);
+                let delta: Vec<(&'static str, u64)> = counters
+                    .iter()
+                    .zip(prev.iter().chain(std::iter::repeat(&0)))
+                    .map(|((n, v), p)| (*n, v.saturating_sub(*p)))
+                    .collect();
+                base.structures.insert(key, values);
+                let rate = match model {
+                    "LOCK" => delta[0].1,
+                    "CACHE" => delta[0].1 + delta[2].1,
+                    _ => delta[0].1 + delta[2].1 + delta[3].1,
+                } as f64
+                    / secs;
+                structures.push(StructureActivity {
+                    facility: cf.name().to_string(),
+                    name,
+                    model,
+                    rate_per_s: rate,
+                    counters: delta,
+                });
+            }
+        }
+
+        // Systems: trace rings (cumulative counts, interval busy).
+        let mut systems = Vec::new();
+        let mut ids: Vec<u8> = self.tracers.iter().flat_map(|t| t.active_systems()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        for sys in ids {
+            let (mut emitted, mut dropped, mut retained, mut busy_ns) = (0u64, 0u64, 0u64, 0u64);
+            for t in &self.tracers {
+                emitted += t.emitted(sys);
+                dropped += t.dropped(sys);
+                retained += t.retained(sys);
+                busy_ns += t.busy_ns(sys);
+            }
+            let (pe, pd, pb) = base.systems.get(&sys).copied().unwrap_or((0, 0, 0));
+            base.systems.insert(sys, (emitted, dropped, busy_ns));
+            let _ = (pe, pd);
+            let busy_pct = (busy_ns.saturating_sub(pb) as f64 / 1e9) / secs;
+            systems.push(SystemActivity { system: sys, emitted, dropped, retained, busy_pct });
+        }
+        for t in &self.tracers {
+            totals.trace_emitted += t.total_emitted();
+            totals.trace_dropped += t.total_dropped();
+            totals.trace_retained += t.total_emitted().saturating_sub(t.total_dropped());
+        }
+
+        base.at = now;
+        drop(base);
+
+        ActivityReport {
+            title: self.title.clone(),
+            interval,
+            structures,
+            classes,
+            systems,
+            wlm: self.wlm.as_ref().map(|w| w.class_reports()).unwrap_or_default(),
+            totals,
+        }
+    }
+
+    /// Start an interval thread that prints a report every `interval`
+    /// (RMF's Monitor III loop). Idempotent; [`Monitor::stop`] joins it.
+    pub fn start(self: &Arc<Self>, interval: Duration) {
+        let mut ticker = self.ticker.lock();
+        if ticker.is_some() {
+            return;
+        }
+        self.stop.store(false, Ordering::Relaxed);
+        let monitor = Arc::clone(self);
+        *ticker = Some(
+            std::thread::Builder::new()
+                .name("rmf-monitor".to_string())
+                .spawn(move || {
+                    while !monitor.stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(interval);
+                        if monitor.stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        println!("{}", monitor.report());
+                    }
+                })
+                .expect("spawn monitor thread"),
+        );
+    }
+
+    /// Stop and join the interval thread.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.ticker.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Monitor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.ticker.get_mut().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Cumulative counters of a structure, in a stable per-model order. Index 0
+/// (and the model-specific companions used by the rate computation) must
+/// stay the mainline request counters.
+fn structure_counters(handle: &StructureHandle) -> (&'static str, Vec<(&'static str, u64)>) {
+    match handle {
+        StructureHandle::Lock(s) => (
+            "LOCK",
+            vec![
+                ("requests", s.stats.requests.get()),
+                ("sync_grants", s.stats.sync_grants.get()),
+                ("contentions", s.stats.contentions.get()),
+                ("false_contention_resolved", s.stats.forced_interests.get()),
+                ("releases", s.stats.releases.get()),
+                ("records_written", s.stats.records_written.get()),
+            ],
+        ),
+        StructureHandle::Cache(s) => (
+            "CACHE",
+            vec![
+                ("reads", s.stats.reads.get()),
+                ("read_hits", s.stats.read_hits.get()),
+                ("writes", s.stats.writes.get()),
+                ("xi_signals", s.stats.xi_signals.get()),
+                ("reclaims", s.stats.reclaims.get()),
+                ("castouts", s.stats.castouts.get()),
+            ],
+        ),
+        StructureHandle::List(s) => (
+            "LIST",
+            vec![
+                ("writes", s.stats.writes.get()),
+                ("deletes", s.stats.deletes.get()),
+                ("moves", s.stats.moves.get()),
+                ("dequeues", s.stats.dequeues.get()),
+                ("transitions", s.stats.transitions.get()),
+                ("lock_rejections", s.stats.lock_rejections.get()),
+            ],
+        ),
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sysplex::{Sysplex, SysplexConfig};
+    use sysplex_core::cache::CacheParams;
+    use sysplex_core::list::{ListParams, LockCondition, WritePosition};
+    use sysplex_core::lock::{LockMode, LockParams};
+
+    fn plex_with_traffic() -> (Arc<Sysplex>, Arc<CouplingFacility>) {
+        let plex = Sysplex::new(SysplexConfig::functional("RMFPLEX"));
+        plex.tracer.enable();
+        let cf = plex.add_cf("CF01");
+        cf.allocate_lock_structure("IRLM1", LockParams::with_entries(64)).unwrap();
+        cf.allocate_cache_structure("GBP0", CacheParams::store_in(64)).unwrap();
+        cf.allocate_list_structure("WORKQ", ListParams::with_headers(4)).unwrap();
+        let lock = cf.connect_lock("IRLM1").unwrap();
+        let cache = cf.connect_cache("GBP0", 16).unwrap();
+        let list = cf.connect_list("WORKQ", 8).unwrap();
+        for i in 0..20 {
+            let entry = lock.hash_resource(format!("RES{i}").as_bytes());
+            lock.request_lock(entry, LockMode::Exclusive).unwrap();
+            lock.release_lock(entry).unwrap();
+            let name = sysplex_core::cache::BlockName::from_bytes(format!("PG{i}").as_bytes());
+            cache.register_read(name, i % 16).unwrap();
+            cache.write_invalidate(name, &[7; 64], sysplex_core::cache::WriteKind::ChangedData).unwrap();
+            list.enqueue(0, i as u64, b"job", WritePosition::Tail, LockCondition::None).unwrap();
+        }
+        (plex, cf)
+    }
+
+    #[test]
+    fn report_reconciles_and_covers_all_sections() {
+        let (plex, _cf) = plex_with_traffic();
+        plex.wlm.define_class(crate::wlm::ServiceClass {
+            name: "OLTP".into(),
+            goal: Duration::from_millis(100),
+            importance: 1,
+        });
+        plex.wlm.record_completion("OLTP", Duration::from_millis(20));
+        let monitor = Monitor::for_sysplex(&plex);
+        let report = monitor.report();
+        assert!(report.reconciles(), "report must reconcile:\n{report}");
+        assert_eq!(report.structures.len(), 3);
+        assert!(report.classes.iter().any(|c| c.name == "lock-request"));
+        assert!(!report.systems.is_empty(), "tracing was on, rings have entries");
+        assert_eq!(report.wlm.len(), 1);
+        assert!(report.totals.issued > 0);
+        let text = report.to_string();
+        assert!(text.contains("C F   A C T I V I T Y"));
+        assert!(text.contains("IRLM1"));
+    }
+
+    #[test]
+    fn intervals_do_not_leak_history() {
+        let (plex, cf) = plex_with_traffic();
+        let monitor = Monitor::for_sysplex(&plex);
+        let first = monitor.report();
+        assert!(first.totals.issued > 0);
+        // No traffic between reports: the next interval is empty.
+        let second = monitor.report();
+        assert_eq!(second.totals.issued, 0, "interval deltas, not cumulative");
+        assert!(second.classes.is_empty());
+        assert!(second.reconciles());
+        // New traffic appears in (only) the following interval.
+        let lock = cf.connect_lock("IRLM1").unwrap();
+        lock.request_lock(1, LockMode::Shared).unwrap();
+        let third = monitor.report();
+        let row = third.classes.iter().find(|c| c.name == "lock-request").unwrap();
+        assert_eq!(row.issued, 1);
+        assert!(third.reconciles());
+    }
+
+    #[test]
+    fn json_has_required_schema_fields() {
+        let (plex, _cf) = plex_with_traffic();
+        let monitor = Monitor::for_sysplex(&plex);
+        let json = monitor.report().to_json();
+        for field in [
+            "\"report\": \"cf_activity\"",
+            "\"interval_ms\"",
+            "\"structures\"",
+            "\"command_classes\"",
+            "\"systems\"",
+            "\"wlm\"",
+            "\"totals\"",
+            "\"trace_emitted\"",
+            "\"reconciled\": true",
+        ] {
+            assert!(json.contains(field), "missing {field} in:\n{json}");
+        }
+        assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn monitor_interval_thread_starts_and_stops() {
+        let (plex, _cf) = plex_with_traffic();
+        let monitor = Monitor::for_sysplex(&plex);
+        monitor.start(Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(20));
+        monitor.stop();
+        // A second stop is a no-op; a report after stopping still works.
+        monitor.stop();
+        assert!(monitor.report().reconciles());
+    }
+}

@@ -28,6 +28,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use sysplex_core::facility::{CfConfig, CouplingFacility};
 use sysplex_core::link::LinkConfig;
+use sysplex_core::trace::Tracer;
 use sysplex_core::SystemId;
 use sysplex_dasd::duplex::DuplexPair;
 use sysplex_dasd::farm::DasdFarm;
@@ -103,6 +104,11 @@ pub struct Sysplex {
     pub wlm: Arc<Wlm>,
     /// Automatic Restart Manager (§2.5).
     pub arm: Arc<Arm>,
+    /// The sysplex-wide component tracer (disabled until
+    /// [`Tracer::enable`]); every CF powered on through [`Sysplex::add_cf`]
+    /// and the XCF/heartbeat services trace into it, stamped by the
+    /// Sysplex Timer.
+    pub tracer: Arc<Tracer>,
     cfs: Mutex<HashMap<String, Arc<CouplingFacility>>>,
     systems: Arc<Mutex<HashMap<SystemId, Arc<System>>>>,
 }
@@ -130,6 +136,10 @@ impl Sysplex {
         );
         let wlm = Arc::new(Wlm::new());
         let arm = Arm::new(Arc::clone(&wlm));
+        let tracer = Arc::new(Tracer::new());
+        tracer.set_clock(Arc::clone(&timer) as Arc<dyn sysplex_core::trace::TraceClock>);
+        xcf.set_tracer(Arc::clone(&tracer));
+        heartbeat.set_tracer(Arc::clone(&tracer));
         let systems: Arc<Mutex<HashMap<SystemId, Arc<System>>>> = Arc::new(Mutex::new(HashMap::new()));
 
         // Failure choreography: fence (done by the monitor) → stop the
@@ -156,6 +166,7 @@ impl Sysplex {
             heartbeat,
             wlm,
             arm,
+            tracer,
             cfs: Mutex::new(HashMap::new()),
             systems,
         })
@@ -171,14 +182,13 @@ impl Sysplex {
         &self.config
     }
 
-    /// Power on a Coupling Facility and register it.
+    /// Power on a Coupling Facility and register it. The facility shares
+    /// the sysplex-wide component tracer.
     pub fn add_cf(&self, name: &str) -> Arc<CouplingFacility> {
-        let cf = CouplingFacility::new(CfConfig {
-            name: name.to_string(),
-            link: self.config.link,
-            async_workers: 2,
-            max_structures: 64,
-        });
+        let cf = CouplingFacility::with_tracer(
+            CfConfig { name: name.to_string(), link: self.config.link, async_workers: 2, max_structures: 64 },
+            Arc::clone(&self.tracer),
+        );
         self.cfs.lock().insert(name.to_string(), Arc::clone(&cf));
         cf
     }
@@ -186,6 +196,13 @@ impl Sysplex {
     /// Look up a CF by name.
     pub fn cf(&self, name: &str) -> Option<Arc<CouplingFacility>> {
         self.cfs.lock().get(name).cloned()
+    }
+
+    /// All registered CFs, sorted by name (report order).
+    pub fn cfs(&self) -> Vec<Arc<CouplingFacility>> {
+        let mut v: Vec<_> = self.cfs.lock().values().cloned().collect();
+        v.sort_by(|a, b| a.name().cmp(b.name()));
+        v
     }
 
     /// IPL a system into the running sysplex (non-disruptive, §2.4).

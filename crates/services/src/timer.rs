@@ -71,6 +71,16 @@ impl SysplexTimer {
     }
 }
 
+/// The Sysplex Timer is the component tracer's time source: every trace
+/// entry's TOD word is a strictly monotonic, sysplex-unique reading, so
+/// entries from different systems' rings merge in causal stamp order —
+/// exactly what §3.1 promises log merges.
+impl sysplex_core::trace::TraceClock for SysplexTimer {
+    fn now_us(&self) -> u64 {
+        self.tod().0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

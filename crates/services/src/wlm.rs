@@ -208,6 +208,55 @@ impl Wlm {
     pub fn importance(&self, class: &str) -> Option<u8> {
         self.classes.lock().get(class).map(|(c, _)| c.importance)
     }
+
+    /// One report row per service class, sorted by importance then name —
+    /// the RMF workload-activity view of the installed policy.
+    pub fn class_reports(&self) -> Vec<ClassReport> {
+        let classes = self.classes.lock();
+        let mut v: Vec<ClassReport> = classes
+            .values()
+            .map(|(c, perf)| {
+                let mean_response = perf
+                    .total_response_us
+                    .checked_div(perf.completions)
+                    .map_or(Duration::ZERO, Duration::from_micros);
+                let performance_index = if perf.completions == 0 {
+                    None
+                } else {
+                    let mean_us = perf.total_response_us as f64 / perf.completions as f64;
+                    Some(mean_us / c.goal.as_micros() as f64)
+                };
+                ClassReport {
+                    name: c.name.clone(),
+                    goal: c.goal,
+                    importance: c.importance,
+                    completions: perf.completions,
+                    mean_response,
+                    performance_index,
+                }
+            })
+            .collect();
+        v.sort_by(|a, b| (a.importance, &a.name).cmp(&(b.importance, &b.name)));
+        v
+    }
+}
+
+/// A service-class row of the workload-activity report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassReport {
+    /// Class name.
+    pub name: String,
+    /// Installed response-time goal.
+    pub goal: Duration,
+    /// Importance 1 (highest) ..= 5 (lowest).
+    pub importance: u8,
+    /// Completions recorded against the class.
+    pub completions: u64,
+    /// Achieved mean response time.
+    pub mean_response: Duration,
+    /// Achieved mean / goal; `< 1.0` meets the goal. `None` until the
+    /// class sees completions.
+    pub performance_index: Option<f64>,
 }
 
 #[cfg(test)]
@@ -299,6 +348,22 @@ mod tests {
         let pi = w.performance_index("OLTP").unwrap();
         assert!((pi - 1.0).abs() < 1e-9, "mean 100ms vs goal 100ms → PI 1.0, got {pi}");
         assert_eq!(w.importance("OLTP"), Some(1));
+    }
+
+    #[test]
+    fn class_reports_sorted_by_importance() {
+        let w = Wlm::new();
+        w.define_class(ServiceClass { name: "BATCH".into(), goal: Duration::from_secs(5), importance: 3 });
+        w.define_class(ServiceClass { name: "OLTP".into(), goal: Duration::from_millis(100), importance: 1 });
+        w.record_completion("OLTP", Duration::from_millis(50));
+        let rows = w.class_reports();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "OLTP");
+        assert_eq!(rows[0].completions, 1);
+        assert!((rows[0].performance_index.unwrap() - 0.5).abs() < 1e-9);
+        assert_eq!(rows[1].name, "BATCH");
+        assert_eq!(rows[1].performance_index, None);
+        assert_eq!(rows[1].mean_response, Duration::ZERO);
     }
 
     #[test]

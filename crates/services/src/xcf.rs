@@ -12,12 +12,13 @@
 
 use crate::timer::SysplexTimer;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use sysplex_core::trace::{TraceEvent, Tracer, TRACE_SYSTEM_CF};
 use sysplex_core::SystemId;
 
 /// Errors from XCF services.
@@ -109,6 +110,9 @@ pub struct Xcf {
     next_token: AtomicU64,
     #[allow(dead_code)]
     timer: Arc<SysplexTimer>,
+    /// Component tracer signal send/deliver events land in (disabled
+    /// stand-in until the sysplex wires its shared tracer).
+    tracer: RwLock<Arc<Tracer>>,
     /// Signals delivered (for the E2/E3 messaging-cost accounting).
     pub signals_sent: AtomicU64,
 }
@@ -120,8 +124,24 @@ impl Xcf {
             groups: Mutex::new(HashMap::new()),
             next_token: AtomicU64::new(1),
             timer,
+            tracer: RwLock::new(Arc::new(Tracer::new())),
             signals_sent: AtomicU64::new(0),
         })
+    }
+
+    /// Route signal trace events to the sysplex-wide component tracer.
+    pub fn set_tracer(&self, tracer: Arc<Tracer>) {
+        *self.tracer.write() = tracer;
+    }
+
+    fn trace_signal(&self, g: &Group, from: &str, to_system: SystemId, bytes: usize) {
+        let tracer = self.tracer.read();
+        if !tracer.is_enabled() {
+            return;
+        }
+        let from_system = g.members.get(from).map_or(TRACE_SYSTEM_CF, |s| s.system.0);
+        tracer.emit(from_system, 0, TraceEvent::XcfSend { bytes: bytes as u64 });
+        tracer.emit(to_system.0, 0, TraceEvent::XcfDeliver { bytes: bytes as u64 });
     }
 
     /// Join `group` as `member` running on `system`.
@@ -168,6 +188,7 @@ impl Xcf {
         let slot = g.members.get(to).ok_or_else(|| XcfError::NoSuchMember(to.to_string()))?;
         let _ = slot.tx.send(XcfItem::Message { from: from.to_string(), payload: payload.to_vec() });
         self.signals_sent.fetch_add(1, Ordering::Relaxed);
+        self.trace_signal(g, from, slot.system, payload.len());
         Ok(())
     }
 
@@ -178,6 +199,7 @@ impl Xcf {
         for (name, slot) in g.members.iter() {
             if name != from {
                 let _ = slot.tx.send(XcfItem::Message { from: from.to_string(), payload: payload.to_vec() });
+                self.trace_signal(g, from, slot.system, payload.len());
                 n += 1;
             }
         }

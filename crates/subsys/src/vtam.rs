@@ -185,11 +185,14 @@ impl GenericResources {
                 LockCondition::None,
             ) {
                 Ok(_) => {
+                    self.conn
+                        .subchannel()
+                        .emit(sysplex_core::trace::TraceEvent::SessionPlace { target: updated.system.0 });
                     return Ok(SessionBind {
                         generic: generic.to_string(),
                         instance: updated.instance,
                         system: updated.system,
-                    })
+                    });
                 }
                 Err(CfError::VersionMismatch { .. }) | Err(CfError::NoSuchEntry) => continue,
                 Err(e) => return Err(e),

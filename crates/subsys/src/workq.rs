@@ -71,21 +71,26 @@ impl SharedQueue {
     /// Enqueue a work item at `priority` (lower runs first; FIFO within a
     /// priority).
     pub fn put(&self, priority: u64, payload: &[u8]) -> CfResult<EntryId> {
-        self.conn.enqueue(READY, priority, payload, WritePosition::Keyed, LockCondition::None)
+        let id = self.conn.enqueue(READY, priority, payload, WritePosition::Keyed, LockCondition::None)?;
+        self.conn.subchannel().emit(sysplex_core::trace::TraceEvent::WorkEnqueue { queue: READY as u64 });
+        Ok(id)
     }
 
     /// Claim the highest-priority ready item onto our in-flight list.
     pub fn take(&self) -> CfResult<Option<WorkItem>> {
-        Ok(self
-            .conn
-            .claim_first(
-                READY,
-                self.inflight_header(),
-                DequeueEnd::Head,
-                WritePosition::Tail,
-                LockCondition::None,
-            )?
-            .map(WorkItem::from))
+        let claimed = self.conn.claim_first(
+            READY,
+            self.inflight_header(),
+            DequeueEnd::Head,
+            WritePosition::Tail,
+            LockCondition::None,
+        )?;
+        if claimed.is_some() {
+            self.conn
+                .subchannel()
+                .emit(sysplex_core::trace::TraceEvent::WorkDispatch { queue: READY as u64 });
+        }
+        Ok(claimed.map(WorkItem::from))
     }
 
     /// Claim, blocking on the transition signal up to `timeout`.

@@ -31,6 +31,6 @@ pub mod metrics;
 pub mod oltp;
 pub mod zipf;
 
-pub use metrics::{Histogram, Summary};
+pub use metrics::{Histogram, HistogramSnapshot, Summary};
 pub use oltp::{OltpConfig, OltpGenerator, TxnSpec};
 pub use zipf::Zipf;

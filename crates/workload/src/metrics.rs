@@ -1,142 +1,16 @@
 //! Latency histograms and experiment summaries.
 //!
-//! Log₂-bucketed histograms: cheap to record (a leading-zeros count and an
-//! atomic add), accurate enough for the percentile shapes the experiments
-//! report.
+//! The histogram itself lives in `sysplex_core::stats` — the same log₂
+//! bucketing records CF command service times, subsystem latencies and
+//! experiment results, so reports can merge and delta them uniformly.
+//! This module re-exports it under the workload crate's historical path.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
-
-const BUCKETS: usize = 64;
-
-/// A concurrent log₂ latency histogram over nanosecond samples.
-#[derive(Debug)]
-pub struct Histogram {
-    buckets: Box<[AtomicU64]>,
-    count: AtomicU64,
-    sum_ns: AtomicU64,
-    max_ns: AtomicU64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Histogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Histogram {
-            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
-            count: AtomicU64::new(0),
-            sum_ns: AtomicU64::new(0),
-            max_ns: AtomicU64::new(0),
-        }
-    }
-
-    /// Record one sample.
-    pub fn record(&self, d: Duration) {
-        let ns = d.as_nanos().min(u128::from(u64::MAX)) as u64;
-        let bucket = 64 - ns.max(1).leading_zeros() as usize - 1;
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
-        self.max_ns.fetch_max(ns, Ordering::Relaxed);
-    }
-
-    /// Samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean sample.
-    pub fn mean(&self) -> Duration {
-        let n = self.count();
-        if n == 0 {
-            return Duration::ZERO;
-        }
-        Duration::from_nanos(self.sum_ns.load(Ordering::Relaxed) / n)
-    }
-
-    /// Largest sample.
-    pub fn max(&self) -> Duration {
-        Duration::from_nanos(self.max_ns.load(Ordering::Relaxed))
-    }
-
-    /// Approximate percentile (upper bound of the bucket containing it).
-    pub fn percentile(&self, p: f64) -> Duration {
-        let n = self.count();
-        if n == 0 {
-            return Duration::ZERO;
-        }
-        let target = ((p / 100.0) * n as f64).ceil() as u64;
-        let mut seen = 0;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= target {
-                return Duration::from_nanos(1u64 << (i + 1).min(63));
-            }
-        }
-        self.max()
-    }
-
-    /// Reset all samples.
-    pub fn reset(&self) {
-        for b in self.buckets.iter() {
-            b.store(0, Ordering::Relaxed);
-        }
-        self.count.store(0, Ordering::Relaxed);
-        self.sum_ns.store(0, Ordering::Relaxed);
-        self.max_ns.store(0, Ordering::Relaxed);
-    }
-
-    /// Snapshot for reports.
-    pub fn summary(&self, wall: Duration) -> Summary {
-        Summary {
-            count: self.count(),
-            mean: self.mean(),
-            p50: self.percentile(50.0),
-            p95: self.percentile(95.0),
-            p99: self.percentile(99.0),
-            max: self.max(),
-            throughput_per_s: if wall.is_zero() { 0.0 } else { self.count() as f64 / wall.as_secs_f64() },
-        }
-    }
-}
-
-/// Experiment-report row.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Summary {
-    /// Samples.
-    pub count: u64,
-    /// Mean latency.
-    pub mean: Duration,
-    /// Median (bucketed).
-    pub p50: Duration,
-    /// 95th percentile (bucketed).
-    pub p95: Duration,
-    /// 99th percentile (bucketed).
-    pub p99: Duration,
-    /// Largest sample.
-    pub max: Duration,
-    /// Completions per second over the measured wall time.
-    pub throughput_per_s: f64,
-}
-
-impl std::fmt::Display for Summary {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "n={} tps={:.0} mean={:?} p50={:?} p95={:?} p99={:?} max={:?}",
-            self.count, self.throughput_per_s, self.mean, self.p50, self.p95, self.p99, self.max
-        )
-    }
-}
+pub use sysplex_core::stats::{Histogram, HistogramSnapshot, Summary};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn records_and_summarises() {
@@ -179,6 +53,18 @@ mod tests {
         h.reset();
         assert_eq!(h.count(), 0);
         assert_eq!(h.max(), Duration::ZERO);
+    }
+
+    #[test]
+    fn interval_deltas_isolate_new_samples() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(100));
+        let base = h.snapshot();
+        h.record(Duration::from_micros(400));
+        h.record(Duration::from_micros(400));
+        let delta = h.snapshot().delta(&base);
+        assert_eq!(delta.samples, 2);
+        assert_eq!(h.snapshot().samples, 3);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use parallel_sysplex::cf::SystemId;
 use parallel_sysplex::services::console::Console;
+use parallel_sysplex::services::monitor::Monitor;
 use parallel_sysplex::services::sysplex::{Sysplex, SysplexConfig};
 use parallel_sysplex::services::system::SystemConfig;
 use parallel_sysplex::subsys::jes::{job_queue_params, JobQueue};
@@ -23,11 +24,16 @@ fn main() {
     cfg.heartbeat.auto_failure = false;
     cfg.heartbeat.failure_threshold = Duration::from_millis(30);
     let plex = Sysplex::new(cfg);
+    // Component trace on for the whole day, so the closing RMF-style
+    // activity report reconciles traced completions against the command
+    // accounting.
+    plex.tracer.enable();
     let cf = plex.add_cf("CF01");
     for i in 0..3u8 {
         plex.ipl(SystemConfig::cmos(SystemId::new(i), 2));
     }
     let console = Console::new(Arc::clone(&plex));
+    let monitor = Monitor::for_sysplex(&plex);
 
     // --- JES2-style shared job queue -------------------------------------
     let jes_list = cf.allocate_list_structure("JES2CKPT", job_queue_params()).unwrap();
@@ -95,5 +101,12 @@ fn main() {
 
     console.vary_offline(SystemId::new(0));
     console.vary_offline(SystemId::new(2));
+
+    // --- End-of-day RMF-style CF activity report --------------------------
+    let report = monitor.report();
+    print!("{report}");
+    assert!(report.reconciles(), "activity report reconciles");
+    std::fs::write("BENCH_operations_day.json", report.to_json()).unwrap();
+    println!("wrote BENCH_operations_day.json");
     println!("operations day complete");
 }
