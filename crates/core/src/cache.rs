@@ -62,6 +62,12 @@ impl BlockName {
     pub fn as_bytes(&self) -> &[u8; 16] {
         &self.0
     }
+
+    /// Stable 64-bit digest of the name, for trace payload words. Non-zero
+    /// for every name (0 is the "no block" sentinel in trace events).
+    pub fn digest(&self) -> u64 {
+        fnv1a64(&self.0) | 1
+    }
 }
 
 impl fmt::Debug for BlockName {
@@ -221,6 +227,13 @@ pub struct CacheStructure {
     lru_clock: AtomicU64,
     /// Published counters.
     pub stats: CacheStats,
+    /// Known-bad hook: drop the cross-invalidate signal on the floor. The
+    /// registration is still removed (the directory believes it signalled),
+    /// but the peer's validity bit is left set — a lost XI, exactly the
+    /// hardware fault the coherence protocol assumes cannot happen. Armed
+    /// only by the harness's negative oracle tests.
+    #[cfg(feature = "test-hooks")]
+    lose_xi: std::sync::atomic::AtomicBool,
 }
 
 impl fmt::Debug for CacheStructure {
@@ -255,7 +268,15 @@ impl CacheStructure {
             data_bytes: AtomicU64::new(0),
             lru_clock: AtomicU64::new(1),
             stats: CacheStats::default(),
+            #[cfg(feature = "test-hooks")]
+            lose_xi: std::sync::atomic::AtomicBool::new(false),
         })
+    }
+
+    /// Arm the lost-cross-invalidate known-bad hook (see field doc).
+    #[cfg(feature = "test-hooks")]
+    pub fn arm_lose_xi(&self) {
+        self.lose_xi.store(true, Ordering::Relaxed);
     }
 
     /// Structure name as allocated in the facility.
@@ -386,8 +407,14 @@ impl CacheStructure {
             if let Some(idx) = entry.interest[slot].take() {
                 // The cross-invalidate signal: specialised link hardware
                 // clears the bit; no interrupt, no software on the target.
-                if let Some(v) = &vectors[slot] {
-                    v.clear(idx as usize);
+                #[cfg(feature = "test-hooks")]
+                let deliver = !self.lose_xi.load(Ordering::Relaxed);
+                #[cfg(not(feature = "test-hooks"))]
+                let deliver = true;
+                if deliver {
+                    if let Some(v) = &vectors[slot] {
+                        v.clear(idx as usize);
+                    }
                 }
                 invalidated += 1;
             }

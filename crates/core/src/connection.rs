@@ -611,7 +611,11 @@ impl LockConnection {
             self.structure.request(self.id, entry, mode)
         });
         match &r {
-            Ok(LockResponse::Granted) => self.sub.emit(TraceEvent::LockGrant { entry: entry as u64 }),
+            Ok(LockResponse::Granted) => self.sub.emit(TraceEvent::LockGrant {
+                entry: entry as u64,
+                conn: self.id.raw(),
+                exclusive: mode == LockMode::Exclusive,
+            }),
             Ok(LockResponse::Contention { holders, exclusive }) => {
                 self.sub.emit(TraceEvent::LockContend {
                     entry: entry as u64,
@@ -633,9 +637,13 @@ impl LockConnection {
 
     /// Release this connection's interest in entry `entry`.
     pub fn release_lock(&self, entry: usize) -> CfResult<()> {
-        self.sub.issue_sync(CfCommand::new(CommandClass::LockRelease, LOCK_CMD_BYTES), || {
+        let r = self.sub.issue_sync(CfCommand::new(CommandClass::LockRelease, LOCK_CMD_BYTES), || {
             self.structure.release(self.id, entry)
-        })
+        });
+        if r.is_ok() {
+            self.sub.emit(TraceEvent::LockRelease { entry: entry as u64, conn: self.id.raw() });
+        }
+        r
     }
 
     /// Holders of entry `entry`: `(all interested, exclusive holder)`.
@@ -681,24 +689,38 @@ impl LockConnection {
 
     /// Declare peer recovery complete: purges `peer`'s retained state.
     pub fn recovery_complete_for(&self, peer: ConnId) -> CfResult<()> {
-        self.sub.issue_sync(CfCommand::new(CommandClass::LockAdmin, LOCK_CMD_BYTES), || {
+        let r = self.sub.issue_sync(CfCommand::new(CommandClass::LockAdmin, LOCK_CMD_BYTES), || {
             self.structure.recovery_complete(peer)
-        })
+        });
+        if r.is_ok() {
+            self.sub.emit(TraceEvent::LockRelease { entry: u64::MAX, conn: peer.raw() });
+        }
+        r
     }
 
     /// Disconnect this connection.
     pub fn detach(&self, mode: DisconnectMode) -> CfResult<()> {
-        self.sub.issue_sync(CfCommand::new(CommandClass::LockAdmin, DIR_CMD_BYTES), || {
+        let r = self.sub.issue_sync(CfCommand::new(CommandClass::LockAdmin, DIR_CMD_BYTES), || {
             self.structure.disconnect(self.id, mode)
-        })
+        });
+        // Normal disconnect purges every interest; abnormal retains it for
+        // recovery, so no release is traced until recovery completes.
+        if r.is_ok() && mode == DisconnectMode::Normal {
+            self.sub.emit(TraceEvent::LockRelease { entry: u64::MAX, conn: self.id.raw() });
+        }
+        r
     }
 
     /// Disconnect a peer's slot (surviving system marking a dead peer
     /// failed-persistent).
     pub fn detach_peer(&self, peer: ConnId, mode: DisconnectMode) -> CfResult<()> {
-        self.sub.issue_sync(CfCommand::new(CommandClass::LockAdmin, DIR_CMD_BYTES), || {
+        let r = self.sub.issue_sync(CfCommand::new(CommandClass::LockAdmin, DIR_CMD_BYTES), || {
             self.structure.disconnect(peer, mode)
-        })
+        });
+        if r.is_ok() && mode == DisconnectMode::Normal {
+            self.sub.emit(TraceEvent::LockRelease { entry: u64::MAX, conn: peer.raw() });
+        }
+        r
     }
 
     /// Structure-derived rates (observability).
@@ -766,7 +788,17 @@ impl CacheConnection {
     #[inline]
     pub fn is_valid(&self, vector_index: u32) -> bool {
         let valid = self.token.is_valid(vector_index);
-        self.sub.emit(TraceEvent::LocalVectorCheck { valid });
+        self.sub.emit(TraceEvent::LocalVectorCheck { block: 0, valid });
+        valid
+    }
+
+    /// [`CacheConnection::is_valid`] with the block name the caller maps
+    /// to `vector_index`, so the traced check names the block it guards
+    /// (the trace oracle matches it against cross-invalidates).
+    #[inline]
+    pub fn is_valid_block(&self, vector_index: u32, name: BlockName) -> bool {
+        let valid = self.token.is_valid(vector_index);
+        self.sub.emit(TraceEvent::LocalVectorCheck { block: name.digest(), valid });
         valid
     }
 
@@ -783,7 +815,7 @@ impl CacheConnection {
             self.structure.read_and_register(&self.token, name, vector_index)
         });
         if let Ok(reg) = &r {
-            self.sub.emit(TraceEvent::CacheRegister { hit: reg.data.is_some() });
+            self.sub.emit(TraceEvent::CacheRegister { block: name.digest(), hit: reg.data.is_some() });
         }
         r
     }
@@ -801,7 +833,10 @@ impl CacheConnection {
             self.sub.issue_sync(cmd, || self.structure.write_and_invalidate(&self.token, name, data, kind))
         };
         if let Ok(w) = &r {
-            self.sub.emit(TraceEvent::CrossInvalidate { invalidated: w.invalidated as u64 });
+            self.sub.emit(TraceEvent::CrossInvalidate {
+                block: name.digest(),
+                invalidated: w.invalidated as u64,
+            });
         }
         r
     }
@@ -935,8 +970,8 @@ impl ListConnection {
                 self.structure.write_entry(&self.token, header, key, data, position, cond)
             })
         };
-        if r.is_ok() {
-            self.sub.emit(TraceEvent::ListEnqueue { header: header as u64 });
+        if let Ok(id) = &r {
+            self.sub.emit(TraceEvent::ListEnqueue { header: header as u64, entry: id.0 });
         }
         r
     }
@@ -1013,7 +1048,8 @@ impl ListConnection {
             self.structure.move_first(&self.token, from, to, end, position, cond)
         });
         if let Ok(v) = &r {
-            self.sub.emit(TraceEvent::ListClaim { header: from as u64, found: v.is_some() });
+            self.sub
+                .emit(TraceEvent::ListClaim { header: from as u64, entry: v.as_ref().map_or(0, |e| e.id.0) });
         }
         r
     }
@@ -1024,7 +1060,10 @@ impl ListConnection {
             self.structure.dequeue(&self.token, header, end, cond)
         });
         if let Ok(v) = &r {
-            self.sub.emit(TraceEvent::ListClaim { header: header as u64, found: v.is_some() });
+            self.sub.emit(TraceEvent::ListClaim {
+                header: header as u64,
+                entry: v.as_ref().map_or(0, |e| e.id.0),
+            });
         }
         r
     }

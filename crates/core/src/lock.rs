@@ -30,6 +30,8 @@ use crate::stats::Counter;
 use crate::types::{ConnId, ConnMask, MAX_CONNECTORS};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+#[cfg(feature = "test-hooks")]
+use std::sync::atomic::AtomicBool;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Requested lock compatibility class.
@@ -178,6 +180,19 @@ pub struct LockStructure {
     record_count: AtomicU64,
     /// Published counters.
     pub stats: LockStats,
+    #[cfg(feature = "test-hooks")]
+    hooks: LockHooks,
+}
+
+/// Runtime-armed known-bad switches for negative oracle tests. Every hook
+/// defaults to off, so merely compiling the feature changes nothing.
+#[cfg(feature = "test-hooks")]
+#[derive(Debug, Default)]
+struct LockHooks {
+    /// Grant every request, ignoring compatibility (breaks exclusivity).
+    force_grant: AtomicBool,
+    /// `recovery_complete` frees the slot but leaks interest and records.
+    leaky_recovery: AtomicBool,
 }
 
 impl LockStructure {
@@ -196,6 +211,8 @@ impl LockStructure {
             record_capacity: params.record_capacity,
             record_count: AtomicU64::new(0),
             stats: LockStats::default(),
+            #[cfg(feature = "test-hooks")]
+            hooks: LockHooks::default(),
         })
     }
 
@@ -293,6 +310,8 @@ impl LockStructure {
                 LockMode::Shared => foreign_excl.is_none(),
                 LockMode::Exclusive => foreign_excl.is_none() && others_share == 0,
             };
+            #[cfg(feature = "test-hooks")]
+            let compatible = compatible || self.hooks.force_grant.load(Ordering::Relaxed);
             if !compatible {
                 self.stats.contentions.incr();
                 return Ok(LockResponse::Contention { holders, exclusive: foreign_excl });
@@ -489,6 +508,13 @@ impl LockStructure {
         if self.failed_persistent.load(Ordering::Acquire) & conn.mask() == 0 {
             return Err(CfError::BadConnector);
         }
+        #[cfg(feature = "test-hooks")]
+        if self.hooks.leaky_recovery.load(Ordering::Relaxed) {
+            // Known-bad: free the slot but leak the dead connector's
+            // interest and records.
+            self.failed_persistent.fetch_and(!conn.mask(), Ordering::AcqRel);
+            return Ok(());
+        }
         self.purge_conn(conn);
         self.failed_persistent.fetch_and(!conn.mask(), Ordering::AcqRel);
         Ok(())
@@ -510,6 +536,44 @@ impl LockStructure {
             }
             !per_conn.is_empty()
         });
+    }
+
+    /// Bitmask of connector slots currently attached.
+    pub fn active_mask(&self) -> ConnMask {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Bitmask of failed-persistent connector slots awaiting recovery.
+    pub fn failed_persistent_mask(&self) -> ConnMask {
+        self.failed_persistent.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of the persistent record data as `(resource, connector
+    /// raw id, mode)` triples, sorted. Recovery audits (and the harness
+    /// trace oracle) compare this against the lock-table interest.
+    pub fn records_snapshot(&self) -> Vec<(Vec<u8>, u8, LockMode)> {
+        let records = self.records.lock();
+        let mut out: Vec<(Vec<u8>, u8, LockMode)> = records
+            .iter()
+            .flat_map(|(resource, per_conn)| per_conn.iter().map(|(raw, r)| (resource.clone(), *raw, r.mode)))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Test hook: grant every subsequent request regardless of
+    /// compatibility — the exclusivity-invariant violation the trace
+    /// oracle must catch.
+    #[cfg(feature = "test-hooks")]
+    pub fn arm_force_grant(&self) {
+        self.hooks.force_grant.store(true, Ordering::Relaxed);
+    }
+
+    /// Test hook: make `recovery_complete` leak the failed connector's
+    /// interest and records while freeing its slot.
+    #[cfg(feature = "test-hooks")]
+    pub fn arm_leaky_recovery(&self) {
+        self.hooks.leaky_recovery.store(true, Ordering::Relaxed);
     }
 
     /// Derived grant/contention rates (experiment output).

@@ -85,11 +85,13 @@ pub enum TraceKind {
     WorkDispatch = 20,
     /// VTAM generic-resource session placed on a member.
     SessionPlace = 21,
+    /// Lock interest released (entry-level, or all entries on detach).
+    LockRelease = 22,
 }
 
 impl TraceKind {
     /// Number of kinds (for per-kind counters).
-    pub const COUNT: usize = 22;
+    pub const COUNT: usize = 23;
 
     /// All kinds, indexable by discriminant.
     pub const ALL: [TraceKind; TraceKind::COUNT] = [
@@ -115,6 +117,7 @@ impl TraceKind {
         TraceKind::WorkEnqueue,
         TraceKind::WorkDispatch,
         TraceKind::SessionPlace,
+        TraceKind::LockRelease,
     ];
 
     /// Short mnemonic, IPCS-style.
@@ -142,6 +145,7 @@ impl TraceKind {
             TraceKind::WorkEnqueue => "WRK-ENQ",
             TraceKind::WorkDispatch => "WRK-DISP",
             TraceKind::SessionPlace => "VTM-PLACE",
+            TraceKind::LockRelease => "LCK-REL",
         }
     }
 }
@@ -170,6 +174,10 @@ pub enum TraceEvent {
     LockGrant {
         /// Lock-table entry index.
         entry: u64,
+        /// Raw id of the granted connector.
+        conn: u8,
+        /// Whether the grant is exclusive.
+        exclusive: bool,
     },
     /// Lock request contended; the CF names the holders (paper §3.3.1).
     LockContend {
@@ -189,16 +197,22 @@ pub enum TraceEvent {
     },
     /// `read_and_register` round trip.
     CacheRegister {
+        /// Digest of the block name (see `BlockName::digest`).
+        block: u64,
         /// Whether the CF data area held a current copy.
         hit: bool,
     },
     /// Write fanned out cross-invalidate signals.
     CrossInvalidate {
+        /// Digest of the written block's name.
+        block: u64,
         /// Number of peer connectors invalidated.
         invalidated: u64,
     },
     /// Local bit-vector test (the ns-scale check that avoids the CF).
     LocalVectorCheck {
+        /// Digest of the block name the vector index maps (0 if unknown).
+        block: u64,
         /// Whether the local copy was still valid.
         valid: bool,
     },
@@ -206,6 +220,8 @@ pub enum TraceEvent {
     ListEnqueue {
         /// Header index.
         header: u64,
+        /// Entry id assigned by the structure (never reused).
+        entry: u64,
     },
     /// Empty-to-non-empty transition signal delivered.
     ListTransition {
@@ -216,8 +232,9 @@ pub enum TraceEvent {
     ListClaim {
         /// Header index.
         header: u64,
-        /// Whether an entry was claimed.
-        found: bool,
+        /// Claimed entry id (0 when nothing was claimed; real ids start
+        /// at 1 and are never reused).
+        entry: u64,
     },
     /// Buffer-manager read.
     BufRead {
@@ -280,6 +297,14 @@ pub enum TraceEvent {
         /// Raw system id of the chosen member.
         target: u8,
     },
+    /// Lock interest released.
+    LockRelease {
+        /// Lock-table entry index, or `u64::MAX` for "every entry this
+        /// connector held" (normal detach or recovery completion).
+        entry: u64,
+        /// Raw id of the releasing (or recovered) connector.
+        conn: u8,
+    },
 }
 
 impl TraceEvent {
@@ -308,6 +333,7 @@ impl TraceEvent {
             TraceEvent::WorkEnqueue { .. } => TraceKind::WorkEnqueue,
             TraceEvent::WorkDispatch { .. } => TraceKind::WorkDispatch,
             TraceEvent::SessionPlace { .. } => TraceKind::SessionPlace,
+            TraceEvent::LockRelease { .. } => TraceKind::LockRelease,
         }
     }
 
@@ -319,17 +345,23 @@ impl TraceEvent {
             TraceEvent::CmdCompleted { class, converted_async, latency_ns } => {
                 (TraceKind::CmdCompleted, class as u64 | (converted_async as u64) << 8, latency_ns)
             }
-            TraceEvent::LockGrant { entry } => (TraceKind::LockGrant, entry, 0),
+            TraceEvent::LockGrant { entry, conn, exclusive } => {
+                (TraceKind::LockGrant, entry, conn as u64 | (exclusive as u64) << 8)
+            }
             TraceEvent::LockContend { entry, holders, exclusive } => {
                 (TraceKind::LockContend, entry, holders | (exclusive as u64) << 32)
             }
             TraceEvent::LockFalseContend { entry, holders } => (TraceKind::LockFalseContend, entry, holders),
-            TraceEvent::CacheRegister { hit } => (TraceKind::CacheRegister, hit as u64, 0),
-            TraceEvent::CrossInvalidate { invalidated } => (TraceKind::CrossInvalidate, invalidated, 0),
-            TraceEvent::LocalVectorCheck { valid } => (TraceKind::LocalVectorCheck, valid as u64, 0),
-            TraceEvent::ListEnqueue { header } => (TraceKind::ListEnqueue, header, 0),
+            TraceEvent::CacheRegister { block, hit } => (TraceKind::CacheRegister, block, hit as u64),
+            TraceEvent::CrossInvalidate { block, invalidated } => {
+                (TraceKind::CrossInvalidate, block, invalidated)
+            }
+            TraceEvent::LocalVectorCheck { block, valid } => {
+                (TraceKind::LocalVectorCheck, block, valid as u64)
+            }
+            TraceEvent::ListEnqueue { header, entry } => (TraceKind::ListEnqueue, header, entry),
             TraceEvent::ListTransition { header } => (TraceKind::ListTransition, header, 0),
-            TraceEvent::ListClaim { header, found } => (TraceKind::ListClaim, header, found as u64),
+            TraceEvent::ListClaim { header, entry } => (TraceKind::ListClaim, header, entry),
             TraceEvent::BufRead { page, local_hit } => (TraceKind::BufRead, page, local_hit as u64),
             TraceEvent::BufRefresh { page, from_cf } => (TraceKind::BufRefresh, page, from_cf as u64),
             TraceEvent::BufSteal { frame, page } => (TraceKind::BufSteal, frame, page),
@@ -341,6 +373,7 @@ impl TraceEvent {
             TraceEvent::WorkEnqueue { queue } => (TraceKind::WorkEnqueue, queue, 0),
             TraceEvent::WorkDispatch { queue } => (TraceKind::WorkDispatch, queue, 0),
             TraceEvent::SessionPlace { target } => (TraceKind::SessionPlace, target as u64, 0),
+            TraceEvent::LockRelease { entry, conn } => (TraceKind::LockRelease, entry, conn as u64),
         }
     }
 
@@ -353,19 +386,19 @@ impl TraceEvent {
                 converted_async: a >> 8 & 1 == 1,
                 latency_ns: b,
             },
-            2 => TraceEvent::LockGrant { entry: a },
+            2 => TraceEvent::LockGrant { entry: a, conn: (b & 0xFF) as u8, exclusive: b >> 8 & 1 == 1 },
             3 => TraceEvent::LockContend {
                 entry: a,
                 holders: b & 0xFFFF_FFFF,
                 exclusive: (b >> 32 & 0xFF) as u8,
             },
             4 => TraceEvent::LockFalseContend { entry: a, holders: b },
-            5 => TraceEvent::CacheRegister { hit: a == 1 },
-            6 => TraceEvent::CrossInvalidate { invalidated: a },
-            7 => TraceEvent::LocalVectorCheck { valid: a == 1 },
-            8 => TraceEvent::ListEnqueue { header: a },
+            5 => TraceEvent::CacheRegister { block: a, hit: b == 1 },
+            6 => TraceEvent::CrossInvalidate { block: a, invalidated: b },
+            7 => TraceEvent::LocalVectorCheck { block: a, valid: b == 1 },
+            8 => TraceEvent::ListEnqueue { header: a, entry: b },
             9 => TraceEvent::ListTransition { header: a },
-            10 => TraceEvent::ListClaim { header: a, found: b == 1 },
+            10 => TraceEvent::ListClaim { header: a, entry: b },
             11 => TraceEvent::BufRead { page: a, local_hit: b == 1 },
             12 => TraceEvent::BufRefresh { page: a, from_cf: b == 1 },
             13 => TraceEvent::BufSteal { frame: a, page: b },
@@ -377,6 +410,7 @@ impl TraceEvent {
             19 => TraceEvent::WorkEnqueue { queue: a },
             20 => TraceEvent::WorkDispatch { queue: a },
             21 => TraceEvent::SessionPlace { target: a as u8 },
+            22 => TraceEvent::LockRelease { entry: a, conn: b as u8 },
             _ => return None,
         })
     }
@@ -507,6 +541,16 @@ impl TraceRing {
             return None; // overwritten mid-read
         }
         Some(words)
+    }
+
+    /// Test hook (harness negative tests): mark the entry at absolute
+    /// position `pos` torn, as if its writer died mid-store. `snapshot`
+    /// skips torn entries, so the ring's decoded length stops matching
+    /// `retained()` — exactly the corruption the trace oracle must detect.
+    #[cfg(feature = "test-hooks")]
+    pub fn poison(&self, pos: u64) {
+        let slot = &self.slots[(pos & self.mask) as usize];
+        slot.stamp.store(pos * 2 + 1, Ordering::Release);
     }
 
     /// Decode every resident, untorn entry, oldest first.
@@ -704,6 +748,15 @@ impl Tracer {
     pub fn active_systems(&self) -> Vec<u8> {
         (0..RINGS as u8).filter(|&s| self.emitted(s) > 0).collect()
     }
+
+    /// Test hook: poison the entry at absolute position `pos` of
+    /// `system`'s ring (see [`TraceRing::poison`]).
+    #[cfg(feature = "test-hooks")]
+    pub fn poison_slot(&self, system: u8, pos: u64) {
+        if let Some(r) = self.ring(system) {
+            r.poison(pos);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -714,7 +767,7 @@ mod tests {
     #[test]
     fn disabled_tracer_emits_nothing() {
         let t = Tracer::new();
-        t.emit(0, 0, TraceEvent::LockGrant { entry: 7 });
+        t.emit(0, 0, TraceEvent::LockGrant { entry: 7, conn: 0, exclusive: false });
         assert_eq!(t.total_emitted(), 0);
         assert_eq!(t.kind_count(TraceKind::LockGrant), 0);
     }
@@ -733,12 +786,12 @@ mod tests {
             },
             TraceEvent::LockContend { entry: 42, holders: 0b1010, exclusive: 1 },
             TraceEvent::LockFalseContend { entry: 42, holders: 0b1000 },
-            TraceEvent::CacheRegister { hit: true },
-            TraceEvent::CrossInvalidate { invalidated: 3 },
-            TraceEvent::LocalVectorCheck { valid: false },
-            TraceEvent::ListEnqueue { header: 5 },
+            TraceEvent::CacheRegister { block: 0xDEAD, hit: true },
+            TraceEvent::CrossInvalidate { block: 0xDEAD, invalidated: 3 },
+            TraceEvent::LocalVectorCheck { block: 0xDEAD, valid: false },
+            TraceEvent::ListEnqueue { header: 5, entry: 11 },
             TraceEvent::ListTransition { header: 5 },
-            TraceEvent::ListClaim { header: 5, found: true },
+            TraceEvent::ListClaim { header: 5, entry: 11 },
             TraceEvent::BufRead { page: 99, local_hit: true },
             TraceEvent::BufRefresh { page: 99, from_cf: false },
             TraceEvent::BufSteal { frame: 3, page: 99 },
@@ -750,6 +803,9 @@ mod tests {
             TraceEvent::WorkEnqueue { queue: 1 },
             TraceEvent::WorkDispatch { queue: 1 },
             TraceEvent::SessionPlace { target: 4 },
+            TraceEvent::LockGrant { entry: 42, conn: 3, exclusive: true },
+            TraceEvent::LockRelease { entry: 42, conn: 3 },
+            TraceEvent::LockRelease { entry: u64::MAX, conn: 3 },
         ];
         for e in events {
             t.emit(3, sid, e);

@@ -148,7 +148,7 @@ impl BufferManager {
             {
                 let inner = self.inner.lock();
                 if let Some(&idx) = inner.map.get(&name) {
-                    if inner.frames[idx].ready && cf.conn.is_valid(idx as u32) {
+                    if inner.frames[idx].ready && cf.conn.is_valid_block(idx as u32, name) {
                         self.stats.local_hits.incr();
                         cf.conn.subchannel().emit(TraceEvent::BufRead { page, local_hit: true });
                         return Ok(inner.frames[idx].data.clone());
@@ -351,7 +351,10 @@ impl BufferManager {
         // Attach all members first.
         let sec_conns: Vec<CacheConnection> = managers
             .iter()
-            .map(|m| CacheConnection::attach(&secondary, sub.clone(), m.frame_count))
+            // Bind each mirror connection to its member's system so the
+            // secondary's trace traffic is attributed to the writer, not
+            // to the facility ring.
+            .map(|m| CacheConnection::attach(&secondary, sub.clone().with_system(m.system), m.frame_count))
             .collect::<Result<_, _>>()?;
         // One member copies the existing changed data across (a bulk
         // rebuild copy: asynchronous on both subchannels).

@@ -167,6 +167,11 @@ impl Database {
         &self.store
     }
 
+    /// The Sysplex Timer clocking this member (wall or virtual).
+    pub fn timer(&self) -> Arc<SysplexTimer> {
+        Arc::clone(&self.timer)
+    }
+
     /// The log manager (diagnostics).
     pub fn log(&self) -> &LogManager {
         &self.log
@@ -394,7 +399,9 @@ impl Database {
                     // member retrying in phase.
                     let ceil_us = 100u64 << attempts.min(8);
                     let jitter_us = self.timer.tod().0 % ceil_us;
-                    std::thread::sleep(Duration::from_micros(jitter_us));
+                    // park_us: wall timers sleep, virtual timers advance —
+                    // the backoff stays deterministic under simulation.
+                    self.timer.park_us(jitter_us);
                 }
                 Err(e) => {
                     if !txn.complete {

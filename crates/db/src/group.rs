@@ -162,6 +162,9 @@ impl DataSharingGroup {
         let lock_conn = LockConnection::attach(&self.lock_structure(), self.subchannel().with_system(system))
             .map_err(crate::error::DbError::Cf)?;
         let irlm = Irlm::start(system, lock_conn, &self.xcf)?;
+        // Lock-wait timeouts follow the group's timer, so a virtual-timer
+        // group breaks deadlocks on simulated time.
+        irlm.set_clock(Arc::clone(&self.timer));
         let buf = BufferManager::new(
             system,
             &self.cache_structure(),

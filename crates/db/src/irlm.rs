@@ -34,12 +34,13 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use sysplex_core::connection::{CfSubchannel, LockConnection};
 use sysplex_core::lock::{DisconnectMode, LockMode, LockResponse, LockStructure, RetainedLock};
 use sysplex_core::stats::Counter;
 use sysplex_core::types::{conns_in_mask, ConnId};
 use sysplex_core::SystemId;
+use sysplex_services::timer::SysplexTimer;
 use sysplex_services::xcf::{Xcf, XcfError, XcfItem, XcfMember};
 
 /// Outcome of a single (non-waiting) lock request.
@@ -206,6 +207,10 @@ pub struct Irlm {
     service: Mutex<Option<JoinHandle<()>>>,
     /// How long a negotiation waits for a peer's verdict.
     negotiation_timeout: Duration,
+    /// Time reference for lock-wait timeouts. Defaults to a wall clock;
+    /// the deterministic harness swaps in the sysplex's virtual timer so
+    /// deadlock-breaker expiry is driven by simulated time.
+    clock: RwLock<Arc<SysplexTimer>>,
     /// Published counters.
     pub stats: Arc<IrlmStats>,
 }
@@ -239,6 +244,7 @@ impl Irlm {
             stop: Arc::new(AtomicBool::new(false)),
             service: Mutex::new(None),
             negotiation_timeout: Duration::from_secs(2),
+            clock: RwLock::new(SysplexTimer::new()),
             stats: Arc::new(IrlmStats::default()),
         });
         let service = {
@@ -265,6 +271,11 @@ impl Irlm {
     /// The lock structure currently attached.
     pub fn structure(&self) -> Arc<LockStructure> {
         Arc::clone(self.cf.read().conn.structure())
+    }
+
+    /// Clock lock-wait timeouts from `timer` (see the field doc).
+    pub fn set_clock(&self, timer: Arc<SysplexTimer>) {
+        *self.clock.write() = timer;
     }
 
     fn service_loop(&self) {
@@ -496,18 +507,24 @@ impl Irlm {
         persistent: bool,
         timeout: Duration,
     ) -> DbResult<()> {
-        let start = Instant::now();
+        let clock = Arc::clone(&self.clock.read());
+        // Measure with `elapsed()` (the raw time source), not `tod()`: the
+        // TOD uniqueness bump inflates under concurrent readers, which would
+        // shrink every waiter's timeout exactly when contention is worst.
+        let start = clock.elapsed();
         loop {
             match self.lock(txn, resource, mode, persistent)? {
                 LockOutcome::Granted => return Ok(()),
                 LockOutcome::Busy => {
-                    if start.elapsed() >= timeout {
-                        return Err(DbError::LockTimeout {
-                            resource: resource.to_vec(),
-                            waited: start.elapsed(),
-                        });
+                    let waited = clock.elapsed().saturating_sub(start);
+                    if waited >= timeout {
+                        return Err(DbError::LockTimeout { resource: resource.to_vec(), waited });
                     }
-                    std::thread::yield_now();
+                    // Wall clock: pure yield, exactly the old busy-wait.
+                    // Virtual clock: each retry burns 1ms of simulated time,
+                    // so the deadlock breaker fires after a bounded number of
+                    // deterministic iterations.
+                    clock.park_us(if clock.is_virtual() { 1_000 } else { 0 });
                 }
             }
         }
@@ -550,7 +567,7 @@ impl Irlm {
 
     /// Release everything `txn` holds (commit/abort).
     pub fn unlock_all(&self, txn: u64) -> DbResult<()> {
-        let resources: Vec<Vec<u8>> = {
+        let mut resources: Vec<Vec<u8>> = {
             let local = self.local.lock();
             local
                 .resources
@@ -559,6 +576,10 @@ impl Irlm {
                 .map(|(r, _)| r.clone())
                 .collect()
         };
+        // Release in resource order, not HashMap order: the CF release
+        // sequence is trace-visible, and replayable simulation runs must
+        // produce it identically.
+        resources.sort();
         for r in resources {
             self.unlock(txn, &r)?;
         }
@@ -633,13 +654,25 @@ impl Irlm {
             }
         }
         for (member, guard) in members.iter().zip(guards.iter_mut()) {
-            let sec = LockConnection::attach_slot(&secondary, sub.clone(), guard.conn.conn_id())?;
+            let sec = LockConnection::attach_slot(
+                &secondary,
+                sub.clone().with_system(member.system),
+                guard.conn.conn_id(),
+            )?;
             let local = member.local.lock();
-            for (resource, rh) in &local.resources {
+            // Copy interest in sorted resource order: the mirror writes go
+            // through the traced command layer, so replayed runs must issue
+            // them in the same sequence.
+            let mut resources: Vec<&Vec<u8>> = local.resources.keys().collect();
+            resources.sort();
+            for resource in resources {
+                let rh = &local.resources[resource.as_slice()];
                 let Some(mode) = rh.strongest() else { continue };
                 let entry = sec.hash_resource(resource);
                 sec.force_interest(entry, mode)?;
-                for (txn, h) in &rh.holders {
+                let mut txns: Vec<_> = rh.holders.iter().collect();
+                txns.sort_by_key(|(t, _)| **t);
+                for (txn, h) in txns {
                     if h.persistent {
                         sec.write_lock_record(resource, h.mode, &txn.to_be_bytes())?;
                     }
@@ -683,12 +716,19 @@ impl Irlm {
             let new_conn = LockConnection::attach_slot(&new, sub.clone(), guard.conn.conn_id())?;
             let mut local = member.local.lock();
             let mut new_entries: HashMap<usize, EntryInterest> = HashMap::new();
-            for (resource, rh) in &local.resources {
+            // Repopulate in sorted order so the new structure's command
+            // stream (and record layout) is identical on every replay.
+            let mut resources: Vec<&Vec<u8>> = local.resources.keys().collect();
+            resources.sort();
+            for resource in resources {
+                let rh = &local.resources[resource.as_slice()];
                 let Some(mode) = rh.strongest() else { continue };
                 let entry = new_conn.hash_resource(resource);
                 new_conn.force_interest(entry, mode)?;
                 new_entries.entry(entry).or_insert(EntryInterest { count: 0 }).count += 1;
-                for (txn, h) in &rh.holders {
+                let mut txns: Vec<(&u64, &Holder)> = rh.holders.iter().collect();
+                txns.sort_by_key(|(t, _)| **t);
+                for (txn, h) in txns {
                     if h.persistent {
                         new_conn.write_lock_record(resource, h.mode, &txn.to_be_bytes())?;
                     }

@@ -27,7 +27,7 @@ use crate::error::{DbError, DbResult};
 use crate::irlm::LockOutcome;
 use crate::log::{LogManager, LogRecord};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use sysplex_core::cache::CacheStructure;
 use sysplex_core::lock::LockMode;
 use sysplex_core::{CfError, ConnId};
@@ -139,18 +139,21 @@ fn lock_recover_wait(
     recovering: ConnId,
     timeout: Duration,
 ) -> DbResult<()> {
-    let start = Instant::now();
+    // Clocked by the survivor's Sysplex Timer so the recovery deadlock
+    // breaker works under both wall and simulated (virtual) time. Measured
+    // with `elapsed()` (raw source) — the TOD uniqueness bump inflates
+    // under concurrent readers.
+    let clock = survivor.timer();
+    let start = clock.elapsed();
     loop {
         match survivor.irlm().lock_recover(txn, resource, LockMode::Exclusive, recovering)? {
             LockOutcome::Granted => return Ok(()),
             LockOutcome::Busy => {
-                if start.elapsed() >= timeout {
-                    return Err(DbError::LockTimeout {
-                        resource: resource.to_vec(),
-                        waited: start.elapsed(),
-                    });
+                let waited = clock.elapsed().saturating_sub(start);
+                if waited >= timeout {
+                    return Err(DbError::LockTimeout { resource: resource.to_vec(), waited });
                 }
-                std::thread::yield_now();
+                clock.park_us(if clock.is_virtual() { 1_000 } else { 0 });
             }
         }
     }

@@ -1,0 +1,517 @@
+//! The deterministic campaign driver.
+//!
+//! A campaign builds a whole sysplex — Sysplex Timer, CFs, couple data
+//! sets, heartbeat monitor, a data-sharing group, and a shared work queue
+//! — on a **virtual** clock, then runs a seeded workload from a single
+//! driver thread. Each scheduler step advances virtual time by 1 ms,
+//! pulses the heartbeats of every live (non-stalled) system, applies any
+//! faults the [`FaultPlan`] schedules for that step, and runs one
+//! PRNG-chosen workload action. Because the driver is the only thread
+//! initiating operations (CF commands — including async-converted ones —
+//! complete before returning to the caller) and every timeout is measured
+//! against the virtual timer, two runs with the same seed produce the
+//! same merged trace, event for event.
+//!
+//! Failure choreography inside a campaign is the paper's: a stalled
+//! system misses heartbeats, crosses the SFM failure threshold, is
+//! fenced; the driver then crashes its data-sharing member and has the
+//! lowest-numbered survivor run peer recovery and requeue the dead
+//! consumer's claimed work. Structure loss triggers a rebuild into a
+//! fresh CF (or a duplex failover), and a CDS primary failure
+//! hot-switches the couple-data-set pair.
+
+use crate::oracle::{self, OracleConfig, Violation};
+use crate::plan::{Fault, FaultPlan};
+use crate::rng::SplitMix64;
+use std::sync::Arc;
+use std::time::Duration;
+use sysplex_core::connection::LinkFault;
+use sysplex_core::trace::{TraceEvent, TraceRecord};
+use sysplex_core::{ConnId, SystemId};
+use sysplex_dasd::volume::{IoModel, Volume};
+use sysplex_db::database::{Database, Txn};
+use sysplex_db::group::{DataSharingGroup, GroupConfig};
+use sysplex_services::heartbeat::HeartbeatConfig;
+use sysplex_services::sysplex::{Sysplex, SysplexConfig};
+use sysplex_services::system::SystemConfig;
+use sysplex_services::timer::SysplexTimer;
+use sysplex_subsys::workq::{queue_params, SharedQueue};
+
+/// Scheduler step length in virtual microseconds.
+const STEP_US: u64 = 1_000;
+/// Heartbeat sweep cadence, in steps.
+const SWEEP_EVERY: u64 = 3;
+/// SFM failure threshold, in steps. Stalls well past this fence; stalls
+/// well short of it must not. Single workload actions may burn tens of
+/// virtual milliseconds in lock-wait parking, so the threshold leaves
+/// ample slack above the worst single action.
+pub const FENCE_THRESHOLD_STEPS: u64 = 60;
+/// Record keys the workload hammers.
+const KEYS: u64 = 16;
+
+/// A fully-specified campaign: everything needed to reproduce a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignSpec {
+    /// Campaign name (test / report labelling).
+    pub name: String,
+    /// Seed driving every scheduling decision.
+    pub seed: u64,
+    /// Number of systems IPLed into the sysplex.
+    pub members: u8,
+    /// Scheduler steps to run.
+    pub steps: u64,
+    /// Scheduled faults.
+    pub plan: FaultPlan,
+    /// Enable CF structure duplexing at start (structure loss then
+    /// exercises failover instead of rebuild).
+    pub duplex: bool,
+}
+
+impl CampaignSpec {
+    /// Derive a whole campaign — topology, duplexing, fault schedule —
+    /// from a single seed. This is the replayable unit: publishing the
+    /// seed publishes the campaign.
+    pub fn from_seed(seed: u64) -> CampaignSpec {
+        let mut rng = SplitMix64::new(seed);
+        let members = 2 + rng.below(3) as u8;
+        let steps = 400;
+        let duplex = rng.chance(1, 4);
+        let plan = FaultPlan::random(&mut rng, steps, members);
+        CampaignSpec { name: format!("seed-{seed:#x}"), seed, members, steps, plan, duplex }
+    }
+
+    /// A fault-free baseline campaign.
+    pub fn baseline(seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            name: format!("baseline-{seed:#x}"),
+            seed,
+            members: 3,
+            steps: 300,
+            plan: FaultPlan::new(),
+            duplex: false,
+        }
+    }
+
+    /// One-line reproduction recipe for a failing campaign.
+    pub fn repro(&self) -> String {
+        format!(
+            "CampaignSpec {{ name: {:?}.into(), seed: {:#x}, members: {}, steps: {}, plan: {}, \
+             duplex: {} }}.run()",
+            self.name, self.seed, self.members, self.steps, self.plan, self.duplex
+        )
+    }
+
+    /// Run the campaign to completion and check every oracle invariant.
+    pub fn run(&self) -> CampaignOutcome {
+        Driver::new(self).run()
+    }
+}
+
+/// Counts of what a campaign actually exercised.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignStats {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted transactions (lock timeouts, injected faults).
+    pub aborts: u64,
+    /// Work items enqueued.
+    pub enqueues: u64,
+    /// Work items claimed.
+    pub claims: u64,
+    /// Systems fenced by the heartbeat monitor.
+    pub fences: u64,
+    /// Peer recoveries completed.
+    pub recoveries: u64,
+    /// Structure rebuilds into a fresh CF.
+    pub rebuilds: u64,
+    /// Duplex failovers.
+    pub failovers: u64,
+    /// Couple-data-set hot switches.
+    pub cds_switches: u64,
+    /// Faults actually applied.
+    pub faults_applied: u64,
+}
+
+/// Everything a campaign run produced.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// The spec that ran (for repro printing).
+    pub spec: CampaignSpec,
+    /// Oracle violations (empty = the run upheld every invariant).
+    pub violations: Vec<Violation>,
+    /// The causally-ordered merged trace.
+    pub records: Vec<TraceRecord>,
+    /// Digest of the canonical trace (see [`CampaignOutcome::canonical_lines`]).
+    pub digest: u64,
+    /// Activity counters.
+    pub stats: CampaignStats,
+}
+
+impl CampaignOutcome {
+    /// True when no invariant was violated.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The canonical (replay-comparable) rendering of the merged trace:
+    /// one line per record, with the single wall-clock-dependent payload
+    /// (`CmdCompleted::latency_ns`) masked so bit-for-bit comparison is
+    /// meaningful across runs.
+    pub fn canonical_lines(&self) -> Vec<String> {
+        self.records.iter().map(canonical_line).collect()
+    }
+}
+
+fn canonical_line(r: &TraceRecord) -> String {
+    let event = match r.event {
+        TraceEvent::CmdCompleted { class, converted_async, .. } => {
+            TraceEvent::CmdCompleted { class, converted_async, latency_ns: 0 }
+        }
+        e => e,
+    };
+    format!("seq={} tod={} sys={} structure={} {:?}", r.seq, r.tod_us, r.system, r.structure, event)
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+struct Member {
+    id: SystemId,
+    db: Arc<Database>,
+    queue: SharedQueue,
+    queue_slot: ConnId,
+    live: bool,
+    /// Steps of stall remaining (0 = pulsing normally).
+    stalled_for: u32,
+    /// Transaction deliberately left open across a stall, so a fence
+    /// leaves retained locks for peer recovery to release.
+    open_txn: Option<Txn>,
+}
+
+struct Driver<'a> {
+    spec: &'a CampaignSpec,
+    timer: Arc<SysplexTimer>,
+    plex: Arc<Sysplex>,
+    group: Arc<DataSharingGroup>,
+    members: Vec<Member>,
+    rng: SplitMix64,
+    stats: CampaignStats,
+    /// Monotonic name counter for replacement CFs / CDS volumes.
+    next_name: u32,
+}
+
+impl<'a> Driver<'a> {
+    fn new(spec: &'a CampaignSpec) -> Driver<'a> {
+        assert!(spec.members >= 2, "campaigns need at least two systems");
+        let timer = SysplexTimer::new_virtual();
+        let mut config = SysplexConfig::functional("HARNESS");
+        config.heartbeat = HeartbeatConfig {
+            interval: Duration::from_micros(2 * STEP_US),
+            failure_threshold: Duration::from_micros(FENCE_THRESHOLD_STEPS * STEP_US),
+            auto_failure: true,
+        };
+        let plex = Sysplex::with_timer(config, Arc::clone(&timer));
+        plex.tracer.enable_with_capacity(1 << 15);
+        let cf = plex.add_cf("CF01");
+
+        let mut gc = GroupConfig::default();
+        // Short deadlock-breaker: a blocked transaction burns bounded
+        // virtual time (1 ms per retry) before timing out.
+        gc.db.lock_timeout = Duration::from_millis(5);
+        let group = DataSharingGroup::new(gc, &cf, plex.farm.clone(), plex.timer.clone(), plex.xcf.clone())
+            .expect("group allocation");
+        let queue_list =
+            cf.allocate_list_structure("HARNESS_WORKQ", queue_params()).expect("work queue allocation");
+
+        let mut members = Vec::new();
+        for i in 0..spec.members {
+            let id = SystemId::new(i);
+            plex.ipl(SystemConfig::cmos(id, 1));
+            let db = group.add_member(id).expect("member join");
+            let queue =
+                SharedQueue::open(&queue_list, cf.subchannel().with_system(id)).expect("queue attach");
+            let queue_slot = queue.slot();
+            members.push(Member { id, db, queue, queue_slot, live: true, stalled_for: 0, open_txn: None });
+        }
+        if spec.duplex {
+            let cf2 = plex.add_cf("CF02");
+            group.enable_duplexing(&cf2).expect("duplex establish");
+        }
+        Driver {
+            spec,
+            timer,
+            plex,
+            group,
+            members,
+            rng: SplitMix64::new(spec.seed ^ 0xA5A5_A5A5_5A5A_5A5A),
+            stats: CampaignStats::default(),
+            next_name: 3,
+        }
+    }
+
+    fn run(mut self) -> CampaignOutcome {
+        for step in 0..self.spec.steps {
+            self.timer.advance(Duration::from_micros(STEP_US));
+            let faults: Vec<Fault> = self.spec.plan.at_step(step).collect();
+            for fault in faults {
+                self.apply_fault(fault);
+            }
+            self.pulse();
+            if step % SWEEP_EVERY == 0 {
+                self.sweep();
+            }
+            self.workload_action();
+        }
+        self.wind_down();
+        self.verdict()
+    }
+
+    // ----- per-step machinery -----
+
+    /// Heartbeat every live, non-stalled system; tick stall counters and
+    /// commit the held-open transaction of a stall that ends short of the
+    /// failure threshold (a near-miss: the system resumes unharmed).
+    fn pulse(&mut self) {
+        for m in &mut self.members {
+            if !m.live {
+                continue;
+            }
+            if m.stalled_for > 0 {
+                m.stalled_for -= 1;
+                if m.stalled_for == 0 {
+                    if let Some(mut txn) = m.open_txn.take() {
+                        match m.db.commit(&mut txn) {
+                            Ok(()) => self.stats.commits += 1,
+                            Err(_) => self.stats.aborts += 1,
+                        }
+                    }
+                }
+                continue;
+            }
+            let _ = self.plex.heartbeat.pulse(m.id);
+        }
+    }
+
+    /// One SFM sweep; newly fenced systems get the full §2.5 treatment:
+    /// crash the member, peer-recover its retained locks on the lowest
+    /// live survivor, requeue its claimed work items.
+    fn sweep(&mut self) {
+        for id in self.plex.heartbeat.check_once() {
+            self.stats.fences += 1;
+            let Some(idx) = self.members.iter().position(|m| m.id == id) else { continue };
+            self.members[idx].live = false;
+            self.members[idx].stalled_for = 0;
+            // The open transaction dies with the system; its locks are now
+            // retained in the CF.
+            drop(self.members[idx].open_txn.take());
+            let dead_slot = self.members[idx].queue_slot;
+            let failed = self.group.crash_member(id);
+            let Some(survivor) = self.members.iter().find(|m| m.live) else { continue };
+            if let Some(failed) = failed {
+                if self.group.recover_on(survivor.id, &failed).is_ok() {
+                    self.stats.recoveries += 1;
+                }
+            }
+            let _ = survivor.queue.requeue_orphans(dead_slot);
+        }
+    }
+
+    fn apply_fault(&mut self, fault: Fault) {
+        match fault {
+            Fault::LinkDelayUs(us) => {
+                if let Some(cf) = self.plex.cf("CF01") {
+                    cf.inject_fault(LinkFault::Delay(Duration::from_micros(us)));
+                    self.stats.faults_applied += 1;
+                }
+            }
+            Fault::LinkTimeout => {
+                if let Some(cf) = self.plex.cf("CF01") {
+                    cf.inject_fault(LinkFault::Timeout);
+                    self.stats.faults_applied += 1;
+                }
+            }
+            Fault::InterfaceControlCheck => {
+                if let Some(cf) = self.plex.cf("CF01") {
+                    cf.inject_fault(LinkFault::InterfaceControlCheck);
+                    self.stats.faults_applied += 1;
+                }
+            }
+            Fault::SystemStall { system, steps } => {
+                let live_unstalled = self.members.iter().filter(|m| m.live && m.stalled_for == 0).count();
+                if let Some(m) =
+                    self.members.iter_mut().find(|m| m.id.0 == system && m.live && m.stalled_for == 0)
+                {
+                    // Never stall the last two healthy systems: recovery
+                    // needs a coordinator and the workload needs a member.
+                    if live_unstalled <= 2 {
+                        return;
+                    }
+                    // Leave a transaction open across the stall so a fence
+                    // retains locks for peer recovery to clean up.
+                    let mut txn = m.db.begin();
+                    let key = 1_000 + system as u64;
+                    if m.db.write(&mut txn, key, Some(b"stall-holdout")).is_ok() {
+                        m.open_txn = Some(txn);
+                    } else {
+                        let _ = m.db.abort(&mut txn);
+                    }
+                    m.stalled_for = steps;
+                    self.stats.faults_applied += 1;
+                }
+            }
+            Fault::StructureLoss => {
+                if self.group.is_duplexed() {
+                    if self.group.cf_failover().is_ok() {
+                        self.stats.failovers += 1;
+                        self.stats.faults_applied += 1;
+                    }
+                } else {
+                    let name = format!("CF{:02}", self.next_name);
+                    self.next_name += 1;
+                    let fresh = self.plex.add_cf(&name);
+                    if self.group.rebuild_into(&fresh).is_ok() {
+                        self.stats.rebuilds += 1;
+                        self.stats.faults_applied += 1;
+                    }
+                }
+            }
+            Fault::CdsPrimaryFailure => {
+                if self.plex.cds.pair().hot_switch().is_ok() {
+                    self.stats.cds_switches += 1;
+                    self.stats.faults_applied += 1;
+                    let name = format!("CDS{:02}", self.next_name);
+                    self.next_name += 1;
+                    let fresh = Arc::new(Volume::new(&name, 1024, IoModel::instant()));
+                    let _ = self.plex.cds.pair().replace_alternate(fresh);
+                }
+            }
+        }
+    }
+
+    /// One PRNG-chosen workload action on a PRNG-chosen healthy member.
+    fn workload_action(&mut self) {
+        let healthy: Vec<usize> = (0..self.members.len())
+            .filter(|&i| self.members[i].live && self.members[i].stalled_for == 0)
+            .collect();
+        if healthy.is_empty() {
+            return;
+        }
+        let m = healthy[self.rng.below(healthy.len() as u64) as usize];
+        let action = self.rng.below(100);
+        match action {
+            // Update transaction: 1-2 writes, then commit.
+            0..=44 => {
+                let key = self.rng.below(KEYS);
+                let value = self.rng.next_u64().to_be_bytes();
+                let db = Arc::clone(&self.members[m].db);
+                let mut txn = db.begin();
+                let mut ok = db.write(&mut txn, key, Some(&value)).is_ok();
+                if ok && self.rng.chance(1, 3) {
+                    let key2 = self.rng.below(KEYS);
+                    ok = db.write(&mut txn, key2, Some(&value)).is_ok();
+                }
+                if !ok {
+                    // The failed write left the txn open; abort releases
+                    // its locks. A failed commit cleans up after itself.
+                    let _ = db.abort(&mut txn);
+                    self.stats.aborts += 1;
+                } else if db.commit(&mut txn).is_ok() {
+                    self.stats.commits += 1;
+                } else {
+                    self.stats.aborts += 1;
+                }
+            }
+            // Read transaction.
+            45..=59 => {
+                let key = self.rng.below(KEYS);
+                let db = Arc::clone(&self.members[m].db);
+                let mut txn = db.begin();
+                if db.read(&mut txn, key).is_err() {
+                    let _ = db.abort(&mut txn);
+                    self.stats.aborts += 1;
+                } else if db.commit(&mut txn).is_ok() {
+                    self.stats.commits += 1;
+                } else {
+                    self.stats.aborts += 1;
+                }
+            }
+            // Enqueue a work item.
+            60..=71 => {
+                let priority = self.rng.below(8);
+                let payload = self.rng.next_u64().to_be_bytes();
+                if self.members[m].queue.put(priority, &payload).is_ok() {
+                    self.stats.enqueues += 1;
+                }
+            }
+            // Claim (and immediately complete) a work item.
+            72..=83 => {
+                if let Ok(Some(item)) = self.members[m].queue.take() {
+                    self.stats.claims += 1;
+                    let _ = self.members[m].queue.complete(&item);
+                }
+            }
+            // Castout sweep.
+            84..=89 => {
+                let _ = self.members[m].db.buffers().castout(8);
+            }
+            // Idle step.
+            _ => {}
+        }
+    }
+
+    /// Quiesce: end open transactions, run a final sweep, drain the work
+    /// queue, cast out, and let the structures settle for the oracle.
+    fn wind_down(&mut self) {
+        // Let any in-progress stall either expire or cross the threshold.
+        for _ in 0..(FENCE_THRESHOLD_STEPS + 2 * SWEEP_EVERY) {
+            self.timer.advance(Duration::from_micros(STEP_US));
+            self.pulse();
+            self.sweep();
+        }
+        for m in &mut self.members {
+            if let Some(mut txn) = m.open_txn.take() {
+                if m.live {
+                    match m.db.commit(&mut txn) {
+                        Ok(()) => self.stats.commits += 1,
+                        Err(_) => self.stats.aborts += 1,
+                    }
+                }
+            }
+        }
+        // Drain ready work so every enqueued entry ends up claimed.
+        if let Some(coordinator) = self.members.iter().find(|m| m.live) {
+            while let Ok(Some(item)) = coordinator.queue.take() {
+                self.stats.claims += 1;
+                let _ = coordinator.queue.complete(&item);
+            }
+            let _ = coordinator.db.buffers().castout(usize::MAX >> 1);
+        }
+    }
+
+    fn verdict(self) -> CampaignOutcome {
+        let records = self.plex.tracer.snapshot_all();
+        let mut violations =
+            oracle::check_trace(&records, OracleConfig { ready_header: 0, expect_drained: true });
+        violations.extend(oracle::check_rings(&self.plex.tracer));
+        violations.extend(oracle::check_lock_structure(&self.group.lock_structure()));
+        let mut digest_input = Vec::new();
+        for r in &records {
+            digest_input.extend_from_slice(canonical_line(r).as_bytes());
+            digest_input.push(b'\n');
+        }
+        let digest = fnv1a64(&digest_input);
+        // Planned teardown keeps Drop-order sanitizers happy.
+        for m in &self.members {
+            if m.live {
+                self.plex.remove_planned(m.id);
+            }
+        }
+        CampaignOutcome { spec: self.spec.clone(), violations, records, digest, stats: self.stats }
+    }
+}

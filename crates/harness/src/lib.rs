@@ -1,0 +1,39 @@
+//! Deterministic sysplex simulation harness.
+//!
+//! The paper's availability claims — fail-stop fencing on missed
+//! heartbeats, peer recovery of retained locks, structure rebuild,
+//! couple-data-set duplexing — are exercised elsewhere by integration
+//! tests with hand-picked schedules. This crate generalizes them into
+//! **seeded fault campaigns**: a virtual Sysplex Timer replaces wall
+//! clocks, a SplitMix64-driven scheduler replaces thread timing, and a
+//! trace oracle replaces per-test assertions. One `u64` seed fully
+//! determines a campaign; a failing seed replays bit-for-bit and its
+//! fault plan shrinks to a minimal copy-pasteable repro.
+//!
+//! The pieces:
+//!
+//! * [`rng::SplitMix64`] — the seeded decision stream.
+//! * [`plan::FaultPlan`] — the fault-schedule DSL (link faults, system
+//!   stalls, structure loss, CDS primary failure).
+//! * [`campaign::CampaignSpec`] — builds a virtual-clock sysplex and runs
+//!   the seeded workload/fault schedule from a single driver thread.
+//! * [`oracle`] — five machine-verified invariants over the merged trace
+//!   and final structure state.
+//! * [`shrink`] — greedy fault-plan minimization and the
+//!   [`shrink::run_checked`] test entry point.
+//!
+//! Replaying a CI failure: the panic message names the seed; run
+//! `CampaignSpec::from_seed(seed).run()` (or paste the printed minimized
+//! spec) in any test and the identical trace comes back.
+
+pub mod campaign;
+pub mod oracle;
+pub mod plan;
+pub mod rng;
+pub mod shrink;
+
+pub use campaign::{CampaignOutcome, CampaignSpec, CampaignStats};
+pub use oracle::{OracleConfig, Violation};
+pub use plan::{Fault, FaultPlan};
+pub use rng::SplitMix64;
+pub use shrink::{run_checked, shrink as shrink_plan, ShrunkFailure};

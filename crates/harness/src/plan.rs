@@ -1,0 +1,198 @@
+//! Fault-plan DSL.
+//!
+//! A [`FaultPlan`] is the complete list of scheduled misfortunes a
+//! campaign will inflict, each pinned to a scheduler step. Plans compose
+//! the existing coupling-link fault hook
+//! ([`sysplex_core::connection::LinkFault`]) with the three sysplex-level
+//! injection points the paper's recovery story revolves around:
+//!
+//! * **System stall** — a system stops pulsing its couple-data-set status
+//!   record. Past the SFM failure threshold the heartbeat monitor fences
+//!   it (§3.2), the campaign crashes its data-sharing member, and a peer
+//!   recovers its retained locks (§2.5).
+//! * **Structure loss** — the group's CF structures are lost and rebuilt
+//!   into a fresh facility (§3.3 "Multiple CF's can be connected for
+//!   availability"), or, if duplexing is active, failed over.
+//! * **CDS primary failure** — the primary couple data set volume dies and
+//!   the duplexed pair hot-switches to the alternate.
+//!
+//! Plans print as copy-pasteable Rust (see [`FaultPlan::fmt`]) so a
+//! failing campaign's minimized schedule can be pasted straight into a
+//! regression test.
+
+use crate::rng::SplitMix64;
+
+/// One scheduled misfortune.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Delay the next CF command by the given number of microseconds.
+    LinkDelayUs(u64),
+    /// Time out the next CF command (command-quiesce path).
+    LinkTimeout,
+    /// Interface-control check on the next CF command.
+    InterfaceControlCheck,
+    /// `system` stops heartbeating for `steps` scheduler steps. Long
+    /// stalls cross the SFM failure threshold and end in a fence; short
+    /// ones are near-misses that must NOT fence.
+    SystemStall {
+        /// Raw system id of the victim.
+        system: u8,
+        /// Stall length in scheduler steps.
+        steps: u32,
+    },
+    /// Lose the group's CF structures: rebuild into a fresh CF, or fail
+    /// over to the duplexed secondary when duplexing is active.
+    StructureLoss,
+    /// Kill the primary couple data set; the pair hot-switches.
+    CdsPrimaryFailure,
+}
+
+/// An ordered schedule of `(step, fault)` pairs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<(u64, Fault)>,
+}
+
+impl FaultPlan {
+    /// The empty plan (fault-free campaign).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Builder: schedule `fault` at `step`.
+    pub fn at(mut self, step: u64, fault: Fault) -> Self {
+        self.faults.push((step, fault));
+        self.faults.sort_by_key(|(s, _)| *s);
+        self
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The raw schedule, ordered by step.
+    pub fn faults(&self) -> &[(u64, Fault)] {
+        &self.faults
+    }
+
+    /// Faults scheduled at exactly `step`, in insertion order.
+    pub fn at_step(&self, step: u64) -> impl Iterator<Item = Fault> + '_ {
+        self.faults.iter().filter(move |(s, _)| *s == step).map(|(_, f)| f).copied()
+    }
+
+    /// The plan with the fault at `index` removed (shrinking).
+    pub fn without(&self, index: usize) -> FaultPlan {
+        let mut faults = self.faults.clone();
+        faults.remove(index);
+        FaultPlan { faults }
+    }
+
+    /// Derive a random plan from `rng` for a campaign of `steps` steps
+    /// over `members` systems. The mix skews toward the interesting
+    /// faults: one likely fatal stall, some near-miss stalls, link noise,
+    /// and the occasional structure/CDS loss. System 0 is never stalled —
+    /// the campaign always keeps a recovery coordinator alive.
+    pub fn random(rng: &mut SplitMix64, steps: u64, members: u8) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        let span = steps.max(2);
+        // Link noise: 0-3 transient faults.
+        for _ in 0..rng.below(4) {
+            let fault = match rng.below(3) {
+                0 => Fault::LinkDelayUs(50 + rng.below(500)),
+                1 => Fault::LinkTimeout,
+                _ => Fault::InterfaceControlCheck,
+            };
+            plan = plan.at(rng.below(span), fault);
+        }
+        // Stalls: up to members-1 victims, fatal (past threshold) or
+        // near-miss, scheduled early enough that the fence and recovery
+        // play out inside the campaign.
+        if members > 1 {
+            for _ in 0..rng.below(members as u64) {
+                let system = 1 + rng.below(members as u64 - 1) as u8;
+                let fatal = rng.chance(1, 2);
+                // Fatal stalls land well past the campaign's fence
+                // threshold (60 steps); near-misses stay well short of it.
+                let stall_steps = if fatal { 90 + rng.below(60) as u32 } else { 1 + rng.below(12) as u32 };
+                plan =
+                    plan.at(rng.below(span * 2 / 3 + 1), Fault::SystemStall { system, steps: stall_steps });
+            }
+        }
+        if rng.chance(1, 3) {
+            plan = plan.at(rng.below(span), Fault::StructureLoss);
+        }
+        if rng.chance(1, 3) {
+            plan = plan.at(rng.below(span), Fault::CdsPrimaryFailure);
+        }
+        plan
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    /// Copy-pasteable builder chain: `FaultPlan::new().at(12,
+    /// Fault::SystemStall { system: 1, steps: 44 })...`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FaultPlan::new()")?;
+        for (step, fault) in &self.faults {
+            write!(f, ".at({step}, Fault::{fault:?})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_orders_by_step() {
+        let p = FaultPlan::new()
+            .at(30, Fault::LinkTimeout)
+            .at(5, Fault::CdsPrimaryFailure)
+            .at(12, Fault::StructureLoss);
+        let steps: Vec<u64> = p.faults().iter().map(|(s, _)| *s).collect();
+        assert_eq!(steps, vec![5, 12, 30]);
+    }
+
+    #[test]
+    fn at_step_filters() {
+        let p = FaultPlan::new().at(3, Fault::LinkTimeout).at(3, Fault::InterfaceControlCheck);
+        assert_eq!(p.at_step(3).count(), 2);
+        assert_eq!(p.at_step(4).count(), 0);
+    }
+
+    #[test]
+    fn display_is_copy_pasteable_builder_syntax() {
+        let p = FaultPlan::new().at(12, Fault::SystemStall { system: 1, steps: 44 });
+        assert_eq!(p.to_string(), "FaultPlan::new().at(12, Fault::SystemStall { system: 1, steps: 44 })");
+    }
+
+    #[test]
+    fn random_plans_are_reproducible_and_spare_system_zero() {
+        let a = FaultPlan::random(&mut SplitMix64::new(99), 200, 4);
+        let b = FaultPlan::random(&mut SplitMix64::new(99), 200, 4);
+        assert_eq!(a, b);
+        for seed in 0..50u64 {
+            let p = FaultPlan::random(&mut SplitMix64::new(seed), 200, 4);
+            for (_, f) in p.faults() {
+                if let Fault::SystemStall { system, .. } = f {
+                    assert_ne!(*system, 0, "system 0 must stay alive to coordinate recovery");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn without_removes_exactly_one() {
+        let p = FaultPlan::new().at(1, Fault::LinkTimeout).at(2, Fault::StructureLoss);
+        let q = p.without(0);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.faults()[0], (2, Fault::StructureLoss));
+    }
+}

@@ -1,0 +1,100 @@
+//! Greedy schedule shrinking.
+//!
+//! When a seeded campaign violates an invariant, the raw fault plan is
+//! rarely minimal — most scheduled faults are bystanders. The shrinker
+//! re-runs the campaign with one fault removed at a time, keeps any
+//! removal that still fails, and repeats until no single removal
+//! preserves the failure. The result plus the seed is the copy-pasteable
+//! repro printed for CI logs.
+//!
+//! Determinism makes this sound: removing a fault changes only the
+//! schedule it fed, never an unrelated race, so "still fails without
+//! fault i" is a stable property of `(seed, plan \ {i})`.
+
+use crate::campaign::{CampaignOutcome, CampaignSpec};
+
+/// Outcome of shrinking a failing campaign.
+#[derive(Debug)]
+pub struct ShrunkFailure {
+    /// The minimized spec (same seed, reduced plan).
+    pub spec: CampaignSpec,
+    /// The outcome of the minimized run (still failing).
+    pub outcome: CampaignOutcome,
+    /// Campaign re-runs the shrinker spent.
+    pub runs: usize,
+}
+
+impl ShrunkFailure {
+    /// Human-readable repro block for test output / CI logs.
+    pub fn report(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "campaign '{}' violated {} invariant(s); minimized to {} fault(s) in {} re-run(s)\n",
+            self.spec.name,
+            self.outcome.violations.len(),
+            self.spec.plan.len(),
+            self.runs,
+        ));
+        for v in &self.outcome.violations {
+            s.push_str(&format!("  violation: {v}\n"));
+        }
+        s.push_str(&format!("  repro: {}\n", self.spec.repro()));
+        s
+    }
+}
+
+/// Greedily minimize the fault plan of a failing `spec`. `spec.run()`
+/// must already produce violations; the returned spec fails with a plan
+/// no larger (usually much smaller).
+pub fn shrink(spec: &CampaignSpec) -> ShrunkFailure {
+    let mut best = spec.clone();
+    let mut outcome = best.run();
+    assert!(!outcome.passed(), "shrink() needs a failing campaign");
+    let mut runs = 1;
+    loop {
+        let mut reduced = false;
+        let mut i = 0;
+        while i < best.plan.len() {
+            let mut candidate = best.clone();
+            candidate.plan = best.plan.without(i);
+            let candidate_outcome = candidate.run();
+            runs += 1;
+            if candidate_outcome.passed() {
+                // This fault is load-bearing; keep it, try the next.
+                i += 1;
+            } else {
+                best = candidate;
+                outcome = candidate_outcome;
+                reduced = true;
+                // Same index now names the next fault.
+            }
+        }
+        if !reduced {
+            break;
+        }
+    }
+    ShrunkFailure { spec: best, outcome, runs }
+}
+
+/// Run a campaign; on violation, shrink it and panic with the full repro
+/// report. The standard entry point for campaign tests.
+///
+/// When `SYSPLEX_SHRINK_REPORT` names a file, the minimized repro is
+/// also written there — CI uploads it as a build artifact.
+pub fn run_checked(spec: CampaignSpec) -> CampaignOutcome {
+    let outcome = spec.run();
+    if outcome.passed() {
+        return outcome;
+    }
+    let shrunk = shrink(&spec);
+    if let Ok(path) = std::env::var("SYSPLEX_SHRINK_REPORT") {
+        let _ = std::fs::write(&path, shrunk.report());
+    }
+    panic!(
+        "deterministic campaign failed (seed {:#x})\n{}\nre-run with: SYSPLEX_SEED={:#x} cargo test \
+         -p sysplex-harness --test campaigns",
+        spec.seed,
+        shrunk.report(),
+        spec.seed,
+    );
+}

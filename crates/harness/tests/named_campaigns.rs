@@ -1,0 +1,92 @@
+//! Named campaigns: the hand-picked schedules the old integration tests
+//! used (failover, structure rebuild, duplexing, CDS hot-switch),
+//! re-expressed as scripted fault plans under the deterministic driver
+//! so the trace oracle — not per-test assertions — judges the outcome.
+
+use sysplex_harness::{run_checked, CampaignSpec, Fault, FaultPlan};
+
+fn spec(name: &str, seed: u64, members: u8, steps: u64, plan: FaultPlan, duplex: bool) -> CampaignSpec {
+    CampaignSpec { name: name.into(), seed, members, steps, plan, duplex }
+}
+
+#[test]
+fn campaign_fence_and_peer_recovery() {
+    // One system stalls past the SFM threshold (60 steps): the heartbeat
+    // monitor must fence it and a surviving peer must recover its
+    // retained locks, while a second, near-miss stall must NOT fence.
+    let plan = FaultPlan::new()
+        .at(40, Fault::SystemStall { system: 1, steps: 120 })
+        .at(55, Fault::SystemStall { system: 2, steps: 6 });
+    let outcome = run_checked(spec("fence-and-recovery", 0xFA11, 3, 400, plan, false));
+    assert_eq!(outcome.stats.fences, 1, "exactly the fatal stall fences: {:?}", outcome.stats);
+    assert_eq!(outcome.stats.recoveries, 1, "survivor recovers the fenced peer");
+    assert!(outcome.stats.commits > 0, "survivors keep committing through the fence");
+}
+
+#[test]
+fn campaign_structure_rebuild() {
+    // Simplex CF dies mid-workload: the group rebuilds its structures
+    // into a freshly added facility from in-storage state and the
+    // workload carries on against the new structure.
+    let plan = FaultPlan::new().at(120, Fault::StructureLoss);
+    let outcome = run_checked(spec("structure-rebuild", 0x4EB1, 3, 400, plan, false));
+    assert_eq!(outcome.stats.rebuilds, 1, "{:?}", outcome.stats);
+    assert_eq!(outcome.stats.fences, 0, "a CF loss must not fence any system");
+    assert!(outcome.stats.commits > 20);
+}
+
+#[test]
+fn campaign_duplexing_failover() {
+    // Duplexed pair: losing the primary fails over to the hot secondary
+    // instead of rebuilding.
+    let plan = FaultPlan::new().at(120, Fault::StructureLoss);
+    let outcome = run_checked(spec("duplex-failover", 0xD0B1, 3, 400, plan, true));
+    assert_eq!(outcome.stats.failovers, 1, "{:?}", outcome.stats);
+    assert_eq!(outcome.stats.rebuilds, 0, "duplexing replaces the rebuild");
+    assert!(outcome.stats.commits > 20);
+}
+
+#[test]
+fn campaign_cds_hot_switch() {
+    // Primary couple data set dies twice; each failure hot-switches to
+    // the alternate and re-duplexes onto a replacement volume, with no
+    // effect on heartbeats (no spurious fence).
+    let plan = FaultPlan::new().at(80, Fault::CdsPrimaryFailure).at(220, Fault::CdsPrimaryFailure);
+    let outcome = run_checked(spec("cds-hot-switch", 0xCD50, 2, 400, plan, false));
+    assert_eq!(outcome.stats.cds_switches, 2, "{:?}", outcome.stats);
+    assert_eq!(outcome.stats.fences, 0);
+}
+
+#[test]
+fn campaign_link_noise_is_survivable() {
+    // Transient link faults (delay, timeout, interface-control check) are
+    // absorbed by the subchannel retry path without losing data or
+    // fencing anyone.
+    let plan = FaultPlan::new()
+        .at(30, Fault::LinkDelayUs(400))
+        .at(90, Fault::LinkTimeout)
+        .at(150, Fault::InterfaceControlCheck);
+    let outcome = run_checked(spec("link-noise", 0x11CC, 3, 300, plan, false));
+    assert_eq!(outcome.stats.faults_applied, 3, "{:?}", outcome.stats);
+    assert_eq!(outcome.stats.fences, 0);
+    assert!(outcome.stats.commits > 20);
+}
+
+#[test]
+fn campaign_kitchen_sink() {
+    // Everything at once on a duplexed 4-way: fence + peer recovery,
+    // CF failover, CDS hot-switch, and link noise in one run, with the
+    // oracle checking the merged trace end to end.
+    let plan = FaultPlan::new()
+        .at(25, Fault::LinkTimeout)
+        .at(50, Fault::SystemStall { system: 3, steps: 130 })
+        .at(140, Fault::StructureLoss)
+        .at(200, Fault::CdsPrimaryFailure)
+        .at(260, Fault::SystemStall { system: 1, steps: 8 });
+    let outcome = run_checked(spec("kitchen-sink", 0x51CC, 4, 450, plan, true));
+    assert_eq!(outcome.stats.fences, 1, "{:?}", outcome.stats);
+    assert_eq!(outcome.stats.recoveries, 1);
+    assert_eq!(outcome.stats.failovers, 1);
+    assert_eq!(outcome.stats.cds_switches, 1);
+    assert!(outcome.stats.commits > 20);
+}

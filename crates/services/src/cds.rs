@@ -156,7 +156,10 @@ impl CoupleDataSet {
         loop {
             match self.acquire_serialization(system, lease) {
                 Ok(()) => break,
-                Err(CdsError::Busy { .. }) => std::thread::yield_now(),
+                // Timer-routed backoff: yields on a wall-clock timer, but
+                // advances virtual time on a harness timer so a crashed
+                // holder's lease actually expires under simulation.
+                Err(CdsError::Busy { .. }) => self.timer.park_us(0),
                 Err(e) => return Err(e),
             }
         }
@@ -302,7 +305,8 @@ mod tests {
         CoupleDataSet::new(
             DuplexPair::new(p, Some(a)),
             Arc::new(FenceControl::new()),
-            SysplexTimer::new(),
+            // Virtual: lease-expiry tests steer time instead of sleeping.
+            SysplexTimer::new_virtual(),
             256,
         )
     }
@@ -366,7 +370,7 @@ mod tests {
         let c = cds();
         // "Faulty processor": acquires with a tiny lease, never releases.
         c.acquire_serialization(0, Duration::from_millis(5)).unwrap();
-        std::thread::sleep(Duration::from_millis(20));
+        c.timer.advance(Duration::from_millis(20));
         c.acquire_serialization(1, Duration::from_secs(60)).unwrap();
         assert_eq!(c.serialization_holder().unwrap(), Some(1));
     }

@@ -169,7 +169,7 @@ impl HeartbeatMonitor {
     pub fn check_once(&self) -> Vec<SystemId> {
         let now = self.timer.tod();
         let threshold_us = self.config.failure_threshold.as_micros() as u64;
-        let candidates: Vec<(SystemId, HealthState)> = {
+        let mut candidates: Vec<(SystemId, HealthState)> = {
             let tracked = self.tracked.lock();
             tracked
                 .iter()
@@ -177,6 +177,10 @@ impl HeartbeatMonitor {
                 .map(|(id, s)| (*id, *s))
                 .collect()
         };
+        // Sweep in system order: the miss/fence sequence is trace-visible,
+        // and deterministic replays need simultaneous expiries to fence in
+        // the same order every run.
+        candidates.sort_by_key(|(id, _)| *id);
         let mut failed = Vec::new();
         for (sys, state) in candidates {
             let overdue = match self.last_pulse(sys) {
@@ -286,10 +290,13 @@ mod tests {
         monitor: Arc<HeartbeatMonitor>,
         fence: Arc<FenceControl>,
         xcf: Arc<Xcf>,
+        /// Virtual: tests steer time with `advance` instead of sleeping, so
+        /// fencing outcomes do not depend on wall-clock margins.
+        timer: Arc<SysplexTimer>,
     }
 
     fn rig(threshold: Duration) -> Rig {
-        let timer = SysplexTimer::new();
+        let timer = SysplexTimer::new_virtual();
         let fence = Arc::new(FenceControl::new());
         let cds = CoupleDataSet::new(
             DuplexPair::new(Arc::new(Volume::new("CDS01", 128, IoModel::instant())), None),
@@ -305,11 +312,11 @@ mod tests {
                 auto_failure: true,
             },
             cds,
-            timer,
+            Arc::clone(&timer),
             Arc::clone(&fence),
             Arc::clone(&xcf),
         );
-        Rig { monitor, fence, xcf }
+        Rig { monitor, fence, xcf, timer }
     }
 
     fn prompt_rig(threshold: Duration) -> Rig {
@@ -323,14 +330,14 @@ mod tests {
             Arc::clone(&r.fence),
             Arc::clone(&r.xcf),
         );
-        Rig { monitor, fence: Arc::clone(&r.fence), xcf: Arc::clone(&r.xcf) }
+        Rig { monitor, fence: Arc::clone(&r.fence), xcf: Arc::clone(&r.xcf), timer: Arc::clone(&r.timer) }
     }
 
     #[test]
     fn prompt_policy_parks_for_operator_and_recovers_on_pulse() {
         let r = prompt_rig(Duration::from_millis(20));
         r.monitor.register(SystemId::new(0)).unwrap();
-        std::thread::sleep(Duration::from_millis(40));
+        r.timer.advance(Duration::from_millis(40));
         assert!(r.monitor.check_once().is_empty(), "prompt policy never auto-fails");
         assert_eq!(r.monitor.pending_operator(), vec![SystemId::new(0)]);
         assert!(!r.fence.is_fenced(0), "nothing fenced while parked");
@@ -345,7 +352,7 @@ mod tests {
     fn prompt_policy_operator_confirms_failure() {
         let r = prompt_rig(Duration::from_millis(20));
         r.monitor.register(SystemId::new(3)).unwrap();
-        std::thread::sleep(Duration::from_millis(40));
+        r.timer.advance(Duration::from_millis(40));
         r.monitor.check_once();
         assert_eq!(r.monitor.pending_operator(), vec![SystemId::new(3)]);
         assert!(r.monitor.confirm_failure(SystemId::new(3)));
@@ -368,7 +375,7 @@ mod tests {
         r.monitor.register(SystemId::new(0)).unwrap();
         r.monitor.register(SystemId::new(1)).unwrap();
         // System 1 goes silent; system 0 keeps pulsing.
-        std::thread::sleep(Duration::from_millis(50));
+        r.timer.advance(Duration::from_millis(50));
         r.monitor.pulse(SystemId::new(0)).unwrap();
         let failed = r.monitor.check_once();
         assert_eq!(failed, vec![SystemId::new(1)]);
@@ -390,7 +397,7 @@ mod tests {
         }
         let _m = r.xcf.join("G", "VICTIM", SystemId::new(2)).unwrap();
         r.monitor.register(SystemId::new(2)).unwrap();
-        std::thread::sleep(Duration::from_millis(10));
+        r.timer.advance(Duration::from_millis(10));
         assert_eq!(r.monitor.check_once(), vec![SystemId::new(2)]);
         assert_eq!(fired.load(Ordering::SeqCst), 2, "ARM-style callback fired");
         assert!(r.xcf.members("G").is_empty(), "member failed out of the group");
@@ -409,7 +416,7 @@ mod tests {
         let r = rig(Duration::from_millis(10));
         r.monitor.register(SystemId::new(0)).unwrap();
         r.monitor.deregister(SystemId::new(0));
-        std::thread::sleep(Duration::from_millis(30));
+        r.timer.advance(Duration::from_millis(30));
         assert!(r.monitor.check_once().is_empty());
         assert!(!r.fence.is_fenced(0));
         assert_eq!(r.monitor.state_of(SystemId::new(0)), Some(HealthState::Removed));

@@ -17,7 +17,7 @@
 
 use crate::timer::SysplexTimer;
 use crate::wlm::{ClassReport, Wlm};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -427,6 +427,9 @@ pub struct Monitor {
     wlm: Option<Arc<Wlm>>,
     baseline: Mutex<Baseline>,
     stop: Arc<AtomicBool>,
+    /// Wakes the interval thread early so `stop()` never has to wait out a
+    /// full interval sleep (the `stopped` mutex only guards the wait).
+    wakeup: Arc<(Mutex<bool>, Condvar)>,
     ticker: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
@@ -467,6 +470,7 @@ impl Monitor {
             wlm: None,
             baseline: Mutex::new(baseline),
             stop: Arc::new(AtomicBool::new(false)),
+            wakeup: Arc::new((Mutex::new(false), Condvar::new())),
             ticker: Mutex::new(None),
         })
     }
@@ -604,14 +608,23 @@ impl Monitor {
             return;
         }
         self.stop.store(false, Ordering::Relaxed);
+        *self.wakeup.0.lock() = false;
         let monitor = Arc::clone(self);
         *ticker = Some(
             std::thread::Builder::new()
                 .name("rmf-monitor".to_string())
                 .spawn(move || {
                     while !monitor.stop.load(Ordering::Relaxed) {
-                        std::thread::sleep(interval);
-                        if monitor.stop.load(Ordering::Relaxed) {
+                        // Interruptible interval wait: stop() flips the flag
+                        // and notifies, so shutdown never blocks on a sleep.
+                        let (lock, cvar) = &*monitor.wakeup;
+                        let mut stopping = lock.lock();
+                        if !*stopping {
+                            cvar.wait_for(&mut stopping, interval);
+                        }
+                        let stop_now = *stopping;
+                        drop(stopping);
+                        if stop_now || monitor.stop.load(Ordering::Relaxed) {
                             break;
                         }
                         println!("{}", monitor.report());
@@ -621,9 +634,14 @@ impl Monitor {
         );
     }
 
-    /// Stop and join the interval thread.
+    /// Stop and join the interval thread. Returns promptly even when the
+    /// interval is long or a report is mid-print: the condvar interrupts the
+    /// wait, and an in-flight report merely finishes its println.
     pub fn stop(&self) {
         self.stop.store(true, Ordering::Relaxed);
+        let (lock, cvar) = &*self.wakeup;
+        *lock.lock() = true;
+        cvar.notify_all();
         if let Some(h) = self.ticker.lock().take() {
             let _ = h.join();
         }
@@ -633,6 +651,9 @@ impl Monitor {
 impl Drop for Monitor {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        let (lock, cvar) = &*self.wakeup;
+        *lock.lock() = true;
+        cvar.notify_all();
         if let Some(h) = self.ticker.get_mut().take() {
             let _ = h.join();
         }
@@ -809,5 +830,41 @@ mod tests {
         // A second stop is a no-op; a report after stopping still works.
         monitor.stop();
         assert!(monitor.report().reconciles());
+    }
+
+    #[test]
+    fn stop_interrupts_a_long_interval_wait() {
+        let (plex, _cf) = plex_with_traffic();
+        let monitor = Monitor::for_sysplex(&plex);
+        // An hour-long interval: stop() must not wait it out.
+        monitor.start(Duration::from_secs(3600));
+        let begun = std::time::Instant::now();
+        monitor.stop();
+        assert!(
+            begun.elapsed() < Duration::from_secs(5),
+            "stop() blocked on the interval sleep: {:?}",
+            begun.elapsed()
+        );
+    }
+
+    #[test]
+    fn dropping_sysplex_with_reports_in_flight_does_not_panic() {
+        // Reports fire as fast as the thread can run while the facility's
+        // async executor is still live, then everything is torn down with
+        // the ticker mid-loop: Monitor::drop must join cleanly and the CF
+        // executor shutdown must not deadlock against it.
+        for _ in 0..10 {
+            let (plex, cf) = plex_with_traffic();
+            let monitor = Monitor::for_sysplex(&plex);
+            monitor.start(Duration::from_micros(50));
+            let lock = cf.connect_lock("IRLM1").unwrap();
+            for i in 0..50u64 {
+                let entry = lock.hash_resource(&i.to_be_bytes());
+                lock.request_lock(entry, LockMode::Shared).unwrap();
+                lock.release_lock(entry).unwrap();
+            }
+            drop(monitor); // Drop path joins the ticker (no explicit stop).
+            drop(plex); // CfExecutor shutdown after the monitor is gone.
+        }
     }
 }

@@ -116,7 +116,14 @@ pub struct Sysplex {
 impl Sysplex {
     /// Bring up the shared infrastructure (no systems yet).
     pub fn new(config: SysplexConfig) -> Arc<Self> {
-        let timer = SysplexTimer::new();
+        Sysplex::with_timer(config, SysplexTimer::new())
+    }
+
+    /// Bring up the shared infrastructure clocked by an existing timer.
+    /// The deterministic harness passes a [`SysplexTimer::new_virtual`]
+    /// timer here so heartbeat thresholds, CDS leases and trace stamps all
+    /// run on simulation time.
+    pub fn with_timer(config: SysplexConfig, timer: Arc<SysplexTimer>) -> Arc<Self> {
         let farm = DasdFarm::new(config.io_model);
         let xcf = Xcf::new(Arc::clone(&timer));
         let cds_primary = Arc::new(Volume::new("CDS01", config.cds_blocks, config.io_model));

@@ -38,26 +38,60 @@ impl std::fmt::Display for Tod {
     }
 }
 
+/// Where the timer's base reading comes from.
+///
+/// `Wall` is the production source: the host monotonic clock, standing in
+/// for the 9037 hardware. `Virtual` is the deterministic-harness source: a
+/// counter that only moves when the simulation driver calls
+/// [`SysplexTimer::advance`], so timeout-driven paths (heartbeat fencing,
+/// CDS lease expiry, lock waits) become replayable from a seed instead of
+/// depending on wall-clock margins.
+#[derive(Debug)]
+enum TimeSource {
+    Wall(Instant),
+    Virtual(AtomicU64),
+}
+
 /// The shared time reference.
 #[derive(Debug)]
 pub struct SysplexTimer {
-    epoch: Instant,
+    source: TimeSource,
     last: AtomicU64,
 }
 
 impl SysplexTimer {
-    /// Initialise the timer at the current instant.
+    /// Initialise the timer at the current instant (wall-clock source).
     pub fn new() -> Arc<Self> {
-        Arc::new(SysplexTimer { epoch: Instant::now(), last: AtomicU64::new(0) })
+        Arc::new(SysplexTimer { source: TimeSource::Wall(Instant::now()), last: AtomicU64::new(0) })
+    }
+
+    /// Initialise a virtual timer starting at TOD 0. Time only moves via
+    /// [`SysplexTimer::advance`] (plus the per-reading uniqueness bump), so
+    /// every component clocked by the timer is deterministic.
+    pub fn new_virtual() -> Arc<Self> {
+        Arc::new(SysplexTimer { source: TimeSource::Virtual(AtomicU64::new(0)), last: AtomicU64::new(0) })
+    }
+
+    /// Whether this timer runs on virtual (simulation-driven) time.
+    pub fn is_virtual(&self) -> bool {
+        matches!(self.source, TimeSource::Virtual(_))
+    }
+
+    #[inline]
+    fn source_us(&self) -> u64 {
+        match &self.source {
+            TimeSource::Wall(epoch) => epoch.elapsed().as_micros() as u64,
+            TimeSource::Virtual(us) => us.load(Ordering::Acquire),
+        }
     }
 
     /// Read the TOD clock. Monotonic and unique across all callers on all
     /// systems: concurrent readings never return the same value.
     pub fn tod(&self) -> Tod {
-        let wall = self.epoch.elapsed().as_micros() as u64;
+        let base = self.source_us();
         let mut prev = self.last.load(Ordering::Relaxed);
         loop {
-            let next = wall.max(prev + 1);
+            let next = base.max(prev + 1);
             match self.last.compare_exchange_weak(prev, next, Ordering::AcqRel, Ordering::Relaxed) {
                 Ok(_) => return Tod(next),
                 Err(p) => prev = p,
@@ -65,9 +99,41 @@ impl SysplexTimer {
         }
     }
 
-    /// Elapsed wall time since timer initialisation (no uniqueness bump).
+    /// Move a virtual timer forward by `delta` and return the new base
+    /// reading. Panics on a wall-clock timer: real time cannot be steered,
+    /// and silently ignoring the call would hide a mis-wired harness.
+    pub fn advance(&self, delta: Duration) -> Tod {
+        match &self.source {
+            TimeSource::Wall(_) => panic!("SysplexTimer::advance on a wall-clock timer"),
+            TimeSource::Virtual(us) => {
+                let now = us.fetch_add(delta.as_micros() as u64, Ordering::AcqRel) + delta.as_micros() as u64;
+                Tod(now)
+            }
+        }
+    }
+
+    /// Wait `us` microseconds of timer time. On a wall-clock timer this
+    /// sleeps (yielding for zero); on a virtual timer it advances the clock,
+    /// so retry loops written against the timer terminate deterministically
+    /// without any thread ever blocking.
+    pub fn park_us(&self, us: u64) {
+        match &self.source {
+            TimeSource::Wall(_) => {
+                if us == 0 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(us));
+                }
+            }
+            TimeSource::Virtual(_) => {
+                self.advance(Duration::from_micros(us.max(1)));
+            }
+        }
+    }
+
+    /// Elapsed timer time since initialisation (no uniqueness bump).
     pub fn elapsed(&self) -> Duration {
-        self.epoch.elapsed()
+        Duration::from_micros(self.source_us())
     }
 }
 
@@ -113,6 +179,37 @@ mod tests {
             }
         }
         assert_eq!(all.len(), 40_000);
+    }
+
+    #[test]
+    fn virtual_timer_only_moves_on_advance() {
+        let t = SysplexTimer::new_virtual();
+        assert!(t.is_virtual());
+        let a = t.tod();
+        let b = t.tod();
+        // Uniqueness bump only: no wall time leaks in.
+        assert_eq!(b.0, a.0 + 1);
+        t.advance(Duration::from_millis(5));
+        let c = t.tod();
+        // The base moved to exactly 5000 us; the bumped readings (1, 2)
+        // stay below it, so the next reading is the base itself.
+        assert_eq!(c.0, 5_000);
+        assert_eq!(t.elapsed(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn virtual_park_advances_instead_of_sleeping() {
+        let t = SysplexTimer::new_virtual();
+        let before = t.elapsed();
+        t.park_us(250);
+        assert_eq!(t.elapsed() - before, Duration::from_micros(250));
+    }
+
+    #[test]
+    #[should_panic(expected = "wall-clock timer")]
+    fn advance_on_wall_timer_panics() {
+        let t = SysplexTimer::new();
+        t.advance(Duration::from_millis(1));
     }
 
     #[test]

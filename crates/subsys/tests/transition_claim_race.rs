@@ -2,6 +2,13 @@
 //! claims the entry the instant the producer drops the header lock. The
 //! entry index must be published under that lock, or the producer's stale
 //! index insert lands after the claim and a later delete spins forever.
+//!
+//! Sleep-free: the producer lock-steps on the structure's entry count, so
+//! every put hits a drained READY list and fires the empty->non-empty
+//! transition pulse the parked consumer wakes on. The generation protocol
+//! in `take_wait` makes the handoff correct regardless of whether the
+//! consumer is already parked or still polling — no timing window to
+//! widen with sleeps.
 
 use std::time::Duration;
 use sysplex_core::facility::{CfConfig, CouplingFacility};
@@ -13,13 +20,23 @@ fn woken_consumer_claim_does_not_corrupt_entry_index() {
     let list = cf.allocate_list_structure("MSGQ", queue_params()).unwrap();
     let consumer = SharedQueue::open(&list, cf.subchannel()).unwrap();
     let producer = SharedQueue::open(&list, cf.subchannel()).unwrap();
-    for i in 0..50u64 {
-        std::thread::scope(|scope| {
-            let waiter = scope.spawn(|| consumer.take_wait(Duration::from_secs(5)).unwrap().unwrap());
-            std::thread::sleep(Duration::from_millis(5));
-            producer.put(i, b"ping").unwrap();
-            let item = waiter.join().unwrap();
-            consumer.complete(&item).unwrap();
+    const ITEMS: u64 = 200;
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for _ in 0..ITEMS {
+                let item = consumer.take_wait(Duration::from_secs(30)).unwrap().unwrap();
+                consumer.complete(&item).unwrap();
+            }
         });
-    }
+        for i in 0..ITEMS {
+            // Wait for the previous item to be claimed AND completed; the
+            // next put then transitions the list empty->non-empty under
+            // the header lock, racing the wakeup against the index insert.
+            while list.entry_count() != 0 {
+                std::thread::yield_now();
+            }
+            producer.put(i, b"ping").unwrap();
+        }
+    });
+    assert_eq!(list.entry_count(), 0, "every entry claimed and deleted exactly once");
 }
