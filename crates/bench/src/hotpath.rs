@@ -1,0 +1,680 @@
+//! The standing CF hot-path throughput rig behind `examples/cf_hotpath.rs`
+//! and the CI `hotpath-bench` job.
+//!
+//! Drives 1/2/4/8-thread (configurable) uncontended and Zipf-contended
+//! lock/list/cache mixes through the **real connection layer** — every
+//! operation crosses a [`CfSubchannel`](sysplex_core::CfSubchannel) with
+//! instant links, so what's measured is the CF's own concurrency: the
+//! lock-table CAS path, the sharded record/index tables, the sharded cache
+//! directory, and the per-command accounting. Output is a schema-stable
+//! `BENCH_cf_hotpath.json` (see DESIGN.md §8) so every future perf PR has
+//! a baseline to beat.
+//!
+//! Contended phases use per-thread-unique resource names over a small
+//! entry space: every entry collision is **false contention** by
+//! construction (no two threads ever lock the same resource), which makes
+//! `false_contention_pct` an exact measurement, not an estimate.
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+use sysplex_core::cache::{BlockName, CacheParams, WriteKind};
+use sysplex_core::facility::{CfConfig, CouplingFacility};
+use sysplex_core::list::{DequeueEnd, ListParams, LockCondition, WritePosition};
+use sysplex_core::lock::{DisconnectMode, LockMode, LockParams};
+use sysplex_core::stats::HistogramSnapshot;
+use sysplex_core::{CacheConnection, CommandClass, ListConnection, LockConnection, SystemId};
+use sysplex_workload::zipf::Zipf;
+
+/// Zipf skew for the contended phases (the classic θ ≈ 0.99 hot-spot mix).
+const ZIPF_THETA: f64 = 0.99;
+/// Entry space of the contended lock table: small enough that Zipf-hot
+/// distinct resources collide on entries.
+const CONTENDED_LOCK_ENTRIES: usize = 64;
+/// Distinct resource ranks per thread in the contended lock phase.
+const CONTENDED_RESOURCES: usize = 512;
+/// Shared headers in the contended list phase.
+const CONTENDED_HEADERS: usize = 8;
+/// Shared blocks in the contended cache phase.
+const CONTENDED_BLOCKS: usize = 512;
+/// Per-thread private blocks in the uncontended cache phase.
+const PRIVATE_BLOCKS: usize = 256;
+
+/// Which structure model a phase exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseClass {
+    /// Lock request/release through the lock table.
+    Lock,
+    /// List enqueue/take through headers and the entry index.
+    List,
+    /// Cache register-read/write-invalidate through the directory.
+    Cache,
+}
+
+impl PhaseClass {
+    /// Stable report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PhaseClass::Lock => "lock",
+            PhaseClass::List => "list",
+            PhaseClass::Cache => "cache",
+        }
+    }
+
+    /// Command classes whose counters and latency belong to this phase.
+    fn classes(self) -> &'static [CommandClass] {
+        match self {
+            PhaseClass::Lock => &[CommandClass::LockRequest, CommandClass::LockRelease],
+            PhaseClass::List => &[CommandClass::ListWrite, CommandClass::ListMove],
+            PhaseClass::Cache => &[CommandClass::CacheRead, CommandClass::CacheWrite],
+        }
+    }
+}
+
+/// Result of one measured phase.
+#[derive(Debug, Clone)]
+pub struct PhaseResult {
+    /// Structure model exercised.
+    pub class: PhaseClass,
+    /// `"uncontended"` or `"zipf"`.
+    pub mode: &'static str,
+    /// Worker threads.
+    pub threads: usize,
+    /// Commands issued during the phase (across the phase's classes).
+    pub ops: u64,
+    /// Wall-clock time of the phase.
+    pub elapsed: Duration,
+    /// Commands per second.
+    pub ops_per_s: f64,
+    /// Issuer-observed latency percentiles, microseconds.
+    pub p50_us: f64,
+    /// 95th percentile, microseconds.
+    pub p95_us: f64,
+    /// 99th percentile, microseconds.
+    pub p99_us: f64,
+    /// Lock phases: CF-level synchronous grant fraction. List/cache
+    /// phases: command-level synchronous execution fraction.
+    pub sync_grant_ratio: f64,
+    /// Lock phases: entry contentions per request, in percent. All of it
+    /// is false contention by construction (threads never share a
+    /// resource name). Zero for list/cache phases.
+    pub false_contention_pct: f64,
+}
+
+/// Facility-wide per-class totals for the end-of-run reconciliation.
+#[derive(Debug, Clone)]
+pub struct ClassTotals {
+    /// Stable class name.
+    pub class: &'static str,
+    /// Commands issued.
+    pub issued: u64,
+    /// Executed CPU-synchronously.
+    pub sync: u64,
+    /// Converted to asynchronous execution.
+    pub async_converted: u64,
+    /// Surfaced a link fault.
+    pub faulted: u64,
+}
+
+/// Everything the benchmark measured.
+#[derive(Debug, Clone)]
+pub struct HotpathReport {
+    /// Hardware threads available on this host (scaling assertions are
+    /// only meaningful when this covers the widest phase).
+    pub hw_threads: usize,
+    /// Operations per worker thread per phase.
+    pub ops_per_thread: u64,
+    /// Thread counts swept.
+    pub thread_counts: Vec<usize>,
+    /// One row per (class, mode, threads) phase.
+    pub phases: Vec<PhaseResult>,
+    /// Uncontended lock throughput at the widest thread count over the
+    /// single-thread figure.
+    pub scaling_lock_uncontended: f64,
+    /// Widest thread count swept.
+    pub max_threads: usize,
+    /// Per-class facility totals at end of run.
+    pub class_totals: Vec<ClassTotals>,
+    /// Whether `issued == sync + async_converted` held for every class
+    /// (and nothing faulted).
+    pub counters_reconciled: bool,
+}
+
+/// Snapshot of the counters a phase measures, taken before and after.
+struct ClassBaseline {
+    issued: u64,
+    sync: u64,
+    latency: HistogramSnapshot,
+}
+
+fn phase_baseline(cf: &CouplingFacility, class: PhaseClass) -> Vec<ClassBaseline> {
+    class
+        .classes()
+        .iter()
+        .map(|&c| {
+            let cs = cf.command_stats().class(c);
+            ClassBaseline { issued: cs.issued.get(), sync: cs.sync.get(), latency: cs.latency.snapshot() }
+        })
+        .collect()
+}
+
+/// Run one phase: `threads` workers, each executing `body(thread_index)`
+/// after a common barrier; returns the wall time between barrier release
+/// and the last worker finishing.
+fn run_threads<F>(threads: usize, body: F) -> Duration
+where
+    F: Fn(usize) + Send + Sync,
+{
+    let body = &body;
+    let barrier = Barrier::new(threads + 1);
+    let barrier = &barrier;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    barrier.wait();
+                    body(t);
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        for h in handles {
+            h.join().expect("bench worker panicked");
+        }
+        start.elapsed()
+    })
+}
+
+fn pct(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 * 100.0 / den as f64
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+struct Rig {
+    cf: Arc<CouplingFacility>,
+}
+
+impl Rig {
+    fn new(max_threads: usize) -> Rig {
+        let cf = CouplingFacility::new(CfConfig::named("HOTCF"));
+        // Big enough that per-thread disjoint entry ranges never collide.
+        cf.allocate_lock_structure("HOTLOCK", LockParams::with_entries(65_536)).unwrap();
+        // Small enough that Zipf-hot distinct resources *do* collide.
+        cf.allocate_lock_structure("HOTLOCK_Z", LockParams::with_entries(CONTENDED_LOCK_ENTRIES)).unwrap();
+        cf.allocate_list_structure("HOTQ", ListParams::with_headers(2 * max_threads + CONTENDED_HEADERS))
+            .unwrap();
+        cf.allocate_cache_structure("HOTGBP", CacheParams::store_in(16_384)).unwrap();
+        Rig { cf }
+    }
+
+    fn lock_conns(&self, structure: &str, threads: usize) -> Vec<LockConnection> {
+        (0..threads)
+            .map(|t| {
+                let s = self.cf.lock_structure(structure).unwrap();
+                LockConnection::attach(
+                    &s,
+                    self.cf.subchannel().with_system(SystemId::new(t as u8)).for_structure_named(structure),
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    fn list_conns(&self, threads: usize) -> Vec<ListConnection> {
+        (0..threads)
+            .map(|t| {
+                let s = self.cf.list_structure("HOTQ").unwrap();
+                ListConnection::attach(
+                    &s,
+                    self.cf.subchannel().with_system(SystemId::new(t as u8)).for_structure_named("HOTQ"),
+                    64,
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    fn cache_conns(&self, threads: usize) -> Vec<CacheConnection> {
+        (0..threads)
+            .map(|t| {
+                let s = self.cf.cache_structure("HOTGBP").unwrap();
+                CacheConnection::attach(
+                    &s,
+                    self.cf.subchannel().with_system(SystemId::new(t as u8)).for_structure_named("HOTGBP"),
+                    4096,
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    fn finish_phase(
+        &self,
+        class: PhaseClass,
+        mode: &'static str,
+        threads: usize,
+        elapsed: Duration,
+        before: &[ClassBaseline],
+        lock_deltas: Option<(u64, u64, u64)>,
+    ) -> PhaseResult {
+        let mut ops = 0u64;
+        let mut sync = 0u64;
+        let mut latency = HistogramSnapshot::default();
+        for (b, &c) in before.iter().zip(class.classes()) {
+            let cs = self.cf.command_stats().class(c);
+            ops += cs.issued.get() - b.issued;
+            sync += cs.sync.get() - b.sync;
+            latency.merge(&cs.latency.snapshot().delta(&b.latency));
+        }
+        let (sync_grant_ratio, false_contention_pct) = match lock_deltas {
+            // CF-level truth for lock phases: grants and contentions out
+            // of the structure's own counters.
+            Some((requests, grants, contentions)) => (ratio(grants, requests), pct(contentions, requests)),
+            None => (ratio(sync, ops), 0.0),
+        };
+        PhaseResult {
+            class,
+            mode,
+            threads,
+            ops,
+            elapsed,
+            ops_per_s: ops as f64 / elapsed.as_secs_f64().max(1e-9),
+            p50_us: latency.quantile_ns(0.50) as f64 / 1_000.0,
+            p95_us: latency.quantile_ns(0.95) as f64 / 1_000.0,
+            p99_us: latency.quantile_ns(0.99) as f64 / 1_000.0,
+            sync_grant_ratio,
+            false_contention_pct,
+        }
+    }
+
+    /// Uncontended lock phase: per-thread disjoint entry ranges.
+    fn lock_uncontended(&self, threads: usize, ops: u64) -> PhaseResult {
+        let conns = self.lock_conns("HOTLOCK", threads);
+        let structure = self.cf.lock_structure("HOTLOCK").unwrap();
+        let span = structure.entries() / threads.max(1);
+        let before = phase_baseline(&self.cf, PhaseClass::Lock);
+        let req0 = structure.stats.requests.get();
+        let grant0 = structure.stats.sync_grants.get();
+        let cont0 = structure.stats.contentions.get();
+        let elapsed = run_threads(threads, |t| {
+            let conn = &conns[t];
+            let base = t * span;
+            for i in 0..ops {
+                let entry = base + (i as usize % span);
+                assert!(conn.request_lock(entry, LockMode::Exclusive).unwrap().is_granted());
+                conn.release_lock(entry).unwrap();
+            }
+        });
+        let deltas = (
+            structure.stats.requests.get() - req0,
+            structure.stats.sync_grants.get() - grant0,
+            structure.stats.contentions.get() - cont0,
+        );
+        for c in &conns {
+            c.detach(DisconnectMode::Normal).unwrap();
+        }
+        self.finish_phase(PhaseClass::Lock, "uncontended", threads, elapsed, &before, Some(deltas))
+    }
+
+    /// Zipf-contended lock phase: thread-unique resource names over a
+    /// tiny entry space — every contention is false contention.
+    fn lock_contended(&self, threads: usize, ops: u64) -> PhaseResult {
+        let conns = self.lock_conns("HOTLOCK_Z", threads);
+        let structure = self.cf.lock_structure("HOTLOCK_Z").unwrap();
+        let before = phase_baseline(&self.cf, PhaseClass::Lock);
+        let req0 = structure.stats.requests.get();
+        let grant0 = structure.stats.sync_grants.get();
+        let cont0 = structure.stats.contentions.get();
+        let elapsed = run_threads(threads, |t| {
+            use rand::{rngs::StdRng, SeedableRng};
+            let conn = &conns[t];
+            let zipf = Zipf::new(CONTENDED_RESOURCES, ZIPF_THETA);
+            let mut rng = StdRng::seed_from_u64(0x5CA1_AB1E ^ t as u64);
+            // Hold-one-behind: each thread keeps its previous lock held
+            // while requesting the next, so entries stay occupied long
+            // enough for other threads to collide with them even on a
+            // host with coarse scheduling.
+            let mut held: Option<usize> = None;
+            for _ in 0..ops {
+                let rank = zipf.sample(&mut rng);
+                let resource = format!("R{rank:04}.T{t}");
+                let entry = conn.hash_resource(resource.as_bytes());
+                if held == Some(entry) {
+                    conn.release_lock(entry).unwrap();
+                    held = None;
+                }
+                match conn.request_lock(entry, LockMode::Exclusive).unwrap() {
+                    r if r.is_granted() => {
+                        if let Some(prev) = held.replace(entry) {
+                            conn.release_lock(prev).unwrap();
+                        }
+                    }
+                    // Entry-level contention on a resource nobody else
+                    // holds: negotiate (vacuously), record interest,
+                    // then back off.
+                    _ => {
+                        conn.force_interest(entry, LockMode::Exclusive).unwrap();
+                        conn.release_lock(entry).unwrap();
+                    }
+                }
+            }
+            if let Some(prev) = held {
+                conn.release_lock(prev).unwrap();
+            }
+        });
+        let deltas = (
+            structure.stats.requests.get() - req0,
+            structure.stats.sync_grants.get() - grant0,
+            structure.stats.contentions.get() - cont0,
+        );
+        for c in &conns {
+            c.detach(DisconnectMode::Normal).unwrap();
+        }
+        self.finish_phase(PhaseClass::Lock, "zipf", threads, elapsed, &before, Some(deltas))
+    }
+
+    /// Uncontended list phase: per-thread private header pairs.
+    fn list_uncontended(&self, threads: usize, ops: u64) -> PhaseResult {
+        let conns = self.list_conns(threads);
+        let before = phase_baseline(&self.cf, PhaseClass::List);
+        let elapsed = run_threads(threads, |t| {
+            let conn = &conns[t];
+            let header = 2 * t;
+            for i in 0..ops {
+                conn.enqueue(header, i, b"work", WritePosition::Tail, LockCondition::None).unwrap();
+                conn.take(header, DequeueEnd::Head, LockCondition::None).unwrap();
+            }
+        });
+        for c in &conns {
+            c.detach().unwrap();
+        }
+        self.finish_phase(PhaseClass::List, "uncontended", threads, elapsed, &before, None)
+    }
+
+    /// Zipf-contended list phase: all threads share a hot header set.
+    fn list_contended(&self, threads: usize, ops: u64, max_threads: usize) -> PhaseResult {
+        let conns = self.list_conns(threads);
+        let shared_base = 2 * max_threads;
+        let before = phase_baseline(&self.cf, PhaseClass::List);
+        let elapsed = run_threads(threads, |t| {
+            use rand::{rngs::StdRng, SeedableRng};
+            let conn = &conns[t];
+            let zipf = Zipf::new(CONTENDED_HEADERS, ZIPF_THETA);
+            let mut rng = StdRng::seed_from_u64(0x0DDB_A115 ^ t as u64);
+            for i in 0..ops {
+                let header = shared_base + zipf.sample(&mut rng);
+                conn.enqueue(header, i, b"work", WritePosition::Tail, LockCondition::None).unwrap();
+                conn.take(header, DequeueEnd::Head, LockCondition::None).unwrap();
+            }
+        });
+        for c in &conns {
+            c.detach().unwrap();
+        }
+        self.finish_phase(PhaseClass::List, "zipf", threads, elapsed, &before, None)
+    }
+
+    /// Uncontended cache phase: per-thread private block sets.
+    fn cache_uncontended(&self, threads: usize, ops: u64) -> PhaseResult {
+        let conns = self.cache_conns(threads);
+        let before = phase_baseline(&self.cf, PhaseClass::Cache);
+        let elapsed = run_threads(threads, |t| {
+            let conn = &conns[t];
+            for i in 0..ops {
+                let block = BlockName::from_parts(t as u32, (i % PRIVATE_BLOCKS as u64) + 1);
+                let vector_index = (i % PRIVATE_BLOCKS as u64) as u32;
+                conn.register_read(block, vector_index).unwrap();
+                conn.write_invalidate(block, b"0123456789abcdef", WriteKind::CleanData).unwrap();
+            }
+        });
+        for c in &conns {
+            c.detach().unwrap();
+        }
+        self.finish_phase(PhaseClass::Cache, "uncontended", threads, elapsed, &before, None)
+    }
+
+    /// Zipf-contended cache phase: shared hot blocks, so writes
+    /// cross-invalidate the other readers continuously.
+    fn cache_contended(&self, threads: usize, ops: u64) -> PhaseResult {
+        let conns = self.cache_conns(threads);
+        let before = phase_baseline(&self.cf, PhaseClass::Cache);
+        let elapsed = run_threads(threads, |t| {
+            use rand::{rngs::StdRng, SeedableRng};
+            let conn = &conns[t];
+            let zipf = Zipf::new(CONTENDED_BLOCKS, ZIPF_THETA);
+            let mut rng = StdRng::seed_from_u64(0xCAC4_EB10 ^ t as u64);
+            for _ in 0..ops {
+                let rank = zipf.sample(&mut rng);
+                let block = BlockName::from_parts(u32::MAX, rank as u64 + 1);
+                conn.register_read(block, rank as u32).unwrap();
+                conn.write_invalidate(block, b"0123456789abcdef", WriteKind::CleanData).unwrap();
+            }
+        });
+        for c in &conns {
+            c.detach().unwrap();
+        }
+        self.finish_phase(PhaseClass::Cache, "zipf", threads, elapsed, &before, None)
+    }
+}
+
+/// Run the full sweep: for each thread count, six phases (three structure
+/// models × {uncontended, zipf}).
+pub fn run(ops_per_thread: u64, thread_counts: &[usize]) -> HotpathReport {
+    assert!(!thread_counts.is_empty(), "need at least one thread count");
+    let max_threads = *thread_counts.iter().max().unwrap();
+    let rig = Rig::new(max_threads);
+    let mut phases = Vec::new();
+    for &threads in thread_counts {
+        phases.push(rig.lock_uncontended(threads, ops_per_thread));
+        phases.push(rig.lock_contended(threads, ops_per_thread));
+        phases.push(rig.list_uncontended(threads, ops_per_thread));
+        phases.push(rig.list_contended(threads, ops_per_thread, max_threads));
+        phases.push(rig.cache_uncontended(threads, ops_per_thread));
+        phases.push(rig.cache_contended(threads, ops_per_thread));
+    }
+
+    let base = phases
+        .iter()
+        .find(|p| p.class == PhaseClass::Lock && p.mode == "uncontended" && p.threads == thread_counts[0])
+        .map(|p| p.ops_per_s)
+        .unwrap_or(0.0);
+    let widest = phases
+        .iter()
+        .find(|p| p.class == PhaseClass::Lock && p.mode == "uncontended" && p.threads == max_threads)
+        .map(|p| p.ops_per_s)
+        .unwrap_or(0.0);
+    let scaling_lock_uncontended = if base > 0.0 { widest / base } else { 0.0 };
+
+    let mut class_totals = Vec::new();
+    let mut counters_reconciled = true;
+    for &c in CommandClass::ALL.iter() {
+        let cs = rig.cf.command_stats().class(c);
+        let t = ClassTotals {
+            class: c.name(),
+            issued: cs.issued.get(),
+            sync: cs.sync.get(),
+            async_converted: cs.async_converted.get(),
+            faulted: cs.faulted.get(),
+        };
+        if t.issued != t.sync + t.async_converted || t.faulted != 0 {
+            counters_reconciled = false;
+        }
+        if t.issued > 0 {
+            class_totals.push(t);
+        }
+    }
+
+    HotpathReport {
+        hw_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        ops_per_thread,
+        thread_counts: thread_counts.to_vec(),
+        phases,
+        scaling_lock_uncontended,
+        max_threads,
+        class_totals,
+        counters_reconciled,
+    }
+}
+
+impl HotpathReport {
+    /// Render the schema-stable JSON consumed by the CI `hotpath-bench`
+    /// job (see DESIGN.md §8 for the schema contract).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"report\": \"cf_hotpath\",\n");
+        out.push_str(&format!("  \"hw_threads\": {},\n", self.hw_threads));
+        out.push_str(&format!("  \"ops_per_thread\": {},\n", self.ops_per_thread));
+        out.push_str(&format!(
+            "  \"thread_counts\": [{}],\n",
+            self.thread_counts.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+        ));
+        out.push_str("  \"phases\": [\n");
+        for (i, p) in self.phases.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"phase\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \"ops\": {}, \
+                 \"elapsed_ms\": {:.3}, \"ops_per_s\": {:.1}, \"p50_us\": {:.2}, \"p95_us\": {:.2}, \
+                 \"p99_us\": {:.2}, \"sync_grant_ratio\": {:.4}, \"false_contention_pct\": {:.2}}}{}\n",
+                p.class.name(),
+                p.mode,
+                p.threads,
+                p.ops,
+                p.elapsed.as_secs_f64() * 1_000.0,
+                p.ops_per_s,
+                p.p50_us,
+                p.p95_us,
+                p.p99_us,
+                p.sync_grant_ratio,
+                p.false_contention_pct,
+                if i + 1 == self.phases.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"scaling\": {\n");
+        out.push_str(&format!("    \"lock_uncontended_max_vs_1\": {:.3},\n", self.scaling_lock_uncontended));
+        out.push_str(&format!("    \"max_threads\": {}\n", self.max_threads));
+        out.push_str("  },\n");
+        out.push_str("  \"command_classes\": [\n");
+        for (i, t) in self.class_totals.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"class\": \"{}\", \"issued\": {}, \"sync\": {}, \"async_converted\": {}, \
+                 \"faulted\": {}}}{}\n",
+                t.class,
+                t.issued,
+                t.sync,
+                t.async_converted,
+                t.faulted,
+                if i + 1 == self.class_totals.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!("  \"counters_reconciled\": {}\n", self.counters_reconciled));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Human-readable table (the example prints this alongside the JSON).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "CF HOT PATH — {} ops/thread, {} hardware threads\n",
+            self.ops_per_thread, self.hw_threads
+        ));
+        out.push_str(&format!(
+            "{:<6} {:<12} {:>3}  {:>12} {:>9} {:>9} {:>9} {:>7} {:>7}\n",
+            "class", "mode", "T", "ops/s", "p50 µs", "p95 µs", "p99 µs", "sync", "false%"
+        ));
+        for p in &self.phases {
+            out.push_str(&format!(
+                "{:<6} {:<12} {:>3}  {:>12.0} {:>9.2} {:>9.2} {:>9.2} {:>6.1}% {:>6.2}%\n",
+                p.class.name(),
+                p.mode,
+                p.threads,
+                p.ops_per_s,
+                p.p50_us,
+                p.p95_us,
+                p.p99_us,
+                p.sync_grant_ratio * 100.0,
+                p.false_contention_pct
+            ));
+        }
+        out.push_str(&format!(
+            "lock uncontended scaling {}T/{}T: {:.2}x; counters reconciled: {}\n",
+            self.max_threads, self.thread_counts[0], self.scaling_lock_uncontended, self.counters_reconciled
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_reconciles_and_produces_schema_fields() {
+        let report = run(200, &[1, 2]);
+        assert_eq!(report.phases.len(), 12, "6 phases per thread count");
+        assert!(report.counters_reconciled, "issued == sync + async_converted per class");
+        for p in &report.phases {
+            assert!(p.ops > 0, "every phase issues commands");
+            assert!(p.ops_per_s > 0.0);
+        }
+        // Uncontended lock phases grant everything synchronously.
+        for p in report.phases.iter().filter(|p| p.class == PhaseClass::Lock && p.mode == "uncontended") {
+            assert!((p.sync_grant_ratio - 1.0).abs() < 1e-9, "uncontended grants are all synchronous");
+            assert_eq!(p.false_contention_pct, 0.0);
+        }
+        let json = report.to_json();
+        for key in [
+            "\"report\": \"cf_hotpath\"",
+            "\"hw_threads\"",
+            "\"phases\"",
+            "\"scaling\"",
+            "\"lock_uncontended_max_vs_1\"",
+            "\"command_classes\"",
+            "\"counters_reconciled\": true",
+        ] {
+            assert!(json.contains(key), "JSON missing {key}");
+        }
+    }
+
+    #[test]
+    fn false_contention_is_measured_from_structure_counters() {
+        // A single-core host can run a whole short contended phase without
+        // the threads ever overlapping, so build the collision by hand:
+        // two connections, two *different* resource names, same entry.
+        let rig = Rig::new(2);
+        let conns = rig.lock_conns("HOTLOCK_Z", 2);
+        let structure = rig.cf.lock_structure("HOTLOCK_Z").unwrap();
+        let e0 = conns[0].hash_resource(b"R0000.T0");
+        let other = (0..10_000u32)
+            .map(|i| format!("R{i:04}.T1"))
+            .find(|r| conns[1].hash_resource(r.as_bytes()) == e0)
+            .expect("some resource collides within 64 entries");
+        let req0 = structure.stats.requests.get();
+        let cont0 = structure.stats.contentions.get();
+        assert!(conns[0].request_lock(e0, LockMode::Exclusive).unwrap().is_granted());
+        let r = conns[1].request_lock(conns[1].hash_resource(other.as_bytes()), LockMode::Exclusive).unwrap();
+        assert!(!r.is_granted(), "distinct resources on one entry collide");
+        let requests = structure.stats.requests.get() - req0;
+        let contentions = structure.stats.contentions.get() - cont0;
+        assert_eq!(requests, 2);
+        assert_eq!(contentions, 1);
+        // Exactly what the phase reports: 1 contention / 2 requests = 50 %,
+        // and every bit of it is false contention by construction.
+        assert_eq!(pct(contentions, requests), 50.0);
+        conns[0].release_lock(e0).unwrap();
+        for c in &conns {
+            c.detach(DisconnectMode::Normal).unwrap();
+        }
+    }
+}

@@ -5,6 +5,8 @@
 //! results). The rigs here stand up the live stack the way the examples
 //! do, sized for a small host.
 
+pub mod hotpath;
+
 use std::sync::Arc;
 use std::time::Duration;
 use sysplex_core::facility::CouplingFacility;

@@ -35,7 +35,10 @@ use std::fmt;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Directory shard count. Must stay a power of two: `shard_of` reduces
+/// the mixed hash with a mask, not a divide, on the per-command path.
 const SHARD_COUNT: usize = 64;
+const _: () = assert!(SHARD_COUNT.is_power_of_two());
 
 /// A fixed 16-byte block name, as used by DB2/IMS buffer managers.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -315,7 +318,7 @@ impl CacheStructure {
     #[inline]
     fn shard_of(&self, name: &BlockName) -> &Shard {
         let h = mix64(fnv1a64(name.as_bytes()));
-        &self.shards[(h as usize) % SHARD_COUNT]
+        &self.shards[(h as usize) & (SHARD_COUNT - 1)]
     }
 
     fn tick(&self) -> u64 {

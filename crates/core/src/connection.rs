@@ -43,6 +43,7 @@ use crate::trace::{TraceEvent, Tracer, TRACE_SYSTEM_CF};
 use crate::types::{ConnId, ConnMask, SystemId};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -305,6 +306,10 @@ pub enum LinkFault {
 #[derive(Debug, Default)]
 pub struct FaultInjector {
     queue: Mutex<VecDeque<LinkFault>>,
+    /// Queue length mirrored outside the lock, so the per-command check
+    /// costs one relaxed load while no fault campaign is running (the
+    /// overwhelmingly common case). Updated only under the queue lock.
+    armed: AtomicUsize,
 }
 
 impl FaultInjector {
@@ -315,21 +320,34 @@ impl FaultInjector {
 
     /// Arm one fault; the next command through the subchannel consumes it.
     pub fn arm(&self, fault: LinkFault) {
-        self.queue.lock().push_back(fault);
+        let mut queue = self.queue.lock();
+        queue.push_back(fault);
+        self.armed.store(queue.len(), Ordering::Release);
     }
 
     /// Number of faults still armed.
     pub fn pending(&self) -> usize {
-        self.queue.lock().len()
+        self.armed.load(Ordering::Acquire)
     }
 
     /// Discard all armed faults.
     pub fn clear(&self) {
-        self.queue.lock().clear();
+        let mut queue = self.queue.lock();
+        queue.clear();
+        self.armed.store(0, Ordering::Release);
     }
 
     fn take(&self) -> Option<LinkFault> {
-        self.queue.lock().pop_front()
+        // Fast path: nothing armed — no lock, one relaxed load. A command
+        // racing a concurrent `arm` may miss the fault, which only shifts
+        // it to the next command (arming is inherently racy with traffic).
+        if self.armed.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        let mut queue = self.queue.lock();
+        let fault = queue.pop_front();
+        self.armed.store(queue.len(), Ordering::Release);
+        fault
     }
 }
 

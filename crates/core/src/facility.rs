@@ -234,11 +234,23 @@ impl CouplingFacility {
             .ok_or_else(|| CfError::NoSuchStructure(name.to_string()))
     }
 
+    /// Clone the whole registry in **one** lock acquisition, sorted by
+    /// name. Observers (Monitor reports, consoles) walk this snapshot
+    /// instead of re-locking the registry per structure: handles are
+    /// `Arc` clones, so the walk — and any formatting — happens entirely
+    /// outside the lock, off the per-command path.
+    pub fn structures_snapshot(&self) -> Vec<(String, StructureHandle)> {
+        let mut v: Vec<(String, StructureHandle)> = {
+            let structures = self.structures.lock();
+            structures.iter().map(|(n, h)| (n.clone(), h.clone())).collect()
+        };
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
     /// Names and models of allocated structures, sorted by name.
     pub fn inventory(&self) -> Vec<(String, &'static str)> {
-        let mut v: Vec<_> = self.structures.lock().iter().map(|(n, h)| (n.clone(), h.model())).collect();
-        v.sort();
-        v
+        self.structures_snapshot().into_iter().map(|(n, h)| (n, h.model())).collect()
     }
 }
 

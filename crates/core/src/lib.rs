@@ -59,6 +59,7 @@ pub mod link;
 pub mod list;
 pub mod lock;
 pub mod stats;
+pub mod swapcell;
 pub mod trace;
 pub mod types;
 

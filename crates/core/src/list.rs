@@ -24,9 +24,11 @@
 
 use crate::bitvec::BitVector;
 use crate::error::{CfError, CfResult};
+use crate::hashing::hash_to_slot;
 use crate::stats::Counter;
+use crate::swapcell::SwapCell;
 use crate::types::{ConnId, MAX_CONNECTORS};
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -193,6 +195,11 @@ pub struct ListStats {
 /// Per-connector notification state held by the structure.
 type ConnVectors = Mutex<[Option<(Arc<BitVector>, Arc<ConnEvent>)>; MAX_CONNECTORS]>;
 
+/// Number of entry-index shards. Power of two so `hash_to_slot`'s
+/// multiply-shift reduction spreads entry ids evenly; keeps concurrent
+/// writers on different headers from serializing on one index mutex.
+const INDEX_SHARDS: usize = 16;
+
 /// A CF list structure.
 #[derive(Debug)]
 pub struct ListStructure {
@@ -200,8 +207,10 @@ pub struct ListStructure {
     headers: Box<[Mutex<Header>]>,
     /// Serializing lock entries: 0 = free, otherwise connector slot + 1.
     locks: Box<[AtomicU32]>,
-    /// Entry id -> current header (maintained after header mutation).
-    index: Mutex<HashMap<EntryId, usize>>,
+    /// Entry id -> current header, sharded by entry-id hash (maintained
+    /// after header mutation; shard locks are leaf locks, taken either
+    /// under the owning header lock or in their own statement).
+    index: Box<[Mutex<HashMap<EntryId, usize>>]>,
     vectors: ConnVectors,
     active: AtomicU32,
     next_entry_id: AtomicU64,
@@ -209,7 +218,8 @@ pub struct ListStructure {
     max_entries: usize,
     /// Component tracer plus this structure's interned id, wired by the
     /// owning facility so transition signals show up in the trace.
-    trace: RwLock<Option<(Arc<crate::trace::Tracer>, u32)>>,
+    /// A [`SwapCell`] keeps the unattached hot-path cost at one atomic load.
+    trace: SwapCell<(Arc<crate::trace::Tracer>, u32)>,
     /// Published counters.
     pub stats: ListStats,
 }
@@ -226,13 +236,13 @@ impl ListStructure {
             name: name.to_string(),
             headers,
             locks,
-            index: Mutex::new(HashMap::new()),
+            index: (0..INDEX_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             vectors: Mutex::new(std::array::from_fn(|_| None)),
             active: AtomicU32::new(0),
             next_entry_id: AtomicU64::new(1),
             entry_count: AtomicU64::new(0),
             max_entries: params.max_entries,
-            trace: RwLock::new(None),
+            trace: SwapCell::new(),
             stats: ListStats::default(),
         })
     }
@@ -240,7 +250,13 @@ impl ListStructure {
     /// Route transition-signal trace events to `tracer` under structure
     /// id `sid` (called by the allocating facility).
     pub fn set_tracer(&self, tracer: Arc<crate::trace::Tracer>, sid: u32) {
-        *self.trace.write() = Some((tracer, sid));
+        self.trace.store((tracer, sid));
+    }
+
+    /// Shard of the entry index covering `id`.
+    #[inline]
+    fn index_shard(&self, id: EntryId) -> &Mutex<HashMap<EntryId, usize>> {
+        &self.index[hash_to_slot(&id.0.to_le_bytes(), INDEX_SHARDS)]
     }
 
     /// Structure name as allocated in the facility.
@@ -331,7 +347,8 @@ impl ListStructure {
             self.stats.transitions.incr();
         }
         if !header.monitors.is_empty() {
-            if let Some((tracer, sid)) = self.trace.read().as_ref() {
+            // One relaxed-cost atomic load when no tracer is attached.
+            if let Some((tracer, sid)) = self.trace.load() {
                 tracer.emit(
                     crate::trace::TRACE_SYSTEM_CF,
                     *sid,
@@ -385,7 +402,7 @@ impl ListStructure {
         // woken by the transition signal may claim (move) this entry the
         // instant the lock drops, and its index update must not be
         // overwritten by ours.
-        self.index.lock().insert(id, header);
+        self.index_shard(id).lock().insert(id, header);
         Ok(id)
     }
 
@@ -403,7 +420,7 @@ impl ListStructure {
         self.check_active(conn.id)?;
         self.check_condition(conn.id, cond)?;
         loop {
-            let header = *self.index.lock().get(&id).ok_or(CfError::NoSuchEntry)?;
+            let header = *self.index_shard(id).lock().get(&id).ok_or(CfError::NoSuchEntry)?;
             let mut h = self.headers[header].lock();
             let Some(pos) = h.entries.iter().position(|e| e.id == id) else {
                 continue; // moved between index read and header lock; retry
@@ -425,7 +442,7 @@ impl ListStructure {
     pub fn read_entry(&self, conn: &ListConnection, id: EntryId) -> CfResult<EntryView> {
         self.check_active(conn.id)?;
         loop {
-            let header = *self.index.lock().get(&id).ok_or(CfError::NoSuchEntry)?;
+            let header = *self.index_shard(id).lock().get(&id).ok_or(CfError::NoSuchEntry)?;
             let h = self.headers[header].lock();
             if let Some(e) = h.entries.iter().find(|e| e.id == id) {
                 return Ok(EntryView {
@@ -444,7 +461,7 @@ impl ListStructure {
         self.check_active(conn.id)?;
         self.check_condition(conn.id, cond)?;
         loop {
-            let header = *self.index.lock().get(&id).ok_or(CfError::NoSuchEntry)?;
+            let header = *self.index_shard(id).lock().get(&id).ok_or(CfError::NoSuchEntry)?;
             let mut h = self.headers[header].lock();
             let Some(pos) = h.entries.iter().position(|e| e.id == id) else {
                 continue;
@@ -453,7 +470,7 @@ impl ListStructure {
             if h.entries.is_empty() {
                 self.signal_empty(&h);
             }
-            self.index.lock().remove(&id);
+            self.index_shard(id).lock().remove(&id);
             drop(h);
             self.entry_count.fetch_sub(1, Ordering::Relaxed);
             self.stats.deletes.incr();
@@ -476,7 +493,7 @@ impl ListStructure {
         self.check_header(to_header)?;
         self.check_condition(conn.id, cond)?;
         loop {
-            let from_header = *self.index.lock().get(&id).ok_or(CfError::NoSuchEntry)?;
+            let from_header = *self.index_shard(id).lock().get(&id).ok_or(CfError::NoSuchEntry)?;
             if from_header == to_header {
                 return Ok(());
             }
@@ -506,7 +523,7 @@ impl ListStructure {
             if was_empty {
                 self.signal_transition(to_header, dst);
             }
-            self.index.lock().insert(id, to_header);
+            self.index_shard(id).lock().insert(id, to_header);
             drop(h_lo);
             drop(h_hi);
             self.stats.moves.incr();
@@ -561,7 +578,7 @@ impl ListStructure {
         if was_empty {
             self.signal_transition(to_header, dst);
         }
-        self.index.lock().insert(id, to_header);
+        self.index_shard(id).lock().insert(id, to_header);
         drop(h_lo);
         drop(h_hi);
         self.stats.moves.incr();
@@ -621,7 +638,7 @@ impl ListStructure {
         if was_empty {
             self.signal_transition(to, dst);
         }
-        self.index.lock().insert(view.id, to);
+        self.index_shard(view.id).lock().insert(view.id, to);
         drop(h_lo);
         drop(h_hi);
         self.stats.moves.incr();
@@ -649,7 +666,7 @@ impl ListStructure {
         if h.entries.is_empty() {
             self.signal_empty(&h);
         }
-        self.index.lock().remove(&e.id);
+        self.index_shard(e.id).lock().remove(&e.id);
         drop(h);
         self.entry_count.fetch_sub(1, Ordering::Relaxed);
         self.stats.dequeues.incr();

@@ -154,6 +154,15 @@ struct LockRecord {
     payload: Vec<u8>,
 }
 
+/// One shard of the record-data table: resource name -> per-connector record.
+type RecordMap = HashMap<Vec<u8>, HashMap<u8, LockRecord>>;
+
+/// Number of record-data shards. Power of two so `hash_to_slot`'s
+/// multiply-shift reduction spreads resources evenly; 16 shards keep
+/// writer collisions rare at the connector counts the structure supports
+/// (≤ 32) without bloating the per-structure footprint.
+const RECORD_SHARDS: usize = 16;
+
 /// A persistent lock record returned by recovery queries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RetainedLock {
@@ -174,8 +183,11 @@ pub struct LockStructure {
     active: AtomicU32,
     /// Connector slots that failed and whose interest is retained.
     failed_persistent: AtomicU32,
-    /// Persistent record data: resource name -> per-connector record.
-    records: Mutex<HashMap<Vec<u8>, HashMap<u8, LockRecord>>>,
+    /// Persistent record data, sharded by resource hash so concurrent
+    /// record writes from different systems don't serialize on one mutex.
+    /// Whole-table reads merge the shards in sorted order (the harness's
+    /// deterministic traces depend on that, not on shard iteration order).
+    records: Box<[Mutex<RecordMap>]>,
     record_capacity: usize,
     record_count: AtomicU64,
     /// Published counters.
@@ -207,7 +219,7 @@ impl LockStructure {
             table,
             active: AtomicU32::new(0),
             failed_persistent: AtomicU32::new(0),
-            records: Mutex::new(HashMap::new()),
+            records: (0..RECORD_SHARDS).map(|_| Mutex::new(RecordMap::new())).collect(),
             record_capacity: params.record_capacity,
             record_count: AtomicU64::new(0),
             stats: LockStats::default(),
@@ -277,6 +289,12 @@ impl LockStructure {
         hash_to_slot(name, self.table.len())
     }
 
+    /// Shard holding the record data for `resource`.
+    #[inline]
+    fn record_shard(&self, resource: &[u8]) -> &Mutex<RecordMap> {
+        &self.records[hash_to_slot(resource, RECORD_SHARDS)]
+    }
+
     /// Request interest in a lock table entry.
     ///
     /// Compatible requests are granted synchronously; incompatible requests
@@ -290,8 +308,10 @@ impl LockStructure {
         self.stats.requests.incr();
         let slot = &self.table[entry];
         let me = conn.mask();
+        // One load before the loop; a failed CAS hands back the observed
+        // word, so retries re-decode without an extra atomic load.
+        let mut cur = slot.load(Ordering::Acquire);
         loop {
-            let cur = slot.load(Ordering::Acquire);
             let share = share_of(cur);
             let excl = excl_of(cur);
             let others_share = share & !me;
@@ -324,9 +344,12 @@ impl LockStructure {
                     (cur & SHARE_MASK & !NEG_FLAG) | ((conn.raw() as u64 + 1) << EXCL_SHIFT)
                 }
             };
-            if slot.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire).is_ok() {
-                self.stats.sync_grants.incr();
-                return Ok(LockResponse::Granted);
+            match slot.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => {
+                    self.stats.sync_grants.incr();
+                    return Ok(LockResponse::Granted);
+                }
+                Err(observed) => cur = observed,
             }
         }
     }
@@ -348,8 +371,8 @@ impl LockStructure {
         self.stats.forced_interests.incr();
         let slot = &self.table[entry];
         let me = conn.mask();
+        let mut cur = slot.load(Ordering::Acquire);
         loop {
-            let cur = slot.load(Ordering::Acquire);
             let foreign_excl = excl_of(cur).filter(|&e| e != conn);
             let others_share = share_of(cur) & !me;
             let new = match mode {
@@ -359,8 +382,9 @@ impl LockStructure {
                 LockMode::Exclusive => cur | me as u64 | NEG_FLAG,
                 LockMode::Shared => cur | me as u64,
             };
-            if slot.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire).is_ok() {
-                return Ok(());
+            match slot.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return Ok(()),
+                Err(observed) => cur = observed,
             }
         }
     }
@@ -384,8 +408,8 @@ impl LockStructure {
     fn clear_conn_from_entry(&self, conn: ConnId, entry: usize) {
         let slot = &self.table[entry];
         let me = conn.mask();
+        let mut cur = slot.load(Ordering::Acquire);
         loop {
-            let cur = slot.load(Ordering::Acquire);
             let mut new = cur & !(me as u64);
             if excl_of(cur) == Some(conn) {
                 new &= !EXCL_MASK;
@@ -395,9 +419,12 @@ impl LockStructure {
             if share_of(new) == 0 && excl_of(new).is_none() {
                 new = 0;
             }
-            if new == cur || slot.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire).is_ok()
-            {
+            if new == cur {
                 return;
+            }
+            match slot.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return,
+                Err(observed) => cur = observed,
             }
         }
     }
@@ -425,16 +452,23 @@ impl LockStructure {
         payload: &[u8],
     ) -> CfResult<()> {
         self.check_active(conn)?;
-        let mut records = self.records.lock();
-        let per_conn = records.entry(resource.to_vec()).or_default();
-        let is_new = !per_conn.contains_key(&conn.raw());
-        if is_new && self.record_count.load(Ordering::Relaxed) as usize >= self.record_capacity {
-            return Err(CfError::StructureFull);
-        }
-        per_conn.insert(conn.raw(), LockRecord { mode, payload: payload.to_vec() });
+        let mut records = self.record_shard(resource).lock();
+        let is_new = !records.get(resource).is_some_and(|per_conn| per_conn.contains_key(&conn.raw()));
         if is_new {
-            self.record_count.fetch_add(1, Ordering::Relaxed);
+            // Capacity check without a global lock: optimistically reserve
+            // an element on the shared counter and roll back on overflow.
+            // A reservation that loses the race can transiently inflate the
+            // count, which only ever *rejects* a racer — never over-admits.
+            let prev = self.record_count.fetch_add(1, Ordering::Relaxed);
+            if prev as usize >= self.record_capacity {
+                self.record_count.fetch_sub(1, Ordering::Relaxed);
+                return Err(CfError::StructureFull);
+            }
         }
+        records
+            .entry(resource.to_vec())
+            .or_default()
+            .insert(conn.raw(), LockRecord { mode, payload: payload.to_vec() });
         self.stats.records_written.incr();
         Ok(())
     }
@@ -442,7 +476,7 @@ impl LockStructure {
     /// Delete the persistent record for `resource` owned by `conn`.
     pub fn delete_record(&self, conn: ConnId, resource: &[u8]) -> CfResult<()> {
         self.check_active(conn)?;
-        let mut records = self.records.lock();
+        let mut records = self.record_shard(resource).lock();
         let Some(per_conn) = records.get_mut(resource) else {
             return Err(CfError::NoSuchEntry);
         };
@@ -459,17 +493,19 @@ impl LockStructure {
     /// Enumerate the retained locks of a connector. Peers call this during
     /// recovery to learn exactly which resources the failed system held.
     pub fn retained_locks(&self, conn: ConnId) -> Vec<RetainedLock> {
-        let records = self.records.lock();
-        let mut out: Vec<RetainedLock> = records
-            .iter()
-            .filter_map(|(resource, per_conn)| {
+        let mut out: Vec<RetainedLock> = Vec::new();
+        for shard in self.records.iter() {
+            let records = shard.lock();
+            out.extend(records.iter().filter_map(|(resource, per_conn)| {
                 per_conn.get(&conn.raw()).map(|r| RetainedLock {
                     resource: resource.clone(),
                     mode: r.mode,
                     payload: r.payload.clone(),
                 })
-            })
-            .collect();
+            }));
+        }
+        // Sorted merge across shards: recovery output (and the harness's
+        // bit-for-bit replay) must not depend on shard or HashMap order.
         out.sort_by(|a, b| a.resource.cmp(&b.resource));
         out
     }
@@ -529,13 +565,15 @@ impl LockStructure {
         for entry in 0..self.table.len() {
             self.clear_conn_from_entry(conn, entry);
         }
-        let mut records = self.records.lock();
-        records.retain(|_, per_conn| {
-            if per_conn.remove(&conn.raw()).is_some() {
-                self.record_count.fetch_sub(1, Ordering::Relaxed);
-            }
-            !per_conn.is_empty()
-        });
+        for shard in self.records.iter() {
+            let mut records = shard.lock();
+            records.retain(|_, per_conn| {
+                if per_conn.remove(&conn.raw()).is_some() {
+                    self.record_count.fetch_sub(1, Ordering::Relaxed);
+                }
+                !per_conn.is_empty()
+            });
+        }
     }
 
     /// Bitmask of connector slots currently attached.
@@ -552,11 +590,14 @@ impl LockStructure {
     /// raw id, mode)` triples, sorted. Recovery audits (and the harness
     /// trace oracle) compare this against the lock-table interest.
     pub fn records_snapshot(&self) -> Vec<(Vec<u8>, u8, LockMode)> {
-        let records = self.records.lock();
-        let mut out: Vec<(Vec<u8>, u8, LockMode)> = records
-            .iter()
-            .flat_map(|(resource, per_conn)| per_conn.iter().map(|(raw, r)| (resource.clone(), *raw, r.mode)))
-            .collect();
+        let mut out: Vec<(Vec<u8>, u8, LockMode)> = Vec::new();
+        for shard in self.records.iter() {
+            let records = shard.lock();
+            out.extend(records.iter().flat_map(|(resource, per_conn)| {
+                per_conn.iter().map(|(raw, r)| (resource.clone(), *raw, r.mode))
+            }));
+        }
+        // Sorted merge across shards — load-bearing for deterministic replay.
         out.sort();
         out
     }

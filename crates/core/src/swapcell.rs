@@ -1,0 +1,163 @@
+//! A lock-free publish/load cell for rarely-replaced shared state.
+//!
+//! [`SwapCell<T>`] is the repo-local stand-in for `arc_swap::ArcSwapOption`
+//! (no external dependency): hot-path readers pay exactly one atomic load
+//! and zero locks, while writers — attach, rebuild, tracer wiring — are
+//! rare and pay a pointer swap plus a retire-list push.
+//!
+//! Replaced values are parked on a retire list and freed only when the
+//! cell itself drops, so a reader that loaded a reference immediately
+//! before a store can never observe a dangling pointer. The cost is a
+//! bounded leak proportional to the number of *stores* (O(rebuilds) for
+//! the structures that use this), never to the number of loads.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// An atomically-swappable `Option<T>` with lock-free reads.
+#[derive(Debug)]
+pub struct SwapCell<T> {
+    current: AtomicPtr<T>,
+    /// Values replaced by [`SwapCell::store`]; freed when the cell drops
+    /// so outstanding [`SwapCell::load`] borrows stay valid.
+    retired: Mutex<Vec<*mut T>>,
+}
+
+// Raw pointers suppress the auto traits; the cell is a plain container:
+// values are shared by reference (`T: Sync`) and dropped wherever the cell
+// drops (`T: Send`).
+unsafe impl<T: Send + Sync> Send for SwapCell<T> {}
+unsafe impl<T: Send + Sync> Sync for SwapCell<T> {}
+
+impl<T> Default for SwapCell<T> {
+    fn default() -> Self {
+        SwapCell::new()
+    }
+}
+
+impl<T> SwapCell<T> {
+    /// An empty cell ([`SwapCell::load`] returns `None`).
+    pub fn new() -> Self {
+        SwapCell { current: AtomicPtr::new(std::ptr::null_mut()), retired: Mutex::new(Vec::new()) }
+    }
+
+    /// A cell already holding `value`.
+    pub fn with_value(value: T) -> Self {
+        let cell = SwapCell::new();
+        cell.store(value);
+        cell
+    }
+
+    /// Publish `value`; subsequent loads observe it atomically. The
+    /// replaced value (if any) is retired, not freed, so concurrent
+    /// readers keep a valid borrow.
+    pub fn store(&self, value: T) {
+        let fresh = Box::into_raw(Box::new(value));
+        let old = self.current.swap(fresh, Ordering::AcqRel);
+        if !old.is_null() {
+            self.retired.lock().push(old);
+        }
+    }
+
+    /// Read the current value: one atomic load, no locks. The borrow is
+    /// valid for the cell's lifetime (retired values outlive all loads).
+    #[inline]
+    pub fn load(&self) -> Option<&T> {
+        let p = self.current.load(Ordering::Acquire);
+        if p.is_null() {
+            None
+        } else {
+            // SAFETY: `p` came from `Box::into_raw` in `store`; it is
+            // freed only in `Drop`, which requires `&mut self` and thus
+            // cannot run while this `&self` borrow exists.
+            Some(unsafe { &*p })
+        }
+    }
+
+    /// Whether a value has been published.
+    #[inline]
+    pub fn is_set(&self) -> bool {
+        !self.current.load(Ordering::Relaxed).is_null()
+    }
+}
+
+impl<T> Drop for SwapCell<T> {
+    fn drop(&mut self) {
+        let cur = *self.current.get_mut();
+        if !cur.is_null() {
+            // SAFETY: exclusive access; pointer originates from Box::into_raw.
+            drop(unsafe { Box::from_raw(cur) });
+        }
+        for p in self.retired.get_mut().drain(..) {
+            // SAFETY: retired pointers are unique (each swapped out once).
+            drop(unsafe { Box::from_raw(p) });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_then_store_then_replace() {
+        let cell: SwapCell<u32> = SwapCell::new();
+        assert!(cell.load().is_none());
+        assert!(!cell.is_set());
+        cell.store(7);
+        assert_eq!(cell.load(), Some(&7));
+        cell.store(8);
+        assert_eq!(cell.load(), Some(&8));
+        assert!(cell.is_set());
+    }
+
+    #[test]
+    fn with_value_starts_populated() {
+        let cell = SwapCell::with_value("hello".to_string());
+        assert_eq!(cell.load().map(String::as_str), Some("hello"));
+    }
+
+    #[test]
+    fn every_value_dropped_exactly_once() {
+        struct Probe(Arc<AtomicUsize>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let cell = SwapCell::new();
+            for _ in 0..5 {
+                cell.store(Probe(Arc::clone(&drops)));
+            }
+            // Retired values live until the cell drops.
+            assert_eq!(drops.load(Ordering::Relaxed), 0);
+        }
+        assert_eq!(drops.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn concurrent_loads_survive_stores() {
+        let cell = Arc::new(SwapCell::with_value(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let cell = Arc::clone(&cell);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..20_000 {
+                    let v = *cell.load().unwrap();
+                    assert!(v <= 64, "loaded a torn or freed value: {v}");
+                }
+            }));
+        }
+        for gen in 1..=64u64 {
+            cell.store(gen);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cell.load(), Some(&64));
+    }
+}

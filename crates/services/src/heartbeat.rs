@@ -19,10 +19,11 @@ use crate::cds::{CdsError, CoupleDataSet};
 use crate::timer::SysplexTimer;
 use crate::timer::Tod;
 use crate::xcf::Xcf;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
+use sysplex_core::swapcell::SwapCell;
 use sysplex_core::trace::{TraceEvent, Tracer, TRACE_SYSTEM_CF};
 use sysplex_core::SystemId;
 use sysplex_dasd::fence::FenceControl;
@@ -76,7 +77,7 @@ pub struct HeartbeatMonitor {
     xcf: Arc<Xcf>,
     tracked: Mutex<HashMap<SystemId, HealthState>>,
     callbacks: Mutex<Vec<FailureCallback>>,
-    tracer: RwLock<Arc<Tracer>>,
+    tracer: SwapCell<Arc<Tracer>>,
 }
 
 impl HeartbeatMonitor {
@@ -96,13 +97,13 @@ impl HeartbeatMonitor {
             xcf,
             tracked: Mutex::new(HashMap::new()),
             callbacks: Mutex::new(Vec::new()),
-            tracer: RwLock::new(Arc::new(Tracer::new())),
+            tracer: SwapCell::with_value(Arc::new(Tracer::new())),
         })
     }
 
     /// Route miss/fence trace events to the sysplex-wide component tracer.
     pub fn set_tracer(&self, tracer: Arc<Tracer>) {
-        *self.tracer.write() = tracer;
+        self.tracer.store(tracer);
     }
 
     /// The monitoring policy.
@@ -191,7 +192,9 @@ impl HeartbeatMonitor {
             if overdue {
                 // The miss is observed by the (distributed) monitor, not
                 // by the silent system itself.
-                self.tracer.read().emit(TRACE_SYSTEM_CF, 0, TraceEvent::HeartbeatMiss { system: sys.0 });
+                if let Some(tracer) = self.tracer.load() {
+                    tracer.emit(TRACE_SYSTEM_CF, 0, TraceEvent::HeartbeatMiss { system: sys.0 });
+                }
             }
             match (overdue, state) {
                 (true, _) if self.config.auto_failure => {
@@ -252,7 +255,9 @@ impl HeartbeatMonitor {
         // Order matters: fence FIRST (fail-stop), then fail XCF members,
         // then let subscribers (ARM) plan restarts.
         self.fence.fence(system.0);
-        self.tracer.read().emit(TRACE_SYSTEM_CF, 0, TraceEvent::Fence { system: system.0 });
+        if let Some(tracer) = self.tracer.load() {
+            tracer.emit(TRACE_SYSTEM_CF, 0, TraceEvent::Fence { system: system.0 });
+        }
         self.tracked.lock().insert(system, HealthState::Failed);
         self.xcf.fail_system(system);
         for cb in self.callbacks.lock().iter() {

@@ -530,11 +530,12 @@ impl Monitor {
             }
         }
 
-        // Structures: interval deltas of the raw counters.
+        // Structures: interval deltas of the raw counters. One registry
+        // snapshot per facility — counter reads and formatting all happen
+        // outside the registry lock.
         let mut structures = Vec::new();
         for (fi, cf) in self.cfs.iter().enumerate() {
-            for (name, _) in cf.inventory() {
-                let Ok(handle) = cf.structure(&name) else { continue };
+            for (name, handle) in cf.structures_snapshot() {
                 let (model, counters) = structure_counters(&handle);
                 let values: Vec<u64> = counters.iter().map(|(_, v)| *v).collect();
                 let key = (fi, name.clone());

@@ -12,12 +12,13 @@
 
 use crate::timer::SysplexTimer;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use sysplex_core::swapcell::SwapCell;
 use sysplex_core::trace::{TraceEvent, Tracer, TRACE_SYSTEM_CF};
 use sysplex_core::SystemId;
 
@@ -112,7 +113,7 @@ pub struct Xcf {
     timer: Arc<SysplexTimer>,
     /// Component tracer signal send/deliver events land in (disabled
     /// stand-in until the sysplex wires its shared tracer).
-    tracer: RwLock<Arc<Tracer>>,
+    tracer: SwapCell<Arc<Tracer>>,
     /// Signals delivered (for the E2/E3 messaging-cost accounting).
     pub signals_sent: AtomicU64,
 }
@@ -124,18 +125,20 @@ impl Xcf {
             groups: Mutex::new(HashMap::new()),
             next_token: AtomicU64::new(1),
             timer,
-            tracer: RwLock::new(Arc::new(Tracer::new())),
+            tracer: SwapCell::with_value(Arc::new(Tracer::new())),
             signals_sent: AtomicU64::new(0),
         })
     }
 
     /// Route signal trace events to the sysplex-wide component tracer.
     pub fn set_tracer(&self, tracer: Arc<Tracer>) {
-        *self.tracer.write() = tracer;
+        self.tracer.store(tracer);
     }
 
     fn trace_signal(&self, g: &Group, from: &str, to_system: SystemId, bytes: usize) {
-        let tracer = self.tracer.read();
+        // Per-signal path: one atomic load for the attachment, one relaxed
+        // load for the enabled check — no RwLock on the message path.
+        let Some(tracer) = self.tracer.load() else { return };
         if !tracer.is_enabled() {
             return;
         }

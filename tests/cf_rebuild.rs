@@ -144,3 +144,49 @@ fn concurrent_traffic_stalls_through_rebuild_and_resumes() {
     group.remove_member(SystemId::new(0));
     group.remove_member(SystemId::new(1));
 }
+
+/// Regression for the cached-structure-handle fast path: connections
+/// cache an `Arc` to their structure so the per-command path never takes
+/// the facility registry lock. A rebuild swaps those Arcs via reattach —
+/// afterwards every member's commands must land on the new structure's
+/// counters while the old structure stays completely frozen.
+#[test]
+fn post_rebuild_cached_handles_hit_the_new_structure() {
+    let (plex, group) = rig();
+    let a = group.member(SystemId::new(0)).unwrap();
+    let b = group.member(SystemId::new(1)).unwrap();
+    a.run(10, |db, txn| db.write(txn, 1, Some(b"seed"))).unwrap();
+
+    let old_lock = group.lock_structure();
+    let old_cache = group.cache_structure();
+    let cf2 = plex.add_cf("CF02");
+    group.rebuild_into(&cf2).unwrap();
+    let new_lock = group.lock_structure();
+    let new_cache = group.cache_structure();
+    assert!(!Arc::ptr_eq(&old_lock, &new_lock));
+    assert!(!Arc::ptr_eq(&old_cache, &new_cache));
+
+    let old_lock_reqs = old_lock.stats.requests.get();
+    let old_cache_reqs = old_cache.stats.reads.get();
+    let new_lock_before = new_lock.stats.requests.get();
+    let new_cache_before = new_cache.stats.reads.get();
+
+    // Both members drive commands through whatever handles their
+    // connections cached.
+    a.run(10, |db, txn| db.write(txn, 2, Some(b"via-a"))).unwrap();
+    b.run(10, |db, txn| db.read(txn, 1).map(|_| ())).unwrap();
+
+    assert!(
+        new_lock.stats.requests.get() > new_lock_before,
+        "post-rebuild lock commands advance the NEW structure"
+    );
+    assert!(
+        new_cache.stats.reads.get() > new_cache_before,
+        "post-rebuild cache commands advance the NEW structure"
+    );
+    assert_eq!(old_lock.stats.requests.get(), old_lock_reqs, "old lock structure is frozen");
+    assert_eq!(old_cache.stats.reads.get(), old_cache_reqs, "old cache structure is frozen");
+
+    group.remove_member(SystemId::new(0));
+    group.remove_member(SystemId::new(1));
+}
