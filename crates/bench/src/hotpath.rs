@@ -121,6 +121,9 @@ pub struct HotpathReport {
     /// Hardware threads available on this host (scaling assertions are
     /// only meaningful when this covers the widest phase).
     pub hw_threads: usize,
+    /// Transport backend the commands travelled over (always in-process
+    /// for this bench; the TCP path is measured by `sysplex_scale`).
+    pub transport: &'static str,
     /// Operations per worker thread per phase.
     pub ops_per_thread: u64,
     /// Thread counts swept.
@@ -516,6 +519,7 @@ pub fn run(ops_per_thread: u64, thread_counts: &[usize]) -> HotpathReport {
 
     HotpathReport {
         hw_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        transport: sysplex_core::TransportBackend::InProcess.name(),
         ops_per_thread,
         thread_counts: thread_counts.to_vec(),
         phases,
@@ -533,6 +537,7 @@ impl HotpathReport {
         let mut out = String::from("{\n");
         out.push_str("  \"report\": \"cf_hotpath\",\n");
         out.push_str(&format!("  \"hw_threads\": {},\n", self.hw_threads));
+        out.push_str(&format!("  \"transport\": \"{}\",\n", self.transport));
         out.push_str(&format!("  \"ops_per_thread\": {},\n", self.ops_per_thread));
         out.push_str(&format!(
             "  \"thread_counts\": [{}],\n",
@@ -637,6 +642,7 @@ mod tests {
         for key in [
             "\"report\": \"cf_hotpath\"",
             "\"hw_threads\"",
+            "\"transport\": \"in-process\"",
             "\"phases\"",
             "\"scaling\"",
             "\"lock_uncontended_max_vs_1\"",

@@ -6,6 +6,7 @@
 //! do, sized for a small host.
 
 pub mod hotpath;
+pub mod scale;
 
 use std::sync::Arc;
 use std::time::Duration;

@@ -117,7 +117,7 @@ impl CacheParams {
 }
 
 /// Result of [`CacheStructure::read_and_register`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegisterResult {
     /// The block data, when the structure holds a current copy.
     pub data: Option<Arc<Vec<u8>>>,

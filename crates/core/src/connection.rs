@@ -126,7 +126,8 @@ impl CommandClass {
         }
     }
 
-    const fn index(self) -> usize {
+    /// Stable dense index (stats arrays, wire encoding).
+    pub const fn index(self) -> usize {
         match self {
             CommandClass::LockRequest => 0,
             CommandClass::LockRelease => 1,
@@ -495,14 +496,22 @@ impl CfSubchannel {
         if traced {
             self.emit(TraceEvent::CmdIssued { class: cmd.class, converted_async: false });
         }
-        let r = match self.check_fault(&cmd) {
-            Ok(delay) => {
-                if let Some(d) = delay {
-                    spin_for(d);
+        // A dead link (facility shut down) fails every command with the
+        // same typed timeout a lost-in-flight command produces — one
+        // Acquire load on the healthy path.
+        let r = if self.link.is_shut_down() {
+            cs.faulted.incr();
+            Err(CfError::LinkTimeout(cmd.class.name()))
+        } else {
+            match self.check_fault(&cmd) {
+                Ok(delay) => {
+                    if let Some(d) = delay {
+                        spin_for(d);
+                    }
+                    self.link.execute_sync(cmd.payload_bytes, op)
                 }
-                self.link.execute_sync(cmd.payload_bytes, op)
+                Err(e) => Err(e),
             }
-            Err(e) => Err(e),
         };
         let elapsed = t0.elapsed();
         cs.latency.record(elapsed);
@@ -533,20 +542,27 @@ impl CfSubchannel {
         if traced {
             self.emit(TraceEvent::CmdIssued { class: cmd.class, converted_async: true });
         }
-        let r = match self.check_fault(&cmd) {
-            Ok(delay) => {
-                if let Some(d) = delay {
-                    spin_for(d);
-                }
-                match self.link.execute_async(cmd.payload_bytes, op).checked_wait() {
-                    Some(r) => r,
-                    None => {
-                        cs.faulted.incr();
-                        Err(CfError::LinkTimeout(cmd.class.name()))
+        // Same dead-link fast-fail as the synchronous path; a shutdown
+        // racing an in-flight submit is still caught by `checked_wait`.
+        let r = if self.link.is_shut_down() {
+            cs.faulted.incr();
+            Err(CfError::LinkTimeout(cmd.class.name()))
+        } else {
+            match self.check_fault(&cmd) {
+                Ok(delay) => {
+                    if let Some(d) = delay {
+                        spin_for(d);
+                    }
+                    match self.link.execute_async(cmd.payload_bytes, op).checked_wait() {
+                        Some(r) => r,
+                        None => {
+                            cs.faulted.incr();
+                            Err(CfError::LinkTimeout(cmd.class.name()))
+                        }
                     }
                 }
+                Err(e) => Err(e),
             }
-            Err(e) => Err(e),
         };
         let elapsed = t0.elapsed();
         cs.latency.record(elapsed);

@@ -142,6 +142,20 @@ impl CouplingFacility {
         self.injector.arm(fault);
     }
 
+    /// Power the facility off: stop the CF processors and sever every
+    /// attached link. Subsequent commands through any subchannel fail
+    /// with [`CfError::LinkTimeout`] — the same typed error a lost
+    /// in-flight command produces — so exploiter recovery paths see a
+    /// facility outage exactly like a broken link.
+    pub fn shutdown(&self) {
+        self.executor.shutdown();
+    }
+
+    /// Whether [`CouplingFacility::shutdown`] has run.
+    pub fn is_shut_down(&self) -> bool {
+        self.executor.is_shut_down()
+    }
+
     /// Connect to the named lock structure through a new subchannel.
     pub fn connect_lock(&self, name: &str) -> CfResult<LockConnection> {
         let s = self.lock_structure(name)?;

@@ -61,7 +61,9 @@ pub mod lock;
 pub mod stats;
 pub mod swapcell;
 pub mod trace;
+pub mod transport;
 pub mod types;
+pub mod wire;
 
 pub use connection::{
     CacheConnection, CfCommand, CfSubchannel, CommandClass, ConnectionStats, ConversionPolicy, FaultInjector,
@@ -70,4 +72,9 @@ pub use connection::{
 pub use error::{CfError, CfResult};
 pub use facility::{CfConfig, CouplingFacility};
 pub use trace::{TraceClock, TraceEvent, TraceKind, TraceRecord, Tracer};
+pub use transport::{
+    CfTransport, InProcessTransport, RemoteCacheConnection, RemoteListConnection, RemoteLockConnection,
+    TcpTransport, TransportBackend,
+};
 pub use types::{ConnId, ConnMask, SystemId, MAX_CONNECTORS, MAX_SYSTEMS};
+pub use wire::{WireError, WireRequest, WireResponse};

@@ -17,6 +17,7 @@
 //! functional use.
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -101,6 +102,13 @@ impl CfLink {
         self.config
     }
 
+    /// Whether the facility end of this link has been shut down. One
+    /// Acquire load — cheap enough for the per-command path.
+    #[inline]
+    pub fn is_shut_down(&self) -> bool {
+        self.executor.is_shut_down()
+    }
+
     /// Execute a CF command **CPU-synchronously**: the issuing processor
     /// spins for the simulated round trip with the payload in flight, then
     /// observes the result. Completion is measured in microseconds and
@@ -175,6 +183,9 @@ type Job = Box<dyn FnOnce() + Send>;
 pub struct CfExecutor {
     tx: parking_lot::Mutex<Option<Sender<Job>>>,
     workers: parking_lot::Mutex<Vec<JoinHandle<()>>>,
+    /// Mirrors `tx.is_none()` so the per-command liveness test is one
+    /// atomic load instead of a mutex acquisition.
+    shut_down: AtomicBool,
 }
 
 impl CfExecutor {
@@ -194,7 +205,11 @@ impl CfExecutor {
                     .expect("spawn CF processor")
             })
             .collect();
-        CfExecutor { tx: parking_lot::Mutex::new(Some(tx)), workers: parking_lot::Mutex::new(handles) }
+        CfExecutor {
+            tx: parking_lot::Mutex::new(Some(tx)),
+            workers: parking_lot::Mutex::new(handles),
+            shut_down: AtomicBool::new(false),
+        }
     }
 
     /// Queue a job; after shutdown the job is dropped, which closes any
@@ -205,15 +220,21 @@ impl CfExecutor {
         }
     }
 
-    /// Whether [`CfExecutor::shutdown`] has run.
+    /// Whether [`CfExecutor::shutdown`] has run. One Acquire load.
+    #[inline]
     pub fn is_shut_down(&self) -> bool {
-        self.tx.lock().is_none()
+        self.shut_down.load(Ordering::Acquire)
     }
 
     /// Stop the processors: close the job channel, let the workers drain
     /// what is already queued, and join them. Idempotent; used on facility
     /// deallocation.
     pub fn shutdown(&self) {
+        // Flag first, then drop the sender: a command that still slips its
+        // job into the closing channel is drained by the workers, so both
+        // orders are safe; flag-first makes the common observation (flag
+        // set ⇒ channel closed or closing) immediate.
+        self.shut_down.store(true, Ordering::Release);
         // Dropping the only sender disconnects the channel; each worker's
         // recv() then fails once the queue is drained and the thread exits.
         drop(self.tx.lock().take());

@@ -1,0 +1,360 @@
+//! Property-based round trips for the sysplex wire codec.
+//!
+//! Every [`WireRequest`] and [`WireResponse`] variant (one of each per
+//! generated case, all parameterized by fuzzed field values), every
+//! [`CommandClass`] and [`CfError`], max-size payloads, and the
+//! truncated-frame error paths: a strict prefix of a valid encoding must
+//! decode to an error — never a panic, never a silent success.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use sysplex_core::cache::{BlockName, RegisterResult, WriteKind, WriteResult};
+use sysplex_core::connection::{CfCommand, CommandClass};
+use sysplex_core::error::CfError;
+use sysplex_core::list::{DequeueEnd, EntryId, EntryView, LockCondition, WritePosition};
+use sysplex_core::lock::{DisconnectMode, LockMode, LockResponse, RetainedLock};
+use sysplex_core::types::{ConnId, MAX_CONNECTORS};
+use sysplex_core::wire::{read_frame, write_frame, WireRequest, WireResponse};
+
+fn conn(raw: u8) -> ConnId {
+    ConnId::from_raw(raw % MAX_CONNECTORS as u8)
+}
+
+fn opt_conn(raw: u8) -> Option<ConnId> {
+    if raw & 0x80 != 0 {
+        Some(conn(raw))
+    } else {
+        None
+    }
+}
+
+fn ascii(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| (b % 94 + 33) as char).collect()
+}
+
+/// Labels the decoder can re-intern exactly (unknown labels collapse to
+/// "remote" by design — tested separately in the wire unit tests).
+fn label(sel: u8) -> &'static str {
+    let extras = ["tcp-link", "wire-protocol", "remote"];
+    let n = CommandClass::COUNT + extras.len();
+    let i = sel as usize % n;
+    if i < CommandClass::COUNT {
+        CommandClass::ALL[i].name()
+    } else {
+        extras[i - CommandClass::COUNT]
+    }
+}
+
+fn class(sel: u8) -> CommandClass {
+    CommandClass::ALL[sel as usize % CommandClass::COUNT]
+}
+
+fn lock_mode(sel: u8) -> LockMode {
+    if sel & 1 == 0 {
+        LockMode::Shared
+    } else {
+        LockMode::Exclusive
+    }
+}
+
+fn disconnect_mode(sel: u8) -> DisconnectMode {
+    if sel & 2 == 0 {
+        DisconnectMode::Normal
+    } else {
+        DisconnectMode::Abnormal
+    }
+}
+
+fn write_kind(sel: u8) -> WriteKind {
+    match sel % 3 {
+        0 => WriteKind::CleanData,
+        1 => WriteKind::ChangedData,
+        _ => WriteKind::InvalidateOnly,
+    }
+}
+
+fn position(sel: u8) -> WritePosition {
+    match sel % 3 {
+        0 => WritePosition::Head,
+        1 => WritePosition::Tail,
+        _ => WritePosition::Keyed,
+    }
+}
+
+fn end(sel: u8) -> DequeueEnd {
+    if sel & 4 == 0 {
+        DequeueEnd::Head
+    } else {
+        DequeueEnd::Tail
+    }
+}
+
+fn cond(sel: u8, n: u64) -> LockCondition {
+    match sel % 3 {
+        0 => LockCondition::None,
+        1 => LockCondition::LockFree(n as usize),
+        _ => LockCondition::HeldBySelf(n as usize),
+    }
+}
+
+fn entry_view(n: u64, data: &[u8]) -> EntryView {
+    EntryView { id: EntryId(n), key: n ^ 0xABCD, data: data.to_vec(), header: (n % 64) as usize, version: n }
+}
+
+/// One request of every variant, parameterized by the fuzz inputs.
+fn request_samples(h: u32, n: u64, sel: u8, data: &[u8], name: &str) -> Vec<WireRequest> {
+    let block = BlockName::from_bytes(&data[..data.len().min(16)]);
+    vec![
+        WireRequest::AttachLock { structure: name.to_string() },
+        WireRequest::AttachLockSlot { structure: name.to_string(), slot: conn(sel) },
+        WireRequest::AttachCache { structure: name.to_string(), vector_len: n },
+        WireRequest::AttachList { structure: name.to_string(), vector_len: n },
+        WireRequest::LockRequest { handle: h, entry: n, mode: lock_mode(sel) },
+        WireRequest::LockForce { handle: h, entry: n, mode: lock_mode(sel) },
+        WireRequest::LockRelease { handle: h, entry: n },
+        WireRequest::LockHolders { handle: h, entry: n },
+        WireRequest::LockIsNegotiate { handle: h, entry: n },
+        WireRequest::LockWriteRecord {
+            handle: h,
+            resource: data.to_vec(),
+            mode: lock_mode(sel),
+            payload: data.to_vec(),
+        },
+        WireRequest::LockDeleteRecord { handle: h, resource: data.to_vec() },
+        WireRequest::LockRetainedOf { handle: h, peer: conn(sel) },
+        WireRequest::LockIsFailedPersistent { handle: h, peer: conn(sel) },
+        WireRequest::LockRecoveryComplete { handle: h, peer: conn(sel) },
+        WireRequest::LockDetach { handle: h, mode: disconnect_mode(sel) },
+        WireRequest::LockDetachPeer { handle: h, peer: conn(sel), mode: disconnect_mode(sel) },
+        WireRequest::CacheRead { handle: h, name: block, vector_index: h ^ 7 },
+        WireRequest::CacheWrite { handle: h, name: block, data: data.to_vec(), kind: write_kind(sel) },
+        WireRequest::CacheUnregister { handle: h, name: block },
+        WireRequest::CacheCastoutCandidates { handle: h, max: n },
+        WireRequest::CacheCastoutRead { handle: h, name: block },
+        WireRequest::CacheCastoutComplete { handle: h, name: block, version: n },
+        WireRequest::CacheIsValid { handle: h, vector_index: h },
+        WireRequest::CacheDetach { handle: h },
+        WireRequest::ListEnqueue {
+            handle: h,
+            header: n,
+            key: n,
+            data: data.to_vec(),
+            position: position(sel),
+            cond: cond(sel, n),
+        },
+        WireRequest::ListUpdate {
+            handle: h,
+            id: EntryId(n),
+            key: n,
+            data: data.to_vec(),
+            expected_version: if sel & 8 == 0 { None } else { Some(n) },
+            cond: cond(sel, n),
+        },
+        WireRequest::ListReadEntry { handle: h, id: EntryId(n) },
+        WireRequest::ListDelete { handle: h, id: EntryId(n), cond: cond(sel, n) },
+        WireRequest::ListMoveTo {
+            handle: h,
+            id: EntryId(n),
+            to_header: n,
+            position: position(sel),
+            cond: cond(sel, n),
+        },
+        WireRequest::ListTransfer {
+            handle: h,
+            id: EntryId(n),
+            from_header: n,
+            to_header: n ^ 1,
+            position: position(sel),
+            cond: cond(sel, n),
+        },
+        WireRequest::ListClaimFirst {
+            handle: h,
+            from: n,
+            to: n ^ 1,
+            end: end(sel),
+            position: position(sel),
+            cond: cond(sel, n),
+        },
+        WireRequest::ListTake { handle: h, header: n, end: end(sel), cond: cond(sel, n) },
+        WireRequest::ListScan { handle: h, header: n },
+        WireRequest::ListHeaderLen { handle: h, header: n },
+        WireRequest::ListLockAcquire { handle: h, entry: n },
+        WireRequest::ListLockRelease { handle: h, entry: n },
+        WireRequest::ListLockHolder { handle: h, entry: n },
+        WireRequest::ListMonitor { handle: h, header: n, vector_index: h },
+        WireRequest::ListDeregisterMonitor { handle: h, header: n },
+        WireRequest::ListIsSignaled { handle: h, vector_index: h },
+        WireRequest::ListDetach { handle: h },
+        WireRequest::Probe(if sel & 16 == 0 {
+            CfCommand::new(class(sel), n as usize & 0xFFFF)
+        } else {
+            CfCommand::new(class(sel), n as usize & 0xFFFF).bulk()
+        }),
+    ]
+}
+
+/// One error of every variant, with decoder-internable labels.
+fn error_samples(sel: u8, n: u64, name: &str) -> Vec<CfError> {
+    vec![
+        CfError::NoSuchStructure(name.to_string()),
+        CfError::StructureExists(name.to_string()),
+        CfError::StructureFull,
+        CfError::FacilityFull,
+        CfError::NoConnectorSlots,
+        CfError::BadConnector,
+        CfError::NoSuchEntry,
+        CfError::VersionMismatch { expected: n, found: n ^ 3 },
+        CfError::LockHeld { holder: conn(sel) },
+        CfError::NotLockHolder,
+        CfError::BadParameter(label(sel)),
+        CfError::WrongModel,
+        CfError::LinkTimeout(label(sel)),
+        CfError::InterfaceControlCheck(label(sel.wrapping_add(1))),
+    ]
+}
+
+/// One response of every variant, parameterized by the fuzz inputs.
+fn response_samples(h: u32, n: u64, sel: u8, data: &[u8], name: &str) -> Vec<WireResponse> {
+    let block = BlockName::from_bytes(&data[..data.len().min(16)]);
+    let mut out = vec![
+        WireResponse::Unit,
+        WireResponse::Attached { handle: h, conn: conn(sel), geometry: n },
+        WireResponse::Bool(sel & 1 == 0),
+        WireResponse::U64(n),
+        WireResponse::Lock(LockResponse::Granted),
+        WireResponse::Lock(LockResponse::Contention { holders: h, exclusive: opt_conn(sel) }),
+        WireResponse::Holders { mask: h, exclusive: opt_conn(sel) },
+        WireResponse::Retained(vec![RetainedLock {
+            resource: data.to_vec(),
+            mode: lock_mode(sel),
+            payload: data.to_vec(),
+        }]),
+        WireResponse::Register(RegisterResult {
+            data: if sel & 32 == 0 { None } else { Some(Arc::new(data.to_vec())) },
+            version: n,
+            changed: sel & 64 != 0,
+        }),
+        WireResponse::Write(WriteResult { invalidated: (n % 33) as usize, version: n }),
+        WireResponse::Blocks(vec![block, block]),
+        WireResponse::Data { data: data.to_vec(), version: n },
+        WireResponse::Entry(EntryId(n)),
+        WireResponse::OptEntry(None),
+        WireResponse::OptEntry(Some(entry_view(n, data))),
+        WireResponse::Entries(vec![entry_view(n, data), entry_view(n ^ 5, data)]),
+        WireResponse::OptConn(opt_conn(sel)),
+    ];
+    out.extend(error_samples(sel, n, name).into_iter().map(WireResponse::Error));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_request_variant_round_trips(
+        h in any::<u32>(),
+        n in any::<u64>(),
+        sel in any::<u8>(),
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        name_bytes in proptest::collection::vec(any::<u8>(), 0..24),
+    ) {
+        let name = ascii(&name_bytes);
+        for req in request_samples(h, n, sel, &data, &name) {
+            let bytes = req.encode();
+            prop_assert_eq!(WireRequest::decode(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn every_response_variant_round_trips(
+        h in any::<u32>(),
+        n in any::<u64>(),
+        sel in any::<u8>(),
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        name_bytes in proptest::collection::vec(any::<u8>(), 0..24),
+    ) {
+        let name = ascii(&name_bytes);
+        for resp in response_samples(h, n, sel, &data, &name) {
+            let bytes = resp.encode();
+            prop_assert_eq!(WireResponse::decode(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn truncated_requests_error_never_panic(
+        h in any::<u32>(),
+        n in any::<u64>(),
+        sel in any::<u8>(),
+        data in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        for req in request_samples(h, n, sel, &data, "STRUCT") {
+            let bytes = req.encode();
+            for cut in 0..bytes.len() {
+                prop_assert!(
+                    WireRequest::decode(&bytes[..cut]).is_err(),
+                    "strict prefix of {req:?} decoded successfully at {cut}/{}", bytes.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_responses_error_never_panic(
+        h in any::<u32>(),
+        n in any::<u64>(),
+        sel in any::<u8>(),
+        data in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        for resp in response_samples(h, n, sel, &data, "STRUCT") {
+            let bytes = resp.encode();
+            for cut in 0..bytes.len() {
+                prop_assert!(
+                    WireResponse::decode(&bytes[..cut]).is_err(),
+                    "strict prefix of {resp:?} decoded successfully at {cut}/{}", bytes.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_and_truncated_frames_error(
+        body in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &body).unwrap();
+        prop_assert_eq!(read_frame(&mut framed.as_slice()).unwrap(), body);
+        // Every strict prefix of the frame is an I/O error, not a panic
+        // and not a short read silently returned as data.
+        for cut in 0..framed.len() {
+            prop_assert!(read_frame(&mut &framed[..cut]).is_err());
+        }
+    }
+}
+
+/// Max-size payloads: a full 4 KiB page through the cache-write path and
+/// the lock record path, plus a `CfCommand` claiming the largest payload
+/// a subchannel can express.
+#[test]
+fn max_size_payloads_round_trip() {
+    let page = vec![0xA5u8; 4096];
+    let reqs = [
+        WireRequest::CacheWrite {
+            handle: 7,
+            name: BlockName::from_parts(9, 1234),
+            data: page.clone(),
+            kind: WriteKind::ChangedData,
+        },
+        WireRequest::LockWriteRecord {
+            handle: 7,
+            resource: page.clone(),
+            mode: LockMode::Exclusive,
+            payload: page.clone(),
+        },
+        WireRequest::Probe(CfCommand::new(CommandClass::CacheWrite, usize::MAX).bulk()),
+    ];
+    for req in reqs {
+        assert_eq!(WireRequest::decode(&req.encode()).unwrap(), req);
+    }
+    let resp = WireResponse::Data { data: page, version: u64::MAX };
+    assert_eq!(WireResponse::decode(&resp.encode()).unwrap(), resp);
+}

@@ -22,6 +22,9 @@
 //!   IPL / quiesce / fail lifecycle.
 //! * [`sysplex`] — the assembled runtime wiring all of the above to the
 //!   Coupling Facility and shared DASD crates.
+//! * [`transport`] — the sysplex wire protocol: a [`SysplexServer`]
+//!   admits member systems running in other OS processes, tunnelling CF
+//!   commands, XCF signalling and heartbeat pulses over TCP.
 
 pub mod arm;
 pub mod cds;
@@ -31,6 +34,7 @@ pub mod monitor;
 pub mod sysplex;
 pub mod system;
 pub mod timer;
+pub mod transport;
 pub mod wlm;
 pub mod xcf;
 
@@ -42,5 +46,8 @@ pub use monitor::{ActivityReport, Monitor};
 pub use sysplex::{Sysplex, SysplexConfig};
 pub use system::{System, SystemConfig, SystemState};
 pub use timer::{SysplexTimer, Tod};
+pub use transport::{
+    PulseHandle, RemoteSysplex, RemoteXcfMember, SxError, SxRequest, SxResponse, SysplexServer,
+};
 pub use wlm::{ServiceClass, Wlm};
 pub use xcf::{GroupEvent, Xcf, XcfItem, XcfMember};

@@ -197,6 +197,16 @@ impl ActivityReport {
         let mut out = String::with_capacity(4096);
         out.push_str("{\n");
         out.push_str("  \"report\": \"cf_activity\",\n");
+        out.push_str(&format!(
+            "  \"hw_threads\": {},\n",
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        ));
+        // The monitor observes an in-process CF; remote members are
+        // measured at their own end (see BENCH_sysplex_scale.json).
+        out.push_str(&format!(
+            "  \"transport\": \"{}\",\n",
+            sysplex_core::TransportBackend::InProcess.name()
+        ));
         out.push_str(&format!("  \"title\": {},\n", json_str(&self.title)));
         out.push_str(&format!("  \"interval_ms\": {},\n", self.interval.as_millis()));
 
@@ -807,6 +817,8 @@ mod tests {
         let json = monitor.report().to_json();
         for field in [
             "\"report\": \"cf_activity\"",
+            "\"hw_threads\"",
+            "\"transport\": \"in-process\"",
             "\"interval_ms\"",
             "\"structures\"",
             "\"command_classes\"",

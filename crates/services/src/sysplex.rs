@@ -221,6 +221,24 @@ impl Sysplex {
         image
     }
 
+    /// Admit a member running in **another OS process** (TCP transport):
+    /// it receives WLM capacity and a heartbeat registration like any
+    /// IPLed system, but owns no local [`System`] image — it pulses over
+    /// the wire instead of via [`Sysplex::tick`], and an overdue pulse
+    /// runs the exact same failure choreography (fence, XCF member
+    /// failure, WLM removal, ARM restart) a local silent system does.
+    pub fn register_remote_member(&self, id: SystemId, mips: f64) -> Result<(), crate::cds::CdsError> {
+        self.wlm.set_capacity(id, mips);
+        self.heartbeat.register(id)
+    }
+
+    /// Orderly departure of a remote member (the wire-side analogue of
+    /// [`Sysplex::remove_planned`]): leave routing, stop expecting pulses.
+    pub fn deregister_remote_member(&self, id: SystemId) {
+        self.wlm.set_online(id, false);
+        self.heartbeat.deregister(id);
+    }
+
     /// Look up a system image.
     pub fn system(&self, id: SystemId) -> Option<Arc<System>> {
         self.systems.lock().get(&id).cloned()

@@ -1,0 +1,1076 @@
+//! Sysplex wire transport: remote members over TCP.
+//!
+//! The core crate's [`sysplex_core::transport`] carries **CF structure
+//! commands** for a single structure connector. This module layers the
+//! rest of what a *member system* needs on the same framing
+//! ([`sysplex_core::wire`]): an admission handshake, XCF group
+//! signalling, and heartbeat pulses — so a system image running in a
+//! **different OS process** can participate in the sysplex exactly like
+//! a thread-local one.
+//!
+//! The protocol is a strict request/response envelope ([`SxRequest`] /
+//! [`SxResponse`]) over the same `SPLX` frames the CF protocol uses.
+//! One TCP connection == one member session:
+//!
+//! * `Hello` admits the member (WLM capacity + heartbeat registration
+//!   via [`Sysplex::register_remote_member`]).
+//! * `Cf(...)` tunnels a core [`WireRequest`] to a per-session
+//!   [`InProcessTransport`] serving the chosen coupling facility.
+//! * `XcfJoin`/`XcfSend`/`XcfPoll`/… proxy the XCF member API; member
+//!   handles are session-scoped integers.
+//! * `Pulse` writes the member's heartbeat to the couple data set.
+//! * `Goodbye` is an orderly departure ([`Sysplex::deregister_remote_member`]).
+//!
+//! **Failure model.** If the socket dies without a `Goodbye`, the
+//! session leaves the heartbeat registration in place and abnormally
+//! detaches the member's CF endpoints (held locks become
+//! failed-persistent retained locks). The server's accept loop keeps
+//! sweeping [`HeartbeatMonitor::check_once`], so the overdue pulse runs
+//! the standard failure choreography: fence first, then XCF
+//! `MemberFailed` events to surviving peers — identical to a local
+//! system going silent. A broken wire is indistinguishable from a dead
+//! system, which is precisely the S/390 status-monitoring contract.
+
+use crate::sysplex::Sysplex;
+use crate::xcf::{GroupEvent, MemberInfo, XcfError, XcfItem, XcfMember};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use sysplex_core::error::{CfError, CfResult};
+use sysplex_core::facility::CouplingFacility;
+use sysplex_core::transport::{
+    CfTransport, InProcessTransport, RemoteCacheConnection, RemoteListConnection, RemoteLockConnection,
+    TransportBackend,
+};
+use sysplex_core::types::{SystemId, MAX_SYSTEMS};
+use sysplex_core::wire::{
+    read_frame, write_frame, WireError, WireReader, WireRequest, WireResponse, WireWriter,
+};
+
+// ---------------------------------------------------------------------------
+// Envelope protocol
+// ---------------------------------------------------------------------------
+
+/// A member-session request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SxRequest {
+    /// Admission handshake: must be the first request on a session.
+    Hello {
+        /// System identity the member claims.
+        system: SystemId,
+        /// Human-readable system name (for reports).
+        name: String,
+        /// Capacity the member contributes to WLM routing.
+        mips_bits: u64,
+    },
+    /// A tunnelled CF structure command.
+    Cf(WireRequest),
+    /// Join an XCF group.
+    XcfJoin {
+        /// Group name.
+        group: String,
+        /// Member name (unique within the group).
+        member: String,
+    },
+    /// Orderly leave of a joined member.
+    XcfLeave {
+        /// Session-scoped member handle from `Joined`.
+        handle: u32,
+    },
+    /// Point-to-point signal.
+    XcfSend {
+        /// Session-scoped member handle.
+        handle: u32,
+        /// Target member name.
+        to: String,
+        /// Signal payload.
+        payload: Vec<u8>,
+    },
+    /// Broadcast to all group peers.
+    XcfBroadcast {
+        /// Session-scoped member handle.
+        handle: u32,
+        /// Signal payload.
+        payload: Vec<u8>,
+    },
+    /// Non-blocking poll of the member's signal queue.
+    XcfPoll {
+        /// Session-scoped member handle.
+        handle: u32,
+    },
+    /// Current group membership.
+    XcfPeers {
+        /// Session-scoped member handle.
+        handle: u32,
+    },
+    /// Heartbeat pulse for the admitted system.
+    Pulse,
+    /// Orderly departure; the server responds `Ok` then closes.
+    Goodbye,
+}
+
+/// A member-session response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SxResponse {
+    /// Success with nothing to return.
+    Ok,
+    /// Response to a tunnelled CF command (errors travel inside).
+    Cf(WireResponse),
+    /// Successful `XcfJoin`.
+    Joined {
+        /// Session-scoped member handle for subsequent XCF requests.
+        handle: u32,
+    },
+    /// Result of `XcfPoll`.
+    Item(Option<XcfItem>),
+    /// Result of `XcfPeers`.
+    Peers(Vec<MemberInfo>),
+    /// Result of `XcfBroadcast`: receivers signalled.
+    Count(u64),
+    /// An XCF service error.
+    XcfFail(XcfError),
+    /// Admission/protocol refusal with a reason.
+    Denied(String),
+}
+
+fn put_system(w: &mut WireWriter, s: SystemId) {
+    w.put_u8(s.0);
+}
+
+fn get_system(r: &mut WireReader) -> Result<SystemId, WireError> {
+    let raw = r.get_u8()?;
+    if (raw as usize) < MAX_SYSTEMS {
+        Ok(SystemId(raw))
+    } else {
+        Err(WireError::BadTag("system id"))
+    }
+}
+
+fn put_group_event(w: &mut WireWriter, e: &GroupEvent) {
+    match e {
+        GroupEvent::MemberJoined { member, system } => {
+            w.put_u8(0);
+            w.put_str(member);
+            put_system(w, *system);
+        }
+        GroupEvent::MemberLeft { member } => {
+            w.put_u8(1);
+            w.put_str(member);
+        }
+        GroupEvent::MemberFailed { member, system } => {
+            w.put_u8(2);
+            w.put_str(member);
+            put_system(w, *system);
+        }
+    }
+}
+
+fn get_group_event(r: &mut WireReader) -> Result<GroupEvent, WireError> {
+    Ok(match r.get_u8()? {
+        0 => GroupEvent::MemberJoined { member: r.get_str()?, system: get_system(r)? },
+        1 => GroupEvent::MemberLeft { member: r.get_str()? },
+        2 => GroupEvent::MemberFailed { member: r.get_str()?, system: get_system(r)? },
+        _ => return Err(WireError::BadTag("group event")),
+    })
+}
+
+fn put_xcf_item(w: &mut WireWriter, item: &XcfItem) {
+    match item {
+        XcfItem::Message { from, payload } => {
+            w.put_u8(0);
+            w.put_str(from);
+            w.put_bytes(payload);
+        }
+        XcfItem::Event(e) => {
+            w.put_u8(1);
+            put_group_event(w, e);
+        }
+    }
+}
+
+fn get_xcf_item(r: &mut WireReader) -> Result<XcfItem, WireError> {
+    Ok(match r.get_u8()? {
+        0 => XcfItem::Message { from: r.get_str()?, payload: r.get_bytes()? },
+        1 => XcfItem::Event(get_group_event(r)?),
+        _ => return Err(WireError::BadTag("xcf item")),
+    })
+}
+
+fn put_xcf_error(w: &mut WireWriter, e: &XcfError) {
+    match e {
+        XcfError::DuplicateMember(m) => {
+            w.put_u8(0);
+            w.put_str(m);
+        }
+        XcfError::NoSuchMember(m) => {
+            w.put_u8(1);
+            w.put_str(m);
+        }
+        XcfError::StaleHandle => w.put_u8(2),
+    }
+}
+
+fn get_xcf_error(r: &mut WireReader) -> Result<XcfError, WireError> {
+    Ok(match r.get_u8()? {
+        0 => XcfError::DuplicateMember(r.get_str()?),
+        1 => XcfError::NoSuchMember(r.get_str()?),
+        2 => XcfError::StaleHandle,
+        _ => return Err(WireError::BadTag("xcf error")),
+    })
+}
+
+impl SxRequest {
+    /// Serialize into a wire body (framing is the caller's job).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            SxRequest::Hello { system, name, mips_bits } => {
+                w.put_u8(0);
+                put_system(&mut w, *system);
+                w.put_str(name);
+                w.put_u64(*mips_bits);
+            }
+            SxRequest::Cf(req) => {
+                w.put_u8(1);
+                req.encode_into(&mut w);
+            }
+            SxRequest::XcfJoin { group, member } => {
+                w.put_u8(2);
+                w.put_str(group);
+                w.put_str(member);
+            }
+            SxRequest::XcfLeave { handle } => {
+                w.put_u8(3);
+                w.put_u32(*handle);
+            }
+            SxRequest::XcfSend { handle, to, payload } => {
+                w.put_u8(4);
+                w.put_u32(*handle);
+                w.put_str(to);
+                w.put_bytes(payload);
+            }
+            SxRequest::XcfBroadcast { handle, payload } => {
+                w.put_u8(5);
+                w.put_u32(*handle);
+                w.put_bytes(payload);
+            }
+            SxRequest::XcfPoll { handle } => {
+                w.put_u8(6);
+                w.put_u32(*handle);
+            }
+            SxRequest::XcfPeers { handle } => {
+                w.put_u8(7);
+                w.put_u32(*handle);
+            }
+            SxRequest::Pulse => w.put_u8(8),
+            SxRequest::Goodbye => w.put_u8(9),
+        }
+        w.into_bytes()
+    }
+
+    /// Parse a wire body produced by [`SxRequest::encode`].
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(buf);
+        let v = match r.get_u8()? {
+            0 => {
+                SxRequest::Hello { system: get_system(&mut r)?, name: r.get_str()?, mips_bits: r.get_u64()? }
+            }
+            1 => SxRequest::Cf(WireRequest::decode_from(&mut r)?),
+            2 => SxRequest::XcfJoin { group: r.get_str()?, member: r.get_str()? },
+            3 => SxRequest::XcfLeave { handle: r.get_u32()? },
+            4 => SxRequest::XcfSend { handle: r.get_u32()?, to: r.get_str()?, payload: r.get_bytes()? },
+            5 => SxRequest::XcfBroadcast { handle: r.get_u32()?, payload: r.get_bytes()? },
+            6 => SxRequest::XcfPoll { handle: r.get_u32()? },
+            7 => SxRequest::XcfPeers { handle: r.get_u32()? },
+            8 => SxRequest::Pulse,
+            9 => SxRequest::Goodbye,
+            _ => return Err(WireError::BadTag("sx request")),
+        };
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+impl SxResponse {
+    /// Serialize into a wire body (framing is the caller's job).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            SxResponse::Ok => w.put_u8(0),
+            SxResponse::Cf(resp) => {
+                w.put_u8(1);
+                resp.encode_into(&mut w);
+            }
+            SxResponse::Joined { handle } => {
+                w.put_u8(2);
+                w.put_u32(*handle);
+            }
+            SxResponse::Item(item) => {
+                w.put_u8(3);
+                match item {
+                    None => w.put_u8(0),
+                    Some(it) => {
+                        w.put_u8(1);
+                        put_xcf_item(&mut w, it);
+                    }
+                }
+            }
+            SxResponse::Peers(peers) => {
+                w.put_u8(4);
+                w.put_u32(peers.len() as u32);
+                for p in peers {
+                    w.put_str(&p.name);
+                    put_system(&mut w, p.system);
+                }
+            }
+            SxResponse::Count(n) => {
+                w.put_u8(5);
+                w.put_u64(*n);
+            }
+            SxResponse::XcfFail(e) => {
+                w.put_u8(6);
+                put_xcf_error(&mut w, e);
+            }
+            SxResponse::Denied(msg) => {
+                w.put_u8(7);
+                w.put_str(msg);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Parse a wire body produced by [`SxResponse::encode`].
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(buf);
+        let v = match r.get_u8()? {
+            0 => SxResponse::Ok,
+            1 => SxResponse::Cf(WireResponse::decode_from(&mut r)?),
+            2 => SxResponse::Joined { handle: r.get_u32()? },
+            3 => match r.get_u8()? {
+                0 => SxResponse::Item(None),
+                1 => SxResponse::Item(Some(get_xcf_item(&mut r)?)),
+                _ => return Err(WireError::BadTag("option")),
+            },
+            4 => {
+                let n = r.get_u32()? as usize;
+                let mut peers = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    peers.push(MemberInfo { name: r.get_str()?, system: get_system(&mut r)? });
+                }
+                SxResponse::Peers(peers)
+            }
+            5 => SxResponse::Count(r.get_u64()?),
+            6 => SxResponse::XcfFail(get_xcf_error(&mut r)?),
+            7 => SxResponse::Denied(r.get_str()?),
+            _ => return Err(WireError::BadTag("sx response")),
+        };
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Client-side error for remote sysplex operations.
+#[derive(Debug)]
+pub enum SxError {
+    /// The TCP link failed (or the peer spoke garbage).
+    Io(io::Error),
+    /// The server executed the request and XCF refused it.
+    Xcf(XcfError),
+    /// The server refused the request (admission, ordering, fencing).
+    Denied(String),
+    /// The server answered with a response of the wrong shape.
+    Protocol,
+}
+
+impl std::fmt::Display for SxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SxError::Io(e) => write!(f, "sysplex link error: {e}"),
+            SxError::Xcf(e) => write!(f, "xcf: {e}"),
+            SxError::Denied(msg) => write!(f, "denied: {msg}"),
+            SxError::Protocol => write!(f, "protocol violation: unexpected response shape"),
+        }
+    }
+}
+
+impl std::error::Error for SxError {}
+
+impl From<io::Error> for SxError {
+    fn from(e: io::Error) -> Self {
+        SxError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Serves one sysplex to remote member processes.
+///
+/// Owns a listening socket and an accept loop. Each accepted connection
+/// becomes an independent member session thread with its own
+/// [`InProcessTransport`] over the served CF — so remote CF commands go
+/// through the exact same dispatch engine (and subchannel accounting)
+/// as core's `serve_cf_stream`.
+///
+/// The accept loop doubles as the **status monitor sweep**: between
+/// accepts it runs [`check_once`](crate::heartbeat::HeartbeatMonitor::check_once),
+/// which is what turns a remote member's missed pulses into the
+/// fence-first failure choreography.
+#[derive(Debug)]
+pub struct SysplexServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl SysplexServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// `plex`, with CF commands routed to `cf`.
+    pub fn start<A: ToSocketAddrs>(
+        plex: &Arc<Sysplex>,
+        cf: &Arc<CouplingFacility>,
+        addr: A,
+    ) -> io::Result<SysplexServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let plex = Arc::clone(plex);
+            let cf = Arc::clone(cf);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new().name("sysplex-server".into()).spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let plex = Arc::clone(&plex);
+                            let cf = Arc::clone(&cf);
+                            let _ = std::thread::Builder::new()
+                                .name("sysplex-session".into())
+                                .spawn(move || serve_session(&plex, &cf, stream));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            plex.heartbeat.check_once();
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?
+        };
+        Ok(SysplexServer { local_addr, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The address members should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting new members and join the accept loop. Live member
+    /// sessions run until their sockets close.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        // Accept loop polls every 2ms; nothing to kick.
+    }
+}
+
+impl Drop for SysplexServer {
+    fn drop(&mut self) {
+        self.stop();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn respond(stream: &mut TcpStream, resp: &SxResponse) -> io::Result<()> {
+    write_frame(stream, &resp.encode())
+}
+
+fn serve_session(plex: &Arc<Sysplex>, cf: &Arc<CouplingFacility>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let mut stream = stream;
+    let transport = InProcessTransport::new(cf);
+    let mut members: HashMap<u32, XcfMember> = HashMap::new();
+    let mut next_handle: u32 = 1;
+    let mut admitted: Option<SystemId> = None;
+    let mut clean = false;
+
+    // Clean EOF and broken links end the session alike.
+    while let Ok(body) = read_frame(&mut stream) {
+        let req = match SxRequest::decode(&body) {
+            Ok(r) => r,
+            Err(_) => {
+                if respond(&mut stream, &SxResponse::Denied("garbled frame".into())).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let resp = match req {
+            SxRequest::Hello { system, name, mips_bits } => {
+                if admitted.is_some() {
+                    SxResponse::Denied("already admitted".into())
+                } else {
+                    match plex.register_remote_member(system, f64::from_bits(mips_bits)) {
+                        Ok(()) => {
+                            let _ = name; // identity is the SystemId; the name is advisory
+                            admitted = Some(system);
+                            SxResponse::Ok
+                        }
+                        Err(e) => SxResponse::Denied(format!("admission failed: {e}")),
+                    }
+                }
+            }
+            SxRequest::Cf(wreq) => SxResponse::Cf(transport.dispatch(wreq)),
+            SxRequest::XcfJoin { group, member } => match admitted {
+                None => SxResponse::Denied("not admitted".into()),
+                Some(sys) => match plex.xcf.join(&group, &member, sys) {
+                    Ok(m) => {
+                        let handle = next_handle;
+                        next_handle += 1;
+                        members.insert(handle, m);
+                        SxResponse::Joined { handle }
+                    }
+                    Err(e) => SxResponse::XcfFail(e),
+                },
+            },
+            SxRequest::XcfLeave { handle } => match members.remove(&handle) {
+                Some(m) => match m.leave() {
+                    Ok(()) => SxResponse::Ok,
+                    Err(e) => SxResponse::XcfFail(e),
+                },
+                None => SxResponse::XcfFail(XcfError::StaleHandle),
+            },
+            SxRequest::XcfSend { handle, to, payload } => match members.get(&handle) {
+                Some(m) => match m.send_to(&to, &payload) {
+                    Ok(()) => SxResponse::Ok,
+                    Err(e) => SxResponse::XcfFail(e),
+                },
+                None => SxResponse::XcfFail(XcfError::StaleHandle),
+            },
+            SxRequest::XcfBroadcast { handle, payload } => match members.get(&handle) {
+                Some(m) => SxResponse::Count(m.broadcast(&payload) as u64),
+                None => SxResponse::XcfFail(XcfError::StaleHandle),
+            },
+            SxRequest::XcfPoll { handle } => match members.get(&handle) {
+                Some(m) => SxResponse::Item(m.try_recv()),
+                None => SxResponse::XcfFail(XcfError::StaleHandle),
+            },
+            SxRequest::XcfPeers { handle } => match members.get(&handle) {
+                Some(m) => SxResponse::Peers(m.peers()),
+                None => SxResponse::XcfFail(XcfError::StaleHandle),
+            },
+            SxRequest::Pulse => match admitted {
+                None => SxResponse::Denied("not admitted".into()),
+                Some(sys) => match plex.heartbeat.pulse(sys) {
+                    Ok(()) => SxResponse::Ok,
+                    Err(e) => SxResponse::Denied(format!("pulse rejected: {e}")),
+                },
+            },
+            SxRequest::Goodbye => {
+                clean = true;
+                let _ = respond(&mut stream, &SxResponse::Ok);
+                break;
+            }
+        };
+        if respond(&mut stream, &resp).is_err() {
+            break;
+        }
+    }
+
+    // Session teardown. CF endpoints always detach abnormally — for a
+    // member that released everything this is a no-op; for one that died
+    // mid-transaction it makes held locks failed-persistent retained
+    // locks, feeding the standard recovery protocol.
+    transport.detach_all();
+    if clean {
+        for (_, m) in members.drain() {
+            let _ = m.leave();
+        }
+        if let Some(sys) = admitted {
+            plex.deregister_remote_member(sys);
+        }
+    }
+    // Unclean exit: keep the heartbeat registration. The next sweep finds
+    // the pulse overdue, fences the system, and fails its XCF members —
+    // the wire analogue of a system going silent.
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Conn {
+    stream: Mutex<TcpStream>,
+}
+
+impl Conn {
+    fn rpc(&self, req: &SxRequest) -> io::Result<SxResponse> {
+        let mut s = self.stream.lock();
+        write_frame(&mut *s, &req.encode())?;
+        let body = read_frame(&mut *s)?;
+        SxResponse::decode(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// A member-process handle to a sysplex served by [`SysplexServer`].
+///
+/// One TCP connection carries everything the member does: CF structure
+/// commands (via [`RemoteSysplex::transport`] and the `connect_*`
+/// helpers), XCF signalling ([`RemoteSysplex::join`]), and heartbeat
+/// pulses ([`RemoteSysplex::pulse`]).
+#[derive(Debug)]
+pub struct RemoteSysplex {
+    conn: Arc<Conn>,
+    system: SystemId,
+}
+
+impl RemoteSysplex {
+    /// Connect and run the admission handshake.
+    pub fn connect<A: ToSocketAddrs>(
+        addr: A,
+        system: SystemId,
+        name: &str,
+        mips: f64,
+    ) -> Result<Self, SxError> {
+        let stream = TcpStream::connect(addr).map_err(SxError::Io)?;
+        stream.set_nodelay(true).map_err(SxError::Io)?;
+        let rs = RemoteSysplex { conn: Arc::new(Conn { stream: Mutex::new(stream) }), system };
+        match rs.conn.rpc(&SxRequest::Hello { system, name: name.to_string(), mips_bits: mips.to_bits() })? {
+            SxResponse::Ok => Ok(rs),
+            SxResponse::Denied(msg) => Err(SxError::Denied(msg)),
+            _ => Err(SxError::Protocol),
+        }
+    }
+
+    /// The system identity this member was admitted as.
+    pub fn system(&self) -> SystemId {
+        self.system
+    }
+
+    /// A CF transport tunnelling structure commands over this session's
+    /// socket. Usable with the core `Remote*Connection` types.
+    pub fn transport(&self) -> Arc<dyn CfTransport> {
+        Arc::new(SxCfTransport { conn: Arc::clone(&self.conn) })
+    }
+
+    /// Attach to a lock structure over the wire.
+    pub fn connect_lock(&self, structure: &str) -> CfResult<RemoteLockConnection> {
+        RemoteLockConnection::attach(self.transport(), structure)
+    }
+
+    /// Attach to a cache structure over the wire.
+    pub fn connect_cache(&self, structure: &str, vector_len: usize) -> CfResult<RemoteCacheConnection> {
+        RemoteCacheConnection::attach(self.transport(), structure, vector_len)
+    }
+
+    /// Attach to a list structure over the wire.
+    pub fn connect_list(&self, structure: &str, vector_len: usize) -> CfResult<RemoteListConnection> {
+        RemoteListConnection::attach(self.transport(), structure, vector_len)
+    }
+
+    /// Join an XCF group as this system.
+    pub fn join(&self, group: &str, member: &str) -> Result<RemoteXcfMember, SxError> {
+        match self.conn.rpc(&SxRequest::XcfJoin { group: group.to_string(), member: member.to_string() })? {
+            SxResponse::Joined { handle } => Ok(RemoteXcfMember {
+                conn: Arc::clone(&self.conn),
+                handle,
+                name: member.to_string(),
+                group: group.to_string(),
+            }),
+            SxResponse::XcfFail(e) => Err(SxError::Xcf(e)),
+            SxResponse::Denied(msg) => Err(SxError::Denied(msg)),
+            _ => Err(SxError::Protocol),
+        }
+    }
+
+    /// Write a heartbeat pulse for this system.
+    pub fn pulse(&self) -> Result<(), SxError> {
+        match self.conn.rpc(&SxRequest::Pulse)? {
+            SxResponse::Ok => Ok(()),
+            SxResponse::Denied(msg) => Err(SxError::Denied(msg)),
+            _ => Err(SxError::Protocol),
+        }
+    }
+
+    /// Start a background heartbeat that pulses the server every
+    /// `interval` until the returned handle is stopped or dropped.
+    ///
+    /// A member that goes head-down into a long computation without
+    /// pulsing is indistinguishable from a dead one — SFM will fence it
+    /// (that is the point of the failure model). The keepalive makes the
+    /// alive/dead distinction honest: the pulse thread shares the
+    /// session socket, so the pulses stop the moment the process — or
+    /// the link — actually dies, and the thread exits on the first
+    /// failed or rejected pulse and lets SFM take over.
+    pub fn keepalive(&self, interval: Duration) -> PulseHandle {
+        let conn = Arc::clone(&self.conn);
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("sysplex-pulse".into())
+            .spawn(move || {
+                while !flag.load(Ordering::Acquire) {
+                    if !matches!(conn.rpc(&SxRequest::Pulse), Ok(SxResponse::Ok)) {
+                        break;
+                    }
+                    // Sleep in short slices so stop() stays prompt even
+                    // with a long cadence.
+                    let mut slept = Duration::ZERO;
+                    while slept < interval && !flag.load(Ordering::Acquire) {
+                        let step = (interval - slept).min(Duration::from_millis(10));
+                        std::thread::sleep(step);
+                        slept += step;
+                    }
+                }
+            })
+            .expect("spawn sysplex-pulse thread");
+        PulseHandle { stop, thread: Some(thread) }
+    }
+
+    /// Orderly departure: deregisters the system and ends the session.
+    pub fn goodbye(self) -> Result<(), SxError> {
+        match self.conn.rpc(&SxRequest::Goodbye)? {
+            SxResponse::Ok => Ok(()),
+            SxResponse::Denied(msg) => Err(SxError::Denied(msg)),
+            _ => Err(SxError::Protocol),
+        }
+    }
+}
+
+/// Handle for a [`RemoteSysplex::keepalive`] pulse thread. Stopping (or
+/// dropping) the handle joins the thread; it does not end the session.
+#[derive(Debug)]
+pub struct PulseHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl PulseHandle {
+    /// Stop pulsing and join the thread.
+    pub fn stop(self) {}
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for PulseHandle {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// CF transport that tunnels [`WireRequest`]s inside [`SxRequest::Cf`]
+/// envelopes on a member session.
+#[derive(Debug)]
+struct SxCfTransport {
+    conn: Arc<Conn>,
+}
+
+impl CfTransport for SxCfTransport {
+    fn backend(&self) -> TransportBackend {
+        TransportBackend::Tcp
+    }
+
+    fn call(&self, req: WireRequest) -> CfResult<WireResponse> {
+        let class = req.class().name();
+        match self.conn.rpc(&SxRequest::Cf(req)) {
+            Ok(SxResponse::Cf(resp)) => Ok(resp),
+            Ok(_) => Err(CfError::InterfaceControlCheck(class)),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => Err(CfError::InterfaceControlCheck(class)),
+            Err(_) => Err(CfError::LinkTimeout(class)),
+        }
+    }
+}
+
+/// A remote XCF group member: the wire projection of
+/// [`XcfMember`](crate::xcf::XcfMember).
+#[derive(Debug)]
+pub struct RemoteXcfMember {
+    conn: Arc<Conn>,
+    handle: u32,
+    name: String,
+    group: String,
+}
+
+impl RemoteXcfMember {
+    /// Member name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Group name.
+    pub fn group(&self) -> &str {
+        &self.group
+    }
+
+    fn xcf_rpc(&self, req: &SxRequest) -> Result<SxResponse, SxError> {
+        match self.conn.rpc(req)? {
+            SxResponse::XcfFail(e) => Err(SxError::Xcf(e)),
+            SxResponse::Denied(msg) => Err(SxError::Denied(msg)),
+            other => Ok(other),
+        }
+    }
+
+    /// Send a signal to a named peer.
+    pub fn send_to(&self, to: &str, payload: Vec<u8>) -> Result<(), SxError> {
+        match self.xcf_rpc(&SxRequest::XcfSend { handle: self.handle, to: to.to_string(), payload })? {
+            SxResponse::Ok => Ok(()),
+            _ => Err(SxError::Protocol),
+        }
+    }
+
+    /// Broadcast a signal to all peers; returns receivers signalled.
+    pub fn broadcast(&self, payload: Vec<u8>) -> Result<u64, SxError> {
+        match self.xcf_rpc(&SxRequest::XcfBroadcast { handle: self.handle, payload })? {
+            SxResponse::Count(n) => Ok(n),
+            _ => Err(SxError::Protocol),
+        }
+    }
+
+    /// Non-blocking poll of this member's signal queue.
+    pub fn try_recv(&self) -> Result<Option<XcfItem>, SxError> {
+        match self.xcf_rpc(&SxRequest::XcfPoll { handle: self.handle })? {
+            SxResponse::Item(it) => Ok(it),
+            _ => Err(SxError::Protocol),
+        }
+    }
+
+    /// Poll until an item arrives or `timeout` elapses (wire polling —
+    /// a queued signal costs at most one extra round trip plus 200 µs).
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<XcfItem>, SxError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(it) = self.try_recv()? {
+                return Ok(Some(it));
+            }
+            if std::time::Instant::now() >= deadline {
+                return Ok(None);
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Current group membership.
+    pub fn peers(&self) -> Result<Vec<MemberInfo>, SxError> {
+        match self.xcf_rpc(&SxRequest::XcfPeers { handle: self.handle })? {
+            SxResponse::Peers(p) => Ok(p),
+            _ => Err(SxError::Protocol),
+        }
+    }
+
+    /// Orderly leave.
+    pub fn leave(self) -> Result<(), SxError> {
+        match self.xcf_rpc(&SxRequest::XcfLeave { handle: self.handle })? {
+            SxResponse::Ok => Ok(()),
+            _ => Err(SxError::Protocol),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sysplex::SysplexConfig;
+    use sysplex_core::lock::{LockMode, LockParams};
+
+    fn roundtrip_req(req: SxRequest) {
+        assert_eq!(SxRequest::decode(&req.encode()).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: SxResponse) {
+        assert_eq!(SxResponse::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn envelope_round_trips() {
+        roundtrip_req(SxRequest::Hello {
+            system: SystemId::new(3),
+            name: "SYSC".into(),
+            mips_bits: 812.5f64.to_bits(),
+        });
+        roundtrip_req(SxRequest::XcfJoin { group: "DB2GRP".into(), member: "DB2A".into() });
+        roundtrip_req(SxRequest::XcfSend { handle: 7, to: "DB2B".into(), payload: vec![1, 2, 3] });
+        roundtrip_req(SxRequest::XcfBroadcast { handle: 7, payload: vec![] });
+        roundtrip_req(SxRequest::XcfPoll { handle: 7 });
+        roundtrip_req(SxRequest::XcfPeers { handle: 7 });
+        roundtrip_req(SxRequest::XcfLeave { handle: 7 });
+        roundtrip_req(SxRequest::Pulse);
+        roundtrip_req(SxRequest::Goodbye);
+
+        roundtrip_resp(SxResponse::Ok);
+        roundtrip_resp(SxResponse::Joined { handle: 9 });
+        roundtrip_resp(SxResponse::Item(None));
+        roundtrip_resp(SxResponse::Item(Some(XcfItem::Message {
+            from: "DB2B".into(),
+            payload: vec![0xFF; 64],
+        })));
+        roundtrip_resp(SxResponse::Item(Some(XcfItem::Event(GroupEvent::MemberFailed {
+            member: "DB2C".into(),
+            system: SystemId::new(2),
+        }))));
+        roundtrip_resp(SxResponse::Peers(vec![
+            MemberInfo { name: "DB2A".into(), system: SystemId::new(0) },
+            MemberInfo { name: "DB2B".into(), system: SystemId::new(1) },
+        ]));
+        roundtrip_resp(SxResponse::Count(5));
+        roundtrip_resp(SxResponse::XcfFail(XcfError::DuplicateMember("DB2A".into())));
+        roundtrip_resp(SxResponse::Denied("not admitted".into()));
+    }
+
+    #[test]
+    fn remote_member_full_lifecycle() {
+        let plex = Sysplex::new(SysplexConfig::functional("WIREPLEX"));
+        let cf = plex.add_cf("CF01");
+        cf.allocate_lock_structure("IRLM_LOCK1", LockParams::with_entries(256)).unwrap();
+        let server = SysplexServer::start(&plex, &cf, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        // Local member to witness the remote one.
+        let local = plex.xcf.join("GRP", "LOCAL", SystemId::new(0)).unwrap();
+
+        let remote = RemoteSysplex::connect(addr, SystemId::new(5), "SYSR", 400.0).unwrap();
+        remote.pulse().unwrap();
+        let member = remote.join("GRP", "REMOTE").unwrap();
+
+        // Membership is visible both ways.
+        let peers = member.peers().unwrap();
+        assert!(peers.iter().any(|p| p.name == "LOCAL"));
+        assert!(plex.xcf.members("GRP").iter().any(|m| m.name == "REMOTE" && m.system == SystemId::new(5)));
+
+        // Signals cross the wire in both directions.
+        local.send_to("REMOTE", b"ping").unwrap();
+        let got = member.recv_timeout(Duration::from_secs(5)).unwrap();
+        match got {
+            Some(XcfItem::Message { from, payload }) => {
+                assert_eq!(from, "LOCAL");
+                assert_eq!(payload, b"ping");
+            }
+            other => panic!("expected ping, got {other:?}"),
+        }
+        member.send_to("LOCAL", b"pong".to_vec()).unwrap();
+        // Skip membership events (the remote's join is queued ahead).
+        loop {
+            match local.recv_timeout(Duration::from_secs(5)).unwrap() {
+                XcfItem::Message { from, payload } => {
+                    assert_eq!(from, "REMOTE");
+                    assert_eq!(payload, b"pong");
+                    break;
+                }
+                XcfItem::Event(_) => continue,
+            }
+        }
+
+        // CF structure commands tunnel on the same session.
+        let lock = remote.connect_lock("IRLM_LOCK1").unwrap();
+        let slot = lock.hash_resource(b"ACCT.42");
+        assert!(lock.request_lock(slot, LockMode::Exclusive).unwrap().is_granted());
+        lock.release_lock(slot).unwrap();
+        lock.detach(sysplex_core::lock::DisconnectMode::Normal).unwrap();
+
+        // Orderly departure: the local member sees MemberLeft, not failure.
+        member.leave().unwrap();
+        remote.goodbye().unwrap();
+        let mut saw_left = false;
+        for _ in 0..2 {
+            if let Ok(XcfItem::Event(GroupEvent::MemberLeft { member })) =
+                local.recv_timeout(Duration::from_secs(5))
+            {
+                assert_eq!(member, "REMOTE");
+                saw_left = true;
+                break;
+            }
+        }
+        assert!(saw_left, "local member observed the remote member leave");
+        server.stop();
+    }
+
+    #[test]
+    fn vanished_member_is_fenced_and_failed() {
+        let plex = Sysplex::new(SysplexConfig::functional("SFMPLEX"));
+        let cf = plex.add_cf("CF01");
+        let server = SysplexServer::start(&plex, &cf, "127.0.0.1:0").unwrap();
+
+        let local = plex.xcf.join("GRP", "LOCAL", SystemId::new(0)).unwrap();
+        let remote = RemoteSysplex::connect(server.local_addr(), SystemId::new(6), "SYSV", 100.0).unwrap();
+        let _member = remote.join("GRP", "VICTIM").unwrap();
+        // Drain the join event.
+        let _ = local.recv_timeout(Duration::from_secs(5)).unwrap();
+
+        // Kill the process's connection without a Goodbye: the server's
+        // heartbeat sweep must declare the system failed and surviving
+        // members must see MemberFailed. (Functional config heartbeats
+        // are wall-clock; force the declaration rather than waiting out
+        // the interval.)
+        drop(remote);
+        assert!(plex.heartbeat.declare_failed(SystemId::new(6)));
+        match local.recv_timeout(Duration::from_secs(5)).unwrap() {
+            XcfItem::Event(GroupEvent::MemberFailed { member, system }) => {
+                assert_eq!(member, "VICTIM");
+                assert_eq!(system, SystemId::new(6));
+            }
+            other => panic!("expected MemberFailed, got {other:?}"),
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn unadmitted_sessions_are_denied() {
+        let plex = Sysplex::new(SysplexConfig::functional("DENYPLEX"));
+        let cf = plex.add_cf("CF01");
+        let server = SysplexServer::start(&plex, &cf, "127.0.0.1:0").unwrap();
+
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let conn = Conn { stream: Mutex::new(stream) };
+        match conn.rpc(&SxRequest::Pulse).unwrap() {
+            SxResponse::Denied(msg) => assert!(msg.contains("not admitted")),
+            other => panic!("expected denial, got {other:?}"),
+        }
+        match conn.rpc(&SxRequest::XcfJoin { group: "G".into(), member: "M".into() }).unwrap() {
+            SxResponse::Denied(_) => {}
+            other => panic!("expected denial, got {other:?}"),
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn keepalive_outlives_the_sfm_deadline() {
+        use crate::heartbeat::HealthState;
+
+        let mut config = SysplexConfig::functional("PULSEPLEX");
+        config.heartbeat.interval = Duration::from_millis(50);
+        config.heartbeat.failure_threshold = Duration::from_millis(500);
+        let plex = Sysplex::new(config);
+        let cf = plex.add_cf("CF01");
+        let server = SysplexServer::start(&plex, &cf, "127.0.0.1:0").unwrap();
+
+        let remote = RemoteSysplex::connect(server.local_addr(), SystemId::new(9), "SYSP", 100.0).unwrap();
+        remote.pulse().unwrap();
+        let pulse = remote.keepalive(Duration::from_millis(50));
+
+        // Head-down for several SFM deadlines: the keepalive thread alone
+        // must keep the system Active through the server's sweep.
+        std::thread::sleep(Duration::from_millis(1200));
+        assert_eq!(plex.heartbeat.state_of(SystemId::new(9)), Some(HealthState::Active));
+
+        pulse.stop();
+        remote.goodbye().unwrap();
+        server.stop();
+    }
+}

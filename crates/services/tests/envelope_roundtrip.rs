@@ -1,0 +1,121 @@
+//! Property-based round trips for the sysplex session envelope: every
+//! [`SxRequest`] / [`SxResponse`] variant and every XCF message kind
+//! ([`XcfItem`] messages and all three [`GroupEvent`]s, every
+//! [`XcfError`]), with fuzzed payloads and the truncated-frame error
+//! path.
+
+use proptest::prelude::*;
+use sysplex_core::types::SystemId;
+use sysplex_core::wire::{WireRequest, WireResponse};
+use sysplex_services::transport::{SxRequest, SxResponse};
+use sysplex_services::xcf::{GroupEvent, MemberInfo, XcfError, XcfItem};
+
+fn ascii(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| (b % 94 + 33) as char).collect()
+}
+
+fn system(sel: u8) -> SystemId {
+    SystemId::new(sel % 32)
+}
+
+/// Every XCF item kind: a message plus all three group events.
+fn item_samples(name: &str, data: &[u8], sel: u8) -> Vec<XcfItem> {
+    vec![
+        XcfItem::Message { from: name.to_string(), payload: data.to_vec() },
+        XcfItem::Event(GroupEvent::MemberJoined { member: name.to_string(), system: system(sel) }),
+        XcfItem::Event(GroupEvent::MemberLeft { member: name.to_string() }),
+        XcfItem::Event(GroupEvent::MemberFailed { member: name.to_string(), system: system(sel) }),
+    ]
+}
+
+fn request_samples(name: &str, data: &[u8], h: u32, n: u64, sel: u8) -> Vec<SxRequest> {
+    vec![
+        SxRequest::Hello { system: system(sel), name: name.to_string(), mips_bits: n },
+        SxRequest::Cf(WireRequest::LockRequest {
+            handle: h,
+            entry: n,
+            mode: sysplex_core::lock::LockMode::Exclusive,
+        }),
+        SxRequest::XcfJoin { group: name.to_string(), member: name.to_string() },
+        SxRequest::XcfLeave { handle: h },
+        SxRequest::XcfSend { handle: h, to: name.to_string(), payload: data.to_vec() },
+        SxRequest::XcfBroadcast { handle: h, payload: data.to_vec() },
+        SxRequest::XcfPoll { handle: h },
+        SxRequest::XcfPeers { handle: h },
+        SxRequest::Pulse,
+        SxRequest::Goodbye,
+    ]
+}
+
+fn response_samples(name: &str, data: &[u8], h: u32, n: u64, sel: u8) -> Vec<SxResponse> {
+    let mut out = vec![
+        SxResponse::Ok,
+        SxResponse::Cf(WireResponse::U64(n)),
+        SxResponse::Joined { handle: h },
+        SxResponse::Item(None),
+        SxResponse::Peers(vec![
+            MemberInfo { name: name.to_string(), system: system(sel) },
+            MemberInfo { name: format!("{name}2"), system: system(sel.wrapping_add(1)) },
+        ]),
+        SxResponse::Count(n),
+        SxResponse::XcfFail(XcfError::DuplicateMember(name.to_string())),
+        SxResponse::XcfFail(XcfError::NoSuchMember(name.to_string())),
+        SxResponse::XcfFail(XcfError::StaleHandle),
+        SxResponse::Denied(name.to_string()),
+    ];
+    out.extend(item_samples(name, data, sel).into_iter().map(|it| SxResponse::Item(Some(it))));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_envelope_request_round_trips(
+        h in any::<u32>(),
+        n in any::<u64>(),
+        sel in any::<u8>(),
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        name_bytes in proptest::collection::vec(any::<u8>(), 0..24),
+    ) {
+        let name = ascii(&name_bytes);
+        for req in request_samples(&name, &data, h, n, sel) {
+            prop_assert_eq!(SxRequest::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn every_envelope_response_round_trips(
+        h in any::<u32>(),
+        n in any::<u64>(),
+        sel in any::<u8>(),
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        name_bytes in proptest::collection::vec(any::<u8>(), 0..24),
+    ) {
+        let name = ascii(&name_bytes);
+        for resp in response_samples(&name, &data, h, n, sel) {
+            prop_assert_eq!(SxResponse::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn truncated_envelopes_error_never_panic(
+        h in any::<u32>(),
+        n in any::<u64>(),
+        sel in any::<u8>(),
+        data in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        for req in request_samples("MEM", &data, h, n, sel) {
+            let bytes = req.encode();
+            for cut in 0..bytes.len() {
+                prop_assert!(SxRequest::decode(&bytes[..cut]).is_err());
+            }
+        }
+        for resp in response_samples("MEM", &data, h, n, sel) {
+            let bytes = resp.encode();
+            for cut in 0..bytes.len() {
+                prop_assert!(SxResponse::decode(&bytes[..cut]).is_err());
+            }
+        }
+    }
+}
