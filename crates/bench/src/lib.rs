@@ -6,6 +6,7 @@
 //! do, sized for a small host.
 
 pub mod hotpath;
+pub mod opsday;
 pub mod scale;
 
 use std::sync::Arc;

@@ -1,0 +1,44 @@
+//! Splice operations-day campaign outcomes into a `BENCH_*.json` report.
+//!
+//! The RMF-style activity report is a hand-rolled JSON object (the
+//! workspace carries no serde), and the chaos campaigns produce a
+//! `"scenarios"` array in the same style. [`splice_scenarios`] merges
+//! the two into one schema-stable document: the report keeps every
+//! existing key, and a top-level `scenarios` key carries the recovery
+//! metrics CI checks (`lost == 0`, `oracle_clean`, fence/readmit times).
+
+/// Insert `"scenarios": <scenarios>` as the last key of the top-level
+/// report object. `scenarios` must already be rendered JSON (use
+/// `sysplex_harness::scenarios_json`).
+///
+/// Panics if `report_json` does not end with a `}` — the report writer
+/// and this splice must agree on the document shape.
+pub fn splice_scenarios(report_json: &str, scenarios: &str) -> String {
+    let trimmed = report_json.trim_end();
+    let body = trimmed.strip_suffix('}').expect("report JSON ends with an object close");
+    let sep = if body.trim_end().ends_with(['{', ',']) { "" } else { "," };
+    format!("{}{sep}\n  \"scenarios\": {scenarios}\n}}\n", body.trim_end())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splice_appends_scenarios_key_before_the_close() {
+        let report = "{\n  \"report\": \"cf_activity\",\n  \"totals\": {\"issued\": 3}\n}\n";
+        let out = splice_scenarios(report, "[\n    {\"scenario\": \"demo\"}\n  ]");
+        assert!(out.contains("\"report\": \"cf_activity\""), "existing keys preserved");
+        assert!(out.contains("\"scenarios\": ["), "scenarios key added");
+        assert!(out.trim_end().ends_with('}'), "still one object");
+        let open = out.matches('{').count();
+        let close = out.matches('}').count();
+        assert_eq!(open, close, "balanced braces");
+    }
+
+    #[test]
+    fn splice_handles_an_empty_report_object() {
+        let out = splice_scenarios("{}\n", "[]");
+        assert_eq!(out, "{\n  \"scenarios\": []\n}\n");
+    }
+}

@@ -58,6 +58,7 @@ pub mod hashing;
 pub mod link;
 pub mod list;
 pub mod lock;
+pub mod retry;
 pub mod stats;
 pub mod swapcell;
 pub mod trace;
@@ -71,6 +72,7 @@ pub use connection::{
 };
 pub use error::{CfError, CfResult};
 pub use facility::{CfConfig, CouplingFacility};
+pub use retry::RetryPolicy;
 pub use trace::{TraceClock, TraceEvent, TraceKind, TraceRecord, Tracer};
 pub use transport::{
     CfTransport, InProcessTransport, RemoteCacheConnection, RemoteListConnection, RemoteLockConnection,

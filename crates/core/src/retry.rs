@@ -1,0 +1,266 @@
+//! Bounded retry with exponential backoff and seeded jitter.
+//!
+//! The wire transports surface exactly two transport-level faults, and
+//! they call for different persistence (the distributed-locking retry
+//! analysis in PAPERS.md, and the S/390 link-recovery model):
+//!
+//! * [`CfError::LinkTimeout`] — the command went out and nothing came
+//!   back. The link may be congested, the peer garbage-collecting, the
+//!   path re-routing: **retryable**, with exponential backoff so a
+//!   struggling server is not stampeded, and jitter so a plex of members
+//!   does not retry in lockstep.
+//! * [`CfError::InterfaceControlCheck`] — the channel malfunctioned: a
+//!   garbled frame, a protocol violation. One or two retries cover a
+//!   transient burst of line noise; persistent IFCCs mean a broken peer
+//!   and must **surface to the caller** quickly.
+//!
+//! Everything else (structure errors, `BadConnector`, admission refusals)
+//! is a *correct answer*, not a fault, and is never retried.
+//!
+//! Policies are seeded: the jitter stream derives from a SplitMix64-style
+//! mix of the seed, so a chaos campaign that pins its seeds replays the
+//! same backoff schedule. A policy prints as a copy-pasteable builder
+//! chain (`RetryPolicy::seeded(0xC0FFEE).attempts(5, 2).backoff_ms(2,
+//! 250)`), mirroring the harness fault-plan DSL.
+//!
+//! **Idempotency caveat.** A retry after a *lost response* re-executes a
+//! command the facility may already have performed. CF commands are
+//! level-triggered enough for this to be safe in the common cases
+//! (re-requesting a held lock re-grants it; re-writing a cache block
+//! re-invalidates), but exploiters that enqueue uniquely-keyed work must
+//! reconcile duplicates by key — the debit-credit campaigns do exactly
+//! that.
+
+use crate::error::{CfError, CfResult};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Bounded-retry policy for transport-level CF faults.
+///
+/// `run` classifies each error: timeouts get the full attempt budget,
+/// interface control checks a (smaller) IFCC budget, and any other error
+/// returns immediately. Between attempts it sleeps an exponentially
+/// growing, jittered backoff.
+#[derive(Debug)]
+pub struct RetryPolicy {
+    seed: u64,
+    timeout_attempts: u32,
+    ifcc_attempts: u32,
+    base_backoff_ms: u64,
+    max_backoff_ms: u64,
+    /// Jitter stream position; advancing it is the only mutation `run`
+    /// performs, so policies are shared behind `&self`.
+    salt: AtomicU64,
+}
+
+impl Clone for RetryPolicy {
+    fn clone(&self) -> Self {
+        RetryPolicy {
+            seed: self.seed,
+            timeout_attempts: self.timeout_attempts,
+            ifcc_attempts: self.ifcc_attempts,
+            base_backoff_ms: self.base_backoff_ms,
+            max_backoff_ms: self.max_backoff_ms,
+            salt: AtomicU64::new(self.salt.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with the default budgets (5 timeout attempts, 2 IFCC
+    /// attempts, 2 ms..250 ms backoff) and a seeded jitter stream.
+    pub fn seeded(seed: u64) -> Self {
+        RetryPolicy {
+            seed,
+            timeout_attempts: 5,
+            ifcc_attempts: 2,
+            base_backoff_ms: 2,
+            max_backoff_ms: 250,
+            salt: AtomicU64::new(0),
+        }
+    }
+
+    /// A policy that never retries: every fault surfaces on first touch.
+    pub fn none() -> Self {
+        RetryPolicy::seeded(0).attempts(1, 1)
+    }
+
+    /// Builder: total attempt budgets for timeouts and IFCCs. An attempt
+    /// budget of 1 means a single try with no retry.
+    pub fn attempts(mut self, timeout: u32, ifcc: u32) -> Self {
+        self.timeout_attempts = timeout.max(1);
+        self.ifcc_attempts = ifcc.max(1);
+        self
+    }
+
+    /// Builder: backoff window. The n-th retry sleeps an exponentially
+    /// grown slice of `base`, jittered, capped at `max`.
+    pub fn backoff_ms(mut self, base: u64, max: u64) -> Self {
+        self.base_backoff_ms = base;
+        self.max_backoff_ms = max.max(base);
+        self
+    }
+
+    /// The jitter seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The timeout-class attempt budget.
+    pub fn timeout_attempts(&self) -> u32 {
+        self.timeout_attempts
+    }
+
+    /// The IFCC-class attempt budget.
+    pub fn ifcc_attempts(&self) -> u32 {
+        self.ifcc_attempts
+    }
+
+    /// Attempt budget the policy grants for `error` (1 = no retry).
+    pub fn budget_for(&self, error: &CfError) -> u32 {
+        match error {
+            CfError::LinkTimeout(_) => self.timeout_attempts,
+            CfError::InterfaceControlCheck(_) => self.ifcc_attempts,
+            _ => 1,
+        }
+    }
+
+    // SplitMix64 output function over (seed, position): the same mixer the
+    // harness RNG uses, inlined here because core cannot depend on the
+    // harness crate. Identical seeds replay identical jitter.
+    fn next_jitter(&self) -> u64 {
+        let position = self.salt.fetch_add(1, Ordering::Relaxed);
+        let mut z = self.seed.wrapping_add(position.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Backoff before retry number `attempt` (1-based): exponential with
+    /// half jitter — `cap/2 + uniform(0, cap/2)` where `cap = min(base *
+    /// 2^(attempt-1), max)`. Advances the jitter stream.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(20);
+        let cap = self.base_backoff_ms.saturating_mul(1u64 << exp).min(self.max_backoff_ms);
+        if cap == 0 {
+            return Duration::ZERO;
+        }
+        let half = cap / 2;
+        let jitter = if cap - half == 0 { 0 } else { self.next_jitter() % (cap - half + 1) };
+        Duration::from_millis(half + jitter)
+    }
+
+    /// Run `op` under this policy. `op` receives the 0-based attempt
+    /// number; transport faults are retried within their class budget,
+    /// then surfaced unchanged. Non-fault errors surface immediately.
+    pub fn run<T>(&self, mut op: impl FnMut(u32) -> CfResult<T>) -> CfResult<T> {
+        let mut attempt: u32 = 0;
+        loop {
+            match op(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= self.budget_for(&e) {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.delay(attempt));
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for RetryPolicy {
+    /// Copy-pasteable builder chain, mirroring the fault-plan DSL.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "RetryPolicy::seeded({:#x}).attempts({}, {}).backoff_ms({}, {})",
+            self.seed, self.timeout_attempts, self.ifcc_attempts, self.base_backoff_ms, self.max_backoff_ms
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn instant(timeout: u32, ifcc: u32) -> RetryPolicy {
+        RetryPolicy::seeded(7).attempts(timeout, ifcc).backoff_ms(0, 0)
+    }
+
+    #[test]
+    fn timeouts_retry_within_budget_then_surface() {
+        let p = instant(4, 2);
+        let calls = AtomicU32::new(0);
+        let out: CfResult<()> = p.run(|_| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(CfError::LinkTimeout("lock-request"))
+        });
+        assert_eq!(out.unwrap_err(), CfError::LinkTimeout("lock-request"));
+        assert_eq!(calls.load(Ordering::Relaxed), 4, "full timeout budget consumed");
+    }
+
+    #[test]
+    fn ifccs_get_the_smaller_budget() {
+        let p = instant(4, 2);
+        let calls = AtomicU32::new(0);
+        let out: CfResult<()> = p.run(|_| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(CfError::InterfaceControlCheck("cache-write"))
+        });
+        assert!(matches!(out, Err(CfError::InterfaceControlCheck(_))));
+        assert_eq!(calls.load(Ordering::Relaxed), 2, "IFCC budget is the smaller one");
+    }
+
+    #[test]
+    fn structure_errors_never_retry() {
+        let p = instant(4, 2);
+        let calls = AtomicU32::new(0);
+        let out: CfResult<()> = p.run(|_| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(CfError::BadConnector)
+        });
+        assert_eq!(out.unwrap_err(), CfError::BadConnector);
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "a correct answer is not a fault");
+    }
+
+    #[test]
+    fn transient_fault_recovers() {
+        let p = instant(4, 2);
+        let calls = AtomicU32::new(0);
+        let out = p.run(|attempt| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            if attempt < 2 {
+                Err(CfError::LinkTimeout("list-write"))
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out.unwrap(), 2);
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn jitter_is_seeded_and_bounded() {
+        let a = RetryPolicy::seeded(0xC0FFEE).backoff_ms(2, 250);
+        let b = RetryPolicy::seeded(0xC0FFEE).backoff_ms(2, 250);
+        for attempt in 1..=10 {
+            let da = a.delay(attempt);
+            let db = b.delay(attempt);
+            assert_eq!(da, db, "same seed, same jitter stream");
+            assert!(da <= Duration::from_millis(250), "capped at max");
+        }
+        let c = RetryPolicy::seeded(0xDEAD_BEEF).backoff_ms(2, 250);
+        let d = RetryPolicy::seeded(0xC0FFEE).backoff_ms(2, 250);
+        let differs = (1..=10).any(|i| d.delay(i) != c.delay(i));
+        assert!(differs, "different seeds should diverge somewhere");
+    }
+
+    #[test]
+    fn display_is_copy_pasteable_builder_syntax() {
+        let p = RetryPolicy::seeded(0xC0FFEE).attempts(5, 2).backoff_ms(2, 250);
+        assert_eq!(p.to_string(), "RetryPolicy::seeded(0xc0ffee).attempts(5, 2).backoff_ms(2, 250)");
+    }
+}

@@ -32,14 +32,18 @@ use crate::facility::CouplingFacility;
 use crate::hashing::hash_to_slot;
 use crate::list::{DequeueEnd, EntryId, EntryView, LockCondition, WritePosition};
 use crate::lock::{DisconnectMode, LockMode, LockResponse, RetainedLock};
+use crate::retry::RetryPolicy;
 use crate::types::{ConnId, ConnMask};
-use crate::wire::{read_frame, write_frame, WireHandle, WireRequest, WireResponse};
+use crate::wire::{
+    parse_frame_header, read_frame, write_frame, WireHandle, WireRequest, WireResponse, FRAME_HEADER_BYTES,
+};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::io::ErrorKind;
+use std::io::{ErrorKind, Read};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Which carrier a transport runs over. Recorded in every BENCH_*.json so
 /// numbers from different backends are never compared blind.
@@ -389,6 +393,70 @@ pub fn io_to_cf_error(e: &std::io::Error, class_name: &'static str) -> CfError {
     }
 }
 
+/// Mid-frame stall budget for serving loops: how long a peer may pause
+/// *inside* a frame before the reader declares the link dead. Between
+/// frames a session may idle indefinitely — liveness between commands is
+/// the heartbeat monitor's job, not the reader's.
+pub const DEFAULT_MID_FRAME_STALL: Duration = Duration::from_secs(1);
+
+/// Read one frame off a blocking socket, tolerating a slow writer.
+///
+/// A peer that dribbles a frame byte-by-byte is slow, not dead: each
+/// partial read just has to land within `mid_frame_stall` of the last.
+/// The reader blocks without a deadline for the *first* byte of a frame
+/// (an idle session is a healthy session), then arms the stall budget for
+/// the remainder. Outcomes:
+///
+/// * clean EOF at a frame boundary → `UnexpectedEof` (orderly end);
+/// * EOF mid-frame → `ConnectionAborted` (peer died mid-command);
+/// * silence mid-frame past the budget → `TimedOut` (stalled link);
+/// * framing violations → `InvalidData`, as with [`read_frame`].
+///
+/// The socket's read timeout is restored to "block forever" on success.
+pub fn read_frame_patient(stream: &mut TcpStream, mid_frame_stall: Duration) -> std::io::Result<Vec<u8>> {
+    fn fill(stream: &mut TcpStream, buf: &mut [u8], in_frame: bool) -> std::io::Result<()> {
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            match stream.read(&mut buf[filled..]) {
+                Ok(0) => {
+                    return Err(if in_frame {
+                        std::io::Error::new(ErrorKind::ConnectionAborted, "eof mid-frame")
+                    } else {
+                        std::io::Error::new(ErrorKind::UnexpectedEof, "clean end of stream")
+                    });
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Err(std::io::Error::new(ErrorKind::TimedOut, "peer stalled mid-frame"));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    // Phase 1: wait (unbounded) for the first header byte.
+    stream.set_read_timeout(None)?;
+    let mut header = [0u8; FRAME_HEADER_BYTES];
+    let mut first = [0u8; 1];
+    fill(stream, &mut first, false)?;
+    header[0] = first[0];
+    // Phase 2: a frame has started — every further read must make
+    // progress within the stall budget.
+    stream.set_read_timeout(Some(mid_frame_stall))?;
+    let result = (|| {
+        fill(stream, &mut header[1..], true)?;
+        let len = parse_frame_header(&header)?;
+        let mut body = vec![0u8; len];
+        fill(stream, &mut body, true)?;
+        Ok(body)
+    })();
+    // Back to idle: block forever awaiting the next frame.
+    let _ = stream.set_read_timeout(None);
+    result
+}
+
 /// The TCP backend: one framed request/response stream to a CF served in
 /// another process (see [`serve_cf_stream`] for the serving half).
 ///
@@ -422,6 +490,29 @@ impl TcpTransport {
     pub fn peer(&self) -> &str {
         &self.peer
     }
+
+    /// Bound how long a call waits for its response frame. `None` (the
+    /// default) blocks forever — appropriate on a clean network; under a
+    /// hostile one a dropped response would otherwise hang the caller
+    /// instead of surfacing as the retryable `LinkTimeout`.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.lock().set_read_timeout(timeout)
+    }
+}
+
+/// Discard any bytes already readable on `stream`. The request/response
+/// protocol has exactly zero bytes in flight at call start, so anything
+/// readable is stale: a duplicated or late response a fault (or an
+/// abandoned retry) left behind. Draining before each request re-aligns
+/// the stream instead of paying the desync forward one call at a time.
+fn drain_stale_input(stream: &TcpStream) {
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
+    let mut sink = [0u8; 4096];
+    let mut s = stream;
+    while matches!(s.read(&mut sink), Ok(n) if n > 0) {}
+    let _ = stream.set_nonblocking(false);
 }
 
 impl CfTransport for TcpTransport {
@@ -432,6 +523,7 @@ impl CfTransport for TcpTransport {
     fn call(&self, req: WireRequest) -> CfResult<WireResponse> {
         let class_name = req.class().name();
         let mut stream = self.stream.lock();
+        drain_stale_input(&stream);
         write_frame(&mut *stream, &req.encode()).map_err(|e| io_to_cf_error(&e, class_name))?;
         let body = read_frame(&mut *stream).map_err(|e| io_to_cf_error(&e, class_name))?;
         WireResponse::decode(&body).map_err(|_| CfError::InterfaceControlCheck(class_name))
@@ -444,11 +536,15 @@ impl CfTransport for TcpTransport {
 /// the stream closes; endpoints left attached are torn down abnormally so
 /// lock interest is retained for recovery, exactly like a system dropping
 /// off its links.
+///
+/// Frames are read with [`read_frame_patient`]: a peer dribbling a frame
+/// byte-by-byte is served normally, while one that goes silent mid-frame
+/// for [`DEFAULT_MID_FRAME_STALL`] is treated as a dead link.
 pub fn serve_cf_stream(transport: &InProcessTransport, stream: TcpStream) -> std::io::Result<()> {
     let _ = stream.set_nodelay(true);
     let mut stream = stream;
     let result = loop {
-        let body = match read_frame(&mut stream) {
+        let body = match read_frame_patient(&mut stream, DEFAULT_MID_FRAME_STALL) {
             Ok(b) => b,
             Err(e) if e.kind() == ErrorKind::UnexpectedEof => break Ok(()),
             Err(e) => break Err(e),
@@ -469,6 +565,20 @@ fn protocol_error(class_name: &'static str) -> CfError {
     CfError::InterfaceControlCheck(class_name)
 }
 
+/// Issue `req` over `transport`, retrying transport-level faults under
+/// `policy` when one is set. Structure errors inside the response are
+/// never retried — they are answers, not faults.
+fn transport_call(
+    transport: &Arc<dyn CfTransport>,
+    policy: &Option<Arc<RetryPolicy>>,
+    req: WireRequest,
+) -> CfResult<WireResponse> {
+    match policy {
+        None => transport.call(req)?.into_result(),
+        Some(p) => p.run(|_| transport.call(req.clone()))?.into_result(),
+    }
+}
+
 /// A lock-structure connection over any [`CfTransport`] — the remote
 /// counterpart of [`LockConnection`], method for method.
 #[derive(Debug, Clone)]
@@ -479,6 +589,7 @@ pub struct RemoteLockConnection {
     /// Lock-table entry count shipped at attach, so resource hashing stays
     /// a host-side nanosecond operation even over a wire.
     entries: usize,
+    policy: Option<Arc<RetryPolicy>>,
 }
 
 impl RemoteLockConnection {
@@ -495,14 +606,21 @@ impl RemoteLockConnection {
     fn attach_req(transport: Arc<dyn CfTransport>, req: WireRequest) -> CfResult<Self> {
         match transport.call(req)?.into_result()? {
             WireResponse::Attached { handle, conn, geometry } => {
-                Ok(RemoteLockConnection { transport, handle, conn, entries: geometry as usize })
+                Ok(RemoteLockConnection { transport, handle, conn, entries: geometry as usize, policy: None })
             }
             _ => Err(protocol_error("lock-admin")),
         }
     }
 
+    /// Retry transport faults on every command under `policy` (see
+    /// [`RetryPolicy`] for the idempotency caveat).
+    pub fn with_policy(mut self, policy: Arc<RetryPolicy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
     fn call(&self, req: WireRequest) -> CfResult<WireResponse> {
-        self.transport.call(req)?.into_result()
+        transport_call(&self.transport, &self.policy, req)
     }
 
     /// This connection's slot in the structure.
@@ -622,6 +740,7 @@ pub struct RemoteCacheConnection {
     transport: Arc<dyn CfTransport>,
     handle: WireHandle,
     conn: ConnId,
+    policy: Option<Arc<RetryPolicy>>,
 }
 
 impl RemoteCacheConnection {
@@ -632,14 +751,21 @@ impl RemoteCacheConnection {
             WireRequest::AttachCache { structure: structure.to_string(), vector_len: vector_len as u64 };
         match transport.call(req)?.into_result()? {
             WireResponse::Attached { handle, conn, .. } => {
-                Ok(RemoteCacheConnection { transport, handle, conn })
+                Ok(RemoteCacheConnection { transport, handle, conn, policy: None })
             }
             _ => Err(protocol_error("cache-admin")),
         }
     }
 
+    /// Retry transport faults on every command under `policy` (see
+    /// [`RetryPolicy`] for the idempotency caveat).
+    pub fn with_policy(mut self, policy: Arc<RetryPolicy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
     fn call(&self, req: WireRequest) -> CfResult<WireResponse> {
-        self.transport.call(req)?.into_result()
+        transport_call(&self.transport, &self.policy, req)
     }
 
     /// This connection's slot in the structure.
@@ -716,6 +842,7 @@ pub struct RemoteListConnection {
     transport: Arc<dyn CfTransport>,
     handle: WireHandle,
     conn: ConnId,
+    policy: Option<Arc<RetryPolicy>>,
 }
 
 impl RemoteListConnection {
@@ -724,14 +851,21 @@ impl RemoteListConnection {
         let req = WireRequest::AttachList { structure: structure.to_string(), vector_len: vector_len as u64 };
         match transport.call(req)?.into_result()? {
             WireResponse::Attached { handle, conn, .. } => {
-                Ok(RemoteListConnection { transport, handle, conn })
+                Ok(RemoteListConnection { transport, handle, conn, policy: None })
             }
             _ => Err(protocol_error("list-admin")),
         }
     }
 
+    /// Retry transport faults on every command under `policy` (see
+    /// [`RetryPolicy`] for the idempotency caveat).
+    pub fn with_policy(mut self, policy: Arc<RetryPolicy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
     fn call(&self, req: WireRequest) -> CfResult<WireResponse> {
-        self.transport.call(req)?.into_result()
+        transport_call(&self.transport, &self.policy, req)
     }
 
     /// This connection's slot in the structure.

@@ -38,6 +38,8 @@ pub const WIRE_VERSION: u8 = 1;
 /// Upper bound on one frame's body. Large enough for a bulk castout page
 /// batch, small enough that a corrupt length cannot balloon allocation.
 pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+/// Bytes in a frame header: magic + version + body length.
+pub const FRAME_HEADER_BYTES: usize = 9;
 
 /// Decode-side failure: the buffer does not parse as the expected value.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -260,8 +262,19 @@ pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> std::io::Result<()> {
 /// oversized length) surface as `InvalidData` I/O errors so stream
 /// transports can distinguish a garbled channel from a dead one.
 pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Vec<u8>> {
-    let mut header = [0u8; 9];
+    let mut header = [0u8; FRAME_HEADER_BYTES];
     r.read_exact(&mut header)?;
+    let len = parse_frame_header(&header)?;
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Validate a frame header and return the body length it announces.
+/// Framing violations surface as `InvalidData` I/O errors, same as
+/// [`read_frame`] — shared by the stream readers that assemble headers
+/// from partial reads (see `transport::read_frame_patient`).
+pub fn parse_frame_header(header: &[u8; FRAME_HEADER_BYTES]) -> std::io::Result<usize> {
     if header[..4] != FRAME_MAGIC {
         return Err(invalid_data(WireError::BadMagic));
     }
@@ -272,9 +285,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Vec<u8>> {
     if len > MAX_FRAME_BYTES {
         return Err(invalid_data(WireError::TooLarge(len as u64)));
     }
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
-    Ok(body)
+    Ok(len)
 }
 
 fn invalid_data(e: WireError) -> std::io::Error {

@@ -21,18 +21,28 @@
 //!   and final structure state.
 //! * [`shrink`] — greedy fault-plan minimization and the
 //!   [`shrink::run_checked`] test entry point.
+//! * [`opsday`] — composed operations-day scenarios over real TCP
+//!   (rolling restart, partition + heal, ARM restart storm), with
+//!   recovery-time metrics and a lost-transaction reconciliation.
 //!
 //! Replaying a CI failure: the panic message names the seed; run
 //! `CampaignSpec::from_seed(seed).run()` (or paste the printed minimized
 //! spec) in any test and the identical trace comes back.
 
 pub mod campaign;
+pub mod chaos;
+pub mod opsday;
 pub mod oracle;
 pub mod plan;
 pub mod rng;
 pub mod shrink;
 
 pub use campaign::{CampaignOutcome, CampaignSpec, CampaignStats};
+pub use chaos::{ChaosPlan, ChaosProxy, WireFault};
+pub use opsday::{
+    default_chaos_plans, partition_heal, partition_heal_with_plans, restart_storm, rolling_restart, run_all,
+    scenarios_json, OpsDayConfig, ScenarioOutcome,
+};
 pub use oracle::{OracleConfig, Violation};
 pub use plan::{Fault, FaultPlan};
 pub use rng::SplitMix64;

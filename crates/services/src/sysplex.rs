@@ -232,6 +232,20 @@ impl Sysplex {
         self.heartbeat.register(id)
     }
 
+    /// Admit a remote member that may be a **new incarnation** of a
+    /// previously fenced system. A plain `Hello` (no resume token) is the
+    /// wire analogue of a re-IPL, and a re-IPL lifts the standing I/O
+    /// fence before the system rejoins — otherwise its very first status
+    /// pulse would bounce off its own old fence. Zombies of the *old*
+    /// incarnation are unaffected: they only hold resume tokens, and
+    /// resume of a fenced system is denied.
+    pub fn readmit_remote_member(&self, id: SystemId, mips: f64) -> Result<(), crate::cds::CdsError> {
+        if self.heartbeat.state_of(id) == Some(crate::heartbeat::HealthState::Failed) {
+            self.farm.fence().unfence(id.0);
+        }
+        self.register_remote_member(id, mips)
+    }
+
     /// Orderly departure of a remote member (the wire-side analogue of
     /// [`Sysplex::remove_planned`]): leave routing, stop expecting pulses.
     pub fn deregister_remote_member(&self, id: SystemId) {

@@ -31,21 +31,24 @@
 //! system going silent. A broken wire is indistinguishable from a dead
 //! system, which is precisely the S/390 status-monitoring contract.
 
+use crate::heartbeat::HealthState;
 use crate::sysplex::Sysplex;
 use crate::xcf::{GroupEvent, MemberInfo, XcfError, XcfItem, XcfMember};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use sysplex_core::error::{CfError, CfResult};
 use sysplex_core::facility::CouplingFacility;
+use sysplex_core::retry::RetryPolicy;
 use sysplex_core::transport::{
-    CfTransport, InProcessTransport, RemoteCacheConnection, RemoteListConnection, RemoteLockConnection,
-    TransportBackend,
+    read_frame_patient, CfTransport, InProcessTransport, RemoteCacheConnection, RemoteListConnection,
+    RemoteLockConnection, TransportBackend, DEFAULT_MID_FRAME_STALL,
 };
 use sysplex_core::types::{SystemId, MAX_SYSTEMS};
 use sysplex_core::wire::{
@@ -67,6 +70,12 @@ pub enum SxRequest {
         name: String,
         /// Capacity the member contributes to WLM routing.
         mips_bits: u64,
+        /// Resume token from a previous [`SxResponse::Admitted`]: a
+        /// reconnecting member reclaims its parked session (heartbeat and
+        /// WLM registrations, XCF memberships, handle numbering) instead
+        /// of being admitted — and counted — twice. `None` is a fresh
+        /// incarnation (an IPL, or a re-IPL after a fence).
+        resume: Option<u64>,
     },
     /// A tunnelled CF structure command.
     Cf(WireRequest),
@@ -136,6 +145,12 @@ pub enum SxResponse {
     XcfFail(XcfError),
     /// Admission/protocol refusal with a reason.
     Denied(String),
+    /// Successful `Hello`: the session's resume token. Present it in a
+    /// later `Hello` to reclaim this session after a link blip.
+    Admitted {
+        /// Opaque resume token, unique per admission.
+        token: u64,
+    },
 }
 
 fn put_system(w: &mut WireWriter, s: SystemId) {
@@ -229,11 +244,18 @@ impl SxRequest {
     pub fn encode(&self) -> Vec<u8> {
         let mut w = WireWriter::new();
         match self {
-            SxRequest::Hello { system, name, mips_bits } => {
+            SxRequest::Hello { system, name, mips_bits, resume } => {
                 w.put_u8(0);
                 put_system(&mut w, *system);
                 w.put_str(name);
                 w.put_u64(*mips_bits);
+                match resume {
+                    None => w.put_u8(0),
+                    Some(t) => {
+                        w.put_u8(1);
+                        w.put_u64(*t);
+                    }
+                }
             }
             SxRequest::Cf(req) => {
                 w.put_u8(1);
@@ -277,9 +299,16 @@ impl SxRequest {
     pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
         let mut r = WireReader::new(buf);
         let v = match r.get_u8()? {
-            0 => {
-                SxRequest::Hello { system: get_system(&mut r)?, name: r.get_str()?, mips_bits: r.get_u64()? }
-            }
+            0 => SxRequest::Hello {
+                system: get_system(&mut r)?,
+                name: r.get_str()?,
+                mips_bits: r.get_u64()?,
+                resume: match r.get_u8()? {
+                    0 => None,
+                    1 => Some(r.get_u64()?),
+                    _ => return Err(WireError::BadTag("option")),
+                },
+            },
             1 => SxRequest::Cf(WireRequest::decode_from(&mut r)?),
             2 => SxRequest::XcfJoin { group: r.get_str()?, member: r.get_str()? },
             3 => SxRequest::XcfLeave { handle: r.get_u32()? },
@@ -340,6 +369,10 @@ impl SxResponse {
                 w.put_u8(7);
                 w.put_str(msg);
             }
+            SxResponse::Admitted { token } => {
+                w.put_u8(8);
+                w.put_u64(*token);
+            }
         }
         w.into_bytes()
     }
@@ -367,6 +400,7 @@ impl SxResponse {
             5 => SxResponse::Count(r.get_u64()?),
             6 => SxResponse::XcfFail(get_xcf_error(&mut r)?),
             7 => SxResponse::Denied(r.get_str()?),
+            8 => SxResponse::Admitted { token: r.get_u64()? },
             _ => return Err(WireError::BadTag("sx response")),
         };
         r.finish()?;
@@ -385,8 +419,14 @@ pub enum SxError {
     Io(io::Error),
     /// The server executed the request and XCF refused it.
     Xcf(XcfError),
-    /// The server refused the request (admission, ordering, fencing).
+    /// The server refused the request (admission, ordering).
     Denied(String),
+    /// The server refused re-admission because this member's system was
+    /// fenced while it was away. This is the member *observing its own
+    /// fence*: the only correct reaction is to fail-stop this incarnation
+    /// (abandon in-flight work; a fresh `Hello` without a resume token
+    /// re-IPLs as a new incarnation).
+    Fenced(String),
     /// The server answered with a response of the wrong shape.
     Protocol,
 }
@@ -397,6 +437,7 @@ impl std::fmt::Display for SxError {
             SxError::Io(e) => write!(f, "sysplex link error: {e}"),
             SxError::Xcf(e) => write!(f, "xcf: {e}"),
             SxError::Denied(msg) => write!(f, "denied: {msg}"),
+            SxError::Fenced(msg) => write!(f, "fenced: {msg}"),
             SxError::Protocol => write!(f, "protocol violation: unexpected response shape"),
         }
     }
@@ -433,6 +474,96 @@ pub struct SysplexServer {
     accept_thread: Option<JoinHandle<()>>,
 }
 
+/// A session parked by an unclean disconnect, awaiting a Hello-with-resume.
+///
+/// Parking preserves everything a reconnecting member would otherwise be
+/// double-counted for: its XCF memberships (the members keep receiving
+/// signals into their queues across the blip) and the session-scoped
+/// handle numbering. The heartbeat/WLM registrations need no parking —
+/// they are keyed by `SystemId` and stay in place until SFM fences the
+/// system or the member departs cleanly.
+struct ParkedSession {
+    system: SystemId,
+    members: HashMap<u32, XcfMember>,
+    next_handle: u32,
+}
+
+/// Server-side session bookkeeping shared by all session threads.
+struct SessionRegistry {
+    next_token: AtomicU64,
+    parked: Mutex<HashMap<u64, ParkedSession>>,
+    /// Live sessions' streams, for fence-driven shutdown: when SFM fails
+    /// a system, its sockets are severed so a zombie cannot keep issuing
+    /// commands on an established session.
+    live: Mutex<HashMap<u64, (SystemId, TcpStream)>>,
+}
+
+impl SessionRegistry {
+    fn new() -> Arc<Self> {
+        Arc::new(SessionRegistry {
+            next_token: AtomicU64::new(1),
+            parked: Mutex::new(HashMap::new()),
+            live: Mutex::new(HashMap::new()),
+        })
+    }
+
+    fn issue_token(&self) -> u64 {
+        self.next_token.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Fence enforcement: sever every live stream of `system` and drop
+    /// its parked sessions (their XCF members were already failed out).
+    fn sever_system(&self, system: SystemId) {
+        self.live.lock().retain(|_, (sys, stream)| {
+            if *sys == system {
+                let _ = stream.shutdown(Shutdown::Both);
+                false
+            } else {
+                true
+            }
+        });
+        self.parked.lock().retain(|_, p| p.system != system);
+    }
+
+    /// Claim the parked session for `token`. If the token's previous
+    /// session thread is still live (the server has not yet noticed the
+    /// old socket die), sever it and wait for it to park — teardown parks
+    /// *before* removing the live entry, so the token is never in limbo.
+    fn adopt(&self, token: u64, system: SystemId) -> Option<ParkedSession> {
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            if let Some(p) = self.parked.lock().remove(&token) {
+                if p.system == system {
+                    return Some(p);
+                }
+                // Token/system mismatch: not this member's session.
+                self.parked.lock().insert(token, p);
+                return None;
+            }
+            let still_live = match self.live.lock().get(&token) {
+                Some((sys, stream)) if *sys == system => {
+                    let _ = stream.shutdown(Shutdown::Both);
+                    true
+                }
+                _ => false,
+            };
+            if !still_live || std::time::Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+impl std::fmt::Debug for SessionRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionRegistry")
+            .field("parked", &self.parked.lock().len())
+            .field("live", &self.live.lock().len())
+            .finish()
+    }
+}
+
 impl SysplexServer {
     /// Bind `addr` (use port 0 for an ephemeral port) and start serving
     /// `plex`, with CF commands routed to `cf`.
@@ -445,6 +576,13 @@ impl SysplexServer {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let registry = SessionRegistry::new();
+        {
+            // Fail-stop over the wire: the moment SFM fences a system,
+            // its sessions are severed and its parked state dropped.
+            let registry = Arc::clone(&registry);
+            plex.heartbeat.on_failure(move |sys| registry.sever_system(sys));
+        }
         let accept_thread = {
             let plex = Arc::clone(plex);
             let cf = Arc::clone(cf);
@@ -455,9 +593,10 @@ impl SysplexServer {
                         Ok((stream, _)) => {
                             let plex = Arc::clone(&plex);
                             let cf = Arc::clone(&cf);
+                            let registry = Arc::clone(&registry);
                             let _ = std::thread::Builder::new()
                                 .name("sysplex-session".into())
-                                .spawn(move || serve_session(&plex, &cf, stream));
+                                .spawn(move || serve_session(&plex, &cf, &registry, stream));
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                             plex.heartbeat.check_once();
@@ -497,17 +636,25 @@ fn respond(stream: &mut TcpStream, resp: &SxResponse) -> io::Result<()> {
     write_frame(stream, &resp.encode())
 }
 
-fn serve_session(plex: &Arc<Sysplex>, cf: &Arc<CouplingFacility>, stream: TcpStream) {
+fn serve_session(
+    plex: &Arc<Sysplex>,
+    cf: &Arc<CouplingFacility>,
+    registry: &Arc<SessionRegistry>,
+    stream: TcpStream,
+) {
     let _ = stream.set_nodelay(true);
     let mut stream = stream;
     let transport = InProcessTransport::new(cf);
     let mut members: HashMap<u32, XcfMember> = HashMap::new();
     let mut next_handle: u32 = 1;
     let mut admitted: Option<SystemId> = None;
+    let mut token: Option<u64> = None;
     let mut clean = false;
 
-    // Clean EOF and broken links end the session alike.
-    while let Ok(body) = read_frame(&mut stream) {
+    // Clean EOF and broken links end the session alike; a slow writer
+    // dribbling a frame is served, a peer silent mid-frame is declared
+    // dead after the stall budget.
+    while let Ok(body) = read_frame_patient(&mut stream, DEFAULT_MID_FRAME_STALL) {
         let req = match SxRequest::decode(&body) {
             Ok(r) => r,
             Err(_) => {
@@ -518,17 +665,77 @@ fn serve_session(plex: &Arc<Sysplex>, cf: &Arc<CouplingFacility>, stream: TcpStr
             }
         };
         let resp = match req {
-            SxRequest::Hello { system, name, mips_bits } => {
+            SxRequest::Hello { system, name, mips_bits, resume } => {
+                let _ = name; // identity is the SystemId; the name is advisory
                 if admitted.is_some() {
                     SxResponse::Denied("already admitted".into())
                 } else {
-                    match plex.register_remote_member(system, f64::from_bits(mips_bits)) {
-                        Ok(()) => {
-                            let _ = name; // identity is the SystemId; the name is advisory
-                            admitted = Some(system);
-                            SxResponse::Ok
+                    match resume {
+                        // Fresh incarnation: admit (lifting a stale fence —
+                        // a plain Hello after a failure is a re-IPL).
+                        None => match plex.readmit_remote_member(system, f64::from_bits(mips_bits)) {
+                            Ok(()) => {
+                                // A re-IPL invalidates whatever the previous
+                                // incarnation left parked: its XCF members
+                                // leave their groups now, so the new
+                                // incarnation can rejoin under the same
+                                // names instead of being double-counted.
+                                let stale: Vec<ParkedSession> = {
+                                    let mut parked = registry.parked.lock();
+                                    let tokens: Vec<u64> = parked
+                                        .iter()
+                                        .filter(|(_, p)| p.system == system)
+                                        .map(|(t, _)| *t)
+                                        .collect();
+                                    tokens.into_iter().filter_map(|t| parked.remove(&t)).collect()
+                                };
+                                for p in stale {
+                                    for (_, m) in p.members {
+                                        let _ = m.leave();
+                                    }
+                                }
+                                let t = registry.issue_token();
+                                admitted = Some(system);
+                                token = Some(t);
+                                if let Ok(clone) = stream.try_clone() {
+                                    registry.live.lock().insert(t, (system, clone));
+                                }
+                                SxResponse::Admitted { token: t }
+                            }
+                            Err(e) => SxResponse::Denied(format!("admission failed: {e}")),
+                        },
+                        // Reconnect: the same incarnation reclaims its
+                        // parked session instead of being double-counted.
+                        Some(t) => {
+                            if plex.heartbeat.state_of(system) == Some(HealthState::Failed) {
+                                // The member was fenced while away; this
+                                // denial is how the zombie incarnation
+                                // observes its own fence.
+                                SxResponse::Denied(format!(
+                                    "fenced: system {} was isolated during the outage",
+                                    system.0
+                                ))
+                            } else if plex.heartbeat.pulse(system).is_err() {
+                                SxResponse::Denied(format!(
+                                    "fenced: system {} status write rejected",
+                                    system.0
+                                ))
+                            } else {
+                                match registry.adopt(t, system) {
+                                    Some(parked) => {
+                                        members = parked.members;
+                                        next_handle = parked.next_handle;
+                                        admitted = Some(system);
+                                        token = Some(t);
+                                        if let Ok(clone) = stream.try_clone() {
+                                            registry.live.lock().insert(t, (system, clone));
+                                        }
+                                        SxResponse::Admitted { token: t }
+                                    }
+                                    None => SxResponse::Denied("unknown resume token".into()),
+                                }
+                            }
                         }
-                        Err(e) => SxResponse::Denied(format!("admission failed: {e}")),
                     }
                 }
             }
@@ -601,27 +808,180 @@ fn serve_session(plex: &Arc<Sysplex>, cf: &Arc<CouplingFacility>, stream: TcpStr
         if let Some(sys) = admitted {
             plex.deregister_remote_member(sys);
         }
+        if let Some(t) = token {
+            registry.parked.lock().remove(&t);
+            registry.live.lock().remove(&t);
+        }
+        return;
     }
-    // Unclean exit: keep the heartbeat registration. The next sweep finds
-    // the pulse overdue, fences the system, and fails its XCF members —
-    // the wire analogue of a system going silent.
+    // Unclean exit: keep the heartbeat registration and park the XCF
+    // state under the resume token so a reconnecting member reclaims it.
+    // Park BEFORE dropping the live entry — `adopt` relies on the token
+    // being in at least one of the two maps at all times. If SFM already
+    // fenced the system, there is nothing to park: its members were
+    // failed out, and the next sweep (or the fence itself) covers the
+    // rest of the choreography.
+    if let (Some(sys), Some(t)) = (admitted, token) {
+        if plex.heartbeat.state_of(sys) != Some(HealthState::Failed) {
+            registry
+                .parked
+                .lock()
+                .insert(t, ParkedSession { system: sys, members: std::mem::take(&mut members), next_handle });
+        }
+        registry.live.lock().remove(&t);
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Client
 // ---------------------------------------------------------------------------
 
+/// Discard any bytes already readable on `stream`: the envelope protocol
+/// has exactly zero bytes in flight at request start, so anything
+/// readable is a stale response a fault (or an abandoned retry) left
+/// behind. Draining re-aligns the request/response stream.
+fn drain_stale(stream: &TcpStream) {
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
+    let mut sink = [0u8; 4096];
+    let mut s = stream;
+    while matches!(s.read(&mut sink), Ok(n) if n > 0) {}
+    let _ = stream.set_nonblocking(false);
+}
+
+/// Reconnection parameters for a resilient session.
+#[derive(Debug)]
+struct Reconnector {
+    addr: String,
+    system: SystemId,
+    name: String,
+    mips_bits: u64,
+    /// Backoff schedule and attempt budget for dial + RPC retries.
+    policy: RetryPolicy,
+    /// Per-RPC read deadline: a black-holed link surfaces as a timeout
+    /// (and a retry) instead of hanging the caller forever.
+    rpc_timeout: Duration,
+}
+
+/// Run the admission handshake on a fresh stream; returns the session's
+/// resume token.
+fn handshake(
+    stream: &TcpStream,
+    system: SystemId,
+    name: &str,
+    mips_bits: u64,
+    resume: Option<u64>,
+) -> Result<u64, SxError> {
+    let hello = SxRequest::Hello { system, name: name.to_string(), mips_bits, resume };
+    let mut s = stream;
+    write_frame(&mut s, &hello.encode()).map_err(SxError::Io)?;
+    let body = read_frame(&mut s).map_err(SxError::Io)?;
+    match SxResponse::decode(&body)
+        .map_err(|e| SxError::Io(io::Error::new(io::ErrorKind::InvalidData, e.to_string())))?
+    {
+        SxResponse::Admitted { token } => Ok(token),
+        SxResponse::Denied(msg) if msg.starts_with("fenced") => Err(SxError::Fenced(msg)),
+        SxResponse::Denied(msg) => Err(SxError::Denied(msg)),
+        _ => Err(SxError::Protocol),
+    }
+}
+
 #[derive(Debug)]
 struct Conn {
-    stream: Mutex<TcpStream>,
+    stream: Mutex<Option<TcpStream>>,
+    token: Mutex<Option<u64>>,
+    /// `Some` for resilient sessions; `None` sessions fail on first fault.
+    reconnect: Option<Reconnector>,
+    /// Set by `goodbye` before the wire exchange: no thread may dial or
+    /// pulse on behalf of a departed member.
+    departed: AtomicBool,
+    /// Bumped on every successful (re-)handshake. CF structure handles
+    /// are session-scoped on the server, so exploiters watch this to know
+    /// their `Remote*Connection`s need re-attaching.
+    generation: AtomicU64,
 }
 
 impl Conn {
-    fn rpc(&self, req: &SxRequest) -> io::Result<SxResponse> {
-        let mut s = self.stream.lock();
-        write_frame(&mut *s, &req.encode())?;
-        let body = read_frame(&mut *s)?;
-        SxResponse::decode(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    /// A non-resilient session over an already-admitted stream.
+    fn established(stream: TcpStream, token: u64) -> Conn {
+        Conn {
+            stream: Mutex::new(Some(stream)),
+            token: Mutex::new(Some(token)),
+            reconnect: None,
+            departed: AtomicBool::new(false),
+            generation: AtomicU64::new(1),
+        }
+    }
+
+    /// Dial + handshake, storing the admitted stream in `slot`.
+    fn establish(&self, slot: &mut Option<TcpStream>) -> Result<(), SxError> {
+        if slot.is_some() {
+            return Ok(());
+        }
+        let rc = self
+            .reconnect
+            .as_ref()
+            .ok_or_else(|| SxError::Io(io::Error::new(io::ErrorKind::NotConnected, "session closed")))?;
+        let stream = TcpStream::connect(rc.addr.as_str()).map_err(SxError::Io)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(Some(rc.rpc_timeout)).map_err(SxError::Io)?;
+        let resume = *self.token.lock();
+        let token = handshake(&stream, rc.system, &rc.name, rc.mips_bits, resume)?;
+        *self.token.lock() = Some(token);
+        self.generation.fetch_add(1, Ordering::Release);
+        *slot = Some(stream);
+        Ok(())
+    }
+
+    fn rpc(&self, req: &SxRequest) -> Result<SxResponse, SxError> {
+        self.rpc_inner(req, false)
+    }
+
+    /// One request/response exchange. With a reconnector, link faults are
+    /// retried under the policy's timeout budget, re-dialing (and
+    /// re-admitting with the resume token) as needed; `Fenced`/`Denied`
+    /// answers are never retried. Without one, the first fault surfaces.
+    fn rpc_inner(&self, req: &SxRequest, allow_departed: bool) -> Result<SxResponse, SxError> {
+        if !allow_departed && self.departed.load(Ordering::Acquire) {
+            return Err(SxError::Io(io::Error::new(io::ErrorKind::NotConnected, "member departed")));
+        }
+        let mut slot = self.stream.lock();
+        let budget = self.reconnect.as_ref().map(|rc| rc.policy.timeout_attempts()).unwrap_or(1).max(1);
+        let mut attempt: u32 = 0;
+        loop {
+            let result = (|| {
+                self.establish(&mut slot)?;
+                let stream = slot.as_mut().expect("established");
+                drain_stale(stream);
+                write_frame(stream, &req.encode()).map_err(SxError::Io)?;
+                let body = read_frame(stream).map_err(SxError::Io)?;
+                SxResponse::decode(&body)
+                    .map_err(|e| SxError::Io(io::Error::new(io::ErrorKind::InvalidData, e.to_string())))
+            })();
+            match result {
+                Ok(resp) => return Ok(resp),
+                Err(SxError::Io(e)) => {
+                    // The stream is suspect: sever it so the next attempt
+                    // re-dials and re-admits.
+                    if let Some(s) = slot.take() {
+                        let _ = s.shutdown(Shutdown::Both);
+                    }
+                    attempt += 1;
+                    if attempt >= budget || self.reconnect.is_none() {
+                        return Err(SxError::Io(e));
+                    }
+                    if !allow_departed && self.departed.load(Ordering::Acquire) {
+                        return Err(SxError::Io(e));
+                    }
+                    let rc = self.reconnect.as_ref().expect("checked above");
+                    std::thread::sleep(rc.policy.delay(attempt));
+                }
+                // Fenced / refused admission / protocol violations are
+                // answers, not link faults: surface immediately.
+                Err(other) => return Err(other),
+            }
+        }
     }
 }
 
@@ -638,7 +998,10 @@ pub struct RemoteSysplex {
 }
 
 impl RemoteSysplex {
-    /// Connect and run the admission handshake.
+    /// Connect and run the admission handshake. The session is
+    /// **non-resilient**: the first link fault surfaces to the caller.
+    /// See [`RemoteSysplex::connect_resilient`] for bounded-retry
+    /// sessions that survive a hostile network.
     pub fn connect<A: ToSocketAddrs>(
         addr: A,
         system: SystemId,
@@ -647,17 +1010,62 @@ impl RemoteSysplex {
     ) -> Result<Self, SxError> {
         let stream = TcpStream::connect(addr).map_err(SxError::Io)?;
         stream.set_nodelay(true).map_err(SxError::Io)?;
-        let rs = RemoteSysplex { conn: Arc::new(Conn { stream: Mutex::new(stream) }), system };
-        match rs.conn.rpc(&SxRequest::Hello { system, name: name.to_string(), mips_bits: mips.to_bits() })? {
-            SxResponse::Ok => Ok(rs),
-            SxResponse::Denied(msg) => Err(SxError::Denied(msg)),
-            _ => Err(SxError::Protocol),
-        }
+        let token = handshake(&stream, system, name, mips.to_bits(), None)?;
+        Ok(RemoteSysplex { conn: Arc::new(Conn::established(stream, token)), system })
+    }
+
+    /// Connect with **bounded-retry resilience**: every RPC (including
+    /// the keepalive's pulses) that hits a link fault re-dials, re-admits
+    /// with the session's resume token, and retries under `policy`'s
+    /// timeout budget with its seeded exponential backoff. Each RPC's
+    /// response read is bounded by `rpc_timeout`, so a black-holed link
+    /// surfaces as a retryable fault instead of a hang.
+    ///
+    /// Non-retryable answers pass straight through — in particular
+    /// [`SxError::Fenced`], which a reconnecting member receives when SFM
+    /// isolated it during the outage (the member observing its own
+    /// fence).
+    pub fn connect_resilient(
+        addr: &str,
+        system: SystemId,
+        name: &str,
+        mips: f64,
+        policy: RetryPolicy,
+        rpc_timeout: Duration,
+    ) -> Result<Self, SxError> {
+        let conn = Conn {
+            stream: Mutex::new(None),
+            token: Mutex::new(None),
+            reconnect: Some(Reconnector {
+                addr: addr.to_string(),
+                system,
+                name: name.to_string(),
+                mips_bits: mips.to_bits(),
+                policy,
+                rpc_timeout,
+            }),
+            departed: AtomicBool::new(false),
+            generation: AtomicU64::new(0),
+        };
+        let rs = RemoteSysplex { conn: Arc::new(conn), system };
+        // Establish eagerly so admission refusals surface here, not on
+        // the first command.
+        rs.pulse()?;
+        Ok(rs)
     }
 
     /// The system identity this member was admitted as.
     pub fn system(&self) -> SystemId {
         self.system
+    }
+
+    /// Session generation: bumped on every successful (re-)admission.
+    /// CF structure handles are session-scoped on the server, so after a
+    /// generation change existing `Remote*Connection`s answer
+    /// `BadConnector` and must be re-attached via the `connect_*`
+    /// helpers.
+    pub fn generation(&self) -> u64 {
+        self.conn.generation.load(Ordering::Acquire)
     }
 
     /// A CF transport tunnelling structure commands over this session's
@@ -715,15 +1123,28 @@ impl RemoteSysplex {
     /// session socket, so the pulses stop the moment the process — or
     /// the link — actually dies, and the thread exits on the first
     /// failed or rejected pulse and lets SFM take over.
+    ///
+    /// The thread holds only a `Weak` reference to the session and checks
+    /// the departed flag each cycle: after [`RemoteSysplex::goodbye`] (or
+    /// once the `RemoteSysplex` is dropped) the pulses stop, so a
+    /// departed member can never keep pulsing and mask its own departure.
     pub fn keepalive(&self, interval: Duration) -> PulseHandle {
-        let conn = Arc::clone(&self.conn);
+        let conn = Arc::downgrade(&self.conn);
         let stop = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&stop);
         let thread = std::thread::Builder::new()
             .name("sysplex-pulse".into())
             .spawn(move || {
                 while !flag.load(Ordering::Acquire) {
-                    if !matches!(conn.rpc(&SxRequest::Pulse), Ok(SxResponse::Ok)) {
+                    // Upgrade per cycle: a dropped or departed session
+                    // ends the heartbeat, it does not keep it alive.
+                    let alive = match conn.upgrade() {
+                        Some(conn) if !conn.departed.load(Ordering::Acquire) => {
+                            matches!(conn.rpc(&SxRequest::Pulse), Ok(SxResponse::Ok))
+                        }
+                        _ => false,
+                    };
+                    if !alive {
                         break;
                     }
                     // Sleep in short slices so stop() stays prompt even
@@ -742,7 +1163,11 @@ impl RemoteSysplex {
 
     /// Orderly departure: deregisters the system and ends the session.
     pub fn goodbye(self) -> Result<(), SxError> {
-        match self.conn.rpc(&SxRequest::Goodbye)? {
+        // Mark departed BEFORE the wire exchange: from this point no
+        // background pulse thread may pulse or reconnect, so the server's
+        // deregistration cannot be undone by a racing re-admission.
+        self.conn.departed.store(true, Ordering::Release);
+        match self.conn.rpc_inner(&SxRequest::Goodbye, true)? {
             SxResponse::Ok => Ok(()),
             SxResponse::Denied(msg) => Err(SxError::Denied(msg)),
             _ => Err(SxError::Protocol),
@@ -793,7 +1218,9 @@ impl CfTransport for SxCfTransport {
         match self.conn.rpc(&SxRequest::Cf(req)) {
             Ok(SxResponse::Cf(resp)) => Ok(resp),
             Ok(_) => Err(CfError::InterfaceControlCheck(class)),
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => Err(CfError::InterfaceControlCheck(class)),
+            Err(SxError::Io(e)) if e.kind() == io::ErrorKind::InvalidData => {
+                Err(CfError::InterfaceControlCheck(class))
+            }
             Err(_) => Err(CfError::LinkTimeout(class)),
         }
     }
@@ -904,6 +1331,13 @@ mod tests {
             system: SystemId::new(3),
             name: "SYSC".into(),
             mips_bits: 812.5f64.to_bits(),
+            resume: None,
+        });
+        roundtrip_req(SxRequest::Hello {
+            system: SystemId::new(3),
+            name: "SYSC".into(),
+            mips_bits: 812.5f64.to_bits(),
+            resume: Some(0xFEED_F00D),
         });
         roundtrip_req(SxRequest::XcfJoin { group: "DB2GRP".into(), member: "DB2A".into() });
         roundtrip_req(SxRequest::XcfSend { handle: 7, to: "DB2B".into(), payload: vec![1, 2, 3] });
@@ -932,6 +1366,7 @@ mod tests {
         roundtrip_resp(SxResponse::Count(5));
         roundtrip_resp(SxResponse::XcfFail(XcfError::DuplicateMember("DB2A".into())));
         roundtrip_resp(SxResponse::Denied("not admitted".into()));
+        roundtrip_resp(SxResponse::Admitted { token: u64::MAX });
     }
 
     #[test]
@@ -1037,7 +1472,7 @@ mod tests {
         let server = SysplexServer::start(&plex, &cf, "127.0.0.1:0").unwrap();
 
         let stream = TcpStream::connect(server.local_addr()).unwrap();
-        let conn = Conn { stream: Mutex::new(stream) };
+        let conn = Conn::established(stream, 0);
         match conn.rpc(&SxRequest::Pulse).unwrap() {
             SxResponse::Denied(msg) => assert!(msg.contains("not admitted")),
             other => panic!("expected denial, got {other:?}"),
@@ -1046,6 +1481,179 @@ mod tests {
             SxResponse::Denied(_) => {}
             other => panic!("expected denial, got {other:?}"),
         }
+        server.stop();
+    }
+
+    #[test]
+    fn resume_token_reclaims_session_without_double_counting() {
+        let plex = Sysplex::new(SysplexConfig::functional("RESUMEPLEX"));
+        let cf = plex.add_cf("CF01");
+        let server = SysplexServer::start(&plex, &cf, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let sys = SystemId::new(4);
+
+        // First incarnation: admit, join a group.
+        let s1 = TcpStream::connect(addr).unwrap();
+        let token = handshake(&s1, sys, "SYSR", 100.0f64.to_bits(), None).unwrap();
+        let conn1 = Conn::established(s1, token);
+        let handle = match conn1.rpc(&SxRequest::XcfJoin { group: "G".into(), member: "R".into() }).unwrap() {
+            SxResponse::Joined { handle } => handle,
+            other => panic!("join failed: {other:?}"),
+        };
+        let local = plex.xcf.join("G", "LOCAL", sys_zero()).unwrap();
+
+        // The link dies uncleanly; a peer sends while the member is away.
+        drop(conn1);
+        local.send_to("R", b"while-you-were-out").unwrap();
+
+        // Resume with the token on a fresh stream. The old session may
+        // not have parked yet — retry briefly, like a real member would.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let conn2 = loop {
+            let s2 = TcpStream::connect(addr).unwrap();
+            match handshake(&s2, sys, "SYSR", 100.0f64.to_bits(), Some(token)) {
+                Ok(t2) => {
+                    assert_eq!(t2, token, "resume keeps the same token");
+                    break Conn::established(s2, t2);
+                }
+                Err(_) if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(5))
+                }
+                Err(e) => panic!("resume failed: {e}"),
+            }
+        };
+
+        // Not double-counted: exactly one membership for "R", and the
+        // pre-blip handle still addresses it.
+        let members = plex.xcf.members("G");
+        assert_eq!(members.iter().filter(|m| m.name == "R").count(), 1, "members: {members:?}");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            match conn2.rpc(&SxRequest::XcfPoll { handle }).unwrap() {
+                SxResponse::Item(Some(XcfItem::Message { from, payload })) => {
+                    assert_eq!(from, "LOCAL");
+                    assert_eq!(payload, b"while-you-were-out", "queue buffered across the blip");
+                    break;
+                }
+                SxResponse::Item(_) => {
+                    assert!(std::time::Instant::now() < deadline, "message lost across resume");
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                other => panic!("poll failed: {other:?}"),
+            }
+        }
+        server.stop();
+    }
+
+    fn sys_zero() -> SystemId {
+        SystemId::new(0)
+    }
+
+    #[test]
+    fn fenced_member_observes_its_own_fence_on_resume() {
+        use crate::heartbeat::HealthState;
+
+        let plex = Sysplex::new(SysplexConfig::functional("FENCEPLEX"));
+        let cf = plex.add_cf("CF01");
+        let server = SysplexServer::start(&plex, &cf, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let sys = SystemId::new(7);
+
+        let s1 = TcpStream::connect(addr).unwrap();
+        let token = handshake(&s1, sys, "SYS7", 100.0f64.to_bits(), None).unwrap();
+
+        // SFM isolates the member during its "partition".
+        plex.kill(sys);
+        assert!(plex.farm.fence().is_fenced(7));
+
+        // The zombie incarnation tries to resume: denied as fenced — this
+        // is how it observes its own fence.
+        let s2 = TcpStream::connect(addr).unwrap();
+        match handshake(&s2, sys, "SYS7", 100.0f64.to_bits(), Some(token)) {
+            Err(SxError::Fenced(_)) => {}
+            other => panic!("expected Fenced, got {other:?}"),
+        }
+
+        // A fresh Hello is a re-IPL: the new incarnation is admitted and
+        // the stale fence is lifted.
+        let s3 = TcpStream::connect(addr).unwrap();
+        let t3 = handshake(&s3, sys, "SYS7", 100.0f64.to_bits(), None).unwrap();
+        assert_ne!(t3, token, "new incarnation, new token");
+        assert!(!plex.farm.fence().is_fenced(7), "re-IPL lifts the fence");
+        assert_eq!(plex.heartbeat.state_of(sys), Some(HealthState::Active));
+        server.stop();
+    }
+
+    #[test]
+    fn departed_member_cannot_keep_pulsing() {
+        use crate::heartbeat::HealthState;
+        use sysplex_core::retry::RetryPolicy;
+
+        let mut config = SysplexConfig::functional("BYEPLEX");
+        config.heartbeat.interval = Duration::from_millis(20);
+        config.heartbeat.failure_threshold = Duration::from_millis(200);
+        let plex = Sysplex::new(config);
+        let cf = plex.add_cf("CF01");
+        let server = SysplexServer::start(&plex, &cf, "127.0.0.1:0").unwrap();
+        let sys = SystemId::new(8);
+
+        let remote = RemoteSysplex::connect_resilient(
+            &server.local_addr().to_string(),
+            sys,
+            "SYS8",
+            100.0,
+            RetryPolicy::seeded(0xB0B).attempts(3, 2).backoff_ms(1, 10),
+            Duration::from_millis(500),
+        )
+        .unwrap();
+        let pulse = remote.keepalive(Duration::from_millis(20));
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(plex.heartbeat.state_of(sys), Some(HealthState::Active));
+
+        // Goodbye while the pulse thread is still running. Regression:
+        // a resilient pulse thread used to be able to reconnect with a
+        // fresh Hello and re-register the departed member, masking the
+        // departure.
+        remote.goodbye().unwrap();
+        std::thread::sleep(Duration::from_millis(400));
+        assert_eq!(
+            plex.heartbeat.state_of(sys),
+            Some(HealthState::Removed),
+            "departed member must stay departed — no zombie pulses"
+        );
+        drop(pulse);
+        server.stop();
+    }
+
+    #[test]
+    fn dropped_session_stops_pulsing_and_sfm_fences() {
+        use crate::heartbeat::HealthState;
+
+        let mut config = SysplexConfig::functional("DROPPLEX");
+        config.heartbeat.interval = Duration::from_millis(25);
+        config.heartbeat.failure_threshold = Duration::from_millis(250);
+        let plex = Sysplex::new(config);
+        let cf = plex.add_cf("CF01");
+        let server = SysplexServer::start(&plex, &cf, "127.0.0.1:0").unwrap();
+        let sys = SystemId::new(6);
+
+        let remote = RemoteSysplex::connect(server.local_addr(), sys, "SYS6", 100.0).unwrap();
+        let pulse = remote.keepalive(Duration::from_millis(25));
+        std::thread::sleep(Duration::from_millis(300));
+        assert_eq!(plex.heartbeat.state_of(sys), Some(HealthState::Active));
+
+        // Drop the session but keep the PulseHandle alive. Regression:
+        // the pulse thread used to hold a strong reference to the
+        // session, keeping the socket open and the pulses flowing after
+        // the member object was gone — masking the death of the member.
+        drop(remote);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while plex.heartbeat.state_of(sys) != Some(HealthState::Failed) {
+            assert!(std::time::Instant::now() < deadline, "SFM never fenced the dropped member");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(plex.farm.fence().is_fenced(6), "fail-stop: fenced before anything else");
+        drop(pulse);
         server.stop();
     }
 

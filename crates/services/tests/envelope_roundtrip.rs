@@ -30,7 +30,13 @@ fn item_samples(name: &str, data: &[u8], sel: u8) -> Vec<XcfItem> {
 
 fn request_samples(name: &str, data: &[u8], h: u32, n: u64, sel: u8) -> Vec<SxRequest> {
     vec![
-        SxRequest::Hello { system: system(sel), name: name.to_string(), mips_bits: n },
+        SxRequest::Hello { system: system(sel), name: name.to_string(), mips_bits: n, resume: None },
+        SxRequest::Hello {
+            system: system(sel),
+            name: name.to_string(),
+            mips_bits: n,
+            resume: Some(n.wrapping_add(1)),
+        },
         SxRequest::Cf(WireRequest::LockRequest {
             handle: h,
             entry: n,
@@ -62,6 +68,7 @@ fn response_samples(name: &str, data: &[u8], h: u32, n: u64, sel: u8) -> Vec<SxR
         SxResponse::XcfFail(XcfError::NoSuchMember(name.to_string())),
         SxResponse::XcfFail(XcfError::StaleHandle),
         SxResponse::Denied(name.to_string()),
+        SxResponse::Admitted { token: n },
     ];
     out.extend(item_samples(name, data, sel).into_iter().map(|it| SxResponse::Item(Some(it))));
     out

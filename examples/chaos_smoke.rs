@@ -1,0 +1,139 @@
+//! CI chaos smoke: a 3-member TCP sysplex survives seeded wire faults.
+//!
+//! Runs the partition + heal campaign — the one scenario that pushes
+//! every frame through per-member [`ChaosProxy`] fault plans — and
+//! demands the operations-day bar: zero lost debit-credit transactions,
+//! capacity floor held, trace oracle clean.
+//!
+//! Artifacts:
+//!
+//! * `CHAOS_PLAN.txt` — always written: the seed and each member's
+//!   fault plan as a copy-pasteable builder chain. A CI failure is
+//!   replayed locally with
+//!   `SYSPLEX_CHAOS_SEED=<seed> cargo run --example chaos_smoke`.
+//! * `CHAOS_SHRINK_REPORT.txt` — written on failure: the greedy-shrunk
+//!   minimal fault plans that still break the run, plus the verdict.
+//!
+//! Exit status is non-zero on any failure, so CI gates on it directly.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::time::Instant;
+use sysplex_harness::{
+    default_chaos_plans, partition_heal_with_plans, ChaosPlan, OpsDayConfig, ScenarioOutcome,
+};
+
+/// Ceiling on shrink re-runs: each replays a full campaign, so keep the
+/// failure path bounded even with the largest plans.
+const MAX_SHRINK_RUNS: usize = 40;
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn render_plans(seed: u64, plans: &[ChaosPlan]) -> String {
+    let mut out = format!("seed: {seed:#x}\n");
+    out.push_str("replay: SYSPLEX_CHAOS_SEED=<seed> cargo run --example chaos_smoke\n\n");
+    for (i, p) in plans.iter().enumerate() {
+        out.push_str(&format!("SYS{:02}: {p}\n", i + 1));
+    }
+    out
+}
+
+/// One campaign run; a panic (admission never completing, fence never
+/// observed) counts as a failure with the panic text as the verdict.
+fn run(config: &OpsDayConfig, plans: &[ChaosPlan]) -> Result<ScenarioOutcome, String> {
+    let plans = plans.to_vec();
+    let config = *config;
+    match panic::catch_unwind(AssertUnwindSafe(move || partition_heal_with_plans(&config, plans))) {
+        Ok(outcome) if outcome.is_clean() => Ok(outcome),
+        Ok(outcome) => Err(format!(
+            "unclean: lost={} capacity_floor_ok={} oracle_clean={} violations={:?}",
+            outcome.lost, outcome.capacity_floor_ok, outcome.oracle_clean, outcome.violations
+        )),
+        Err(e) => {
+            let msg = e
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "panic (no message)".to_string());
+            Err(format!("panic: {msg}"))
+        }
+    }
+}
+
+/// Greedy plan minimization: try removing one fault at a time across all
+/// members; keep any removal that still fails; repeat until a fixpoint
+/// or the run budget is spent.
+fn shrink(config: &OpsDayConfig, plans: &[ChaosPlan]) -> (Vec<ChaosPlan>, String) {
+    let mut current = plans.to_vec();
+    let mut last_failure = String::new();
+    let mut runs = 0;
+    let mut progress = true;
+    while progress && runs < MAX_SHRINK_RUNS {
+        progress = false;
+        'members: for m in 0..current.len() {
+            for i in 0..current[m].len() {
+                if runs >= MAX_SHRINK_RUNS {
+                    break 'members;
+                }
+                let mut candidate = current.clone();
+                candidate[m] = candidate[m].without(i);
+                runs += 1;
+                if let Err(msg) = run(config, &candidate) {
+                    eprintln!("shrink: removing fault {i} from SYS{:02} still fails ({runs} runs)", m + 1);
+                    current = candidate;
+                    last_failure = msg;
+                    progress = true;
+                    continue 'members;
+                }
+            }
+        }
+    }
+    (current, last_failure)
+}
+
+fn main() {
+    let seed = std::env::var("SYSPLEX_CHAOS_SEED").ok().and_then(|s| parse_seed(&s)).unwrap_or(0xC4A05);
+    let config = OpsDayConfig::seeded(seed);
+    let plans = default_chaos_plans(seed, config.members);
+    std::fs::write("CHAOS_PLAN.txt", render_plans(seed, &plans)).unwrap();
+    println!("chaos smoke: partition + heal, seed {seed:#x} (plans in CHAOS_PLAN.txt)");
+
+    let t0 = Instant::now();
+    match run(&config, &plans) {
+        Ok(outcome) => {
+            println!(
+                "clean in {:.1}s: committed={} acked={} lost={} duplicates={} reipls={} \
+                 fence={}µs readmit={}µs",
+                t0.elapsed().as_secs_f64(),
+                outcome.committed,
+                outcome.acked,
+                outcome.lost,
+                outcome.duplicates,
+                outcome.reipls,
+                outcome.time_to_fence_us,
+                outcome.time_to_readmit_us
+            );
+        }
+        Err(first_failure) => {
+            eprintln!("FAILED: {first_failure}");
+            eprintln!("shrinking fault plans (up to {MAX_SHRINK_RUNS} re-runs)…");
+            let (minimal, last_failure) = shrink(&config, &plans);
+            let mut report = format!("failure: {first_failure}\n\n");
+            if !last_failure.is_empty() && last_failure != first_failure {
+                report.push_str(&format!("failure after shrink: {last_failure}\n\n"));
+            }
+            report.push_str("minimal failing plans:\n");
+            report.push_str(&render_plans(seed, &minimal));
+            std::fs::write("CHAOS_SHRINK_REPORT.txt", &report).unwrap();
+            eprintln!("wrote CHAOS_SHRINK_REPORT.txt");
+            eprint!("{report}");
+            std::process::exit(1);
+        }
+    }
+}

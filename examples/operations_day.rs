@@ -6,6 +6,13 @@
 //! security cache with sysplex-wide revocation, a PROMPT-mode SFM policy
 //! with operator confirmation, and the console that ties it together.
 //!
+//! The day then turns hostile: three composed chaos campaigns run a
+//! separate TCP sysplex through rolling restarts, a network partition
+//! with heal, and an ARM-style restart storm, each under live
+//! debit-credit traffic. Their verdicts (lost transactions must be
+//! zero, trace oracle clean) and recovery metrics land in a
+//! `"scenarios"` array inside `BENCH_operations_day.json`.
+//!
 //! Run with: `cargo run --example operations_day`
 
 use parallel_sysplex::cf::SystemId;
@@ -106,7 +113,45 @@ fn main() {
     let report = monitor.report();
     print!("{report}");
     assert!(report.reconciles(), "activity report reconciles");
-    std::fs::write("BENCH_operations_day.json", report.to_json()).unwrap();
-    println!("wrote BENCH_operations_day.json");
+
+    // --- Composed chaos campaigns over TCP ---------------------------------
+    // A second, wire-backed sysplex rides through the operations-day
+    // failure drills. The seed pins the chaos plans, retry jitter, and
+    // transaction streams; override with SYSPLEX_CHAOS_SEED to replay.
+    let seed = std::env::var("SYSPLEX_CHAOS_SEED").ok().and_then(|s| parse_seed(&s)).unwrap_or(0xDEC1DED);
+    println!("\nrunning chaos campaigns (seed {seed:#x})…");
+    let outcomes = sysplex_harness::run_all(&sysplex_harness::OpsDayConfig::seeded(seed));
+    for o in &outcomes {
+        println!(
+            "  {:<16} committed={:<4} lost={} duplicates={} reipls={} \
+             fence={}µs readmit={}µs oracle_clean={}",
+            o.name,
+            o.committed,
+            o.lost,
+            o.duplicates,
+            o.reipls,
+            o.time_to_fence_us,
+            o.time_to_readmit_us,
+            o.oracle_clean
+        );
+        o.assert_clean();
+    }
+
+    let json = sysplex_bench::opsday::splice_scenarios(
+        &report.to_json(),
+        &sysplex_harness::scenarios_json(&outcomes),
+    );
+    std::fs::write("BENCH_operations_day.json", json).unwrap();
+    println!("wrote BENCH_operations_day.json ({} scenarios)", outcomes.len());
     println!("operations day complete");
+}
+
+/// Accept `0x…` hex or decimal.
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
 }

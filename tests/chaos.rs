@@ -1,0 +1,219 @@
+//! Wire-level chaos regressions through the public crate surface.
+//!
+//! Three robustness contracts under hostile-network conditions:
+//!
+//! 1. **Typed faults, never panics.** Whatever a chaos proxy does to the
+//!    byte stream — garbled bodies, truncated frames, dropped or
+//!    duplicated responses — every `Remote*` method returns
+//!    `CfError::LinkTimeout` or `CfError::InterfaceControlCheck`. No
+//!    other error class, no panic, no hang.
+//! 2. **Accounting survives faults.** The serving CF's per-class command
+//!    accounting still reconciles `issued == sync + async_converted`
+//!    after a fault storm.
+//! 3. **Campaign determinism + the operations-day bar.** The composed
+//!    partition + heal campaign is plan-level deterministic under a
+//!    pinned seed, loses zero acked transactions, and passes the lock
+//!    exclusivity / no-orphan oracle.
+
+use parallel_sysplex::cf::cache::{BlockName, CacheParams, WriteKind};
+use parallel_sysplex::cf::error::CfError;
+use parallel_sysplex::cf::facility::{CfConfig, CouplingFacility};
+use parallel_sysplex::cf::list::{ListParams, LockCondition, WritePosition};
+use parallel_sysplex::cf::lock::{LockMode, LockParams};
+use parallel_sysplex::cf::transport::{
+    serve_cf_stream, CfTransport, InProcessTransport, RemoteCacheConnection, RemoteListConnection,
+    RemoteLockConnection, TcpTransport,
+};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+use std::time::Duration;
+use sysplex_harness::{default_chaos_plans, partition_heal, ChaosPlan, ChaosProxy, OpsDayConfig, WireFault};
+
+/// A CF server with one structure of each kind, served over TCP until
+/// the listener drops.
+fn spawn_cf_server() -> (SocketAddr, Arc<CouplingFacility>) {
+    let cf = CouplingFacility::new(CfConfig::named("CF-STORM"));
+    cf.allocate_lock_structure("STORM_LOCK", LockParams::with_entries(64)).unwrap();
+    cf.allocate_cache_structure("STORM_GBP", CacheParams::store_in(64)).unwrap();
+    cf.allocate_list_structure("STORM_LIST", ListParams::with_headers(4)).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let served = Arc::clone(&cf);
+    std::thread::spawn(move || {
+        while let Ok((stream, _)) = listener.accept() {
+            let cf = Arc::clone(&served);
+            std::thread::spawn(move || {
+                let per_conn = InProcessTransport::new(&cf);
+                let _ = serve_cf_stream(&per_conn, stream);
+            });
+        }
+    });
+    (addr, cf)
+}
+
+/// The broken-link contract: transport faults surface as exactly two
+/// typed errors.
+fn assert_typed(context: &str, e: &CfError) {
+    assert!(
+        matches!(e, CfError::LinkTimeout(_) | CfError::InterfaceControlCheck(_)),
+        "{context}: expected LinkTimeout or InterfaceControlCheck, got {e:?}"
+    );
+}
+
+/// Garble, truncate, drop, duplicate, and delay frames while a client
+/// hammers lock, cache, and list methods across reconnects. Every error
+/// anywhere in the session must be one of the two transport faults, and
+/// the serving CF's per-class accounting must still reconcile.
+#[test]
+fn fault_storm_surfaces_only_typed_errors_and_accounting_reconciles() {
+    let (addr, cf) = spawn_cf_server();
+    // Early frames are admission traffic; the storm starts at frame 4
+    // and keeps hitting whatever round trips get that far. Frames count
+    // both directions, so faults land on requests and responses alike.
+    let mut plan = ChaosPlan::new();
+    for (i, fault) in [
+        WireFault::Garble,
+        WireFault::Truncate,
+        WireFault::Drop,
+        WireFault::Duplicate,
+        WireFault::DelayMs(5),
+        WireFault::Garble,
+        WireFault::Truncate,
+        WireFault::Drop,
+        WireFault::Duplicate,
+        WireFault::Garble,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        plan = plan.at(4 + 4 * i as u64, fault);
+    }
+    let proxy = ChaosProxy::start(addr, plan).unwrap();
+
+    let mut ops = 0u32;
+    let mut faulted = 0u32;
+    for round in 0..10u32 {
+        let Ok(transport) = TcpTransport::connect(proxy.addr()) else { continue };
+        transport.set_read_timeout(Some(Duration::from_millis(200))).unwrap();
+        let transport: Arc<dyn CfTransport> = Arc::new(transport);
+
+        match RemoteLockConnection::attach(Arc::clone(&transport), "STORM_LOCK") {
+            Ok(lock) => {
+                for i in 0..4u32 {
+                    let entry = lock.hash_resource(format!("R{round}.{i}").as_bytes());
+                    ops += 1;
+                    match lock.request_lock(entry, LockMode::Exclusive) {
+                        Ok(_) => {
+                            if let Err(e) = lock.release_lock(entry) {
+                                assert_typed("release_lock", &e);
+                                faulted += 1;
+                            }
+                        }
+                        Err(e) => {
+                            assert_typed("request_lock", &e);
+                            faulted += 1;
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                assert_typed("lock attach", &e);
+                faulted += 1;
+            }
+        }
+
+        match RemoteCacheConnection::attach(Arc::clone(&transport), "STORM_GBP", 64) {
+            Ok(cache) => {
+                for i in 0..3u32 {
+                    let block = BlockName::from_parts(0, u64::from(round * 8 + i));
+                    ops += 1;
+                    if let Err(e) = cache.write_invalidate(block, &[round as u8; 64], WriteKind::ChangedData)
+                    {
+                        assert_typed("write_invalidate", &e);
+                        faulted += 1;
+                    }
+                    if let Err(e) = cache.register_read(block, i) {
+                        assert_typed("register_read", &e);
+                        faulted += 1;
+                    }
+                }
+            }
+            Err(e) => {
+                assert_typed("cache attach", &e);
+                faulted += 1;
+            }
+        }
+
+        match RemoteListConnection::attach(Arc::clone(&transport), "STORM_LIST", 4) {
+            Ok(list) => {
+                for i in 0..3u64 {
+                    ops += 1;
+                    match list.enqueue(
+                        (i % 4) as usize,
+                        u64::from(round) * 100 + i,
+                        b"payload",
+                        WritePosition::Tail,
+                        LockCondition::None,
+                    ) {
+                        Ok(_) => {}
+                        Err(e) => {
+                            assert_typed("enqueue", &e);
+                            faulted += 1;
+                        }
+                    }
+                    if let Err(e) = list.scan((i % 4) as usize) {
+                        assert_typed("scan", &e);
+                        faulted += 1;
+                    }
+                }
+            }
+            Err(e) => {
+                assert_typed("list attach", &e);
+                faulted += 1;
+            }
+        }
+    }
+
+    assert!(ops > 0, "the storm must exercise real commands");
+    assert!(!proxy.applied().is_empty(), "the plan must actually fire");
+    assert!(faulted > 0, "a {} fault plan must surface at least one typed error", proxy.applied().len());
+
+    // Contract 2: the serving CF's accounting survived every fault.
+    let stats = cf.command_stats();
+    for (class, issued, sync, async_converted, _mean) in stats.report() {
+        assert_eq!(issued, sync + async_converted, "{class}: issued == sync + async_converted");
+    }
+    assert_eq!(stats.issued(), stats.sync() + stats.async_converted(), "totals reconcile");
+}
+
+/// Composed partition + heal over TCP: the fenced member re-admits after
+/// the heal, zero acked transactions are lost, and the trace passes the
+/// lock-exclusivity and no-orphan-record invariants.
+#[test]
+fn partition_heal_campaign_meets_the_operations_day_bar() {
+    let outcome = partition_heal(&OpsDayConfig { seed: 0xB10C_CA5E, members: 3, txns_per_member: 10 });
+    outcome.assert_clean();
+    assert_eq!(outcome.lost, 0);
+    assert!(outcome.time_to_fence_us > 0, "SFM fence observed and timed");
+    assert!(outcome.time_to_readmit_us > 0, "re-admission observed and timed");
+    assert!(outcome.reipls > 0, "the victim re-IPLed at least once");
+    assert!(outcome.committed >= 30, "members kept committing through the partition");
+}
+
+/// Plan-level determinism: a pinned seed derives identical fault plans
+/// every time — across plan construction and across full campaign runs —
+/// so a CI failure seed replays the same wire misfortune.
+#[test]
+fn seeded_chaos_replays_at_plan_level() {
+    assert_eq!(default_chaos_plans(0x5EED, 3), default_chaos_plans(0x5EED, 3));
+    assert_ne!(default_chaos_plans(0x5EED, 3), default_chaos_plans(0x5EEE, 3));
+
+    let config = OpsDayConfig { seed: 0x00D3_73C7, members: 3, txns_per_member: 5 };
+    let a = partition_heal(&config);
+    let b = partition_heal(&config);
+    assert_eq!(a.chaos_plan, b.chaos_plan, "same seed, same recorded plans");
+    assert!(!a.chaos_plan.is_empty(), "plans recorded as builder chains");
+    assert_eq!(a.seed, b.seed);
+    a.assert_clean();
+    b.assert_clean();
+}

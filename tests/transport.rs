@@ -16,6 +16,7 @@ use parallel_sysplex::cf::transport::{
 };
 use parallel_sysplex::cf::wire::{read_frame, write_frame};
 use parallel_sysplex::cf::WireRequest;
+use std::io::Write;
 use std::net::TcpListener;
 use std::sync::Arc;
 
@@ -105,6 +106,46 @@ fn garbled_frame_is_an_interface_control_check() {
         matches!(err, CfError::InterfaceControlCheck(_)),
         "garbled response frame must be an IFCC, got {err:?}"
     );
+}
+
+/// A slow writer that dribbles a request one byte at a time is served
+/// normally: the mid-frame stall allowance tolerates partial frames, so
+/// a congested (but live) link never tears the session down.
+#[test]
+fn served_session_tolerates_a_dribbling_writer() {
+    let cf = cf_with_lock();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = {
+        let cf = Arc::clone(&cf);
+        std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let transport = InProcessTransport::new(&cf);
+            serve_cf_stream(&transport, stream).unwrap();
+        })
+    };
+
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    // Render the attach request into a full frame, then trickle it out
+    // byte by byte with pauses well inside the per-read stall allowance.
+    let body = WireRequest::AttachLock { structure: "IRLM1".to_string() }.encode();
+    let mut framed = Vec::new();
+    write_frame(&mut framed, &body).unwrap();
+    for byte in &framed {
+        stream.write_all(std::slice::from_ref(byte)).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    let reply = read_frame(&mut stream).unwrap();
+    let response = parallel_sysplex::cf::WireResponse::decode(&reply).unwrap();
+    assert!(
+        matches!(response, parallel_sysplex::cf::WireResponse::Attached { .. }),
+        "dribbled attach must be served normally, got {response:?}"
+    );
+    drop(stream);
+    server.join().unwrap();
 }
 
 /// The multi-process smoke in miniature: a served CF session carries a
