@@ -536,6 +536,7 @@ impl HotpathReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"report\": \"cf_hotpath\",\n");
+        out.push_str(&format!("  \"schema_version\": {},\n", sysplex_services::SCHEMA_VERSION));
         out.push_str(&format!("  \"hw_threads\": {},\n", self.hw_threads));
         out.push_str(&format!("  \"transport\": \"{}\",\n", self.transport));
         out.push_str(&format!("  \"ops_per_thread\": {},\n", self.ops_per_thread));
@@ -641,6 +642,7 @@ mod tests {
         let json = report.to_json();
         for key in [
             "\"report\": \"cf_hotpath\"",
+            "\"schema_version\": 1",
             "\"hw_threads\"",
             "\"transport\": \"in-process\"",
             "\"phases\"",

@@ -110,6 +110,13 @@ pub struct ScalePoint {
     pub speedup_vs_1: f64,
     /// The members' individual results.
     pub per_member: Vec<MemberSample>,
+    /// Pre-rendered JSON object for the run's merged sysplex
+    /// observability section ([`SysplexSection::to_json`] output): the
+    /// parent snapshots its SMF store after the run and splices the
+    /// document here verbatim. `None` renders as JSON `null`.
+    ///
+    /// [`SysplexSection::to_json`]: sysplex_services::SysplexSection
+    pub observability: Option<String>,
 }
 
 /// The full report written to `BENCH_sysplex_scale.json`.
@@ -142,6 +149,7 @@ impl ScaleReport {
                 total_ops_per_s: total,
                 speedup_vs_1: if base > 0.0 { total / base } else { 0.0 },
                 per_member,
+                observability: None,
             });
         }
         ScaleReport {
@@ -157,6 +165,7 @@ impl ScaleReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"report\": \"sysplex_scale\",\n");
+        out.push_str(&format!("  \"schema_version\": {},\n", sysplex_services::SCHEMA_VERSION));
         out.push_str(&format!("  \"hw_threads\": {},\n", self.hw_threads));
         out.push_str(&format!("  \"transport\": \"{}\",\n", self.transport));
         out.push_str(&format!("  \"ops_per_member\": {},\n", self.ops_per_member));
@@ -169,11 +178,11 @@ impl ScaleReport {
             ));
             for (j, m) in p.per_member.iter().enumerate() {
                 out.push_str(&format!(
-                    "      {{\"system\": {}, \"name\": \"{}\", \"ops\": {}, \"elapsed_ms\": {:.3}, \
+                    "      {{\"system\": {}, \"name\": {}, \"ops\": {}, \"elapsed_ms\": {:.3}, \
                      \"ops_per_s\": {:.1}, \"xcf_rtt_us_p50\": {:.2}, \"xcf_rtt_us_p95\": {:.2}, \
                      \"cf_probe_us_p50\": {:.2}, \"cf_probe_us_p95\": {:.2}}}{}\n",
                     m.system,
-                    m.name,
+                    sysplex_services::json_str(&m.name),
                     m.ops,
                     m.elapsed_us as f64 / 1_000.0,
                     m.ops_per_s(),
@@ -184,7 +193,9 @@ impl ScaleReport {
                     if j + 1 == p.per_member.len() { "" } else { "," }
                 ));
             }
-            out.push_str(&format!("    ]}}{}\n", if i + 1 == self.scaling.len() { "" } else { "," }));
+            out.push_str("    ], \"observability\": ");
+            out.push_str(p.observability.as_deref().unwrap_or("null"));
+            out.push_str(&format!("}}{}\n", if i + 1 == self.scaling.len() { "" } else { "," }));
         }
         out.push_str("  ]\n");
         out.push_str("}\n");
@@ -277,6 +288,7 @@ mod tests {
         let json = report.to_json();
         for key in [
             "\"report\": \"sysplex_scale\"",
+            "\"schema_version\": 1",
             "\"hw_threads\"",
             "\"transport\": \"tcp\"",
             "\"ops_per_member\": 500",
@@ -285,10 +297,23 @@ mod tests {
             "\"xcf_rtt_us_p50\"",
             "\"cf_probe_us_p50\"",
             "\"speedup_vs_1\"",
+            "\"observability\": null",
         ] {
             assert!(json.contains(key), "JSON missing {key}");
         }
         assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn hostile_member_names_are_escaped_and_observability_splices() {
+        let mut evil = sample(1, 500, 250_000);
+        evil.name = "SYS\"01\\".to_string();
+        let mut report = ScaleReport::from_runs(500, vec![vec![evil]]);
+        report.scaling[0].observability = Some("{\"member_count\": 1, \"reconciled\": true}".to_string());
+        let json = report.to_json();
+        assert!(json.contains(r#""name": "SYS\"01\\""#), "name must escape: {json}");
+        assert!(json.contains("\"observability\": {\"member_count\": 1"));
+        assert!(!json.contains("\"observability\": null"));
     }
 
     #[test]

@@ -48,12 +48,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Nominal wire size of a lock-table command (request, release, interest).
-const LOCK_CMD_BYTES: usize = 64;
+pub const LOCK_CMD_BYTES: usize = 64;
 /// Nominal wire size of a directory-only command (register, unregister,
 /// monitor, disconnect).
-const DIR_CMD_BYTES: usize = 256;
+pub const DIR_CMD_BYTES: usize = 256;
 /// Nominal wire size of a data-carrying read response (one block/page).
-const PAGE_BYTES: usize = 4096;
+pub const PAGE_BYTES: usize = 4096;
 
 /// Command classes the subchannel accounts for.
 ///

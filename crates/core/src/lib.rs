@@ -75,8 +75,8 @@ pub use facility::{CfConfig, CouplingFacility};
 pub use retry::RetryPolicy;
 pub use trace::{TraceClock, TraceEvent, TraceKind, TraceRecord, Tracer};
 pub use transport::{
-    CfTransport, InProcessTransport, RemoteCacheConnection, RemoteListConnection, RemoteLockConnection,
-    TcpTransport, TransportBackend,
+    CfTransport, CmdShape, InProcessTransport, MeteredTransport, RemoteCacheConnection, RemoteListConnection,
+    RemoteLockConnection, TcpTransport, TransportBackend, TransportMeter,
 };
 pub use types::{ConnId, ConnMask, SystemId, MAX_CONNECTORS, MAX_SYSTEMS};
-pub use wire::{WireError, WireRequest, WireResponse};
+pub use wire::{SmfClassRow, SmfRecord, SmfStructureRow, WireError, WireRequest, WireResponse};

@@ -26,13 +26,17 @@
 //! exploiters that hold them keep their zero-cost path.
 
 use crate::cache::{BlockName, RegisterResult, WriteKind, WriteResult};
-use crate::connection::{CacheConnection, CfCommand, CfSubchannel, ListConnection, LockConnection};
+use crate::connection::{
+    CacheConnection, CfCommand, CfSubchannel, CommandClass, ConnectionStats, ConversionPolicy,
+    ListConnection, LockConnection,
+};
 use crate::error::{CfError, CfResult};
 use crate::facility::CouplingFacility;
 use crate::hashing::hash_to_slot;
 use crate::list::{DequeueEnd, EntryId, EntryView, LockCondition, WritePosition};
 use crate::lock::{DisconnectMode, LockMode, LockResponse, RetainedLock};
 use crate::retry::RetryPolicy;
+use crate::stats::{Counter, HistogramSnapshot};
 use crate::types::{ConnId, ConnMask};
 use crate::wire::{
     parse_frame_header, read_frame, write_frame, WireHandle, WireRequest, WireResponse, FRAME_HEADER_BYTES,
@@ -1078,6 +1082,305 @@ pub fn probe(transport: &dyn CfTransport, cmd: CfCommand) -> CfResult<()> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Member-side metering: the SMF record source
+// ---------------------------------------------------------------------------
+
+/// The accounting-relevant shape of one request, extracted **before** the
+/// request value is moved into a transport call.
+///
+/// A meter cannot inspect the request after `call` consumes it, so the
+/// shape (class, conversion verdict, structure handle, attach target) is
+/// captured up front and paired with the response afterwards.
+#[derive(Debug, Clone)]
+pub struct CmdShape {
+    class: CommandClass,
+    converts: bool,
+    handle: Option<WireHandle>,
+    attach_name: Option<String>,
+    is_force: bool,
+    is_detach: bool,
+}
+
+impl CmdShape {
+    /// Extract the shape of `req` under `policy`.
+    pub fn of(req: &WireRequest, policy: &ConversionPolicy) -> CmdShape {
+        use WireRequest as R;
+        CmdShape {
+            class: req.class(),
+            converts: req.converts_async(policy),
+            handle: req.structure_handle(),
+            attach_name: match req {
+                R::AttachLock { structure }
+                | R::AttachLockSlot { structure, .. }
+                | R::AttachCache { structure, .. }
+                | R::AttachList { structure, .. } => Some(structure.clone()),
+                _ => None,
+            },
+            is_force: matches!(req, R::LockForce { .. }),
+            is_detach: matches!(req, R::LockDetach { .. } | R::CacheDetach { .. } | R::ListDetach { .. }),
+        }
+    }
+
+    /// Command class the request is accounted under.
+    pub fn class(&self) -> CommandClass {
+        self.class
+    }
+}
+
+/// Cumulative per-structure counters the meter accumulates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct StructureTally {
+    requests: u64,
+    contentions: u64,
+    force_interests: u64,
+    faulted: u64,
+}
+
+/// Per-class cumulative values at the last record cut.
+#[derive(Debug, Clone, Default)]
+struct ClassCut {
+    issued: u64,
+    sync: u64,
+    async_converted: u64,
+    faulted: u64,
+    observed: HistogramSnapshot,
+}
+
+#[derive(Debug)]
+struct MeterInner {
+    /// Live attach handle → structure name.
+    handles: HashMap<WireHandle, String>,
+    /// Cumulative per-structure counters (survive detach).
+    tallies: HashMap<String, StructureTally>,
+    /// Interval baseline consumed by [`TransportMeter::cut_record`].
+    cut: CutState,
+}
+
+#[derive(Debug)]
+struct CutState {
+    seq: u32,
+    at: std::time::Instant,
+    classes: Vec<ClassCut>,
+    structures: HashMap<String, StructureTally>,
+}
+
+/// Member-side command accounting over any transport: the data source for
+/// SMF-style interval records.
+///
+/// The meter mirrors the serving subchannel's accounting rules for
+/// tunnelled commands — `issued` always, `sync` vs `async_converted` by
+/// the same conversion policy the CF applies ([`WireRequest::converts_async`]),
+/// `faulted` only on transport-level errors, latency recorded for every
+/// command — so a member's records reconcile against the facility's own
+/// counters the way the paper's SMF records reconcile against RMF.
+#[derive(Debug)]
+pub struct TransportMeter {
+    policy: ConversionPolicy,
+    stats: ConnectionStats,
+    retries: Counter,
+    inner: Mutex<MeterInner>,
+}
+
+impl TransportMeter {
+    /// A fresh meter applying `policy` for sync/async attribution.
+    pub fn new(policy: ConversionPolicy) -> Arc<TransportMeter> {
+        Arc::new(TransportMeter {
+            policy,
+            stats: ConnectionStats::new(),
+            retries: Counter::new(),
+            inner: Mutex::new(MeterInner {
+                handles: HashMap::new(),
+                tallies: HashMap::new(),
+                cut: CutState {
+                    seq: 0,
+                    at: std::time::Instant::now(),
+                    classes: vec![ClassCut::default(); CommandClass::COUNT],
+                    structures: HashMap::new(),
+                },
+            }),
+        })
+    }
+
+    /// The conversion policy the meter attributes sync/async splits with.
+    pub fn policy(&self) -> ConversionPolicy {
+        self.policy
+    }
+
+    /// Extract the accounting shape of `req` (capture before the call).
+    pub fn shape(&self, req: &WireRequest) -> CmdShape {
+        CmdShape::of(req, &self.policy)
+    }
+
+    /// Cumulative command accounting (same block shape as a subchannel's).
+    pub fn stats(&self) -> &ConnectionStats {
+        &self.stats
+    }
+
+    /// Note one wire-level redial/retry (commands the server may have seen
+    /// without the member recording an outcome).
+    pub fn note_retry(&self) {
+        self.retries.incr();
+    }
+
+    /// Cumulative wire-level retries noted so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.get()
+    }
+
+    /// Account one completed command: `shape` captured before the call,
+    /// `result` and issuer-observed `elapsed` afterwards.
+    pub fn observe(&self, shape: &CmdShape, result: &CfResult<WireResponse>, elapsed: Duration) {
+        let c = self.stats.class(shape.class);
+        c.issued.incr();
+        if shape.converts {
+            c.async_converted.incr();
+        } else {
+            c.sync.incr();
+        }
+        let faulted = result.is_err();
+        if faulted {
+            c.faulted.incr();
+        }
+        c.latency.record(elapsed);
+
+        let mut inner = self.inner.lock();
+        if let (Some(name), Ok(WireResponse::Attached { handle, .. })) = (&shape.attach_name, result) {
+            inner.handles.insert(*handle, name.clone());
+        }
+        if let Some(handle) = shape.handle {
+            if let Some(name) = inner.handles.get(&handle).cloned() {
+                let row = inner.tallies.entry(name).or_default();
+                row.requests += 1;
+                if faulted {
+                    row.faulted += 1;
+                }
+                if shape.is_force {
+                    row.force_interests += 1;
+                }
+                if matches!(result, Ok(WireResponse::Lock(LockResponse::Contention { .. }))) {
+                    row.contentions += 1;
+                }
+                if shape.is_detach && matches!(result, Ok(resp) if !matches!(resp, WireResponse::Error(_))) {
+                    inner.handles.remove(&handle);
+                }
+            }
+        }
+    }
+
+    /// Cut one SMF-style interval record: per-class and per-structure
+    /// activity since the previous cut (or meter creation), plus the
+    /// member's cumulative trace-ring accounting from `tracer` (a member
+    /// without local tracing reports zeros, which still reconcile).
+    pub fn cut_record(
+        &self,
+        system: u8,
+        member: &str,
+        tracer: Option<&crate::trace::Tracer>,
+        final_interval: bool,
+    ) -> crate::wire::SmfRecord {
+        let mut inner = self.inner.lock();
+        let MeterInner { tallies, cut, .. } = &mut *inner;
+        let now = std::time::Instant::now();
+        let interval_us = now.duration_since(cut.at).as_micros().min(u64::MAX as u128) as u64;
+        cut.at = now;
+        let seq = cut.seq;
+        cut.seq += 1;
+
+        let mut classes = Vec::new();
+        for class in CommandClass::ALL {
+            let s = self.stats.class(class);
+            let curr = ClassCut {
+                issued: s.issued.get(),
+                sync: s.sync.get(),
+                async_converted: s.async_converted.get(),
+                faulted: s.faulted.get(),
+                observed: s.latency.snapshot(),
+            };
+            let prev = &cut.classes[class.index()];
+            let row = crate::wire::SmfClassRow {
+                issued: curr.issued.saturating_sub(prev.issued),
+                sync: curr.sync.saturating_sub(prev.sync),
+                async_converted: curr.async_converted.saturating_sub(prev.async_converted),
+                faulted: curr.faulted.saturating_sub(prev.faulted),
+                observed: curr.observed.delta(&prev.observed),
+            };
+            cut.classes[class.index()] = curr;
+            if row.issued > 0 {
+                classes.push((class, row));
+            }
+        }
+
+        let mut structures = Vec::new();
+        let mut names: Vec<String> = tallies.keys().cloned().collect();
+        names.sort();
+        for name in names {
+            let t = tallies[&name];
+            let prev = cut.structures.get(&name).copied().unwrap_or_default();
+            if t != prev {
+                structures.push(crate::wire::SmfStructureRow {
+                    name,
+                    requests: t.requests.saturating_sub(prev.requests),
+                    contentions: t.contentions.saturating_sub(prev.contentions),
+                    force_interests: t.force_interests.saturating_sub(prev.force_interests),
+                    faulted: t.faulted.saturating_sub(prev.faulted),
+                });
+            }
+        }
+        cut.structures = tallies.clone();
+
+        let (emitted, dropped) = tracer.map(|t| (t.total_emitted(), t.total_dropped())).unwrap_or((0, 0));
+        crate::wire::SmfRecord {
+            system,
+            member: member.to_string(),
+            seq,
+            interval_us,
+            final_interval,
+            wire_retries: self.retries.get(),
+            classes,
+            structures,
+            trace_emitted: emitted,
+            trace_dropped: dropped,
+            trace_retained: emitted.saturating_sub(dropped),
+        }
+    }
+}
+
+/// A transport wrapper metering every command: the in-process path to the
+/// same records the TCP members ship, so the deterministic harness can
+/// assert on them without sockets.
+#[derive(Debug)]
+pub struct MeteredTransport {
+    inner: Arc<dyn CfTransport>,
+    meter: Arc<TransportMeter>,
+}
+
+impl MeteredTransport {
+    /// Meter every command through `inner` into `meter`.
+    pub fn new(inner: Arc<dyn CfTransport>, meter: Arc<TransportMeter>) -> MeteredTransport {
+        MeteredTransport { inner, meter }
+    }
+
+    /// The meter accumulating this transport's accounting.
+    pub fn meter(&self) -> &Arc<TransportMeter> {
+        &self.meter
+    }
+}
+
+impl CfTransport for MeteredTransport {
+    fn backend(&self) -> TransportBackend {
+        self.inner.backend()
+    }
+
+    fn call(&self, req: WireRequest) -> CfResult<WireResponse> {
+        let shape = self.meter.shape(&req);
+        let t0 = std::time::Instant::now();
+        let result = self.inner.call(req);
+        self.meter.observe(&shape, &result, t0.elapsed());
+        result
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1243,5 +1546,88 @@ mod tests {
         assert_eq!(retained[0].resource, b"ACCT.9");
         survivor.recovery_complete_for(slot).unwrap();
         assert!(!survivor.is_failed_persistent(slot).unwrap());
+    }
+
+    #[test]
+    fn meter_mirrors_cf_accounting() {
+        // Every tunnelled command through a metered in-process transport
+        // must account identically at the member meter and at the serving
+        // subchannel: same per-class issued/sync/async splits. This pins
+        // the WireRequest::converts_async mirror against the real policy.
+        let cf = cf();
+        let meter = TransportMeter::new(cf.subchannel().policy());
+        let inner: Arc<dyn CfTransport> = Arc::new(InProcessTransport::new(&cf));
+        let transport: Arc<dyn CfTransport> = Arc::new(MeteredTransport::new(inner, Arc::clone(&meter)));
+
+        let lock = RemoteLockConnection::attach(Arc::clone(&transport), "L").unwrap();
+        let entry = lock.hash_resource(b"ACCT.1");
+        assert!(lock.request_lock(entry, LockMode::Exclusive).unwrap().is_granted());
+        lock.write_lock_record(b"ACCT.1", LockMode::Exclusive, b"undo").unwrap();
+        lock.release_lock(entry).unwrap();
+        let cache = RemoteCacheConnection::attach(Arc::clone(&transport), "GBP", 16).unwrap();
+        let name = BlockName::from_parts(1, 7);
+        cache.register_read(name, 0).unwrap();
+        cache.write_invalidate(name, &[9; 128], WriteKind::ChangedData).unwrap();
+        cache.write_invalidate(name, &[9; 8192], WriteKind::ChangedData).unwrap();
+        let list = RemoteListConnection::attach(Arc::clone(&transport), "WQ", 8).unwrap();
+        list.enqueue(0, 5, b"job", WritePosition::Tail, LockCondition::None).unwrap();
+        let entries = list.scan(0).unwrap();
+        assert_eq!(entries.len(), 1);
+        probe(&*transport, CfCommand::new(CommandClass::CacheRead, 64)).unwrap();
+        lock.detach(DisconnectMode::Normal).unwrap();
+        cache.detach().unwrap();
+        list.detach().unwrap();
+
+        for class in CommandClass::ALL {
+            let m = meter.stats().class(class);
+            let s = cf.command_stats().class(class);
+            assert_eq!(m.issued.get(), s.issued.get(), "{}: issued", class.name());
+            assert_eq!(m.sync.get(), s.sync.get(), "{}: sync", class.name());
+            assert_eq!(m.async_converted.get(), s.async_converted.get(), "{}: async_converted", class.name());
+            assert_eq!(m.latency.samples(), m.issued.get(), "{}: one sample per command", class.name());
+        }
+    }
+
+    #[test]
+    fn meter_cuts_interval_records_with_structure_rows() {
+        let cf = cf();
+        let meter = TransportMeter::new(cf.subchannel().policy());
+        let inner: Arc<dyn CfTransport> = Arc::new(InProcessTransport::new(&cf));
+        let transport: Arc<dyn CfTransport> = Arc::new(MeteredTransport::new(inner, Arc::clone(&meter)));
+
+        let lock = RemoteLockConnection::attach(Arc::clone(&transport), "L").unwrap();
+        let native = cf.connect_lock("L").unwrap();
+        let entry = lock.hash_resource(b"ACCT.1");
+        native.request_lock(entry, LockMode::Exclusive).unwrap();
+        // A contended request and a forced interest both land in the
+        // structure row.
+        assert!(!lock.request_lock(entry, LockMode::Exclusive).unwrap().is_granted());
+        lock.force_interest(entry, LockMode::Exclusive).unwrap();
+
+        let first = meter.cut_record(3, "SYS03", None, false);
+        assert_eq!(first.system, 3);
+        assert_eq!(first.seq, 0);
+        assert!(!first.final_interval);
+        for (_, row) in &first.classes {
+            assert_eq!(row.issued, row.sync + row.async_converted);
+            assert_eq!(row.observed.samples, row.issued);
+        }
+        let row = first.structures.iter().find(|s| s.name == "L").expect("lock structure row");
+        assert_eq!(row.requests, 2, "contended request + force (the attach mints the handle)");
+        assert_eq!(row.contentions, 1);
+        assert_eq!(row.force_interests, 1);
+        // The record survives its own wire codec.
+        assert_eq!(crate::wire::SmfRecord::decode(&first.encode()).unwrap(), first);
+
+        // A quiet interval cuts an empty record; new traffic appears in
+        // (only) the following one.
+        let second = meter.cut_record(3, "SYS03", None, false);
+        assert_eq!(second.seq, 1);
+        assert!(second.classes.is_empty(), "no traffic since the last cut");
+        assert!(second.structures.is_empty());
+        lock.release_lock(entry).unwrap();
+        let third = meter.cut_record(3, "SYS03", None, true);
+        assert!(third.final_interval);
+        assert_eq!(third.classes.iter().map(|(_, r)| r.issued).sum::<u64>(), 1);
     }
 }

@@ -27,6 +27,7 @@ use crate::connection::{CfCommand, CommandClass};
 use crate::error::CfError;
 use crate::list::{DequeueEnd, EntryId, EntryView, LockCondition, WritePosition};
 use crate::lock::{DisconnectMode, LockMode, LockResponse, RetainedLock};
+use crate::stats::{HistogramSnapshot, HIST_BUCKETS};
 use crate::types::ConnId;
 use std::io::{Read, Write};
 use std::sync::Arc;
@@ -982,6 +983,86 @@ impl WireRequest {
         }
     }
 
+    /// Whether the serving subchannel will convert this request to
+    /// asynchronous execution under `policy`.
+    ///
+    /// This mirrors the decision the native connection methods make (which
+    /// `CfCommand` they build, and whether they call `issue_sync` or
+    /// `issue_async`), so a remote member can account sync/async splits for
+    /// tunnelled commands identically to a local connector. The unit test
+    /// `meter_mirrors_cf_accounting` in `transport.rs` pins the mirror
+    /// against the real accounting.
+    pub fn converts_async(&self, policy: &crate::connection::ConversionPolicy) -> bool {
+        use crate::connection::{CfCommand, DIR_CMD_BYTES, LOCK_CMD_BYTES};
+        use WireRequest as R;
+        match self {
+            // Unconditionally issued async by the native connection.
+            R::CacheCastoutCandidates { .. } | R::CacheCastoutRead { .. } | R::ListScan { .. } => true,
+            // Payload-dependent: the native methods build these commands
+            // and route through `wants_async`.
+            R::CacheWrite { data, .. } => {
+                policy.converts(&CfCommand::new(CommandClass::CacheWrite, data.len().max(DIR_CMD_BYTES)))
+            }
+            R::ListEnqueue { data, .. } => {
+                policy.converts(&CfCommand::new(CommandClass::ListWrite, data.len().max(LOCK_CMD_BYTES)))
+            }
+            R::Probe(cmd) => policy.converts(cmd),
+            // Everything else — including bulk-shaped admin commands like
+            // LockRetainedOf and large ListUpdates — is issued sync.
+            _ => false,
+        }
+    }
+
+    /// The attached-structure handle this request targets, if any (attach
+    /// requests are minting the handle and return `None`).
+    pub fn structure_handle(&self) -> Option<WireHandle> {
+        use WireRequest as R;
+        match self {
+            R::AttachLock { .. }
+            | R::AttachLockSlot { .. }
+            | R::AttachCache { .. }
+            | R::AttachList { .. }
+            | R::Probe(_) => None,
+            R::LockRequest { handle, .. }
+            | R::LockForce { handle, .. }
+            | R::LockRelease { handle, .. }
+            | R::LockHolders { handle, .. }
+            | R::LockIsNegotiate { handle, .. }
+            | R::LockWriteRecord { handle, .. }
+            | R::LockDeleteRecord { handle, .. }
+            | R::LockRetainedOf { handle, .. }
+            | R::LockIsFailedPersistent { handle, .. }
+            | R::LockRecoveryComplete { handle, .. }
+            | R::LockDetach { handle, .. }
+            | R::LockDetachPeer { handle, .. }
+            | R::CacheRead { handle, .. }
+            | R::CacheWrite { handle, .. }
+            | R::CacheUnregister { handle, .. }
+            | R::CacheCastoutCandidates { handle, .. }
+            | R::CacheCastoutRead { handle, .. }
+            | R::CacheCastoutComplete { handle, .. }
+            | R::CacheIsValid { handle, .. }
+            | R::CacheDetach { handle }
+            | R::ListEnqueue { handle, .. }
+            | R::ListUpdate { handle, .. }
+            | R::ListReadEntry { handle, .. }
+            | R::ListDelete { handle, .. }
+            | R::ListMoveTo { handle, .. }
+            | R::ListTransfer { handle, .. }
+            | R::ListClaimFirst { handle, .. }
+            | R::ListTake { handle, .. }
+            | R::ListScan { handle, .. }
+            | R::ListHeaderLen { handle, .. }
+            | R::ListLockAcquire { handle, .. }
+            | R::ListLockRelease { handle, .. }
+            | R::ListLockHolder { handle, .. }
+            | R::ListMonitor { handle, .. }
+            | R::ListDeregisterMonitor { handle, .. }
+            | R::ListIsSignaled { handle, .. }
+            | R::ListDetach { handle } => Some(*handle),
+        }
+    }
+
     /// Encode into an existing writer (lets an outer protocol embed CF
     /// requests in its own envelope).
     pub fn encode_into(&self, w: &mut WireWriter) {
@@ -1586,6 +1667,239 @@ impl WireResponse {
     }
 }
 
+// ---------------------------------------------------------------------------
+// SMF-style interval records
+// ---------------------------------------------------------------------------
+
+/// Version byte leading every encoded [`SmfRecord`]. Bumped independently
+/// of [`WIRE_VERSION`] on any incompatible record-format change, so old
+/// retained records are rejected rather than misparsed.
+pub const SMF_RECORD_VERSION: u8 = 1;
+
+/// Encode a [`HistogramSnapshot`] sparsely: a count of non-empty buckets,
+/// then `(bucket index, sample count)` pairs in strictly ascending index
+/// order, then the samples/total/max scalars. Interval deltas are mostly
+/// empty, so this beats shipping all [`HIST_BUCKETS`] words ~10:1.
+pub fn put_histogram_snapshot(w: &mut WireWriter, h: &HistogramSnapshot) {
+    let non_empty = h.buckets.iter().filter(|&&n| n > 0).count();
+    w.put_u8(non_empty as u8);
+    for (i, &n) in h.buckets.iter().enumerate() {
+        if n > 0 {
+            w.put_u8(i as u8);
+            w.put_u64(n);
+        }
+    }
+    w.put_u64(h.samples);
+    w.put_u64(h.total_ns);
+    w.put_u64(h.max_ns);
+}
+
+/// Decode a sparsely-encoded [`HistogramSnapshot`]. Indices must be in
+/// range and strictly ascending and counts non-zero (the canonical form
+/// [`put_histogram_snapshot`] emits); anything else is a bad tag.
+pub fn get_histogram_snapshot(r: &mut WireReader) -> Result<HistogramSnapshot, WireError> {
+    let n = r.get_u8()? as usize;
+    if n > HIST_BUCKETS {
+        return Err(WireError::BadTag("histogram-bucket-count"));
+    }
+    let mut buckets = [0u64; HIST_BUCKETS];
+    let mut prev: Option<u8> = None;
+    for _ in 0..n {
+        let idx = r.get_u8()?;
+        if idx as usize >= HIST_BUCKETS || prev.is_some_and(|p| idx <= p) {
+            return Err(WireError::BadTag("histogram-bucket-index"));
+        }
+        let count = r.get_u64()?;
+        if count == 0 {
+            return Err(WireError::BadTag("histogram-bucket-count"));
+        }
+        buckets[idx as usize] = count;
+        prev = Some(idx);
+    }
+    Ok(HistogramSnapshot { buckets, samples: r.get_u64()?, total_ns: r.get_u64()?, max_ns: r.get_u64()? })
+}
+
+/// One command class's interval activity as a member observed it.
+///
+/// The counters mirror [`crate::connection::ClassStats`] deltas; `observed`
+/// is the member-observed end-to-end latency (wire round trip plus CF
+/// service time), which the merged report decomposes against the serving
+/// end's own service histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SmfClassRow {
+    /// Commands issued in the interval.
+    pub issued: u64,
+    /// Ran CPU-synchronously (member-side conversion mirror).
+    pub sync: u64,
+    /// Converted to asynchronous execution.
+    pub async_converted: u64,
+    /// Surfaced a link fault (subset of issued).
+    pub faulted: u64,
+    /// Member-observed end-to-end latency over the interval.
+    pub observed: HistogramSnapshot,
+}
+
+/// One structure's interval activity as a member observed it.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SmfStructureRow {
+    /// Structure name (attach target).
+    pub name: String,
+    /// Commands the member issued against the structure.
+    pub requests: u64,
+    /// Lock requests answered with contention.
+    pub contentions: u64,
+    /// Forced interests (false-contention resolutions the member drove).
+    pub force_interests: u64,
+    /// Commands that surfaced a link fault.
+    pub faulted: u64,
+}
+
+/// A compact, versioned SMF-style interval record: everything one member
+/// can say about its own CF activity over one interval.
+///
+/// The paper's systems cut SMF records locally and RMF merges them into
+/// the sysplex-wide report (§2.1, §5.1); this type is that record for the
+/// reproduction. Class and structure rows are **interval deltas** (only
+/// rows with traffic are shipped); the trace fields are **cumulative as of
+/// the cut**, matching how the in-process report treats trace rings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmfRecord {
+    /// Raw system id of the member that cut the record.
+    pub system: u8,
+    /// Member name (XCF member label).
+    pub member: String,
+    /// Record sequence number within the member's session (0-based).
+    pub seq: u32,
+    /// Interval length in microseconds.
+    pub interval_us: u64,
+    /// True on the flush record cut during Goodbye: the interval is
+    /// partial and no further records follow from this session.
+    pub final_interval: bool,
+    /// Wire-level redials/retries the member's session performed so far
+    /// (cumulative): commands the server may have executed more than once
+    /// or seen without the member recording an outcome.
+    pub wire_retries: u64,
+    /// Interval activity per command class (only classes with traffic).
+    pub classes: Vec<(CommandClass, SmfClassRow)>,
+    /// Interval activity per attached structure (only structures with
+    /// traffic).
+    pub structures: Vec<SmfStructureRow>,
+    /// Trace entries emitted by this member's rings (cumulative).
+    pub trace_emitted: u64,
+    /// Trace entries dropped by ring wrap (cumulative).
+    pub trace_dropped: u64,
+    /// Trace entries currently retained.
+    pub trace_retained: u64,
+}
+
+impl SmfRecord {
+    /// Encode into an existing writer (the session envelope embeds records
+    /// the same way it embeds CF requests).
+    pub fn encode_into(&self, w: &mut WireWriter) {
+        w.put_u8(SMF_RECORD_VERSION);
+        w.put_u8(self.system);
+        w.put_str(&self.member);
+        w.put_u32(self.seq);
+        w.put_u64(self.interval_us);
+        w.put_bool(self.final_interval);
+        w.put_u64(self.wire_retries);
+        w.put_u8(self.classes.len() as u8);
+        for (class, row) in &self.classes {
+            put_command_class(w, *class);
+            w.put_u64(row.issued);
+            w.put_u64(row.sync);
+            w.put_u64(row.async_converted);
+            w.put_u64(row.faulted);
+            put_histogram_snapshot(w, &row.observed);
+        }
+        w.put_u32(self.structures.len() as u32);
+        for s in &self.structures {
+            w.put_str(&s.name);
+            w.put_u64(s.requests);
+            w.put_u64(s.contentions);
+            w.put_u64(s.force_interests);
+            w.put_u64(s.faulted);
+        }
+        w.put_u64(self.trace_emitted);
+        w.put_u64(self.trace_dropped);
+        w.put_u64(self.trace_retained);
+    }
+
+    /// Decode from a reader positioned at a record.
+    pub fn decode_from(r: &mut WireReader) -> Result<Self, WireError> {
+        let version = r.get_u8()?;
+        if version != SMF_RECORD_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let system = r.get_u8()?;
+        let member = r.get_str()?;
+        let seq = r.get_u32()?;
+        let interval_us = r.get_u64()?;
+        let final_interval = r.get_bool()?;
+        let wire_retries = r.get_u64()?;
+        let nclasses = r.get_u8()? as usize;
+        if nclasses > CommandClass::COUNT {
+            return Err(WireError::BadTag("smf-class-count"));
+        }
+        let mut classes = Vec::with_capacity(nclasses);
+        for _ in 0..nclasses {
+            let class = get_command_class(r)?;
+            classes.push((
+                class,
+                SmfClassRow {
+                    issued: r.get_u64()?,
+                    sync: r.get_u64()?,
+                    async_converted: r.get_u64()?,
+                    faulted: r.get_u64()?,
+                    observed: get_histogram_snapshot(r)?,
+                },
+            ));
+        }
+        let nstructures = r.get_u32()? as usize;
+        if nstructures > MAX_FRAME_BYTES / 8 {
+            return Err(WireError::TooLarge(nstructures as u64));
+        }
+        let mut structures = Vec::with_capacity(nstructures.min(1024));
+        for _ in 0..nstructures {
+            structures.push(SmfStructureRow {
+                name: r.get_str()?,
+                requests: r.get_u64()?,
+                contentions: r.get_u64()?,
+                force_interests: r.get_u64()?,
+                faulted: r.get_u64()?,
+            });
+        }
+        Ok(SmfRecord {
+            system,
+            member,
+            seq,
+            interval_us,
+            final_interval,
+            wire_retries,
+            classes,
+            structures,
+            trace_emitted: r.get_u64()?,
+            trace_dropped: r.get_u64()?,
+            trace_retained: r.get_u64()?,
+        })
+    }
+
+    /// Encode to a standalone byte vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decode from a standalone byte vector, requiring exact consumption.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(buf);
+        let v = SmfRecord::decode_from(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1691,6 +2005,103 @@ mod tests {
         let mut buf = WireRequest::AttachLock { structure: "L".into() }.encode();
         buf.push(0xFF);
         assert_eq!(WireRequest::decode(&buf).unwrap_err(), WireError::TrailingBytes(1));
+    }
+
+    fn sample_smf_record() -> SmfRecord {
+        let mut observed = HistogramSnapshot::empty();
+        observed.buckets[3] = 5;
+        observed.buckets[17] = 2;
+        observed.samples = 7;
+        observed.total_ns = 90_000;
+        observed.max_ns = 70_000;
+        SmfRecord {
+            system: 2,
+            member: "SYS02".into(),
+            seq: 4,
+            interval_us: 250_000,
+            final_interval: true,
+            wire_retries: 1,
+            classes: vec![(
+                CommandClass::LockRequest,
+                SmfClassRow { issued: 7, sync: 7, async_converted: 0, faulted: 0, observed },
+            )],
+            structures: vec![SmfStructureRow {
+                name: "IRLM1".into(),
+                requests: 7,
+                contentions: 2,
+                force_interests: 1,
+                faulted: 0,
+            }],
+            trace_emitted: 40,
+            trace_dropped: 8,
+            trace_retained: 32,
+        }
+    }
+
+    #[test]
+    fn smf_record_round_trips() {
+        let rec = sample_smf_record();
+        assert_eq!(SmfRecord::decode(&rec.encode()).unwrap(), rec);
+    }
+
+    #[test]
+    fn smf_record_rejects_version_skew_and_truncation() {
+        let full = sample_smf_record().encode();
+        let mut skewed = full.clone();
+        skewed[0] = SMF_RECORD_VERSION + 1;
+        assert_eq!(SmfRecord::decode(&skewed).unwrap_err(), WireError::BadVersion(SMF_RECORD_VERSION + 1));
+        for cut in 0..full.len() {
+            assert!(SmfRecord::decode(&full[..cut]).is_err(), "cut at {cut} must not decode");
+        }
+    }
+
+    #[test]
+    fn histogram_codec_rejects_non_canonical_bucket_lists() {
+        // Out-of-order indices.
+        let mut w = WireWriter::new();
+        w.put_u8(2);
+        w.put_u8(9);
+        w.put_u64(1);
+        w.put_u8(4);
+        w.put_u64(1);
+        for _ in 0..3 {
+            w.put_u64(0);
+        }
+        let bytes = w.into_bytes();
+        assert!(get_histogram_snapshot(&mut WireReader::new(&bytes)).is_err());
+        // Zero count in the sparse list.
+        let mut w = WireWriter::new();
+        w.put_u8(1);
+        w.put_u8(4);
+        w.put_u64(0);
+        for _ in 0..3 {
+            w.put_u64(0);
+        }
+        let bytes = w.into_bytes();
+        assert!(get_histogram_snapshot(&mut WireReader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn converts_async_mirrors_payload_thresholds() {
+        let policy = crate::connection::ConversionPolicy::default();
+        let small = WireRequest::CacheWrite {
+            handle: 1,
+            name: BlockName::from_parts(0, 1),
+            data: vec![0; 64],
+            kind: WriteKind::ChangedData,
+        };
+        let big = WireRequest::CacheWrite {
+            handle: 1,
+            name: BlockName::from_parts(0, 1),
+            data: vec![0; 8192],
+            kind: WriteKind::ChangedData,
+        };
+        assert!(!small.converts_async(&policy));
+        assert!(big.converts_async(&policy));
+        assert!(WireRequest::ListScan { handle: 1, header: 0 }.converts_async(&policy));
+        assert!(!WireRequest::LockRetainedOf { handle: 1, peer: ConnId::from_raw(0) }.converts_async(&policy));
+        assert_eq!(WireRequest::AttachLock { structure: "L".into() }.structure_handle(), None);
+        assert_eq!(WireRequest::ListScan { handle: 9, header: 0 }.structure_handle(), Some(9));
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Property tests for `HistogramSnapshot` algebra.
+//!
+//! The sysplex-wide RMF report leans on exactly three facts about
+//! snapshots: `merge` behaves like recording the concatenated sample
+//! streams, `delta` followed by `merge` reconstructs the later snapshot's
+//! distribution, and percentiles are monotone. These pin all three.
+//!
+//! One documented caveat: `delta` reports an interval `max_ns` that is
+//! *bounded* (top non-empty delta bucket) rather than exact when the
+//! interval did not raise the cumulative high-water mark — so the
+//! delta-then-merge identity is exact on buckets/samples/total_ns, while
+//! the max is only guaranteed to be a conservative upper bound.
+
+use proptest::prelude::*;
+use sysplex_core::stats::{Histogram, HistogramSnapshot};
+
+/// Record every sample into a fresh histogram and snapshot it.
+fn record_all(ns: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &n in ns {
+        h.record_ns(n);
+    }
+    h.snapshot()
+}
+
+/// Latency samples spanning the interesting range: sub-µs bit tests up
+/// through multi-second stalls.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..10_000_000_000, 0..48)
+}
+
+proptest! {
+    #[test]
+    fn merge_equals_recording_concatenated_samples(a in samples(), b in samples()) {
+        let mut merged = record_all(&a);
+        merged.merge(&record_all(&b));
+        let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, record_all(&concat));
+    }
+
+    #[test]
+    fn delta_then_merge_rebuilds_the_later_distribution(a in samples(), b in samples()) {
+        let h = Histogram::new();
+        for &n in &a {
+            h.record_ns(n);
+        }
+        let earlier = h.snapshot();
+        for &n in &b {
+            h.record_ns(n);
+        }
+        let later = h.snapshot();
+        let delta = later.delta(&earlier);
+
+        // The interval delta is exactly the second batch's distribution.
+        prop_assert_eq!(&delta.buckets, &record_all(&b).buckets);
+        prop_assert_eq!(delta.samples, b.len() as u64);
+        prop_assert_eq!(delta.total_ns, b.iter().sum::<u64>());
+        // Its max is a conservative bound on every interval sample.
+        for &n in &b {
+            prop_assert!(delta.max_ns >= n, "delta max {} < sample {}", delta.max_ns, n);
+        }
+
+        // Merging the delta back onto the baseline reconstructs the later
+        // snapshot's distribution exactly (max is only bounded, see above).
+        let mut rebuilt = earlier.clone();
+        rebuilt.merge(&delta);
+        prop_assert_eq!(&rebuilt.buckets, &later.buckets);
+        prop_assert_eq!(rebuilt.samples, later.samples);
+        prop_assert_eq!(rebuilt.total_ns, later.total_ns);
+        prop_assert!(rebuilt.max_ns >= later.max_ns);
+    }
+
+    #[test]
+    fn percentiles_are_monotone(a in samples()) {
+        let snap = record_all(&a);
+        let p50 = snap.quantile_ns(0.50);
+        let p95 = snap.quantile_ns(0.95);
+        let p99 = snap.quantile_ns(0.99);
+        prop_assert!(p50 <= p95, "p50 {p50} > p95 {p95}");
+        prop_assert!(p95 <= p99, "p95 {p95} > p99 {p99}");
+        prop_assert!(p99 <= snap.max_ns.max(1), "p99 {p99} above max {}", snap.max_ns);
+    }
+}

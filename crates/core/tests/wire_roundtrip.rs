@@ -13,8 +13,11 @@ use sysplex_core::connection::{CfCommand, CommandClass};
 use sysplex_core::error::CfError;
 use sysplex_core::list::{DequeueEnd, EntryId, EntryView, LockCondition, WritePosition};
 use sysplex_core::lock::{DisconnectMode, LockMode, LockResponse, RetainedLock};
+use sysplex_core::stats::{Histogram, HistogramSnapshot};
 use sysplex_core::types::{ConnId, MAX_CONNECTORS};
-use sysplex_core::wire::{read_frame, write_frame, WireRequest, WireResponse};
+use sysplex_core::wire::{
+    read_frame, write_frame, SmfClassRow, SmfRecord, SmfStructureRow, WireRequest, WireResponse,
+};
 
 fn conn(raw: u8) -> ConnId {
     ConnId::from_raw(raw % MAX_CONNECTORS as u8)
@@ -247,6 +250,54 @@ fn response_samples(h: u32, n: u64, sel: u8, data: &[u8], name: &str) -> Vec<Wir
     out
 }
 
+/// A canonical histogram snapshot (what `Histogram::snapshot` yields) from
+/// fuzzed latency samples.
+fn histogram(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &ns in samples {
+        h.record_ns(ns);
+    }
+    h.snapshot()
+}
+
+/// An SMF record exercising every field, parameterized by the fuzz inputs.
+fn smf_record_sample(h: u32, n: u64, sel: u8, samples: &[u64], name: &str) -> SmfRecord {
+    let classes = (0..(sel as usize % 4))
+        .map(|i| {
+            let issued = samples.len() as u64;
+            (
+                class(sel.wrapping_add(i as u8 * 37)),
+                SmfClassRow {
+                    issued,
+                    sync: issued / 2,
+                    async_converted: issued - issued / 2,
+                    faulted: issued.min(n % 3),
+                    observed: histogram(samples),
+                },
+            )
+        })
+        .collect();
+    SmfRecord {
+        system: sel,
+        member: name.to_string(),
+        seq: h,
+        interval_us: n,
+        final_interval: sel & 1 != 0,
+        wire_retries: n % 17,
+        classes,
+        structures: vec![SmfStructureRow {
+            name: name.to_string(),
+            requests: n,
+            contentions: n % 7,
+            force_interests: n % 5,
+            faulted: n % 3,
+        }],
+        trace_emitted: n,
+        trace_dropped: n / 4,
+        trace_retained: n - n / 4,
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -327,6 +378,36 @@ proptest! {
         // and not a short read silently returned as data.
         for cut in 0..framed.len() {
             prop_assert!(read_frame(&mut &framed[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn smf_records_round_trip(
+        h in any::<u32>(),
+        n in any::<u64>(),
+        sel in any::<u8>(),
+        samples in proptest::collection::vec(0u64..10_000_000_000, 0..32),
+        name_bytes in proptest::collection::vec(any::<u8>(), 0..24),
+    ) {
+        let name = ascii(&name_bytes);
+        let rec = smf_record_sample(h, n, sel, &samples, &name);
+        prop_assert_eq!(SmfRecord::decode(&rec.encode()).unwrap(), rec);
+    }
+
+    #[test]
+    fn truncated_smf_records_error_never_panic(
+        h in any::<u32>(),
+        n in any::<u64>(),
+        sel in any::<u8>(),
+        samples in proptest::collection::vec(0u64..10_000_000_000, 0..8),
+    ) {
+        let rec = smf_record_sample(h, n, sel, &samples, "SYS01");
+        let bytes = rec.encode();
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                SmfRecord::decode(&bytes[..cut]).is_err(),
+                "strict prefix of an SMF record decoded successfully at {cut}/{}", bytes.len()
+            );
         }
     }
 }

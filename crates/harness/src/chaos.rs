@@ -511,8 +511,7 @@ mod tests {
         assert!(!proxy.is_partitioned());
         // The old TcpTransport's stream is dead; a fresh dial through the
         // healed proxy works again.
-        let t2: StdArc<dyn CfTransport> =
-            StdArc::new(TcpTransport::connect(proxy.addr()).unwrap());
+        let t2: StdArc<dyn CfTransport> = StdArc::new(TcpTransport::connect(proxy.addr()).unwrap());
         let lock2 = RemoteLockConnection::attach(t2, "CHAOS_LOCK").unwrap();
         assert!(lock2.request_lock(lock2.hash_resource(b"RES-Q"), LockMode::Exclusive).unwrap().is_granted());
     }

@@ -47,6 +47,7 @@ use sysplex_core::transport::{
 };
 use sysplex_core::{ConnId, RetryPolicy, SystemId};
 use sysplex_services::heartbeat::HealthState;
+use sysplex_services::monitor::Monitor;
 use sysplex_services::sysplex::{Sysplex, SysplexConfig};
 use sysplex_services::transport::{PulseHandle, RemoteSysplex, RemoteXcfMember, SysplexServer};
 
@@ -129,6 +130,14 @@ pub struct ScenarioOutcome {
     /// Per-member chaos plans as copy-pasteable builder chains (empty
     /// when the scenario runs without wire faults).
     pub chaos_plan: String,
+    /// Members in the merged SMF view (every system ever admitted).
+    pub smf_members: u64,
+    /// SMF interval records members shipped across the whole campaign.
+    pub smf_records: u64,
+    /// Whether the sysplex-wide merged report reconciled: every member's
+    /// shipped counts balance internally and, where sound (books closed,
+    /// no crashed incarnation), against the server's service clock.
+    pub smf_reconciled: bool,
 }
 
 fn esc(s: &str) -> String {
@@ -144,7 +153,8 @@ impl ScenarioOutcome {
             "{{\"scenario\": \"{}\", \"seed\": {}, \"members\": {}, \"committed\": {}, \
              \"acked\": {}, \"lost\": {}, \"duplicates\": {}, \"reipls\": {}, \
              \"time_to_fence_us\": {}, \"time_to_readmit_us\": {}, \"capacity_floor_ok\": {}, \
-             \"oracle_clean\": {}, \"violations\": [{}], \"chaos_plan\": \"{}\"}}",
+             \"oracle_clean\": {}, \"violations\": [{}], \"chaos_plan\": \"{}\", \
+             \"smf_members\": {}, \"smf_records\": {}, \"smf_reconciled\": {}}}",
             esc(&self.name),
             self.seed,
             self.members,
@@ -159,12 +169,15 @@ impl ScenarioOutcome {
             self.oracle_clean,
             violations,
             esc(&self.chaos_plan),
+            self.smf_members,
+            self.smf_records,
+            self.smf_reconciled,
         )
     }
 
     /// Whether the scenario met the operations-day bar.
     pub fn is_clean(&self) -> bool {
-        self.lost == 0 && self.capacity_floor_ok && self.oracle_clean
+        self.lost == 0 && self.capacity_floor_ok && self.oracle_clean && self.smf_reconciled
     }
 
     /// Panic unless [`ScenarioOutcome::is_clean`]: nothing lost, the
@@ -184,6 +197,11 @@ impl ScenarioOutcome {
             self.oracle_clean,
             "{}: oracle violations (seed {:#x}): {:?}",
             self.name, self.seed, self.violations
+        );
+        assert!(
+            self.smf_reconciled,
+            "{}: merged SMF report failed to reconcile (seed {:#x})",
+            self.name, self.seed
         );
     }
 }
@@ -660,6 +678,17 @@ fn verdict(
     violations.extend(oracle::check_rings(&campaign.rig.plex.tracer));
     violations.extend(oracle::check_lock_structure(&campaign.rig.lock_structure));
 
+    // Merge the SMF records every member shipped (each clean goodbye
+    // flushes a final interval) with the server's service clock: the
+    // campaign's observability verdict rides next to the oracle's.
+    let rmf = Monitor::for_sysplex(&campaign.rig.plex).sysplex_report(campaign.rig.server.smf());
+    let (smf_members, smf_records, smf_reconciled) = match &rmf.sysplex {
+        Some(s) => {
+            (s.members.len() as u64, s.members.iter().map(|m| m.records_shipped).sum(), s.reconciles())
+        }
+        None => (0, 0, false),
+    };
+
     ScenarioOutcome {
         name: name.to_string(),
         seed: campaign.config.seed,
@@ -675,6 +704,9 @@ fn verdict(
         oracle_clean: violations.is_empty(),
         violations: violations.iter().map(|v| v.to_string()).collect(),
         chaos_plan: campaign.chaos_plan.clone(),
+        smf_members,
+        smf_records,
+        smf_reconciled,
     }
 }
 
@@ -792,6 +824,12 @@ mod tests {
         assert!(outcome.reipls >= 3, "every member restarted at least once");
         assert!(outcome.time_to_readmit_us > 0);
         assert!(outcome.acked >= 45, "every member reached its quota");
+        assert_eq!(outcome.smf_members, 3, "every member in the merged SMF view");
+        assert!(
+            outcome.smf_records >= 6,
+            "each restart and the final shutdown flush a final interval: {}",
+            outcome.smf_records
+        );
     }
 
     #[test]
@@ -838,6 +876,9 @@ mod tests {
             oracle_clean: true,
             violations: vec![],
             chaos_plan: "SYS01: ChaosPlan::new()".into(),
+            smf_members: 3,
+            smf_records: 6,
+            smf_reconciled: true,
         };
         let json = o.to_json_object();
         for key in [
@@ -855,6 +896,9 @@ mod tests {
             "\"oracle_clean\"",
             "\"violations\"",
             "\"chaos_plan\"",
+            "\"smf_members\": 3",
+            "\"smf_records\": 6",
+            "\"smf_reconciled\": true",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -15,6 +15,10 @@
 //!   smooth-weighted routing recommendations, service-class goals.
 //! * [`monitor`] — RMF-style interval reporting: the CF Activity Report
 //!   over the component tracer and command-path accounting.
+//! * [`smf`] — SMF-style record collection: members ship interval
+//!   records of their own activity; the store retains them per member
+//!   and pairs them with the server-side service clock, feeding the
+//!   sysplex-wide merged report.
 //! * [`arm`] — the Automatic Restart Manager: restart groups, sequencing,
 //!   affinity, WLM-driven target selection, re-planning on subsequent
 //!   failures.
@@ -31,6 +35,7 @@ pub mod cds;
 pub mod console;
 pub mod heartbeat;
 pub mod monitor;
+pub mod smf;
 pub mod sysplex;
 pub mod system;
 pub mod timer;
@@ -42,7 +47,8 @@ pub use arm::{Arm, ElementSpec};
 pub use cds::CoupleDataSet;
 pub use console::Console;
 pub use heartbeat::{HeartbeatConfig, HeartbeatMonitor};
-pub use monitor::{ActivityReport, Monitor};
+pub use monitor::{json_str, ActivityReport, Monitor, SysplexSection, SCHEMA_VERSION};
+pub use smf::{MemberLedger, SmfStore};
 pub use sysplex::{Sysplex, SysplexConfig};
 pub use system::{System, SystemConfig, SystemState};
 pub use timer::{SysplexTimer, Tod};

@@ -14,7 +14,21 @@
 //! covers exactly the window since the previous report, so per-interval
 //! percentiles and maxima are not polluted by history — the property RMF
 //! interval reports have and cumulative counters do not.
+//!
+//! ## The sysplex-wide merge
+//!
+//! A report from [`Monitor::report`] covers what *this process* can see:
+//! the in-process facilities. [`Monitor::sysplex_report`] additionally
+//! merges every member's shipped SMF records out of an [`SmfStore`] into
+//! a [`SysplexSection`]: per-member rows, sysplex per-class totals (via
+//! [`HistogramSnapshot::merge`]), and the **end-to-end latency
+//! decomposition** — each member's observed percentiles split into wire
+//! time and CF service time using the server-side service clock. Member
+//! rows are life-to-date (accumulated over every shipped interval), so a
+//! departed member's history stays in the report, flagged `departed`,
+//! instead of silently vanishing or reading as a live system.
 
+use crate::smf::{MemberClassTotals, MemberLedger, SmfStore};
 use crate::timer::SysplexTimer;
 use crate::wlm::{ClassReport, Wlm};
 use parking_lot::{Condvar, Mutex};
@@ -157,6 +171,196 @@ pub struct Totals {
     pub trace_retained: u64,
 }
 
+/// Schema version stamped into every JSON document this workspace emits
+/// (`BENCH_*.json`, merged RMF reports). Bump when a field is renamed,
+/// retyped, or removed — additions are compatible and do not bump it.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The sysplex-wide half of a merged report: every member's shipped SMF
+/// totals plus the per-class sysplex rollup with latency decomposition.
+#[derive(Debug, Clone)]
+pub struct SysplexSection {
+    /// Per-member accumulated rows, ascending by system id. Departed
+    /// members stay listed with `departed == true`.
+    pub members: Vec<MemberLedger>,
+    /// Sysplex per-class totals: every member's counts summed and their
+    /// observed/service distributions merged.
+    pub classes: Vec<(CommandClass, MemberClassTotals)>,
+}
+
+impl SysplexSection {
+    /// Merge every member ledger in `smf` into a section.
+    pub fn from_store(smf: &SmfStore) -> SysplexSection {
+        let members = smf.ledgers();
+        let mut classes: Vec<(CommandClass, MemberClassTotals)> = Vec::new();
+        for class in CommandClass::ALL {
+            let mut total = MemberClassTotals::default();
+            for m in &members {
+                for (c, t) in &m.classes {
+                    if *c != class {
+                        continue;
+                    }
+                    total.issued += t.issued;
+                    total.sync += t.sync;
+                    total.async_converted += t.async_converted;
+                    total.faulted += t.faulted;
+                    total.served += t.served;
+                    total.observed.merge(&t.observed);
+                    total.service.merge(&t.service);
+                }
+            }
+            if total.issued > 0 || total.served > 0 {
+                classes.push((class, total));
+            }
+        }
+        SysplexSection { members, classes }
+    }
+
+    /// Whether one member's shipped books balance.
+    ///
+    /// Always required: every class satisfies `issued == sync +
+    /// async_converted` with `observed.samples == issued`, and the trace
+    /// ring satisfies `retained == emitted − dropped`. Once the member's
+    /// **final** record arrived (its books are complete), the tunnel is
+    /// reconciled against the server's service clock too: with no faults
+    /// and no wire retries the server must have dispatched *exactly* the
+    /// commands the member issued, per class; with faults or retries the
+    /// command may have died on the wire (server saw fewer) or been
+    /// redialled (server saw more), so only the corresponding bounds are
+    /// enforced.
+    pub fn member_reconciles(m: &MemberLedger) -> bool {
+        let classes_ok = m
+            .classes
+            .iter()
+            .all(|(_, t)| t.issued == t.sync + t.async_converted && t.observed.samples == t.issued);
+        let trace_ok = m.trace_retained == m.trace_emitted.saturating_sub(m.trace_dropped);
+        let tunnel_ok = if !m.final_seen || !m.served_metered || m.interrupted {
+            // Books still open (tail interval unshipped), shipped
+            // in-process with no serving session to meter the other side
+            // of the tunnel, or a crashed incarnation lost intervals for
+            // good: nothing sound to reconcile against.
+            true
+        } else if m.wire_retries == 0 {
+            m.classes.iter().all(|(_, t)| {
+                if t.faulted == 0 {
+                    t.served == t.issued
+                } else {
+                    t.served >= t.issued.saturating_sub(t.faulted) && t.served <= t.issued
+                }
+            })
+        } else {
+            m.classes.iter().all(|(_, t)| {
+                t.served >= t.issued.saturating_sub(t.faulted) && t.served <= t.issued + m.wire_retries
+            })
+        };
+        classes_ok && trace_ok && tunnel_ok
+    }
+
+    /// Whether every member's books balance ([`SysplexSection::member_reconciles`]).
+    pub fn reconciles(&self) -> bool {
+        self.members.iter().all(SysplexSection::member_reconciles)
+    }
+
+    /// Members currently departed.
+    pub fn departed_count(&self) -> usize {
+        self.members.iter().filter(|m| m.departed).count()
+    }
+
+    fn class_row_json(class: CommandClass, t: &MemberClassTotals) -> String {
+        format!(
+            "{{\"name\": {}, \"issued\": {}, \"sync\": {}, \"async_converted\": {}, \
+             \"faulted\": {}, \"served\": {}, \
+             \"observed_p50_us\": {}, \"observed_p95_us\": {}, \"observed_p99_us\": {}, \
+             \"service_p50_us\": {}, \"service_p95_us\": {}, \"service_p99_us\": {}, \
+             \"wire_p50_us\": {}, \"wire_p95_us\": {}, \"wire_p99_us\": {}}}",
+            json_str(class.name()),
+            t.issued,
+            t.sync,
+            t.async_converted,
+            t.faulted,
+            t.served,
+            t.observed.quantile_ns(0.50) / 1000,
+            t.observed.quantile_ns(0.95) / 1000,
+            t.observed.quantile_ns(0.99) / 1000,
+            t.service.quantile_ns(0.50) / 1000,
+            t.service.quantile_ns(0.95) / 1000,
+            t.service.quantile_ns(0.99) / 1000,
+            t.wire_quantile_ns(0.50) / 1000,
+            t.wire_quantile_ns(0.95) / 1000,
+            t.wire_quantile_ns(0.99) / 1000,
+        )
+    }
+
+    /// The section as one standalone JSON object: per-member rows, the
+    /// sysplex class rollup with wire/service decomposition, and the
+    /// reconciliation verdict. Embedded by [`ActivityReport::to_json`]
+    /// and spliced into `BENCH_sysplex_scale.json` points.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str(&format!(
+            "{{\"member_count\": {}, \"departed_count\": {}, \"members\": [",
+            self.members.len(),
+            self.departed_count()
+        ));
+        for (i, m) in self.members.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"system\": {}, \"name\": {}, \"departed\": {}, \"final_interval_seen\": {}, \
+                 \"interrupted\": {}, \
+                 \"records_shipped\": {}, \"records_evicted\": {}, \"wire_retries\": {}, \
+                 \"trace_emitted\": {}, \"trace_dropped\": {}, \"trace_retained\": {}, \
+                 \"interval_us\": {}, \"reconciled\": {}, \"classes\": [",
+                m.system,
+                json_str(&m.name),
+                m.departed,
+                m.final_seen,
+                m.interrupted,
+                m.records_shipped,
+                m.records_evicted,
+                m.wire_retries,
+                m.trace_emitted,
+                m.trace_dropped,
+                m.trace_retained,
+                m.interval_us,
+                SysplexSection::member_reconciles(m)
+            ));
+            for (j, (class, t)) in m.classes.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&SysplexSection::class_row_json(*class, t));
+            }
+            out.push_str("], \"structures\": [");
+            for (j, s) in m.structures.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"name\": {}, \"requests\": {}, \"contentions\": {}, \
+                     \"force_interests\": {}, \"faulted\": {}}}",
+                    json_str(&s.name),
+                    s.requests,
+                    s.contentions,
+                    s.force_interests,
+                    s.faulted
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("], \"classes\": [");
+        for (i, (class, t)) in self.classes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&SysplexSection::class_row_json(*class, t));
+        }
+        out.push_str(&format!("], \"reconciled\": {}}}", self.reconciles()));
+        out
+    }
+}
+
 /// One interval's CF Activity Report.
 #[derive(Debug, Clone)]
 pub struct ActivityReport {
@@ -174,12 +378,17 @@ pub struct ActivityReport {
     pub wlm: Vec<ClassReport>,
     /// Report-wide totals.
     pub totals: Totals,
+    /// The sysplex-wide merge over every member's shipped SMF records
+    /// (`None` for a plain local report).
+    pub sysplex: Option<SysplexSection>,
 }
 
 impl ActivityReport {
     /// Whether the report's own numbers reconcile: every class (and the
-    /// totals) satisfies `issued == sync + async_converted`, and the trace
-    /// rings satisfy `retained == emitted − dropped`.
+    /// totals) satisfies `issued == sync + async_converted`, the trace
+    /// rings satisfy `retained == emitted − dropped`, and — when the
+    /// report carries a sysplex merge — every member's shipped books
+    /// balance too ([`SysplexSection::reconciles`]).
     pub fn reconciles(&self) -> bool {
         let classes_ok = self
             .classes
@@ -188,7 +397,15 @@ impl ActivityReport {
         let totals_ok = self.totals.issued == self.totals.sync + self.totals.async_converted;
         let trace_ok =
             self.totals.trace_retained == self.totals.trace_emitted.saturating_sub(self.totals.trace_dropped);
-        classes_ok && totals_ok && trace_ok
+        let sysplex_ok = self.sysplex.as_ref().is_none_or(|s| s.reconciles());
+        classes_ok && totals_ok && trace_ok && sysplex_ok
+    }
+
+    /// The sysplex observability fragment as a standalone JSON object
+    /// (for splicing into other `BENCH_*.json` documents); `"null"` for
+    /// a report without a sysplex merge.
+    pub fn observability_json(&self) -> String {
+        self.sysplex.as_ref().map_or_else(|| "null".to_string(), |s| s.to_json())
     }
 
     /// Serialize as a `BENCH_*.json`-style document (hand-rolled; the
@@ -197,6 +414,7 @@ impl ActivityReport {
         let mut out = String::with_capacity(4096);
         out.push_str("{\n");
         out.push_str("  \"report\": \"cf_activity\",\n");
+        out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
         out.push_str(&format!(
             "  \"hw_threads\": {},\n",
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -304,6 +522,9 @@ impl ActivityReport {
             t.trace_dropped,
             t.trace_retained
         ));
+        if let Some(s) = &self.sysplex {
+            out.push_str(&format!("  \"sysplex\": {},\n", s.to_json()));
+        }
         out.push_str(&format!("  \"reconciled\": {}\n", self.reconciles()));
         out.push_str("}\n");
         out
@@ -387,6 +608,46 @@ impl fmt::Display for ActivityReport {
                     s.busy_pct * 100.0
                 )?;
             }
+        }
+
+        if let Some(sx) = &self.sysplex {
+            writeln!(f, "SYSPLEX MEMBERS (merged SMF records)")?;
+            writeln!(
+                f,
+                "  {:<8} {:<12} {:<8} {:>7} {:>8} {:>7}  latency decomposition (p95 µs)",
+                "system", "member", "state", "records", "issued", "retries"
+            )?;
+            for m in &sx.members {
+                let issued: u64 = m.classes.iter().map(|(_, t)| t.issued).sum();
+                let mut decomp = String::new();
+                for (class, t) in m.classes.iter().filter(|(_, t)| t.issued > 0).take(3) {
+                    decomp.push_str(&format!(
+                        "{}: {}={}+{}  ",
+                        class.name(),
+                        t.observed.quantile_ns(0.95) / 1000,
+                        t.wire_quantile_ns(0.95) / 1000,
+                        t.service.quantile_ns(0.95) / 1000
+                    ));
+                }
+                writeln!(
+                    f,
+                    "  SYS{:02}    {:<12} {:<8} {:>7} {:>8} {:>7}  {}",
+                    m.system,
+                    m.name,
+                    if m.departed { "departed" } else { "active" },
+                    m.records_shipped,
+                    issued,
+                    m.wire_retries,
+                    decomp
+                )?;
+            }
+            writeln!(
+                f,
+                "  sysplex: {} member(s), {} departed, reconciled={}",
+                sx.members.len(),
+                sx.departed_count(),
+                if sx.reconciles() { "yes" } else { "NO" }
+            )?;
         }
 
         if !self.wlm.is_empty() {
@@ -608,7 +869,23 @@ impl Monitor {
             systems,
             wlm: self.wlm.as_ref().map(|w| w.class_reports()).unwrap_or_default(),
             totals,
+            sysplex: None,
         }
+    }
+
+    /// Like [`Monitor::report`], but additionally merges every member's
+    /// shipped SMF records (and the server-side service clock) out of
+    /// `smf` into the report's [`SysplexSection`] — the sysplex-wide RMF
+    /// view: per-member rows, sysplex class totals, and per-class
+    /// end-to-end latency decomposed into wire vs CF service time.
+    ///
+    /// The local half keeps its interval semantics (and advances the
+    /// baseline); the member half is life-to-date, because SMF records
+    /// are deltas already accumulated by the store.
+    pub fn sysplex_report(&self, smf: &SmfStore) -> ActivityReport {
+        let mut report = self.report();
+        report.sysplex = Some(SysplexSection::from_store(smf));
+        report
     }
 
     /// Start an interval thread that prints a report every `interval`
@@ -712,7 +989,11 @@ fn structure_counters(handle: &StructureHandle) -> (&'static str, Vec<(&'static 
     }
 }
 
-fn json_str(s: &str) -> String {
+/// Escape `s` as a JSON string literal (quotes included). Public because
+/// every hand-rolled `BENCH_*.json` emitter in the workspace must escape
+/// interpolated names the same way — member names cross process
+/// boundaries and are not guaranteed printable.
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -831,6 +1112,86 @@ mod tests {
             assert!(json.contains(field), "missing {field} in:\n{json}");
         }
         assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn in_process_smf_records_merge_and_reconcile() {
+        // The in-process backend ships through the same store as the TCP
+        // path, but no serving session meters it: the tunnel check must
+        // not demand served == issued for such members.
+        use sysplex_core::transport::{CfTransport, InProcessTransport, MeteredTransport};
+        use sysplex_core::transport::{RemoteLockConnection, TransportMeter};
+
+        let (plex, cf) = plex_with_traffic();
+        let meter = TransportMeter::new(cf.subchannel().policy());
+        let inner: Arc<dyn CfTransport> = Arc::new(InProcessTransport::new(&cf));
+        let transport: Arc<dyn CfTransport> = Arc::new(MeteredTransport::new(inner, Arc::clone(&meter)));
+        let lock = RemoteLockConnection::attach(Arc::clone(&transport), "IRLM1").unwrap();
+        for i in 0..8u64 {
+            let entry = lock.hash_resource(&i.to_be_bytes());
+            assert!(lock.request_lock(entry, LockMode::Exclusive).unwrap().is_granted());
+            lock.release_lock(entry).unwrap();
+        }
+
+        let store = SmfStore::new();
+        store.mark_active(9, "SYS09");
+        store.ship(meter.cut_record(9, "SYS09", None, true));
+
+        let monitor = Monitor::for_sysplex(&plex);
+        let report = monitor.sysplex_report(&store);
+        let sx = report.sysplex.as_ref().unwrap();
+        assert_eq!(sx.members.len(), 1);
+        let m = &sx.members[0];
+        assert!(m.departed && m.final_seen);
+        assert!(!m.served_metered, "no serving session metered this member");
+        let issued: u64 = m.classes.iter().map(|(_, t)| t.issued).sum();
+        assert!(issued >= 17, "attach + 8 requests + 8 releases: {issued}");
+        assert!(m.classes.iter().all(|(_, t)| t.served == 0));
+        assert!(SysplexSection::member_reconciles(m), "served==0 must not fail the books");
+        assert!(report.reconciles(), "merged report must reconcile:\n{report}");
+        // The section renders in both the JSON and the RMF text report.
+        let json = report.to_json();
+        assert!(json.contains("\"sysplex\""));
+        assert!(json.contains("\"member_count\": 1"));
+        assert!(json.contains("\"wire_p95_us\""));
+        assert!(report.to_string().contains("SYSPLEX MEMBERS"));
+    }
+
+    #[test]
+    fn hostile_member_and_structure_names_stay_escaped_in_json() {
+        use sysplex_core::wire::{SmfRecord, SmfStructureRow};
+
+        let store = SmfStore::new();
+        let name = "SYS\"A\\\n\u{1}";
+        store.mark_active(2, name);
+        store.ship(SmfRecord {
+            system: 2,
+            member: name.into(),
+            seq: 0,
+            interval_us: 1_000,
+            final_interval: false,
+            wire_retries: 0,
+            classes: Vec::new(),
+            structures: vec![SmfStructureRow {
+                name: "Q\"\u{7f}\\".into(),
+                requests: 1,
+                contentions: 0,
+                force_interests: 0,
+                faulted: 0,
+            }],
+            trace_emitted: 0,
+            trace_dropped: 0,
+            trace_retained: 0,
+        });
+
+        let plex = Sysplex::new(SysplexConfig::functional("ESCPLEX"));
+        let json = Monitor::for_sysplex(&plex).sysplex_report(&store).to_json();
+        assert!(json.contains(r#""SYS\"A\\\n\u0001""#), "member name must escape: {json}");
+        assert!(json.contains(r#""Q\""#), "structure name must escape");
+        // No raw control characters survive anywhere in the document.
+        assert!(!json.chars().any(|c| (c as u32) < 0x20 && c != '\n'), "raw control char leaked");
+        // The escaper itself is part of the public surface now; pin it.
+        assert_eq!(json_str("a\"b\\c\n\t\u{2}"), r#""a\"b\\c\n\t\u0002""#);
     }
 
     #[test]

@@ -1,0 +1,544 @@
+//! SMF-style record collection: the server side of sysplex observability.
+//!
+//! In the paper's environment every MVS image cuts **SMF interval
+//! records** describing its own activity, and RMF post-processes the
+//! records from *all* systems into one sysplex-wide report. This module
+//! is that collection point: members periodically cut
+//! [`SmfRecord`](sysplex_core::wire::SmfRecord)s from their
+//! [`TransportMeter`](sysplex_core::transport::TransportMeter) and ship
+//! them over the session envelope; the [`SmfStore`] retains a bounded
+//! window of raw records per member and — separately — **accumulates
+//! totals at ship time**, so evicting an old record never loses
+//! accounting.
+//!
+//! The store also carries the **server-side service clock**: the session
+//! loop times every tunnelled CF dispatch and records it here under the
+//! issuing system. A member's own latency histogram measures the whole
+//! round trip (member → wire → CF → wire → member); the server's
+//! histogram measures only the CF dispatch. The merged RMF report
+//! subtracts one from the other to decompose end-to-end latency into
+//! *wire time* and *CF service time* per command class.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+use sysplex_core::connection::CommandClass;
+use sysplex_core::stats::{Histogram, HistogramSnapshot};
+use sysplex_core::wire::{SmfRecord, SmfStructureRow};
+
+/// Raw records retained per member before the oldest are evicted.
+/// Totals are accumulated at ship time, so eviction only narrows the
+/// window of *raw* records available to [`SmfStore::records`].
+pub const DEFAULT_RECORD_CAP: usize = 64;
+
+/// Accumulated per-class totals for one member, summed over every record
+/// it ever shipped (not just the retained window).
+#[derive(Debug, Clone, Default)]
+struct ClassTotal {
+    issued: u64,
+    sync: u64,
+    async_converted: u64,
+    faulted: u64,
+    observed: HistogramSnapshot,
+}
+
+/// Everything the store knows about one member system.
+#[derive(Debug)]
+struct MemberSlot {
+    name: String,
+    departed: bool,
+    final_seen: bool,
+    /// A fresh incarnation was admitted while the previous one's books
+    /// were still open (crash without a final record): some member-side
+    /// intervals are lost for good, so tunnel reconciliation is off.
+    interrupted: bool,
+    shipped: u64,
+    evicted: u64,
+    records: VecDeque<SmfRecord>,
+    classes: Vec<ClassTotal>,
+    structure_totals: HashMap<String, SmfStructureRow>,
+    /// Cumulative values carried in each record; the latest wins.
+    wire_retries: u64,
+    trace_emitted: u64,
+    trace_dropped: u64,
+    trace_retained: u64,
+    /// Sum of shipped interval lengths.
+    interval_us: u64,
+    /// (incarnation, seq) of the last keyed ship, for retry dedup.
+    last_key: Option<(u64, u32)>,
+    /// Wire retries closed out by finished incarnations; `wire_retries`
+    /// is this plus the live incarnation's cumulative count.
+    retries_base: u64,
+    /// The live incarnation's cumulative retry count (latest wins).
+    retries_live: u64,
+}
+
+impl MemberSlot {
+    fn new(name: &str) -> MemberSlot {
+        MemberSlot {
+            name: name.to_string(),
+            departed: false,
+            final_seen: false,
+            interrupted: false,
+            shipped: 0,
+            evicted: 0,
+            records: VecDeque::new(),
+            classes: (0..CommandClass::COUNT).map(|_| ClassTotal::default()).collect(),
+            structure_totals: HashMap::new(),
+            wire_retries: 0,
+            trace_emitted: 0,
+            trace_dropped: 0,
+            trace_retained: 0,
+            interval_us: 0,
+            last_key: None,
+            retries_base: 0,
+            retries_live: 0,
+        }
+    }
+}
+
+/// Server-side service accounting for one system's tunnelled commands.
+#[derive(Debug)]
+struct ServedSlot {
+    counts: Vec<u64>,
+    service: Vec<Histogram>,
+}
+
+impl ServedSlot {
+    fn new() -> ServedSlot {
+        ServedSlot {
+            counts: vec![0; CommandClass::COUNT],
+            service: (0..CommandClass::COUNT).map(|_| Histogram::new()).collect(),
+        }
+    }
+}
+
+/// One member's accumulated observability state, as the RMF merge sees
+/// it: shipped totals plus the server-side service clock.
+#[derive(Debug, Clone)]
+pub struct MemberLedger {
+    /// System identity the member was admitted as.
+    pub system: u8,
+    /// Member name from the admission handshake (advisory, for reports).
+    pub name: String,
+    /// The member departed (clean Goodbye, final record, or fence).
+    pub departed: bool,
+    /// A `final_interval` record arrived: the shipped totals cover the
+    /// member's whole life, so tunnel reconciliation is meaningful.
+    pub final_seen: bool,
+    /// A fresh incarnation was admitted over books a crashed predecessor
+    /// left open: shipped totals undercount what the server actually
+    /// served, and the tunnel check is skipped.
+    pub interrupted: bool,
+    /// The server-side service clock metered this system's dispatches.
+    /// `false` for records shipped in-process (no serving session), in
+    /// which case tunnel reconciliation does not apply.
+    pub served_metered: bool,
+    /// Records shipped / evicted from the raw-record window.
+    pub records_shipped: u64,
+    /// Raw records evicted (totals were accumulated first; nothing lost).
+    pub records_evicted: u64,
+    /// Latest cumulative wire-level redial count the member reported.
+    pub wire_retries: u64,
+    /// Latest cumulative trace-ring accounting the member reported.
+    pub trace_emitted: u64,
+    /// Trace records overwritten before being read.
+    pub trace_dropped: u64,
+    /// Trace records still addressable (`emitted - dropped`).
+    pub trace_retained: u64,
+    /// Sum of shipped interval lengths, µs.
+    pub interval_us: u64,
+    /// Accumulated member-observed per-class activity (only classes with
+    /// `issued > 0`): counts plus the end-to-end latency distribution.
+    pub classes: Vec<(CommandClass, MemberClassTotals)>,
+    /// Accumulated per-structure counters, sorted by name.
+    pub structures: Vec<SmfStructureRow>,
+}
+
+/// Accumulated per-class activity for one member: the member-observed
+/// side and the server-observed side, paired for decomposition.
+#[derive(Debug, Clone, Default)]
+pub struct MemberClassTotals {
+    /// Commands the member issued (sum of shipped records).
+    pub issued: u64,
+    /// Completed CPU-synchronously.
+    pub sync: u64,
+    /// Converted to asynchronous execution.
+    pub async_converted: u64,
+    /// Failed at the transport level.
+    pub faulted: u64,
+    /// Member-observed end-to-end latency (includes the wire).
+    pub observed: HistogramSnapshot,
+    /// Commands the server dispatched for this system in this class.
+    pub served: u64,
+    /// Server-observed CF service time (excludes the wire).
+    pub service: HistogramSnapshot,
+}
+
+impl MemberClassTotals {
+    /// Member-observed quantile, ns (end-to-end).
+    pub fn observed_quantile_ns(&self, p: f64) -> u64 {
+        self.observed.quantile_ns(p)
+    }
+
+    /// Server-observed quantile, ns (CF service time).
+    pub fn service_quantile_ns(&self, p: f64) -> u64 {
+        self.service.quantile_ns(p)
+    }
+
+    /// Wire-time quantile, ns: the member-observed quantile with the CF
+    /// service quantile subtracted (saturating — quantiles of different
+    /// distributions are not strictly ordered sample-by-sample).
+    pub fn wire_quantile_ns(&self, p: f64) -> u64 {
+        self.observed.quantile_ns(p).saturating_sub(self.service.quantile_ns(p))
+    }
+}
+
+/// Bounded per-member retention of shipped SMF records plus the
+/// server-side service clock — the data source for the sysplex-wide
+/// RMF merge ([`Monitor::sysplex_report`](crate::monitor::Monitor::sysplex_report)).
+///
+/// Thread-safe and cheap to share: the server's session threads ship
+/// records and record service times concurrently with report merges.
+#[derive(Debug)]
+pub struct SmfStore {
+    cap: usize,
+    members: Mutex<HashMap<u8, MemberSlot>>,
+    served: Mutex<HashMap<u8, ServedSlot>>,
+}
+
+impl SmfStore {
+    /// A store retaining [`DEFAULT_RECORD_CAP`] raw records per member.
+    pub fn new() -> Arc<SmfStore> {
+        SmfStore::with_capacity(DEFAULT_RECORD_CAP)
+    }
+
+    /// A store retaining at most `cap` raw records per member.
+    pub fn with_capacity(cap: usize) -> Arc<SmfStore> {
+        Arc::new(SmfStore {
+            cap: cap.max(1),
+            members: Mutex::new(HashMap::new()),
+            served: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Register (or re-activate) a member under `system`. A reconnecting
+    /// or re-IPLed member flips back to active; its accumulated totals
+    /// keep growing across incarnations.
+    pub fn mark_active(&self, system: u8, name: &str) {
+        let mut members = self.members.lock();
+        let slot = members.entry(system).or_insert_with(|| MemberSlot::new(name));
+        slot.departed = false;
+        if !name.is_empty() {
+            slot.name = name.to_string();
+        }
+    }
+
+    /// [`SmfStore::mark_active`] for a **fresh incarnation** (a new
+    /// admission handshake, not a resume of an existing session). A fresh
+    /// incarnation re-opens the member's books; if the previous
+    /// incarnation never closed its own (no `final_interval` record — it
+    /// crashed), the member-side intervals in flight at the crash are
+    /// lost for good and the slot is marked interrupted: the merged
+    /// report keeps reconciling counts *within* shipped records but stops
+    /// demanding the tunnel balance against the server's service clock.
+    pub fn mark_admitted(&self, system: u8, name: &str) {
+        let mut members = self.members.lock();
+        match members.entry(system) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(MemberSlot::new(name));
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let slot = e.get_mut();
+                if !slot.final_seen {
+                    slot.interrupted = true;
+                }
+                slot.final_seen = false;
+                slot.departed = false;
+                if !name.is_empty() {
+                    slot.name = name.to_string();
+                }
+            }
+        }
+    }
+
+    /// Mark `system` departed (Goodbye, fence, or final record). The
+    /// member's rows stay in the merged report, flagged as departed —
+    /// they are history, not liveness.
+    pub fn mark_departed(&self, system: u8) {
+        if let Some(slot) = self.members.lock().get_mut(&system) {
+            slot.departed = true;
+        }
+    }
+
+    /// Accept one shipped record: accumulate its deltas into the member's
+    /// totals, then retain the raw record (evicting the oldest past the
+    /// cap). A `final_interval` record also marks the member departed.
+    pub fn ship(&self, record: SmfRecord) {
+        self.ship_inner(None, record);
+    }
+
+    /// [`SmfStore::ship`] with retry dedup: a record whose
+    /// `(incarnation, seq)` equals the member's previous keyed ship is
+    /// dropped. The wire path uses the session's resume token as the
+    /// incarnation, so a member redialling mid-`SmfShip` (the server
+    /// processed the record but the response was lost) cannot
+    /// double-accumulate the interval.
+    pub fn ship_keyed(&self, incarnation: u64, record: SmfRecord) {
+        self.ship_inner(Some(incarnation), record);
+    }
+
+    fn ship_inner(&self, incarnation: Option<u64>, record: SmfRecord) {
+        let mut members = self.members.lock();
+        let slot = members.entry(record.system).or_insert_with(|| MemberSlot::new(&record.member));
+        if let Some(inc) = incarnation {
+            if slot.last_key == Some((inc, record.seq)) {
+                return; // a retry re-shipped the interval; already booked
+            }
+            if slot.last_key.is_some_and(|(prev, _)| prev != inc) {
+                // A new incarnation's first record: its retry counter
+                // restarts at zero, so close out the finished one.
+                slot.retries_base += slot.retries_live;
+                slot.retries_live = 0;
+            }
+            slot.last_key = Some((inc, record.seq));
+        }
+        if !record.member.is_empty() {
+            slot.name = record.member.clone();
+        }
+        for (class, row) in &record.classes {
+            let t = &mut slot.classes[class.index()];
+            t.issued += row.issued;
+            t.sync += row.sync;
+            t.async_converted += row.async_converted;
+            t.faulted += row.faulted;
+            t.observed.merge(&row.observed);
+        }
+        for s in &record.structures {
+            let t = slot.structure_totals.entry(s.name.clone()).or_insert_with(|| SmfStructureRow {
+                name: s.name.clone(),
+                requests: 0,
+                contentions: 0,
+                force_interests: 0,
+                faulted: 0,
+            });
+            t.requests += s.requests;
+            t.contentions += s.contentions;
+            t.force_interests += s.force_interests;
+            t.faulted += s.faulted;
+        }
+        // Cumulative-in-record fields: the latest record wins within an
+        // incarnation; retries sum across incarnations.
+        slot.retries_live = slot.retries_live.max(record.wire_retries);
+        slot.wire_retries = slot.retries_base + slot.retries_live;
+        slot.trace_emitted = slot.trace_emitted.max(record.trace_emitted);
+        slot.trace_dropped = slot.trace_dropped.max(record.trace_dropped);
+        slot.trace_retained = slot.trace_emitted.saturating_sub(slot.trace_dropped);
+        slot.interval_us += record.interval_us;
+        slot.shipped += 1;
+        if record.final_interval {
+            slot.final_seen = true;
+            slot.departed = true;
+        }
+        slot.records.push_back(record);
+        while slot.records.len() > self.cap {
+            slot.records.pop_front();
+            slot.evicted += 1;
+        }
+    }
+
+    /// Record one server-side dispatch of a tunnelled command for
+    /// `system`: the CF service time, excluding the wire.
+    pub fn observe_service(&self, system: u8, class: CommandClass, elapsed: Duration) {
+        let mut served = self.served.lock();
+        let slot = served.entry(system).or_insert_with(ServedSlot::new);
+        slot.counts[class.index()] += 1;
+        slot.service[class.index()].record(elapsed);
+    }
+
+    /// The retained raw records for `system`, oldest first.
+    pub fn records(&self, system: u8) -> Vec<SmfRecord> {
+        self.members.lock().get(&system).map(|s| s.records.iter().cloned().collect()).unwrap_or_default()
+    }
+
+    /// Member systems known to the store, ascending.
+    pub fn systems(&self) -> Vec<u8> {
+        let mut v: Vec<u8> = self.members.lock().keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Snapshot every member's accumulated state, paired with the
+    /// server-side service clock, ascending by system. This is the input
+    /// to the sysplex-wide RMF merge.
+    pub fn ledgers(&self) -> Vec<MemberLedger> {
+        let members = self.members.lock();
+        let served = self.served.lock();
+        let mut out = Vec::with_capacity(members.len());
+        let mut systems: Vec<u8> = members.keys().copied().collect();
+        systems.sort_unstable();
+        for sys in systems {
+            let slot = &members[&sys];
+            let sv = served.get(&sys);
+            let mut classes = Vec::new();
+            for class in CommandClass::ALL {
+                let t = &slot.classes[class.index()];
+                let (served_n, service) = match sv {
+                    Some(s) => (s.counts[class.index()], s.service[class.index()].snapshot()),
+                    None => (0, HistogramSnapshot::empty()),
+                };
+                if t.issued == 0 && served_n == 0 {
+                    continue;
+                }
+                classes.push((
+                    class,
+                    MemberClassTotals {
+                        issued: t.issued,
+                        sync: t.sync,
+                        async_converted: t.async_converted,
+                        faulted: t.faulted,
+                        observed: t.observed.clone(),
+                        served: served_n,
+                        service,
+                    },
+                ));
+            }
+            let mut structures: Vec<SmfStructureRow> = slot.structure_totals.values().cloned().collect();
+            structures.sort_by(|a, b| a.name.cmp(&b.name));
+            out.push(MemberLedger {
+                system: sys,
+                name: slot.name.clone(),
+                departed: slot.departed,
+                final_seen: slot.final_seen,
+                interrupted: slot.interrupted,
+                served_metered: sv.is_some(),
+                records_shipped: slot.shipped,
+                records_evicted: slot.evicted,
+                wire_retries: slot.wire_retries,
+                trace_emitted: slot.trace_emitted,
+                trace_dropped: slot.trace_dropped,
+                trace_retained: slot.trace_retained,
+                interval_us: slot.interval_us,
+                classes,
+                structures,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysplex_core::wire::SmfClassRow;
+
+    fn record(system: u8, seq: u32, issued: u64, final_interval: bool) -> SmfRecord {
+        let h = Histogram::new();
+        for i in 0..issued {
+            h.record_ns(1_000 * (i + 1));
+        }
+        SmfRecord {
+            system,
+            member: format!("SYS{system:02}"),
+            seq,
+            interval_us: 50_000,
+            final_interval,
+            wire_retries: 0,
+            classes: vec![(
+                CommandClass::LockRequest,
+                SmfClassRow { issued, sync: issued, async_converted: 0, faulted: 0, observed: h.snapshot() },
+            )],
+            structures: vec![SmfStructureRow {
+                name: "IRLM1".into(),
+                requests: issued,
+                contentions: 1,
+                force_interests: 0,
+                faulted: 0,
+            }],
+            trace_emitted: 10 * (seq as u64 + 1),
+            trace_dropped: 2 * (seq as u64 + 1),
+            trace_retained: 8 * (seq as u64 + 1),
+        }
+    }
+
+    #[test]
+    fn totals_survive_eviction() {
+        let store = SmfStore::with_capacity(2);
+        store.mark_active(3, "SYS03");
+        for seq in 0..5 {
+            store.ship(record(3, seq, 4, false));
+        }
+        assert_eq!(store.records(3).len(), 2, "window bounded");
+        let ledgers = store.ledgers();
+        assert_eq!(ledgers.len(), 1);
+        let l = &ledgers[0];
+        assert_eq!(l.records_shipped, 5);
+        assert_eq!(l.records_evicted, 3);
+        let (_, lock) = &l.classes[0];
+        assert_eq!(lock.issued, 20, "totals accumulated before eviction");
+        assert_eq!(lock.observed.samples, 20);
+        assert_eq!(l.structures[0].requests, 20);
+        assert_eq!(l.structures[0].contentions, 5);
+        assert_eq!(l.trace_emitted, 50, "cumulative field: latest wins");
+        assert_eq!(l.trace_retained, 40);
+        assert!(!l.departed);
+    }
+
+    #[test]
+    fn final_record_marks_departure_and_reactivation_clears_it() {
+        let store = SmfStore::new();
+        store.mark_active(1, "SYSA");
+        store.ship(record(1, 0, 2, true));
+        let l = &store.ledgers()[0];
+        assert!(l.departed && l.final_seen);
+        // A re-IPL under the same system id flips back to active.
+        store.mark_active(1, "SYSA");
+        assert!(!store.ledgers()[0].departed);
+        assert!(store.ledgers()[0].final_seen, "history is not rewritten");
+    }
+
+    #[test]
+    fn keyed_ships_dedup_retries_and_sum_retries_across_incarnations() {
+        let store = SmfStore::new();
+        store.mark_admitted(4, "SYSD");
+        let mut r = record(4, 0, 2, false);
+        r.wire_retries = 3;
+        store.ship_keyed(100, r.clone());
+        store.ship_keyed(100, r); // redial re-shipped the same interval
+        let l = &store.ledgers()[0];
+        assert_eq!(l.records_shipped, 1, "duplicate (incarnation, seq) dropped");
+        assert_eq!(l.classes[0].1.issued, 2);
+        assert_eq!(l.wire_retries, 3);
+
+        // A crash without a final record, then a fresh incarnation: its
+        // retry counter restarts, so the slot sums rather than maxes.
+        store.mark_admitted(4, "SYSD");
+        let mut r2 = record(4, 0, 5, true);
+        r2.wire_retries = 1;
+        store.ship_keyed(200, r2);
+        let l = &store.ledgers()[0];
+        assert!(l.interrupted, "books were open when the new incarnation arrived");
+        assert!(l.final_seen && l.departed);
+        assert_eq!(l.wire_retries, 4, "3 from the dead incarnation + 1 live");
+        assert_eq!(l.classes[0].1.issued, 7, "totals keep growing across incarnations");
+    }
+
+    #[test]
+    fn service_clock_pairs_with_member_totals() {
+        let store = SmfStore::new();
+        store.mark_active(2, "SYSB");
+        store.ship(record(2, 0, 3, false));
+        for _ in 0..3 {
+            store.observe_service(2, CommandClass::LockRequest, Duration::from_micros(5));
+        }
+        let l = &store.ledgers()[0];
+        let (class, t) = &l.classes[0];
+        assert_eq!(*class, CommandClass::LockRequest);
+        assert_eq!(t.issued, 3);
+        assert_eq!(t.served, 3);
+        assert_eq!(t.service.samples, 3);
+        assert!(t.observed_quantile_ns(0.5) >= t.wire_quantile_ns(0.5));
+    }
+}

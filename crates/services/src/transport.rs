@@ -32,6 +32,7 @@
 //! system, which is precisely the S/390 status-monitoring contract.
 
 use crate::heartbeat::HealthState;
+use crate::smf::SmfStore;
 use crate::sysplex::Sysplex;
 use crate::xcf::{GroupEvent, MemberInfo, XcfError, XcfItem, XcfMember};
 use parking_lot::Mutex;
@@ -43,16 +44,18 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+use sysplex_core::connection::ConversionPolicy;
 use sysplex_core::error::{CfError, CfResult};
 use sysplex_core::facility::CouplingFacility;
 use sysplex_core::retry::RetryPolicy;
+use sysplex_core::trace::Tracer;
 use sysplex_core::transport::{
     read_frame_patient, CfTransport, InProcessTransport, RemoteCacheConnection, RemoteListConnection,
-    RemoteLockConnection, TransportBackend, DEFAULT_MID_FRAME_STALL,
+    RemoteLockConnection, TransportBackend, TransportMeter, DEFAULT_MID_FRAME_STALL,
 };
 use sysplex_core::types::{SystemId, MAX_SYSTEMS};
 use sysplex_core::wire::{
-    read_frame, write_frame, WireError, WireReader, WireRequest, WireResponse, WireWriter,
+    read_frame, write_frame, SmfRecord, WireError, WireReader, WireRequest, WireResponse, WireWriter,
 };
 
 // ---------------------------------------------------------------------------
@@ -121,6 +124,16 @@ pub enum SxRequest {
     Pulse,
     /// Orderly departure; the server responds `Ok` then closes.
     Goodbye,
+    /// Ship one SMF-style interval record for the admitted system. The
+    /// server validates the record's system identity against the
+    /// session's and retains it in the [`SmfStore`].
+    SmfShip(SmfRecord),
+    /// Fetch the retained records for a system (any session may ask —
+    /// records are observability data, not secrets).
+    SmfPull {
+        /// System whose records to fetch.
+        system: SystemId,
+    },
 }
 
 /// A member-session response.
@@ -151,6 +164,8 @@ pub enum SxResponse {
         /// Opaque resume token, unique per admission.
         token: u64,
     },
+    /// Result of `SmfPull`: the retained records, oldest first.
+    SmfRecords(Vec<SmfRecord>),
 }
 
 fn put_system(w: &mut WireWriter, s: SystemId) {
@@ -291,6 +306,14 @@ impl SxRequest {
             }
             SxRequest::Pulse => w.put_u8(8),
             SxRequest::Goodbye => w.put_u8(9),
+            SxRequest::SmfShip(record) => {
+                w.put_u8(10);
+                record.encode_into(&mut w);
+            }
+            SxRequest::SmfPull { system } => {
+                w.put_u8(11);
+                put_system(&mut w, *system);
+            }
         }
         w.into_bytes()
     }
@@ -318,6 +341,8 @@ impl SxRequest {
             7 => SxRequest::XcfPeers { handle: r.get_u32()? },
             8 => SxRequest::Pulse,
             9 => SxRequest::Goodbye,
+            10 => SxRequest::SmfShip(SmfRecord::decode_from(&mut r)?),
+            11 => SxRequest::SmfPull { system: get_system(&mut r)? },
             _ => return Err(WireError::BadTag("sx request")),
         };
         r.finish()?;
@@ -373,6 +398,13 @@ impl SxResponse {
                 w.put_u8(8);
                 w.put_u64(*token);
             }
+            SxResponse::SmfRecords(records) => {
+                w.put_u8(9);
+                w.put_u32(records.len() as u32);
+                for rec in records {
+                    rec.encode_into(&mut w);
+                }
+            }
         }
         w.into_bytes()
     }
@@ -401,6 +433,14 @@ impl SxResponse {
             6 => SxResponse::XcfFail(get_xcf_error(&mut r)?),
             7 => SxResponse::Denied(r.get_str()?),
             8 => SxResponse::Admitted { token: r.get_u64()? },
+            9 => {
+                let n = r.get_u32()? as usize;
+                let mut records = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    records.push(SmfRecord::decode_from(&mut r)?);
+                }
+                SxResponse::SmfRecords(records)
+            }
             _ => return Err(WireError::BadTag("sx response")),
         };
         r.finish()?;
@@ -472,6 +512,7 @@ pub struct SysplexServer {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    smf: Arc<SmfStore>,
 }
 
 /// A session parked by an unclean disconnect, awaiting a Hello-with-resume.
@@ -577,16 +618,23 @@ impl SysplexServer {
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let registry = SessionRegistry::new();
+        let smf = SmfStore::new();
         {
             // Fail-stop over the wire: the moment SFM fences a system,
-            // its sessions are severed and its parked state dropped.
+            // its sessions are severed and its parked state dropped. Its
+            // SMF rows flip to departed — history stays in the report.
             let registry = Arc::clone(&registry);
-            plex.heartbeat.on_failure(move |sys| registry.sever_system(sys));
+            let smf = Arc::clone(&smf);
+            plex.heartbeat.on_failure(move |sys| {
+                registry.sever_system(sys);
+                smf.mark_departed(sys.0);
+            });
         }
         let accept_thread = {
             let plex = Arc::clone(plex);
             let cf = Arc::clone(cf);
             let stop = Arc::clone(&stop);
+            let smf = Arc::clone(&smf);
             std::thread::Builder::new().name("sysplex-server".into()).spawn(move || {
                 while !stop.load(Ordering::Acquire) {
                     match listener.accept() {
@@ -594,9 +642,10 @@ impl SysplexServer {
                             let plex = Arc::clone(&plex);
                             let cf = Arc::clone(&cf);
                             let registry = Arc::clone(&registry);
+                            let smf = Arc::clone(&smf);
                             let _ = std::thread::Builder::new()
                                 .name("sysplex-session".into())
-                                .spawn(move || serve_session(&plex, &cf, &registry, stream));
+                                .spawn(move || serve_session(&plex, &cf, &registry, &smf, stream));
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                             plex.heartbeat.check_once();
@@ -607,12 +656,19 @@ impl SysplexServer {
                 }
             })?
         };
-        Ok(SysplexServer { local_addr, stop, accept_thread: Some(accept_thread) })
+        Ok(SysplexServer { local_addr, stop, accept_thread: Some(accept_thread), smf })
     }
 
     /// The address members should connect to.
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The server's SMF record store: every member's shipped interval
+    /// records plus the server-side service clock, ready for
+    /// [`Monitor::sysplex_report`](crate::monitor::Monitor::sysplex_report).
+    pub fn smf(&self) -> &Arc<SmfStore> {
+        &self.smf
     }
 
     /// Stop accepting new members and join the accept loop. Live member
@@ -640,6 +696,7 @@ fn serve_session(
     plex: &Arc<Sysplex>,
     cf: &Arc<CouplingFacility>,
     registry: &Arc<SessionRegistry>,
+    smf: &Arc<SmfStore>,
     stream: TcpStream,
 ) {
     let _ = stream.set_nodelay(true);
@@ -666,7 +723,6 @@ fn serve_session(
         };
         let resp = match req {
             SxRequest::Hello { system, name, mips_bits, resume } => {
-                let _ = name; // identity is the SystemId; the name is advisory
                 if admitted.is_some() {
                     SxResponse::Denied("already admitted".into())
                 } else {
@@ -697,6 +753,7 @@ fn serve_session(
                                 let t = registry.issue_token();
                                 admitted = Some(system);
                                 token = Some(t);
+                                smf.mark_admitted(system.0, &name);
                                 if let Ok(clone) = stream.try_clone() {
                                     registry.live.lock().insert(t, (system, clone));
                                 }
@@ -727,6 +784,7 @@ fn serve_session(
                                         next_handle = parked.next_handle;
                                         admitted = Some(system);
                                         token = Some(t);
+                                        smf.mark_active(system.0, &name);
                                         if let Ok(clone) = stream.try_clone() {
                                             registry.live.lock().insert(t, (system, clone));
                                         }
@@ -739,7 +797,18 @@ fn serve_session(
                     }
                 }
             }
-            SxRequest::Cf(wreq) => SxResponse::Cf(transport.dispatch(wreq)),
+            SxRequest::Cf(wreq) => {
+                // Time the dispatch: this is the CF *service time* as the
+                // server sees it, paired in the merged report with the
+                // member's own end-to-end clock to expose wire time.
+                let class = wreq.class();
+                let t0 = std::time::Instant::now();
+                let wresp = transport.dispatch(wreq);
+                if let Some(sys) = admitted {
+                    smf.observe_service(sys.0, class, t0.elapsed());
+                }
+                SxResponse::Cf(wresp)
+            }
             SxRequest::XcfJoin { group, member } => match admitted {
                 None => SxResponse::Denied("not admitted".into()),
                 Some(sys) => match plex.xcf.join(&group, &member, sys) {
@@ -790,6 +859,23 @@ fn serve_session(
                 let _ = respond(&mut stream, &SxResponse::Ok);
                 break;
             }
+            SxRequest::SmfShip(record) => match admitted {
+                None => SxResponse::Denied("not admitted".into()),
+                Some(sys) if record.system != sys.0 => SxResponse::Denied(format!(
+                    "smf record claims system {} but session is system {}",
+                    record.system, sys.0
+                )),
+                Some(_) => {
+                    // Keyed by the resume token: a retried ship after a
+                    // link fault cannot double-accumulate the interval.
+                    match token {
+                        Some(t) => smf.ship_keyed(t, record),
+                        None => smf.ship(record),
+                    }
+                    SxResponse::Ok
+                }
+            },
+            SxRequest::SmfPull { system } => SxResponse::SmfRecords(smf.records(system.0)),
         };
         if respond(&mut stream, &resp).is_err() {
             break;
@@ -807,6 +893,7 @@ fn serve_session(
         }
         if let Some(sys) = admitted {
             plex.deregister_remote_member(sys);
+            smf.mark_departed(sys.0);
         }
         if let Some(t) = token {
             registry.parked.lock().remove(&t);
@@ -900,6 +987,9 @@ struct Conn {
     /// are session-scoped on the server, so exploiters watch this to know
     /// their `Remote*Connection`s need re-attaching.
     generation: AtomicU64,
+    /// Member-side command accounting across every transport minted from
+    /// this session: the source of this member's SMF records.
+    meter: Arc<TransportMeter>,
 }
 
 impl Conn {
@@ -911,6 +1001,7 @@ impl Conn {
             reconnect: None,
             departed: AtomicBool::new(false),
             generation: AtomicU64::new(1),
+            meter: TransportMeter::new(ConversionPolicy::default()),
         }
     }
 
@@ -971,6 +1062,12 @@ impl Conn {
                     if attempt >= budget || self.reconnect.is_none() {
                         return Err(SxError::Io(e));
                     }
+                    // A redialled CF command may execute on the server
+                    // without the member recording an outcome; note it so
+                    // tunnel reconciliation knows the books can diverge.
+                    if matches!(req, SxRequest::Cf(_)) {
+                        self.meter.note_retry();
+                    }
                     if !allow_departed && self.departed.load(Ordering::Acquire) {
                         return Err(SxError::Io(e));
                     }
@@ -995,6 +1092,7 @@ impl Conn {
 pub struct RemoteSysplex {
     conn: Arc<Conn>,
     system: SystemId,
+    name: String,
 }
 
 impl RemoteSysplex {
@@ -1011,7 +1109,7 @@ impl RemoteSysplex {
         let stream = TcpStream::connect(addr).map_err(SxError::Io)?;
         stream.set_nodelay(true).map_err(SxError::Io)?;
         let token = handshake(&stream, system, name, mips.to_bits(), None)?;
-        Ok(RemoteSysplex { conn: Arc::new(Conn::established(stream, token)), system })
+        Ok(RemoteSysplex { conn: Arc::new(Conn::established(stream, token)), system, name: name.to_string() })
     }
 
     /// Connect with **bounded-retry resilience**: every RPC (including
@@ -1046,8 +1144,9 @@ impl RemoteSysplex {
             }),
             departed: AtomicBool::new(false),
             generation: AtomicU64::new(0),
+            meter: TransportMeter::new(ConversionPolicy::default()),
         };
-        let rs = RemoteSysplex { conn: Arc::new(conn), system };
+        let rs = RemoteSysplex { conn: Arc::new(conn), system, name: name.to_string() };
         // Establish eagerly so admission refusals surface here, not on
         // the first command.
         rs.pulse()?;
@@ -1069,9 +1168,86 @@ impl RemoteSysplex {
     }
 
     /// A CF transport tunnelling structure commands over this session's
-    /// socket. Usable with the core `Remote*Connection` types.
+    /// socket. Usable with the core `Remote*Connection` types. Every
+    /// command is metered into [`RemoteSysplex::meter`], so whatever mix
+    /// of transports a member mints, its SMF records stay complete.
     pub fn transport(&self) -> Arc<dyn CfTransport> {
         Arc::new(SxCfTransport { conn: Arc::clone(&self.conn) })
+    }
+
+    /// The member-side command meter: cumulative per-class accounting of
+    /// every tunnelled CF command, as observed from this process
+    /// (end-to-end, wire included).
+    pub fn meter(&self) -> &Arc<TransportMeter> {
+        &self.conn.meter
+    }
+
+    /// Cut one SMF-style interval record from the member meter: activity
+    /// since the previous cut. `tracer` contributes the member's local
+    /// trace-ring accounting (`None` reports zeros, which reconcile).
+    pub fn cut_smf_record(&self, tracer: Option<&Tracer>, final_interval: bool) -> SmfRecord {
+        self.conn.meter.cut_record(self.system.0, &self.name, tracer, final_interval)
+    }
+
+    /// Ship one SMF record to the server's store.
+    pub fn smf_ship(&self, record: SmfRecord) -> Result<(), SxError> {
+        match self.conn.rpc(&SxRequest::SmfShip(record))? {
+            SxResponse::Ok => Ok(()),
+            SxResponse::Denied(msg) => Err(SxError::Denied(msg)),
+            _ => Err(SxError::Protocol),
+        }
+    }
+
+    /// Fetch the server's retained records for `system`, oldest first.
+    pub fn smf_pull(&self, system: SystemId) -> Result<Vec<SmfRecord>, SxError> {
+        match self.conn.rpc(&SxRequest::SmfPull { system })? {
+            SxResponse::SmfRecords(records) => Ok(records),
+            SxResponse::Denied(msg) => Err(SxError::Denied(msg)),
+            _ => Err(SxError::Protocol),
+        }
+    }
+
+    /// Start a background thread that cuts and ships an SMF interval
+    /// record every `interval` until the handle is stopped/dropped, the
+    /// session departs, or a ship fails terminally. Like
+    /// [`RemoteSysplex::keepalive`], the thread holds only a `Weak`
+    /// session reference — it can never outlive or revive the member.
+    ///
+    /// The final partial interval is **not** this thread's job:
+    /// [`RemoteSysplex::goodbye`] cuts and ships it during departure.
+    pub fn smf_autoship(&self, interval: Duration) -> PulseHandle {
+        let conn = Arc::downgrade(&self.conn);
+        let system = self.system.0;
+        let name = self.name.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("sysplex-smf".into())
+            .spawn(move || {
+                while !flag.load(Ordering::Acquire) {
+                    let mut slept = Duration::ZERO;
+                    while slept < interval && !flag.load(Ordering::Acquire) {
+                        let step = (interval - slept).min(Duration::from_millis(10));
+                        std::thread::sleep(step);
+                        slept += step;
+                    }
+                    if flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let alive = match conn.upgrade() {
+                        Some(conn) if !conn.departed.load(Ordering::Acquire) => {
+                            let record = conn.meter.cut_record(system, &name, None, false);
+                            matches!(conn.rpc(&SxRequest::SmfShip(record)), Ok(SxResponse::Ok))
+                        }
+                        _ => false,
+                    };
+                    if !alive {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn sysplex-smf thread");
+        PulseHandle { stop, thread: Some(thread) }
     }
 
     /// Attach to a lock structure over the wire.
@@ -1162,11 +1338,19 @@ impl RemoteSysplex {
     }
 
     /// Orderly departure: deregisters the system and ends the session.
+    ///
+    /// Before the Goodbye itself, the member flushes its **final SMF
+    /// interval** — the partial interval since the last cut — marked
+    /// `final_interval`, so the server's merged report covers the
+    /// member's whole life. The flush is best-effort: a dead link loses
+    /// the tail interval, never the departure.
     pub fn goodbye(self) -> Result<(), SxError> {
         // Mark departed BEFORE the wire exchange: from this point no
         // background pulse thread may pulse or reconnect, so the server's
         // deregistration cannot be undone by a racing re-admission.
         self.conn.departed.store(true, Ordering::Release);
+        let last = self.conn.meter.cut_record(self.system.0, &self.name, None, true);
+        let _ = self.conn.rpc_inner(&SxRequest::SmfShip(last), true);
         match self.conn.rpc_inner(&SxRequest::Goodbye, true)? {
             SxResponse::Ok => Ok(()),
             SxResponse::Denied(msg) => Err(SxError::Denied(msg)),
@@ -1202,7 +1386,9 @@ impl Drop for PulseHandle {
 }
 
 /// CF transport that tunnels [`WireRequest`]s inside [`SxRequest::Cf`]
-/// envelopes on a member session.
+/// envelopes on a member session, metering every command into the
+/// session's [`TransportMeter`] — the member-observed end-to-end clock
+/// the SMF records carry.
 #[derive(Debug)]
 struct SxCfTransport {
     conn: Arc<Conn>,
@@ -1215,14 +1401,18 @@ impl CfTransport for SxCfTransport {
 
     fn call(&self, req: WireRequest) -> CfResult<WireResponse> {
         let class = req.class().name();
-        match self.conn.rpc(&SxRequest::Cf(req)) {
+        let shape = self.conn.meter.shape(&req);
+        let t0 = std::time::Instant::now();
+        let result = match self.conn.rpc(&SxRequest::Cf(req)) {
             Ok(SxResponse::Cf(resp)) => Ok(resp),
             Ok(_) => Err(CfError::InterfaceControlCheck(class)),
             Err(SxError::Io(e)) if e.kind() == io::ErrorKind::InvalidData => {
                 Err(CfError::InterfaceControlCheck(class))
             }
             Err(_) => Err(CfError::LinkTimeout(class)),
-        }
+        };
+        self.conn.meter.observe(&shape, &result, t0.elapsed());
+        result
     }
 }
 
@@ -1654,6 +1844,182 @@ mod tests {
         }
         assert!(plex.farm.fence().is_fenced(6), "fail-stop: fenced before anything else");
         drop(pulse);
+        server.stop();
+    }
+
+    #[test]
+    fn smf_envelope_variants_round_trip() {
+        use sysplex_core::connection::CommandClass;
+        use sysplex_core::wire::{SmfClassRow, SmfStructureRow};
+
+        let record = SmfRecord {
+            system: 7,
+            member: "SYS07".into(),
+            seq: 3,
+            interval_us: 50_000,
+            final_interval: true,
+            wire_retries: 2,
+            classes: vec![(CommandClass::LockRequest, SmfClassRow::default())],
+            structures: vec![SmfStructureRow {
+                name: "IRLM1".into(),
+                requests: 9,
+                contentions: 1,
+                force_interests: 0,
+                faulted: 0,
+            }],
+            trace_emitted: 10,
+            trace_dropped: 4,
+            trace_retained: 6,
+        };
+        roundtrip_req(SxRequest::SmfShip(record.clone()));
+        roundtrip_req(SxRequest::SmfPull { system: SystemId::new(7) });
+        roundtrip_resp(SxResponse::SmfRecords(vec![]));
+        roundtrip_resp(SxResponse::SmfRecords(vec![record.clone(), record]));
+    }
+
+    #[test]
+    fn smf_records_ship_and_merge_into_sysplex_report() {
+        use crate::monitor::{Monitor, SysplexSection};
+        use sysplex_core::connection::CommandClass;
+        use sysplex_core::lock::DisconnectMode;
+
+        let plex = Sysplex::new(SysplexConfig::functional("SMFPLEX"));
+        let cf = plex.add_cf("CF01");
+        cf.allocate_lock_structure("IRLM1", LockParams::with_entries(256)).unwrap();
+        let server = SysplexServer::start(&plex, &cf, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        // Two members with traffic; one departs cleanly, one stays.
+        let m1 = RemoteSysplex::connect(addr, SystemId::new(3), "SYSA", 100.0).unwrap();
+        let m2 = RemoteSysplex::connect(addr, SystemId::new(4), "SYSB", 100.0).unwrap();
+        let lock1 = m1.connect_lock("IRLM1").unwrap();
+        for i in 0..10 {
+            assert!(lock1.request_lock(i, LockMode::Exclusive).unwrap().is_granted());
+            lock1.release_lock(i).unwrap();
+        }
+        lock1.detach(DisconnectMode::Normal).unwrap();
+        let lock2 = m2.connect_lock("IRLM1").unwrap();
+        for i in 0..5 {
+            assert!(lock2.request_lock(100 + i, LockMode::Shared).unwrap().is_granted());
+        }
+
+        // The live member ships a mid-life interval explicitly.
+        let rec = m2.cut_smf_record(None, false);
+        assert!(rec.classes.iter().any(|(c, _)| *c == CommandClass::LockRequest));
+        m2.smf_ship(rec).unwrap();
+
+        // The other member departs: goodbye flushes its final interval.
+        m1.goodbye().unwrap();
+
+        let monitor = Monitor::for_sysplex(&plex);
+        let report = monitor.sysplex_report(server.smf());
+        let sx = report.sysplex.as_ref().expect("merged report carries the sysplex section");
+        assert_eq!(sx.members.len(), 2);
+
+        let a = sx.members.iter().find(|m| m.system == 3).unwrap();
+        assert_eq!(a.name, "SYSA");
+        assert!(a.departed && a.final_seen, "clean departure closes the books");
+        assert!(a.served_metered);
+        assert_eq!(a.wire_retries, 0);
+        // Clean books: the server dispatched exactly what the member
+        // issued, per class — attach, requests, releases, detach.
+        for (class, t) in &a.classes {
+            assert_eq!(t.served, t.issued, "tunnel skew in {}", class.name());
+            assert_eq!(t.observed.samples, t.issued);
+        }
+        assert!(SysplexSection::member_reconciles(a));
+        assert_eq!(a.structures.len(), 1, "IRLM1 row shipped");
+        assert_eq!(a.structures[0].requests, 21, "10 requests + 10 releases + detach");
+
+        let b = sx.members.iter().find(|m| m.system == 4).unwrap();
+        assert!(!b.departed, "live member is not marked departed");
+        assert!(!b.final_seen);
+
+        // The sysplex rollup decomposes latency: both clocks populated,
+        // and the member-observed p95 dominates the CF service p95.
+        let (_, t) = sx.classes.iter().find(|(c, _)| *c == CommandClass::LockRequest).unwrap();
+        assert_eq!(t.issued, 15, "10 exclusive + 5 shared");
+        assert!(t.observed.samples == 15 && t.service.samples == 15);
+        assert!(t.observed.quantile_ns(0.95) >= t.service.quantile_ns(0.95));
+        assert!(report.reconciles(), "merged report must reconcile:\n{report}");
+
+        // Raw records are pullable over the wire by any session.
+        let pulled = m2.smf_pull(SystemId::new(3)).unwrap();
+        assert!(pulled.iter().any(|r| r.final_interval), "final record retained");
+        server.stop();
+    }
+
+    #[test]
+    fn departed_member_rows_are_marked_not_dropped() {
+        use crate::monitor::Monitor;
+
+        let plex = Sysplex::new(SysplexConfig::functional("DEPTPLEX"));
+        let cf = plex.add_cf("CF01");
+        let server = SysplexServer::start(&plex, &cf, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        // Clean departure: Goodbye flips the row to departed.
+        let m1 = RemoteSysplex::connect(addr, SystemId::new(5), "SYSD", 100.0).unwrap();
+        m1.pulse().unwrap();
+        m1.goodbye().unwrap();
+
+        // Unclean death: the fence choreography flips the row.
+        let m2 = RemoteSysplex::connect(addr, SystemId::new(6), "SYSF", 100.0).unwrap();
+        m2.pulse().unwrap();
+        drop(m2);
+        assert!(plex.heartbeat.declare_failed(SystemId::new(6)));
+
+        let monitor = Monitor::for_sysplex(&plex);
+        let report = monitor.sysplex_report(server.smf());
+        let sx = report.sysplex.as_ref().unwrap();
+        assert_eq!(sx.members.len(), 2, "departed members stay listed");
+        assert!(sx.members.iter().all(|m| m.departed), "both rows marked departed");
+        assert_eq!(sx.departed_count(), 2);
+        assert!(report.reconciles());
+
+        // A re-IPL under the same system id reads as active again.
+        let m3 = RemoteSysplex::connect(addr, SystemId::new(6), "SYSF", 100.0).unwrap();
+        m3.pulse().unwrap();
+        let report = monitor.sysplex_report(server.smf());
+        let sx = report.sysplex.as_ref().unwrap();
+        let row = sx.members.iter().find(|m| m.system == 6).unwrap();
+        assert!(!row.departed, "re-admission reactivates the row");
+        assert!(row.interrupted, "re-IPL over a crashed incarnation's open books flags the ledger");
+        let clean = sx.members.iter().find(|m| m.system == 5).unwrap();
+        assert!(!clean.interrupted, "a goodbye'd member's books closed cleanly");
+        assert!(report.reconciles());
+        server.stop();
+    }
+
+    #[test]
+    fn smf_autoship_ships_periodic_records_until_stopped() {
+        let plex = Sysplex::new(SysplexConfig::functional("AUTOPLEX"));
+        let cf = plex.add_cf("CF01");
+        cf.allocate_lock_structure("IRLM1", LockParams::with_entries(64)).unwrap();
+        let server = SysplexServer::start(&plex, &cf, "127.0.0.1:0").unwrap();
+        let sys = SystemId::new(2);
+
+        let remote = RemoteSysplex::connect(server.local_addr(), sys, "SYS2", 100.0).unwrap();
+        let lock = remote.connect_lock("IRLM1").unwrap();
+        let shipper = remote.smf_autoship(Duration::from_millis(15));
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while server.smf().records(sys.0).len() < 3 {
+            assert!(std::time::Instant::now() < deadline, "autoship never shipped 3 records");
+            let _ = lock.request_lock(1, LockMode::Shared);
+            let _ = lock.release_lock(1);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        shipper.stop();
+        let n = server.smf().records(sys.0).len();
+        // Goodbye still flushes the final partial interval on top.
+        remote.goodbye().unwrap();
+        let records = server.smf().records(sys.0);
+        assert!(records.len() > n, "goodbye shipped the tail interval");
+        assert!(records.last().unwrap().final_interval);
+        // Sequence numbers are the member's cut order, strictly rising.
+        for w in records.windows(2) {
+            assert!(w[1].seq > w[0].seq, "seq must rise: {} then {}", w[0].seq, w[1].seq);
+        }
         server.stop();
     }
 

@@ -5,8 +5,10 @@
 //! path.
 
 use proptest::prelude::*;
+use sysplex_core::connection::CommandClass;
+use sysplex_core::stats::HistogramSnapshot;
 use sysplex_core::types::SystemId;
-use sysplex_core::wire::{WireRequest, WireResponse};
+use sysplex_core::wire::{SmfClassRow, SmfRecord, SmfStructureRow, WireRequest, WireResponse};
 use sysplex_services::transport::{SxRequest, SxResponse};
 use sysplex_services::xcf::{GroupEvent, MemberInfo, XcfError, XcfItem};
 
@@ -16,6 +18,43 @@ fn ascii(bytes: &[u8]) -> String {
 
 fn system(sel: u8) -> SystemId {
     SystemId::new(sel % 32)
+}
+
+/// A fuzz-parameterized SMF interval record: sparse histogram buckets,
+/// a couple of class rows and one structure row.
+fn smf_record(name: &str, h: u32, n: u64, sel: u8) -> SmfRecord {
+    let mut observed = HistogramSnapshot::default();
+    observed.buckets[(sel % 64) as usize] = n | 1;
+    observed.buckets[(sel.wrapping_add(7) % 64) as usize] = u64::from(h) | 1;
+    observed.samples = observed.buckets.iter().sum();
+    observed.total_ns = n.wrapping_mul(3);
+    observed.max_ns = n;
+    let row = SmfClassRow {
+        issued: observed.samples,
+        sync: observed.samples / 2,
+        async_converted: observed.samples - observed.samples / 2,
+        faulted: u64::from(sel % 3),
+        observed,
+    };
+    SmfRecord {
+        system: sel % 32,
+        member: name.to_string(),
+        seq: h,
+        interval_us: n,
+        final_interval: sel.is_multiple_of(2),
+        wire_retries: u64::from(sel),
+        classes: vec![(CommandClass::LockRequest, row.clone()), (CommandClass::CacheWrite, row)],
+        structures: vec![SmfStructureRow {
+            name: format!("{name}-S"),
+            requests: n,
+            contentions: n / 4,
+            force_interests: u64::from(h),
+            faulted: u64::from(sel),
+        }],
+        trace_emitted: n,
+        trace_dropped: n / 2,
+        trace_retained: n - n / 2,
+    }
 }
 
 /// Every XCF item kind: a message plus all three group events.
@@ -50,6 +89,8 @@ fn request_samples(name: &str, data: &[u8], h: u32, n: u64, sel: u8) -> Vec<SxRe
         SxRequest::XcfPeers { handle: h },
         SxRequest::Pulse,
         SxRequest::Goodbye,
+        SxRequest::SmfShip(smf_record(name, h, n, sel)),
+        SxRequest::SmfPull { system: system(sel) },
     ]
 }
 
@@ -69,6 +110,11 @@ fn response_samples(name: &str, data: &[u8], h: u32, n: u64, sel: u8) -> Vec<SxR
         SxResponse::XcfFail(XcfError::StaleHandle),
         SxResponse::Denied(name.to_string()),
         SxResponse::Admitted { token: n },
+        SxResponse::SmfRecords(Vec::new()),
+        SxResponse::SmfRecords(vec![
+            smf_record(name, h, n, sel),
+            smf_record(name, h.wrapping_add(1), n.wrapping_add(9), sel.wrapping_add(1)),
+        ]),
     ];
     out.extend(item_samples(name, data, sel).into_iter().map(|it| SxResponse::Item(Some(it))));
     out

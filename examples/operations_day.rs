@@ -124,7 +124,7 @@ fn main() {
     for o in &outcomes {
         println!(
             "  {:<16} committed={:<4} lost={} duplicates={} reipls={} \
-             fence={}µs readmit={}µs oracle_clean={}",
+             fence={}µs readmit={}µs oracle_clean={} smf={}rec/{}mem reconciled={}",
             o.name,
             o.committed,
             o.lost,
@@ -132,7 +132,10 @@ fn main() {
             o.reipls,
             o.time_to_fence_us,
             o.time_to_readmit_us,
-            o.oracle_clean
+            o.oracle_clean,
+            o.smf_records,
+            o.smf_members,
+            o.smf_reconciled
         );
         o.assert_clean();
     }

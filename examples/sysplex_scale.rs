@@ -27,6 +27,7 @@ use sysplex_core::list::{ListParams, LockCondition, WritePosition};
 use sysplex_core::lock::{LockMode, LockParams};
 use sysplex_core::transport::probe;
 use sysplex_core::SystemId;
+use sysplex_services::monitor::Monitor;
 use sysplex_services::sysplex::{Sysplex, SysplexConfig};
 use sysplex_services::transport::{RemoteSysplex, SysplexServer};
 use sysplex_workload::debitcredit::{DebitCreditConfig, DebitCreditGenerator, KeyLayout};
@@ -61,6 +62,8 @@ fn run_parent() {
     let exe = std::env::current_exe().expect("current_exe");
 
     let mut runs: Vec<Vec<MemberSample>> = Vec::new();
+    let mut observability: Vec<String> = Vec::new();
+    let mut widest_rmf: Option<String> = None;
     for members in 1..=max_members {
         // A fresh sysplex per point keeps the structures cold and the
         // member counts honest. The SFM deadline is relaxed from the
@@ -114,14 +117,39 @@ fn run_parent() {
             samples.iter().map(|s| s.ops_per_s()).sum::<f64>()
         );
         runs.push(samples);
+
+        // Every member shipped SMF interval records while it ran and
+        // flushed a final partial interval with its goodbye; merge them
+        // with the server's own service clock into one RMF-style view.
+        let rmf = Monitor::for_sysplex(&plex).sysplex_report(server.smf());
+        let section = rmf.sysplex.as_ref().expect("merged report carries the sysplex section");
+        assert_eq!(section.members.len(), members, "every member must appear in the merged report");
+        assert_eq!(section.departed_count(), members, "members departed cleanly via goodbye");
+        assert!(rmf.reconciles(), "merged sysplex report must reconcile:\n{rmf}");
+        println!(
+            "  merged SMF: {} member(s), {} departed, reconciled",
+            section.members.len(),
+            section.departed_count()
+        );
+        observability.push(rmf.observability_json());
+        if members == max_members {
+            widest_rmf = Some(rmf.to_json());
+        }
         server.stop();
     }
 
-    let report = ScaleReport::from_runs(ops, runs);
+    let mut report = ScaleReport::from_runs(ops, runs);
+    for (point, obs) in report.scaling.iter_mut().zip(observability) {
+        point.observability = Some(obs);
+    }
     print!("{}", report.render_table());
     let json = report.to_json();
     std::fs::write("BENCH_sysplex_scale.json", &json).expect("write BENCH_sysplex_scale.json");
     println!("wrote BENCH_sysplex_scale.json ({} bytes)", json.len());
+    if let Some(rmf) = widest_rmf {
+        std::fs::write("SYSPLEX_RMF_REPORT.json", &rmf).expect("write SYSPLEX_RMF_REPORT.json");
+        println!("wrote SYSPLEX_RMF_REPORT.json ({} bytes)", rmf.len());
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -139,6 +167,10 @@ fn run_member() {
     remote.pulse().expect("pulse");
     // Keep SFM fed while the burst runs; stopped before the goodbye.
     let pulse = remote.keepalive(Duration::from_millis(100));
+    // Ship SMF interval records while the burst runs; the goodbye below
+    // flushes the final partial interval, so nothing is lost when the
+    // shipper is stopped mid-interval.
+    let smf = remote.smf_autoship(Duration::from_millis(50));
     let xcf_a = remote.join(GROUP, &format!("MEM{member:02}")).expect("join");
     let xcf_b = remote.join(GROUP, &format!("PRB{member:02}")).expect("join probe member");
 
@@ -240,6 +272,7 @@ fn run_member() {
     lock.detach(sysplex_core::lock::DisconnectMode::Normal).expect("detach lock");
     xcf_b.leave().expect("leave");
     xcf_a.leave().expect("leave");
+    smf.stop();
     pulse.stop();
     remote.goodbye().expect("goodbye");
 }
