@@ -5,6 +5,7 @@
 //! results). The rigs here stand up the live stack the way the examples
 //! do, sized for a small host.
 
+pub mod campaign;
 pub mod hotpath;
 pub mod opsday;
 pub mod scale;

@@ -662,10 +662,26 @@ impl LockConnection {
         r
     }
 
-    /// Record `mode` interest unconditionally (post-negotiation).
+    /// Record `mode` interest unconditionally (state import: rebuild,
+    /// duplex mirroring).
     pub fn force_interest(&self, entry: usize, mode: LockMode) -> CfResult<()> {
         self.sub.issue_sync(CfCommand::new(CommandClass::LockRequest, LOCK_CMD_BYTES), || {
             self.structure.force_interest(self.id, entry, mode)
+        })
+    }
+
+    /// Record `mode` interest after negotiating with `negotiated`; refused
+    /// (`Ok(false)`) when a holder outside that set has appeared since the
+    /// contention response — see
+    /// [`LockStructure::force_interest_negotiated`].
+    pub fn force_interest_negotiated(
+        &self,
+        entry: usize,
+        mode: LockMode,
+        negotiated: crate::types::ConnMask,
+    ) -> CfResult<bool> {
+        self.sub.issue_sync(CfCommand::new(CommandClass::LockRequest, LOCK_CMD_BYTES), || {
+            self.structure.force_interest_negotiated(self.id, entry, mode, negotiated)
         })
     }
 

@@ -354,8 +354,13 @@ impl LockStructure {
         }
     }
 
-    /// Record interest unconditionally after software negotiation resolved
-    /// a contention (false contention, or resource-level compatibility).
+    /// Record interest unconditionally — for state-import paths (structure
+    /// rebuild, duplex mirroring) that re-create interest *already known to
+    /// be held*. A negotiating requester must use
+    /// [`LockStructure::force_interest_negotiated`] instead: between the
+    /// contention response and this write the entry can empty and be
+    /// granted fresh to a third connector, and an unconditional write here
+    /// would stack a second "owner" on top of it.
     ///
     /// Exclusive interest that cannot be represented exactly (some other
     /// connector already has interest) is recorded as shared interest
@@ -384,6 +389,58 @@ impl LockStructure {
             };
             match slot.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => return Ok(()),
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+
+    /// Record interest after software negotiation resolved a contention
+    /// (false contention, or resource-level compatibility) — but only if
+    /// the entry's holder set is still covered by `negotiated`, the set the
+    /// requester actually negotiated with.
+    ///
+    /// Returns `Ok(false)` without recording anything when a connector
+    /// *outside* the negotiated set has acquired interest since the
+    /// contention response: its grant may be a fresh synchronous exclusive
+    /// taken after an old holder released, and it never agreed to share.
+    /// The caller must renegotiate against the current holders. Departed
+    /// negotiated holders are fine — releases only shrink the conflict.
+    /// The check and the write are one CAS on the entry word, so a holder
+    /// cannot slip in between them.
+    pub fn force_interest_negotiated(
+        &self,
+        conn: ConnId,
+        entry: usize,
+        mode: LockMode,
+        negotiated: ConnMask,
+    ) -> CfResult<bool> {
+        self.check_active(conn)?;
+        if entry >= self.table.len() {
+            return Err(CfError::BadParameter("entry index out of range"));
+        }
+        self.stats.forced_interests.incr();
+        let slot = &self.table[entry];
+        let me = conn.mask();
+        let mut cur = slot.load(Ordering::Acquire);
+        loop {
+            let foreign_excl = excl_of(cur).filter(|&e| e != conn);
+            let others_share = share_of(cur) & !me;
+            let mut others = others_share;
+            if let Some(e) = foreign_excl {
+                others |= e.mask();
+            }
+            if others & !negotiated != 0 {
+                return Ok(false);
+            }
+            let new = match mode {
+                LockMode::Exclusive if foreign_excl.is_none() && others_share == 0 => {
+                    (cur & SHARE_MASK) | ((conn.raw() as u64 + 1) << EXCL_SHIFT)
+                }
+                LockMode::Exclusive => cur | me as u64 | NEG_FLAG,
+                LockMode::Shared => cur | me as u64,
+            };
+            match slot.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return Ok(true),
                 Err(observed) => cur = observed,
             }
         }
@@ -763,6 +820,39 @@ mod tests {
         let a = s.connect().unwrap();
         s.force_interest(a, 9, LockMode::Exclusive).unwrap();
         assert_eq!(s.holders(9), (0, Some(a)));
+    }
+
+    #[test]
+    fn negotiated_force_refuses_holders_it_never_negotiated_with() {
+        let s = structure(16);
+        let a = s.connect().unwrap();
+        let b = s.connect().unwrap();
+        let c = s.connect().unwrap();
+        // b's contention response named {a}; while b negotiated, a released
+        // and c was granted the freed entry synchronously. b's negotiation
+        // says nothing about c — the write must refuse, not stack a second
+        // owner on the entry.
+        assert!(s.request(a, 4, LockMode::Exclusive).unwrap().is_granted());
+        let negotiated = a.mask();
+        s.release(a, 4).unwrap();
+        assert!(s.request(c, 4, LockMode::Exclusive).unwrap().is_granted());
+        assert!(!s.force_interest_negotiated(b, 4, LockMode::Exclusive, negotiated).unwrap());
+        assert_eq!(s.holders(4), (0, Some(c)), "refused write left the entry untouched");
+
+        // A *departed* negotiated holder is fine: releases only shrink the
+        // conflict, so the write goes through (taking true exclusive on
+        // the now-empty entry).
+        assert!(s.request(a, 7, LockMode::Exclusive).unwrap().is_granted());
+        s.release(a, 7).unwrap();
+        assert!(s.force_interest_negotiated(b, 7, LockMode::Exclusive, a.mask()).unwrap());
+        assert_eq!(s.holders(7), (0, Some(b)));
+
+        // Negotiated holders still present: recorded as shared + NEGOTIATE,
+        // exactly like the unconditional form.
+        assert!(s.request(a, 11, LockMode::Exclusive).unwrap().is_granted());
+        assert!(s.force_interest_negotiated(b, 11, LockMode::Exclusive, a.mask()).unwrap());
+        assert!(s.is_negotiate(11));
+        assert_eq!(s.holders(11), (b.mask(), Some(a)));
     }
 
     #[test]

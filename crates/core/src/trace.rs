@@ -93,6 +93,15 @@ impl TraceKind {
     /// Number of kinds (for per-kind counters).
     pub const COUNT: usize = 23;
 
+    /// Stable wire/coverage id of this kind. These are the `#[repr(u8)]`
+    /// discriminants, which double as the packed-slot encoding and the
+    /// token the harness's coverage n-gram hashing is built on: appending
+    /// new kinds is fine, renumbering existing ones is a breaking change
+    /// (it silently remaps every stored coverage bitmap and corpus).
+    pub const fn id(self) -> u8 {
+        self as u8
+    }
+
     /// All kinds, indexable by discriminant.
     pub const ALL: [TraceKind; TraceKind::COUNT] = [
         TraceKind::CmdIssued,
@@ -763,6 +772,44 @@ impl Tracer {
 mod tests {
     use super::*;
     use std::thread;
+
+    #[test]
+    fn kind_ids_are_stable() {
+        // The coverage machinery hashes `(system, TraceKind::id)` n-grams;
+        // these ids are a persistence format. Pin every assignment: a new
+        // kind must take the next free id, never renumber an existing one.
+        let pinned: [(TraceKind, u8); TraceKind::COUNT] = [
+            (TraceKind::CmdIssued, 0),
+            (TraceKind::CmdCompleted, 1),
+            (TraceKind::LockGrant, 2),
+            (TraceKind::LockContend, 3),
+            (TraceKind::LockFalseContend, 4),
+            (TraceKind::CacheRegister, 5),
+            (TraceKind::CrossInvalidate, 6),
+            (TraceKind::LocalVectorCheck, 7),
+            (TraceKind::ListEnqueue, 8),
+            (TraceKind::ListTransition, 9),
+            (TraceKind::ListClaim, 10),
+            (TraceKind::BufRead, 11),
+            (TraceKind::BufRefresh, 12),
+            (TraceKind::BufSteal, 13),
+            (TraceKind::BufCastout, 14),
+            (TraceKind::XcfSend, 15),
+            (TraceKind::XcfDeliver, 16),
+            (TraceKind::HeartbeatMiss, 17),
+            (TraceKind::Fence, 18),
+            (TraceKind::WorkEnqueue, 19),
+            (TraceKind::WorkDispatch, 20),
+            (TraceKind::SessionPlace, 21),
+            (TraceKind::LockRelease, 22),
+        ];
+        for (kind, id) in pinned {
+            assert_eq!(kind.id(), id, "{} renumbered", kind.name());
+        }
+        for (i, kind) in TraceKind::ALL.iter().enumerate() {
+            assert_eq!(kind.id() as usize, i, "ALL must be indexable by id");
+        }
+    }
 
     #[test]
     fn disabled_tracer_emits_nothing() {

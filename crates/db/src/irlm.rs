@@ -433,24 +433,41 @@ impl Irlm {
 
         // Phase 2: CF command (local latch released — the service thread
         // must be able to answer our peers' queries while we negotiate).
-        match cf.conn.request_lock(entry, mode)? {
-            LockResponse::Granted => {
-                self.stats.grants_cf_sync.incr();
-                cf.mirror_grant(entry, mode);
-            }
-            LockResponse::Contention { holders, .. } => {
-                self.stats.contentions.incr();
-                if self.negotiate(&cf, holders, resource, mode, ignore)? {
+        // Negotiation loop: a successful negotiation is only valid against
+        // the holder set it was conducted with. If a *new* holder acquires
+        // the entry between the contention response and our interest write
+        // (e.g. the old holder released and a third system was granted the
+        // freed entry synchronously), the conditional write refuses and we
+        // renegotiate against the current holders. Bounded: on a hot entry
+        // we eventually report Busy and let the caller's retry loop pace
+        // us instead of spinning here.
+        let mut renegotiations = 4u32;
+        loop {
+            match cf.conn.request_lock(entry, mode)? {
+                LockResponse::Granted => {
+                    self.stats.grants_cf_sync.incr();
+                    cf.mirror_grant(entry, mode);
+                    break;
+                }
+                LockResponse::Contention { holders, .. } => {
+                    self.stats.contentions.incr();
+                    if !self.negotiate(&cf, holders, resource, mode, ignore)? {
+                        self.stats.real_conflicts.incr();
+                        return Ok(LockOutcome::Busy);
+                    }
                     self.stats.false_contentions.incr();
                     cf.conn.subchannel().emit(sysplex_core::trace::TraceEvent::LockFalseContend {
                         entry: entry as u64,
                         holders: holders as u64,
                     });
-                    cf.conn.force_interest(entry, mode)?;
-                    cf.mirror_grant(entry, mode);
-                } else {
-                    self.stats.real_conflicts.incr();
-                    return Ok(LockOutcome::Busy);
+                    if cf.conn.force_interest_negotiated(entry, mode, holders)? {
+                        cf.mirror_grant(entry, mode);
+                        break;
+                    }
+                    if renegotiations == 0 {
+                        return Ok(LockOutcome::Busy);
+                    }
+                    renegotiations -= 1;
                 }
             }
         }
@@ -520,11 +537,16 @@ impl Irlm {
                     if waited >= timeout {
                         return Err(DbError::LockTimeout { resource: resource.to_vec(), waited });
                     }
-                    // Wall clock: pure yield, exactly the old busy-wait.
                     // Virtual clock: each retry burns 1ms of simulated time,
                     // so the deadlock breaker fires after a bounded number of
-                    // deterministic iterations.
-                    clock.park_us(if clock.is_virtual() { 1_000 } else { 0 });
+                    // deterministic iterations. Wall clock: a short real
+                    // sleep, not a yield — IRLM suspends a blocked
+                    // requestor. A pure yield-spin lets N waiters starve
+                    // the holder on an oversubscribed host: nobody commits
+                    // inside anyone's timeout window and a wide member
+                    // group livelocks in abort/retry cycles on the hottest
+                    // row.
+                    clock.park_us(if clock.is_virtual() { 1_000 } else { 200 });
                 }
             }
         }

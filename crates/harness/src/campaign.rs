@@ -105,6 +105,37 @@ impl CampaignSpec {
     pub fn run(&self) -> CampaignOutcome {
         Driver::new(self).run()
     }
+
+    /// One-line wire encoding for the sweep worker pipe and corpus files:
+    /// `name;seed;members;steps;duplex;plan-display`. Names must not
+    /// contain `;` (the engine's generated names never do).
+    pub fn to_wire(&self) -> String {
+        debug_assert!(!self.name.contains(';'), "spec names must not contain ';'");
+        format!(
+            "{};{:#x};{};{};{};{}",
+            self.name, self.seed, self.members, self.steps, self.duplex, self.plan
+        )
+    }
+
+    /// Decode [`CampaignSpec::to_wire`] output.
+    pub fn from_wire(s: &str) -> Result<CampaignSpec, String> {
+        let mut parts = s.trim().splitn(6, ';');
+        let mut next = |what: &str| parts.next().ok_or_else(|| format!("spec line missing {what}"));
+        let name = next("name")?.to_string();
+        let seed_s = next("seed")?;
+        let seed = seed_s
+            .strip_prefix("0x")
+            .ok_or_else(|| format!("seed {seed_s:?} missing 0x"))
+            .and_then(|h| u64::from_str_radix(h, 16).map_err(|e| format!("bad seed {seed_s:?}: {e}")))?;
+        let members: u8 = next("members")?.parse().map_err(|e| format!("bad members: {e}"))?;
+        let steps: u64 = next("steps")?.parse().map_err(|e| format!("bad steps: {e}"))?;
+        let duplex: bool = next("duplex")?.parse().map_err(|e| format!("bad duplex: {e}"))?;
+        let plan = FaultPlan::parse(next("plan")?)?;
+        if members < 2 {
+            return Err(format!("campaigns need at least two systems, got {members}"));
+        }
+        Ok(CampaignSpec { name, seed, members, steps, plan, duplex })
+    }
 }
 
 /// Counts of what a campaign actually exercised.
@@ -484,11 +515,25 @@ impl<'a> Driver<'a> {
                 }
             }
         }
-        // Drain ready work so every enqueued entry ends up claimed.
+        // Drain ready work so every enqueued entry ends up claimed. Link
+        // faults scheduled near the end of the run can still be armed on
+        // the queue's CF (after a rebuild migrates the lock/cache traffic
+        // away, nothing else consumes them); each is one-shot, so a
+        // bounded retry — a real consumer's answer to a timed-out claim —
+        // rides them out instead of abandoning the backlog. Found by the
+        // coverage-guided sweep, seed 0x15792635cdd1887b.
         if let Some(coordinator) = self.members.iter().find(|m| m.live) {
-            while let Ok(Some(item)) = coordinator.queue.take() {
-                self.stats.claims += 1;
-                let _ = coordinator.queue.complete(&item);
+            let mut retries = crate::mutate::MAX_FAULTS + 2;
+            loop {
+                match coordinator.queue.take() {
+                    Ok(Some(item)) => {
+                        self.stats.claims += 1;
+                        let _ = coordinator.queue.complete(&item);
+                    }
+                    Ok(None) => break,
+                    Err(_) if retries > 0 => retries -= 1,
+                    Err(_) => break,
+                }
             }
             let _ = coordinator.db.buffers().castout(usize::MAX >> 1);
         }
@@ -513,5 +558,238 @@ impl<'a> Driver<'a> {
             }
         }
         CampaignOutcome { spec: self.spec.clone(), violations, records, digest, stats: self.stats }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coverage-guided sweep engine
+// ---------------------------------------------------------------------------
+
+/// Knobs for a [`SweepEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Seed of the engine's own decision stream (spec generation, corpus
+    /// picks, mutation draws). Publishing it makes the whole sweep
+    /// replayable, not just individual campaigns.
+    pub base_seed: u64,
+    /// Corpus capacity; the lowest-yield entry is evicted past this.
+    pub corpus_cap: usize,
+    /// `1/fresh_every` of generated specs are fresh `from_seed` draws
+    /// even when the corpus is hot, so mutation lineages never fully
+    /// starve exploration. `1` disables guidance entirely (pure random
+    /// sampling — the control arm the bench compares against).
+    pub fresh_every: u64,
+}
+
+impl SweepConfig {
+    /// Coverage-guided defaults.
+    pub fn guided(base_seed: u64) -> SweepConfig {
+        SweepConfig { base_seed, corpus_cap: 64, fresh_every: 4 }
+    }
+
+    /// Pure-random control: every spec is a fresh seed, coverage is still
+    /// tracked (for the distinct-bits comparison) but never steers.
+    pub fn random(base_seed: u64) -> SweepConfig {
+        SweepConfig { base_seed, corpus_cap: 64, fresh_every: 1 }
+    }
+}
+
+/// A corpus entry: a spec that discovered coverage nobody else had.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// The interesting spec.
+    pub spec: CampaignSpec,
+    /// Bits this campaign was first to set (its mutation energy).
+    pub novel_bits: usize,
+    /// Children mutated from it so far (energy decays with use).
+    pub children: u32,
+}
+
+impl CorpusEntry {
+    /// Mutation-pick weight: high-yield entries breed more, but every
+    /// child bred halves the appetite so a one-hit wonder cannot
+    /// monopolize the sweep.
+    fn energy(&self) -> u64 {
+        ((self.novel_bits as u64) / (1 + self.children as u64)).max(1)
+    }
+}
+
+/// The coverage-guided campaign scheduler.
+///
+/// The engine is single-threaded bookkeeping; parallelism comes from
+/// running the specs it hands out wherever the caller likes — inline (the
+/// root `campaigns.rs` sweep), or across worker processes pulling specs
+/// on demand (the `campaign_sweep` example, one worker per core). Each
+/// result is fed back via [`SweepEngine::record`]; specs whose coverage
+/// contained novel bits join the corpus and future specs are biased
+/// toward mutating them.
+#[derive(Debug)]
+pub struct SweepEngine {
+    config: SweepConfig,
+    rng: SplitMix64,
+    global: crate::coverage::CoverageMap,
+    corpus: Vec<CorpusEntry>,
+    campaigns: u64,
+}
+
+impl SweepEngine {
+    /// A fresh engine.
+    pub fn new(config: SweepConfig) -> SweepEngine {
+        assert!(config.fresh_every >= 1, "fresh_every is a chance denominator");
+        assert!(config.corpus_cap >= 1);
+        SweepEngine {
+            rng: SplitMix64::new(config.base_seed ^ 0x5EED_E261_E000_0000),
+            config,
+            global: crate::coverage::CoverageMap::new(),
+            corpus: Vec::new(),
+            campaigns: 0,
+        }
+    }
+
+    /// The next spec to run: a mutation of an energy-weighted corpus pick,
+    /// or a fresh seeded draw when the corpus is dry (or the exploration
+    /// coin says so).
+    pub fn next_spec(&mut self) -> CampaignSpec {
+        if self.corpus.is_empty() || self.rng.chance(1, self.config.fresh_every) {
+            return CampaignSpec::from_seed(self.rng.next_u64());
+        }
+        let total: u64 = self.corpus.iter().map(CorpusEntry::energy).sum();
+        let mut pick = self.rng.below(total);
+        let mut idx = self.corpus.len() - 1;
+        for (i, entry) in self.corpus.iter().enumerate() {
+            let e = entry.energy();
+            if pick < e {
+                idx = i;
+                break;
+            }
+            pick -= e;
+        }
+        let donor_idx = self.rng.below(self.corpus.len() as u64) as usize;
+        self.corpus[idx].children += 1;
+        let parent = self.corpus[idx].spec.clone();
+        let donor = if donor_idx != idx { Some(self.corpus[donor_idx].spec.clone()) } else { None };
+        crate::mutate::mutate_spec(&mut self.rng, &parent, donor.as_ref())
+    }
+
+    /// Feed back one campaign's coverage. Returns the number of novel bits
+    /// it contributed; any novelty admits the spec to the corpus.
+    pub fn record(&mut self, spec: &CampaignSpec, coverage: &crate::coverage::CoverageMap) -> usize {
+        self.campaigns += 1;
+        let novel = self.global.merge(coverage);
+        if novel > 0 {
+            self.corpus.push(CorpusEntry { spec: spec.clone(), novel_bits: novel, children: 0 });
+            if self.corpus.len() > self.config.corpus_cap {
+                let evict = self
+                    .corpus
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.energy())
+                    .map(|(i, _)| i)
+                    .expect("corpus non-empty");
+                self.corpus.remove(evict);
+            }
+        }
+        novel
+    }
+
+    /// Distinct coverage accumulated across every recorded campaign.
+    pub fn coverage(&self) -> &crate::coverage::CoverageMap {
+        &self.global
+    }
+
+    /// The current corpus, in admission order.
+    pub fn corpus(&self) -> &[CorpusEntry] {
+        &self.corpus
+    }
+
+    /// Campaigns recorded so far.
+    pub fn campaigns(&self) -> u64 {
+        self.campaigns
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &SweepConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod engine_tests {
+    use super::*;
+    use crate::coverage::CoverageMap;
+
+    #[test]
+    fn spec_wire_round_trips() {
+        let spec = CampaignSpec::from_seed(0xFACE);
+        assert_eq!(CampaignSpec::from_wire(&spec.to_wire()), Ok(spec));
+        let mutant = crate::mutate::mutate_spec(
+            &mut SplitMix64::new(5),
+            &CampaignSpec::from_seed(0xFACE),
+            Some(&CampaignSpec::from_seed(0xCAFE)),
+        );
+        assert_eq!(CampaignSpec::from_wire(&mutant.to_wire()), Ok(mutant));
+        assert!(CampaignSpec::from_wire("x;0x1;1;100;false;FaultPlan::new()").is_err(), "members >= 2");
+        assert!(CampaignSpec::from_wire("nonsense").is_err());
+    }
+
+    #[test]
+    fn engine_spec_stream_is_deterministic() {
+        let run = |base: u64| {
+            let mut engine = SweepEngine::new(SweepConfig::guided(base));
+            let mut specs = Vec::new();
+            for i in 0..8u64 {
+                let spec = engine.next_spec();
+                // Synthetic coverage: every third campaign finds novelty.
+                let mut cov = CoverageMap::new();
+                cov.set(100 + (i % 3) as usize * 7 + i as usize);
+                engine.record(&spec, &cov);
+                specs.push(spec.to_wire());
+            }
+            specs
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn novelty_admits_to_corpus_and_duplicates_do_not() {
+        let mut engine = SweepEngine::new(SweepConfig::guided(7));
+        let spec = engine.next_spec();
+        let mut cov = CoverageMap::new();
+        cov.set(500);
+        assert_eq!(engine.record(&spec, &cov), 1);
+        assert_eq!(engine.corpus().len(), 1);
+        // Same coverage again: no novelty, no admission.
+        assert_eq!(engine.record(&spec, &cov), 0);
+        assert_eq!(engine.corpus().len(), 1);
+        assert_eq!(engine.campaigns(), 2);
+        assert_eq!(engine.coverage().count(), 1);
+    }
+
+    #[test]
+    fn corpus_eviction_respects_cap() {
+        let mut engine =
+            SweepEngine::new(SweepConfig { base_seed: 1, corpus_cap: 4, fresh_every: 1_000_000 });
+        for i in 0..20usize {
+            let spec = engine.next_spec();
+            let mut cov = CoverageMap::new();
+            cov.set(1000 + i);
+            engine.record(&spec, &cov);
+            assert!(engine.corpus().len() <= 4);
+        }
+        assert_eq!(engine.corpus().len(), 4);
+        assert_eq!(engine.coverage().count(), 20, "eviction never loses global coverage");
+    }
+
+    #[test]
+    fn random_config_never_draws_from_corpus() {
+        let mut engine = SweepEngine::new(SweepConfig::random(9));
+        for i in 0..30usize {
+            let spec = engine.next_spec();
+            assert!(spec.name.starts_with("seed-"), "pure-random mode mutates nothing, got {}", spec.name);
+            let mut cov = CoverageMap::new();
+            cov.set(2000 + i);
+            engine.record(&spec, &cov);
+        }
     }
 }

@@ -1,0 +1,390 @@
+//! Campaign coverage signal: what a run actually exercised.
+//!
+//! Blind seed sampling plateaus because most seeds replay the same few
+//! interleavings; to steer mutation toward *unseen* schedules the engine
+//! needs a cheap, deterministic fingerprint of each campaign. A
+//! [`CoverageMap`] is that fingerprint: a fixed-size bitmap fed from three
+//! sources, all derived from artifacts the campaign already produces.
+//!
+//! 1. **Trace n-grams** — sliding windows (n = 2 and 3) of
+//!    `(system, TraceKind::id)` tokens over the causally-merged trace,
+//!    hashed into the bitmap. Two campaigns that drive the same commands
+//!    in a different cross-system order set different bits, which is
+//!    exactly the adversarial-schedule distinction the fuzzing loop needs.
+//! 2. **Oracle branches** — one reserved bit per [`Violation`] arm, so a
+//!    campaign that trips (or nearly maps the state space around) a
+//!    specific invariant is distinguishable from one that never got close.
+//! 3. **Recovery-path branches** — bits for the fence / peer-recovery /
+//!    rebuild / failover / CDS hot-switch choreographies actually reached,
+//!    taken from [`CampaignStats`], plus a hashed `log2(count)` intensity
+//!    bucket per path so "fenced once" and "fenced eight times" are
+//!    different coverage.
+//!
+//! The map is deterministic: the same `CampaignOutcome` always produces
+//! the same bits (pinned by the root `campaigns.rs` tests), so coverage
+//! can be computed in a worker process and shipped to the sweep parent as
+//! a sparse index list ([`CoverageMap::to_wire`]).
+
+use crate::campaign::{CampaignOutcome, CampaignStats};
+use crate::oracle::Violation;
+use sysplex_core::trace::TraceRecord;
+
+/// Total bitmap size in bits (8 KiB of backing store).
+pub const COVERAGE_BITS: usize = 1 << 16;
+/// Bits `0..BRANCH_RESERVED` are assigned meanings (violation arms,
+/// recovery branches); n-gram hashes land in the region above.
+pub const BRANCH_RESERVED: usize = 64;
+
+const WORDS: usize = COVERAGE_BITS / 64;
+
+/// Stable bit indices for the reserved (non-hashed) branch region.
+pub mod branch {
+    /// [`super::Violation::LockExclusivity`] observed.
+    pub const LOCK_EXCLUSIVITY: usize = 0;
+    /// [`super::Violation::StaleRead`] observed.
+    pub const STALE_READ: usize = 1;
+    /// [`super::Violation::DuplicateClaim`] observed.
+    pub const DUPLICATE_CLAIM: usize = 2;
+    /// [`super::Violation::UnclaimedEntry`] observed.
+    pub const UNCLAIMED_ENTRY: usize = 3;
+    /// [`super::Violation::RingAccounting`] observed.
+    pub const RING_ACCOUNTING: usize = 4;
+    /// [`super::Violation::OrphanLockRecord`] observed.
+    pub const ORPHAN_LOCK_RECORD: usize = 5;
+    /// At least one system was fenced.
+    pub const FENCED: usize = 8;
+    /// At least one peer recovery completed.
+    pub const RECOVERED: usize = 9;
+    /// At least one structure rebuild into a fresh CF.
+    pub const REBUILT: usize = 10;
+    /// At least one duplex failover.
+    pub const FAILED_OVER: usize = 11;
+    /// At least one couple-data-set hot switch.
+    pub const CDS_SWITCHED: usize = 12;
+    /// At least one transaction aborted.
+    pub const ABORTED: usize = 13;
+    /// At least one scheduled fault actually applied.
+    pub const FAULT_APPLIED: usize = 14;
+    /// At least one work item claimed.
+    pub const CLAIMED: usize = 15;
+}
+
+/// The reserved branch bit for a violation arm. Stable: coverage maps are
+/// compared across processes and sweep generations.
+pub fn violation_bit(v: &Violation) -> usize {
+    match v {
+        Violation::LockExclusivity { .. } => branch::LOCK_EXCLUSIVITY,
+        Violation::StaleRead { .. } => branch::STALE_READ,
+        Violation::DuplicateClaim { .. } => branch::DUPLICATE_CLAIM,
+        Violation::UnclaimedEntry { .. } => branch::UNCLAIMED_ENTRY,
+        Violation::RingAccounting { .. } => branch::RING_ACCOUNTING,
+        Violation::OrphanLockRecord { .. } => branch::ORPHAN_LOCK_RECORD,
+    }
+}
+
+/// Fixed-size coverage bitmap. Cheap to merge, count, and diff; encodes
+/// sparsely for the worker → parent pipe.
+#[derive(Clone, PartialEq, Eq)]
+pub struct CoverageMap {
+    words: Box<[u64; WORDS]>,
+}
+
+impl Default for CoverageMap {
+    fn default() -> Self {
+        CoverageMap::new()
+    }
+}
+
+impl std::fmt::Debug for CoverageMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CoverageMap({} bits set, digest {:#x})", self.count(), self.digest())
+    }
+}
+
+impl CoverageMap {
+    /// The empty map.
+    pub fn new() -> CoverageMap {
+        CoverageMap { words: Box::new([0u64; WORDS]) }
+    }
+
+    /// The full coverage fingerprint of a campaign run.
+    pub fn of(outcome: &CampaignOutcome) -> CoverageMap {
+        let mut map = CoverageMap::new();
+        map.add_trace(&outcome.records);
+        map.add_violations(&outcome.violations);
+        map.add_stats(&outcome.stats);
+        map
+    }
+
+    /// Set bit `index` (modulo the map size).
+    pub fn set(&mut self, index: usize) {
+        let index = index % COVERAGE_BITS;
+        self.words[index / 64] |= 1u64 << (index % 64);
+    }
+
+    /// Whether bit `index` is set.
+    pub fn get(&self, index: usize) -> bool {
+        let index = index % COVERAGE_BITS;
+        self.words[index / 64] & (1u64 << (index % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// OR `other` into `self`; returns how many bits were newly set.
+    pub fn merge(&mut self, other: &CoverageMap) -> usize {
+        let mut novel = 0;
+        for (mine, theirs) in self.words.iter_mut().zip(other.words.iter()) {
+            novel += (*theirs & !*mine).count_ones() as usize;
+            *mine |= *theirs;
+        }
+        novel
+    }
+
+    /// How many of `other`'s bits are not yet in `self` (what a merge
+    /// would add), without mutating.
+    pub fn novel_bits(&self, other: &CoverageMap) -> usize {
+        self.words.iter().zip(other.words.iter()).map(|(m, t)| (*t & !*m).count_ones() as usize).sum()
+    }
+
+    /// FNV-1a digest of the raw bitmap, for bit-for-bit comparisons.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for w in self.words.iter() {
+            for b in w.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        h
+    }
+
+    /// Hash sliding `(system, kind-id)` n-grams (n = 2 and 3) of a
+    /// merged trace into the map.
+    pub fn add_trace(&mut self, records: &[TraceRecord]) {
+        // One token per record: system in the high byte, stable kind id in
+        // the low byte. The merged trace is already in causal (seq) order.
+        let tokens: Vec<u16> =
+            records.iter().map(|r| (r.system as u16) << 8 | r.event.kind().id() as u16).collect();
+        for n in [2usize, 3] {
+            for window in tokens.windows(n) {
+                self.set(ngram_bit(window));
+            }
+        }
+    }
+
+    /// Set the reserved branch bit of every violation arm present.
+    pub fn add_violations(&mut self, violations: &[Violation]) {
+        for v in violations {
+            self.set(violation_bit(v));
+        }
+    }
+
+    /// Set the reserved recovery-path branch bits the stats prove were
+    /// reached, plus one hashed intensity bit per stat: the saturating
+    /// `floor(log2(count))` bucket. Reaching a path once and hammering it
+    /// eight times are different coverage — that count gradient is what
+    /// mutation climbs by stacking faults, and what blind seed sampling
+    /// (whose plans stay shallow) almost never reaches.
+    pub fn add_stats(&mut self, stats: &CampaignStats) {
+        for (stat, (count, bit)) in [
+            (stats.fences, branch::FENCED),
+            (stats.recoveries, branch::RECOVERED),
+            (stats.rebuilds, branch::REBUILT),
+            (stats.failovers, branch::FAILED_OVER),
+            (stats.cds_switches, branch::CDS_SWITCHED),
+            (stats.aborts, branch::ABORTED),
+            (stats.faults_applied, branch::FAULT_APPLIED),
+            (stats.claims, branch::CLAIMED),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if count > 0 {
+                self.set(bit);
+                let bucket = (63 - count.leading_zeros() as usize).min(6);
+                self.set(stat_bucket_bit(stat, bucket));
+            }
+        }
+    }
+
+    /// Ascending indices of every set bit.
+    pub fn set_indices(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (wi, w) in self.words.iter().enumerate() {
+            let mut w = *w;
+            while w != 0 {
+                let b = w.trailing_zeros();
+                out.push((wi * 64) as u32 + b);
+                w &= w - 1;
+            }
+        }
+        out
+    }
+
+    /// Sparse wire encoding: comma-separated hex indices (empty string for
+    /// the empty map). A campaign sets a few thousand bits at most, so
+    /// this stays far smaller than 16 KiB of dense hex.
+    pub fn to_wire(&self) -> String {
+        let indices = self.set_indices();
+        let mut out = String::with_capacity(indices.len() * 5);
+        for (i, idx) in indices.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{idx:x}"));
+        }
+        out
+    }
+
+    /// Decode [`CoverageMap::to_wire`] output.
+    pub fn from_wire(s: &str) -> Result<CoverageMap, String> {
+        let mut map = CoverageMap::new();
+        let s = s.trim();
+        if s.is_empty() {
+            return Ok(map);
+        }
+        for part in s.split(',') {
+            let idx =
+                u32::from_str_radix(part, 16).map_err(|e| format!("bad coverage index {part:?}: {e}"))?;
+            if idx as usize >= COVERAGE_BITS {
+                return Err(format!("coverage index {idx} out of range"));
+            }
+            map.set(idx as usize);
+        }
+        Ok(map)
+    }
+}
+
+/// Map an n-gram token window into the hashed (non-reserved) bit region.
+fn ngram_bit(window: &[u16]) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ window.len() as u64;
+    for &t in window {
+        h ^= t as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    BRANCH_RESERVED + (h as usize % (COVERAGE_BITS - BRANCH_RESERVED))
+}
+
+/// Map a per-stat intensity bucket into the hashed region, in a domain
+/// disjoint from the n-gram hashes (distinct seed constant).
+fn stat_bucket_bit(stat: usize, bucket: usize) -> usize {
+    let mut h: u64 = 0x57A7_B0C4_E700_0000 ^ (stat as u64) << 8 ^ bucket as u64;
+    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    h ^= h >> 29;
+    BRANCH_RESERVED + (h as usize % (COVERAGE_BITS - BRANCH_RESERVED))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysplex_core::trace::TraceEvent;
+
+    fn rec(seq: u64, system: u8, event: TraceEvent) -> TraceRecord {
+        TraceRecord { seq, tod_us: seq, system, structure: 1, event }
+    }
+
+    #[test]
+    fn merge_count_and_novel_agree() {
+        let mut a = CoverageMap::new();
+        a.set(3);
+        a.set(100);
+        let mut b = CoverageMap::new();
+        b.set(100);
+        b.set(5000);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.novel_bits(&b), 1);
+        let novel = a.merge(&b);
+        assert_eq!(novel, 1);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.novel_bits(&b), 0, "post-merge nothing is novel");
+    }
+
+    #[test]
+    fn ngram_order_matters() {
+        let fwd = vec![
+            rec(1, 0, TraceEvent::ListEnqueue { header: 0, entry: 1 }),
+            rec(2, 1, TraceEvent::ListClaim { header: 0, entry: 1 }),
+            rec(3, 0, TraceEvent::BufCastout { page: 9 }),
+        ];
+        let rev = vec![
+            rec(1, 0, TraceEvent::BufCastout { page: 9 }),
+            rec(2, 1, TraceEvent::ListClaim { header: 0, entry: 1 }),
+            rec(3, 0, TraceEvent::ListEnqueue { header: 0, entry: 1 }),
+        ];
+        let mut a = CoverageMap::new();
+        a.add_trace(&fwd);
+        let mut b = CoverageMap::new();
+        b.add_trace(&rev);
+        assert_ne!(a.digest(), b.digest(), "interleaving order must change the fingerprint");
+    }
+
+    #[test]
+    fn payloads_do_not_perturb_ngrams() {
+        // Coverage is about *which kinds in which order*, not payload
+        // values: same-kind traces with different entries map identically,
+        // which is what keeps the bitmap from saturating on noise.
+        let a_recs = vec![
+            rec(1, 0, TraceEvent::ListEnqueue { header: 0, entry: 1 }),
+            rec(2, 1, TraceEvent::ListClaim { header: 0, entry: 1 }),
+        ];
+        let b_recs = vec![
+            rec(1, 0, TraceEvent::ListEnqueue { header: 3, entry: 77 }),
+            rec(2, 1, TraceEvent::ListClaim { header: 3, entry: 77 }),
+        ];
+        let mut a = CoverageMap::new();
+        a.add_trace(&a_recs);
+        let mut b = CoverageMap::new();
+        b.add_trace(&b_recs);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn violation_arms_get_distinct_reserved_bits() {
+        let vs = [
+            Violation::LockExclusivity { structure: 1, entry: 2, holder: 0, granted: 1, seq: 3 },
+            Violation::StaleRead { system: 1, block: 2, seq: 3 },
+            Violation::DuplicateClaim { entry: 1, first_seq: 2, second_seq: 3 },
+            Violation::UnclaimedEntry { entry: 1, enqueue_seq: 2 },
+            Violation::RingAccounting { system: 1, retained: 2, snapshot_len: 3 },
+            Violation::OrphanLockRecord { resource: vec![1], conn: 2 },
+        ];
+        let bits: Vec<usize> = vs.iter().map(violation_bit).collect();
+        let mut sorted = bits.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), vs.len(), "every arm has its own bit");
+        assert!(bits.iter().all(|&b| b < BRANCH_RESERVED), "arm bits live in the reserved region");
+    }
+
+    #[test]
+    fn stat_intensity_buckets_distinguish_counts() {
+        use crate::campaign::CampaignStats;
+        let of = |fences: u64| {
+            let mut m = CoverageMap::new();
+            m.add_stats(&CampaignStats { fences, ..CampaignStats::default() });
+            m
+        };
+        assert_eq!(of(1).digest(), of(1).digest());
+        assert_ne!(of(1).digest(), of(8).digest(), "log2 buckets separate 1 from 8");
+        assert_eq!(of(8).digest(), of(15).digest(), "same bucket, same bits");
+        for fences in [1u64, 8] {
+            assert!(of(fences).get(branch::FENCED), "threshold bit always set");
+        }
+    }
+
+    #[test]
+    fn wire_round_trips_sparse_maps() {
+        let mut a = CoverageMap::new();
+        for idx in [0usize, 63, 64, 4095, COVERAGE_BITS - 1] {
+            a.set(idx);
+        }
+        let decoded = CoverageMap::from_wire(&a.to_wire()).unwrap();
+        assert_eq!(decoded, a);
+        assert_eq!(CoverageMap::from_wire("").unwrap(), CoverageMap::new());
+        assert!(CoverageMap::from_wire("zzz").is_err());
+        assert!(CoverageMap::from_wire("10000").is_err(), "index past the map rejected");
+    }
+}

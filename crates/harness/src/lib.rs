@@ -21,6 +21,14 @@
 //!   and final structure state.
 //! * [`shrink`] — greedy fault-plan minimization and the
 //!   [`shrink::run_checked`] test entry point.
+//! * [`coverage`] — the campaign coverage signal: trace n-grams, oracle
+//!   branches, and recovery-path branches hashed into a fixed
+//!   [`coverage::CoverageMap`].
+//! * [`mutate`] — seeded splice/shift/drop/add plan mutators that turn an
+//!   interesting spec into its schedule-space neighbors.
+//! * [`campaign::SweepEngine`] — the coverage-guided scheduler: maintains
+//!   a corpus of novelty-finding specs and biases generation toward
+//!   mutating them; workers pull specs and push coverage back.
 //! * [`opsday`] — composed operations-day scenarios over real TCP
 //!   (rolling restart, partition + heal, ARM restart storm), with
 //!   recovery-time metrics and a lost-transaction reconciliation.
@@ -31,14 +39,17 @@
 
 pub mod campaign;
 pub mod chaos;
+pub mod coverage;
+pub mod mutate;
 pub mod opsday;
 pub mod oracle;
 pub mod plan;
 pub mod rng;
 pub mod shrink;
 
-pub use campaign::{CampaignOutcome, CampaignSpec, CampaignStats};
+pub use campaign::{CampaignOutcome, CampaignSpec, CampaignStats, CorpusEntry, SweepConfig, SweepEngine};
 pub use chaos::{ChaosPlan, ChaosProxy, WireFault};
+pub use coverage::{violation_bit, CoverageMap};
 pub use opsday::{
     default_chaos_plans, partition_heal, partition_heal_with_plans, restart_storm, rolling_restart, run_all,
     scenarios_json, OpsDayConfig, ScenarioOutcome,

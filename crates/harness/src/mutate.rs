@@ -1,0 +1,208 @@
+//! Seeded plan mutation: the generation side of coverage-guided sweeps.
+//!
+//! `CampaignSpec::from_seed` samples the schedule space blindly; once a
+//! campaign has proven interesting (it set coverage bits nobody else
+//! had), the engine wants its *neighbors* — same spec, slightly different
+//! misfortunes. The mutators here produce those neighbors while keeping
+//! every invariant `FaultPlan::random` guarantees:
+//!
+//! * system 0 is never stalled (recovery always has a coordinator);
+//! * stall victims stay inside the member range;
+//! * stalls are either decisively fatal (well past the fence threshold)
+//!   or decisive near-misses (well short of it), never straddling;
+//! * plans never exceed [`MAX_FAULTS`] scheduled faults;
+//! * fault steps stay inside the campaign's step span.
+//!
+//! Everything is driven by the caller's [`SplitMix64`], so a mutated
+//! child is as replayable as a seeded parent: the spec itself (printed by
+//! `CampaignSpec::repro`) is the reproduction unit.
+
+use crate::campaign::CampaignSpec;
+use crate::plan::{Fault, FaultPlan};
+use crate::rng::SplitMix64;
+
+/// Hard cap on scheduled faults per plan. Mutation adds faults one splice
+/// or insertion at a time; without a cap a hot corpus lineage grows
+/// unboundedly and every child spends its whole run in recovery.
+pub const MAX_FAULTS: usize = 24;
+
+/// Fatal stalls land well past the campaign fence threshold (60 steps);
+/// near-misses stay well short of it. Mirrors `FaultPlan::random`.
+const FATAL_STALL_MIN: u32 = 90;
+
+/// Derive one random fault, honoring the plan-generation constraints.
+pub fn random_fault(rng: &mut SplitMix64, members: u8) -> Fault {
+    match rng.below(6) {
+        0 => Fault::LinkDelayUs(50 + rng.below(500)),
+        1 => Fault::LinkTimeout,
+        2 => Fault::InterfaceControlCheck,
+        3 if members > 1 => {
+            let system = 1 + rng.below(members as u64 - 1) as u8;
+            let fatal = rng.chance(1, 2);
+            let steps = if fatal { FATAL_STALL_MIN + rng.below(60) as u32 } else { 1 + rng.below(12) as u32 };
+            Fault::SystemStall { system, steps }
+        }
+        3 => Fault::LinkTimeout,
+        4 => Fault::StructureLoss,
+        _ => Fault::CdsPrimaryFailure,
+    }
+}
+
+/// Drop one scheduled fault at random. No-op on empty plans.
+pub fn drop_fault(rng: &mut SplitMix64, plan: &FaultPlan) -> FaultPlan {
+    if plan.is_empty() {
+        return plan.clone();
+    }
+    plan.without(rng.below(plan.len() as u64) as usize)
+}
+
+/// Retime one scheduled fault to a fresh step in `0..span`. No-op on
+/// empty plans.
+pub fn shift_fault(rng: &mut SplitMix64, plan: &FaultPlan, span: u64) -> FaultPlan {
+    if plan.is_empty() {
+        return plan.clone();
+    }
+    let idx = rng.below(plan.len() as u64) as usize;
+    let (_, fault) = plan.faults()[idx];
+    plan.without(idx).at(rng.below(span.max(1)), fault)
+}
+
+/// Insert one fresh random fault at a random step.
+pub fn add_fault(rng: &mut SplitMix64, plan: &FaultPlan, span: u64, members: u8) -> FaultPlan {
+    let fault = random_fault(rng, members);
+    plan.clone().at(rng.below(span.max(1)), fault)
+}
+
+/// Splice: keep the base plan and graft a random subset of the donor's
+/// scheduled faults onto it (each with an independent coin flip, at their
+/// original steps). Crossing two interesting lineages reaches fault
+/// *combinations* neither seed would sample on its own.
+pub fn splice(rng: &mut SplitMix64, base: &FaultPlan, donor: &FaultPlan) -> FaultPlan {
+    let mut out = base.clone();
+    for &(step, fault) in donor.faults() {
+        if rng.chance(1, 2) {
+            out = out.at(step, fault);
+        }
+    }
+    out
+}
+
+/// Trim a plan back under [`MAX_FAULTS`] by dropping random faults.
+fn enforce_cap(rng: &mut SplitMix64, mut plan: FaultPlan) -> FaultPlan {
+    while plan.len() > MAX_FAULTS {
+        plan = plan.without(rng.below(plan.len() as u64) as usize);
+    }
+    plan
+}
+
+/// Mutate `parent` into a child spec: 1-3 stacked plan mutations, with an
+/// occasional duplex flip or workload reseed. `donor` (another corpus
+/// entry, when the engine has one) enables the splice mutator.
+pub fn mutate_spec(
+    rng: &mut SplitMix64,
+    parent: &CampaignSpec,
+    donor: Option<&CampaignSpec>,
+) -> CampaignSpec {
+    let mut child = parent.clone();
+    let span = child.steps.max(2);
+    let rounds = 1 + rng.below(3);
+    for _ in 0..rounds {
+        let choice = rng.below(if donor.is_some() { 6 } else { 5 });
+        child.plan = match choice {
+            0 => drop_fault(rng, &child.plan),
+            1 => shift_fault(rng, &child.plan, span),
+            2 | 3 => add_fault(rng, &child.plan, span, child.members),
+            4 => {
+                // Non-plan mutations: flip duplexing (structure loss then
+                // exercises failover instead of rebuild), reseed the
+                // workload stream under the same fault schedule, or admit
+                // another member. Coverage tokens are (system, kind)
+                // pairs, so each extra member opens a whole token
+                // subspace; growth only, so stall victims stay in range.
+                match rng.below(3) {
+                    0 => child.duplex = !child.duplex,
+                    1 => child.seed = rng.next_u64(),
+                    _ => child.members = (child.members + 1).min(4),
+                }
+                child.plan
+            }
+            _ => splice(rng, &child.plan, &donor.expect("choice 5 only offered with a donor").plan),
+        };
+    }
+    child.plan = enforce_cap(rng, child.plan);
+    // Half of all children also reseed the workload stream. What the
+    // corpus contributes is the fault *plan*; a fresh seed replays that
+    // plan against a brand-new interleaving, so mutation explores
+    // plan × schedule space instead of re-walking the parent's trace
+    // with one extra misfortune.
+    if rng.chance(1, 2) {
+        child.seed = rng.next_u64();
+    }
+    child.name = format!("mut-{:#x}-{:x}", parent.seed, rng.next_u64() & 0xFFFF);
+    child
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parent(seed: u64) -> CampaignSpec {
+        CampaignSpec::from_seed(seed)
+    }
+
+    #[test]
+    fn mutation_is_deterministic() {
+        let p = parent(77);
+        let d = parent(78);
+        let a = mutate_spec(&mut SplitMix64::new(9), &p, Some(&d));
+        let b = mutate_spec(&mut SplitMix64::new(9), &p, Some(&d));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mutants_respect_plan_invariants() {
+        for seed in 0..200u64 {
+            let mut rng = SplitMix64::new(seed);
+            let p = parent(seed ^ 0xABCD);
+            let d = parent(seed ^ 0x1234);
+            let mut spec = p.clone();
+            // Chain mutations to stress accumulation (splice can only grow).
+            for _ in 0..6 {
+                spec = mutate_spec(&mut rng, &spec, Some(&d));
+            }
+            assert!(spec.plan.len() <= MAX_FAULTS, "cap enforced, got {}", spec.plan.len());
+            assert!(spec.members >= 2);
+            for &(step, fault) in spec.plan.faults() {
+                assert!(step < spec.steps * 2, "steps stay near the campaign span");
+                if let Fault::SystemStall { system, steps } = fault {
+                    assert_ne!(system, 0, "system 0 must stay alive to coordinate recovery");
+                    assert!(
+                        steps >= FATAL_STALL_MIN || steps <= 12,
+                        "stalls are decisively fatal or decisive near-misses, got {steps}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drop_and_shift_preserve_length_invariants() {
+        let mut rng = SplitMix64::new(1);
+        let p = FaultPlan::new().at(5, Fault::LinkTimeout).at(9, Fault::StructureLoss);
+        assert_eq!(drop_fault(&mut rng, &p).len(), 1);
+        assert_eq!(shift_fault(&mut rng, &p, 100).len(), 2);
+        let empty = FaultPlan::new();
+        assert!(drop_fault(&mut rng, &empty).is_empty());
+        assert!(shift_fault(&mut rng, &empty, 100).is_empty());
+    }
+
+    #[test]
+    fn splice_only_grows_from_donor_faults() {
+        let mut rng = SplitMix64::new(3);
+        let base = FaultPlan::new().at(1, Fault::LinkTimeout);
+        let donor = FaultPlan::new().at(2, Fault::StructureLoss).at(3, Fault::CdsPrimaryFailure);
+        let out = splice(&mut rng, &base, &donor);
+        assert!(out.len() >= base.len() && out.len() <= base.len() + donor.len());
+        assert_eq!(out.at_step(1).count(), 1, "base faults always survive");
+    }
+}

@@ -134,6 +134,76 @@ impl FaultPlan {
     }
 }
 
+impl FaultPlan {
+    /// Parse the [`Display`](FaultPlan::fmt) builder-chain rendering back
+    /// into a plan. `parse(p.to_string()) == Ok(p)` for every plan — the
+    /// round trip is what makes printed repros and corpus files a real
+    /// persistence format rather than a log line.
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let mut rest = s.trim().strip_prefix("FaultPlan::new()").ok_or("missing FaultPlan::new() prefix")?;
+        let mut plan = FaultPlan::new();
+        while !rest.is_empty() {
+            rest = rest.strip_prefix(".at(").ok_or_else(|| format!("expected .at(, got {rest:?}"))?;
+            // Find the matching close paren: fault payloads may nest one
+            // level, e.g. `Fault::LinkDelayUs(137)`.
+            let mut depth = 1usize;
+            let close = rest
+                .char_indices()
+                .find(|&(_, c)| {
+                    match c {
+                        '(' => depth += 1,
+                        ')' => depth -= 1,
+                        _ => {}
+                    }
+                    c == ')' && depth == 0
+                })
+                .map(|(i, _)| i)
+                .ok_or("unbalanced parens in .at(...)")?;
+            let (inner, after) = rest.split_at(close);
+            rest = &after[1..];
+            let (step, fault) =
+                inner.split_once(", ").ok_or_else(|| format!("malformed .at args {inner:?}"))?;
+            let step: u64 = step.trim().parse().map_err(|e| format!("bad step {step:?}: {e}"))?;
+            plan = plan.at(step, parse_fault(fault.trim())?);
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_fault(s: &str) -> Result<Fault, String> {
+    let body = s.strip_prefix("Fault::").ok_or_else(|| format!("expected Fault::, got {s:?}"))?;
+    match body {
+        "LinkTimeout" => return Ok(Fault::LinkTimeout),
+        "InterfaceControlCheck" => return Ok(Fault::InterfaceControlCheck),
+        "StructureLoss" => return Ok(Fault::StructureLoss),
+        "CdsPrimaryFailure" => return Ok(Fault::CdsPrimaryFailure),
+        _ => {}
+    }
+    if let Some(us) = body.strip_prefix("LinkDelayUs(").and_then(|b| b.strip_suffix(')')) {
+        return Ok(Fault::LinkDelayUs(us.trim().parse().map_err(|e| format!("bad delay {us:?}: {e}"))?));
+    }
+    if let Some(fields) = body.strip_prefix("SystemStall {").and_then(|b| b.strip_suffix('}')) {
+        let mut system: Option<u8> = None;
+        let mut steps: Option<u32> = None;
+        for field in fields.split(',') {
+            let (key, value) =
+                field.split_once(':').ok_or_else(|| format!("malformed stall field {field:?}"))?;
+            match key.trim() {
+                "system" => {
+                    system = Some(value.trim().parse().map_err(|e| format!("bad system: {e}"))?);
+                }
+                "steps" => steps = Some(value.trim().parse().map_err(|e| format!("bad steps: {e}"))?),
+                other => return Err(format!("unknown stall field {other:?}")),
+            }
+        }
+        return Ok(Fault::SystemStall {
+            system: system.ok_or("stall missing system")?,
+            steps: steps.ok_or("stall missing steps")?,
+        });
+    }
+    Err(format!("unknown fault {s:?}"))
+}
+
 impl std::fmt::Display for FaultPlan {
     /// Copy-pasteable builder chain: `FaultPlan::new().at(12,
     /// Fault::SystemStall { system: 1, steps: 44 })...`.
@@ -185,6 +255,37 @@ mod tests {
                     assert_ne!(*system, 0, "system 0 must stay alive to coordinate recovery");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn display_parse_round_trips() {
+        let p = FaultPlan::new()
+            .at(0, Fault::LinkDelayUs(137))
+            .at(7, Fault::SystemStall { system: 2, steps: 95 })
+            .at(7, Fault::LinkTimeout)
+            .at(12, Fault::InterfaceControlCheck)
+            .at(40, Fault::StructureLoss)
+            .at(199, Fault::CdsPrimaryFailure);
+        assert_eq!(FaultPlan::parse(&p.to_string()), Ok(p));
+        assert_eq!(FaultPlan::parse("FaultPlan::new()"), Ok(FaultPlan::new()));
+        assert_eq!(FaultPlan::parse("  FaultPlan::new()  "), Ok(FaultPlan::new()));
+    }
+
+    #[test]
+    fn parse_rejects_garbage_without_panicking() {
+        for bad in [
+            "",
+            "FaultPlan::new()garbage",
+            "FaultPlan::new().at(",
+            "FaultPlan::new().at()",
+            "FaultPlan::new().at(1, Fault::Nonsense)",
+            "FaultPlan::new().at(x, Fault::LinkTimeout)",
+            "FaultPlan::new().at(1, Fault::SystemStall { system: 1 })",
+            "FaultPlan::new().at(1, Fault::LinkDelayUs(no))",
+            "FaultPlan::new().at(1, Fault::LinkTimeout",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} must be rejected");
         }
     }
 

@@ -90,11 +90,13 @@ pub fn run_checked(spec: CampaignSpec) -> CampaignOutcome {
     if let Ok(path) = std::env::var("SYSPLEX_SHRINK_REPORT") {
         let _ = std::fs::write(&path, shrunk.report());
     }
-    panic!(
-        "deterministic campaign failed (seed {:#x})\n{}\nre-run with: SYSPLEX_SEED={:#x} cargo test \
-         -p sysplex-harness --test campaigns",
-        spec.seed,
-        shrunk.report(),
-        spec.seed,
-    );
+    // The SYSPLEX_SEED replay path reconstructs the spec via `from_seed`,
+    // which only matches specs that actually came from it — a mutated
+    // corpus child must be replayed from the printed repro line instead.
+    let replay_hint = if spec == CampaignSpec::from_seed(spec.seed) {
+        format!("\nre-run with: SYSPLEX_SEED={:#x} cargo test --test campaigns", spec.seed)
+    } else {
+        "\nmutated spec: re-run by pasting the repro line above into a test".to_string()
+    };
+    panic!("deterministic campaign failed (seed {:#x})\n{}{replay_hint}", spec.seed, shrunk.report());
 }

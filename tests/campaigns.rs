@@ -8,14 +8,18 @@
 //! it with `SYSPLEX_SEED=<seed> cargo test --test campaigns`.
 
 use std::time::{Duration, Instant};
-use sysplex_harness::{run_checked, CampaignSpec, SplitMix64};
+use sysplex_harness::mutate::{add_fault, mutate_spec, MAX_FAULTS};
+use sysplex_harness::{
+    run_checked, CampaignSpec, CoverageMap, FaultPlan, SplitMix64, SweepConfig, SweepEngine,
+};
 
 /// Fixed corpus. The annotated seeds reproduced real bugs during
 /// development; the rest spread coverage across member counts, duplexing,
 /// and fault mixes. All must stay green forever.
 const REGRESSION_SEEDS: &[u64] = &[
-    0x51cc, // duplexed mirror writes misattributed to the facility ring
-    0xd0b1, // duplex failover while a structure-loss fault is pending
+    0x51cc,             // duplexed mirror writes misattributed to the facility ring
+    0xd0b1,             // duplex failover while a structure-loss fault is pending
+    0x15792635cdd1887b, // wind-down drain abandoned the backlog on an armed link fault (guided sweep find)
     0x1,
     0x2a,
     0x12d687,
@@ -47,40 +51,122 @@ fn acceptance_single_seed_reproduces_bit_for_bit() {
     assert_eq!(a.digest, b.digest);
 }
 
-/// Bounded randomized sweep. `SYSPLEX_SWEEP_MS` sets the time budget
-/// (default 2 s locally; CI runs 60 s); `SYSPLEX_SEED` replays exactly
-/// one seed instead. A failing seed is printed by the panic and can be
-/// pinned into `REGRESSION_SEEDS` once fixed.
+fn parse_u64(v: &str) -> u64 {
+    let v = v.trim();
+    match v.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    }
+    .unwrap_or_else(|_| panic!("{v} is not a u64"))
+}
+
+/// Bounded coverage-guided sweep through the [`SweepEngine`].
+/// `SYSPLEX_SWEEP_MS` sets the time budget (default 2 s locally; CI runs
+/// 60 s); `SYSPLEX_SWEEP_BASE_SEED` pins the engine's whole decision
+/// stream (fresh wall-clock entropy otherwise); `SYSPLEX_SEED` replays
+/// exactly one `from_seed` campaign instead. Every run prints its base
+/// seed as a copy-pasteable replay line, so a CI failure is reproducible
+/// from the log alone — and `run_checked` additionally prints the shrunk
+/// spec of the specific failing campaign.
 #[test]
 fn randomized_sweep_within_budget() {
     if let Ok(v) = std::env::var("SYSPLEX_SEED") {
-        let v = v.trim();
-        let seed = match v.strip_prefix("0x") {
-            Some(hex) => u64::from_str_radix(hex, 16),
-            None => v.parse(),
-        }
-        .unwrap_or_else(|_| panic!("SYSPLEX_SEED={v} is not a u64"));
+        let seed = parse_u64(&v);
         println!("replaying seed {seed:#x}");
         run_checked(CampaignSpec::from_seed(seed));
         return;
     }
     let budget_ms: u64 = std::env::var("SYSPLEX_SWEEP_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(2_000);
-    // Fresh entropy each run: the corpus covers the fixed seeds, the
-    // sweep's job is to explore. The panic message names any bad seed.
-    let entropy = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_nanos() as u64)
-        .unwrap_or(0);
-    println!("sweep entropy {entropy:#x}, budget {budget_ms} ms");
-    let mut rng = SplitMix64::new(entropy);
+    // The engine is fully deterministic given the base seed: the same
+    // base replays the same spec stream (fresh draws and mutants alike)
+    // until the budget cuts it off.
+    let base_seed = std::env::var("SYSPLEX_SWEEP_BASE_SEED").map(|v| parse_u64(&v)).unwrap_or_else(|_| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0)
+    });
+    println!(
+        "sweep base seed {base_seed:#x}, budget {budget_ms} ms — replay with \
+         SYSPLEX_SWEEP_BASE_SEED={base_seed:#x} SYSPLEX_SWEEP_MS={budget_ms} cargo test --test \
+         campaigns randomized_sweep"
+    );
+    let mut engine = SweepEngine::new(SweepConfig::guided(base_seed));
     let deadline = Instant::now() + Duration::from_millis(budget_ms);
-    let mut campaigns = 0u32;
     while Instant::now() < deadline {
-        run_checked(CampaignSpec::from_seed(rng.next_u64()));
-        campaigns += 1;
+        let spec = engine.next_spec();
+        let outcome = run_checked(spec.clone());
+        engine.record(&spec, &CoverageMap::of(&outcome));
     }
-    println!("sweep: {campaigns} randomized campaigns, all invariants held");
-    assert!(campaigns > 0);
+    println!(
+        "sweep: {} campaigns, all invariants held; {} distinct coverage bits, corpus {}",
+        engine.campaigns(),
+        engine.coverage().count(),
+        engine.corpus().len()
+    );
+    assert!(engine.campaigns() > 0);
+}
+
+/// The coverage signal is as deterministic as the campaigns it observes:
+/// one seed always hashes to the same map, different seeds to different
+/// ones, and `merge`/`novel_bits` agree with `count`.
+#[test]
+fn coverage_map_is_deterministic_per_seed() {
+    let a = CoverageMap::of(&CampaignSpec::from_seed(0xC0DE).run());
+    let b = CoverageMap::of(&CampaignSpec::from_seed(0xC0DE).run());
+    assert_eq!(a.digest(), b.digest(), "same seed must produce an identical coverage map");
+    assert!(a.count() > 0, "a real campaign lights some coverage");
+
+    let c = CoverageMap::of(&CampaignSpec::from_seed(0xD1CE).run());
+    assert_ne!(a.digest(), c.digest(), "different seeds should light different coverage");
+
+    let mut merged = CoverageMap::new();
+    assert_eq!(merged.merge(&a), a.count());
+    assert_eq!(merged.merge(&a), 0, "re-merging the same map adds nothing");
+    let expected_novel = merged.novel_bits(&c);
+    assert!(expected_novel > 0);
+    assert_eq!(merged.merge(&c), expected_novel, "novel_bits must predict what merge admits");
+}
+
+/// Mutator soundness: every mutated plan round-trips through its printed
+/// builder-chain form, and mutated specs — including the empty-plan and
+/// max-length extremes — run without panicking.
+#[test]
+fn mutated_plans_round_trip_and_run() {
+    let mut rng = SplitMix64::new(0x5EED_50DA);
+    for i in 0..200 {
+        let parent = CampaignSpec::from_seed(rng.next_u64());
+        let donor = CampaignSpec::from_seed(rng.next_u64());
+        let child = mutate_spec(&mut rng, &parent, Some(&donor));
+        let printed = child.plan.to_string();
+        let parsed = FaultPlan::parse(&printed)
+            .unwrap_or_else(|e| panic!("round {i}: printed plan failed to parse ({e}): {printed}"));
+        assert_eq!(parsed.to_string(), printed, "round {i}: Display/parse round trip");
+        assert!(child.plan.len() <= MAX_FAULTS, "round {i}: mutation respects the fault cap");
+    }
+
+    // Shorter campaigns keep the property-run part of this test cheap;
+    // the faults all land inside the reduced horizon anyway.
+    let mut extremes = Vec::new();
+    let mut empty = CampaignSpec::from_seed(0xE3);
+    empty.steps = 150;
+    empty.plan = FaultPlan::new();
+    extremes.push(empty);
+    let mut maxed = CampaignSpec::from_seed(0xE4);
+    maxed.steps = 150;
+    while maxed.plan.len() < MAX_FAULTS {
+        maxed.plan = add_fault(&mut rng, &maxed.plan, 150, maxed.members);
+    }
+    extremes.push(maxed);
+    for _ in 0..6 {
+        let mut parent = CampaignSpec::from_seed(rng.next_u64());
+        parent.steps = 150;
+        let donor = extremes[0].clone();
+        extremes.push(mutate_spec(&mut rng, &parent, Some(&donor)));
+    }
+    for spec in extremes {
+        run_checked(spec);
+    }
 }
 
 /// The record table is sharded; whole-table enumerations (`retained_locks`,

@@ -41,6 +41,19 @@ fn thirty_two_members_share_one_database() {
     for h in handles {
         h.join().unwrap();
     }
+
+    // Snapshot lock counters after the storm: the storm proves volume,
+    // but its sync/async split is a host-scheduling artifact (on a
+    // starved single hardware thread nearly every grant legitimately
+    // contends). §3.3.1's claim — uncontended requests grant
+    // CPU-synchronously — is asserted over the single-threaded phase
+    // below, where it holds regardless of machine load.
+    let lock = group.lock_structure();
+    // (Most grants are IRLM-local; only escalations reach the CF, so the
+    // CF-level request count is load-dependent and small on a quiet box.)
+    let (req_storm, sync_storm) = (lock.stats.requests.get(), lock.stats.sync_grants.get());
+    assert!(req_storm > 0, "storm drove lock traffic to the CF");
+
     let auditor = &members[31];
     let counter = auditor
         .run(10, |db, txn| db.read(txn, 0))
@@ -65,9 +78,14 @@ fn thirty_two_members_share_one_database() {
     let rejoined = group.add_member(SystemId::new(7)).unwrap();
     rejoined.run(10, |db, txn| db.write(txn, 500, Some(b"rejoined"))).unwrap();
 
-    // The lock structure saw heavy synchronous traffic.
-    let rates = group.lock_structure().rates();
-    assert!(rates.sync_grant_fraction > 0.5, "sync rate {}", rates.sync_grant_fraction);
+    // The single-threaded phase (audit reads, recovery, rejoin) is
+    // uncontended, so its grants must be CPU-synchronous no matter how
+    // oversubscribed the host is.
+    let (req_quiet, sync_quiet) =
+        (lock.stats.requests.get() - req_storm, lock.stats.sync_grants.get() - sync_storm);
+    assert!(req_quiet > 0, "quiet phase issued lock requests");
+    let quiet_fraction = sync_quiet as f64 / req_quiet as f64;
+    assert!(quiet_fraction > 0.5, "uncontended sync rate {quiet_fraction} ({sync_quiet}/{req_quiet})");
 
     for m in group.members() {
         group.remove_member(m.system());
