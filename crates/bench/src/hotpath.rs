@@ -14,15 +14,30 @@
 //! entry space: every entry collision is **false contention** by
 //! construction (no two threads ever lock the same resource), which makes
 //! `false_contention_pct` an exact measurement, not an estimate.
+//!
+//! Two phases run through full per-thread IRLM instances instead of raw
+//! connections (DESIGN.md §13):
+//!
+//! * `regrant` — private resources locked and re-locked so the
+//!   local-interest fast path dominates; `regrant_local_ratio` measures
+//!   how many requests completed without any CF command.
+//! * `zipf-adaptive` — the contended Zipf mix on a deliberately tiny
+//!   table, with a [`LockResizePolicy`] controller growing the table
+//!   *online* (quiesced rebuild under live lock traffic) until the
+//!   false-contention rate falls under the §13 target.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 use sysplex_core::cache::{BlockName, CacheParams, WriteKind};
 use sysplex_core::facility::{CfConfig, CouplingFacility};
 use sysplex_core::list::{DequeueEnd, ListParams, LockCondition, WritePosition};
 use sysplex_core::lock::{DisconnectMode, LockMode, LockParams};
-use sysplex_core::stats::HistogramSnapshot;
+use sysplex_core::stats::{Histogram, HistogramSnapshot};
 use sysplex_core::{CacheConnection, CommandClass, ListConnection, LockConnection, SystemId};
+use sysplex_db::irlm::{Irlm, LockOutcome, LockResizePolicy};
+use sysplex_services::timer::SysplexTimer;
+use sysplex_services::xcf::Xcf;
 use sysplex_workload::zipf::Zipf;
 
 /// Zipf skew for the contended phases (the classic θ ≈ 0.99 hot-spot mix).
@@ -38,6 +53,17 @@ const CONTENDED_HEADERS: usize = 8;
 const CONTENDED_BLOCKS: usize = 512;
 /// Per-thread private blocks in the uncontended cache phase.
 const PRIVATE_BLOCKS: usize = 256;
+/// Private resources per thread in the IRLM re-grant phase: enough to
+/// exercise the parked-interest table, few enough that after one warm
+/// pass every request hits the local fast path.
+const REGRANT_RESOURCES: usize = 64;
+/// Adaptive phase: grow the lock table while an interval's
+/// false-contention rate exceeds this fraction (half the 1% CI gate, so
+/// the policy converges with margin).
+const ADAPTIVE_FC_THRESHOLD: f64 = 0.005;
+/// Adaptive phase size ceiling — the same geometry as the big
+/// uncontended table.
+const ADAPTIVE_MAX_ENTRIES: usize = 65_536;
 
 /// Which structure model a phase exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +124,13 @@ pub struct PhaseResult {
     /// is false contention by construction (threads never share a
     /// resource name). Zero for list/cache phases.
     pub false_contention_pct: f64,
+    /// Commands converted to asynchronous execution during the phase
+    /// (across the phase's classes). Instant links keep this at zero —
+    /// see [`HotpathReport::warnings`].
+    pub async_converted: u64,
+    /// IRLM phases: fraction of lock requests re-granted entirely locally
+    /// (no CF command). Zero for raw-connection and list/cache phases.
+    pub regrant_local_ratio: f64,
 }
 
 /// Facility-wide per-class totals for the end-of-run reconciliation.
@@ -133,6 +166,16 @@ pub struct HotpathReport {
     /// Uncontended lock throughput at the widest thread count over the
     /// single-thread figure.
     pub scaling_lock_uncontended: f64,
+    /// Uncontended lock round-trip p50 over a paper-model 100 MB/s
+    /// coupling link (~10 µs base command latency) — the cost a local
+    /// re-grant avoids. The main sweep runs instant links, which would
+    /// understate the avoided round trip to pure compute time, so this
+    /// is calibrated separately against [`LinkConfig::mb100`].
+    pub cf_mb100_roundtrip_p50_us: f64,
+    /// Calibrated CF lock round-trip p50 over the local re-grant p50 at
+    /// the widest thread count — how much the §13 fast path buys per
+    /// re-acquire.
+    pub regrant_p50_speedup: f64,
     /// Widest thread count swept.
     pub max_threads: usize,
     /// Per-class facility totals at end of run.
@@ -146,6 +189,7 @@ pub struct HotpathReport {
 struct ClassBaseline {
     issued: u64,
     sync: u64,
+    async_converted: u64,
     latency: HistogramSnapshot,
 }
 
@@ -155,9 +199,23 @@ fn phase_baseline(cf: &CouplingFacility, class: PhaseClass) -> Vec<ClassBaseline
         .iter()
         .map(|&c| {
             let cs = cf.command_stats().class(c);
-            ClassBaseline { issued: cs.issued.get(), sync: cs.sync.get(), latency: cs.latency.snapshot() }
+            ClassBaseline {
+                issued: cs.issued.get(),
+                sync: cs.sync.get(),
+                async_converted: cs.async_converted.get(),
+                latency: cs.latency.snapshot(),
+            }
         })
         .collect()
+}
+
+/// Phase-interval `async_converted` delta across the phase's classes.
+fn async_delta(cf: &CouplingFacility, class: PhaseClass, before: &[ClassBaseline]) -> u64 {
+    before
+        .iter()
+        .zip(class.classes())
+        .map(|(b, &c)| cf.command_stats().class(c).async_converted.get() - b.async_converted)
+        .sum()
 }
 
 /// Run one phase: `threads` workers, each executing `body(thread_index)`
@@ -298,6 +356,8 @@ impl Rig {
             p99_us: latency.quantile_ns(0.99) as f64 / 1_000.0,
             sync_grant_ratio,
             false_contention_pct,
+            async_converted: async_delta(&self.cf, class, before),
+            regrant_local_ratio: 0.0,
         }
     }
 
@@ -387,6 +447,211 @@ impl Rig {
         self.finish_phase(PhaseClass::Lock, "zipf", threads, elapsed, &before, Some(deltas))
     }
 
+    /// One IRLM per worker thread on a freshly allocated lock structure,
+    /// joined to a private XCF group so negotiation recalls flow.
+    fn start_irlms(&self, name: &str, entries: usize, threads: usize) -> (Vec<Arc<Irlm>>, Arc<Xcf>) {
+        self.cf.allocate_lock_structure(name, LockParams::with_entries(entries)).unwrap();
+        let xcf = Xcf::new(SysplexTimer::new());
+        let irlms = (0..threads)
+            .map(|t| {
+                Irlm::start(SystemId::new(t as u8), self.cf.connect_lock(name).unwrap(), &xcf).unwrap()
+            })
+            .collect();
+        (irlms, xcf)
+    }
+
+    /// Sum one [`IrlmStats`](sysplex_db::irlm::IrlmStats) view across a
+    /// member set: (requests, cf sync grants, local re-grants, false
+    /// contentions).
+    fn irlm_sums(irlms: &[Arc<Irlm>]) -> (u64, u64, u64, u64) {
+        irlms.iter().fold((0, 0, 0, 0), |acc, m| {
+            let s = &m.stats;
+            (
+                acc.0 + s.requests.get(),
+                acc.1 + s.grants_cf_sync.get(),
+                acc.2 + s.regrants_local.get(),
+                acc.3 + s.false_contentions.get(),
+            )
+        })
+    }
+
+    /// Local-interest re-grant phase (DESIGN.md §13): per-thread IRLMs,
+    /// per-thread private resources, lock/unlock in a tight loop. After
+    /// the first pass over the working set every unlock parks the CF
+    /// interest and every re-lock is a local re-grant — no CF command —
+    /// so the issuer-side p50 here against the uncontended phase's p50
+    /// is a direct fast-path-vs-CF-round-trip comparison.
+    fn lock_regrant(&self, threads: usize, ops: u64) -> PhaseResult {
+        let name = format!("HOTLOCK_R{threads}");
+        let (irlms, _xcf) = self.start_irlms(&name, 65_536, threads);
+        let before = phase_baseline(&self.cf, PhaseClass::Lock);
+        let latency = Histogram::new();
+        let elapsed = run_threads(threads, |t| {
+            let irlm = &irlms[t];
+            let txn = t as u64 + 1;
+            let resources: Vec<Vec<u8>> =
+                (0..REGRANT_RESOURCES).map(|i| format!("P{i:03}.T{t}").into_bytes()).collect();
+            for i in 0..ops {
+                let resource = &resources[i as usize % REGRANT_RESOURCES];
+                let start = Instant::now();
+                let outcome = irlm.lock(txn, resource, LockMode::Exclusive, false).unwrap();
+                latency.record(start.elapsed());
+                // Private resources essentially always grant; a negotiation
+                // timing out under hostile scheduling surfaces as Busy and
+                // is simply skipped rather than poisoning the run.
+                if outcome == LockOutcome::Granted {
+                    irlm.unlock(txn, resource).unwrap();
+                }
+            }
+        });
+        let (requests, cf_sync, regrants, false_contentions) = Self::irlm_sums(&irlms);
+        let async_converted = async_delta(&self.cf, PhaseClass::Lock, &before);
+        for i in &irlms {
+            i.shutdown();
+        }
+        let snap = latency.snapshot();
+        PhaseResult {
+            class: PhaseClass::Lock,
+            mode: "regrant",
+            threads,
+            ops: requests,
+            elapsed,
+            ops_per_s: requests as f64 / elapsed.as_secs_f64().max(1e-9),
+            p50_us: snap.quantile_ns(0.50) as f64 / 1_000.0,
+            p95_us: snap.quantile_ns(0.95) as f64 / 1_000.0,
+            p99_us: snap.quantile_ns(0.99) as f64 / 1_000.0,
+            sync_grant_ratio: ratio(cf_sync, requests),
+            false_contention_pct: pct(false_contentions, requests),
+            async_converted,
+            regrant_local_ratio: ratio(regrants, requests),
+        }
+    }
+
+    /// Adaptive-resize Zipf phase (DESIGN.md §13): the contended mix on a
+    /// deliberately tiny table, through IRLMs, while a controller thread
+    /// runs [`LockResizePolicy`] over the group's cumulative counters and
+    /// doubles the table *online* — a quiesced rebuild under live lock
+    /// traffic — whenever an interval's false-contention rate runs hot.
+    /// The first ~10% of each worker's ops are warmup (the growth phase);
+    /// measurement starts after a barrier, against post-warmup baselines.
+    fn lock_zipf_adaptive(&self, threads: usize, ops: u64) -> PhaseResult {
+        let name = format!("HOTLOCK_A{threads}");
+        let (irlms, _xcf) = self.start_irlms(&name, CONTENDED_LOCK_ENTRIES, threads);
+        let sub = self.cf.subchannel().with_system(SystemId::new(0)).for_structure_named(&name);
+        let before = phase_baseline(&self.cf, PhaseClass::Lock);
+        let latency = Histogram::new();
+        let warmup = (ops / 10).max(1);
+        let stop = AtomicBool::new(false);
+        // Two barriers bracket the warmup/measured boundary: `warm_a`
+        // proves every worker finished warmup (so the baseline snapshot
+        // is exact), `warm_b` releases the measured segment.
+        let warm_a = Barrier::new(threads + 1);
+        let warm_b = Barrier::new(threads + 1);
+        let (elapsed, base) = std::thread::scope(|scope| {
+            let irlms_ref = &irlms;
+            let stop_ref = &stop;
+            let controller = scope.spawn(|| {
+                let mut policy = LockResizePolicy::new(ADAPTIVE_FC_THRESHOLD, ADAPTIVE_MAX_ENTRIES);
+                let mut generation = 0u32;
+                let mut seen = 0u64;
+                while !stop_ref.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_micros(200));
+                    let (requests, _, _, false_contentions) = Self::irlm_sums(irlms_ref);
+                    // Request-driven intervals: on a slow or oversubscribed
+                    // host a fixed wall-clock tick can stay under the
+                    // policy's per-interval request floor forever, so wait
+                    // for enough traffic rather than enough time.
+                    if requests - seen < 512 {
+                        continue;
+                    }
+                    seen = requests;
+                    let current = irlms_ref[0].structure().entries();
+                    if let Some(grow_to) = policy.observe(requests, false_contentions, current) {
+                        generation += 1;
+                        let grown = self
+                            .cf
+                            .allocate_lock_structure(
+                                &format!("{name}_G{generation}"),
+                                LockParams::with_entries(grow_to),
+                            )
+                            .unwrap();
+                        Irlm::resize_all(irlms_ref, grown, &sub).unwrap();
+                    }
+                }
+            });
+            let workers: Vec<_> = (0..threads)
+                .map(|t| {
+                    let (latency, warm_a, warm_b) = (&latency, &warm_a, &warm_b);
+                    scope.spawn(move || {
+                        use rand::{rngs::StdRng, SeedableRng};
+                        let irlm = &irlms_ref[t];
+                        let txn = t as u64 + 1;
+                        let zipf = Zipf::new(CONTENDED_RESOURCES, ZIPF_THETA);
+                        let mut rng = StdRng::seed_from_u64(0xADA9_717E ^ t as u64);
+                        let resources: Vec<Vec<u8>> = (0..CONTENDED_RESOURCES)
+                            .map(|r| format!("R{r:04}.T{t}").into_bytes())
+                            .collect();
+                        let mut one = |measured: bool| {
+                            let resource = &resources[zipf.sample(&mut rng)];
+                            let start = Instant::now();
+                            let outcome = irlm.lock(txn, resource, LockMode::Exclusive, false).unwrap();
+                            if measured {
+                                latency.record(start.elapsed());
+                            }
+                            if outcome == LockOutcome::Granted {
+                                irlm.unlock(txn, resource).unwrap();
+                            }
+                        };
+                        for _ in 0..warmup {
+                            one(false);
+                        }
+                        warm_a.wait();
+                        warm_b.wait();
+                        for _ in 0..ops {
+                            one(true);
+                        }
+                    })
+                })
+                .collect();
+            warm_a.wait();
+            // All workers are parked at `warm_b`, warmup traffic fully
+            // quiesced: snapshot the measurement baselines now.
+            let base = Self::irlm_sums(irlms_ref);
+            let start = Instant::now();
+            warm_b.wait();
+            for w in workers {
+                w.join().expect("bench worker panicked");
+            }
+            let elapsed = start.elapsed();
+            stop.store(true, Ordering::Release);
+            controller.join().expect("resize controller panicked");
+            (elapsed, base)
+        });
+        let after = Self::irlm_sums(&irlms);
+        let (requests, cf_sync, regrants, false_contentions) =
+            (after.0 - base.0, after.1 - base.1, after.2 - base.2, after.3 - base.3);
+        let async_converted = async_delta(&self.cf, PhaseClass::Lock, &before);
+        for i in &irlms {
+            i.shutdown();
+        }
+        let snap = latency.snapshot();
+        PhaseResult {
+            class: PhaseClass::Lock,
+            mode: "zipf-adaptive",
+            threads,
+            ops: requests,
+            elapsed,
+            ops_per_s: requests as f64 / elapsed.as_secs_f64().max(1e-9),
+            p50_us: snap.quantile_ns(0.50) as f64 / 1_000.0,
+            p95_us: snap.quantile_ns(0.95) as f64 / 1_000.0,
+            p99_us: snap.quantile_ns(0.99) as f64 / 1_000.0,
+            sync_grant_ratio: ratio(cf_sync, requests),
+            false_contention_pct: pct(false_contentions, requests),
+            async_converted,
+            regrant_local_ratio: ratio(regrants, requests),
+        }
+    }
+
     /// Uncontended list phase: per-thread private header pairs.
     fn list_uncontended(&self, threads: usize, ops: u64) -> PhaseResult {
         let conns = self.list_conns(threads);
@@ -470,8 +735,31 @@ impl Rig {
     }
 }
 
-/// Run the full sweep: for each thread count, six phases (three structure
-/// models × {uncontended, zipf}).
+/// Measure the uncontended CF lock round-trip the §13 fast path avoids:
+/// a request/release pair over a paper-model 100 MB/s coupling link with
+/// its ~10 µs base command latency, issuer-observed. One short
+/// single-threaded loop is enough — the figure is dominated by the
+/// modeled link, not by host scheduling.
+fn calibrate_mb100_roundtrip() -> f64 {
+    use sysplex_core::link::LinkConfig;
+    let cf = CouplingFacility::new(CfConfig::named("CALCF").with_link(LinkConfig::mb100()));
+    cf.allocate_lock_structure("CALLOCK", LockParams::with_entries(1024)).unwrap();
+    let conn = cf.connect_lock("CALLOCK").unwrap();
+    let latency = Histogram::new();
+    for i in 0..512usize {
+        let entry = i % 1024;
+        let start = Instant::now();
+        assert!(conn.request_lock(entry, LockMode::Exclusive).unwrap().is_granted());
+        latency.record(start.elapsed());
+        conn.release_lock(entry).unwrap();
+    }
+    conn.detach(DisconnectMode::Normal).unwrap();
+    latency.snapshot().quantile_ns(0.50) as f64 / 1_000.0
+}
+
+/// Run the full sweep: for each thread count, eight phases (lock
+/// uncontended/zipf/regrant/zipf-adaptive, list and cache
+/// uncontended/zipf).
 pub fn run(ops_per_thread: u64, thread_counts: &[usize]) -> HotpathReport {
     assert!(!thread_counts.is_empty(), "need at least one thread count");
     let max_threads = *thread_counts.iter().max().unwrap();
@@ -480,6 +768,8 @@ pub fn run(ops_per_thread: u64, thread_counts: &[usize]) -> HotpathReport {
     for &threads in thread_counts {
         phases.push(rig.lock_uncontended(threads, ops_per_thread));
         phases.push(rig.lock_contended(threads, ops_per_thread));
+        phases.push(rig.lock_regrant(threads, ops_per_thread));
+        phases.push(rig.lock_zipf_adaptive(threads, ops_per_thread));
         phases.push(rig.list_uncontended(threads, ops_per_thread));
         phases.push(rig.list_contended(threads, ops_per_thread, max_threads));
         phases.push(rig.cache_uncontended(threads, ops_per_thread));
@@ -497,6 +787,15 @@ pub fn run(ops_per_thread: u64, thread_counts: &[usize]) -> HotpathReport {
         .map(|p| p.ops_per_s)
         .unwrap_or(0.0);
     let scaling_lock_uncontended = if base > 0.0 { widest / base } else { 0.0 };
+
+    let cf_mb100_roundtrip_p50_us = calibrate_mb100_roundtrip();
+    let regrant_p50 = phases
+        .iter()
+        .find(|p| p.class == PhaseClass::Lock && p.mode == "regrant" && p.threads == max_threads)
+        .map(|p| p.p50_us)
+        .unwrap_or(0.0);
+    let regrant_p50_speedup =
+        if regrant_p50 > 0.0 { cf_mb100_roundtrip_p50_us / regrant_p50 } else { 0.0 };
 
     let mut class_totals = Vec::new();
     let mut counters_reconciled = true;
@@ -524,6 +823,8 @@ pub fn run(ops_per_thread: u64, thread_counts: &[usize]) -> HotpathReport {
         thread_counts: thread_counts.to_vec(),
         phases,
         scaling_lock_uncontended,
+        cf_mb100_roundtrip_p50_us,
+        regrant_p50_speedup,
         max_threads,
         class_totals,
         counters_reconciled,
@@ -549,7 +850,8 @@ impl HotpathReport {
             out.push_str(&format!(
                 "    {{\"phase\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \"ops\": {}, \
                  \"elapsed_ms\": {:.3}, \"ops_per_s\": {:.1}, \"p50_us\": {:.2}, \"p95_us\": {:.2}, \
-                 \"p99_us\": {:.2}, \"sync_grant_ratio\": {:.4}, \"false_contention_pct\": {:.2}}}{}\n",
+                 \"p99_us\": {:.2}, \"sync_grant_ratio\": {:.4}, \"false_contention_pct\": {:.2}, \
+                 \"async_converted\": {}, \"regrant_local_ratio\": {:.4}}}{}\n",
                 p.class.name(),
                 p.mode,
                 p.threads,
@@ -561,12 +863,19 @@ impl HotpathReport {
                 p.p99_us,
                 p.sync_grant_ratio,
                 p.false_contention_pct,
+                p.async_converted,
+                p.regrant_local_ratio,
                 if i + 1 == self.phases.len() { "" } else { "," }
             ));
         }
         out.push_str("  ],\n");
         out.push_str("  \"scaling\": {\n");
         out.push_str(&format!("    \"lock_uncontended_max_vs_1\": {:.3},\n", self.scaling_lock_uncontended));
+        out.push_str(&format!(
+            "    \"cf_mb100_roundtrip_p50_us\": {:.2},\n",
+            self.cf_mb100_roundtrip_p50_us
+        ));
+        out.push_str(&format!("    \"regrant_p50_speedup\": {:.2},\n", self.regrant_p50_speedup));
         out.push_str(&format!("    \"max_threads\": {}\n", self.max_threads));
         out.push_str("  },\n");
         out.push_str("  \"command_classes\": [\n");
@@ -588,6 +897,29 @@ impl HotpathReport {
         out
     }
 
+    /// Conditions worth flagging next to the report. Today there is one:
+    /// zero `async_converted` across the lock command classes means the
+    /// sweep never exercised the CF's async-conversion path (expected
+    /// with instant links, but the reader should know the lock figures
+    /// carry no async component).
+    pub fn warnings(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let lock_async: u64 = self
+            .class_totals
+            .iter()
+            .filter(|t| t.class == CommandClass::LockRequest.name() || t.class == CommandClass::LockRelease.name())
+            .map(|t| t.async_converted)
+            .sum();
+        if lock_async == 0 {
+            out.push(
+                "WARNING: async_converted = 0 across all lock commands — every lock command ran \
+                 CPU-synchronously (instant links), so this report exercises no async-conversion path"
+                    .to_string(),
+            );
+        }
+        out
+    }
+
     /// Human-readable table (the example prints this alongside the JSON).
     pub fn render_table(&self) -> String {
         let mut out = String::new();
@@ -596,12 +928,12 @@ impl HotpathReport {
             self.ops_per_thread, self.hw_threads
         ));
         out.push_str(&format!(
-            "{:<6} {:<12} {:>3}  {:>12} {:>9} {:>9} {:>9} {:>7} {:>7}\n",
-            "class", "mode", "T", "ops/s", "p50 µs", "p95 µs", "p99 µs", "sync", "false%"
+            "{:<6} {:<13} {:>3}  {:>12} {:>9} {:>9} {:>9} {:>7} {:>7} {:>7}\n",
+            "class", "mode", "T", "ops/s", "p50 µs", "p95 µs", "p99 µs", "sync", "false%", "regr%"
         ));
         for p in &self.phases {
             out.push_str(&format!(
-                "{:<6} {:<12} {:>3}  {:>12.0} {:>9.2} {:>9.2} {:>9.2} {:>6.1}% {:>6.2}%\n",
+                "{:<6} {:<13} {:>3}  {:>12.0} {:>9.2} {:>9.2} {:>9.2} {:>6.1}% {:>6.2}% {:>6.1}%\n",
                 p.class.name(),
                 p.mode,
                 p.threads,
@@ -610,13 +942,24 @@ impl HotpathReport {
                 p.p95_us,
                 p.p99_us,
                 p.sync_grant_ratio * 100.0,
-                p.false_contention_pct
+                p.false_contention_pct,
+                p.regrant_local_ratio * 100.0
             ));
         }
         out.push_str(&format!(
-            "lock uncontended scaling {}T/{}T: {:.2}x; counters reconciled: {}\n",
-            self.max_threads, self.thread_counts[0], self.scaling_lock_uncontended, self.counters_reconciled
+            "lock uncontended scaling {}T/{}T: {:.2}x; regrant p50 vs mb100 CF round trip \
+             ({:.1} µs): {:.1}x; counters reconciled: {}\n",
+            self.max_threads,
+            self.thread_counts[0],
+            self.scaling_lock_uncontended,
+            self.cf_mb100_roundtrip_p50_us,
+            self.regrant_p50_speedup,
+            self.counters_reconciled
         ));
+        for w in self.warnings() {
+            out.push_str(&w);
+            out.push('\n');
+        }
         out
     }
 }
@@ -628,7 +971,7 @@ mod tests {
     #[test]
     fn small_sweep_reconciles_and_produces_schema_fields() {
         let report = run(200, &[1, 2]);
-        assert_eq!(report.phases.len(), 12, "6 phases per thread count");
+        assert_eq!(report.phases.len(), 16, "8 phases per thread count");
         assert!(report.counters_reconciled, "issued == sync + async_converted per class");
         for p in &report.phases {
             assert!(p.ops > 0, "every phase issues commands");
@@ -639,6 +982,16 @@ mod tests {
             assert!((p.sync_grant_ratio - 1.0).abs() < 1e-9, "uncontended grants are all synchronous");
             assert_eq!(p.false_contention_pct, 0.0);
         }
+        // The re-grant phase completes the bulk of its requests without
+        // any CF command: one warm pass over 64 resources, then 200 ops
+        // re-granted locally.
+        for p in report.phases.iter().filter(|p| p.mode == "regrant") {
+            assert!(
+                p.regrant_local_ratio > 0.5,
+                "re-grant phase must be dominated by local re-grants, got {}",
+                p.regrant_local_ratio
+            );
+        }
         let json = report.to_json();
         for key in [
             "\"report\": \"cf_hotpath\"",
@@ -646,13 +999,39 @@ mod tests {
             "\"hw_threads\"",
             "\"transport\": \"in-process\"",
             "\"phases\"",
+            "\"mode\": \"regrant\"",
+            "\"mode\": \"zipf-adaptive\"",
+            "\"async_converted\"",
+            "\"regrant_local_ratio\"",
             "\"scaling\"",
             "\"lock_uncontended_max_vs_1\"",
+            "\"cf_mb100_roundtrip_p50_us\"",
+            "\"regrant_p50_speedup\"",
             "\"command_classes\"",
             "\"counters_reconciled\": true",
         ] {
             assert!(json.contains(key), "JSON missing {key}");
         }
+        // The calibrated round trip carries the modeled ~10 µs link, so
+        // even a debug-build re-grant beats it.
+        assert!(
+            report.cf_mb100_roundtrip_p50_us >= 10.0,
+            "mb100 round trip must carry the modeled link latency, got {:.2} µs",
+            report.cf_mb100_roundtrip_p50_us
+        );
+        assert!(
+            report.regrant_p50_speedup > 1.0,
+            "local re-grant must beat the modeled CF round trip, got {:.2}x",
+            report.regrant_p50_speedup
+        );
+        // Satellite: instant links never async-convert, and the report
+        // must say so out loud rather than leave a silent zero.
+        let warnings = report.warnings();
+        assert!(
+            warnings.iter().any(|w| w.contains("async_converted = 0")),
+            "zero lock async conversions must surface a visible warning: {warnings:?}"
+        );
+        assert!(report.render_table().contains("WARNING"), "table output carries the warning");
     }
 
     #[test]

@@ -650,7 +650,7 @@ impl LockConnection {
                 conn: self.id.raw(),
                 exclusive: mode == LockMode::Exclusive,
             }),
-            Ok(LockResponse::Contention { holders, exclusive }) => {
+            Ok(LockResponse::Contention { holders, exclusive, .. }) => {
                 self.sub.emit(TraceEvent::LockContend {
                     entry: entry as u64,
                     holders: *holders as u64,
@@ -672,16 +672,19 @@ impl LockConnection {
 
     /// Record `mode` interest after negotiating with `negotiated`; refused
     /// (`Ok(false)`) when a holder outside that set has appeared since the
-    /// contention response — see
+    /// contention response, or when the entry `generation` quoted by the
+    /// contention response has moved (a holder departed — possibly
+    /// re-acquiring — since the negotiation started) — see
     /// [`LockStructure::force_interest_negotiated`].
     pub fn force_interest_negotiated(
         &self,
         entry: usize,
         mode: LockMode,
         negotiated: crate::types::ConnMask,
+        generation: u16,
     ) -> CfResult<bool> {
         self.sub.issue_sync(CfCommand::new(CommandClass::LockRequest, LOCK_CMD_BYTES), || {
-            self.structure.force_interest_negotiated(self.id, entry, mode, negotiated)
+            self.structure.force_interest_negotiated(self.id, entry, mode, negotiated, generation)
         })
     }
 

@@ -72,6 +72,11 @@ pub enum LockResponse {
         holders: ConnMask,
         /// The exclusive holder, if the entry is held exclusively.
         exclusive: Option<ConnId>,
+        /// Entry generation at response time (bumped whenever interest
+        /// departs the entry). A negotiated interest write quotes it so
+        /// the CF can refuse a *stale* negotiation — one whose holder
+        /// released and re-acquired since, invalidating the verdict.
+        generation: u16,
     },
 }
 
@@ -123,6 +128,11 @@ pub struct LockRates {
 // Lock table entry packing (one AtomicU64):
 //   bits 0..=31   shared-interest mask, one bit per connector slot
 //   bits 32..=39  exclusive owner slot + 1 (0 = none)
+//   bits 40..=55  generation: bumped (mod 2^16) every time a connector's
+//                 interest *departs* the entry. Quoted in contention
+//                 responses and checked by negotiated interest writes, so
+//                 a departed-and-rejoined holder invalidates any
+//                 negotiation conducted against its earlier tenure.
 //   bit 63        NEGOTIATE: the entry's interest under-represents the real
 //                 resource-level locks (a forced-exclusive was recorded as
 //                 shared interest); every request with foreign interest
@@ -131,7 +141,20 @@ pub struct LockRates {
 const EXCL_SHIFT: u32 = 32;
 const EXCL_MASK: u64 = 0xFF << EXCL_SHIFT;
 const SHARE_MASK: u64 = 0xFFFF_FFFF;
+const GEN_SHIFT: u32 = 40;
+const GEN_MASK: u64 = 0xFFFF << GEN_SHIFT;
 const NEG_FLAG: u64 = 1 << 63;
+
+#[inline]
+fn gen_of(word: u64) -> u16 {
+    ((word & GEN_MASK) >> GEN_SHIFT) as u16
+}
+
+#[inline]
+fn bump_gen(word: u64) -> u64 {
+    let next = (gen_of(word) as u64).wrapping_add(1) & 0xFFFF;
+    (word & !GEN_MASK) | next << GEN_SHIFT
+}
 
 #[inline]
 fn excl_of(word: u64) -> Option<ConnId> {
@@ -324,7 +347,11 @@ impl LockStructure {
             // interest bits: any foreign interest forces negotiation.
             if cur & NEG_FLAG != 0 && holders != 0 {
                 self.stats.contentions.incr();
-                return Ok(LockResponse::Contention { holders, exclusive: foreign_excl });
+                return Ok(LockResponse::Contention {
+                    holders,
+                    exclusive: foreign_excl,
+                    generation: gen_of(cur),
+                });
             }
             let compatible = match mode {
                 LockMode::Shared => foreign_excl.is_none(),
@@ -334,14 +361,19 @@ impl LockStructure {
             let compatible = compatible || self.hooks.force_grant.load(Ordering::Relaxed);
             if !compatible {
                 self.stats.contentions.incr();
-                return Ok(LockResponse::Contention { holders, exclusive: foreign_excl });
+                return Ok(LockResponse::Contention {
+                    holders,
+                    exclusive: foreign_excl,
+                    generation: gen_of(cur),
+                });
             }
             // Sole interest (or precise state): representable exactly; the
             // NEGOTIATE flag (only possible here when holders == 0) drops.
+            // The generation survives — grants never bump it.
             let new = match mode {
                 LockMode::Shared => (cur & !NEG_FLAG) | me as u64,
                 LockMode::Exclusive => {
-                    (cur & SHARE_MASK & !NEG_FLAG) | ((conn.raw() as u64 + 1) << EXCL_SHIFT)
+                    (cur & (SHARE_MASK | GEN_MASK)) | ((conn.raw() as u64 + 1) << EXCL_SHIFT)
                 }
             };
             match slot.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
@@ -382,7 +414,7 @@ impl LockStructure {
             let others_share = share_of(cur) & !me;
             let new = match mode {
                 LockMode::Exclusive if foreign_excl.is_none() && others_share == 0 => {
-                    (cur & SHARE_MASK) | ((conn.raw() as u64 + 1) << EXCL_SHIFT)
+                    (cur & (SHARE_MASK | GEN_MASK)) | ((conn.raw() as u64 + 1) << EXCL_SHIFT)
                 }
                 LockMode::Exclusive => cur | me as u64 | NEG_FLAG,
                 LockMode::Shared => cur | me as u64,
@@ -399,13 +431,17 @@ impl LockStructure {
     /// the entry's holder set is still covered by `negotiated`, the set the
     /// requester actually negotiated with.
     ///
-    /// Returns `Ok(false)` without recording anything when a connector
-    /// *outside* the negotiated set has acquired interest since the
-    /// contention response: its grant may be a fresh synchronous exclusive
-    /// taken after an old holder released, and it never agreed to share.
-    /// The caller must renegotiate against the current holders. Departed
-    /// negotiated holders are fine — releases only shrink the conflict.
-    /// The check and the write are one CAS on the entry word, so a holder
+    /// Returns `Ok(false)` without recording anything in two cases. First,
+    /// when a connector *outside* the negotiated set has acquired interest
+    /// since the contention response: its grant may be a fresh synchronous
+    /// exclusive taken after an old holder released, and it never agreed to
+    /// share. Second, when the entry `generation` no longer matches the one
+    /// quoted in the contention response — some holder's interest departed
+    /// since, and a holder that released and *re-acquired* is
+    /// indistinguishable from one that held throughout, yet its fresh grant
+    /// (possibly a locally cached sole-exclusive) was never consulted. In
+    /// both cases the caller must renegotiate against the current holders.
+    /// The checks and the write are one CAS on the entry word, so a holder
     /// cannot slip in between them.
     pub fn force_interest_negotiated(
         &self,
@@ -413,6 +449,7 @@ impl LockStructure {
         entry: usize,
         mode: LockMode,
         negotiated: ConnMask,
+        generation: u16,
     ) -> CfResult<bool> {
         self.check_active(conn)?;
         if entry >= self.table.len() {
@@ -423,6 +460,9 @@ impl LockStructure {
         let me = conn.mask();
         let mut cur = slot.load(Ordering::Acquire);
         loop {
+            if gen_of(cur) != generation {
+                return Ok(false);
+            }
             let foreign_excl = excl_of(cur).filter(|&e| e != conn);
             let others_share = share_of(cur) & !me;
             let mut others = others_share;
@@ -434,7 +474,7 @@ impl LockStructure {
             }
             let new = match mode {
                 LockMode::Exclusive if foreign_excl.is_none() && others_share == 0 => {
-                    (cur & SHARE_MASK) | ((conn.raw() as u64 + 1) << EXCL_SHIFT)
+                    (cur & (SHARE_MASK | GEN_MASK)) | ((conn.raw() as u64 + 1) << EXCL_SHIFT)
                 }
                 LockMode::Exclusive => cur | me as u64 | NEG_FLAG,
                 LockMode::Shared => cur | me as u64,
@@ -471,13 +511,17 @@ impl LockStructure {
             if excl_of(cur) == Some(conn) {
                 new &= !EXCL_MASK;
             }
-            // Entry emptied: the NEGOTIATE flag (if any) has nothing left
-            // to protect.
-            if share_of(new) == 0 && excl_of(new).is_none() {
-                new = 0;
-            }
             if new == cur {
                 return;
+            }
+            // Interest departed: bump the generation so any negotiation
+            // conducted against the old holder set refuses instead of
+            // writing over a re-acquired (possibly locally cached) grant.
+            new = bump_gen(new);
+            // Entry emptied: the NEGOTIATE flag (if any) has nothing left
+            // to protect; the generation survives the emptying.
+            if share_of(new) == 0 && excl_of(new).is_none() {
+                new &= GEN_MASK;
             }
             match slot.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => return,
@@ -495,6 +539,32 @@ impl LockStructure {
     /// Whether the entry is in NEGOTIATE state (diagnostics / tests).
     pub fn is_negotiate(&self, entry: usize) -> bool {
         self.table[entry].load(Ordering::Acquire) & NEG_FLAG != 0
+    }
+
+    /// Current entry generation — the value a contention response would
+    /// quote right now (diagnostics / tests).
+    pub fn generation(&self, entry: usize) -> u16 {
+        gen_of(self.table[entry].load(Ordering::Acquire))
+    }
+
+    /// Per-system interest summary: sorted entry indexes in which `conn`
+    /// holds interest (shared bit set or exclusive ownership). Table scan,
+    /// ascending order — the resize audit compares this across the old and
+    /// new tables and the walk must be deterministic.
+    pub fn interest_entries(&self, conn: ConnId) -> Vec<usize> {
+        let me = conn.mask();
+        (0..self.table.len())
+            .filter(|&i| {
+                let cur = self.table[i].load(Ordering::Acquire);
+                share_of(cur) & me != 0 || excl_of(cur) == Some(conn)
+            })
+            .collect()
+    }
+
+    /// Number of entries in which `conn` holds interest (see
+    /// [`LockStructure::interest_entries`]).
+    pub fn interest_count(&self, conn: ConnId) -> usize {
+        self.interest_entries(conn).len()
     }
 
     // ----- record data (persistent locks) -----
@@ -711,7 +781,7 @@ mod tests {
         let b = s.connect().unwrap();
         assert!(s.request(a, 0, LockMode::Shared).unwrap().is_granted());
         match s.request(b, 0, LockMode::Exclusive).unwrap() {
-            LockResponse::Contention { holders, exclusive } => {
+            LockResponse::Contention { holders, exclusive, .. } => {
                 assert_eq!(holders, a.mask());
                 assert_eq!(exclusive, None);
             }
@@ -726,7 +796,7 @@ mod tests {
         let b = s.connect().unwrap();
         assert!(s.request(a, 5, LockMode::Exclusive).unwrap().is_granted());
         match s.request(b, 5, LockMode::Exclusive).unwrap() {
-            LockResponse::Contention { holders, exclusive } => {
+            LockResponse::Contention { holders, exclusive, .. } => {
                 assert_eq!(holders, a.mask());
                 assert_eq!(exclusive, Some(a));
             }
@@ -834,25 +904,57 @@ mod tests {
         // owner on the entry.
         assert!(s.request(a, 4, LockMode::Exclusive).unwrap().is_granted());
         let negotiated = a.mask();
+        let generation = s.generation(4);
         s.release(a, 4).unwrap();
         assert!(s.request(c, 4, LockMode::Exclusive).unwrap().is_granted());
-        assert!(!s.force_interest_negotiated(b, 4, LockMode::Exclusive, negotiated).unwrap());
+        assert!(!s.force_interest_negotiated(b, 4, LockMode::Exclusive, negotiated, generation).unwrap());
         assert_eq!(s.holders(4), (0, Some(c)), "refused write left the entry untouched");
 
-        // A *departed* negotiated holder is fine: releases only shrink the
-        // conflict, so the write goes through (taking true exclusive on
-        // the now-empty entry).
-        assert!(s.request(a, 7, LockMode::Exclusive).unwrap().is_granted());
-        s.release(a, 7).unwrap();
-        assert!(s.force_interest_negotiated(b, 7, LockMode::Exclusive, a.mask()).unwrap());
-        assert_eq!(s.holders(7), (0, Some(b)));
-
-        // Negotiated holders still present: recorded as shared + NEGOTIATE,
-        // exactly like the unconditional form.
+        // Negotiated holders still present (generation unchanged): recorded
+        // as shared + NEGOTIATE, exactly like the unconditional form.
         assert!(s.request(a, 11, LockMode::Exclusive).unwrap().is_granted());
-        assert!(s.force_interest_negotiated(b, 11, LockMode::Exclusive, a.mask()).unwrap());
+        let generation = s.generation(11);
+        assert!(s.force_interest_negotiated(b, 11, LockMode::Exclusive, a.mask(), generation).unwrap());
         assert!(s.is_negotiate(11));
         assert_eq!(s.holders(11), (b.mask(), Some(a)));
+    }
+
+    #[test]
+    fn negotiated_force_refuses_when_generation_moved() {
+        let s = structure(16);
+        let a = s.connect().unwrap();
+        let b = s.connect().unwrap();
+        // b's contention response named {a} at generation g. a then released
+        // and RE-ACQUIRED: the holder set looks identical, but a's fresh
+        // sole-exclusive grant (which a may now be serving from its local
+        // cache) was never part of b's negotiation. The departure bumped the
+        // generation, so the stale write must refuse.
+        assert!(s.request(a, 7, LockMode::Exclusive).unwrap().is_granted());
+        let g0 = s.generation(7);
+        s.release(a, 7).unwrap();
+        assert!(s.request(a, 7, LockMode::Exclusive).unwrap().is_granted());
+        assert_ne!(s.generation(7), g0, "departure bumps the generation");
+        assert!(!s.force_interest_negotiated(b, 7, LockMode::Exclusive, a.mask(), g0).unwrap());
+        assert_eq!(s.holders(7), (0, Some(a)), "a's re-acquired grant untouched");
+
+        // A *departed* holder likewise refuses now (the generation moved);
+        // the requester renegotiates and the fresh contention-free request
+        // is granted synchronously instead.
+        assert!(s.request(a, 9, LockMode::Exclusive).unwrap().is_granted());
+        let g1 = s.generation(9);
+        s.release(a, 9).unwrap();
+        assert!(!s.force_interest_negotiated(b, 9, LockMode::Exclusive, a.mask(), g1).unwrap());
+        assert!(s.request(b, 9, LockMode::Exclusive).unwrap().is_granted());
+
+        // Quoting the *current* generation succeeds while holders persist.
+        assert!(s.request(a, 12, LockMode::Exclusive).unwrap().is_granted());
+        match s.request(b, 12, LockMode::Exclusive).unwrap() {
+            LockResponse::Contention { generation, holders, .. } => {
+                assert_eq!(holders, a.mask());
+                assert!(s.force_interest_negotiated(b, 12, LockMode::Exclusive, holders, generation).unwrap());
+            }
+            other => panic!("expected contention, got {other:?}"),
+        }
     }
 
     #[test]
@@ -957,6 +1059,21 @@ mod tests {
         }
         let granted = handles.into_iter().map(|h| h.join().unwrap()).filter(|&g| g).count();
         assert_eq!(granted, 1, "exactly one racer wins the entry");
+    }
+
+    #[test]
+    fn interest_summary_walks_sorted_and_counts_both_modes() {
+        let s = structure(16);
+        let a = s.connect().unwrap();
+        let b = s.connect().unwrap();
+        s.request(a, 9, LockMode::Shared).unwrap();
+        s.request(a, 3, LockMode::Exclusive).unwrap();
+        s.request(b, 5, LockMode::Shared).unwrap();
+        assert_eq!(s.interest_entries(a), vec![3, 9]);
+        assert_eq!(s.interest_count(a), 2);
+        assert_eq!(s.interest_entries(b), vec![5]);
+        s.release(a, 3).unwrap();
+        assert_eq!(s.interest_entries(a), vec![9]);
     }
 
     #[test]

@@ -87,11 +87,20 @@ pub enum TraceKind {
     SessionPlace = 21,
     /// Lock interest released (entry-level, or all entries on detach).
     LockRelease = 22,
+    /// Lock re-granted from the local interest cache: the CF already
+    /// records this system's (sole) interest, so no command is issued.
+    LockLocalRegrant = 23,
+    /// Lock released locally but parked: CF interest retained so a
+    /// re-acquire can take the local fast path.
+    LockLazyRelease = 24,
+    /// Lock table rebuilt online into a larger entry count (adaptive
+    /// resize driven by the observed false-contention rate).
+    LockTableResize = 25,
 }
 
 impl TraceKind {
     /// Number of kinds (for per-kind counters).
-    pub const COUNT: usize = 23;
+    pub const COUNT: usize = 26;
 
     /// Stable wire/coverage id of this kind. These are the `#[repr(u8)]`
     /// discriminants, which double as the packed-slot encoding and the
@@ -127,6 +136,9 @@ impl TraceKind {
         TraceKind::WorkDispatch,
         TraceKind::SessionPlace,
         TraceKind::LockRelease,
+        TraceKind::LockLocalRegrant,
+        TraceKind::LockLazyRelease,
+        TraceKind::LockTableResize,
     ];
 
     /// Short mnemonic, IPCS-style.
@@ -155,6 +167,9 @@ impl TraceKind {
             TraceKind::WorkDispatch => "WRK-DISP",
             TraceKind::SessionPlace => "VTM-PLACE",
             TraceKind::LockRelease => "LCK-REL",
+            TraceKind::LockLocalRegrant => "LCK-REGR",
+            TraceKind::LockLazyRelease => "LCK-LAZY",
+            TraceKind::LockTableResize => "LCK-RESZ",
         }
     }
 }
@@ -314,6 +329,31 @@ pub enum TraceEvent {
         /// Raw id of the releasing (or recovered) connector.
         conn: u8,
     },
+    /// Lock re-granted entirely locally (cached sole interest; no CF
+    /// command issued).
+    LockLocalRegrant {
+        /// Lock-table entry index.
+        entry: u64,
+        /// Raw id of the re-granted connector.
+        conn: u8,
+        /// Whether the re-grant is exclusive.
+        exclusive: bool,
+    },
+    /// Lock released locally with CF interest retained (parked for a
+    /// future local re-grant).
+    LockLazyRelease {
+        /// Lock-table entry index.
+        entry: u64,
+        /// Raw id of the parking connector.
+        conn: u8,
+    },
+    /// Lock table grown online (quiesced rehash into a larger table).
+    LockTableResize {
+        /// Entry count before the resize.
+        from_entries: u64,
+        /// Entry count after the resize.
+        to_entries: u64,
+    },
 }
 
 impl TraceEvent {
@@ -343,6 +383,9 @@ impl TraceEvent {
             TraceEvent::WorkDispatch { .. } => TraceKind::WorkDispatch,
             TraceEvent::SessionPlace { .. } => TraceKind::SessionPlace,
             TraceEvent::LockRelease { .. } => TraceKind::LockRelease,
+            TraceEvent::LockLocalRegrant { .. } => TraceKind::LockLocalRegrant,
+            TraceEvent::LockLazyRelease { .. } => TraceKind::LockLazyRelease,
+            TraceEvent::LockTableResize { .. } => TraceKind::LockTableResize,
         }
     }
 
@@ -383,6 +426,13 @@ impl TraceEvent {
             TraceEvent::WorkDispatch { queue } => (TraceKind::WorkDispatch, queue, 0),
             TraceEvent::SessionPlace { target } => (TraceKind::SessionPlace, target as u64, 0),
             TraceEvent::LockRelease { entry, conn } => (TraceKind::LockRelease, entry, conn as u64),
+            TraceEvent::LockLocalRegrant { entry, conn, exclusive } => {
+                (TraceKind::LockLocalRegrant, entry, conn as u64 | (exclusive as u64) << 8)
+            }
+            TraceEvent::LockLazyRelease { entry, conn } => (TraceKind::LockLazyRelease, entry, conn as u64),
+            TraceEvent::LockTableResize { from_entries, to_entries } => {
+                (TraceKind::LockTableResize, from_entries, to_entries)
+            }
         }
     }
 
@@ -420,6 +470,11 @@ impl TraceEvent {
             20 => TraceEvent::WorkDispatch { queue: a },
             21 => TraceEvent::SessionPlace { target: a as u8 },
             22 => TraceEvent::LockRelease { entry: a, conn: b as u8 },
+            23 => {
+                TraceEvent::LockLocalRegrant { entry: a, conn: (b & 0xFF) as u8, exclusive: b >> 8 & 1 == 1 }
+            }
+            24 => TraceEvent::LockLazyRelease { entry: a, conn: b as u8 },
+            25 => TraceEvent::LockTableResize { from_entries: a, to_entries: b },
             _ => return None,
         })
     }
@@ -802,6 +857,9 @@ mod tests {
             (TraceKind::WorkDispatch, 20),
             (TraceKind::SessionPlace, 21),
             (TraceKind::LockRelease, 22),
+            (TraceKind::LockLocalRegrant, 23),
+            (TraceKind::LockLazyRelease, 24),
+            (TraceKind::LockTableResize, 25),
         ];
         for (kind, id) in pinned {
             assert_eq!(kind.id(), id, "{} renumbered", kind.name());
@@ -853,6 +911,9 @@ mod tests {
             TraceEvent::LockGrant { entry: 42, conn: 3, exclusive: true },
             TraceEvent::LockRelease { entry: 42, conn: 3 },
             TraceEvent::LockRelease { entry: u64::MAX, conn: 3 },
+            TraceEvent::LockLocalRegrant { entry: 42, conn: 3, exclusive: true },
+            TraceEvent::LockLazyRelease { entry: 42, conn: 3 },
+            TraceEvent::LockTableResize { from_entries: 64, to_entries: 256 },
         ];
         for e in events {
             t.emit(3, sid, e);

@@ -1522,10 +1522,11 @@ impl WireResponse {
                 w.put_u64(*v);
             }
             P::Lock(LockResponse::Granted) => w.put_u8(4),
-            P::Lock(LockResponse::Contention { holders, exclusive }) => {
+            P::Lock(LockResponse::Contention { holders, exclusive, generation }) => {
                 w.put_u8(5);
                 w.put_u32(*holders);
                 put_opt_conn(w, *exclusive);
+                w.put_u32(*generation as u32);
             }
             P::Holders { mask, exclusive } => {
                 w.put_u8(6);
@@ -1606,7 +1607,11 @@ impl WireResponse {
             2 => P::Bool(r.get_bool()?),
             3 => P::U64(r.get_u64()?),
             4 => P::Lock(LockResponse::Granted),
-            5 => P::Lock(LockResponse::Contention { holders: r.get_u32()?, exclusive: get_opt_conn(r)? }),
+            5 => P::Lock(LockResponse::Contention {
+                holders: r.get_u32()?,
+                exclusive: get_opt_conn(r)?,
+                generation: r.get_u32()? as u16,
+            }),
             6 => P::Holders { mask: r.get_u32()?, exclusive: get_opt_conn(r)? },
             7 => {
                 let n = r.get_u32()? as usize;
@@ -1966,6 +1971,7 @@ mod tests {
             WireResponse::Lock(LockResponse::Contention {
                 holders: 0b101,
                 exclusive: Some(ConnId::from_raw(2)),
+                generation: 41,
             }),
             WireResponse::Register(RegisterResult {
                 data: Some(Arc::new(vec![7; 64])),

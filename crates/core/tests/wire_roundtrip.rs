@@ -225,7 +225,11 @@ fn response_samples(h: u32, n: u64, sel: u8, data: &[u8], name: &str) -> Vec<Wir
         WireResponse::Bool(sel & 1 == 0),
         WireResponse::U64(n),
         WireResponse::Lock(LockResponse::Granted),
-        WireResponse::Lock(LockResponse::Contention { holders: h, exclusive: opt_conn(sel) }),
+        WireResponse::Lock(LockResponse::Contention {
+            holders: h,
+            exclusive: opt_conn(sel),
+            generation: (n & 0xFFFF) as u16,
+        }),
         WireResponse::Holders { mask: h, exclusive: opt_conn(sel) },
         WireResponse::Retained(vec![RetainedLock {
             resource: data.to_vec(),

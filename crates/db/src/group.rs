@@ -94,6 +94,10 @@ pub struct DataSharingGroup {
     pub store: Arc<PageStore>,
     /// Rebuild generation counter (names the replacement structures).
     generation: std::sync::atomic::AtomicU32,
+    /// Current lock-table entry count. Starts at the configured size and
+    /// grows with [`DataSharingGroup::resize_lock_table`]; rebuilds and
+    /// duplex secondaries allocate at this size, not the original one.
+    lock_entries: std::sync::atomic::AtomicUsize,
     /// Duplexed secondaries, when duplexing is enabled.
     secondary_lock: Mutex<Option<Arc<LockStructure>>>,
     secondary_cache: Mutex<Option<Arc<CacheStructure>>>,
@@ -117,6 +121,7 @@ impl DataSharingGroup {
             cf.allocate_cache_structure("DSG_GBP0", CacheParams::store_in(config.cache_entries))?;
         farm.add_volume("DSGDB01", config.pages, 4)?;
         let store = PageStore::new(Arc::clone(&farm), "DSGDB01", 1, config.pages);
+        let lock_entries = config.lock_entries;
         Ok(Arc::new(DataSharingGroup {
             config,
             farm,
@@ -128,6 +133,7 @@ impl DataSharingGroup {
             secondary_sub: Mutex::new(None),
             store,
             generation: std::sync::atomic::AtomicU32::new(0),
+            lock_entries: std::sync::atomic::AtomicUsize::new(lock_entries),
             secondary_lock: Mutex::new(None),
             secondary_cache: Mutex::new(None),
             members: Mutex::new(HashMap::new()),
@@ -247,7 +253,7 @@ impl DataSharingGroup {
         let members = self.members();
         let sec_lock = cf.allocate_lock_structure(
             &format!("DSG_LOCK1_DX{generation}"),
-            LockParams::with_entries(self.config.lock_entries),
+            LockParams::with_entries(self.lock_entries.load(std::sync::atomic::Ordering::Relaxed)),
         )?;
         let sec_cache = cf.allocate_cache_structure(
             &format!("DSG_GBP0_DX{generation}"),
@@ -302,7 +308,7 @@ impl DataSharingGroup {
         let members = self.members();
         let new_lock = cf.allocate_lock_structure(
             &format!("DSG_LOCK1_G{generation}"),
-            LockParams::with_entries(self.config.lock_entries),
+            LockParams::with_entries(self.lock_entries.load(std::sync::atomic::Ordering::Relaxed)),
         )?;
         let new_cache = cf.allocate_cache_structure(
             &format!("DSG_GBP0_G{generation}"),
@@ -321,6 +327,41 @@ impl DataSharingGroup {
             if let Some(fm) = conns.get_mut(&d.system()) {
                 fm.lock_conn = d.irlm().conn();
                 fm.cache_conn = d.buffers().conn_id();
+            }
+        }
+        Ok(())
+    }
+
+    /// Lock-table entry count of the structure currently in use.
+    pub fn lock_entries(&self) -> usize {
+        self.lock_entries.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Grow the CF lock table online (adaptive sizing against false
+    /// contention, §3.3.1): a quiesced group-wide rebuild into a fresh
+    /// structure with `new_entries` entries on `cf` — the hosting CF; a
+    /// resize does not migrate CFs — reusing the §3.3 rebuild machinery,
+    /// so every live lock and persistent record is rehashed against the
+    /// new geometry and nothing is lost or duplicated. Parked (lazily
+    /// released) interest is not re-created. Lock-structure duplexing is
+    /// dropped by the rebuild; re-enable it afterwards if desired.
+    pub fn resize_lock_table(&self, cf: &CouplingFacility, new_entries: usize) -> DbResult<()> {
+        let generation = self.generation.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        let members = self.members();
+        let new_lock = cf.allocate_lock_structure(
+            &format!("DSG_LOCK1_G{generation}"),
+            LockParams::with_entries(new_entries),
+        )?;
+        let new_sub = cf.subchannel();
+        let irlms: Vec<_> = members.iter().map(|d| Arc::clone(d.irlm())).collect();
+        Irlm::resize_all(&irlms, Arc::clone(&new_lock), &new_sub)?;
+        *self.lock_structure.write() = new_lock;
+        self.lock_entries.store(new_entries, std::sync::atomic::Ordering::Relaxed);
+        *self.secondary_lock.lock() = None;
+        let mut conns = self.conns.lock();
+        for d in &members {
+            if let Some(fm) = conns.get_mut(&d.system()) {
+                fm.lock_conn = d.irlm().conn();
             }
         }
         Ok(())
@@ -444,6 +485,60 @@ mod tests {
         let v = b.run(0, |db, txn| db.read(txn, 10)).unwrap();
         assert_eq!(v.unwrap(), b"committed");
         b.run(0, |db, txn| db.write(txn, 10, Some(b"post-recovery"))).unwrap();
+        g.remove_member(SystemId::new(1));
+    }
+
+    #[test]
+    fn lock_table_resize_preserves_held_and_retained_locks() {
+        use crate::irlm::LockOutcome;
+        use sysplex_core::lock::LockMode;
+        let cf = CouplingFacility::new(CfConfig::named("CF01"));
+        let farm = DasdFarm::new(IoModel::instant());
+        let timer = SysplexTimer::new();
+        let xcf = Xcf::new(Arc::clone(&timer));
+        let mut config = GroupConfig::default();
+        config.lock_entries = 64; // heavy collisions before the grow
+        config.db.lock_timeout = std::time::Duration::from_millis(100);
+        let g = DataSharingGroup::new(config, &cf, farm, timer, xcf).unwrap();
+        let a = g.add_member(SystemId::new(0)).unwrap();
+        let b = g.add_member(SystemId::new(1)).unwrap();
+        let (ia, ib) = (a.irlm(), b.irlm());
+        let resources: Vec<Vec<u8>> = (0..20).map(|k| format!("RES.{k:02}").into_bytes()).collect();
+        for (k, r) in resources.iter().enumerate() {
+            assert_eq!(ia.lock(1, r, LockMode::Exclusive, k % 2 == 0).unwrap(), LockOutcome::Granted);
+        }
+        // Parked interest (held-no-waiter) on top, to prove the quiesce
+        // rule: parked interest is surrendered by the resize, not carried.
+        ia.lock(2, b"PARKED.1", LockMode::Exclusive, false).unwrap();
+        ia.unlock(2, b"PARKED.1").unwrap();
+
+        g.resize_lock_table(&cf, 1024).unwrap();
+        assert_eq!(g.lock_entries(), 1024);
+        let s = g.lock_structure();
+        assert_eq!(s.entries(), 1024);
+
+        // No lost locks: every held resource still repels a foreign writer.
+        for r in &resources {
+            assert_eq!(ib.lock(9, r, LockMode::Exclusive, false).unwrap(), LockOutcome::Busy, "{r:?}");
+        }
+        // No duplicated or orphaned interest: a's entry set is exactly the
+        // rehash of its held resources (the parked entry is gone).
+        let mut expected: Vec<usize> = resources.iter().map(|r| s.hash_resource(r)).collect();
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(s.interest_entries(ia.conn()), expected);
+        // Persistent records carried over exactly (the 10 even-indexed).
+        assert_eq!(s.records_snapshot().len(), 10);
+        // Parked resource is free for the taking now.
+        assert_eq!(ib.lock(9, b"PARKED.1", LockMode::Exclusive, false).unwrap(), LockOutcome::Granted);
+
+        // And everything unwinds cleanly through the new structure.
+        ia.unlock_all(1).unwrap();
+        assert_eq!(s.records_snapshot().len(), 0);
+        for r in &resources {
+            assert_eq!(ib.lock(9, r, LockMode::Exclusive, false).unwrap(), LockOutcome::Granted, "{r:?}");
+        }
+        g.remove_member(SystemId::new(0));
         g.remove_member(SystemId::new(1));
     }
 

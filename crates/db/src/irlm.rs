@@ -30,7 +30,7 @@
 use crate::error::{DbError, DbResult};
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -71,6 +71,12 @@ pub struct IrlmStats {
     pub local_conflicts: Counter,
     /// Negotiation queries answered for peers.
     pub queries_served: Counter,
+    /// Re-granted from cached sole CF interest — no CF command at all.
+    pub regrants_local: Counter,
+    /// Last local hold released with CF interest parked, not released.
+    pub lazy_releases: Counter,
+    /// Cached or parked interest recalled by a peer's negotiation query.
+    pub recalls: Counter,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -114,18 +120,69 @@ impl ResourceHolders {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct EntryInterest {
     /// Distinct local resources hashing to this entry. CF interest in the
-    /// entry is released when this drops to zero.
+    /// entry is released when this drops to zero — unless the entry is
+    /// parked (lazy release).
     count: usize,
+    /// This system observed a sole-interest exclusive CF grant for the
+    /// entry and no peer has negotiated since. While set, re-grants
+    /// against the entry complete locally: any foreign acquisition must
+    /// negotiate with us first, and the recall clears the flag before the
+    /// reply goes out.
+    cached: bool,
+    /// `count == 0` but CF interest is retained so a re-acquire can take
+    /// the local fast path. Surrendered on recall or FIFO eviction.
+    parked: bool,
 }
+
+/// Cap on parked (lazily released) entries per IRLM. Eviction is FIFO so
+/// replayed runs surrender the same victims in the same order.
+const PARK_CAP: usize = 1024;
 
 #[derive(Debug, Default)]
 struct LocalState {
     resources: HashMap<Vec<u8>, ResourceHolders>,
     entries: HashMap<usize, EntryInterest>,
+    /// FIFO of parked entry indexes. May hold stale positions for entries
+    /// re-granted since parking; eviction skips them (`parked` is the
+    /// source of truth, `parked_live` the live count).
+    parked: VecDeque<usize>,
+    parked_live: usize,
+    /// Entries with a phase-2 CF request in flight. A recall must not
+    /// surrender such an entry: the requester may be granted on its own
+    /// retained interest and a concurrent release would wipe the grant.
+    inflight: HashMap<usize, u32>,
+    /// Entries where a phase-2 request is *inside the grant window*: the
+    /// CF command is executing, or it succeeded and phase 3 has not yet
+    /// recorded the grant locally. A peer's negotiation query in this
+    /// window must report conflict — the resource scan cannot see the
+    /// pending grant, and answering "no conflict" would let the peer's
+    /// negotiated write bypass it (dual exclusive holders, lost update).
+    /// Kept separate from `inflight`: the whole negotiate loop is slow
+    /// (XCF round trips, backoff) and reporting conflict for all of it
+    /// starves wide member groups; the grant window is microseconds.
+    critical: HashMap<usize, u32>,
+    /// Bumped by every peer negotiation query. A CF grant caches its
+    /// entry only when no recall intervened since the request started —
+    /// a query racing phase 2/3 might concern interest we are about to
+    /// record, and its recall must win.
+    recall_seq: u64,
+    /// Hash classes a peer recently negotiated on: inter-system interest
+    /// exists there, so sole-interest caching would only bounce — every
+    /// grant parks at unlock and forces the next peer through a recall
+    /// round trip, and on a hot shared class the whole group degenerates
+    /// into negotiation storms. A queried entry skips the cached fast
+    /// path for its next [`RECALL_COOLDOWN`] CF grants (refreshed by
+    /// further queries); genuinely local classes are never queried and
+    /// keep caching.
+    cool: HashMap<usize, u32>,
 }
+
+/// CF grants on a recalled hash class that must complete before the
+/// class may be cached (and hence parked) again.
+const RECALL_COOLDOWN: u32 = 8;
 
 const MSG_QUERY: u8 = 0x01;
 const MSG_REPLY: u8 = 0x02;
@@ -189,6 +246,80 @@ impl CfTarget {
                 let _ = sec.release_lock(entry);
             }
         }
+    }
+}
+
+/// Clears a phase-2 in-flight registration on every exit path of
+/// `lock_inner` (grant, busy, renegotiation exhaustion, CF error).
+struct InflightGuard<'a> {
+    irlm: &'a Irlm,
+    entry: usize,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        let mut local = self.irlm.local.lock();
+        if let Some(n) = local.inflight.get_mut(&self.entry) {
+            *n -= 1;
+            if *n == 0 {
+                local.inflight.remove(&self.entry);
+            }
+        }
+    }
+}
+
+/// Marks the grant window (CF command in flight, or granted at the CF but
+/// not yet recorded locally) in `LocalState::critical`. Entered just
+/// before each CF interest write and exited either on a failed attempt or
+/// — for the winning attempt — under the same latch acquisition that
+/// records the grant, so a peer's negotiation query can never observe the
+/// granted-but-unrecorded gap.
+struct CriticalGuard<'a> {
+    irlm: &'a Irlm,
+    entry: usize,
+    entered: bool,
+}
+
+impl<'a> CriticalGuard<'a> {
+    fn new(irlm: &'a Irlm, entry: usize) -> Self {
+        CriticalGuard { irlm, entry, entered: false }
+    }
+
+    fn enter(&mut self) {
+        if !self.entered {
+            *self.irlm.local.lock().critical.entry(self.entry).or_insert(0) += 1;
+            self.entered = true;
+        }
+    }
+
+    fn exit(&mut self) {
+        if self.entered {
+            Self::clear(&mut self.irlm.local.lock(), self.entry);
+            self.entered = false;
+        }
+    }
+
+    /// Exit under an already-held latch (the grant-recording acquisition).
+    fn exit_in(&mut self, local: &mut LocalState) {
+        if self.entered {
+            Self::clear(local, self.entry);
+            self.entered = false;
+        }
+    }
+
+    fn clear(local: &mut LocalState, entry: usize) {
+        if let Some(n) = local.critical.get_mut(&entry) {
+            *n -= 1;
+            if *n == 0 {
+                local.critical.remove(&entry);
+            }
+        }
+    }
+}
+
+impl Drop for CriticalGuard<'_> {
+    fn drop(&mut self) {
+        self.exit();
     }
 }
 
@@ -294,13 +425,75 @@ impl Irlm {
                 let req_id = u64::from_be_bytes(payload[1..9].try_into().unwrap());
                 let mode = if payload[9] == 1 { LockMode::Exclusive } else { LockMode::Shared };
                 let resource = &payload[10..];
-                let conflict = self
-                    .local
-                    .lock()
-                    .resources
-                    .get(resource)
-                    .map(|r| r.conflicts_with_peer(mode))
-                    .unwrap_or(false);
+                // A peer negotiating on this hash class is about to gain
+                // foreign interest: recall our cached fast path for the
+                // entry — and surrender parked interest — *before* the
+                // reply releases the peer, so a local re-grant can never
+                // race the peer's negotiated write. `try_read` keeps the
+                // service thread from blocking against a rebuild writer;
+                // a rebuild rebuilds the cache away anyway.
+                let conflict = {
+                    let cf = self.cf.try_read();
+                    let mut local = self.local.lock();
+                    local.recall_seq += 1;
+                    // A request of our own inside the grant window — CF
+                    // interest written (or being written) but the grant
+                    // not yet in `resources` — is invisible to the
+                    // resource scan below. Answering "no conflict" there
+                    // would let the peer's negotiated write bypass our
+                    // granted lock — both sides exclusive, lost update.
+                    // `critical` covers exactly that window (and only it;
+                    // a member merely negotiating must not read as a
+                    // conflict), so report conflict and make the peer
+                    // retry against our settled state instead.
+                    let critical_here = match &cf {
+                        Some(cf) => {
+                            let entry = cf.conn.hash_resource(resource);
+                            let state = &mut *local;
+                            let critical_here = state.critical.contains_key(&entry);
+                            state.cool.insert(entry, RECALL_COOLDOWN);
+                            let surrender = match state.entries.get_mut(&entry) {
+                                Some(e) => {
+                                    if e.cached || e.parked {
+                                        self.stats.recalls.incr();
+                                    }
+                                    e.cached = false;
+                                    e.parked
+                                        && e.count == 0
+                                        && !state.inflight.contains_key(&entry)
+                                }
+                                None => false,
+                            };
+                            if surrender {
+                                // Release under the local latch: a racing
+                                // requester must observe either the parked
+                                // entry or the released one, never both.
+                                state.entries.remove(&entry);
+                                state.parked_live -= 1;
+                                let _ = cf.conn.release_lock(entry);
+                                if let Some(sec) = &cf.secondary {
+                                    let _ = sec.release_lock(entry);
+                                }
+                            }
+                            critical_here
+                        }
+                        None => {
+                            // Rebuild in progress: geometry unknown, so
+                            // conservatively drop every cached flag and
+                            // treat any grant-window request as a conflict.
+                            for e in local.entries.values_mut() {
+                                e.cached = false;
+                            }
+                            !local.critical.is_empty()
+                        }
+                    };
+                    critical_here
+                        || local
+                            .resources
+                            .get(resource)
+                            .map(|r| r.conflicts_with_peer(mode))
+                            .unwrap_or(false)
+                };
                 self.stats.queries_served.incr();
                 let _ = self.member.send_to(from, &encode_reply(req_id, conflict));
             }
@@ -406,8 +599,11 @@ impl Irlm {
         // command) only when this system *already holds the same resource*
         // in a covering way: negotiation soundness guarantees no foreign
         // system can then hold a conflicting mode on it. Entry-level
-        // shortcuts would be unsound — the entry's interest bits
-        // over-approximate foreign resource locks.
+        // shortcuts are sound in exactly one case — the `cached` fast
+        // path below, where a sole-interest exclusive CF grant proved no
+        // foreign interest exists and every foreign acquisition since
+        // would have recalled the flag before completing.
+        let recall_snapshot;
         {
             let mut local = self.local.lock();
             if let Some(rh) = local.resources.get(resource) {
@@ -429,7 +625,34 @@ impl Irlm {
                     return Ok(LockOutcome::Granted);
                 }
             }
+            // Local-interest re-grant fast path: the CF hash slot records
+            // only this system's (exclusive) interest — new resources,
+            // upgrades, and re-acquires of parked locks in the hash class
+            // complete with no CF command. Local compatibility was checked
+            // above; a resource absent from the local table has no holders.
+            if local.entries.get(&entry).is_some_and(|e| e.cached) {
+                self.record_grant(&mut local, txn, resource, entry, mode, persistent);
+                self.stats.regrants_local.incr();
+                cf.conn.subchannel().emit(sysplex_core::trace::TraceEvent::LockLocalRegrant {
+                    entry: entry as u64,
+                    conn: cf.conn.conn_id().raw(),
+                    exclusive: mode == LockMode::Exclusive,
+                });
+                if persistent {
+                    drop(local);
+                    cf.conn.write_lock_record(resource, mode, &txn.to_be_bytes())?;
+                    cf.mirror_record(resource, mode, txn);
+                }
+                return Ok(LockOutcome::Granted);
+            }
+            // Going to the CF: register the entry as in-flight so a
+            // concurrent recall cannot surrender retained interest our
+            // request may be granted on, and snapshot the recall sequence
+            // so a grant only caches when no recall raced it.
+            *local.inflight.entry(entry).or_insert(0) += 1;
+            recall_snapshot = local.recall_seq;
         }
+        let _inflight = InflightGuard { irlm: self, entry };
 
         // Phase 2: CF command (local latch released — the service thread
         // must be able to answer our peers' queries while we negotiate).
@@ -442,14 +665,28 @@ impl Irlm {
         // we eventually report Busy and let the caller's retry loop pace
         // us instead of spinning here.
         let mut renegotiations = 4u32;
+        let mut cacheable = false;
+        // The grant window — each CF interest write, and a successful
+        // write until phase 3 records it — is marked `critical` so the
+        // service thread reports conflict for the entry while our grant
+        // is invisible to its resource scan. Failed attempts exit the
+        // window immediately: negotiation itself must not read as a
+        // conflict or a wide member group storms itself into timeouts.
+        let mut critical = CriticalGuard::new(self, entry);
         loop {
+            critical.enter();
             match cf.conn.request_lock(entry, mode)? {
                 LockResponse::Granted => {
                     self.stats.grants_cf_sync.incr();
                     cf.mirror_grant(entry, mode);
+                    // A synchronous exclusive grant proves zero foreign
+                    // interest in the entry at this instant — the only
+                    // state the local fast path may be built on.
+                    cacheable = mode == LockMode::Exclusive;
                     break;
                 }
-                LockResponse::Contention { holders, .. } => {
+                LockResponse::Contention { holders, generation, .. } => {
+                    critical.exit();
                     self.stats.contentions.incr();
                     if !self.negotiate(&cf, holders, resource, mode, ignore)? {
                         self.stats.real_conflicts.incr();
@@ -460,10 +697,16 @@ impl Irlm {
                         entry: entry as u64,
                         holders: holders as u64,
                     });
-                    if cf.conn.force_interest_negotiated(entry, mode, holders)? {
+                    // Quote the contention-time generation: if any holder's
+                    // interest departed while we negotiated (it may have
+                    // re-acquired — and locally cached — the entry since),
+                    // the write refuses and we renegotiate fresh.
+                    critical.enter();
+                    if cf.conn.force_interest_negotiated(entry, mode, holders, generation)? {
                         cf.mirror_grant(entry, mode);
                         break;
                     }
+                    critical.exit();
                     if renegotiations == 0 {
                         return Ok(LockOutcome::Busy);
                     }
@@ -472,17 +715,45 @@ impl Irlm {
             }
         }
 
-        // Phase 3: re-validate locally and record the grant.
+        // Phase 3: re-validate locally and record the grant. The critical
+        // marker clears under the same latch acquisition that records the
+        // grant: from a peer's perspective the entry goes conflict-by-
+        // critical to conflict-by-resource with no observable gap.
         {
             let mut local = self.local.lock();
             if let Some(rh) = local.resources.get(resource) {
                 if !rh.compatible_for(txn, mode) {
                     // A sibling transaction on this system won the race.
+                    // Our CF interest stays: the sibling's hold needs it,
+                    // and the resource scan now covers the entry.
+                    critical.exit_in(&mut local);
                     self.stats.local_conflicts.incr();
                     return Ok(LockOutcome::Busy);
                 }
             }
             self.record_grant(&mut local, txn, resource, entry, mode, persistent);
+            critical.exit_in(&mut local);
+            if cacheable && local.recall_seq == recall_snapshot {
+                let state = &mut *local;
+                // A hash class with recent inter-system interest is not
+                // worth caching: parking it would just trigger another
+                // recall. Burn one cooldown credit instead.
+                let cooling = match state.cool.get_mut(&entry) {
+                    Some(n) => {
+                        *n -= 1;
+                        if *n == 0 {
+                            state.cool.remove(&entry);
+                        }
+                        true
+                    }
+                    None => false,
+                };
+                if !cooling {
+                    if let Some(e) = state.entries.get_mut(&entry) {
+                        e.cached = true;
+                    }
+                }
+            }
         }
         if persistent {
             cf.conn.write_lock_record(resource, mode, &txn.to_be_bytes())?;
@@ -508,9 +779,16 @@ impl Irlm {
             h.mode = LockMode::Exclusive;
         }
         h.persistent |= persistent;
-        let e = local.entries.entry(entry).or_insert(EntryInterest { count: 0 });
+        let state = &mut *local;
+        let e = state.entries.entry(entry).or_default();
         if is_new_resource {
             e.count += 1;
+        }
+        // A parked entry is live again; its FIFO position goes stale and
+        // eviction will skip it.
+        if e.parked && e.count > 0 {
+            e.parked = false;
+            state.parked_live -= 1;
         }
     }
 
@@ -553,26 +831,85 @@ impl Irlm {
     }
 
     /// Release `txn`'s hold on `resource`.
+    ///
+    /// The last local hold on a *cached* entry is released lazily: CF
+    /// interest is parked so a re-acquire in the hash class stays a local
+    /// re-grant, and the interest is surrendered only on a peer's recall
+    /// or FIFO eviction past [`PARK_CAP`].
     pub fn unlock(&self, txn: u64, resource: &[u8]) -> DbResult<()> {
         let cf = self.cf.read();
         let entry = cf.conn.hash_resource(resource);
-        let (release_cf, had_record) = {
+        let had_record = {
             let mut local = self.local.lock();
-            let Some(rh) = local.resources.get_mut(resource) else { return Ok(()) };
+            let state = &mut *local;
+            let Some(rh) = state.resources.get_mut(resource) else { return Ok(()) };
             let Some(h) = rh.holders.remove(&txn) else { return Ok(()) };
             let had_record = h.persistent;
-            let mut release_cf = false;
+            let mut parked = false;
             if rh.holders.is_empty() {
-                local.resources.remove(resource);
-                if let Some(e) = local.entries.get_mut(&entry) {
+                state.resources.remove(resource);
+                if let Some(e) = state.entries.get_mut(&entry) {
                     e.count -= 1;
                     if e.count == 0 {
-                        local.entries.remove(&entry);
-                        release_cf = true;
+                        // A sibling request in phase 2/3 may already have
+                        // written CF interest for this entry that it has
+                        // not yet recorded locally; releasing the entry
+                        // here would yank that interest out from under the
+                        // grant and let a peer acquire a conflicting lock.
+                        // Park instead — the recall/eviction machinery
+                        // surrenders the interest once nothing is in
+                        // flight.
+                        if e.cached || state.inflight.contains_key(&entry) {
+                            e.parked = true;
+                            state.parked_live += 1;
+                            state.parked.push_back(entry);
+                            parked = true;
+                        } else {
+                            state.entries.remove(&entry);
+                            // Release under the local latch (as surrender
+                            // and eviction do): a racing requester must
+                            // observe either our live interest or the
+                            // released entry — never have its phase-2
+                            // interest revoked after the fact.
+                            cf.conn.release_lock(entry)?;
+                            if let Some(sec) = &cf.secondary {
+                                let _ = sec.release_lock(entry);
+                            }
+                        }
                     }
                 }
             }
-            (release_cf, had_record)
+            if parked {
+                self.stats.lazy_releases.incr();
+                cf.conn.subchannel().emit(sysplex_core::trace::TraceEvent::LockLazyRelease {
+                    entry: entry as u64,
+                    conn: cf.conn.conn_id().raw(),
+                });
+                // Evict FIFO past the cap, skipping stale positions; an
+                // in-flight victim rotates to the back. Still under the
+                // local latch so eviction cannot race a re-grant.
+                let mut budget = state.parked.len();
+                while state.parked_live > PARK_CAP && budget > 0 {
+                    budget -= 1;
+                    let Some(victim) = state.parked.pop_front() else { break };
+                    let live =
+                        state.entries.get(&victim).is_some_and(|v| v.parked && v.count == 0);
+                    if !live {
+                        continue;
+                    }
+                    if state.inflight.contains_key(&victim) {
+                        state.parked.push_back(victim);
+                        continue;
+                    }
+                    state.entries.remove(&victim);
+                    state.parked_live -= 1;
+                    cf.conn.release_lock(victim)?;
+                    if let Some(sec) = &cf.secondary {
+                        let _ = sec.release_lock(victim);
+                    }
+                }
+            }
+            had_record
         };
         if had_record {
             // Another transaction (even on another system) may have its own
@@ -580,10 +917,7 @@ impl Irlm {
             // per connector, so this removes exactly this system's record.
             let _ = cf.conn.delete_lock_record(resource);
         }
-        if release_cf {
-            cf.conn.release_lock(entry)?;
-        }
-        cf.mirror_unlock(resource, entry, release_cf, had_record);
+        cf.mirror_unlock(resource, entry, false, had_record);
         Ok(())
     }
 
@@ -747,7 +1081,7 @@ impl Irlm {
                 let Some(mode) = rh.strongest() else { continue };
                 let entry = new_conn.hash_resource(resource);
                 new_conn.force_interest(entry, mode)?;
-                new_entries.entry(entry).or_insert(EntryInterest { count: 0 }).count += 1;
+                new_entries.entry(entry).or_default().count += 1;
                 let mut txns: Vec<(&u64, &Holder)> = rh.holders.iter().collect();
                 txns.sort_by_key(|(t, _)| **t);
                 for (txn, h) in txns {
@@ -756,7 +1090,15 @@ impl Irlm {
                     }
                 }
             }
+            // Fresh entries carry no cached flags (foreign interest is
+            // re-imported unconditionally, so no sole-interest proof
+            // exists) and parked interest is simply not re-created — the
+            // old structure's Normal detach below surrenders it.
             local.entries = new_entries;
+            local.parked.clear();
+            local.parked_live = 0;
+            // Cooldown indexes are against the old geometry.
+            local.cool.clear();
             drop(local);
             // The old structure (or its CF) may already be gone. A rebuild
             // re-simplexes: re-enable duplexing afterwards if desired.
@@ -764,6 +1106,23 @@ impl Irlm {
             guard.conn = new_conn;
             guard.secondary = None;
         }
+        Ok(())
+    }
+
+    /// Grow (or shrink) the lock table online: rebuild the whole group
+    /// into `new` — the same §3.3 quiesced-rebuild machinery; every live
+    /// resource is rehashed against the new geometry — and emit the
+    /// table-resize trace event once the swap completes. Held locks and
+    /// persistent records carry over exactly; parked (lazily released)
+    /// interest is deliberately not re-created.
+    pub fn resize_all(members: &[Arc<Irlm>], new: Arc<LockStructure>, sub: &CfSubchannel) -> DbResult<()> {
+        let from = members.first().map(|m| m.structure().entries()).unwrap_or(0);
+        let to = new.entries();
+        Self::rebuild_all(members, new, sub)?;
+        sub.emit(sysplex_core::trace::TraceEvent::LockTableResize {
+            from_entries: from as u64,
+            to_entries: to as u64,
+        });
         Ok(())
     }
 
@@ -787,6 +1146,61 @@ impl Irlm {
         self.stop.store(true, Ordering::Release);
         if let Some(h) = self.service.lock().take() {
             let _ = h.join();
+        }
+    }
+}
+
+/// Adaptive lock-table sizing policy (§3.3.1 / experiment E10): watch the
+/// observed false-contention rate per interval and recommend growing the
+/// table while the rate stays above threshold. The caller owns *when* to
+/// observe (per RMF interval, per N operations, …) and *how* to execute
+/// the grow ([`Irlm::resize_all`] / `DataSharingGroup::resize_lock_table`).
+#[derive(Debug, Clone)]
+pub struct LockResizePolicy {
+    /// Grow when an interval's false contentions exceed this fraction of
+    /// its lock requests (e.g. `0.01` for the 1% target).
+    pub threshold: f64,
+    /// Never recommend a table larger than this.
+    pub max_entries: usize,
+    /// Ignore intervals with fewer requests than this — too little signal.
+    pub min_interval_requests: u64,
+    last_requests: u64,
+    last_false: u64,
+}
+
+impl LockResizePolicy {
+    /// Policy with the given threshold fraction and size ceiling.
+    pub fn new(threshold: f64, max_entries: usize) -> Self {
+        LockResizePolicy {
+            threshold,
+            max_entries,
+            min_interval_requests: 256,
+            last_requests: 0,
+            last_false: 0,
+        }
+    }
+
+    /// Feed the *cumulative* request / false-contention counters (e.g.
+    /// [`IrlmStats`] sums across a group) plus the current table size.
+    /// Returns `Some(new_entries)` when the interval since the previous
+    /// call ran hot enough to justify doubling the table.
+    pub fn observe(
+        &mut self,
+        requests: u64,
+        false_contentions: u64,
+        current_entries: usize,
+    ) -> Option<usize> {
+        let dr = requests.saturating_sub(self.last_requests);
+        let df = false_contentions.saturating_sub(self.last_false);
+        self.last_requests = requests;
+        self.last_false = false_contentions;
+        if dr < self.min_interval_requests || current_entries >= self.max_entries {
+            return None;
+        }
+        if df as f64 / dr as f64 > self.threshold {
+            Some((current_entries.saturating_mul(2)).min(self.max_entries))
+        } else {
+            None
         }
     }
 }
@@ -971,6 +1385,102 @@ mod tests {
         a.lock(1, b"ROW.X", LockMode::Exclusive, false).unwrap();
         a.shutdown();
         assert_eq!(b.lock(2, b"ROW.X", LockMode::Exclusive, false).unwrap(), LockOutcome::Granted);
+    }
+
+    #[test]
+    fn regrant_fast_path_skips_cf_commands() {
+        let r = rig(1, 1024);
+        let a = &r.irlms[0];
+        a.lock(1, b"ROW.1", LockMode::Exclusive, false).unwrap();
+        assert_eq!(a.stats.grants_cf_sync.get(), 1);
+        // Last hold drops: CF interest is parked, not released.
+        a.unlock(1, b"ROW.1").unwrap();
+        assert_eq!(a.stats.lazy_releases.get(), 1);
+        assert_eq!(a.structure().interest_count(a.conn()), 1, "interest retained at the CF");
+        // Re-acquire (different txn): served from the cached sole-interest
+        // grant — no CF command of any kind.
+        assert_eq!(a.lock(2, b"ROW.1", LockMode::Exclusive, false).unwrap(), LockOutcome::Granted);
+        assert_eq!(a.stats.regrants_local.get(), 1);
+        assert_eq!(a.stats.grants_cf_sync.get(), 1, "no second CF grant");
+        // A new resource in the same hash class also rides the fast path.
+        let colliding = (0..10_000u32)
+            .map(|i| format!("ROW.C{i}").into_bytes())
+            .find(|n| {
+                n != b"ROW.1"
+                    && a.structure().hash_resource(n) == a.structure().hash_resource(b"ROW.1")
+            })
+            .expect("some resource collides");
+        assert_eq!(a.lock(2, &colliding, LockMode::Exclusive, false).unwrap(), LockOutcome::Granted);
+        assert_eq!(a.stats.regrants_local.get(), 2);
+    }
+
+    #[test]
+    fn recall_surrenders_parked_interest() {
+        let r = rig(2, 1);
+        let (a, b) = (&r.irlms[0], &r.irlms[1]);
+        a.lock(1, b"ROW.A", LockMode::Exclusive, false).unwrap();
+        a.unlock(1, b"ROW.A").unwrap();
+        assert_eq!(a.stats.lazy_releases.get(), 1);
+        assert_eq!(a.structure().interest_count(a.conn()), 1);
+        // b's negotiation recalls a's parked interest; the surrender (and
+        // the generation bump it causes) forces b through one renegotiation
+        // and it lands a clean synchronous grant on the emptied entry.
+        assert_eq!(b.lock(2, b"ROW.B", LockMode::Exclusive, false).unwrap(), LockOutcome::Granted);
+        assert_eq!(a.stats.recalls.get(), 1);
+        assert_eq!(a.structure().interest_count(a.conn()), 0, "parked interest surrendered");
+    }
+
+    #[test]
+    fn exclusivity_holds_through_regrants_after_recall() {
+        let r = rig(2, 1);
+        let (a, b) = (&r.irlms[0], &r.irlms[1]);
+        a.lock(1, b"ROW.A", LockMode::Exclusive, false).unwrap();
+        a.unlock(1, b"ROW.A").unwrap();
+        // b takes the very resource a had parked. The recall surrendered
+        // a's interest, so a's next request must go to the CF and lose.
+        assert_eq!(b.lock(2, b"ROW.A", LockMode::Exclusive, false).unwrap(), LockOutcome::Granted);
+        assert_eq!(a.lock(3, b"ROW.A", LockMode::Exclusive, false).unwrap(), LockOutcome::Busy);
+        assert_eq!(a.stats.regrants_local.get(), 0, "fast path never fired after the recall");
+    }
+
+    #[test]
+    fn persistent_regrant_stays_recoverable_after_crash() {
+        let r = rig(2, 1024);
+        let (a, b) = (&r.irlms[0], &r.irlms[1]);
+        a.lock(1, b"ROW.P", LockMode::Exclusive, true).unwrap();
+        a.unlock(1, b"ROW.P").unwrap();
+        // Fast-path re-grant of a persistent lock must still write the CF
+        // record — the cached grant is worthless if a fenced holder's
+        // locks can't be reconstructed by survivors.
+        assert_eq!(a.lock(2, b"ROW.P", LockMode::Exclusive, true).unwrap(), LockOutcome::Granted);
+        assert_eq!(a.stats.regrants_local.get(), 1);
+        a.crash();
+        b.mark_peer_failed(a.conn()).unwrap();
+        let retained = b.retained_locks_of(a.conn()).unwrap();
+        assert_eq!(retained.len(), 1);
+        assert_eq!(retained[0].resource, b"ROW.P");
+        assert_eq!(retained[0].payload, 2u64.to_be_bytes());
+        assert_eq!(b.lock(9, b"ROW.P", LockMode::Exclusive, false).unwrap(), LockOutcome::Busy);
+        b.complete_peer_recovery(a.conn()).unwrap();
+        assert_eq!(b.lock(9, b"ROW.P", LockMode::Exclusive, false).unwrap(), LockOutcome::Granted);
+    }
+
+    #[test]
+    fn park_cap_evicts_fifo_and_bounds_retained_interest() {
+        let r = rig(1, 4096);
+        let a = &r.irlms[0];
+        let n = PARK_CAP + 100;
+        for k in 0..n {
+            let resource = format!("ROW.{k:05}").into_bytes();
+            a.lock(k as u64, &resource, LockMode::Exclusive, false).unwrap();
+            a.unlock(k as u64, &resource).unwrap();
+        }
+        assert_eq!(a.stats.lazy_releases.get(), n as u64);
+        assert!(
+            a.structure().interest_count(a.conn()) <= PARK_CAP,
+            "eviction keeps parked interest under the cap, got {}",
+            a.structure().interest_count(a.conn())
+        );
     }
 
     #[test]

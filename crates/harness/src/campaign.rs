@@ -159,6 +159,8 @@ pub struct CampaignStats {
     pub failovers: u64,
     /// Couple-data-set hot switches.
     pub cds_switches: u64,
+    /// Online lock-table resizes (adaptive-growth fault).
+    pub resizes: u64,
     /// Faults actually applied.
     pub faults_applied: u64,
 }
@@ -235,6 +237,9 @@ struct Driver<'a> {
     stats: CampaignStats,
     /// Monotonic name counter for replacement CFs / CDS volumes.
     next_name: u32,
+    /// Name of the CF currently hosting the group's lock structure —
+    /// resizes must allocate the grown table on the same facility.
+    lock_cf: String,
 }
 
 impl<'a> Driver<'a> {
@@ -283,6 +288,7 @@ impl<'a> Driver<'a> {
             rng: SplitMix64::new(spec.seed ^ 0xA5A5_A5A5_5A5A_5A5A),
             stats: CampaignStats::default(),
             next_name: 3,
+            lock_cf: "CF01".to_string(),
         }
     }
 
@@ -401,6 +407,9 @@ impl<'a> Driver<'a> {
                     if self.group.cf_failover().is_ok() {
                         self.stats.failovers += 1;
                         self.stats.faults_applied += 1;
+                        // The duplexed secondaries were established on CF02
+                        // at IPL; promotion moves the lock structure there.
+                        self.lock_cf = "CF02".to_string();
                     }
                 } else {
                     let name = format!("CF{:02}", self.next_name);
@@ -409,6 +418,23 @@ impl<'a> Driver<'a> {
                     if self.group.rebuild_into(&fresh).is_ok() {
                         self.stats.rebuilds += 1;
                         self.stats.faults_applied += 1;
+                        self.lock_cf = name;
+                    }
+                }
+            }
+            Fault::LockTableGrow => {
+                // Double the table on its hosting CF, capped so a mutation
+                // lineage stacking grows cannot balloon the allocation.
+                let new_entries = (self.group.lock_entries() * 2).min(1 << 16);
+                if new_entries > self.group.lock_entries() {
+                    if let Some(cf) = self.plex.cf(&self.lock_cf) {
+                        // Fails (harmlessly) while a fenced member's state
+                        // is still failed-persistent: rebuild requires the
+                        // group be recovered first.
+                        if self.group.resize_lock_table(&cf, new_entries).is_ok() {
+                            self.stats.resizes += 1;
+                            self.stats.faults_applied += 1;
+                        }
                     }
                 }
             }

@@ -32,7 +32,7 @@ const FATAL_STALL_MIN: u32 = 90;
 
 /// Derive one random fault, honoring the plan-generation constraints.
 pub fn random_fault(rng: &mut SplitMix64, members: u8) -> Fault {
-    match rng.below(6) {
+    match rng.below(7) {
         0 => Fault::LinkDelayUs(50 + rng.below(500)),
         1 => Fault::LinkTimeout,
         2 => Fault::InterfaceControlCheck,
@@ -44,6 +44,7 @@ pub fn random_fault(rng: &mut SplitMix64, members: u8) -> Fault {
         }
         3 => Fault::LinkTimeout,
         4 => Fault::StructureLoss,
+        5 => Fault::LockTableGrow,
         _ => Fault::CdsPrimaryFailure,
     }
 }

@@ -151,7 +151,12 @@ fn check_lock_exclusivity(records: &[TraceRecord], out: &mut Vec<Violation>) {
     let mut held: HashMap<(u32, u64), HashMap<u8, bool>> = HashMap::new();
     for r in records {
         match r.event {
-            TraceEvent::LockGrant { entry, conn, exclusive } => {
+            // A local re-grant is a grant for exclusivity purposes: the
+            // IRLM served it from cached sole CF interest, so it claims
+            // exactly what a CF-synchronous grant claims and must be held
+            // to the same invariant.
+            TraceEvent::LockGrant { entry, conn, exclusive }
+            | TraceEvent::LockLocalRegrant { entry, conn, exclusive } => {
                 let holders = held.entry((r.structure, entry)).or_default();
                 let conflict =
                     holders.iter().find(|(c, ex)| **c != conn && (exclusive || **ex)).map(|(c, _)| *c);
@@ -321,6 +326,28 @@ mod tests {
             rec(2, 1, 7, TraceEvent::LockGrant { entry: 3, conn: 1, exclusive: false }),
         ];
         assert_eq!(check_trace(&records, OracleConfig::default()).len(), 1);
+    }
+
+    #[test]
+    fn local_regrant_is_held_to_the_exclusivity_invariant() {
+        // Lazy release retains the hold; a local re-grant by the same
+        // conn is clean.
+        let good = vec![
+            rec(1, 0, 7, TraceEvent::LockGrant { entry: 3, conn: 0, exclusive: true }),
+            rec(2, 0, 7, TraceEvent::LockLazyRelease { entry: 3, conn: 0 }),
+            rec(3, 0, 7, TraceEvent::LockLocalRegrant { entry: 3, conn: 0, exclusive: true }),
+            rec(4, 0, 7, TraceEvent::LockRelease { entry: 3, conn: 0 }),
+        ];
+        assert!(check_trace(&good, OracleConfig::default()).is_empty());
+
+        // A re-grant claiming an entry someone else holds exclusively is
+        // exactly as damning as a double CF grant.
+        let bad = vec![
+            rec(1, 0, 7, TraceEvent::LockGrant { entry: 3, conn: 0, exclusive: true }),
+            rec(2, 1, 7, TraceEvent::LockLocalRegrant { entry: 3, conn: 1, exclusive: true }),
+        ];
+        let v = check_trace(&bad, OracleConfig::default());
+        assert!(matches!(v.as_slice(), [Violation::LockExclusivity { holder: 0, granted: 1, .. }]));
     }
 
     #[test]

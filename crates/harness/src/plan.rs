@@ -45,6 +45,10 @@ pub enum Fault {
     StructureLoss,
     /// Kill the primary couple data set; the pair hot-switches.
     CdsPrimaryFailure,
+    /// Double the CF lock table online (§13 adaptive resize) while lock
+    /// traffic is live: a quiesced rehash that must neither lose nor
+    /// duplicate any held or retained lock.
+    LockTableGrow,
 }
 
 /// An ordered schedule of `(step, fault)` pairs.
@@ -130,6 +134,9 @@ impl FaultPlan {
         if rng.chance(1, 3) {
             plan = plan.at(rng.below(span), Fault::CdsPrimaryFailure);
         }
+        if rng.chance(1, 3) {
+            plan = plan.at(rng.below(span), Fault::LockTableGrow);
+        }
         plan
     }
 }
@@ -177,6 +184,7 @@ fn parse_fault(s: &str) -> Result<Fault, String> {
         "InterfaceControlCheck" => return Ok(Fault::InterfaceControlCheck),
         "StructureLoss" => return Ok(Fault::StructureLoss),
         "CdsPrimaryFailure" => return Ok(Fault::CdsPrimaryFailure),
+        "LockTableGrow" => return Ok(Fault::LockTableGrow),
         _ => {}
     }
     if let Some(us) = body.strip_prefix("LinkDelayUs(").and_then(|b| b.strip_suffix(')')) {
@@ -266,6 +274,7 @@ mod tests {
             .at(7, Fault::LinkTimeout)
             .at(12, Fault::InterfaceControlCheck)
             .at(40, Fault::StructureLoss)
+            .at(151, Fault::LockTableGrow)
             .at(199, Fault::CdsPrimaryFailure);
         assert_eq!(FaultPlan::parse(&p.to_string()), Ok(p));
         assert_eq!(FaultPlan::parse("FaultPlan::new()"), Ok(FaultPlan::new()));

@@ -81,6 +81,45 @@ struct Baseline {
     structures: HashMap<(usize, String), Vec<u64>>,
     /// Per system id: `(emitted, dropped, busy_ns)`.
     systems: HashMap<u8, (u64, u64, u64)>,
+    /// Trace-kind totals (all tracers summed) for the lock-hierarchy
+    /// section, in [`LOCK_HIERARCHY_KINDS`] order.
+    lock_kinds: [u64; LOCK_HIERARCHY_KINDS.len()],
+}
+
+/// Trace kinds the lock-hierarchy section reports interval deltas of:
+/// CF-synchronous grants, local re-grants served from cached interest,
+/// lazy releases parked locally, and online table resizes.
+const LOCK_HIERARCHY_KINDS: [sysplex_core::trace::TraceKind; 4] = [
+    sysplex_core::trace::TraceKind::LockGrant,
+    sysplex_core::trace::TraceKind::LockLocalRegrant,
+    sysplex_core::trace::TraceKind::LockLazyRelease,
+    sysplex_core::trace::TraceKind::LockTableResize,
+];
+
+/// Interval view of the hierarchical-locking fast path (§13): how many
+/// grants the sysplex served without a CF round trip.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LockHierarchyActivity {
+    /// Grants that went to the CF (synchronous or negotiated).
+    pub cf_grants: u64,
+    /// Grants served entirely locally from cached sole interest.
+    pub local_regrants: u64,
+    /// Releases parked locally instead of surrendered to the CF.
+    pub lazy_releases: u64,
+    /// Online lock-table resizes completed.
+    pub resizes: u64,
+}
+
+impl LockHierarchyActivity {
+    /// Fraction of all grants served without a CF round trip.
+    pub fn regrant_ratio(&self) -> f64 {
+        ratio(self.local_regrants, self.local_regrants + self.cf_grants)
+    }
+
+    /// Whether the interval saw any hierarchical-locking activity at all.
+    pub fn any(&self) -> bool {
+        self.cf_grants + self.local_regrants + self.lazy_releases + self.resizes > 0
+    }
 }
 
 /// One structure's activity over the interval.
@@ -378,6 +417,8 @@ pub struct ActivityReport {
     pub wlm: Vec<ClassReport>,
     /// Report-wide totals.
     pub totals: Totals,
+    /// Hierarchical-locking fast-path activity over the interval.
+    pub lock_hierarchy: LockHierarchyActivity,
     /// The sysplex-wide merge over every member's shipped SMF records
     /// (`None` for a plain local report).
     pub sysplex: Option<SysplexSection>,
@@ -510,6 +551,17 @@ impl ActivityReport {
         }
         out.push_str("\n  ],\n");
 
+        let lh = &self.lock_hierarchy;
+        out.push_str(&format!(
+            "  \"lock_hierarchy\": {{\"cf_grants\": {}, \"local_regrants\": {}, \
+             \"regrant_ratio\": {}, \"lazy_releases\": {}, \"table_resizes\": {}}},\n",
+            lh.cf_grants,
+            lh.local_regrants,
+            json_f64(lh.regrant_ratio()),
+            lh.lazy_releases,
+            lh.resizes
+        ));
+
         let t = &self.totals;
         out.push_str(&format!(
             "  \"totals\": {{\"issued\": {}, \"sync\": {}, \"async_converted\": {}, \"faulted\": {}, \
@@ -587,6 +639,21 @@ impl fmt::Display for ActivityReport {
                 c.service.quantile_ns(0.95) / 1000,
                 c.service.quantile_ns(0.99) / 1000,
                 c.service.max_ns / 1000
+            )?;
+        }
+
+        if self.lock_hierarchy.any() {
+            let lh = &self.lock_hierarchy;
+            writeln!(f, "LOCK HIERARCHY (local-interest fast path)")?;
+            writeln!(
+                f,
+                "  cf-grants {}  local-regrants {}  regrant-ratio {:.1}%  lazy-releases {}  \
+                 table-resizes {}",
+                lh.cf_grants,
+                lh.local_regrants,
+                lh.regrant_ratio() * 100.0,
+                lh.lazy_releases,
+                lh.resizes
             )?;
         }
 
@@ -732,6 +799,7 @@ impl Monitor {
                 .collect(),
             structures: HashMap::new(),
             systems: HashMap::new(),
+            lock_kinds: [0; LOCK_HIERARCHY_KINDS.len()],
         };
         Arc::new(Monitor {
             title: title.to_string(),
@@ -858,6 +926,19 @@ impl Monitor {
             totals.trace_retained += t.total_emitted().saturating_sub(t.total_dropped());
         }
 
+        // Lock hierarchy: interval deltas of the fast-path trace kinds.
+        let mut kinds = [0u64; LOCK_HIERARCHY_KINDS.len()];
+        for (i, kind) in LOCK_HIERARCHY_KINDS.iter().enumerate() {
+            kinds[i] = self.tracers.iter().map(|t| t.kind_count(*kind)).sum();
+        }
+        let lock_hierarchy = LockHierarchyActivity {
+            cf_grants: kinds[0] - base.lock_kinds[0],
+            local_regrants: kinds[1] - base.lock_kinds[1],
+            lazy_releases: kinds[2] - base.lock_kinds[2],
+            resizes: kinds[3] - base.lock_kinds[3],
+        };
+        base.lock_kinds = kinds;
+
         base.at = now;
         drop(base);
 
@@ -869,6 +950,7 @@ impl Monitor {
             systems,
             wlm: self.wlm.as_ref().map(|w| w.class_reports()).unwrap_or_default(),
             totals,
+            lock_hierarchy,
             sysplex: None,
         }
     }
@@ -1092,6 +1174,38 @@ mod tests {
     }
 
     #[test]
+    fn lock_hierarchy_section_reports_interval_deltas() {
+        use sysplex_core::trace::TraceEvent;
+
+        let (plex, _cf) = plex_with_traffic();
+        let monitor = Monitor::for_sysplex(&plex);
+        let first = monitor.report();
+        assert!(first.lock_hierarchy.cf_grants >= 20, "{:?}", first.lock_hierarchy);
+        assert_eq!(first.lock_hierarchy.local_regrants, 0);
+
+        // Fast-path traffic as the IRLM emits it.
+        for _ in 0..30 {
+            plex.tracer.emit(0, 7, TraceEvent::LockLocalRegrant { entry: 1, conn: 0, exclusive: true });
+        }
+        for _ in 0..5 {
+            plex.tracer.emit(0, 7, TraceEvent::LockLazyRelease { entry: 1, conn: 0 });
+        }
+        plex.tracer.emit(0, 7, TraceEvent::LockTableResize { from_entries: 64, to_entries: 128 });
+
+        let second = monitor.report();
+        let lh = &second.lock_hierarchy;
+        assert_eq!(
+            (lh.cf_grants, lh.local_regrants, lh.lazy_releases, lh.resizes),
+            (0, 30, 5, 1),
+            "interval deltas, not cumulative"
+        );
+        assert!(lh.regrant_ratio() > 0.99);
+        assert!(second.to_string().contains("LOCK HIERARCHY"));
+        assert!(second.to_json().contains("\"lock_hierarchy\""));
+        assert!(second.reconciles());
+    }
+
+    #[test]
     fn json_has_required_schema_fields() {
         let (plex, _cf) = plex_with_traffic();
         let monitor = Monitor::for_sysplex(&plex);
@@ -1105,6 +1219,7 @@ mod tests {
             "\"command_classes\"",
             "\"systems\"",
             "\"wlm\"",
+            "\"lock_hierarchy\"",
             "\"totals\"",
             "\"trace_emitted\"",
             "\"reconciled\": true",

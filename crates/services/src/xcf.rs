@@ -189,9 +189,13 @@ impl Xcf {
         let groups = self.groups.lock();
         let g = groups.get(group).ok_or_else(|| XcfError::NoSuchMember(to.to_string()))?;
         let slot = g.members.get(to).ok_or_else(|| XcfError::NoSuchMember(to.to_string()))?;
+        // Trace before the channel push: once the signal is delivered the
+        // receiver (and anything it unblocks) may emit trace records, and
+        // those must sequence *after* the send/deliver pair or replayed
+        // traces interleave differently run to run.
+        self.trace_signal(g, from, slot.system, payload.len());
         let _ = slot.tx.send(XcfItem::Message { from: from.to_string(), payload: payload.to_vec() });
         self.signals_sent.fetch_add(1, Ordering::Relaxed);
-        self.trace_signal(g, from, slot.system, payload.len());
         Ok(())
     }
 
@@ -201,8 +205,9 @@ impl Xcf {
         let mut n = 0;
         for (name, slot) in g.members.iter() {
             if name != from {
-                let _ = slot.tx.send(XcfItem::Message { from: from.to_string(), payload: payload.to_vec() });
+                // Same ordering rule as `signal`: trace, then deliver.
                 self.trace_signal(g, from, slot.system, payload.len());
+                let _ = slot.tx.send(XcfItem::Message { from: from.to_string(), payload: payload.to_vec() });
                 n += 1;
             }
         }

@@ -98,6 +98,17 @@ impl<T: ?Sized> RwLock<T> {
         RwLockReadGuard { inner: self.inner.read().unwrap_or_else(|e| e.into_inner()) }
     }
 
+    /// Try to acquire a shared read lock without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(g) => Some(RwLockReadGuard { inner: g }),
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                Some(RwLockReadGuard { inner: e.into_inner() })
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Acquire an exclusive write lock.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         RwLockWriteGuard { inner: self.inner.write().unwrap_or_else(|e| e.into_inner()) }
@@ -219,6 +230,7 @@ mod tests {
         assert_eq!(l.read().len(), 2);
         l.write().push(3);
         assert_eq!(l.read().len(), 3);
+        assert_eq!(l.try_read().map(|g| g.len()), Some(3));
     }
 
     #[test]

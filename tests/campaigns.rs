@@ -10,7 +10,7 @@
 use std::time::{Duration, Instant};
 use sysplex_harness::mutate::{add_fault, mutate_spec, MAX_FAULTS};
 use sysplex_harness::{
-    run_checked, CampaignSpec, CoverageMap, FaultPlan, SplitMix64, SweepConfig, SweepEngine,
+    run_checked, CampaignSpec, CoverageMap, Fault, FaultPlan, SplitMix64, SweepConfig, SweepEngine,
 };
 
 /// Fixed corpus. The annotated seeds reproduced real bugs during
@@ -105,6 +105,49 @@ fn randomized_sweep_within_budget() {
         engine.corpus().len()
     );
     assert!(engine.campaigns() > 0);
+}
+
+/// ISSUE §13 acceptance: growing the CF lock table online — mid-campaign,
+/// under live lock traffic, twice, and once more right after a fatal
+/// member stall — must neither lose nor duplicate any held or retained
+/// lock (the oracle audits exclusivity and orphan records over the whole
+/// merged trace) and must stay bit-for-bit replayable.
+#[test]
+fn online_lock_table_resize_under_live_traffic() {
+    use parallel_sysplex::cf::trace::TraceEvent;
+
+    let spec = CampaignSpec {
+        name: "resize-under-load".into(),
+        seed: 0x9e512e,
+        members: 3,
+        steps: 300,
+        plan: FaultPlan::new()
+            .at(60, Fault::LockTableGrow)
+            .at(90, Fault::SystemStall { system: 2, steps: 120 })
+            .at(220, Fault::LockTableGrow),
+        duplex: false,
+    };
+    let a = run_checked(spec.clone());
+    assert!(a.stats.resizes >= 1, "no resize applied: {:?}", a.stats);
+    assert!(a.stats.commits > 20, "workload barely ran: {:?}", a.stats);
+    let resizes = a
+        .records
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::LockTableResize { from_entries, to_entries } => {
+                Some((from_entries, to_entries))
+            }
+            _ => None,
+        })
+        .collect::<Vec<_>>();
+    assert_eq!(resizes.len() as u64, a.stats.resizes, "every resize traces exactly once");
+    for (from, to) in &resizes {
+        assert!(to > from, "resize must grow the table: {from} -> {to}");
+    }
+
+    let b = run_checked(spec);
+    assert_eq!(a.digest, b.digest, "resize campaign must replay bit-for-bit");
+    assert_eq!(a.stats, b.stats);
 }
 
 /// The coverage signal is as deterministic as the campaigns it observes:

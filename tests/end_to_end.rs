@@ -155,9 +155,12 @@ fn cf_statistics_reflect_protocol_activity() {
     let cache_stats = &cache_structure.stats;
     assert!(cache_stats.writes.get() >= 2);
     assert!(cache_stats.xi_signals.get() >= 1, "db0's cached page was cross-invalidated");
-    // The IRLMs really used XCF only when contention demanded it.
+    // The IRLMs really used XCF only when contention demanded it. With
+    // the §13 local-interest fast path, repeat grants never reach the CF
+    // at all, so the remaining CF request mix is relatively richer in
+    // contention outcomes — the bar is "majority", not the old 80%.
     let sync_rate = s.group.lock_structure().rates().sync_grant_fraction;
-    assert!(sync_rate > 0.8, "majority of grants CPU-synchronous: {sync_rate}");
+    assert!(sync_rate > 0.5, "majority of grants CPU-synchronous: {sync_rate}");
     teardown(&s);
 }
 

@@ -345,7 +345,7 @@ proptest! {
                                 m.sharers.insert(conn);
                             }
                         }
-                        LockResponse::Contention { holders, exclusive: excl_holder } => {
+                        LockResponse::Contention { holders, exclusive: excl_holder, .. } => {
                             prop_assert!(!compatible, "contention but model says compatible");
                             // Holder set must include every conflicting peer.
                             let holder_set: HashSet<u8> = conns_in_mask(holders).map(|c| c.raw()).collect();
